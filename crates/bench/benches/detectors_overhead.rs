@@ -1,0 +1,44 @@
+//! Wall-clock overhead of the foreach loop-invariant detectors on the three
+//! §IV-E micro-benchmarks — the direct analogue of the paper's "~8% average
+//! overhead" measurement (Fig. 12's first bar group), complementing the
+//! deterministic dynamic-instruction ratio reported by the `fig12` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use detectors::{DetectorConfig, WithDetectors};
+use spmdc::VectorIsa;
+use vbench::{micro_benchmarks, Scale};
+use vexec::Interp;
+use vulfi::workload::Workload;
+use vulfi::VulfiHost;
+
+fn bench(c: &mut Criterion) {
+    for w in micro_benchmarks(VectorIsa::Avx, Scale::Test) {
+        let wd = WithDetectors::new(&w, DetectorConfig::default()).unwrap();
+        let mut group = c.benchmark_group(format!("detector_overhead/{}", w.name()));
+        group.sample_size(30);
+        group.bench_function("without", |b| {
+            b.iter(|| {
+                let mut interp = Interp::new(w.module());
+                let setup = w.setup(&mut interp.mem, 0).unwrap();
+                let mut host = VulfiHost::profile();
+                criterion::black_box(
+                    interp.run(w.entry(), &setup.args, &mut host).unwrap(),
+                )
+            })
+        });
+        group.bench_function("with", |b| {
+            b.iter(|| {
+                let mut interp = Interp::new(wd.module());
+                let setup = wd.setup(&mut interp.mem, 0).unwrap();
+                let mut host = VulfiHost::profile();
+                criterion::black_box(
+                    interp.run(wd.entry(), &setup.args, &mut host).unwrap(),
+                )
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Costs of the VULFI instrumentation itself:
+//!
+//! - `pass/*` — wall-clock of the instrumentation pass (site enumeration,
+//!   classification, per-lane cloning) per category;
+//! - `overhead/*` — golden-run slowdown of instrumented vs plain modules,
+//!   i.e. what a fault-injection campaign pays per run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spmdc::VectorIsa;
+use vbench::{study_benchmark, Scale};
+use vexec::{Interp, NoHost};
+use vir::analysis::SiteCategory;
+use vulfi::workload::Workload;
+use vulfi::{instrument_module, InstrumentOptions, VulfiHost};
+
+fn bench_pass(c: &mut Criterion) {
+    let w = study_benchmark("Blackscholes", VectorIsa::Avx, Scale::Test).unwrap();
+    let mut group = c.benchmark_group("pass");
+    group.sample_size(20);
+    for cat in SiteCategory::ALL {
+        group.bench_function(cat.name(), |b| {
+            b.iter(|| {
+                let mut m = w.module().clone();
+                let r = instrument_module(
+                    &mut m,
+                    w.entry(),
+                    InstrumentOptions::new(cat),
+                )
+                .unwrap();
+                criterion::black_box(r.sites.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    let w = study_benchmark("Stencil", VectorIsa::Avx, Scale::Test).unwrap();
+    let mut group = c.benchmark_group("overhead");
+    group.sample_size(20);
+
+    group.bench_function("plain", |b| {
+        b.iter(|| {
+            let mut interp = Interp::new(w.module());
+            let setup = w.setup(&mut interp.mem, 0).unwrap();
+            criterion::black_box(interp.run(w.entry(), &setup.args, &mut NoHost).unwrap())
+        })
+    });
+    for cat in SiteCategory::ALL {
+        let prog = vulfi::prepare(&w, cat).unwrap();
+        group.bench_function(format!("instrumented/{}", cat.name()), |b| {
+            b.iter(|| {
+                let mut interp = Interp::new(&prog.module);
+                let setup = w.setup(&mut interp.mem, 0).unwrap();
+                let mut host = VulfiHost::profile();
+                criterion::black_box(
+                    interp.run(&prog.entry, &setup.args, &mut host).unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pass, bench_overhead);
+criterion_main!(benches);

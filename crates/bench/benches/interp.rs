@@ -1,0 +1,34 @@
+//! Interpreter throughput: golden runs of representative benchmarks.
+//! This is the substrate-speed baseline every other measurement sits on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spmdc::VectorIsa;
+use vbench::{study_benchmark, Scale};
+use vexec::{Interp, NoHost};
+use vulfi::workload::Workload;
+
+fn golden_run(c: &mut Criterion, name: &str, isa: VectorIsa) {
+    let w = study_benchmark(name, isa, Scale::Test).unwrap();
+    let mut group = c.benchmark_group("interp");
+    group.sample_size(20);
+    group.bench_function(format!("{name}/{isa}"), |b| {
+        b.iter(|| {
+            let mut interp = Interp::new(w.module());
+            let setup = w.setup(&mut interp.mem, 0).unwrap();
+            let r = interp.run(w.entry(), &setup.args, &mut NoHost).unwrap();
+            criterion::black_box(r.dyn_insts)
+        })
+    });
+    group.finish();
+}
+
+fn bench(c: &mut Criterion) {
+    for isa in VectorIsa::ALL {
+        golden_run(c, "Blackscholes", isa);
+        golden_run(c, "Stencil", isa);
+        golden_run(c, "Sorting", isa);
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,416 @@
+//! `vulfi` — command-line driver for the VULFI reproduction.
+//!
+//! ```text
+//! vulfi compile <file.spmd> [--isa avx|sse] [-o out.vir]
+//! vulfi sites <file.spmd|file.vir> [--isa avx|sse] [--func NAME]
+//! vulfi instrument <file> --category pure-data|control|address [--isa ...] [--func NAME]
+//! vulfi detect <file> [--isa ...] [--func NAME] [--uniform]
+//! vulfi campaign --bench NAME [--isa ...] [--category ...] [--experiments N] [--seed N] [--detectors]
+//! vulfi profile --bench NAME [--isa ...]
+//! vulfi list
+//! ```
+//!
+//! `.vir` inputs are parsed as textual IR; anything else is compiled as
+//! SPMD-C.
+
+use std::fs;
+use std::process::ExitCode;
+
+use spmdc::VectorIsa;
+use vir::analysis::SiteCategory;
+use vir::Module;
+use vulfi::workload::Workload;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("vulfi: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn usage() -> String {
+    "usage:\n  vulfi compile <file> [--isa avx|sse] [-o out.vir]\n  \
+     vulfi sites <file> [--isa avx|sse] [--func NAME]\n  \
+     vulfi instrument <file> --category pure-data|control|address [--func NAME]\n  \
+     vulfi detect <file> [--func NAME] [--uniform]\n  \
+     vulfi campaign --bench NAME [--isa avx|sse] [--category CAT] [--experiments N] [--seed N] [--detectors]\n  \
+     vulfi profile --bench NAME [--isa avx|sse]\n  \
+     vulfi list"
+        .to_string()
+}
+
+struct Flags {
+    isa: VectorIsa,
+    out: Option<String>,
+    func: Option<String>,
+    category: Option<SiteCategory>,
+    bench: Option<String>,
+    experiments: usize,
+    seed: u64,
+    detectors: bool,
+    uniform: bool,
+    positional: Vec<String>,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut f = Flags {
+        isa: VectorIsa::Avx,
+        out: None,
+        func: None,
+        category: None,
+        bench: None,
+        experiments: 200,
+        seed: 42,
+        detectors: false,
+        uniform: false,
+        positional: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |flag: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--isa" => {
+                f.isa = match val(a)?.to_lowercase().as_str() {
+                    "avx" => VectorIsa::Avx,
+                    "sse" | "sse4" => VectorIsa::Sse4,
+                    other => return Err(format!("unknown isa '{other}'")),
+                }
+            }
+            "-o" | "--out" => f.out = Some(val(a)?),
+            "--func" => f.func = Some(val(a)?),
+            "--category" => {
+                f.category = Some(match val(a)?.to_lowercase().as_str() {
+                    "pure-data" | "puredata" | "data" => SiteCategory::PureData,
+                    "control" | "ctrl" => SiteCategory::Control,
+                    "address" | "addr" => SiteCategory::Address,
+                    other => return Err(format!("unknown category '{other}'")),
+                })
+            }
+            "--bench" => f.bench = Some(val(a)?),
+            "--experiments" => {
+                f.experiments = val(a)?
+                    .parse()
+                    .map_err(|_| "--experiments needs a number".to_string())?
+            }
+            "--seed" => {
+                f.seed = val(a)?
+                    .parse()
+                    .map_err(|_| "--seed needs a number".to_string())?
+            }
+            "--detectors" => f.detectors = true,
+            "--uniform" => f.uniform = true,
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            other => f.positional.push(other.to_string()),
+        }
+    }
+    Ok(f)
+}
+
+/// Load a module: `.vir` parses, anything else compiles as SPMD-C.
+fn load_module(path: &str, isa: VectorIsa) -> Result<Module, String> {
+    let src = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let m = if path.ends_with(".vir") || path.ends_with(".ll") {
+        vir::parser::parse_module(&src).map_err(|e| e.to_string())?
+    } else {
+        spmdc::compile(&src, isa, path).map_err(|e| e.to_string())?
+    };
+    vir::verify::verify_module(&m).map_err(|e| e.to_string())?;
+    Ok(m)
+}
+
+/// Pick the target function: `--func`, else the first definition.
+fn pick_func<'m>(m: &'m Module, flags: &Flags) -> Result<&'m str, String> {
+    match &flags.func {
+        Some(n) => m
+            .function(n)
+            .map(|f| f.name.as_str())
+            .ok_or_else(|| format!("no function @{n}")),
+        None => m
+            .functions
+            .first()
+            .map(|f| f.name.as_str())
+            .ok_or_else(|| "module has no functions".to_string()),
+    }
+}
+
+fn emit(text: &str, out: &Option<String>) -> Result<(), String> {
+    match out {
+        Some(path) => fs::write(path, text).map_err(|e| format!("{path}: {e}")),
+        None => {
+            println!("{text}");
+            Ok(())
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err(usage());
+    };
+    let flags = parse_flags(&args[1..])?;
+    match cmd.as_str() {
+        "compile" => {
+            let path = flags.positional.first().ok_or_else(usage)?;
+            let m = load_module(path, flags.isa)?;
+            emit(&vir::printer::print_module(&m), &flags.out)
+        }
+        "sites" => {
+            let path = flags.positional.first().ok_or_else(usage)?;
+            let m = load_module(path, flags.isa)?;
+            let fname = pick_func(&m, &flags)?;
+            let f = m.function(fname).unwrap();
+            let sites = vulfi::enumerate_sites(f);
+            println!(
+                "@{fname}: {} static fault sites ({} scalar fault sites including lanes)",
+                sites.len(),
+                sites.iter().map(|s| s.lanes() as u64).sum::<u64>()
+            );
+            for (cat, mix) in vulfi::category_mix(&sites) {
+                println!(
+                    "  {:9}: {:4} sites ({} vector, {} scalar, {:.1}% vector)",
+                    cat.name(),
+                    mix.total(),
+                    mix.vector,
+                    mix.scalar,
+                    mix.vector_pct()
+                );
+            }
+            Ok(())
+        }
+        "instrument" => {
+            let path = flags.positional.first().ok_or_else(usage)?;
+            let category = flags.category.ok_or("instrument requires --category")?;
+            let mut m = load_module(path, flags.isa)?;
+            let fname = pick_func(&m, &flags)?.to_string();
+            let r = vulfi::instrument_module(
+                &mut m,
+                &fname,
+                vulfi::InstrumentOptions::new(category),
+            )?;
+            eprintln!("instrumented {} sites in @{fname}", r.sites.len());
+            emit(&vir::printer::print_module(&m), &flags.out)
+        }
+        "detect" => {
+            let path = flags.positional.first().ok_or_else(usage)?;
+            let mut m = load_module(path, flags.isa)?;
+            let fname = pick_func(&m, &flags)?.to_string();
+            let n = detectors::insert_foreach_detectors(
+                &mut m,
+                &fname,
+                detectors::CheckPlacement::OnExit,
+            )?;
+            eprintln!("inserted {n} foreach-invariant detector block(s)");
+            if flags.uniform {
+                let u = detectors::insert_uniform_detectors(&mut m, &fname)?;
+                eprintln!("inserted {u} uniform-broadcast checker(s)");
+            }
+            emit(&vir::printer::print_module(&m), &flags.out)
+        }
+        "campaign" => {
+            let name = flags.bench.as_deref().ok_or("campaign requires --bench")?;
+            let scale = vbench::Scale::Test;
+            let w = vbench::study_benchmark(name, flags.isa, scale)
+                .or_else(|| vbench::micro_benchmark(name, flags.isa, scale))
+                .ok_or_else(|| format!("unknown benchmark '{name}' (see `vulfi list`)"))?;
+            let category = flags.category.unwrap_or(SiteCategory::PureData);
+            let run_one = |w: &dyn Workload| -> Result<(), String> {
+                let prog = vulfi::prepare(w, category).map_err(|e| e.to_string())?;
+                println!(
+                    "benchmark {} [{}], category {}, {} static sites, {} experiments, seed {}",
+                    w.name(),
+                    flags.isa,
+                    category,
+                    prog.sites.len(),
+                    flags.experiments,
+                    flags.seed
+                );
+                let c = vulfi::run_campaign(&prog, w, flags.experiments, flags.seed)
+                    .map_err(|e| e.to_string())?;
+                println!(
+                    "SDC {:5.1}%   Benign {:5.1}%   Crash {:5.1}%",
+                    c.counts.sdc_rate(),
+                    c.counts.benign_rate(),
+                    c.counts.crash_rate()
+                );
+                if c.counts.detected > 0 || c.counts.sdc_detected > 0 {
+                    println!(
+                        "detections: {} total, SDC detection rate {:.1}%",
+                        c.counts.detected,
+                        c.counts.sdc_detection_rate()
+                    );
+                }
+                Ok(())
+            };
+            if flags.detectors {
+                let wd = detectors::WithDetectors::new(&w, detectors::DetectorConfig::default())
+                    .map_err(|e| e.to_string())?;
+                run_one(&wd)
+            } else {
+                run_one(&w)
+            }
+        }
+        "profile" => {
+            let name = flags.bench.as_deref().ok_or("profile requires --bench")?;
+            let scale = vbench::Scale::Test;
+            let w = vbench::study_benchmark(name, flags.isa, scale)
+                .or_else(|| vbench::micro_benchmark(name, flags.isa, scale))
+                .ok_or_else(|| format!("unknown benchmark '{name}' (see `vulfi list`)"))?;
+            let mut interp = vexec::Interp::new(w.module());
+            interp.enable_profiling();
+            let setup = w
+                .setup(&mut interp.mem, 0)
+                .map_err(|t| format!("setup failed: {t}"))?;
+            interp
+                .run(w.entry(), &setup.args, &mut vexec::NoHost)
+                .map_err(|t| format!("golden run trapped: {t}"))?;
+            let mix = interp.take_mix().expect("profiling enabled");
+            println!(
+                "{} [{}]: {} dynamic instructions, {:.1}% vector",
+                w.name(),
+                flags.isa,
+                mix.total,
+                mix.vector_pct()
+            );
+            println!("hottest opcodes:");
+            for (op, n) in mix.hottest().into_iter().take(12) {
+                println!("  {:16} {:>10}  ({:.1}%)", op, n, 100.0 * n as f64 / mix.total as f64);
+            }
+            Ok(())
+        }
+        "list" => {
+            println!("study benchmarks (paper Table I):");
+            for n in vbench::STUDY_NAMES {
+                println!("  {n}");
+            }
+            println!("micro-benchmarks (paper Fig. 12):");
+            for n in vbench::MICRO_NAMES {
+                println!("  {n}");
+            }
+            Ok(())
+        }
+        "--help" | "-h" | "help" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{}", usage())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    fn write_temp(name: &str, content: &str) -> String {
+        let path = std::env::temp_dir().join(format!("vulfi_cli_test_{name}"));
+        fs::write(&path, content).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    const KERNEL: &str = r#"
+export void scale(uniform float a[], uniform int n, uniform float s) {
+    foreach (i = 0 ... n) {
+        a[i] = a[i] * s;
+    }
+}
+"#;
+
+    #[test]
+    fn flags_parse() {
+        let f = parse_flags(&s(&[
+            "input.spmd",
+            "--isa",
+            "sse",
+            "--category",
+            "addr",
+            "--seed",
+            "9",
+        ]))
+        .unwrap();
+        assert_eq!(f.isa, VectorIsa::Sse4);
+        assert_eq!(f.category, Some(SiteCategory::Address));
+        assert_eq!(f.seed, 9);
+        assert_eq!(f.positional, vec!["input.spmd".to_string()]);
+        assert!(parse_flags(&s(&["--isa", "mips"])).is_err());
+        assert!(parse_flags(&s(&["--category", "weird"])).is_err());
+        assert!(parse_flags(&s(&["--nope"])).is_err());
+    }
+
+    #[test]
+    fn compile_and_sites_commands() {
+        let path = write_temp("scale.spmd", KERNEL);
+        run(&s(&["compile", &path])).unwrap();
+        run(&s(&["sites", &path, "--isa", "avx"])).unwrap();
+        // Output-to-file path.
+        let out = std::env::temp_dir().join("vulfi_cli_test_out.vir");
+        run(&s(&["compile", &path, "-o", out.to_str().unwrap()])).unwrap();
+        let text = fs::read_to_string(&out).unwrap();
+        assert!(text.contains("define void @scale"));
+        // The emitted .vir file loads back.
+        run(&s(&["sites", out.to_str().unwrap()])).unwrap();
+    }
+
+    #[test]
+    fn instrument_and_detect_commands() {
+        let path = write_temp("scale2.spmd", KERNEL);
+        let out = std::env::temp_dir().join("vulfi_cli_test_instr.vir");
+        run(&s(&[
+            "instrument",
+            &path,
+            "--category",
+            "control",
+            "-o",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(fs::read_to_string(&out).unwrap().contains("@vulfi.inject"));
+        let out2 = std::env::temp_dir().join("vulfi_cli_test_det.vir");
+        run(&s(&["detect", &path, "--uniform", "-o", out2.to_str().unwrap()])).unwrap();
+        let text = fs::read_to_string(&out2).unwrap();
+        assert!(text.contains("@vulfi.check.foreach"));
+        assert!(text.contains("@vulfi.check.uniform"));
+    }
+
+    #[test]
+    fn campaign_profile_and_list_commands() {
+        run(&s(&["list"])).unwrap();
+        run(&s(&[
+            "campaign",
+            "--bench",
+            "vector sum",
+            "--category",
+            "control",
+            "--experiments",
+            "20",
+            "--detectors",
+        ]))
+        .unwrap();
+        run(&s(&["profile", "--bench", "Blackscholes", "--isa", "sse"])).unwrap();
+        assert!(run(&s(&["campaign", "--bench", "NoSuch"])).is_err());
+        assert!(run(&s(&["bogus-subcommand"])).is_err());
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        assert!(run(&s(&["compile", "/nonexistent/xyz.spmd"])).is_err());
+        let bad = write_temp("bad.spmd", "export void f( {");
+        assert!(run(&s(&["compile", &bad])).is_err());
+        let badvir = write_temp("bad.vir", "define nonsense");
+        assert!(run(&s(&["compile", &badvir])).is_err());
+        let path = write_temp("scale3.spmd", KERNEL);
+        assert!(run(&s(&["instrument", &path])).is_err(), "missing --category");
+        assert!(run(&s(&["sites", &path, "--func", "missing"])).is_err());
+    }
+}

@@ -1,0 +1,525 @@
+//! The fault-injection campaign driver (paper §IV-B, §IV-D).
+//!
+//! - An **experiment** runs a workload twice on one randomly chosen input:
+//!   a golden run (no faults; records the output and the dynamic-fault-site
+//!   count N) and a faulty run (one bit flip at a dynamic site drawn
+//!   uniformly from 1..=N). The outcome is **SDC** (outputs differ),
+//!   **Benign** (identical), or **Crash** (trap / fault-induced hang).
+//! - A **campaign** is 100 independent experiments; its SDC rate is one
+//!   statistical sample.
+//! - A **study** repeats campaigns until the ±3 pp @95% stopping rule of
+//!   `stats::study_converged` fires (the paper observed 20 campaigns
+//!   suffice everywhere).
+//!
+//! Experiments are embarrassingly parallel; campaigns fan out over rayon.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+use vexec::{Interp, Trap};
+use vir::analysis::SiteCategory;
+use vir::Module;
+
+use crate::instrument::{instrument_module, InstrumentOptions, Instrumented};
+use crate::runtime::{InjectionRecord, VulfiHost};
+use crate::sites::StaticSite;
+use crate::stats::{study_converged, StudySummary};
+use crate::workload::{snapshot_outputs, Workload};
+
+/// Outcome classification of one experiment (paper §IV-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Outcome {
+    /// Silent data corruption: faulty output differs from golden output.
+    Sdc,
+    /// No observable difference.
+    Benign,
+    /// System failure, program crash, hang — anything the user would
+    /// notice without comparing outputs.
+    Crash,
+}
+
+/// One completed experiment.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    pub outcome: Outcome,
+    /// Did an inserted detector flag the run?
+    pub detected: bool,
+    pub injection: Option<InjectionRecord>,
+    /// Input index used.
+    pub input: u64,
+    /// Dynamic fault sites observed in the golden run.
+    pub dynamic_sites: u64,
+    /// Golden-run dynamic instruction count.
+    pub golden_dyn_insts: u64,
+}
+
+/// A campaign-level failure (workload bug, not a fault outcome).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignError(pub String);
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "campaign error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+/// An instrumented program ready for injection runs.
+pub struct Prepared {
+    pub module: Module,
+    pub entry: String,
+    pub sites: Vec<StaticSite>,
+    pub category: SiteCategory,
+}
+
+/// Instrument `workload`'s module for the given category.
+pub fn prepare(
+    workload: &dyn Workload,
+    category: SiteCategory,
+) -> Result<Prepared, CampaignError> {
+    prepare_with(workload, InstrumentOptions::new(category))
+}
+
+/// Instrument with explicit options (used by the mask-awareness ablation).
+pub fn prepare_with(
+    workload: &dyn Workload,
+    opts: InstrumentOptions,
+) -> Result<Prepared, CampaignError> {
+    let mut module = workload.module().clone();
+    let Instrumented { sites } = instrument_module(&mut module, workload.entry(), opts)
+        .map_err(CampaignError)?;
+    Ok(Prepared {
+        module,
+        entry: workload.entry().to_string(),
+        sites,
+        category: opts.category,
+    })
+}
+
+/// Hang-budget multiplier over the golden run's dynamic instruction count.
+const HANG_FACTOR: u64 = 10;
+const HANG_SLACK: u64 = 100_000;
+
+/// Run one fault-injection experiment.
+pub fn run_experiment(
+    prog: &Prepared,
+    workload: &dyn Workload,
+    rng: &mut ChaCha8Rng,
+) -> Result<Experiment, CampaignError> {
+    let input = rng.gen_range(0..workload.num_inputs().max(1));
+
+    // --- Golden run -------------------------------------------------------
+    let mut interp = Interp::new(&prog.module);
+    let setup = workload
+        .setup(&mut interp.mem, input)
+        .map_err(|t| CampaignError(format!("setup failed: {t}")))?;
+    let mut golden_host = VulfiHost::profile();
+    let golden = interp
+        .run(&prog.entry, &setup.args, &mut golden_host)
+        .map_err(|t| CampaignError(format!("golden run of {} trapped: {t}", workload.name())))?;
+    let golden_out = snapshot_outputs(&interp.mem, &setup.outputs, &golden.ret)
+        .map_err(|t| CampaignError(format!("golden snapshot failed: {t}")))?;
+    let n_sites = golden_host.dynamic_sites;
+
+    if n_sites == 0 {
+        // Nothing to inject into under this category for this input.
+        return Ok(Experiment {
+            outcome: Outcome::Benign,
+            detected: false,
+            injection: None,
+            input,
+            dynamic_sites: 0,
+            golden_dyn_insts: golden.dyn_insts,
+        });
+    }
+
+    // --- Faulty run -------------------------------------------------------
+    let target = rng.gen_range(1..=n_sites);
+    let bit_entropy: u64 = rng.gen();
+    let mut interp = Interp::new(&prog.module);
+    interp.set_budget(golden.dyn_insts * HANG_FACTOR + HANG_SLACK);
+    let setup2 = workload
+        .setup(&mut interp.mem, input)
+        .map_err(|t| CampaignError(format!("setup failed: {t}")))?;
+    let mut host = VulfiHost::inject(target, bit_entropy);
+    let result = interp.run(&prog.entry, &setup2.args, &mut host);
+
+    let (outcome, detected) = match result {
+        Err(Trap::HostError(m)) => return Err(CampaignError(format!("runtime bug: {m}"))),
+        Err(_) => (Outcome::Crash, host.detectors.detected()),
+        Ok(r) => {
+            let out = snapshot_outputs(&interp.mem, &setup2.outputs, &r.ret)
+                .map_err(|t| CampaignError(format!("faulty snapshot failed: {t}")))?;
+            if out == golden_out {
+                (Outcome::Benign, host.detectors.detected())
+            } else {
+                (Outcome::Sdc, host.detectors.detected())
+            }
+        }
+    };
+    Ok(Experiment {
+        outcome,
+        detected,
+        injection: host.injection,
+        input,
+        dynamic_sites: n_sites,
+        golden_dyn_insts: golden.dyn_insts,
+    })
+}
+
+/// Aggregate outcome counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct OutcomeCounts {
+    pub sdc: u64,
+    pub benign: u64,
+    pub crash: u64,
+    /// SDC experiments flagged by a detector.
+    pub sdc_detected: u64,
+    /// All experiments flagged by a detector.
+    pub detected: u64,
+}
+
+impl OutcomeCounts {
+    pub fn total(&self) -> u64 {
+        self.sdc + self.benign + self.crash
+    }
+
+    pub fn add(&mut self, e: &Experiment) {
+        match e.outcome {
+            Outcome::Sdc => self.sdc += 1,
+            Outcome::Benign => self.benign += 1,
+            Outcome::Crash => self.crash += 1,
+        }
+        if e.detected {
+            self.detected += 1;
+            if e.outcome == Outcome::Sdc {
+                self.sdc_detected += 1;
+            }
+        }
+    }
+
+    pub fn merge(&mut self, other: &OutcomeCounts) {
+        self.sdc += other.sdc;
+        self.benign += other.benign;
+        self.crash += other.crash;
+        self.sdc_detected += other.sdc_detected;
+        self.detected += other.detected;
+    }
+
+    pub fn sdc_rate(&self) -> f64 {
+        percent(self.sdc, self.total())
+    }
+
+    pub fn benign_rate(&self) -> f64 {
+        percent(self.benign, self.total())
+    }
+
+    pub fn crash_rate(&self) -> f64 {
+        percent(self.crash, self.total())
+    }
+
+    /// Fraction of SDC experiments the detector flagged (paper Fig. 12's
+    /// "SDC detection rate").
+    pub fn sdc_detection_rate(&self) -> f64 {
+        percent(self.sdc_detected, self.sdc)
+    }
+}
+
+fn percent(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        100.0 * num as f64 / den as f64
+    }
+}
+
+/// One campaign: `n` independent experiments (paper: 100).
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    pub counts: OutcomeCounts,
+    pub experiments: Vec<Experiment>,
+}
+
+impl CampaignResult {
+    pub fn sdc_rate(&self) -> f64 {
+        self.counts.sdc_rate()
+    }
+}
+
+/// Run one campaign of `n` experiments in parallel. `seed` makes the
+/// campaign reproducible.
+pub fn run_campaign(
+    prog: &Prepared,
+    workload: &dyn Workload,
+    n: usize,
+    seed: u64,
+) -> Result<CampaignResult, CampaignError> {
+    let experiments: Result<Vec<Experiment>, CampaignError> = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let mut rng = ChaCha8Rng::seed_from_u64(
+                seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i as u64),
+            );
+            run_experiment(prog, workload, &mut rng)
+        })
+        .collect();
+    let experiments = experiments?;
+    let mut counts = OutcomeCounts::default();
+    for e in &experiments {
+        counts.add(e);
+    }
+    Ok(CampaignResult {
+        counts,
+        experiments,
+    })
+}
+
+/// Study configuration (defaults follow the paper's §IV-D setup).
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
+pub struct StudyConfig {
+    /// Experiments per campaign (paper: 100).
+    pub experiments_per_campaign: usize,
+    /// Stop when the 95% margin of error is within this many percentage
+    /// points (paper: 3.0).
+    pub target_margin: f64,
+    /// Minimum campaigns before testing convergence.
+    pub min_campaigns: usize,
+    /// Hard cap on campaigns (paper observed 20 suffice).
+    pub max_campaigns: usize,
+    pub seed: u64,
+}
+
+impl Default for StudyConfig {
+    fn default() -> StudyConfig {
+        StudyConfig {
+            experiments_per_campaign: 100,
+            target_margin: 3.0,
+            min_campaigns: 4,
+            max_campaigns: 20,
+            seed: 0xDEAD_BEEF,
+        }
+    }
+}
+
+/// A completed study for one (workload, category) cell.
+#[derive(Debug, Clone)]
+pub struct StudyResult {
+    pub category: SiteCategory,
+    /// Per-campaign SDC rates (the statistical samples).
+    pub samples: Vec<f64>,
+    pub summary: StudySummary,
+    pub counts: OutcomeCounts,
+    pub converged: bool,
+}
+
+/// Run campaigns until the stopping rule fires (or `max_campaigns`).
+pub fn run_study(
+    prog: &Prepared,
+    workload: &dyn Workload,
+    cfg: &StudyConfig,
+) -> Result<StudyResult, CampaignError> {
+    let mut samples = Vec::new();
+    let mut counts = OutcomeCounts::default();
+    let mut converged = false;
+    for c in 0..cfg.max_campaigns {
+        let campaign = run_campaign(
+            prog,
+            workload,
+            cfg.experiments_per_campaign,
+            cfg.seed.wrapping_add((c as u64) << 32),
+        )?;
+        samples.push(campaign.sdc_rate());
+        counts.merge(&campaign.counts);
+        if study_converged(&samples, cfg.target_margin, cfg.min_campaigns) {
+            converged = true;
+            break;
+        }
+    }
+    Ok(StudyResult {
+        category: prog.category,
+        summary: StudySummary::from_samples(&samples),
+        samples,
+        counts,
+        converged,
+    })
+}
+
+/// Measure the dynamic instruction count of a golden run (used for Table I
+/// and for detector-overhead measurements).
+pub fn measure_dyn_insts(
+    module: &Module,
+    entry: &str,
+    workload: &dyn Workload,
+    input: u64,
+) -> Result<u64, CampaignError> {
+    let mut interp = Interp::new(module);
+    let setup = workload
+        .setup(&mut interp.mem, input)
+        .map_err(|t| CampaignError(format!("setup failed: {t}")))?;
+    let mut host = VulfiHost::profile();
+    let r = interp
+        .run(entry, &setup.args, &mut host)
+        .map_err(|t| CampaignError(format!("golden run trapped: {t}")))?;
+    Ok(r.dyn_insts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vexec::{Memory, RtVal, Scalar};
+    use crate::workload::{OutputRegion, SetupResult};
+
+    /// A tiny but real workload: scale an array in-place.
+    struct ScaleWorkload {
+        module: Module,
+    }
+
+    impl ScaleWorkload {
+        fn new() -> ScaleWorkload {
+            let src = r#"
+define void @scale(ptr %a, i32 %n) {
+entry:
+  br label %header
+header:
+  %i = phi i32 [ 0, %entry ], [ %i2, %body ]
+  %cond = icmp slt i32 %i, %n
+  br i1 %cond, label %body, label %exit
+body:
+  %p = getelementptr float, ptr %a, i32 %i
+  %v = load float, ptr %p
+  %d = fmul float %v, 2.0
+  store float %d, ptr %p
+  %i2 = add i32 %i, 1
+  br label %header
+exit:
+  ret void
+}
+"#;
+            ScaleWorkload {
+                module: vir::parser::parse_module(src).unwrap(),
+            }
+        }
+    }
+
+    impl Workload for ScaleWorkload {
+        fn name(&self) -> &str {
+            "scale"
+        }
+        fn entry(&self) -> &str {
+            "scale"
+        }
+        fn module(&self) -> &Module {
+            &self.module
+        }
+        fn num_inputs(&self) -> u64 {
+            3
+        }
+        fn setup(&self, mem: &mut Memory, input: u64) -> Result<SetupResult, vexec::Trap> {
+            let n = 8 + input * 4;
+            let vals: Vec<f32> = (0..n).map(|i| (i as f32) + input as f32).collect();
+            let a = mem.alloc_f32_slice(&vals)?;
+            Ok(SetupResult {
+                args: vec![
+                    RtVal::Scalar(Scalar::ptr(a)),
+                    RtVal::Scalar(Scalar::i32(n as i32)),
+                ],
+                outputs: vec![OutputRegion {
+                    addr: a,
+                    bytes: n * 4,
+                }],
+            })
+        }
+    }
+
+    #[test]
+    fn experiments_are_reproducible() {
+        let w = ScaleWorkload::new();
+        let prog = prepare(&w, SiteCategory::PureData).unwrap();
+        let run = |seed: u64| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            run_experiment(&prog, &w, &mut rng).unwrap()
+        };
+        let a = run(42);
+        let b = run(42);
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(a.injection, b.injection);
+        assert!(a.dynamic_sites > 0);
+    }
+
+    #[test]
+    fn pure_data_faults_never_crash_scale() {
+        // Pure-data sites in @scale are the loaded/multiplied values; bit
+        // flips there corrupt data but cannot redirect control or
+        // addresses.
+        let w = ScaleWorkload::new();
+        let prog = prepare(&w, SiteCategory::PureData).unwrap();
+        let c = run_campaign(&prog, &w, 40, 7).unwrap();
+        assert_eq!(c.counts.crash, 0, "{:?}", c.counts);
+        assert!(c.counts.sdc > 0, "flipped data must show up as SDC");
+    }
+
+    #[test]
+    fn address_faults_crash_sometimes() {
+        let w = ScaleWorkload::new();
+        let prog = prepare(&w, SiteCategory::Address).unwrap();
+        let c = run_campaign(&prog, &w, 60, 11).unwrap();
+        assert!(
+            c.counts.crash > 0,
+            "address-category flips should produce crashes: {:?}",
+            c.counts
+        );
+    }
+
+    #[test]
+    fn control_faults_can_hang_and_are_classified_crash() {
+        let w = ScaleWorkload::new();
+        let prog = prepare(&w, SiteCategory::Control).unwrap();
+        let c = run_campaign(&prog, &w, 60, 13).unwrap();
+        // Control flips hit %i/%i2/%cond: early exit (SDC), runaway loop
+        // (crash via hang budget or OOB), or benign.
+        assert!(c.counts.total() == 60);
+        assert!(c.counts.sdc + c.counts.crash > 0, "{:?}", c.counts);
+    }
+
+    #[test]
+    fn campaign_outcome_counts_sum() {
+        let w = ScaleWorkload::new();
+        let prog = prepare(&w, SiteCategory::PureData).unwrap();
+        let c = run_campaign(&prog, &w, 25, 3).unwrap();
+        assert_eq!(c.counts.total(), 25);
+        assert_eq!(c.experiments.len(), 25);
+        let rate = c.sdc_rate();
+        assert!((0.0..=100.0).contains(&rate));
+    }
+
+    #[test]
+    fn study_converges_on_stable_workload() {
+        let w = ScaleWorkload::new();
+        let prog = prepare(&w, SiteCategory::PureData).unwrap();
+        let cfg = StudyConfig {
+            experiments_per_campaign: 30,
+            target_margin: 10.0,
+            min_campaigns: 4,
+            max_campaigns: 10,
+            seed: 5,
+        };
+        let s = run_study(&prog, &w, &cfg).unwrap();
+        assert!(s.samples.len() >= 4);
+        assert_eq!(
+            s.counts.total(),
+            s.samples.len() as u64 * 30,
+        );
+        assert!(s.summary.mean >= 0.0);
+    }
+
+    #[test]
+    fn measure_dyn_insts_deterministic() {
+        let w = ScaleWorkload::new();
+        let a = measure_dyn_insts(w.module(), "scale", &w, 0).unwrap();
+        let b = measure_dyn_insts(w.module(), "scale", &w, 0).unwrap();
+        assert_eq!(a, b);
+        let c = measure_dyn_insts(w.module(), "scale", &w, 2).unwrap();
+        assert!(c > a, "bigger input → more dynamic instructions");
+    }
+}

@@ -1,0 +1,167 @@
+//! Serializable experiment reports.
+//!
+//! Campaign and study results flattened into plain-old-data structures for
+//! JSON export, so EXPERIMENTS.md-style records and external analysis
+//! scripts can consume harness output without re-running anything.
+
+use serde::{Deserialize, Serialize};
+use vir::analysis::SiteCategory;
+
+use crate::campaign::{OutcomeCounts, StudyResult};
+use crate::stats::StudySummary;
+
+/// One (benchmark × ISA × category) study cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StudyReport {
+    pub benchmark: String,
+    /// ISA label ("AVX" / "SSE").
+    pub target: String,
+    pub category: SiteCategory,
+    pub counts: OutcomeCounts,
+    pub summary: StudySummary,
+    /// Per-campaign SDC-rate samples.
+    pub samples: Vec<f64>,
+    pub converged: bool,
+}
+
+impl StudyReport {
+    pub fn new(benchmark: &str, target: &str, study: &StudyResult) -> StudyReport {
+        StudyReport {
+            benchmark: benchmark.to_string(),
+            target: target.to_string(),
+            category: study.category,
+            counts: study.counts,
+            summary: study.summary,
+            samples: study.samples.clone(),
+            converged: study.converged,
+        }
+    }
+
+    pub fn sdc_rate(&self) -> f64 {
+        self.counts.sdc_rate()
+    }
+}
+
+/// A whole evaluation run: many cells plus the configuration used.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct SuiteReport {
+    /// Free-form description of the run (scale, seed, protocol).
+    pub config: String,
+    pub cells: Vec<StudyReport>,
+}
+
+impl SuiteReport {
+    pub fn new(config: impl Into<String>) -> SuiteReport {
+        SuiteReport {
+            config: config.into(),
+            cells: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, cell: StudyReport) {
+        self.cells.push(cell);
+    }
+
+    /// Average SDC rate per benchmark, sorted descending — the Fig. 11
+    /// ranking the paper narrates.
+    pub fn sdc_ranking(&self) -> Vec<(String, f64)> {
+        let mut by_bench: std::collections::BTreeMap<String, (f64, u32)> = Default::default();
+        for c in &self.cells {
+            let e = by_bench.entry(c.benchmark.clone()).or_insert((0.0, 0));
+            e.0 += c.sdc_rate();
+            e.1 += 1;
+        }
+        let mut out: Vec<(String, f64)> = by_bench
+            .into_iter()
+            .map(|(n, (s, k))| (n, s / k.max(1) as f64))
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        out
+    }
+
+    /// Average crash rate per category — the paper's "address crashes most"
+    /// observation.
+    pub fn crash_by_category(&self) -> Vec<(SiteCategory, f64)> {
+        SiteCategory::ALL
+            .iter()
+            .map(|&cat| {
+                let cells: Vec<&StudyReport> =
+                    self.cells.iter().filter(|c| c.category == cat).collect();
+                let avg = if cells.is_empty() {
+                    0.0
+                } else {
+                    cells.iter().map(|c| c.counts.crash_rate()).sum::<f64>()
+                        / cells.len() as f64
+                };
+                (cat, avg)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(bench: &str, cat: SiteCategory, sdc: u64, crash: u64) -> StudyReport {
+        let counts = OutcomeCounts {
+            sdc,
+            benign: 100 - sdc - crash,
+            crash,
+            sdc_detected: 0,
+            detected: 0,
+        };
+        StudyReport {
+            benchmark: bench.to_string(),
+            target: "AVX".to_string(),
+            category: cat,
+            counts,
+            summary: StudySummary {
+                mean: counts.sdc_rate(),
+                std_dev: 1.0,
+                margin_95: 2.0,
+                campaigns: 4,
+            },
+            samples: vec![counts.sdc_rate(); 4],
+            converged: true,
+        }
+    }
+
+    #[test]
+    fn ranking_orders_by_average_sdc() {
+        let mut r = SuiteReport::new("test");
+        r.push(cell("Hot", SiteCategory::PureData, 90, 0));
+        r.push(cell("Hot", SiteCategory::Control, 70, 10));
+        r.push(cell("Cold", SiteCategory::PureData, 10, 0));
+        r.push(cell("Cold", SiteCategory::Control, 20, 10));
+        let ranking = r.sdc_ranking();
+        assert_eq!(ranking[0].0, "Hot");
+        assert_eq!(ranking[1].0, "Cold");
+        assert!((ranking[0].1 - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crash_by_category_averages() {
+        let mut r = SuiteReport::new("test");
+        r.push(cell("A", SiteCategory::Address, 10, 60));
+        r.push(cell("B", SiteCategory::Address, 10, 80));
+        r.push(cell("A", SiteCategory::PureData, 50, 0));
+        let by_cat = r.crash_by_category();
+        let addr = by_cat
+            .iter()
+            .find(|(c, _)| *c == SiteCategory::Address)
+            .unwrap()
+            .1;
+        assert!((addr - 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut r = SuiteReport::new("seed=7, 50x10");
+        r.push(cell("A", SiteCategory::Control, 42, 13));
+        let text = serde_json::to_string_pretty(&r).unwrap();
+        let back: SuiteReport = serde_json::from_str(&text).unwrap();
+        assert_eq!(r, back);
+        assert!(text.contains("\"Control\""));
+    }
+}

@@ -1,0 +1,399 @@
+//! Fault-site enumeration and classification (paper §II-B, §II-C).
+//!
+//! A *static fault site* is an instruction Lvalue (or a store's value
+//! operand — stores have no Lvalue) of integer, float, or pointer type. A
+//! vector Lvalue contributes one scalar fault site per lane. Each static
+//! site is classified by the forward slice of its register into the
+//! pure-data / control / address categories, and masked vector operations
+//! record where their execution mask comes from so that instrumentation
+//! can skip inactive lanes.
+
+use vir::analysis::{SiteCategory, SiteFlags, SliceAnalysis};
+use vir::intrinsics::{self, Intrinsic};
+use vir::{Function, InstId, InstKind, Operand, ScalarTy, Type};
+
+/// What part of the instruction is the fault target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteKind {
+    /// The instruction's result register.
+    Lvalue,
+    /// The value operand of a `store` (instrumented *prior to* the store,
+    /// paper §II-B) — `operand_index` identifies it for masked intrinsics.
+    StoreValue { operand_index: usize },
+}
+
+/// Where the execution mask of a masked vector operation lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaskSource {
+    /// Index of the mask argument in the call.
+    pub arg_index: usize,
+}
+
+/// One static fault site.
+#[derive(Debug, Clone)]
+pub struct StaticSite {
+    /// Dense id; doubles as the site identifier passed to the runtime.
+    pub id: u32,
+    pub inst: InstId,
+    pub kind: SiteKind,
+    /// Value type at the site (vector type → one fault site per lane).
+    pub ty: Type,
+    /// Slice-derived category evidence.
+    pub flags: SiteFlags,
+    /// Execution-mask source for masked vector intrinsics.
+    pub mask: Option<MaskSource>,
+    /// Vector instruction per the paper's §II-A definition.
+    pub is_vector_inst: bool,
+}
+
+impl StaticSite {
+    /// Number of scalar fault sites this static site contributes.
+    pub fn lanes(&self) -> u32 {
+        self.ty.lanes()
+    }
+
+    pub fn elem(&self) -> ScalarTy {
+        self.ty.elem().expect("site with void type")
+    }
+
+    pub fn in_category(&self, cat: SiteCategory) -> bool {
+        cat.matches(self.flags)
+    }
+}
+
+/// Should this call's Lvalue/operands be exempt from fault injection?
+/// VULFI's own runtime API and the detector runtime are infrastructure,
+/// not program state.
+pub fn is_infrastructure_call(name: &str) -> bool {
+    name.starts_with("vulfi.")
+}
+
+/// Enumerate every static fault site of `f`, in layout order.
+pub fn enumerate_sites(f: &Function) -> Vec<StaticSite> {
+    let mut sa = SliceAnalysis::new(f);
+    let mut out = Vec::new();
+    let mut next_id = 0u32;
+    for (_, iid) in f.placed_insts() {
+        let inst = f.inst(iid);
+        let is_vector_inst = f.inst_is_vector(iid);
+
+        // Calls need special handling: masked intrinsics expose masks;
+        // infrastructure calls are skipped entirely.
+        let mut mask = None;
+        let mut store_value: Option<usize> = None;
+        if let InstKind::Call { callee, args } = &inst.kind {
+            if is_infrastructure_call(callee) {
+                continue;
+            }
+            if let Some(intr) = intrinsics::parse(callee) {
+                if let Some(m) = intr.mask_arg() {
+                    mask = Some(MaskSource { arg_index: m });
+                }
+                if let Intrinsic::MaskStore { .. } = intr {
+                    store_value = intr.store_value_arg();
+                }
+            }
+            let _ = args;
+        }
+
+        // Store-like: the value operand is the site.
+        let store_val_op: Option<(usize, Operand)> = match &inst.kind {
+            InstKind::Store { val, .. } => Some((0, val.clone())),
+            InstKind::Call { args, .. } => {
+                store_value.map(|ix| (ix, args[ix].clone()))
+            }
+            _ => None,
+        };
+        if let Some((ix, val)) = store_val_op {
+            let ty = f.operand_type(&val);
+            if !ty.is_void() {
+                // The register being stored carries its defining value's
+                // forward-slice classification; constants are pure data.
+                let flags = match val.value() {
+                    Some(v) => sa.classify(v),
+                    None => SiteFlags::default(),
+                };
+                out.push(StaticSite {
+                    id: next_id,
+                    inst: iid,
+                    kind: SiteKind::StoreValue { operand_index: ix },
+                    ty,
+                    flags,
+                    mask,
+                    is_vector_inst,
+                });
+                next_id += 1;
+            }
+            continue;
+        }
+
+        // Ordinary Lvalue sites.
+        let Some(result) = inst.result else { continue };
+        if inst.ty.is_void() {
+            continue;
+        }
+        let flags = sa.classify(result);
+        out.push(StaticSite {
+            id: next_id,
+            inst: iid,
+            kind: SiteKind::Lvalue,
+            ty: inst.ty,
+            flags,
+            mask,
+            is_vector_inst,
+        });
+        next_id += 1;
+    }
+    out
+}
+
+/// Enumerate *source-operand* fault sites: one site per value operand of
+/// every instruction. This is the ablation counterpart of the paper's
+/// Lvalue fault model (§II-B argues Lvalue targeting subsumes operand and
+/// unit faults; `enumerate_operand_sites` lets the study check that claim
+/// empirically). Phi operands and terminator operands are excluded (no
+/// legal splice point), as are masked execution-mask arguments' lane
+/// semantics — operand-mode chains always run with a constant-true mask.
+pub fn enumerate_operand_sites(f: &Function) -> Vec<StaticSite> {
+    let mut sa = SliceAnalysis::new(f);
+    let mut out = Vec::new();
+    let mut next_id = 0u32;
+    for (_, iid) in f.placed_insts() {
+        let inst = f.inst(iid);
+        if inst.is_phi() {
+            continue;
+        }
+        if let InstKind::Call { callee, .. } = &inst.kind {
+            if is_infrastructure_call(callee) {
+                continue;
+            }
+        }
+        let is_vector_inst = f.inst_is_vector(iid);
+        for (ix, op) in inst.operands().iter().enumerate() {
+            let ty = f.operand_type(op);
+            if ty.is_void() {
+                continue;
+            }
+            let flags = match op.value() {
+                Some(v) => sa.classify(v),
+                None => SiteFlags::default(),
+            };
+            out.push(StaticSite {
+                id: next_id,
+                inst: iid,
+                kind: SiteKind::StoreValue { operand_index: ix },
+                ty,
+                flags,
+                mask: None,
+                is_vector_inst,
+            });
+            next_id += 1;
+        }
+    }
+    out
+}
+
+/// Static-composition summary used to regenerate the paper's Fig. 10: per
+/// category, how many candidate instructions are vector vs scalar.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CategoryMix {
+    pub vector: u64,
+    pub scalar: u64,
+}
+
+impl CategoryMix {
+    pub fn total(&self) -> u64 {
+        self.vector + self.scalar
+    }
+
+    /// Percentage of vector instructions (0..=100).
+    pub fn vector_pct(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            100.0 * self.vector as f64 / self.total() as f64
+        }
+    }
+}
+
+/// Compute the scalar/vector composition of the candidate fault sites per
+/// category (Fig. 10's metric).
+pub fn category_mix(sites: &[StaticSite]) -> [(SiteCategory, CategoryMix); 3] {
+    let mut out = [
+        (SiteCategory::PureData, CategoryMix::default()),
+        (SiteCategory::Control, CategoryMix::default()),
+        (SiteCategory::Address, CategoryMix::default()),
+    ];
+    for s in sites {
+        for (cat, mix) in out.iter_mut() {
+            if s.in_category(*cat) {
+                if s.is_vector_inst {
+                    mix.vector += 1;
+                } else {
+                    mix.scalar += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vir::builder::FuncBuilder;
+    use vir::{Constant, ICmpPred, Type};
+
+    /// foo() from paper Fig. 3 (loop over a[], multiply by s).
+    fn fig3() -> Function {
+        let mut b = FuncBuilder::new(
+            "foo",
+            vec![
+                ("a".into(), Type::PTR),
+                ("n".into(), Type::I32),
+                ("x".into(), Type::I32),
+            ],
+            Type::Void,
+        );
+        let entry = b.add_block("entry");
+        let header = b.add_block("header");
+        let body = b.add_block("body");
+        let exit = b.add_block("exit");
+        b.position_at(entry);
+        b.br(header);
+        b.position_at(header);
+        let i = b.phi(Type::I32, "i");
+        let s = b.phi(Type::I32, "s");
+        let cond = b.icmp(ICmpPred::Slt, i.clone(), b.param(1), "cond");
+        b.cond_br(cond, body, exit);
+        b.position_at(body);
+        let p = b.gep(Type::I32, b.param(0), i.clone(), "p");
+        let av = b.load(Type::I32, p.clone(), "av");
+        let prod = b.bin(vir::BinOp::Mul, av, s.clone(), "prod");
+        b.store(prod, p);
+        let s2 = b.bin(vir::BinOp::Add, s.clone(), i.clone(), "s2");
+        let i2 = b.bin(vir::BinOp::Add, i.clone(), Constant::i32(1).into(), "i2");
+        b.br(header);
+        b.add_incoming(&i, entry, Constant::i32(0).into());
+        b.add_incoming(&i, body, i2);
+        b.add_incoming(&s, entry, b.param(2));
+        b.add_incoming(&s, body, s2);
+        b.position_at(exit);
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn enumerates_lvalues_and_store_value() {
+        let f = fig3();
+        let sites = enumerate_sites(&f);
+        // i, s, cond, p, av, prod, store-value, s2, i2 = 9 sites.
+        assert_eq!(sites.len(), 9);
+        let store_sites: Vec<_> = sites
+            .iter()
+            .filter(|s| matches!(s.kind, SiteKind::StoreValue { .. }))
+            .collect();
+        assert_eq!(store_sites.len(), 1);
+        // Site ids are dense and ordered.
+        for (k, s) in sites.iter().enumerate() {
+            assert_eq!(s.id as usize, k);
+        }
+    }
+
+    #[test]
+    fn classification_matches_paper_example() {
+        let f = fig3();
+        let sites = enumerate_sites(&f);
+        let by_name = |name: &str| -> &StaticSite {
+            sites
+                .iter()
+                .find(|s| {
+                    f.inst(s.inst)
+                        .result
+                        .is_some_and(|r| f.value(r).name.as_deref() == Some(name))
+                })
+                .unwrap()
+        };
+        let i = by_name("i");
+        assert!(i.in_category(SiteCategory::Control));
+        assert!(i.in_category(SiteCategory::Address));
+        assert!(!i.in_category(SiteCategory::PureData));
+        let s = by_name("s");
+        assert!(s.in_category(SiteCategory::PureData));
+        // The pointer register itself is an address site.
+        let p = by_name("p");
+        assert!(p.in_category(SiteCategory::Address));
+    }
+
+    #[test]
+    fn masked_intrinsics_record_mask_source() {
+        let src = r#"
+declare <8 x float> @llvm.x86.avx.maskload.ps.256(ptr, <8 x float>)
+declare void @llvm.x86.avx.maskstore.ps.256(ptr, <8 x float>, <8 x float>)
+
+define void @copy(ptr %s, ptr %d, <8 x float> %m) {
+entry:
+  %v = call <8 x float> @llvm.x86.avx.maskload.ps.256(ptr %s, <8 x float> %m)
+  call void @llvm.x86.avx.maskstore.ps.256(ptr %d, <8 x float> %m, <8 x float> %v)
+  ret void
+}
+"#;
+        let m = vir::parser::parse_module(src).unwrap();
+        let f = m.function("copy").unwrap();
+        let sites = enumerate_sites(f);
+        assert_eq!(sites.len(), 2);
+        let load_site = &sites[0];
+        assert_eq!(load_site.kind, SiteKind::Lvalue);
+        assert_eq!(load_site.mask, Some(MaskSource { arg_index: 1 }));
+        assert_eq!(load_site.lanes(), 8);
+        let store_site = &sites[1];
+        assert!(matches!(store_site.kind, SiteKind::StoreValue { operand_index: 2 }));
+        assert_eq!(store_site.mask, Some(MaskSource { arg_index: 1 }));
+    }
+
+    #[test]
+    fn vulfi_runtime_calls_are_not_sites() {
+        let src = r#"
+declare float @vulfi.inject.f32(float, ...)
+
+define float @k(float %x) {
+entry:
+  %y = call float @vulfi.inject.f32(float %x, i1 true, i64 0, i32 0)
+  ret float %y
+}
+"#;
+        let m = vir::parser::parse_module(src).unwrap();
+        let sites = enumerate_sites(m.function("k").unwrap());
+        assert!(sites.is_empty());
+    }
+
+    #[test]
+    fn vector_lane_counts() {
+        let src = r#"
+define <4 x i32> @v(<4 x i32> %a) {
+entry:
+  %b = add <4 x i32> %a, %a
+  ret <4 x i32> %b
+}
+"#;
+        let m = vir::parser::parse_module(src).unwrap();
+        let sites = enumerate_sites(m.function("v").unwrap());
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].lanes(), 4);
+        assert!(sites[0].is_vector_inst);
+    }
+
+    #[test]
+    fn category_mix_counts_vector_vs_scalar() {
+        let f = fig3();
+        let sites = enumerate_sites(&f);
+        let mix = category_mix(&sites);
+        // fig3 is all-scalar.
+        for (_, m) in mix {
+            assert_eq!(m.vector, 0);
+        }
+        let (_, pd) = mix[0];
+        assert!(pd.scalar > 0);
+        assert_eq!(pd.vector_pct(), 0.0);
+    }
+}

@@ -1,0 +1,202 @@
+//! Statistics for fault-injection studies (paper §IV-D).
+//!
+//! The paper treats each 100-experiment campaign's SDC rate as one random
+//! sample and repeats campaigns until (1) the sample distribution is normal
+//! or near-normal and (2) the 95%-confidence margin of error falls within
+//! ±3 percentage points, computed with "the standard t-value based formula
+//! where the sample size and the standard error of the sample distribution
+//! is known". This module implements exactly that machinery.
+
+/// Sample mean.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample standard deviation (n-1 denominator).
+pub fn sample_std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Standard error of the mean.
+pub fn standard_error(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    sample_std_dev(xs) / (xs.len() as f64).sqrt()
+}
+
+/// Two-sided 95% critical t-values by degrees of freedom (standard table,
+/// Weiss, *Elementary Statistics*). Values beyond df=30 step through the
+/// usual table rows and converge to z = 1.96.
+pub fn t_critical_95(df: usize) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    ];
+    match df {
+        0 => f64::INFINITY,
+        d if d <= 30 => TABLE[d - 1],
+        d if d <= 40 => 2.021,
+        d if d <= 60 => 2.000,
+        d if d <= 120 => 1.980,
+        _ => 1.960,
+    }
+}
+
+/// 95% margin of error of the sample mean: `t * SE`.
+pub fn margin_of_error_95(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return f64::INFINITY;
+    }
+    t_critical_95(xs.len() - 1) * standard_error(xs)
+}
+
+/// Sample skewness (g1, biased estimator). Near 0 for symmetric samples.
+pub fn skewness(xs: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    if xs.len() < 3 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let m2 = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / n;
+    let m3 = xs.iter().map(|x| (x - m).powi(3)).sum::<f64>() / n;
+    if m2 == 0.0 {
+        0.0
+    } else {
+        m3 / m2.powf(1.5)
+    }
+}
+
+/// Excess kurtosis (g2, biased estimator). Near 0 for normal samples.
+pub fn excess_kurtosis(xs: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    if xs.len() < 4 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let m2 = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / n;
+    let m4 = xs.iter().map(|x| (x - m).powi(4)).sum::<f64>() / n;
+    if m2 == 0.0 {
+        0.0
+    } else {
+        m4 / (m2 * m2) - 3.0
+    }
+}
+
+/// Moment-based near-normality screen: loose bounds on skewness and excess
+/// kurtosis, the standard quick check for "normal or near normal"
+/// campaign-rate distributions. Degenerate (zero-variance) samples pass —
+/// a constant SDC rate has a trivially tight confidence interval.
+pub fn looks_normal(xs: &[f64]) -> bool {
+    if xs.len() < 4 {
+        return false;
+    }
+    if sample_std_dev(xs) == 0.0 {
+        return true;
+    }
+    skewness(xs).abs() < 2.0 && excess_kurtosis(xs).abs() < 4.0
+}
+
+/// The stopping rule of paper §IV-D: enough campaigns that the sample looks
+/// normal and the 95% margin of error is within `target_margin`.
+pub fn study_converged(samples: &[f64], target_margin: f64, min_campaigns: usize) -> bool {
+    samples.len() >= min_campaigns
+        && looks_normal(samples)
+        && margin_of_error_95(samples) <= target_margin
+}
+
+/// Summary statistics of a finished study.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct StudySummary {
+    pub mean: f64,
+    pub std_dev: f64,
+    pub margin_95: f64,
+    pub campaigns: usize,
+}
+
+impl StudySummary {
+    pub fn from_samples(xs: &[f64]) -> StudySummary {
+        StudySummary {
+            mean: mean(xs),
+            std_dev: sample_std_dev(xs),
+            margin_95: margin_of_error_95(xs),
+            campaigns: xs.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        // Sample std dev with n-1 = 2.138...
+        assert!((sample_std_dev(&xs) - 2.13809).abs() < 1e-4);
+    }
+
+    #[test]
+    fn t_table_spot_checks() {
+        assert!((t_critical_95(1) - 12.706).abs() < 1e-9);
+        assert!((t_critical_95(19) - 2.093).abs() < 1e-9); // 20 campaigns
+        assert!((t_critical_95(30) - 2.042).abs() < 1e-9);
+        assert!((t_critical_95(1000) - 1.96).abs() < 1e-9);
+        assert!(t_critical_95(0).is_infinite());
+    }
+
+    #[test]
+    fn margin_shrinks_with_more_samples() {
+        let tight: Vec<f64> = (0..20).map(|i| 30.0 + (i % 3) as f64).collect();
+        let loose: Vec<f64> = (0..5).map(|i| 30.0 + (i % 3) as f64 * 8.0).collect();
+        assert!(margin_of_error_95(&tight) < margin_of_error_95(&loose));
+        assert!(margin_of_error_95(&[1.0]).is_infinite());
+    }
+
+    #[test]
+    fn paper_stopping_rule() {
+        // 20 campaigns with small spread: converged at ±3 pp.
+        let xs: Vec<f64> = (0..20).map(|i| 40.0 + ((i * 7) % 5) as f64).collect();
+        assert!(study_converged(&xs, 3.0, 4));
+        // 3 campaigns: never converged (below min).
+        assert!(!study_converged(&xs[..3], 3.0, 4));
+        // Wild spread: not converged.
+        let wild: Vec<f64> = (0..8).map(|i| if i % 2 == 0 { 0.0 } else { 100.0 }).collect();
+        assert!(!study_converged(&wild, 3.0, 4));
+    }
+
+    #[test]
+    fn normality_screen() {
+        let normalish: Vec<f64> = (0..30)
+            .map(|i| {
+                let x = (i as f64 / 29.0) * 2.0 - 1.0;
+                50.0 + 10.0 * x // symmetric → skew ~0
+            })
+            .collect();
+        assert!(looks_normal(&normalish));
+        let constant = vec![42.0; 10];
+        assert!(looks_normal(&constant));
+        let skewed: Vec<f64> = (0..30).map(|i| if i < 29 { 0.0 } else { 1000.0 }).collect();
+        assert!(!looks_normal(&skewed));
+        assert!(!looks_normal(&[1.0, 2.0]));
+    }
+
+    #[test]
+    fn summary_roundtrip() {
+        let xs = [10.0, 12.0, 11.0, 13.0, 9.0, 11.0];
+        let s = StudySummary::from_samples(&xs);
+        assert_eq!(s.campaigns, 6);
+        assert!((s.mean - 11.0).abs() < 1e-9);
+        assert!(s.margin_95 > 0.0);
+    }
+}

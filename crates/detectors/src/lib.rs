@@ -1,0 +1,33 @@
+//! # detectors — compilation-aware soft-error detectors
+//!
+//! The second contribution of the reproduced paper (§III): turning
+//! compiler code-generation invariants into automatically inserted,
+//! low-overhead error detectors.
+//!
+//! - [`foreach_pass`] — the **foreach loop-invariant detector** (paper
+//!   §III-A, Figs. 7-8). Structurally matches every ISPC
+//!   `foreach_full_body` loop and splices a
+//!   `foreach_fullbody_check_invariants` block onto its exit edge,
+//!   checking `new_counter ≥ 0 ∧ new_counter ≤ aligned_end ∧
+//!   new_counter % Vl == 0`.
+//! - [`uniform_pass`] — the **uniform-broadcast checker** (paper §III-B,
+//!   left as future work there; implemented here). Verifies all lanes of a
+//!   broadcast register hold one value.
+//! - [`workload_ext::WithDetectors`] — wraps any `vulfi::Workload` with
+//!   detector-augmented code so campaigns measure detection rates
+//!   (paper §IV-E).
+//!
+//! Pass ordering: detectors first, *then* `vulfi::instrument_module`. The
+//! instrumentation pass redirects every use of a targeted register —
+//! including the detector's arguments — through the injection chain, so
+//! checkers observe exactly what the program computes.
+
+pub mod foreach_pass;
+pub mod uniform_pass;
+pub mod workload_ext;
+
+pub use foreach_pass::{
+    find_foreach_loops, insert_foreach_detectors, CheckPlacement, ForeachLoop, CHECK_FOREACH,
+};
+pub use uniform_pass::{find_broadcasts, insert_uniform_detectors, Broadcast, CHECK_UNIFORM};
+pub use workload_ext::{DetectorConfig, WithDetectors};

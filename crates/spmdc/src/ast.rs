@@ -1,0 +1,367 @@
+//! Abstract syntax tree of SPMD-C.
+//!
+//! SPMD-C is the ISPC subset this reproduction compiles: `uniform`/varying
+//! scalars, array parameters, `foreach` range loops, uniform `for`/`while`,
+//! varying `if` (compiled to masks/selects), math builtins, and masked
+//! cross-lane reductions (`reduce_add`).
+
+/// Element/base types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BaseTy {
+    Bool,
+    Int,
+    Float,
+    Double,
+}
+
+impl BaseTy {
+    pub fn name(self) -> &'static str {
+        match self {
+            BaseTy::Bool => "bool",
+            BaseTy::Int => "int",
+            BaseTy::Float => "float",
+            BaseTy::Double => "double",
+        }
+    }
+
+    pub fn is_numeric(self) -> bool {
+        !matches!(self, BaseTy::Bool)
+    }
+}
+
+/// A scalar SPMD type: base type plus rate (uniform = one value for all
+/// lanes, varying = one value per lane).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct STy {
+    pub base: BaseTy,
+    pub uniform: bool,
+}
+
+impl STy {
+    pub fn uniform(base: BaseTy) -> STy {
+        STy {
+            base,
+            uniform: true,
+        }
+    }
+
+    pub fn varying(base: BaseTy) -> STy {
+        STy {
+            base,
+            uniform: false,
+        }
+    }
+}
+
+impl std::fmt::Display for STy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} {}",
+            if self.uniform { "uniform" } else { "varying" },
+            self.base.name()
+        )
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinKind {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    And,
+    Or,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+}
+
+impl BinKind {
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinKind::Lt | BinKind::Le | BinKind::Gt | BinKind::Ge | BinKind::Eq | BinKind::Ne
+        )
+    }
+
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinKind::And | BinKind::Or)
+    }
+
+    pub fn is_bitwise(self) -> bool {
+        matches!(
+            self,
+            BinKind::BitAnd | BinKind::BitOr | BinKind::BitXor | BinKind::Shl | BinKind::Shr
+        )
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnKind {
+    Neg,
+    Not,
+}
+
+/// Expressions. Each node carries the source line for diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    pub kind: ExprKind,
+    pub line: usize,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    IntLit(i64),
+    FloatLit(f64),
+    BoolLit(bool),
+    Ident(String),
+    Bin(BinKind, Box<Expr>, Box<Expr>),
+    Un(UnKind, Box<Expr>),
+    /// `array[index]`
+    Index(String, Box<Expr>),
+    /// Builtin call (`sqrt`, `reduce_add`, ...).
+    Call(String, Vec<Expr>),
+    /// C-style cast `(float) e` / `(int) e`.
+    Cast(BaseTy, Box<Expr>),
+    /// `cond ? a : b`
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    pub fn new(kind: ExprKind, line: usize) -> Expr {
+        Expr { kind, line }
+    }
+}
+
+/// Assignment targets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    Var(String),
+    Elem(String, Expr),
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    pub kind: StmtKind,
+    pub line: usize,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// `uniform float x = e;` / `float x = e;` (varying by default, like
+    /// ISPC).
+    Decl {
+        ty: STy,
+        name: String,
+        init: Expr,
+    },
+    /// `lv = e;` / `lv += e;` (op is the compound-assignment operator).
+    Assign {
+        target: LValue,
+        op: Option<BinKind>,
+        value: Expr,
+    },
+    If {
+        cond: Expr,
+        then_body: Vec<Stmt>,
+        else_body: Vec<Stmt>,
+    },
+    /// Uniform-condition `while`.
+    While {
+        cond: Expr,
+        body: Vec<Stmt>,
+    },
+    /// C-style `for` with uniform condition.
+    For {
+        init: Option<Box<Stmt>>,
+        cond: Expr,
+        step: Option<Box<Stmt>>,
+        body: Vec<Stmt>,
+    },
+    /// ISPC `foreach (v = start ... end)`.
+    Foreach {
+        var: String,
+        start: Expr,
+        end: Expr,
+        body: Vec<Stmt>,
+    },
+    Return(Option<Expr>),
+    /// Expression evaluated for effect (builtin calls).
+    ExprStmt(Expr),
+}
+
+impl Stmt {
+    pub fn new(kind: StmtKind, line: usize) -> Stmt {
+        Stmt { kind, line }
+    }
+}
+
+/// Function parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamTy {
+    /// `uniform int n` (exported kernels take uniform scalars).
+    Scalar(STy),
+    /// `uniform float a[]` — a pointer to `elem` data shared by all lanes.
+    Array { elem: BaseTy },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    pub name: String,
+    pub ty: ParamTy,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDef {
+    pub name: String,
+    pub params: Vec<Param>,
+    /// `None` for void; otherwise a uniform scalar return.
+    pub ret: Option<STy>,
+    pub body: Vec<Stmt>,
+    pub export: bool,
+    pub line: usize,
+}
+
+/// A parsed translation unit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    pub funcs: Vec<FuncDef>,
+}
+
+/// Collect the names assigned anywhere in `stmts`, excluding names that are
+/// (re)declared within before the assignment — those are loop-local. Used
+/// by the code generator to build loop-header phis.
+pub fn assigned_vars(stmts: &[Stmt]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut declared = Vec::new();
+    collect_assigned(stmts, &mut declared, &mut out);
+    out
+}
+
+fn collect_assigned(stmts: &[Stmt], declared: &mut Vec<String>, out: &mut Vec<String>) {
+    let depth = declared.len();
+    for s in stmts {
+        match &s.kind {
+            StmtKind::Decl { name, .. } => declared.push(name.clone()),
+            StmtKind::Assign { target, .. } => {
+                if let LValue::Var(n) = target {
+                    if !declared.contains(n) && !out.contains(n) {
+                        out.push(n.clone());
+                    }
+                }
+            }
+            StmtKind::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                collect_assigned(then_body, declared, out);
+                collect_assigned(else_body, declared, out);
+            }
+            StmtKind::While { body, .. } => collect_assigned(body, declared, out),
+            StmtKind::For {
+                init, step, body, ..
+            } => {
+                let d2 = declared.len();
+                if let Some(i) = init {
+                    collect_assigned(std::slice::from_ref(i), declared, out);
+                }
+                collect_assigned(body, declared, out);
+                if let Some(st) = step {
+                    collect_assigned(std::slice::from_ref(st), declared, out);
+                }
+                declared.truncate(d2);
+            }
+            StmtKind::Foreach { var, body, .. } => {
+                declared.push(var.clone());
+                collect_assigned(body, declared, out);
+                declared.pop();
+            }
+            StmtKind::Return(_) | StmtKind::ExprStmt(_) => {}
+        }
+    }
+    declared.truncate(depth);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assign(name: &str) -> Stmt {
+        Stmt::new(
+            StmtKind::Assign {
+                target: LValue::Var(name.into()),
+                op: None,
+                value: Expr::new(ExprKind::IntLit(0), 1),
+            },
+            1,
+        )
+    }
+
+    fn decl(name: &str) -> Stmt {
+        Stmt::new(
+            StmtKind::Decl {
+                ty: STy::uniform(BaseTy::Int),
+                name: name.into(),
+                init: Expr::new(ExprKind::IntLit(0), 1),
+            },
+            1,
+        )
+    }
+
+    #[test]
+    fn assigned_vars_skips_locally_declared() {
+        let stmts = vec![decl("local"), assign("local"), assign("outer")];
+        assert_eq!(assigned_vars(&stmts), vec!["outer".to_string()]);
+    }
+
+    #[test]
+    fn assigned_vars_looks_into_nested_control() {
+        let inner = vec![assign("x")];
+        let stmts = vec![Stmt::new(
+            StmtKind::If {
+                cond: Expr::new(ExprKind::BoolLit(true), 1),
+                then_body: inner,
+                else_body: vec![assign("y")],
+            },
+            1,
+        )];
+        let mut vars = assigned_vars(&stmts);
+        vars.sort();
+        assert_eq!(vars, vec!["x".to_string(), "y".to_string()]);
+    }
+
+    #[test]
+    fn foreach_var_not_counted() {
+        let stmts = vec![Stmt::new(
+            StmtKind::Foreach {
+                var: "i".into(),
+                start: Expr::new(ExprKind::IntLit(0), 1),
+                end: Expr::new(ExprKind::IntLit(8), 1),
+                body: vec![assign("i"), assign("acc")],
+            },
+            1,
+        )];
+        assert_eq!(assigned_vars(&stmts), vec!["acc".to_string()]);
+    }
+
+    #[test]
+    fn sty_display() {
+        assert_eq!(STy::uniform(BaseTy::Float).to_string(), "uniform float");
+        assert_eq!(STy::varying(BaseTy::Int).to_string(), "varying int");
+    }
+}

@@ -1,0 +1,2082 @@
+//! SPMD-C → VIR code generation.
+//!
+//! The generator reproduces the ISPC code-generation patterns the paper's
+//! detector work depends on (§III):
+//!
+//! - **`foreach` structure** (paper Fig. 7): an `allocas` entry computes
+//!   `nextras = n % Vl` and `aligned_end = n - nextras`; the
+//!   `foreach_full_body` loop steps a `counter` phi by `Vl` with all lanes
+//!   on; `partial_inner_all_only` handles the `n % Vl` remainder under an
+//!   execution mask fed to masked load/store intrinsics.
+//! - **Uniform broadcast** (paper Fig. 9): `insertelement undef` +
+//!   `shufflevector zeroinitializer` whenever a uniform value meets varying
+//!   context.
+//! - **Masked memory operations** (paper Fig. 5): AVX/SSE masked intrinsics
+//!   for contiguous accesses; scalarized per-lane loops with real control
+//!   flow for gathers/scatters, as ISPC emits on pre-AVX2 targets.
+//! - **Varying `if`** compiles to mask intersection + `select` blending;
+//!   **uniform `if`/`for`/`while`** compile to real control flow with SSA
+//!   phis.
+//!
+//! All user functions compile to self-contained IR functions (no
+//! inter-function calls), so the fault-site classifier's intraprocedural
+//! forward slices are complete.
+
+use std::collections::HashMap;
+
+use vir::builder::FuncBuilder;
+use vir::intrinsics::{math_name, MathOp};
+use vir::{
+    BinOp, CastOp, Constant, FCmpPred, ICmpPred, Module, Operand, ScalarTy, Type,
+};
+
+use crate::ast::*;
+use crate::parser::parse_program;
+use crate::target::VectorIsa;
+
+/// Code-generation / semantic error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileError {
+    pub line: usize,
+    pub msg: String,
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "compile error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<crate::parser::ParseError> for CompileError {
+    fn from(e: crate::parser::ParseError) -> CompileError {
+        CompileError {
+            line: e.line,
+            msg: e.msg,
+        }
+    }
+}
+
+type CResult<T> = Result<T, CompileError>;
+
+/// Compile SPMD-C source text to a verified VIR module.
+pub fn compile(src: &str, isa: VectorIsa, module_name: &str) -> CResult<Module> {
+    let prog = parse_program(src)?;
+    compile_program(&prog, isa, module_name)
+}
+
+/// Compile a parsed program.
+pub fn compile_program(prog: &Program, isa: VectorIsa, module_name: &str) -> CResult<Module> {
+    let mut module = Module::new(module_name);
+    for f in &prog.funcs {
+        let func = compile_function(f, isa)?;
+        module.add_function(func);
+    }
+    if let Err(e) = vir::verify::verify_module(&module) {
+        return Err(CompileError {
+            line: 0,
+            msg: format!("internal codegen error (verifier): {e}"),
+        });
+    }
+    Ok(module)
+}
+
+/// A typed SSA value.
+#[derive(Debug, Clone)]
+struct CgVal {
+    ty: STy,
+    op: Operand,
+}
+
+/// Name bindings.
+#[derive(Debug, Clone)]
+enum Binding {
+    Var { ty: STy, val: Operand },
+    Array { elem: BaseTy, ptr: Operand },
+}
+
+/// Execution-mask context.
+#[derive(Debug, Clone)]
+enum Mask {
+    /// All lanes on (foreach full body, top level).
+    AllOn,
+    /// `<Vl x i1>` lane mask.
+    Vec(Operand),
+}
+
+/// Per-statement compile context.
+#[derive(Debug, Clone)]
+struct Ctx {
+    mask: Mask,
+    /// True inside varying `if` — uniform side effects are rejected here.
+    varying_control: bool,
+    foreach: Option<ForeachCtx>,
+}
+
+impl Ctx {
+    fn top() -> Ctx {
+        Ctx {
+            mask: Mask::AllOn,
+            varying_control: false,
+            foreach: None,
+        }
+    }
+}
+
+/// Active foreach-loop state, used for affine address detection.
+#[derive(Debug, Clone)]
+struct ForeachCtx {
+    var: String,
+    /// Scalar `i32`: index of lane 0 for the current iteration.
+    base_index: Operand,
+    /// Varying `i32`: `base_index` broadcast plus lane ids.
+    varying_index: Operand,
+}
+
+struct Cg {
+    isa: VectorIsa,
+    b: FuncBuilder,
+    scopes: Vec<HashMap<String, Binding>>,
+    ret: Option<STy>,
+    /// Unique-suffix counters.
+    tmp: u32,
+    foreach_count: u32,
+    returned: bool,
+}
+
+fn base_scalar(b: BaseTy) -> ScalarTy {
+    match b {
+        BaseTy::Bool => ScalarTy::I1,
+        BaseTy::Int => ScalarTy::I32,
+        BaseTy::Float => ScalarTy::F32,
+        BaseTy::Double => ScalarTy::F64,
+    }
+}
+
+fn compile_function(f: &FuncDef, isa: VectorIsa) -> CResult<vir::Function> {
+    // Lower the parameter list.
+    let mut params = Vec::new();
+    for p in &f.params {
+        let ty = match &p.ty {
+            ParamTy::Array { .. } => Type::PTR,
+            ParamTy::Scalar(s) => {
+                if !s.uniform {
+                    return Err(CompileError {
+                        line: f.line,
+                        msg: format!("parameter {} must be uniform (varying parameters are not supported)", p.name),
+                    });
+                }
+                Type::Scalar(base_scalar(s.base))
+            }
+        };
+        params.push((p.name.clone(), ty));
+    }
+    let ret_ty = match f.ret {
+        None => Type::Void,
+        Some(s) => Type::Scalar(base_scalar(s.base)),
+    };
+    let mut b = FuncBuilder::new(f.name.clone(), params, ret_ty);
+    // ISPC names the entry block `allocas`.
+    let entry = b.add_block("allocas");
+    b.position_at(entry);
+
+    let mut cg = Cg {
+        isa,
+        b,
+        scopes: vec![HashMap::new()],
+        ret: f.ret,
+        tmp: 0,
+        foreach_count: 0,
+        returned: false,
+    };
+
+    // Bind parameters.
+    for (i, p) in f.params.iter().enumerate() {
+        let op = cg.b.param(i);
+        let binding = match &p.ty {
+            ParamTy::Array { elem } => Binding::Array {
+                elem: *elem,
+                ptr: op,
+            },
+            ParamTy::Scalar(s) => Binding::Var { ty: *s, val: op },
+        };
+        cg.declare(&p.name, binding, f.line)?;
+    }
+
+    cg.stmts(&f.body, &Ctx::top(), true)?;
+
+    if !cg.returned {
+        if f.ret.is_some() {
+            return Err(CompileError {
+                line: f.line,
+                msg: format!("function {} must end with a return statement", f.name),
+            });
+        }
+        cg.b.ret(None);
+    }
+    let mut func = cg.b.finish();
+    // Stand-in for the -O3 cleanups the paper's ISPC pipeline performs:
+    // registers no real compiler would materialize (dead code,
+    // compile-time-known constants) must not dilute the fault-site
+    // population. The folder uses the interpreter's evaluator as its
+    // semantics oracle, so it cannot drift from runtime behaviour.
+    vir::transform::dce::run(&mut func);
+    vexec::opt::fold(&mut func);
+    vir::transform::dce::run(&mut func);
+    Ok(func)
+}
+
+impl Cg {
+    fn lanes(&self) -> u32 {
+        self.isa.lanes()
+    }
+
+    fn err<T>(&self, line: usize, msg: impl Into<String>) -> CResult<T> {
+        Err(CompileError {
+            line,
+            msg: msg.into(),
+        })
+    }
+
+    fn fresh(&mut self, base: &str) -> String {
+        self.tmp += 1;
+        format!("{base}{}", self.tmp)
+    }
+
+    // --- Scopes -------------------------------------------------------------
+
+    fn push_scope(&mut self) {
+        self.scopes.push(HashMap::new());
+    }
+
+    fn pop_scope(&mut self) {
+        self.scopes.pop();
+    }
+
+    fn declare(&mut self, name: &str, b: Binding, line: usize) -> CResult<()> {
+        let top = self.scopes.last_mut().expect("scope stack");
+        if top.contains_key(name) {
+            return Err(CompileError {
+                line,
+                msg: format!("redeclaration of '{name}'"),
+            });
+        }
+        top.insert(name.to_string(), b);
+        Ok(())
+    }
+
+    fn lookup(&self, name: &str) -> Option<&Binding> {
+        self.scopes.iter().rev().find_map(|s| s.get(name))
+    }
+
+    fn set_var(&mut self, name: &str, val: Operand, line: usize) -> CResult<()> {
+        for s in self.scopes.iter_mut().rev() {
+            if let Some(b) = s.get_mut(name) {
+                match b {
+                    Binding::Var { val: v, .. } => {
+                        *v = val;
+                        return Ok(());
+                    }
+                    Binding::Array { .. } => {
+                        return Err(CompileError {
+                            line,
+                            msg: format!("cannot assign to array '{name}'"),
+                        })
+                    }
+                }
+            }
+        }
+        Err(CompileError {
+            line,
+            msg: format!("assignment to undeclared variable '{name}'"),
+        })
+    }
+
+    /// Current value of a scalar variable (for loop-phi plumbing).
+    fn var_val(&self, name: &str) -> Option<(STy, Operand)> {
+        match self.lookup(name) {
+            Some(Binding::Var { ty, val }) => Some((*ty, val.clone())),
+            _ => None,
+        }
+    }
+
+    // --- Type & rate machinery ----------------------------------------------
+
+    fn ir_ty(&self, s: STy) -> Type {
+        if s.uniform {
+            Type::Scalar(base_scalar(s.base))
+        } else {
+            Type::vec(base_scalar(s.base), self.lanes())
+        }
+    }
+
+    /// Broadcast a uniform value to varying, using the ISPC pattern of
+    /// paper Fig. 9 (constants become splat vector constants directly, as
+    /// ISPC's constant folding would).
+    #[allow(clippy::wrong_self_convention)] // "varying" is the SPMD rate, not a conversion-by-value smell
+    fn to_varying(&mut self, v: CgVal, hint: &str) -> CgVal {
+        if !v.ty.uniform {
+            return v;
+        }
+        let elem = base_scalar(v.ty.base);
+        let lanes = self.lanes();
+        let op = match &v.op {
+            Operand::Const(c) => {
+                let bits = c.scalar_bits().unwrap_or(0);
+                Operand::Const(Constant::splat(elem, lanes, bits))
+            }
+            _ => {
+                let name = self.fresh(hint);
+                self.b.broadcast(v.op.clone(), lanes, &name)
+            }
+        };
+        CgVal {
+            ty: STy::varying(v.ty.base),
+            op,
+        }
+    }
+
+    /// Numeric conversion, preserving rate.
+    fn convert(&mut self, v: CgVal, to: BaseTy, line: usize) -> CResult<CgVal> {
+        if v.ty.base == to {
+            return Ok(v);
+        }
+        let to_ir = self.ir_ty(STy {
+            base: to,
+            uniform: v.ty.uniform,
+        });
+        let op = match (v.ty.base, to) {
+            (BaseTy::Int, BaseTy::Float) | (BaseTy::Int, BaseTy::Double) => {
+                self.b.cast(CastOp::SiToFp, v.op, to_ir, "")
+            }
+            (BaseTy::Float, BaseTy::Int) | (BaseTy::Double, BaseTy::Int) => {
+                self.b.cast(CastOp::FpToSi, v.op, to_ir, "")
+            }
+            (BaseTy::Float, BaseTy::Double) => self.b.cast(CastOp::FpExt, v.op, to_ir, ""),
+            (BaseTy::Double, BaseTy::Float) => self.b.cast(CastOp::FpTrunc, v.op, to_ir, ""),
+            (BaseTy::Bool, BaseTy::Int) => self.b.cast(CastOp::ZExt, v.op, to_ir, ""),
+            (BaseTy::Bool, BaseTy::Float) | (BaseTy::Bool, BaseTy::Double) => {
+                let int_ty = self.ir_ty(STy {
+                    base: BaseTy::Int,
+                    uniform: v.ty.uniform,
+                });
+                let i = self.b.cast(CastOp::ZExt, v.op, int_ty, "");
+                self.b.cast(CastOp::SiToFp, i, to_ir, "")
+            }
+            (BaseTy::Int, BaseTy::Bool) => {
+                let zero = self.zero_of(BaseTy::Int, v.ty.uniform);
+                self.b.icmp(ICmpPred::Ne, v.op, zero, "")
+            }
+            (BaseTy::Float, BaseTy::Bool) | (BaseTy::Double, BaseTy::Bool) => {
+                let zero = self.zero_of(v.ty.base, v.ty.uniform);
+                self.b.fcmp(FCmpPred::Une, v.op, zero, "")
+            }
+            _ => return self.err(line, format!("unsupported cast {} -> {}", v.ty.base.name(), to.name())),
+        };
+        Ok(CgVal {
+            ty: STy {
+                base: to,
+                uniform: v.ty.uniform,
+            },
+            op,
+        })
+    }
+
+    fn zero_of(&self, base: BaseTy, uniform: bool) -> Operand {
+        let ty = if uniform {
+            Type::Scalar(base_scalar(base))
+        } else {
+            Type::vec(base_scalar(base), self.lanes())
+        };
+        Operand::Const(Constant::zero(ty))
+    }
+
+    /// Unify two numeric operands: promote int→float→double and uniform→
+    /// varying as needed.
+    fn promote_pair(&mut self, a: CgVal, b: CgVal, line: usize) -> CResult<(CgVal, CgVal)> {
+        let target = match (a.ty.base, b.ty.base) {
+            (x, y) if x == y => x,
+            (BaseTy::Double, _) | (_, BaseTy::Double) => BaseTy::Double,
+            (BaseTy::Float, _) | (_, BaseTy::Float) => BaseTy::Float,
+            (BaseTy::Int, BaseTy::Bool) | (BaseTy::Bool, BaseTy::Int) => BaseTy::Int,
+            _ => a.ty.base,
+        };
+        let mut a = self.convert(a, target, line)?;
+        let mut b = self.convert(b, target, line)?;
+        if a.ty.uniform != b.ty.uniform {
+            a = self.to_varying(a, "pv");
+            b = self.to_varying(b, "pv");
+        }
+        Ok((a, b))
+    }
+
+    /// Build the `<Vl x elem-width>` payload form of an `i1` lane mask, as
+    /// masked intrinsics expect (sign-bit convention).
+    fn mask_payload(&mut self, mask_i1: Operand, elem: ScalarTy) -> Operand {
+        let lanes = self.lanes();
+        match elem {
+            ScalarTy::F32 => {
+                let ints = self.b.cast(
+                    CastOp::SExt,
+                    mask_i1,
+                    Type::vec(ScalarTy::I32, lanes),
+                    "maskint",
+                );
+                self.b.cast(
+                    CastOp::Bitcast,
+                    ints,
+                    Type::vec(ScalarTy::F32, lanes),
+                    "floatmask.i",
+                )
+            }
+            ScalarTy::I32 => self.b.cast(
+                CastOp::SExt,
+                mask_i1,
+                Type::vec(ScalarTy::I32, lanes),
+                "intmask.i",
+            ),
+            ScalarTy::F64 => {
+                let ints = self.b.cast(
+                    CastOp::SExt,
+                    mask_i1,
+                    Type::vec(ScalarTy::I64, lanes),
+                    "maskint64",
+                );
+                self.b.cast(
+                    CastOp::Bitcast,
+                    ints,
+                    Type::vec(ScalarTy::F64, lanes),
+                    "doublemask.i",
+                )
+            }
+            other => {
+                // Generic integer widths.
+                self.b
+                    .cast(CastOp::SExt, mask_i1, Type::vec(other, lanes), "mask.i")
+            }
+        }
+    }
+
+    /// AND two i1 masks.
+    fn and_masks(&mut self, a: &Mask, b_i1: Operand) -> Operand {
+        match a {
+            Mask::AllOn => b_i1,
+            Mask::Vec(m) => self.b.bin(BinOp::And, m.clone(), b_i1, "mask_and"),
+        }
+    }
+
+    // --- Rate pre-analysis (no code emitted) --------------------------------
+
+    /// Conservative uniformity check used for affine-offset detection.
+    fn is_uniform_expr(&self, e: &Expr) -> bool {
+        match &e.kind {
+            ExprKind::IntLit(_) | ExprKind::FloatLit(_) | ExprKind::BoolLit(_) => true,
+            ExprKind::Ident(n) => match n.as_str() {
+                "programIndex" => false,
+                "programCount" => true,
+                _ => matches!(self.lookup(n), Some(Binding::Var { ty, .. }) if ty.uniform),
+            },
+            ExprKind::Bin(_, a, b) => self.is_uniform_expr(a) && self.is_uniform_expr(b),
+            ExprKind::Un(_, a) => self.is_uniform_expr(a),
+            ExprKind::Cast(_, a) => self.is_uniform_expr(a),
+            ExprKind::Index(_, i) => self.is_uniform_expr(i),
+            ExprKind::Call(n, args) => {
+                n.starts_with("reduce_") || args.iter().all(|a| self.is_uniform_expr(a))
+            }
+            ExprKind::Ternary(c, a, b) => {
+                self.is_uniform_expr(c) && self.is_uniform_expr(a) && self.is_uniform_expr(b)
+            }
+        }
+    }
+
+    /// Detect `i`, `i + u`, `u + i`, `i - u` where `i` is the active foreach
+    /// variable and `u` is uniform. Returns the optional offset expression
+    /// and its sign.
+    fn affine_in_foreach<'e>(
+        &self,
+        e: &'e Expr,
+        ctx: &Ctx,
+    ) -> Option<(Option<&'e Expr>, bool /*negate*/)> {
+        let fc = ctx.foreach.as_ref()?;
+        let is_fv = |x: &Expr| -> bool {
+            if let ExprKind::Ident(n) = &x.kind {
+                if *n == fc.var {
+                    // Guard against shadowing: the binding must still be
+                    // the foreach induction value.
+                    if let Some(Binding::Var { val, .. }) = self.lookup(n) {
+                        return *val == fc.varying_index;
+                    }
+                }
+            }
+            false
+        };
+        match &e.kind {
+            _ if is_fv(e) => Some((None, false)),
+            ExprKind::Bin(BinKind::Add, a, b) if is_fv(a) && self.is_uniform_expr(b) => {
+                Some((Some(b), false))
+            }
+            ExprKind::Bin(BinKind::Add, a, b) if is_fv(b) && self.is_uniform_expr(a) => {
+                Some((Some(a), false))
+            }
+            ExprKind::Bin(BinKind::Sub, a, b) if is_fv(a) && self.is_uniform_expr(b) => {
+                Some((Some(b), true))
+            }
+            _ => None,
+        }
+    }
+
+    // --- Expressions ---------------------------------------------------------
+
+    fn expr(&mut self, e: &Expr, ctx: &Ctx) -> CResult<CgVal> {
+        let line = e.line;
+        match &e.kind {
+            ExprKind::IntLit(v) => Ok(CgVal {
+                ty: STy::uniform(BaseTy::Int),
+                op: Constant::i32(*v as i32).into(),
+            }),
+            ExprKind::FloatLit(v) => Ok(CgVal {
+                ty: STy::uniform(BaseTy::Float),
+                op: Constant::f32(*v as f32).into(),
+            }),
+            ExprKind::BoolLit(v) => Ok(CgVal {
+                ty: STy::uniform(BaseTy::Bool),
+                op: Constant::bool(*v).into(),
+            }),
+            ExprKind::Ident(name) => match name.as_str() {
+                "programIndex" => Ok(CgVal {
+                    ty: STy::varying(BaseTy::Int),
+                    op: Constant::lane_ids(self.lanes()).into(),
+                }),
+                "programCount" => Ok(CgVal {
+                    ty: STy::uniform(BaseTy::Int),
+                    op: Constant::i32(self.lanes() as i32).into(),
+                }),
+                _ => match self.lookup(name) {
+                    Some(Binding::Var { ty, val }) => Ok(CgVal {
+                        ty: *ty,
+                        op: val.clone(),
+                    }),
+                    Some(Binding::Array { .. }) => {
+                        self.err(line, format!("array '{name}' used without an index"))
+                    }
+                    None => self.err(line, format!("use of undeclared identifier '{name}'")),
+                },
+            },
+            ExprKind::Bin(op, a, b) => self.bin_expr(*op, a, b, ctx, line),
+            ExprKind::Un(UnKind::Neg, a) => {
+                let v = self.expr(a, ctx)?;
+                if !v.ty.base.is_numeric() {
+                    return self.err(line, "negation of non-numeric value");
+                }
+                let zero = self.zero_of(v.ty.base, v.ty.uniform);
+                let op = if v.ty.base == BaseTy::Int {
+                    self.b.bin(BinOp::Sub, zero, v.op, "neg")
+                } else {
+                    self.b.bin(BinOp::FSub, zero, v.op, "neg")
+                };
+                Ok(CgVal { ty: v.ty, op })
+            }
+            ExprKind::Un(UnKind::Not, a) => {
+                let v = self.expr(a, ctx)?;
+                let v = self.convert(v, BaseTy::Bool, line)?;
+                let ones = if v.ty.uniform {
+                    Operand::Const(Constant::bool(true))
+                } else {
+                    Operand::Const(Constant::splat(ScalarTy::I1, self.lanes(), 1))
+                };
+                let op = self.b.bin(BinOp::Xor, v.op, ones, "not");
+                Ok(CgVal { ty: v.ty, op })
+            }
+            ExprKind::Cast(to, a) => {
+                let v = self.expr(a, ctx)?;
+                self.convert(v, *to, line)
+            }
+            ExprKind::Ternary(c, t, f) => {
+                let cv = self.expr(c, ctx)?;
+                let cv = self.convert(cv, BaseTy::Bool, line)?;
+                let tv = self.expr(t, ctx)?;
+                let fv = self.expr(f, ctx)?;
+                let (mut tv, mut fv) = self.promote_pair(tv, fv, line)?;
+                let cv = if !cv.ty.uniform {
+                    tv = self.to_varying(tv, "sel_t");
+                    fv = self.to_varying(fv, "sel_f");
+                    cv
+                } else {
+                    cv
+                };
+                let ty = tv.ty;
+                let op = self.b.select(cv.op, tv.op, fv.op, "sel");
+                Ok(CgVal { ty, op })
+            }
+            ExprKind::Index(arr, idx) => self.load_indexed(arr, idx, ctx, line),
+            ExprKind::Call(name, args) => self.call_expr(name, args, ctx, line),
+        }
+    }
+
+    fn bin_expr(
+        &mut self,
+        op: BinKind,
+        a: &Expr,
+        b: &Expr,
+        ctx: &Ctx,
+        line: usize,
+    ) -> CResult<CgVal> {
+        let av = self.expr(a, ctx)?;
+        let bv = self.expr(b, ctx)?;
+        if op.is_logical() {
+            // No short-circuit: SPMD-C expressions are side-effect free, so
+            // evaluating both operands is semantically transparent.
+            let av = self.convert(av, BaseTy::Bool, line)?;
+            let bv = self.convert(bv, BaseTy::Bool, line)?;
+            let (av, bv) = self.promote_pair(av, bv, line)?;
+            let kind = if op == BinKind::And { BinOp::And } else { BinOp::Or };
+            let ty = av.ty;
+            let r = self.b.bin(kind, av.op, bv.op, "");
+            return Ok(CgVal { ty, op: r });
+        }
+        if op.is_bitwise() {
+            if av.ty.base != BaseTy::Int || bv.ty.base != BaseTy::Int {
+                return self.err(line, "bitwise operators require int operands");
+            }
+            let (av, bv) = self.promote_pair(av, bv, line)?;
+            let kind = match op {
+                BinKind::BitAnd => BinOp::And,
+                BinKind::BitOr => BinOp::Or,
+                BinKind::BitXor => BinOp::Xor,
+                BinKind::Shl => BinOp::Shl,
+                BinKind::Shr => BinOp::AShr,
+                _ => unreachable!(),
+            };
+            let ty = av.ty;
+            let r = self.b.bin(kind, av.op, bv.op, "");
+            return Ok(CgVal { ty, op: r });
+        }
+        let (av, bv) = self.promote_pair(av, bv, line)?;
+        if op.is_comparison() {
+            let is_float = matches!(av.ty.base, BaseTy::Float | BaseTy::Double);
+            let ty = STy {
+                base: BaseTy::Bool,
+                uniform: av.ty.uniform,
+            };
+            let r = if is_float {
+                let pred = match op {
+                    BinKind::Lt => FCmpPred::Olt,
+                    BinKind::Le => FCmpPred::Ole,
+                    BinKind::Gt => FCmpPred::Ogt,
+                    BinKind::Ge => FCmpPred::Oge,
+                    BinKind::Eq => FCmpPred::Oeq,
+                    BinKind::Ne => FCmpPred::Une,
+                    _ => unreachable!(),
+                };
+                self.b.fcmp(pred, av.op, bv.op, "cmp")
+            } else {
+                let pred = match op {
+                    BinKind::Lt => ICmpPred::Slt,
+                    BinKind::Le => ICmpPred::Sle,
+                    BinKind::Gt => ICmpPred::Sgt,
+                    BinKind::Ge => ICmpPred::Sge,
+                    BinKind::Eq => ICmpPred::Eq,
+                    BinKind::Ne => ICmpPred::Ne,
+                    _ => unreachable!(),
+                };
+                self.b.icmp(pred, av.op, bv.op, "cmp")
+            };
+            return Ok(CgVal { ty, op: r });
+        }
+        // Arithmetic.
+        if !av.ty.base.is_numeric() {
+            return self.err(line, "arithmetic on non-numeric value");
+        }
+        let is_float = matches!(av.ty.base, BaseTy::Float | BaseTy::Double);
+        let kind = match (op, is_float) {
+            (BinKind::Add, false) => BinOp::Add,
+            (BinKind::Sub, false) => BinOp::Sub,
+            (BinKind::Mul, false) => BinOp::Mul,
+            (BinKind::Div, false) => BinOp::SDiv,
+            (BinKind::Rem, false) => BinOp::SRem,
+            (BinKind::Add, true) => BinOp::FAdd,
+            (BinKind::Sub, true) => BinOp::FSub,
+            (BinKind::Mul, true) => BinOp::FMul,
+            (BinKind::Div, true) => BinOp::FDiv,
+            (BinKind::Rem, true) => BinOp::FRem,
+            _ => return self.err(line, format!("operator {op:?} not valid here")),
+        };
+        let ty = av.ty;
+        let r = self.b.bin(kind, av.op, bv.op, "");
+        Ok(CgVal { ty, op: r })
+    }
+
+    fn call_expr(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        ctx: &Ctx,
+        line: usize,
+    ) -> CResult<CgVal> {
+        let need = |n: usize| -> CResult<()> {
+            if args.len() != n {
+                Err(CompileError {
+                    line,
+                    msg: format!("{name} expects {n} argument(s), got {}", args.len()),
+                })
+            } else {
+                Ok(())
+            }
+        };
+        match name {
+            "reduce_add" => {
+                need(1)?;
+                let v = self.expr(&args[0], ctx)?;
+                if v.ty.uniform {
+                    return self.err(line, "reduce_add expects a varying value");
+                }
+                if !v.ty.base.is_numeric() {
+                    return self.err(line, "reduce_add expects a numeric value");
+                }
+                // Mask off inactive lanes so partial foreach bodies reduce
+                // only live iterations.
+                let masked = match &ctx.mask {
+                    Mask::AllOn => v.op.clone(),
+                    Mask::Vec(m) => {
+                        let zero = self.zero_of(v.ty.base, false);
+                        self.b.select(m.clone(), v.op.clone(), zero, "red_masked")
+                    }
+                };
+                let elem = base_scalar(v.ty.base);
+                let is_float = v.ty.base != BaseTy::Int;
+                let mut acc = self.b.extract(masked.clone(), Constant::i32(0).into(), "red0");
+                for k in 1..self.lanes() {
+                    let lane =
+                        self.b
+                            .extract(masked.clone(), Constant::i32(k as i32).into(), "");
+                    let op = if is_float { BinOp::FAdd } else { BinOp::Add };
+                    acc = self.b.bin(op, acc, lane, "");
+                }
+                let _ = elem;
+                Ok(CgVal {
+                    ty: STy::uniform(v.ty.base),
+                    op: acc,
+                })
+            }
+            "sqrt" | "exp" | "log" | "sin" | "cos" | "floor" | "ceil" | "abs" | "fabs"
+            | "rsqrt" => {
+                need(1)?;
+                let v = self.expr(&args[0], ctx)?;
+                if v.ty.base == BaseTy::Int && (name == "abs" || name == "fabs") {
+                    // Integer abs via compare + select.
+                    let zero = self.zero_of(BaseTy::Int, v.ty.uniform);
+                    let neg = self.b.bin(BinOp::Sub, zero.clone(), v.op.clone(), "");
+                    let is_neg = self.b.icmp(ICmpPred::Slt, v.op.clone(), zero, "");
+                    let r = self.b.select(is_neg, neg, v.op, "iabs");
+                    return Ok(CgVal { ty: v.ty, op: r });
+                }
+                let v = if v.ty.base == BaseTy::Int {
+                    self.convert(v, BaseTy::Float, line)?
+                } else {
+                    v
+                };
+                let mop = match name {
+                    "sqrt" | "rsqrt" => MathOp::Sqrt,
+                    "exp" => MathOp::Exp,
+                    "log" => MathOp::Log,
+                    "sin" => MathOp::Sin,
+                    "cos" => MathOp::Cos,
+                    "floor" => MathOp::Floor,
+                    "ceil" => MathOp::Ceil,
+                    _ => MathOp::Fabs,
+                };
+                let ir = self.ir_ty(v.ty);
+                let callee = math_name(mop, ir);
+                let r = self.b.call(callee, vec![v.op], ir, name);
+                if name == "rsqrt" {
+                    let one = if v.ty.uniform {
+                        Operand::Const(Constant::f32(1.0))
+                    } else {
+                        Operand::Const(Constant::splat_f32(self.lanes(), 1.0))
+                    };
+                    let inv = self.b.bin(BinOp::FDiv, one, r, "rsqrt");
+                    return Ok(CgVal { ty: v.ty, op: inv });
+                }
+                Ok(CgVal { ty: v.ty, op: r })
+            }
+            "pow" | "min" | "max" => {
+                need(2)?;
+                let a = self.expr(&args[0], ctx)?;
+                let b = self.expr(&args[1], ctx)?;
+                let (a, b) = self.promote_pair(a, b, line)?;
+                if a.ty.base == BaseTy::Int {
+                    if name == "pow" {
+                        return self.err(line, "pow requires float operands");
+                    }
+                    let pred = if name == "min" {
+                        ICmpPred::Slt
+                    } else {
+                        ICmpPred::Sgt
+                    };
+                    let c = self.b.icmp(pred, a.op.clone(), b.op.clone(), "");
+                    let r = self.b.select(c, a.op, b.op, name);
+                    return Ok(CgVal { ty: a.ty, op: r });
+                }
+                let mop = match name {
+                    "pow" => MathOp::Pow,
+                    "min" => MathOp::MinNum,
+                    _ => MathOp::MaxNum,
+                };
+                let ir = self.ir_ty(a.ty);
+                let r = self
+                    .b
+                    .call(math_name(mop, ir), vec![a.op, b.op], ir, name);
+                Ok(CgVal { ty: a.ty, op: r })
+            }
+            "clamp" => {
+                need(3)?;
+                let lo_clamped = Expr::new(
+                    ExprKind::Call(
+                        "max".into(),
+                        vec![args[0].clone(), args[1].clone()],
+                    ),
+                    line,
+                );
+                let clamped = Expr::new(
+                    ExprKind::Call("min".into(), vec![lo_clamped, args[2].clone()]),
+                    line,
+                );
+                self.expr(&clamped, ctx)
+            }
+            other => self.err(line, format!("unknown function '{other}'")),
+        }
+    }
+
+    // --- Memory access --------------------------------------------------------
+
+    fn array_binding(&self, name: &str, line: usize) -> CResult<(BaseTy, Operand)> {
+        match self.lookup(name) {
+            Some(Binding::Array { elem, ptr }) => Ok((*elem, ptr.clone())),
+            Some(Binding::Var { .. }) => Err(CompileError {
+                line,
+                msg: format!("'{name}' is not an array"),
+            }),
+            None => Err(CompileError {
+                line,
+                msg: format!("use of undeclared array '{name}'"),
+            }),
+        }
+    }
+
+    /// Compile `arr[idx]` as an rvalue.
+    fn load_indexed(&mut self, arr: &str, idx: &Expr, ctx: &Ctx, line: usize) -> CResult<CgVal> {
+        let (elem, ptr) = self.array_binding(arr, line)?;
+        let elem_sc = base_scalar(elem);
+        let elem_ir = Type::Scalar(elem_sc);
+
+        // Affine (contiguous) access in a foreach?
+        if let Some((off, negate)) = self.affine_in_foreach(idx, ctx) {
+            let base_index = ctx.foreach.as_ref().unwrap().base_index.clone();
+            let index = match off {
+                None => base_index,
+                Some(off_e) => {
+                    let o = self.expr(off_e, ctx)?;
+                    let o = self.convert(o, BaseTy::Int, line)?;
+                    if !o.ty.uniform {
+                        return self.err(line, "internal: affine offset not uniform");
+                    }
+                    let op = if negate { BinOp::Sub } else { BinOp::Add };
+                    self.b.bin(op, base_index, o.op, "lin_idx")
+                }
+            };
+            let addr = self.b.gep(elem_ir, ptr, index, &format!("{arr}_ld_addr"));
+            let vty = Type::vec(elem_sc, self.lanes());
+            let op = match &ctx.mask {
+                Mask::AllOn => self.b.load(vty, addr, ""),
+                Mask::Vec(m) => {
+                    let payload = self.mask_payload(m.clone(), elem_sc);
+                    self.b
+                        .call(self.isa.maskload(elem_sc), vec![addr, payload], vty, "")
+                }
+            };
+            return Ok(CgVal {
+                ty: STy::varying(elem),
+                op,
+            });
+        }
+
+        // Uniform index: one scalar load shared by all lanes.
+        if self.is_uniform_expr(idx) {
+            let iv = self.expr(idx, ctx)?;
+            let iv = self.convert(iv, BaseTy::Int, line)?;
+            let addr = self.b.gep(elem_ir, ptr, iv.op, "");
+            let op = self.b.load(elem_ir, addr, "");
+            return Ok(CgVal {
+                ty: STy::uniform(elem),
+                op,
+            });
+        }
+
+        // General varying index: scalarized gather.
+        let iv = self.expr(idx, ctx)?;
+        let iv = self.convert(iv, BaseTy::Int, line)?;
+        let iv = self.to_varying(iv, "gidx");
+        let op = self.gather(ptr, elem_sc, iv.op, ctx)?;
+        Ok(CgVal {
+            ty: STy::varying(elem),
+            op,
+        })
+    }
+
+    /// Scalarized gather: per-lane extract → gep → load → insert, with real
+    /// per-lane control flow when an execution mask is active (inactive
+    /// lanes must not touch memory).
+    fn gather(
+        &mut self,
+        ptr: Operand,
+        elem: ScalarTy,
+        idx: Operand,
+        ctx: &Ctx,
+    ) -> CResult<Operand> {
+        let lanes = self.lanes();
+        let vty = Type::vec(elem, lanes);
+        let mut acc: Operand = Constant::zero(vty).into();
+        match &ctx.mask {
+            Mask::AllOn => {
+                for k in 0..lanes {
+                    let ik = self
+                        .b
+                        .extract(idx.clone(), Constant::i32(k as i32).into(), "");
+                    let a = self.b.gep(Type::Scalar(elem), ptr.clone(), ik, "");
+                    let v = self.b.load(Type::Scalar(elem), a, "");
+                    acc = self
+                        .b
+                        .insert(acc, v, Constant::i32(k as i32).into(), "");
+                }
+                Ok(acc)
+            }
+            Mask::Vec(m) => {
+                let m = m.clone();
+                let gid = self.fresh("gather");
+                for k in 0..lanes {
+                    let load_bb = self.b.add_block(format!("{gid}.lane{k}.load"));
+                    let cont_bb = self.b.add_block(format!("{gid}.lane{k}.cont"));
+                    let mbit = self
+                        .b
+                        .extract(m.clone(), Constant::i32(k as i32).into(), "");
+                    let from_bb = self.b.current_block();
+                    self.b.cond_br(mbit, load_bb, cont_bb);
+
+                    self.b.position_at(load_bb);
+                    let ik = self
+                        .b
+                        .extract(idx.clone(), Constant::i32(k as i32).into(), "");
+                    let a = self.b.gep(Type::Scalar(elem), ptr.clone(), ik, "");
+                    let v = self.b.load(Type::Scalar(elem), a, "");
+                    let acc2 = self
+                        .b
+                        .insert(acc.clone(), v, Constant::i32(k as i32).into(), "");
+                    self.b.br(cont_bb);
+
+                    self.b.position_at(cont_bb);
+                    let phi = self.b.phi(vty, "");
+                    self.b.add_incoming(&phi, from_bb, acc.clone());
+                    self.b.add_incoming(&phi, load_bb, acc2);
+                    acc = phi;
+                }
+                Ok(acc)
+            }
+        }
+    }
+
+    /// Scalarized scatter, masked per lane like [`Cg::gather`].
+    fn scatter(
+        &mut self,
+        ptr: Operand,
+        elem: ScalarTy,
+        idx: Operand,
+        val: Operand,
+        ctx: &Ctx,
+    ) -> CResult<()> {
+        let lanes = self.lanes();
+        match &ctx.mask {
+            Mask::AllOn => {
+                for k in 0..lanes {
+                    let ik = self
+                        .b
+                        .extract(idx.clone(), Constant::i32(k as i32).into(), "");
+                    let a = self.b.gep(Type::Scalar(elem), ptr.clone(), ik, "");
+                    let v = self
+                        .b
+                        .extract(val.clone(), Constant::i32(k as i32).into(), "");
+                    self.b.store(v, a);
+                }
+            }
+            Mask::Vec(m) => {
+                let m = m.clone();
+                let sid = self.fresh("scatter");
+                for k in 0..lanes {
+                    let store_bb = self.b.add_block(format!("{sid}.lane{k}.store"));
+                    let cont_bb = self.b.add_block(format!("{sid}.lane{k}.cont"));
+                    let mbit = self
+                        .b
+                        .extract(m.clone(), Constant::i32(k as i32).into(), "");
+                    self.b.cond_br(mbit, store_bb, cont_bb);
+
+                    self.b.position_at(store_bb);
+                    let ik = self
+                        .b
+                        .extract(idx.clone(), Constant::i32(k as i32).into(), "");
+                    let a = self.b.gep(Type::Scalar(elem), ptr.clone(), ik, "");
+                    let v = self
+                        .b
+                        .extract(val.clone(), Constant::i32(k as i32).into(), "");
+                    self.b.store(v, a);
+                    self.b.br(cont_bb);
+
+                    self.b.position_at(cont_bb);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Compile a store `arr[idx] = value`.
+    fn store_indexed(
+        &mut self,
+        arr: &str,
+        idx: &Expr,
+        value: CgVal,
+        ctx: &Ctx,
+        line: usize,
+    ) -> CResult<()> {
+        let (elem, ptr) = self.array_binding(arr, line)?;
+        let elem_sc = base_scalar(elem);
+        let elem_ir = Type::Scalar(elem_sc);
+        let value = self.convert(value, elem, line)?;
+
+        if let Some((off, negate)) = self.affine_in_foreach(idx, ctx) {
+            let base_index = ctx.foreach.as_ref().unwrap().base_index.clone();
+            let index = match off {
+                None => base_index,
+                Some(off_e) => {
+                    let o = self.expr(off_e, ctx)?;
+                    let o = self.convert(o, BaseTy::Int, line)?;
+                    let op = if negate { BinOp::Sub } else { BinOp::Add };
+                    self.b.bin(op, base_index, o.op, "lin_idx")
+                }
+            };
+            let value = self.to_varying(value, "stv");
+            let addr = self.b.gep(elem_ir, ptr, index, &format!("{arr}_str_addr"));
+            match &ctx.mask {
+                Mask::AllOn => self.b.store(value.op, addr),
+                Mask::Vec(m) => {
+                    let payload = self.mask_payload(m.clone(), elem_sc);
+                    self.b.call(
+                        self.isa.maskstore(elem_sc),
+                        vec![addr, payload, value.op],
+                        Type::Void,
+                        "",
+                    );
+                }
+            }
+            return Ok(());
+        }
+
+        if self.is_uniform_expr(idx) {
+            if !value.ty.uniform {
+                return self.err(line, "cannot store a varying value at a uniform index");
+            }
+            if ctx.varying_control {
+                return self.err(
+                    line,
+                    "uniform store inside varying control flow is not supported",
+                );
+            }
+            let iv = self.expr(idx, ctx)?;
+            let iv = self.convert(iv, BaseTy::Int, line)?;
+            let addr = self.b.gep(elem_ir, ptr, iv.op, "");
+            self.b.store(value.op, addr);
+            return Ok(());
+        }
+
+        let iv = self.expr(idx, ctx)?;
+        let iv = self.convert(iv, BaseTy::Int, line)?;
+        let iv = self.to_varying(iv, "sidx");
+        let value = self.to_varying(value, "sval");
+        self.scatter(ptr, elem_sc, iv.op, value.op, ctx)
+    }
+
+    // --- Statements -----------------------------------------------------------
+
+    fn stmts(&mut self, body: &[Stmt], ctx: &Ctx, top_level: bool) -> CResult<()> {
+        self.push_scope();
+        let r = self.stmts_inner(body, ctx, top_level);
+        self.pop_scope();
+        r
+    }
+
+    fn stmts_inner(&mut self, body: &[Stmt], ctx: &Ctx, top_level: bool) -> CResult<()> {
+        for (k, s) in body.iter().enumerate() {
+            if self.returned {
+                return self.err(s.line, "statement after return");
+            }
+            let is_last = k + 1 == body.len();
+            self.stmt(s, ctx, top_level && is_last)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt, ctx: &Ctx, may_return: bool) -> CResult<()> {
+        let line = s.line;
+        match &s.kind {
+            StmtKind::Decl { ty, name, init } => {
+                let v = self.expr(init, ctx)?;
+                let v = self.convert(v, ty.base, line)?;
+                let v = if ty.uniform {
+                    if !v.ty.uniform {
+                        return self.err(
+                            line,
+                            format!("cannot initialize uniform '{name}' from a varying value"),
+                        );
+                    }
+                    v
+                } else {
+                    self.to_varying(v, name)
+                };
+                self.declare(
+                    name,
+                    Binding::Var {
+                        ty: STy {
+                            base: ty.base,
+                            uniform: ty.uniform,
+                        },
+                        val: v.op,
+                    },
+                    line,
+                )
+            }
+            StmtKind::Assign { target, op, value } => {
+                match target {
+                    LValue::Var(name) => {
+                        let Some((vty, cur)) = self.var_val(name) else {
+                            return self.err(line, format!("assignment to undeclared '{name}'"));
+                        };
+                        // Compound assignment: lhs op rhs.
+                        let rhs = self.expr(value, ctx)?;
+                        let rhs = match op {
+                            None => rhs,
+                            Some(bk) => {
+                                let lhs = CgVal { ty: vty, op: cur.clone() };
+                                let (a, b) = self.promote_pair(lhs, rhs, line)?;
+                                
+                                self.apply_arith(*bk, a, b, line)?
+                            }
+                        };
+                        let rhs = self.convert(rhs, vty.base, line)?;
+                        if vty.uniform {
+                            if !rhs.ty.uniform {
+                                return self.err(
+                                    line,
+                                    format!("cannot assign varying value to uniform '{name}'"),
+                                );
+                            }
+                            if ctx.varying_control {
+                                return self.err(
+                                    line,
+                                    format!(
+                                        "cannot assign to uniform '{name}' inside varying control flow"
+                                    ),
+                                );
+                            }
+                            self.set_var(name, rhs.op, line)
+                        } else {
+                            let rhs = self.to_varying(rhs, name);
+                            self.set_var(name, rhs.op, line)
+                        }
+                    }
+                    LValue::Elem(arr, idx) => {
+                        let rhs = match op {
+                            None => self.expr(value, ctx)?,
+                            Some(bk) => {
+                                let cur = self.load_indexed(arr, idx, ctx, line)?;
+                                let rv = self.expr(value, ctx)?;
+                                let (a, b) = self.promote_pair(cur, rv, line)?;
+                                self.apply_arith(*bk, a, b, line)?
+                            }
+                        };
+                        self.store_indexed(arr, idx, rhs, ctx, line)
+                    }
+                }
+            }
+            StmtKind::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let cv = self.expr(cond, ctx)?;
+                let cv = self.convert(cv, BaseTy::Bool, line)?;
+                if cv.ty.uniform {
+                    self.uniform_if(cv.op, then_body, else_body, ctx)
+                } else {
+                    self.varying_if(cv.op, then_body, else_body, ctx, line)
+                }
+            }
+            StmtKind::While { cond, body } => {
+                if self.is_uniform_expr(cond) {
+                    self.uniform_while(cond, body, ctx, line)
+                } else {
+                    self.varying_while(cond, body, ctx, line)
+                }
+            }
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                self.push_scope();
+                if let Some(i) = init {
+                    self.stmt(i, ctx, false)?;
+                }
+                // Desugar to while(cond) { body; step; }.
+                let mut loop_body: Vec<Stmt> = body.clone();
+                if let Some(st) = step {
+                    loop_body.push((**st).clone());
+                }
+                let r = self.uniform_while(cond, &loop_body, ctx, line);
+                self.pop_scope();
+                r
+            }
+            StmtKind::Foreach {
+                var,
+                start,
+                end,
+                body,
+            } => {
+                if ctx.varying_control || matches!(ctx.mask, Mask::Vec(_)) {
+                    return self.err(line, "foreach cannot nest inside varying control flow");
+                }
+                self.foreach(var, start, end, body, ctx, line)
+            }
+            StmtKind::Return(val) => {
+                if !may_return {
+                    return self.err(
+                        line,
+                        "return is only supported as the last top-level statement",
+                    );
+                }
+                match (&self.ret, val) {
+                    (None, None) => {
+                        self.b.ret(None);
+                        self.returned = true;
+                        Ok(())
+                    }
+                    (Some(rty), Some(e)) => {
+                        let rty = *rty;
+                        let v = self.expr(e, ctx)?;
+                        let v = self.convert(v, rty.base, line)?;
+                        if !v.ty.uniform {
+                            return self.err(line, "return value must be uniform");
+                        }
+                        self.b.ret(Some(v.op));
+                        self.returned = true;
+                        Ok(())
+                    }
+                    (None, Some(_)) => self.err(line, "void function cannot return a value"),
+                    (Some(_), None) => self.err(line, "missing return value"),
+                }
+            }
+            StmtKind::ExprStmt(e) => {
+                let _ = self.expr(e, ctx)?;
+                Ok(())
+            }
+        }
+    }
+
+    fn apply_arith(&mut self, op: BinKind, a: CgVal, b: CgVal, line: usize) -> CResult<CgVal> {
+        let is_float = matches!(a.ty.base, BaseTy::Float | BaseTy::Double);
+        let kind = match (op, is_float) {
+            (BinKind::Add, false) => BinOp::Add,
+            (BinKind::Sub, false) => BinOp::Sub,
+            (BinKind::Mul, false) => BinOp::Mul,
+            (BinKind::Div, false) => BinOp::SDiv,
+            (BinKind::Add, true) => BinOp::FAdd,
+            (BinKind::Sub, true) => BinOp::FSub,
+            (BinKind::Mul, true) => BinOp::FMul,
+            (BinKind::Div, true) => BinOp::FDiv,
+            _ => return self.err(line, "unsupported compound assignment operator"),
+        };
+        let ty = a.ty;
+        let op = self.b.bin(kind, a.op, b.op, "");
+        Ok(CgVal { ty, op })
+    }
+
+    // --- Control flow -----------------------------------------------------------
+
+    fn uniform_if(
+        &mut self,
+        cond: Operand,
+        then_body: &[Stmt],
+        else_body: &[Stmt],
+        ctx: &Ctx,
+    ) -> CResult<()> {
+        let assigned: Vec<String> = {
+            let mut v = assigned_vars(then_body);
+            for n in assigned_vars(else_body) {
+                if !v.contains(&n) {
+                    v.push(n);
+                }
+            }
+            v.retain(|n| self.var_val(n).is_some());
+            v
+        };
+        let pre: Vec<(String, STy, Operand)> = assigned
+            .iter()
+            .map(|n| {
+                let (t, v) = self.var_val(n).unwrap();
+                (n.clone(), t, v)
+            })
+            .collect();
+
+        let id = self.fresh("if");
+        let then_bb = self.b.add_block(format!("{id}.then"));
+        let merge_bb = self.b.add_block(format!("{id}.end"));
+        let has_else = !else_body.is_empty();
+        let else_bb = if has_else {
+            self.b.add_block(format!("{id}.else"))
+        } else {
+            merge_bb
+        };
+        let entry_end = self.b.current_block();
+        self.b.cond_br(cond, then_bb, else_bb);
+
+        self.b.position_at(then_bb);
+        self.stmts(then_body, ctx, false)?;
+        let then_end = self.b.current_block();
+        let then_vals: Vec<Operand> = pre.iter().map(|(n, _, _)| self.var_val(n).unwrap().1).collect();
+        self.b.br(merge_bb);
+
+        let (else_end, else_vals) = if has_else {
+            // Restore pre-branch values.
+            for (n, _, v) in &pre {
+                self.set_var(n, v.clone(), 0)?;
+            }
+            self.b.position_at(else_bb);
+            self.stmts(else_body, ctx, false)?;
+            let end = self.b.current_block();
+            let vals: Vec<Operand> =
+                pre.iter().map(|(n, _, _)| self.var_val(n).unwrap().1).collect();
+            self.b.br(merge_bb);
+            (end, vals)
+        } else {
+            (entry_end, pre.iter().map(|(_, _, v)| v.clone()).collect())
+        };
+
+        self.b.position_at(merge_bb);
+        for (i, (n, t, _)) in pre.iter().enumerate() {
+            let ty = self.ir_ty(*t);
+            let phi = self.b.phi(ty, n);
+            self.b.add_incoming(&phi, then_end, then_vals[i].clone());
+            self.b.add_incoming(&phi, else_end, else_vals[i].clone());
+            self.set_var(n, phi, 0)?;
+        }
+        Ok(())
+    }
+
+    fn varying_if(
+        &mut self,
+        cond_i1: Operand,
+        then_body: &[Stmt],
+        else_body: &[Stmt],
+        ctx: &Ctx,
+        line: usize,
+    ) -> CResult<()> {
+        let assigned: Vec<String> = {
+            let mut v = assigned_vars(then_body);
+            for n in assigned_vars(else_body) {
+                if !v.contains(&n) {
+                    v.push(n);
+                }
+            }
+            v.retain(|n| self.var_val(n).is_some());
+            v
+        };
+        // Reject uniform mutation up front (clearer than failing mid-arm).
+        for n in &assigned {
+            if let Some((t, _)) = self.var_val(n) {
+                if t.uniform {
+                    return self.err(
+                        line,
+                        format!("cannot assign to uniform '{n}' inside varying if"),
+                    );
+                }
+            }
+        }
+
+        // ISPC guards each arm with an "any lane active?" branch (the
+        // movmsk/cif pattern), which is precisely what makes vector masks
+        // *control* fault sites in the paper's site taxonomy.
+        let then_mask = self.and_masks(&ctx.mask, cond_i1.clone());
+        self.guarded_arm(cond_i1.clone(), then_mask, then_body, &assigned, ctx, line)?;
+
+        if !else_body.is_empty() {
+            let ones = Operand::Const(Constant::splat(ScalarTy::I1, self.lanes(), 1));
+            let not_cond = self.b.bin(BinOp::Xor, cond_i1, ones, "if_not");
+            let else_mask = self.and_masks(&ctx.mask, not_cond.clone());
+            self.guarded_arm(not_cond, else_mask, else_body, &assigned, ctx, line)?;
+        }
+        Ok(())
+    }
+
+    /// One arm of a varying `if`: skip it entirely when no lane is active,
+    /// otherwise execute under `arm_mask` and blend assigned variables
+    /// with `select(sel_cond, new, old)`.
+    fn guarded_arm(
+        &mut self,
+        sel_cond: Operand,
+        arm_mask: Operand,
+        body: &[Stmt],
+        assigned: &[String],
+        ctx: &Ctx,
+        line: usize,
+    ) -> CResult<()> {
+        let pre: Vec<(String, STy, Operand)> = assigned
+            .iter()
+            .map(|n| {
+                let (t, v) = self.var_val(n).unwrap();
+                (n.clone(), t, v)
+            })
+            .collect();
+        let id = self.fresh("cif");
+        let arm_bb = self.b.add_block(format!("{id}.arm"));
+        let merge_bb = self.b.add_block(format!("{id}.merge"));
+        let any = self.b.call(
+            vir::intrinsics::mask_any_name(self.lanes()),
+            vec![arm_mask.clone()],
+            Type::I1,
+            "any",
+        );
+        let from = self.b.current_block();
+        self.b.cond_br(any, arm_bb, merge_bb);
+
+        self.b.position_at(arm_bb);
+        let arm_ctx = Ctx {
+            mask: Mask::Vec(arm_mask),
+            varying_control: true,
+            foreach: ctx.foreach.clone(),
+        };
+        self.stmts(body, &arm_ctx, false)?;
+        let mut blended: Vec<Operand> = Vec::with_capacity(pre.len());
+        for (n, _, old) in &pre {
+            let new = self.var_val(n).unwrap().1;
+            blended.push(self.b.select(sel_cond.clone(), new, old.clone(), n));
+        }
+        let arm_end = self.b.current_block();
+        self.b.br(merge_bb);
+
+        self.b.position_at(merge_bb);
+        for (i, (n, t, old)) in pre.iter().enumerate() {
+            let ty = self.ir_ty(*t);
+            let phi = self.b.phi(ty, n);
+            self.b.add_incoming(&phi, from, old.clone());
+            self.b.add_incoming(&phi, arm_end, blended[i].clone());
+            self.set_var(n, phi, line)?;
+        }
+        Ok(())
+    }
+
+    fn uniform_while(&mut self, cond: &Expr, body: &[Stmt], ctx: &Ctx, line: usize) -> CResult<()> {
+        let assigned: Vec<String> = {
+            let mut v = assigned_vars(body);
+            v.retain(|n| self.var_val(n).is_some());
+            v
+        };
+        let id = self.fresh("while");
+        let header = self.b.add_block(format!("{id}.header"));
+        let body_bb = self.b.add_block(format!("{id}.body"));
+        let exit_bb = self.b.add_block(format!("{id}.exit"));
+
+        let pre_end = self.b.current_block();
+        self.b.br(header);
+
+        self.b.position_at(header);
+        let mut phis: Vec<(String, Operand)> = Vec::new();
+        for n in &assigned {
+            let (t, v) = self.var_val(n).unwrap();
+            let ty = self.ir_ty(t);
+            let phi = self.b.phi(ty, n);
+            self.b.add_incoming(&phi, pre_end, v);
+            self.set_var(n, phi.clone(), line)?;
+            phis.push((n.clone(), phi));
+        }
+        let cv = self.expr(cond, ctx)?;
+        let cv = self.convert(cv, BaseTy::Bool, line)?;
+        if !cv.ty.uniform {
+            return self.err(line, "while condition must be uniform (varying loops are compiled as masked foreach bodies)");
+        }
+        self.b.cond_br(cv.op, body_bb, exit_bb);
+
+        self.b.position_at(body_bb);
+        self.stmts(body, ctx, false)?;
+        let latch = self.b.current_block();
+        for (n, phi) in &phis {
+            let v = self.var_val(n).unwrap().1;
+            self.b.add_incoming(phi, latch, v);
+            // Exit value is the header phi.
+            self.set_var(n, phi.clone(), line)?;
+        }
+        self.b.br(header);
+
+        self.b.position_at(exit_bb);
+        Ok(())
+    }
+
+    /// Varying-condition `while`: the ISPC masked loop. Lanes drop out as
+    /// their condition goes false; the loop runs while *any* lane under the
+    /// enclosing mask is still live (a `mask.any` back-edge check, ISPC's
+    /// movmsk idiom). Assignments are blended with the live mask at the
+    /// latch so retired lanes keep their final values.
+    fn varying_while(
+        &mut self,
+        cond: &Expr,
+        body: &[Stmt],
+        ctx: &Ctx,
+        line: usize,
+    ) -> CResult<()> {
+        let assigned: Vec<String> = {
+            let mut v = assigned_vars(body);
+            v.retain(|n| self.var_val(n).is_some());
+            v
+        };
+        for n in &assigned {
+            if let Some((t, _)) = self.var_val(n) {
+                if t.uniform {
+                    return self.err(
+                        line,
+                        format!("cannot assign to uniform '{n}' inside a varying while"),
+                    );
+                }
+            }
+        }
+        let id = self.fresh("vwhile");
+        let header = self.b.add_block(format!("{id}.header"));
+        let body_bb = self.b.add_block(format!("{id}.body"));
+        let exit_bb = self.b.add_block(format!("{id}.exit"));
+
+        let pre_end = self.b.current_block();
+        self.b.br(header);
+
+        self.b.position_at(header);
+        let mut phis: Vec<(String, Operand)> = Vec::new();
+        for n in &assigned {
+            let (t, v) = self.var_val(n).unwrap();
+            let ty = self.ir_ty(t);
+            let phi = self.b.phi(ty, n);
+            self.b.add_incoming(&phi, pre_end, v);
+            self.set_var(n, phi.clone(), line)?;
+            phis.push((n.clone(), phi));
+        }
+        let cv = self.expr(cond, ctx)?;
+        let cv = self.convert(cv, BaseTy::Bool, line)?;
+        let cv = self.to_varying(cv, "loop_cond");
+        let live = self.and_masks(&ctx.mask, cv.op);
+        let any = self.b.call(
+            vir::intrinsics::mask_any_name(self.lanes()),
+            vec![live.clone()],
+            Type::I1,
+            "loop_any",
+        );
+        self.b.cond_br(any, body_bb, exit_bb);
+
+        self.b.position_at(body_bb);
+        let body_ctx = Ctx {
+            mask: Mask::Vec(live.clone()),
+            varying_control: true,
+            foreach: ctx.foreach.clone(),
+        };
+        self.stmts(body, &body_ctx, false)?;
+        let latch = self.b.current_block();
+        for (n, phi) in &phis {
+            let cur = self.var_val(n).unwrap().1;
+            let merged = self.b.select(live.clone(), cur, phi.clone(), n);
+            self.b.add_incoming(phi, latch, merged);
+            self.set_var(n, phi.clone(), line)?;
+        }
+        self.b.br(header);
+
+        self.b.position_at(exit_bb);
+        Ok(())
+    }
+
+    /// The ISPC foreach lowering (paper Fig. 7). See module docs.
+    fn foreach(
+        &mut self,
+        var: &str,
+        start: &Expr,
+        end: &Expr,
+        body: &[Stmt],
+        ctx: &Ctx,
+        line: usize,
+    ) -> CResult<()> {
+        let vl = self.lanes();
+        let sfx = if self.foreach_count == 0 {
+            String::new()
+        } else {
+            format!(".{}", self.foreach_count)
+        };
+        self.foreach_count += 1;
+
+        // Iteration space.
+        let start_v = self.expr(start, ctx)?;
+        let start_v = self.convert(start_v, BaseTy::Int, line)?;
+        if !start_v.ty.uniform {
+            return self.err(line, "foreach bounds must be uniform");
+        }
+        let end_v = self.expr(end, ctx)?;
+        let end_v = self.convert(end_v, BaseTy::Int, line)?;
+        if !end_v.ty.uniform {
+            return self.err(line, "foreach bounds must be uniform");
+        }
+        let start_is_zero = matches!(&start_v.op, Operand::Const(c) if c.as_i64() == Some(0));
+        let n_iters = if start_is_zero {
+            end_v.op.clone()
+        } else {
+            self.b
+                .bin(BinOp::Sub, end_v.op.clone(), start_v.op.clone(), "n_iters")
+        };
+        let nextras = self.b.bin(
+            BinOp::SRem,
+            n_iters.clone(),
+            Constant::i32(vl as i32).into(),
+            &format!("nextras{sfx}"),
+        );
+        let aligned_end = self.b.bin(
+            BinOp::Sub,
+            n_iters.clone(),
+            nextras.clone(),
+            &format!("aligned_end{sfx}"),
+        );
+
+        // Loop-carried variables (uniform reductions etc.).
+        let assigned: Vec<String> = {
+            let mut v = assigned_vars(body);
+            v.retain(|n| self.var_val(n).is_some());
+            v
+        };
+        let pre: Vec<(String, STy, Operand)> = assigned
+            .iter()
+            .map(|n| {
+                let (t, v) = self.var_val(n).unwrap();
+                (n.clone(), t, v)
+            })
+            .collect();
+
+        let lr_ph = self.b.add_block(format!("foreach_full_body.lr.ph{sfx}"));
+        let full_body = self.b.add_block(format!("foreach_full_body{sfx}"));
+        let partial_outer = self
+            .b
+            .add_block(format!("partial_inner_all_outer{sfx}"));
+        let partial_inner = self.b.add_block(format!("partial_inner_only{sfx}"));
+        let reset = self.b.add_block(format!("foreach_reset{sfx}"));
+
+        let entry_end = self.b.current_block();
+        let enter_full = self.b.icmp(
+            ICmpPred::Sgt,
+            aligned_end.clone(),
+            Constant::i32(0).into(),
+            "enter_full",
+        );
+        self.b.cond_br(enter_full, lr_ph, partial_outer);
+
+        self.b.position_at(lr_ph);
+        self.b.br(full_body);
+
+        // --- Full body: all lanes on. ---
+        self.b.position_at(full_body);
+        let counter = self.b.phi(Type::I32, &format!("counter{sfx}"));
+        self.b.add_incoming(&counter, lr_ph, Constant::i32(0).into());
+        let mut full_phis: Vec<(String, Operand)> = Vec::new();
+        for (n, t, v) in &pre {
+            let ty = self.ir_ty(*t);
+            let phi = self.b.phi(ty, n);
+            self.b.add_incoming(&phi, lr_ph, v.clone());
+            self.set_var(n, phi.clone(), line)?;
+            full_phis.push((n.clone(), phi));
+        }
+        let base_index = if start_is_zero {
+            counter.clone()
+        } else {
+            self.b
+                .bin(BinOp::Add, counter.clone(), start_v.op.clone(), "base_idx")
+        };
+        let lane_ids: Operand = Constant::lane_ids(vl).into();
+        let base_bcast = {
+            let v = CgVal {
+                ty: STy::uniform(BaseTy::Int),
+                op: base_index.clone(),
+            };
+            self.to_varying(v, "smear_index").op
+        };
+        let varying_index = self
+            .b
+            .bin(BinOp::Add, base_bcast, lane_ids.clone(), "varying_index");
+
+        let body_ctx = Ctx {
+            mask: Mask::AllOn,
+            varying_control: false,
+            foreach: Some(ForeachCtx {
+                var: var.to_string(),
+                base_index: base_index.clone(),
+                varying_index: varying_index.clone(),
+            }),
+        };
+        self.push_scope();
+        self.declare(
+            var,
+            Binding::Var {
+                ty: STy::varying(BaseTy::Int),
+                val: varying_index.clone(),
+            },
+            line,
+        )?;
+        self.stmts_inner(body, &body_ctx, false)?;
+        self.pop_scope();
+
+        let latch = self.b.current_block();
+        let new_counter = self.b.bin(
+            BinOp::Add,
+            counter.clone(),
+            Constant::i32(vl as i32).into(),
+            &format!("new_counter{sfx}"),
+        );
+        self.b.add_incoming(&counter, latch, new_counter.clone());
+        let full_exit_vals: Vec<Operand> = pre
+            .iter()
+            .map(|(n, _, _)| self.var_val(n).unwrap().1)
+            .collect();
+        for ((_, phi), (n, _, _)) in full_phis.iter().zip(&pre) {
+            let v = self.var_val(n).unwrap().1;
+            self.b.add_incoming(phi, latch, v);
+        }
+        let keep_going = self.b.icmp(
+            ICmpPred::Slt,
+            new_counter.clone(),
+            aligned_end.clone(),
+            "keep_going",
+        );
+        self.b.cond_br(keep_going, full_body, partial_outer);
+
+        // --- Partial outer: merge entry-skip and loop-exit paths. ---
+        self.b.position_at(partial_outer);
+        let mut outer_vals: Vec<Operand> = Vec::new();
+        for (i, (n, t, v0)) in pre.iter().enumerate() {
+            let ty = self.ir_ty(*t);
+            let phi = self.b.phi(ty, n);
+            self.b.add_incoming(&phi, entry_end, v0.clone());
+            self.b.add_incoming(&phi, latch, full_exit_vals[i].clone());
+            self.set_var(n, phi.clone(), line)?;
+            outer_vals.push(phi);
+        }
+        let has_extras = self.b.icmp(
+            ICmpPred::Sgt,
+            nextras.clone(),
+            Constant::i32(0).into(),
+            "has_extras",
+        );
+        self.b.cond_br(has_extras, partial_inner, reset);
+
+        // --- Partial body: masked remainder. ---
+        self.b.position_at(partial_inner);
+        let p_base = if start_is_zero {
+            aligned_end.clone()
+        } else {
+            self.b
+                .bin(BinOp::Add, aligned_end.clone(), start_v.op.clone(), "p_base")
+        };
+        let p_bcast = {
+            let v = CgVal {
+                ty: STy::uniform(BaseTy::Int),
+                op: p_base.clone(),
+            };
+            self.to_varying(v, "p_smear").op
+        };
+        let p_index = self
+            .b
+            .bin(BinOp::Add, p_bcast, lane_ids.clone(), "p_varying_index");
+        let nextras_bcast = {
+            let v = CgVal {
+                ty: STy::uniform(BaseTy::Int),
+                op: nextras.clone(),
+            };
+            self.to_varying(v, "nextras_smear").op
+        };
+        let p_mask = self
+            .b
+            .icmp(ICmpPred::Slt, lane_ids, nextras_bcast, "partial_mask");
+        let p_ctx = Ctx {
+            mask: Mask::Vec(p_mask),
+            varying_control: false,
+            foreach: Some(ForeachCtx {
+                var: var.to_string(),
+                base_index: p_base,
+                varying_index: p_index.clone(),
+            }),
+        };
+        self.push_scope();
+        self.declare(
+            var,
+            Binding::Var {
+                ty: STy::varying(BaseTy::Int),
+                val: p_index,
+            },
+            line,
+        )?;
+        self.stmts_inner(body, &p_ctx, false)?;
+        self.pop_scope();
+        let partial_end = self.b.current_block();
+        let partial_vals: Vec<Operand> = pre
+            .iter()
+            .map(|(n, _, _)| self.var_val(n).unwrap().1)
+            .collect();
+        self.b.br(reset);
+
+        // --- Reset: rejoin. ---
+        self.b.position_at(reset);
+        for (i, (n, t, _)) in pre.iter().enumerate() {
+            let ty = self.ir_ty(*t);
+            let phi = self.b.phi(ty, n);
+            self.b.add_incoming(&phi, partial_outer, outer_vals[i].clone());
+            self.b.add_incoming(&phi, partial_end, partial_vals[i].clone());
+            self.set_var(n, phi, line)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vir::printer::print_module;
+
+    const VCOPY: &str = r#"
+export void vcopy_ispc(uniform float a1[], uniform float a2[], uniform int n) {
+    foreach (i = 0 ... n) {
+        a2[i] = a1[i];
+    }
+}
+"#;
+
+    #[test]
+    fn compiles_vcopy_on_both_targets() {
+        for isa in VectorIsa::ALL {
+            let m = compile(VCOPY, isa, "vcopy").unwrap();
+            let f = m.function("vcopy_ispc").unwrap();
+            assert_eq!(f.blocks[0].name, "allocas");
+            assert!(f.block_by_name("foreach_full_body").is_some());
+            assert!(f.block_by_name("partial_inner_only").is_some());
+            assert!(f.block_by_name("foreach_reset").is_some());
+        }
+    }
+
+    #[test]
+    fn vcopy_avx_uses_paper_intrinsics() {
+        let m = compile(VCOPY, VectorIsa::Avx, "vcopy").unwrap();
+        let text = print_module(&m);
+        assert!(text.contains("@llvm.x86.avx.maskload.ps.256"), "{text}");
+        assert!(text.contains("@llvm.x86.avx.maskstore.ps.256"), "{text}");
+        assert!(text.contains("%nextras = srem i32 %n, 8"), "{text}");
+        assert!(text.contains("%aligned_end = sub i32 %n, %nextras"), "{text}");
+        assert!(text.contains("%new_counter = add i32 %counter, 8"), "{text}");
+    }
+
+    #[test]
+    fn sse_target_narrower() {
+        let m = compile(VCOPY, VectorIsa::Sse4, "vcopy").unwrap();
+        let text = print_module(&m);
+        assert!(text.contains("<4 x float>"), "{text}");
+        assert!(text.contains("srem i32 %n, 4"), "{text}");
+        assert!(text.contains("@llvm.x86.sse41.maskload.ps"), "{text}");
+    }
+
+    #[test]
+    fn uniform_broadcast_uses_fig9_pattern() {
+        let src = r#"
+export void scale(uniform float a[], uniform int n, uniform float s) {
+    foreach (i = 0 ... n) {
+        a[i] = a[i] * s;
+    }
+}
+"#;
+        let m = compile(src, VectorIsa::Avx, "scale").unwrap();
+        let text = print_module(&m);
+        assert!(
+            text.contains("insertelement <8 x float> undef, float %s, i32 0"),
+            "{text}"
+        );
+        assert!(text.contains("shufflevector"), "{text}");
+    }
+
+    #[test]
+    fn reductions_compile() {
+        let src = r#"
+export uniform float dotp(uniform float a[], uniform float b[], uniform int n) {
+    uniform float sum = 0.0;
+    foreach (i = 0 ... n) {
+        sum += reduce_add(a[i] * b[i]);
+    }
+    return sum;
+}
+"#;
+        for isa in VectorIsa::ALL {
+            compile(src, isa, "dotp").unwrap();
+        }
+    }
+
+    #[test]
+    fn varying_if_blends_with_select() {
+        let src = r#"
+export void relu(uniform float a[], uniform int n) {
+    foreach (i = 0 ... n) {
+        float v = a[i];
+        if (v < 0.0) {
+            v = 0.0;
+        }
+        a[i] = v;
+    }
+}
+"#;
+        let m = compile(src, VectorIsa::Avx, "relu").unwrap();
+        let text = print_module(&m);
+        assert!(text.contains("select <8 x i1>"), "{text}");
+    }
+
+    #[test]
+    fn gather_scatter_scalarize() {
+        let src = r#"
+export void permute(uniform float a[], uniform int idx[], uniform float out[], uniform int n) {
+    foreach (i = 0 ... n) {
+        int j = idx[i];
+        out[i] = a[j];
+    }
+}
+"#;
+        let m = compile(src, VectorIsa::Avx, "perm").unwrap();
+        let text = print_module(&m);
+        // The gather scalarizes: extractelement + getelementptr + load per lane.
+        assert!(text.matches("extractelement").count() >= 8, "{text}");
+    }
+
+    #[test]
+    fn stencil_offsets_are_affine() {
+        let src = r#"
+export void blur(uniform float a[], uniform float out[], uniform int n) {
+    foreach (i = 0 ... n) {
+        out[i + 1] = (a[i] + a[i + 1] + a[i + 2]) / 3.0;
+    }
+}
+"#;
+        let m = compile(src, VectorIsa::Avx, "blur").unwrap();
+        let text = print_module(&m);
+        // Affine accesses must not scalarize into 8 per-lane loads.
+        let gathers = text.matches("lane0.load").count();
+        assert_eq!(gathers, 0, "{text}");
+    }
+
+    #[test]
+    fn uniform_loops_and_ifs() {
+        let src = r#"
+export uniform int collatz_steps(uniform int start) {
+    uniform int x = start;
+    uniform int steps = 0;
+    while (x > 1) {
+        if (x % 2 == 0) {
+            x = x / 2;
+        } else {
+            x = 3 * x + 1;
+        }
+        steps += 1;
+    }
+    return steps;
+}
+"#;
+        compile(src, VectorIsa::Avx, "collatz").unwrap();
+    }
+
+    #[test]
+    fn for_loops_desugar() {
+        let src = r#"
+export uniform float geo(uniform int n) {
+    uniform float acc = 0.0;
+    for (uniform int k = 0; k < n; k++) {
+        acc = acc * 0.5 + 1.0;
+    }
+    return acc;
+}
+"#;
+        compile(src, VectorIsa::Sse4, "geo").unwrap();
+    }
+
+    #[test]
+    fn rejects_varying_to_uniform_assignment() {
+        let src = r#"
+export void f(uniform float a[], uniform int n) {
+    uniform float x = 0.0;
+    foreach (i = 0 ... n) {
+        x = a[i];
+    }
+}
+"#;
+        let e = compile(src, VectorIsa::Avx, "f").unwrap_err();
+        assert!(e.msg.contains("varying"), "{e}");
+    }
+
+    #[test]
+    fn rejects_uniform_assignment_in_varying_if() {
+        let src = r#"
+export void f(uniform float a[], uniform int n) {
+    uniform int hits = 0;
+    foreach (i = 0 ... n) {
+        if (a[i] > 0.0) {
+            hits = 1;
+        }
+    }
+}
+"#;
+        let e = compile(src, VectorIsa::Avx, "f").unwrap_err();
+        assert!(e.msg.contains("uniform"), "{e}");
+    }
+
+    #[test]
+    fn rejects_unknown_identifiers_and_functions() {
+        assert!(compile("export void f() { nope = 3; }", VectorIsa::Avx, "m").is_err());
+        assert!(
+            compile("export void f(uniform float a[]) { a[0] = whatsit(1.0); }", VectorIsa::Avx, "m")
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn program_index_and_count() {
+        let src = r#"
+export void iota(uniform int out[], uniform int n) {
+    foreach (i = 0 ... n) {
+        out[i] = i * programCount + programIndex;
+    }
+}
+"#;
+        compile(src, VectorIsa::Avx, "iota").unwrap();
+    }
+
+    #[test]
+    fn math_builtins_all_compile() {
+        let src = r#"
+export void m(uniform float a[], uniform int n) {
+    foreach (i = 0 ... n) {
+        float x = a[i];
+        a[i] = sqrt(x) + exp(x) + log(x) + sin(x) + cos(x) + floor(x)
+             + abs(x) + pow(x, 2.0) + min(x, 1.0) + max(x, 0.0) + clamp(x, 0.0, 1.0);
+    }
+}
+"#;
+        for isa in VectorIsa::ALL {
+            compile(src, isa, "m").unwrap();
+        }
+    }
+}

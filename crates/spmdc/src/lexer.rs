@@ -1,0 +1,385 @@
+//! Lexer for SPMD-C, the ISPC-subset input language.
+
+use std::fmt;
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    // Literals
+    Int(i64),
+    Float(f64),
+    // Identifiers and keywords
+    Ident(String),
+    Kw(Kw),
+    // Punctuation / operators
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    Ne,
+    AndAnd,
+    OrOr,
+    Not,
+    Amp,
+    Pipe,
+    Caret,
+    Shl,
+    Shr,
+    Question,
+    Colon,
+    PlusPlus,
+    MinusMinus,
+    DotDotDot,
+}
+
+/// Keywords.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kw {
+    Uniform,
+    Varying,
+    Int,
+    Float,
+    Double,
+    Bool,
+    Void,
+    If,
+    Else,
+    For,
+    While,
+    Foreach,
+    Return,
+    True,
+    False,
+    Export,
+}
+
+fn keyword(s: &str) -> Option<Kw> {
+    Some(match s {
+        "uniform" => Kw::Uniform,
+        "varying" => Kw::Varying,
+        "int" => Kw::Int,
+        "float" => Kw::Float,
+        "double" => Kw::Double,
+        "bool" => Kw::Bool,
+        "void" => Kw::Void,
+        "if" => Kw::If,
+        "else" => Kw::Else,
+        "for" => Kw::For,
+        "while" => Kw::While,
+        "foreach" => Kw::Foreach,
+        "return" => Kw::Return,
+        "true" => Kw::True,
+        "false" => Kw::False,
+        "export" => Kw::Export,
+        _ => return None,
+    })
+}
+
+/// A token with its source line (1-based).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: usize,
+}
+
+/// Lexical error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    pub line: usize,
+    pub msg: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize a source string. `//` and `/* */` comments are skipped.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let start_line = line;
+            i += 2;
+            loop {
+                if i >= chars.len() {
+                    return Err(LexError {
+                        line: start_line,
+                        msg: "unterminated block comment".into(),
+                    });
+                }
+                if chars[i] == '\n' {
+                    line += 1;
+                }
+                if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    i += 2;
+                    break;
+                }
+                i += 1;
+            }
+            continue;
+        }
+        // Numbers
+        if c.is_ascii_digit() || (c == '.' && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit()))
+        {
+            let start = i;
+            let mut is_float = false;
+            while i < chars.len() {
+                let d = chars[i];
+                if d.is_ascii_digit() {
+                    i += 1;
+                } else if d == '.' && !is_float {
+                    is_float = true;
+                    i += 1;
+                } else if (d == 'e' || d == 'E')
+                    && chars
+                        .get(i + 1)
+                        .is_some_and(|n| n.is_ascii_digit() || *n == '+' || *n == '-')
+                {
+                    is_float = true;
+                    i += 2;
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    break;
+                } else {
+                    break;
+                }
+            }
+            // Optional float suffix.
+            if i < chars.len() && (chars[i] == 'f' || chars[i] == 'F') {
+                i += 1;
+                let text: String = chars[start..i - 1].iter().collect();
+                let v: f64 = text.parse().map_err(|_| LexError {
+                    line,
+                    msg: format!("bad float literal {text}"),
+                })?;
+                toks.push(Token {
+                    tok: Tok::Float(v),
+                    line,
+                });
+                continue;
+            }
+            let text: String = chars[start..i].iter().collect();
+            if is_float {
+                let v: f64 = text.parse().map_err(|_| LexError {
+                    line,
+                    msg: format!("bad float literal {text}"),
+                })?;
+                toks.push(Token {
+                    tok: Tok::Float(v),
+                    line,
+                });
+            } else {
+                let v: i64 = text.parse().map_err(|_| LexError {
+                    line,
+                    msg: format!("bad integer literal {text}"),
+                })?;
+                toks.push(Token {
+                    tok: Tok::Int(v),
+                    line,
+                });
+            }
+            continue;
+        }
+        // Identifiers / keywords
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            let tok = match keyword(&text) {
+                Some(k) => Tok::Kw(k),
+                None => Tok::Ident(text),
+            };
+            toks.push(Token { tok, line });
+            continue;
+        }
+        // Operators / punctuation
+        let two = |a: char, b: char| c == a && chars.get(i + 1) == Some(&b);
+        let (tok, width) = if c == '.' && chars.get(i + 1) == Some(&'.') && chars.get(i + 2) == Some(&'.') {
+            (Tok::DotDotDot, 3)
+        } else if two('+', '+') {
+            (Tok::PlusPlus, 2)
+        } else if two('-', '-') {
+            (Tok::MinusMinus, 2)
+        } else if two('+', '=') {
+            (Tok::PlusAssign, 2)
+        } else if two('-', '=') {
+            (Tok::MinusAssign, 2)
+        } else if two('*', '=') {
+            (Tok::StarAssign, 2)
+        } else if two('/', '=') {
+            (Tok::SlashAssign, 2)
+        } else if two('<', '=') {
+            (Tok::Le, 2)
+        } else if two('>', '=') {
+            (Tok::Ge, 2)
+        } else if two('=', '=') {
+            (Tok::EqEq, 2)
+        } else if two('!', '=') {
+            (Tok::Ne, 2)
+        } else if two('&', '&') {
+            (Tok::AndAnd, 2)
+        } else if two('|', '|') {
+            (Tok::OrOr, 2)
+        } else if two('<', '<') {
+            (Tok::Shl, 2)
+        } else if two('>', '>') {
+            (Tok::Shr, 2)
+        } else {
+            let t = match c {
+                '(' => Tok::LParen,
+                ')' => Tok::RParen,
+                '{' => Tok::LBrace,
+                '}' => Tok::RBrace,
+                '[' => Tok::LBracket,
+                ']' => Tok::RBracket,
+                ',' => Tok::Comma,
+                ';' => Tok::Semi,
+                '=' => Tok::Assign,
+                '+' => Tok::Plus,
+                '-' => Tok::Minus,
+                '*' => Tok::Star,
+                '/' => Tok::Slash,
+                '%' => Tok::Percent,
+                '<' => Tok::Lt,
+                '>' => Tok::Gt,
+                '!' => Tok::Not,
+                '&' => Tok::Amp,
+                '|' => Tok::Pipe,
+                '^' => Tok::Caret,
+                '?' => Tok::Question,
+                ':' => Tok::Colon,
+                _ => {
+                    return Err(LexError {
+                        line,
+                        msg: format!("unexpected character '{c}'"),
+                    })
+                }
+            };
+            (t, 1)
+        };
+        toks.push(Token { tok, line });
+        i += width;
+    }
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_keywords_and_idents() {
+        assert_eq!(
+            kinds("uniform int n"),
+            vec![Tok::Kw(Kw::Uniform), Tok::Kw(Kw::Int), Tok::Ident("n".into())]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(kinds("42"), vec![Tok::Int(42)]);
+        assert_eq!(kinds("1.5"), vec![Tok::Float(1.5)]);
+        assert_eq!(kinds("2.5f"), vec![Tok::Float(2.5)]);
+        assert_eq!(kinds("1e3"), vec![Tok::Float(1000.0)]);
+        assert_eq!(kinds("2E-2"), vec![Tok::Float(0.02)]);
+        assert_eq!(kinds(".5"), vec![Tok::Float(0.5)]);
+    }
+
+    #[test]
+    fn lexes_operators() {
+        assert_eq!(
+            kinds("a += b << 2"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::PlusAssign,
+                Tok::Ident("b".into()),
+                Tok::Shl,
+                Tok::Int(2)
+            ]
+        );
+        assert_eq!(kinds("..."), vec![Tok::DotDotDot]);
+        assert_eq!(kinds("i++"), vec![Tok::Ident("i".into()), Tok::PlusPlus]);
+    }
+
+    #[test]
+    fn skips_comments_and_counts_lines() {
+        let toks = lex("a // comment\nb /* multi\nline */ c").unwrap();
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 3);
+    }
+
+    #[test]
+    fn foreach_range_syntax() {
+        assert_eq!(
+            kinds("foreach (i = 0 ... n)"),
+            vec![
+                Tok::Kw(Kw::Foreach),
+                Tok::LParen,
+                Tok::Ident("i".into()),
+                Tok::Assign,
+                Tok::Int(0),
+                Tok::DotDotDot,
+                Tok::Ident("n".into()),
+                Tok::RParen
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_bad_chars() {
+        assert!(lex("a # b").is_err());
+        assert!(lex("/* unterminated").is_err());
+    }
+}

@@ -1,0 +1,47 @@
+//! # spmdc — a mini-ISPC (SPMD-on-SIMD) compiler targeting VIR
+//!
+//! The VULFI paper studies ISPC programs compiled with ISPC 1.8.1 at
+//! `-O3`. This crate is the stand-in for that compiler: it accepts an
+//! ISPC-subset language ("SPMD-C") and emits [`vir`] modules whose shape
+//! matches the code-generation patterns the paper's detector synthesis
+//! relies on (§III):
+//!
+//! - `foreach` lowers to the exact CFG of paper Fig. 7 — `allocas`,
+//!   `foreach_full_body.lr.ph`, `foreach_full_body` (stepping a `counter`
+//!   phi by `Vl`), `partial_inner_all_outer`, `partial_inner_only` (the
+//!   masked `n % Vl` remainder), `foreach_reset` — including the
+//!   `nextras`/`aligned_end` definitions the loop invariants reference;
+//! - uniform values broadcast with `insertelement undef` +
+//!   `shufflevector` (paper Fig. 9);
+//! - contiguous masked accesses use the AVX/SSE masked intrinsics of
+//!   paper Fig. 5; irregular accesses scalarize into per-lane
+//!   gather/scatter control flow.
+//!
+//! Two targets are supported, matching the paper's study: [`VectorIsa::Avx`]
+//! (8 lanes) and [`VectorIsa::Sse4`] (4 lanes).
+//!
+//! ## Example
+//!
+//! ```
+//! use spmdc::{compile, VectorIsa};
+//!
+//! let src = r#"
+//! export void vcopy_ispc(uniform int a1[], uniform int a2[], uniform int n) {
+//!     foreach (i = 0 ... n) {
+//!         a2[i] = a1[i];
+//!     }
+//! }
+//! "#;
+//! let module = compile(src, VectorIsa::Avx, "vcopy").unwrap();
+//! assert!(module.function("vcopy_ispc").is_some());
+//! ```
+
+pub mod ast;
+pub mod codegen;
+pub mod lexer;
+pub mod parser;
+pub mod target;
+
+pub use codegen::{compile, compile_program, CompileError};
+pub use parser::{parse_program, ParseError};
+pub use target::VectorIsa;

@@ -1,0 +1,709 @@
+//! Recursive-descent parser for SPMD-C.
+
+use crate::ast::*;
+use crate::lexer::{lex, Kw, LexError, Tok, Token};
+
+/// Parse error with a source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    pub line: usize,
+    pub msg: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> ParseError {
+        ParseError {
+            line: e.line,
+            msg: e.msg,
+        }
+    }
+}
+
+type PResult<T> = Result<T, ParseError>;
+
+/// Parse a whole SPMD-C translation unit.
+pub fn parse_program(src: &str) -> PResult<Program> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut prog = Program::default();
+    while !p.at_end() {
+        prog.funcs.push(p.func_def()?);
+    }
+    Ok(prog)
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map_or(0, |t| t.line)
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.pos + 1).map(|t| &t.tok)
+    }
+
+    fn bump(&mut self) -> PResult<Tok> {
+        let t = self
+            .toks
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| self.err("unexpected end of input"))?;
+        self.pos += 1;
+        Ok(t.tok)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line(),
+            msg: msg.into(),
+        }
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: Tok) -> PResult<()> {
+        if self.eat(&t) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {t:?}, got {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> PResult<String> {
+        match self.bump()? {
+            Tok::Ident(s) => Ok(s),
+            t => Err(self.err(format!("expected identifier, got {t:?}"))),
+        }
+    }
+
+    fn base_ty(&mut self) -> PResult<BaseTy> {
+        match self.bump()? {
+            Tok::Kw(Kw::Int) => Ok(BaseTy::Int),
+            Tok::Kw(Kw::Float) => Ok(BaseTy::Float),
+            Tok::Kw(Kw::Double) => Ok(BaseTy::Double),
+            Tok::Kw(Kw::Bool) => Ok(BaseTy::Bool),
+            t => Err(self.err(format!("expected type, got {t:?}"))),
+        }
+    }
+
+    fn is_base_ty(t: Option<&Tok>) -> bool {
+        matches!(
+            t,
+            Some(Tok::Kw(Kw::Int) | Tok::Kw(Kw::Float) | Tok::Kw(Kw::Double) | Tok::Kw(Kw::Bool))
+        )
+    }
+
+    // --- Declarations ------------------------------------------------------
+
+    fn func_def(&mut self) -> PResult<FuncDef> {
+        let line = self.line();
+        let export = self.eat(&Tok::Kw(Kw::Export));
+        // Return type: `void` or `[uniform] base`.
+        let ret = if self.eat(&Tok::Kw(Kw::Void)) {
+            None
+        } else {
+            let _ = self.eat(&Tok::Kw(Kw::Uniform)); // returns are uniform
+            Some(STy::uniform(self.base_ty()?))
+        };
+        let name = self.ident()?;
+        self.expect(Tok::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat(&Tok::RParen) {
+            loop {
+                params.push(self.param()?);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+            self.expect(Tok::RParen)?;
+        }
+        self.expect(Tok::LBrace)?;
+        let body = self.block_body()?;
+        Ok(FuncDef {
+            name,
+            params,
+            ret,
+            body,
+            export,
+            line,
+        })
+    }
+
+    fn param(&mut self) -> PResult<Param> {
+        let uniform = self.eat(&Tok::Kw(Kw::Uniform));
+        let varying = !uniform && self.eat(&Tok::Kw(Kw::Varying));
+        let base = self.base_ty()?;
+        let name = self.ident()?;
+        if self.eat(&Tok::LBracket) {
+            self.expect(Tok::RBracket)?;
+            if varying {
+                return Err(self.err("array parameters must be uniform"));
+            }
+            return Ok(Param {
+                name,
+                ty: ParamTy::Array { elem: base },
+            });
+        }
+        Ok(Param {
+            name,
+            ty: ParamTy::Scalar(STy {
+                base,
+                uniform: uniform || !varying, // scalars default uniform at the ABI
+            }),
+        })
+    }
+
+    // --- Statements --------------------------------------------------------
+
+    /// Statements until the closing `}` (which is consumed).
+    fn block_body(&mut self) -> PResult<Vec<Stmt>> {
+        let mut stmts = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            if self.at_end() {
+                return Err(self.err("unterminated block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    /// A `{ ... }` block or a single statement.
+    fn block_or_stmt(&mut self) -> PResult<Vec<Stmt>> {
+        if self.eat(&Tok::LBrace) {
+            self.block_body()
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    fn stmt(&mut self) -> PResult<Stmt> {
+        let line = self.line();
+        match self.peek() {
+            Some(Tok::Kw(Kw::Uniform) | Tok::Kw(Kw::Varying)) => {
+                let s = self.decl_stmt()?;
+                self.expect(Tok::Semi)?;
+                Ok(s)
+            }
+            t if Self::is_base_ty(t) => {
+                let s = self.decl_stmt()?;
+                self.expect(Tok::Semi)?;
+                Ok(s)
+            }
+            Some(Tok::Kw(Kw::If)) => {
+                self.bump()?;
+                self.expect(Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen)?;
+                let then_body = self.block_or_stmt()?;
+                let else_body = if self.eat(&Tok::Kw(Kw::Else)) {
+                    self.block_or_stmt()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::new(
+                    StmtKind::If {
+                        cond,
+                        then_body,
+                        else_body,
+                    },
+                    line,
+                ))
+            }
+            Some(Tok::Kw(Kw::While)) => {
+                self.bump()?;
+                self.expect(Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(Tok::RParen)?;
+                let body = self.block_or_stmt()?;
+                Ok(Stmt::new(StmtKind::While { cond, body }, line))
+            }
+            Some(Tok::Kw(Kw::For)) => {
+                self.bump()?;
+                self.expect(Tok::LParen)?;
+                let init = if self.eat(&Tok::Semi) {
+                    None
+                } else {
+                    let s = if Self::is_base_ty(self.peek())
+                        || matches!(self.peek(), Some(Tok::Kw(Kw::Uniform) | Tok::Kw(Kw::Varying)))
+                    {
+                        self.decl_stmt()?
+                    } else {
+                        self.simple_stmt()?
+                    };
+                    self.expect(Tok::Semi)?;
+                    Some(Box::new(s))
+                };
+                let cond = self.expr()?;
+                self.expect(Tok::Semi)?;
+                let step = if self.peek() == Some(&Tok::RParen) {
+                    None
+                } else {
+                    Some(Box::new(self.simple_stmt()?))
+                };
+                self.expect(Tok::RParen)?;
+                let body = self.block_or_stmt()?;
+                Ok(Stmt::new(
+                    StmtKind::For {
+                        init,
+                        cond,
+                        step,
+                        body,
+                    },
+                    line,
+                ))
+            }
+            Some(Tok::Kw(Kw::Foreach)) => {
+                self.bump()?;
+                self.expect(Tok::LParen)?;
+                let var = self.ident()?;
+                self.expect(Tok::Assign)?;
+                let start = self.expr()?;
+                self.expect(Tok::DotDotDot)?;
+                let end = self.expr()?;
+                self.expect(Tok::RParen)?;
+                let body = self.block_or_stmt()?;
+                Ok(Stmt::new(
+                    StmtKind::Foreach {
+                        var,
+                        start,
+                        end,
+                        body,
+                    },
+                    line,
+                ))
+            }
+            Some(Tok::Kw(Kw::Return)) => {
+                self.bump()?;
+                let val = if self.peek() == Some(&Tok::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::new(StmtKind::Return(val), line))
+            }
+            _ => {
+                let s = self.simple_stmt()?;
+                self.expect(Tok::Semi)?;
+                Ok(s)
+            }
+        }
+    }
+
+    /// Declaration without trailing `;`: `[uniform|varying] base name = e`.
+    fn decl_stmt(&mut self) -> PResult<Stmt> {
+        let line = self.line();
+        let uniform = self.eat(&Tok::Kw(Kw::Uniform));
+        let _varying = !uniform && self.eat(&Tok::Kw(Kw::Varying));
+        let base = self.base_ty()?;
+        let name = self.ident()?;
+        self.expect(Tok::Assign)?;
+        let init = self.expr()?;
+        Ok(Stmt::new(
+            StmtKind::Decl {
+                ty: STy { base, uniform },
+                name,
+                init,
+            },
+            line,
+        ))
+    }
+
+    /// Assignment / compound assignment / `++`/`--` / expression statement,
+    /// without trailing `;`.
+    fn simple_stmt(&mut self) -> PResult<Stmt> {
+        let line = self.line();
+        // lvalue forms start with an identifier.
+        if let Some(Tok::Ident(_)) = self.peek() {
+            // Peek ahead to distinguish assignment from expression.
+            let name = match self.peek() {
+                Some(Tok::Ident(s)) => s.clone(),
+                _ => unreachable!(),
+            };
+            match self.peek2() {
+                Some(Tok::Assign)
+                | Some(Tok::PlusAssign)
+                | Some(Tok::MinusAssign)
+                | Some(Tok::StarAssign)
+                | Some(Tok::SlashAssign) => {
+                    self.bump()?; // ident
+                    let op = match self.bump()? {
+                        Tok::Assign => None,
+                        Tok::PlusAssign => Some(BinKind::Add),
+                        Tok::MinusAssign => Some(BinKind::Sub),
+                        Tok::StarAssign => Some(BinKind::Mul),
+                        Tok::SlashAssign => Some(BinKind::Div),
+                        _ => unreachable!(),
+                    };
+                    let value = self.expr()?;
+                    return Ok(Stmt::new(
+                        StmtKind::Assign {
+                            target: LValue::Var(name),
+                            op,
+                            value,
+                        },
+                        line,
+                    ));
+                }
+                Some(Tok::PlusPlus) | Some(Tok::MinusMinus) => {
+                    self.bump()?;
+                    let op = match self.bump()? {
+                        Tok::PlusPlus => BinKind::Add,
+                        _ => BinKind::Sub,
+                    };
+                    return Ok(Stmt::new(
+                        StmtKind::Assign {
+                            target: LValue::Var(name),
+                            op: Some(op),
+                            value: Expr::new(ExprKind::IntLit(1), line),
+                        },
+                        line,
+                    ));
+                }
+                Some(Tok::LBracket) => {
+                    // Could be `a[i] = e` or an expression starting with an
+                    // index; scan for the matching ']' and check what follows.
+                    let mut depth = 0usize;
+                    let mut k = self.pos + 1;
+                    let mut close = None;
+                    while k < self.toks.len() {
+                        match self.toks[k].tok {
+                            Tok::LBracket => depth += 1,
+                            Tok::RBracket => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    close = Some(k);
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    let is_assign = close.is_some_and(|c| {
+                        matches!(
+                            self.toks.get(c + 1).map(|t| &t.tok),
+                            Some(
+                                Tok::Assign
+                                    | Tok::PlusAssign
+                                    | Tok::MinusAssign
+                                    | Tok::StarAssign
+                                    | Tok::SlashAssign
+                            )
+                        )
+                    });
+                    if is_assign {
+                        self.bump()?; // ident
+                        self.expect(Tok::LBracket)?;
+                        let idx = self.expr()?;
+                        self.expect(Tok::RBracket)?;
+                        let op = match self.bump()? {
+                            Tok::Assign => None,
+                            Tok::PlusAssign => Some(BinKind::Add),
+                            Tok::MinusAssign => Some(BinKind::Sub),
+                            Tok::StarAssign => Some(BinKind::Mul),
+                            Tok::SlashAssign => Some(BinKind::Div),
+                            _ => unreachable!(),
+                        };
+                        let value = self.expr()?;
+                        return Ok(Stmt::new(
+                            StmtKind::Assign {
+                                target: LValue::Elem(name, idx),
+                                op,
+                                value,
+                            },
+                            line,
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+        let e = self.expr()?;
+        Ok(Stmt::new(StmtKind::ExprStmt(e), line))
+    }
+
+    // --- Expressions (precedence climbing) ---------------------------------
+
+    fn expr(&mut self) -> PResult<Expr> {
+        self.ternary()
+    }
+
+    fn ternary(&mut self) -> PResult<Expr> {
+        let line = self.line();
+        let cond = self.bin_expr(0)?;
+        if self.eat(&Tok::Question) {
+            let t = self.expr()?;
+            self.expect(Tok::Colon)?;
+            let e = self.expr()?;
+            return Ok(Expr::new(
+                ExprKind::Ternary(Box::new(cond), Box::new(t), Box::new(e)),
+                line,
+            ));
+        }
+        Ok(cond)
+    }
+
+    fn bin_op_of(tok: &Tok) -> Option<(BinKind, u8)> {
+        // Higher binds tighter.
+        Some(match tok {
+            Tok::OrOr => (BinKind::Or, 1),
+            Tok::AndAnd => (BinKind::And, 2),
+            Tok::Pipe => (BinKind::BitOr, 3),
+            Tok::Caret => (BinKind::BitXor, 4),
+            Tok::Amp => (BinKind::BitAnd, 5),
+            Tok::EqEq => (BinKind::Eq, 6),
+            Tok::Ne => (BinKind::Ne, 6),
+            Tok::Lt => (BinKind::Lt, 7),
+            Tok::Le => (BinKind::Le, 7),
+            Tok::Gt => (BinKind::Gt, 7),
+            Tok::Ge => (BinKind::Ge, 7),
+            Tok::Shl => (BinKind::Shl, 8),
+            Tok::Shr => (BinKind::Shr, 8),
+            Tok::Plus => (BinKind::Add, 9),
+            Tok::Minus => (BinKind::Sub, 9),
+            Tok::Star => (BinKind::Mul, 10),
+            Tok::Slash => (BinKind::Div, 10),
+            Tok::Percent => (BinKind::Rem, 10),
+            _ => return None,
+        })
+    }
+
+    fn bin_expr(&mut self, min_prec: u8) -> PResult<Expr> {
+        let mut lhs = self.unary()?;
+        while let Some(tok) = self.peek() {
+            let Some((op, prec)) = Self::bin_op_of(tok) else {
+                break;
+            };
+            if prec < min_prec {
+                break;
+            }
+            let line = self.line();
+            self.bump()?;
+            let rhs = self.bin_expr(prec + 1)?;
+            lhs = Expr::new(ExprKind::Bin(op, Box::new(lhs), Box::new(rhs)), line);
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> PResult<Expr> {
+        let line = self.line();
+        if self.eat(&Tok::Minus) {
+            let e = self.unary()?;
+            return Ok(Expr::new(ExprKind::Un(UnKind::Neg, Box::new(e)), line));
+        }
+        if self.eat(&Tok::Not) {
+            let e = self.unary()?;
+            return Ok(Expr::new(ExprKind::Un(UnKind::Not, Box::new(e)), line));
+        }
+        // Cast: `( basety )` followed by a unary expression.
+        if self.peek() == Some(&Tok::LParen) && Self::is_base_ty(self.peek2()) {
+            // Ensure it is `(ty)` and not e.g. `(int_var + ...)`: base types
+            // are keywords, so this is unambiguous.
+            self.bump()?; // (
+            let base = self.base_ty()?;
+            self.expect(Tok::RParen)?;
+            let e = self.unary()?;
+            return Ok(Expr::new(ExprKind::Cast(base, Box::new(e)), line));
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> PResult<Expr> {
+        let line = self.line();
+        match self.bump()? {
+            Tok::Int(v) => Ok(Expr::new(ExprKind::IntLit(v), line)),
+            Tok::Float(v) => Ok(Expr::new(ExprKind::FloatLit(v), line)),
+            Tok::Kw(Kw::True) => Ok(Expr::new(ExprKind::BoolLit(true), line)),
+            Tok::Kw(Kw::False) => Ok(Expr::new(ExprKind::BoolLit(false), line)),
+            Tok::LParen => {
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                if self.eat(&Tok::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat(&Tok::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&Tok::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(Tok::RParen)?;
+                    }
+                    return Ok(Expr::new(ExprKind::Call(name, args), line));
+                }
+                if self.eat(&Tok::LBracket) {
+                    let idx = self.expr()?;
+                    self.expect(Tok::RBracket)?;
+                    return Ok(Expr::new(ExprKind::Index(name, Box::new(idx)), line));
+                }
+                Ok(Expr::new(ExprKind::Ident(name), line))
+            }
+            t => Err(self.err(format!("unexpected token {t:?} in expression"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_vcopy() {
+        let src = r#"
+export void vcopy_ispc(uniform int a1[], uniform int a2[], uniform int n) {
+    foreach (i = 0 ... n) {
+        a2[i] = a1[i];
+    }
+}
+"#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.funcs.len(), 1);
+        let f = &p.funcs[0];
+        assert!(f.export);
+        assert_eq!(f.name, "vcopy_ispc");
+        assert_eq!(f.params.len(), 3);
+        assert!(matches!(f.params[0].ty, ParamTy::Array { elem: BaseTy::Int }));
+        assert!(matches!(f.body[0].kind, StmtKind::Foreach { .. }));
+    }
+
+    #[test]
+    fn parses_precedence() {
+        let src = "void f() { uniform int x = 1 + 2 * 3 < 4 && true; }";
+        let p = parse_program(src).unwrap();
+        let StmtKind::Decl { init, .. } = &p.funcs[0].body[0].kind else {
+            panic!()
+        };
+        // ((1 + (2*3)) < 4) && true
+        let ExprKind::Bin(BinKind::And, lhs, _) = &init.kind else {
+            panic!("top must be &&, got {:?}", init.kind)
+        };
+        let ExprKind::Bin(BinKind::Lt, add, _) = &lhs.kind else {
+            panic!()
+        };
+        let ExprKind::Bin(BinKind::Add, _, mul) = &add.kind else {
+            panic!()
+        };
+        assert!(matches!(mul.kind, ExprKind::Bin(BinKind::Mul, _, _)));
+    }
+
+    #[test]
+    fn parses_for_and_compound_assign() {
+        let src = r#"
+void f(uniform float a[], uniform int n) {
+    uniform float s = 0.0;
+    for (uniform int k = 0; k < n; k++) {
+        s += a[k];
+        s *= 2.0;
+    }
+}
+"#;
+        let p = parse_program(src).unwrap();
+        let StmtKind::For { init, step, body, .. } = &p.funcs[0].body[1].kind else {
+            panic!()
+        };
+        assert!(init.is_some());
+        assert!(step.is_some());
+        assert_eq!(body.len(), 2);
+    }
+
+    #[test]
+    fn parses_if_else_and_ternary() {
+        let src = r#"
+void f(uniform float a[], uniform int n) {
+    foreach (i = 0 ... n) {
+        float v = a[i];
+        if (v < 0.0) { a[i] = -v; } else { a[i] = v; }
+        float w = v > 1.0 ? 1.0 : v;
+        a[i] = w;
+    }
+}
+"#;
+        parse_program(src).unwrap();
+    }
+
+    #[test]
+    fn parses_casts_and_calls() {
+        let src = r#"
+void f(uniform float out[], uniform int n) {
+    foreach (i = 0 ... n) {
+        out[i] = sqrt((float) i) + pow(2.0, 3.0);
+    }
+}
+"#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.funcs.len(), 1);
+    }
+
+    #[test]
+    fn parses_element_compound_assign() {
+        let src = "void f(uniform float a[]) { a[0] += 1.0; }";
+        let p = parse_program(src).unwrap();
+        let StmtKind::Assign { target, op, .. } = &p.funcs[0].body[0].kind else {
+            panic!()
+        };
+        assert!(matches!(target, LValue::Elem(..)));
+        assert_eq!(*op, Some(BinKind::Add));
+    }
+
+    #[test]
+    fn parses_return_types() {
+        let src = r#"
+uniform float total(uniform float a[], uniform int n) {
+    uniform float s = 0.0;
+    foreach (i = 0 ... n) {
+        s += reduce_add(a[i]);
+    }
+    return s;
+}
+"#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.funcs[0].ret, Some(STy::uniform(BaseTy::Float)));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_program("void f( {").is_err());
+        assert!(parse_program("void f() { 1 + ; }").is_err());
+        assert!(parse_program("void f() { foreach (i = 0 .. n) {} }").is_err());
+    }
+
+    #[test]
+    fn index_expression_vs_assignment_disambiguation() {
+        let src = "void f(uniform float a[], uniform int n) { foreach (i = 0 ... n) { a[i] = a[i] + a[i + 1]; } }";
+        parse_program(src).unwrap();
+    }
+}

@@ -1,0 +1,91 @@
+//! Vector ISA targets.
+//!
+//! The paper evaluates every benchmark under both Intel AVX (8 × 32-bit
+//! lanes) and SSE4 (4 × 32-bit lanes). The target selects the vector width
+//! and which masked load/store intrinsic family the code generator emits.
+
+use vir::intrinsics::{maskload_name, maskstore_name};
+use vir::ScalarTy;
+
+/// A vector instruction-set target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum VectorIsa {
+    /// Intel AVX: 256-bit registers, 8 × f32/i32 lanes.
+    Avx,
+    /// Intel SSE4: 128-bit registers, 4 × f32/i32 lanes.
+    Sse4,
+}
+
+impl VectorIsa {
+    pub const ALL: [VectorIsa; 2] = [VectorIsa::Avx, VectorIsa::Sse4];
+
+    /// The paper's `Vl` for 32-bit elements.
+    pub fn lanes(self) -> u32 {
+        match self {
+            VectorIsa::Avx => 8,
+            VectorIsa::Sse4 => 4,
+        }
+    }
+
+    /// Lane count for a given element width: 64-bit elements get half the
+    /// lanes (pairs of registers would be needed otherwise).
+    pub fn lanes_for(self, elem: ScalarTy) -> u32 {
+        match elem.bits() {
+            64 => self.lanes() / 2,
+            _ => self.lanes(),
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            VectorIsa::Avx => "AVX",
+            VectorIsa::Sse4 => "SSE",
+        }
+    }
+
+    /// Masked-load intrinsic name for this target and element type.
+    pub fn maskload(self, elem: ScalarTy) -> String {
+        maskload_name(self.lanes_for(elem), elem)
+    }
+
+    /// Masked-store intrinsic name for this target and element type.
+    pub fn maskstore(self, elem: ScalarTy) -> String {
+        maskstore_name(self.lanes_for(elem), elem)
+    }
+}
+
+impl std::fmt::Display for VectorIsa {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_counts() {
+        assert_eq!(VectorIsa::Avx.lanes(), 8);
+        assert_eq!(VectorIsa::Sse4.lanes(), 4);
+        assert_eq!(VectorIsa::Avx.lanes_for(ScalarTy::F64), 4);
+        assert_eq!(VectorIsa::Sse4.lanes_for(ScalarTy::F64), 2);
+        assert_eq!(VectorIsa::Avx.lanes_for(ScalarTy::I32), 8);
+    }
+
+    #[test]
+    fn intrinsic_names_match_paper() {
+        assert_eq!(
+            VectorIsa::Avx.maskload(ScalarTy::F32),
+            "llvm.x86.avx.maskload.ps.256"
+        );
+        assert_eq!(
+            VectorIsa::Avx.maskstore(ScalarTy::F32),
+            "llvm.x86.avx.maskstore.ps.256"
+        );
+        assert_eq!(
+            VectorIsa::Sse4.maskload(ScalarTy::I32),
+            "llvm.x86.sse41.maskload.d"
+        );
+    }
+}

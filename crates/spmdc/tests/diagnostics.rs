@@ -1,0 +1,235 @@
+//! Diagnostic coverage: the compiler must reject ill-formed programs with
+//! located, actionable errors — never panic, never miscompile silently.
+
+use spmdc::{compile, parse_program, VectorIsa};
+
+fn err_of(src: &str) -> String {
+    match compile(src, VectorIsa::Avx, "diag") {
+        Err(e) => e.to_string(),
+        Ok(_) => panic!("expected a compile error for:\n{src}"),
+    }
+}
+
+// --- Lexer / parser ----------------------------------------------------------
+
+#[test]
+fn parse_errors_carry_line_numbers() {
+    let src = "export void f() {\n    uniform int x = ;\n}";
+    let e = parse_program(src).unwrap_err();
+    // The offending token is on line 2; the parser may report the token
+    // it stopped at (the closing brace on line 3).
+    assert!((2..=3).contains(&e.line), "{e}");
+}
+
+#[test]
+fn rejects_malformed_programs() {
+    for src in [
+        "void",
+        "void f(",
+        "void f() { if }",
+        "void f() { foreach (i = 0 .. n) {} }",
+        "void f() { for (;;) {} }",
+        "void f() { return; } garbage",
+        "void f() { x +=; }",
+        "void f() { /* unterminated",
+    ] {
+        assert!(parse_program(src).is_err(), "accepted: {src}");
+    }
+}
+
+// --- Name resolution ----------------------------------------------------------
+
+#[test]
+fn undeclared_identifiers() {
+    let e = err_of("export void f() { uniform int x = y + 1; }");
+    assert!(e.contains("undeclared identifier 'y'"), "{e}");
+}
+
+#[test]
+fn undeclared_arrays_and_non_arrays() {
+    let e = err_of("export void f() { uniform float x = a[0]; }");
+    assert!(e.contains("undeclared array 'a'"), "{e}");
+    let e = err_of("export void f(uniform int n) { uniform int x = n[0]; }");
+    assert!(e.contains("not an array"), "{e}");
+    let e = err_of("export void f(uniform float a[]) { uniform float x = a + 1.0; }");
+    assert!(e.contains("without an index"), "{e}");
+}
+
+#[test]
+fn redeclaration_in_same_scope() {
+    let e = err_of("export void f() { uniform int x = 1; uniform int x = 2; }");
+    assert!(e.contains("redeclaration"), "{e}");
+}
+
+#[test]
+fn shadowing_in_inner_scope_is_fine() {
+    let src = r#"
+export void f(uniform float a[], uniform int n) {
+    uniform int x = 1;
+    foreach (i = 0 ... n) {
+        float x = a[i];
+        a[i] = x;
+    }
+}
+"#;
+    compile(src, VectorIsa::Avx, "ok").unwrap();
+}
+
+// --- Rate (uniform/varying) rules ----------------------------------------------
+
+#[test]
+fn varying_into_uniform_rejected_everywhere() {
+    let decl = err_of(
+        "export void f(uniform float a[], uniform int n) {
+            foreach (i = 0 ... n) { uniform float x = a[i]; }
+        }",
+    );
+    assert!(decl.contains("uniform"), "{decl}");
+    let assign = err_of(
+        "export void f(uniform float a[], uniform int n) {
+            uniform float x = 0.0;
+            foreach (i = 0 ... n) { x = a[i]; }
+        }",
+    );
+    assert!(assign.contains("varying"), "{assign}");
+}
+
+#[test]
+fn foreach_bounds_must_be_uniform() {
+    let e = err_of(
+        "export void f(uniform int a[], uniform int n) {
+            foreach (i = 0 ... n) {
+                foreach (j = 0 ... a[i]) { a[j] = 0; }
+            }
+        }",
+    );
+    // Either the nesting rule or the bound rate fires first — both are
+    // correct rejections.
+    assert!(e.contains("foreach") || e.contains("uniform"), "{e}");
+}
+
+#[test]
+fn uniform_store_under_varying_control_rejected() {
+    let e = err_of(
+        "export void f(uniform float a[], uniform int n) {
+            foreach (i = 0 ... n) {
+                if (a[i] > 0.0) { a[0] = 1.0; }
+            }
+        }",
+    );
+    assert!(e.contains("varying control"), "{e}");
+}
+
+#[test]
+fn varying_return_rejected() {
+    // `return` only allowed as the last top-level statement; a varying
+    // value can never escape through it.
+    let e = err_of(
+        "export uniform float f() {
+            varying float v = 1.0;
+            return v + programIndex;
+        }",
+    );
+    assert!(e.contains("uniform"), "{e}");
+}
+
+#[test]
+fn return_must_be_last() {
+    let e = err_of(
+        "export uniform int f() {
+            return 1;
+            uniform int x = 2;
+        }",
+    );
+    assert!(e.contains("return") || e.contains("after"), "{e}");
+    let e = err_of(
+        "export void f(uniform int n) {
+            if (n > 0) { return; }
+        }",
+    );
+    assert!(e.contains("return"), "{e}");
+}
+
+#[test]
+fn missing_return_value_rejected() {
+    let e = err_of("export uniform int f() { uniform int x = 1; }");
+    assert!(e.contains("return"), "{e}");
+    let e = err_of("export void f() { return 3; }");
+    assert!(e.contains("void"), "{e}");
+}
+
+// --- Types and operators ----------------------------------------------------------
+
+#[test]
+fn bitwise_ops_require_ints() {
+    let e = err_of("export void f() { uniform float x = 1.5 & 2.0; }");
+    assert!(e.contains("bitwise"), "{e}");
+}
+
+#[test]
+fn pow_requires_floats() {
+    let e = err_of("export void f() { uniform int x = pow(2, 3); }");
+    assert!(e.contains("pow"), "{e}");
+}
+
+#[test]
+fn arity_checked_for_builtins() {
+    let e = err_of("export void f() { uniform float x = sqrt(1.0, 2.0); }");
+    assert!(e.contains("expects 1"), "{e}");
+    let e = err_of("export void f() { uniform float x = min(1.0); }");
+    assert!(e.contains("expects 2"), "{e}");
+}
+
+#[test]
+fn unknown_functions_rejected() {
+    let e = err_of("export void f() { uniform float x = frobnicate(1.0); }");
+    assert!(e.contains("unknown function"), "{e}");
+}
+
+#[test]
+fn reduce_add_needs_varying_numeric() {
+    let e = err_of("export void f() { uniform float x = reduce_add(1.0); }");
+    assert!(e.contains("varying"), "{e}");
+}
+
+#[test]
+fn varying_parameters_rejected() {
+    let e = err_of("export void f(varying float x) { }");
+    assert!(e.contains("uniform"), "{e}");
+}
+
+// --- Semantics that must NOT error -----------------------------------------------
+
+#[test]
+fn rich_but_legal_program_compiles() {
+    let src = r#"
+export uniform float kitchen_sink(uniform float a[], uniform int idx[], uniform int n,
+                                  uniform float threshold) {
+    uniform float acc = 0.0;
+    for (uniform int t = 0; t < 3; t++) {
+        foreach (i = 0 ... n) {
+            float v = a[i];
+            int j = idx[i];
+            float g = a[j];
+            if (v < threshold && g > 0.0) {
+                v = clamp(v * g, -10.0, 10.0);
+            } else {
+                v = abs(v) + (float)(i % 7);
+            }
+            int steps = 0;
+            while (v > 1.0 && steps < 8) {
+                v = v * 0.5;
+                steps++;
+            }
+            a[i] = v;
+            acc += reduce_add(v);
+        }
+    }
+    return acc;
+}
+"#;
+    for isa in VectorIsa::ALL {
+        let m = compile(src, isa, "sink").unwrap();
+        vir::verify::verify_module(&m).unwrap();
+    }
+}

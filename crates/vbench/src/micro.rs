@@ -1,0 +1,217 @@
+//! The three micro-benchmarks of the paper's error-detection study
+//! (§IV-E): vector copy (Fig. 6), vector dot product, and vector sum.
+
+use spmdc::VectorIsa;
+use vexec::{RtVal, Scalar};
+use vulfi::workload::{OutputRegion, SetupResult};
+
+use crate::util::{DetRng, Scale};
+use crate::workload::SpmdWorkload;
+
+/// Vector copy, exactly the paper's Fig. 6 program.
+pub const VCOPY_SRC: &str = r#"
+export void vcopy_ispc(uniform int a1[], uniform int a2[], uniform int n) {
+    foreach (i = 0 ... n) {
+        a2[i] = a1[i];
+    }
+}
+"#;
+
+pub const DOTPROD_SRC: &str = r#"
+export uniform float dotprod_ispc(uniform float a[], uniform float b[], uniform int n) {
+    uniform float sum = 0.0;
+    foreach (i = 0 ... n) {
+        sum += reduce_add(a[i] * b[i]);
+    }
+    return sum;
+}
+"#;
+
+pub const VSUM_SRC: &str = r#"
+export uniform float vsum_ispc(uniform float a[], uniform int n) {
+    uniform float sum = 0.0;
+    foreach (i = 0 ... n) {
+        sum += reduce_add(a[i]);
+    }
+    return sum;
+}
+"#;
+
+fn sizes(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Test => vec![33, 64, 101],
+        Scale::Paper => vec![1000, 4096, 10_000],
+    }
+}
+
+/// Build the vector-copy micro-benchmark.
+pub fn vector_copy(isa: VectorIsa, scale: Scale) -> SpmdWorkload {
+    let ns = sizes(scale);
+    let count = ns.len() as u64;
+    SpmdWorkload::compile(
+        "vector copy",
+        "Micro",
+        "ISPC (SPMD-C)",
+        format!("1D array length: {ns:?}"),
+        VCOPY_SRC,
+        "vcopy_ispc",
+        isa,
+        count,
+        Box::new(move |mem, input| {
+            let n = ns[input as usize % ns.len()];
+            let mut rng = DetRng::new(0xC0FE + input);
+            let vals: Vec<i32> = (0..n).map(|_| rng.below_i32(1 << 20)).collect();
+            let a1 = mem.alloc_i32_slice(&vals)?;
+            let a2 = mem.alloc_i32_slice(&vec![0; n])?;
+            Ok(SetupResult {
+                args: vec![
+                    RtVal::Scalar(Scalar::ptr(a1)),
+                    RtVal::Scalar(Scalar::ptr(a2)),
+                    RtVal::Scalar(Scalar::i32(n as i32)),
+                ],
+                outputs: vec![OutputRegion {
+                    addr: a2,
+                    bytes: (n * 4) as u64,
+                }],
+            })
+        }),
+    )
+    .expect("vector copy compiles")
+}
+
+/// Build the dot-product micro-benchmark.
+pub fn dot_product(isa: VectorIsa, scale: Scale) -> SpmdWorkload {
+    let ns = sizes(scale);
+    let count = ns.len() as u64;
+    SpmdWorkload::compile(
+        "dot product",
+        "Micro",
+        "ISPC (SPMD-C)",
+        format!("1D array length: {ns:?}"),
+        DOTPROD_SRC,
+        "dotprod_ispc",
+        isa,
+        count,
+        Box::new(move |mem, input| {
+            let n = ns[input as usize % ns.len()];
+            let mut rng = DetRng::new(0xD07 + input);
+            let a = mem.alloc_f32_slice(&rng.f32_vec(n, -1.0, 1.0))?;
+            let b = mem.alloc_f32_slice(&rng.f32_vec(n, -1.0, 1.0))?;
+            Ok(SetupResult {
+                args: vec![
+                    RtVal::Scalar(Scalar::ptr(a)),
+                    RtVal::Scalar(Scalar::ptr(b)),
+                    RtVal::Scalar(Scalar::i32(n as i32)),
+                ],
+                // The returned scalar is the only output.
+                outputs: vec![],
+            })
+        }),
+    )
+    .expect("dot product compiles")
+}
+
+/// Build the vector-sum micro-benchmark.
+pub fn vector_sum(isa: VectorIsa, scale: Scale) -> SpmdWorkload {
+    let ns = sizes(scale);
+    let count = ns.len() as u64;
+    SpmdWorkload::compile(
+        "vector sum",
+        "Micro",
+        "ISPC (SPMD-C)",
+        format!("1D array length: {ns:?}"),
+        VSUM_SRC,
+        "vsum_ispc",
+        isa,
+        count,
+        Box::new(move |mem, input| {
+            let n = ns[input as usize % ns.len()];
+            let mut rng = DetRng::new(0x5A5 + input);
+            let a = mem.alloc_f32_slice(&rng.f32_vec(n, -2.0, 2.0))?;
+            Ok(SetupResult {
+                args: vec![
+                    RtVal::Scalar(Scalar::ptr(a)),
+                    RtVal::Scalar(Scalar::i32(n as i32)),
+                ],
+                outputs: vec![],
+            })
+        }),
+    )
+    .expect("vector sum compiles")
+}
+
+/// All three §IV-E micro-benchmarks.
+pub fn micro_benchmarks(isa: VectorIsa, scale: Scale) -> Vec<SpmdWorkload> {
+    vec![
+        vector_copy(isa, scale),
+        dot_product(isa, scale),
+        vector_sum(isa, scale),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vexec::{Interp, NoHost};
+    use vulfi::workload::Workload;
+
+    #[test]
+    fn vcopy_copies() {
+        for isa in VectorIsa::ALL {
+            let w = vector_copy(isa, Scale::Test);
+            let mut interp = Interp::new(w.module());
+            let setup = w.setup(&mut interp.mem, 0).unwrap();
+            interp.run(w.entry(), &setup.args, &mut NoHost).unwrap();
+            let n = 33;
+            let a1 = setup.args[0].scalar().as_u64();
+            let a2 = setup.args[1].scalar().as_u64();
+            assert_eq!(
+                interp.mem.read_i32_slice(a1, n).unwrap(),
+                interp.mem.read_i32_slice(a2, n).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn dotprod_matches_reference() {
+        let w = dot_product(VectorIsa::Avx, Scale::Test);
+        let mut interp = Interp::new(w.module());
+        let setup = w.setup(&mut interp.mem, 1).unwrap();
+        let n = 64usize;
+        let a = setup.args[0].scalar().as_u64();
+        let b = setup.args[1].scalar().as_u64();
+        let av = interp.mem.read_f32_slice(a, n).unwrap();
+        let bv = interp.mem.read_f32_slice(b, n).unwrap();
+        let r = interp.run(w.entry(), &setup.args, &mut NoHost).unwrap();
+        let got = r.ret.unwrap().scalar().as_f32();
+        let expect: f32 = av.iter().zip(&bv).map(|(x, y)| x * y).sum();
+        assert!((got - expect).abs() < 1e-3, "{got} vs {expect}");
+    }
+
+    #[test]
+    fn vsum_matches_reference() {
+        let w = vector_sum(VectorIsa::Sse4, Scale::Test);
+        let mut interp = Interp::new(w.module());
+        let setup = w.setup(&mut interp.mem, 2).unwrap();
+        let n = 101usize;
+        let a = setup.args[0].scalar().as_u64();
+        let av = interp.mem.read_f32_slice(a, n).unwrap();
+        let r = interp.run(w.entry(), &setup.args, &mut NoHost).unwrap();
+        let got = r.ret.unwrap().scalar().as_f32();
+        let expect: f32 = av.iter().sum();
+        assert!((got - expect).abs() < 1e-3, "{got} vs {expect}");
+    }
+
+    #[test]
+    fn inputs_are_deterministic() {
+        let w = vector_copy(VectorIsa::Avx, Scale::Test);
+        let snap = |input: u64| {
+            let mut mem = vexec::Memory::default();
+            let s = w.setup(&mut mem, input).unwrap();
+            let a1 = s.args[0].scalar().as_u64();
+            mem.read_i32_slice(a1, 33).unwrap()
+        };
+        assert_eq!(snap(0), snap(0));
+        assert_ne!(snap(0), snap(1), "different inputs differ");
+    }
+}

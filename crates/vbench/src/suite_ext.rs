@@ -1,0 +1,158 @@
+//! Extension benchmarks beyond the paper's Table I.
+//!
+//! `Mandelbrot` is ISPC's canonical example program; the paper's study
+//! predates the features needed to handle it faithfully (varying `while`
+//! loops with per-lane retirement). This reproduction supports them, so
+//! Mandelbrot is included as an extension workload — useful for probing
+//! how lane-divergent control flow changes the fault-outcome mix.
+
+use spmdc::VectorIsa;
+use vexec::{RtVal, Scalar};
+use vulfi::workload::{OutputRegion, SetupResult};
+
+use crate::util::Scale;
+use crate::workload::SpmdWorkload;
+
+/// The ISPC mandelbrot kernel: per-pixel escape-time iteration under a
+/// varying `while` (masked loop with `mask.any` back edge).
+pub const MANDELBROT_SRC: &str = r#"
+export void mandelbrot_ispc(uniform float x0, uniform float y0,
+                            uniform float dx, uniform float dy,
+                            uniform int w, uniform int h, uniform int maxit,
+                            uniform int out[]) {
+    for (uniform int j = 0; j < h; j++) {
+        uniform float cy = y0 + dy * (float)j;
+        uniform int row = j * w;
+        foreach (i = 0 ... w) {
+            float cx = x0 + dx * (float)i;
+            float zx = 0.0;
+            float zy = 0.0;
+            int count = 0;
+            while (zx * zx + zy * zy < 4.0 && count < maxit) {
+                float nzx = zx * zx - zy * zy + cx;
+                zy = 2.0 * zx * zy + cy;
+                zx = nzx;
+                count = count + 1;
+            }
+            out[i + row] = count;
+        }
+    }
+}
+"#;
+
+/// Scalar reference escape-time (for tests).
+pub fn mandelbrot_ref(cx: f32, cy: f32, maxit: i32) -> i32 {
+    let (mut zx, mut zy, mut count) = (0.0f32, 0.0f32, 0);
+    while zx * zx + zy * zy < 4.0 && count < maxit {
+        let nzx = zx * zx - zy * zy + cx;
+        zy = 2.0 * zx * zy + cy;
+        zx = nzx;
+        count += 1;
+    }
+    count
+}
+
+pub fn mandelbrot(isa: VectorIsa, scale: Scale) -> SpmdWorkload {
+    let (w, h, maxit) = match scale {
+        Scale::Test => (18usize, 10usize, 32),
+        Scale::Paper => (96, 64, 256),
+    };
+    // Three camera windows standing in for different zoom levels.
+    let windows: [(f32, f32, f32, f32); 3] = [
+        (-2.2, -1.2, 3.0, 2.4),
+        (-1.0, -0.4, 0.8, 0.8),
+        (-0.2, 0.6, 0.3, 0.3),
+    ];
+    SpmdWorkload::compile(
+        "Mandelbrot",
+        "Extension",
+        "ISPC (SPMD-C)",
+        format!("{w}x{h}, maxit {maxit}, 3 zoom windows"),
+        MANDELBROT_SRC,
+        "mandelbrot_ispc",
+        isa,
+        windows.len() as u64,
+        Box::new(move |mem, input| {
+            let (x0, y0, spanx, spany) = windows[input as usize % windows.len()];
+            let out = mem.alloc_i32_slice(&vec![0; w * h])?;
+            Ok(SetupResult {
+                args: vec![
+                    RtVal::Scalar(Scalar::f32(x0)),
+                    RtVal::Scalar(Scalar::f32(y0)),
+                    RtVal::Scalar(Scalar::f32(spanx / w as f32)),
+                    RtVal::Scalar(Scalar::f32(spany / h as f32)),
+                    RtVal::Scalar(Scalar::i32(w as i32)),
+                    RtVal::Scalar(Scalar::i32(h as i32)),
+                    RtVal::Scalar(Scalar::i32(maxit)),
+                    RtVal::Scalar(Scalar::ptr(out)),
+                ],
+                outputs: vec![OutputRegion {
+                    addr: out,
+                    bytes: (w * h * 4) as u64,
+                }],
+            })
+        }),
+    )
+    .expect("mandelbrot compiles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vexec::{Interp, NoHost};
+    use vulfi::workload::Workload;
+
+    #[test]
+    fn mandelbrot_matches_reference() {
+        for isa in VectorIsa::ALL {
+            let w = mandelbrot(isa, Scale::Test);
+            let mut interp = Interp::new(w.module());
+            let setup = w.setup(&mut interp.mem, 0).unwrap();
+            interp.run(w.entry(), &setup.args, &mut NoHost).unwrap();
+            let (wd, h, maxit) = (18usize, 10usize, 32);
+            let got = interp
+                .mem
+                .read_i32_slice(setup.args[7].scalar().as_u64(), wd * h)
+                .unwrap();
+            let (x0, y0) = (-2.2f32, -1.2f32);
+            let (dx, dy) = (3.0 / wd as f32, 2.4 / h as f32);
+            for j in 0..h {
+                for i in 0..wd {
+                    let expect =
+                        mandelbrot_ref(x0 + dx * i as f32, y0 + dy * j as f32, maxit);
+                    assert_eq!(got[j * wd + i], expect, "isa={isa} pixel ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mandelbrot_campaigns_run() {
+        use vir::analysis::SiteCategory;
+        let w = mandelbrot(VectorIsa::Avx, Scale::Test);
+        for cat in SiteCategory::ALL {
+            let prog = vulfi::prepare(&w, cat).unwrap();
+            let c = vulfi::run_campaign(&prog, &w, 15, 1).unwrap();
+            assert_eq!(c.counts.total(), 15, "{cat}");
+        }
+    }
+
+    #[test]
+    fn divergent_loops_make_vector_control_sites() {
+        // The escape-time mask feeds the mask.any back edge, so vector
+        // registers are control sites here — unlike foreach-only kernels.
+        let w = mandelbrot(VectorIsa::Avx, Scale::Test);
+        let f = w.module().function(w.entry()).unwrap();
+        let sites = vulfi::enumerate_sites(f);
+        let mix = vulfi::category_mix(&sites);
+        let control = mix
+            .iter()
+            .find(|(c, _)| *c == vir::analysis::SiteCategory::Control)
+            .unwrap()
+            .1;
+        assert!(
+            control.vector > 0,
+            "divergent while must produce vector control sites"
+        );
+    }
+}

@@ -1,0 +1,460 @@
+//! Benchmarks drawn from the ISPC compiler's example programs (paper
+//! Table I): `Blackscholes`, `Sorting`, `Stencil`, and `Ray tracing`.
+
+use spmdc::VectorIsa;
+use vexec::{RtVal, Scalar};
+use vulfi::workload::{OutputRegion, SetupResult};
+
+use crate::util::{DetRng, Scale};
+use crate::workload::SpmdWorkload;
+
+/// Black-Scholes European call pricing with the Abramowitz–Stegun CND
+/// approximation, CND inlined for both d1 and d2.
+pub const BLACKSCHOLES_SRC: &str = r#"
+export void blackscholes(uniform float Sa[], uniform float Xa[], uniform float Ta[],
+                         uniform float ra[], uniform float va[], uniform float result[],
+                         uniform int n) {
+    foreach (i = 0 ... n) {
+        float S = Sa[i];
+        float X = Xa[i];
+        float T = Ta[i];
+        float r = ra[i];
+        float v = va[i];
+
+        float sqrtT = sqrt(T);
+        float d1 = (log(S / X) + (r + v * v * 0.5) * T) / (v * sqrtT);
+        float d2 = d1 - v * sqrtT;
+
+        // CND(d1)
+        float L1 = abs(d1);
+        float k1 = 1.0 / (1.0 + 0.2316419 * L1);
+        float k1_2 = k1 * k1;
+        float k1_3 = k1_2 * k1;
+        float k1_4 = k1_3 * k1;
+        float k1_5 = k1_4 * k1;
+        float w1 = 1.0 - 0.39894228 * exp(-L1 * L1 * 0.5)
+            * (0.319381530 * k1 - 0.356563782 * k1_2 + 1.781477937 * k1_3
+               - 1.821255978 * k1_4 + 1.330274429 * k1_5);
+        if (d1 < 0.0) {
+            w1 = 1.0 - w1;
+        }
+
+        // CND(d2)
+        float L2 = abs(d2);
+        float k2 = 1.0 / (1.0 + 0.2316419 * L2);
+        float k2_2 = k2 * k2;
+        float k2_3 = k2_2 * k2;
+        float k2_4 = k2_3 * k2;
+        float k2_5 = k2_4 * k2;
+        float w2 = 1.0 - 0.39894228 * exp(-L2 * L2 * 0.5)
+            * (0.319381530 * k2 - 0.356563782 * k2_2 + 1.781477937 * k2_3
+               - 1.821255978 * k2_4 + 1.330274429 * k2_5);
+        if (d2 < 0.0) {
+            w2 = 1.0 - w2;
+        }
+
+        result[i] = S * w1 - X * exp(-r * T) * w2;
+    }
+}
+"#;
+
+/// Odd-even transposition sort, vectorized over pair indices. Gathers and
+/// scatters through varying indices under varying control flow — the
+/// address-heavy profile the paper observes for `Sorting`.
+pub const SORTING_SRC: &str = r#"
+export void sort_ispc(uniform float a[], uniform int n) {
+    for (uniform int pass = 0; pass < n; pass++) {
+        uniform int off = pass % 2;
+        uniform int npairs = (n - off) / 2;
+        foreach (j = 0 ... npairs) {
+            int idx = 2 * j + off;
+            if (idx + 1 < n) {
+                float x = a[idx];
+                float y = a[idx + 1];
+                if (x > y) {
+                    a[idx] = y;
+                    a[idx + 1] = x;
+                }
+            }
+        }
+    }
+}
+"#;
+
+/// 2D 5-point stencil, `steps` relaxation sweeps.
+pub const STENCIL_SRC: &str = r#"
+export void stencil_ispc(uniform float ain[], uniform float aout[],
+                         uniform int w, uniform int h, uniform int steps) {
+    for (uniform int t = 0; t < steps; t++) {
+        for (uniform int y = 1; y < h - 1; y++) {
+            uniform int row = y * w;
+            foreach (x = 1 ... w - 1) {
+                aout[x + row] = 0.2 * (ain[x + row] + ain[x + (row - 1)] + ain[x + (row + 1)]
+                                       + ain[x + (row - w)] + ain[x + (row + w)]);
+            }
+        }
+        for (uniform int y2 = 1; y2 < h - 1; y2++) {
+            uniform int row2 = y2 * w;
+            foreach (x2 = 1 ... w - 1) {
+                ain[x2 + row2] = aout[x2 + row2];
+            }
+        }
+    }
+}
+"#;
+
+/// Sphere-scene ray caster: one primary ray per pixel, nearest-hit shading
+/// with a fixed light direction.
+pub const RAYTRACING_SRC: &str = r#"
+export void raytrace_ispc(uniform float spheres[], uniform int nspheres,
+                          uniform float img[], uniform int w, uniform int h) {
+    for (uniform int y = 0; y < h; y++) {
+        uniform int row = y * w;
+        uniform float py = ((float)y + 0.5) / (float)h - 0.5;
+        foreach (x = 0 ... w) {
+            float px = ((float)x + 0.5) / (float)w - 0.5;
+            float inv = 1.0 / sqrt(px * px + py * py + 1.0);
+            float dx = px * inv;
+            float dy = py * inv;
+            float dz = inv;
+            float tmin = 1000000000.0;
+            float shade = 0.0;
+            for (uniform int s = 0; s < nspheres; s++) {
+                uniform float cx = spheres[s * 4 + 0];
+                uniform float cy = spheres[s * 4 + 1];
+                uniform float cz = spheres[s * 4 + 2];
+                uniform float rad = spheres[s * 4 + 3];
+                float b = dx * cx + dy * cy + dz * cz;
+                uniform float c2 = cx * cx + cy * cy + cz * cz - rad * rad;
+                float disc = b * b - c2;
+                if (disc > 0.0) {
+                    float t = b - sqrt(disc);
+                    if (t > 0.001) {
+                        if (t < tmin) {
+                            tmin = t;
+                            float hx = dx * t - cx;
+                            float hy = dy * t - cy;
+                            float hz = dz * t - cz;
+                            float hinv = 1.0 / sqrt(hx * hx + hy * hy + hz * hz + 0.000001);
+                            shade = abs((hx * 0.577 + hy * 0.577 + hz * 0.577) * hinv);
+                        }
+                    }
+                }
+            }
+            img[x + row] = shade;
+        }
+    }
+}
+"#;
+
+/// Scalar reference for Black-Scholes (for tests).
+pub fn blackscholes_ref(s: f32, x: f32, t: f32, r: f32, v: f32) -> f32 {
+    fn cnd(d: f32) -> f32 {
+        let l = d.abs();
+        let k = 1.0 / (1.0 + 0.2316419 * l);
+        let poly = 0.319_381_54 * k - 0.356_563_78 * k.powi(2) + 1.781_477_9 * k.powi(3)
+            - 1.821_255_9 * k.powi(4)
+            + 1.330_274_5 * k.powi(5);
+        let w = 1.0 - 0.398_942_3 * (-l * l * 0.5).exp() * poly;
+        if d < 0.0 {
+            1.0 - w
+        } else {
+            w
+        }
+    }
+    let sqrt_t = t.sqrt();
+    let d1 = ((s / x).ln() + (r + v * v * 0.5) * t) / (v * sqrt_t);
+    let d2 = d1 - v * sqrt_t;
+    s * cnd(d1) - x * (-r * t).exp() * cnd(d2)
+}
+
+pub fn blackscholes(isa: VectorIsa, scale: Scale) -> SpmdWorkload {
+    let sizes = match scale {
+        Scale::Test => vec![37usize, 64, 90],
+        Scale::Paper => vec![1000, 4000, 16_000],
+    };
+    let count = sizes.len() as u64;
+    SpmdWorkload::compile(
+        "Blackscholes",
+        "ISPC",
+        "ISPC (SPMD-C)",
+        "sim_small / sim_medium / sim_large option sets",
+        BLACKSCHOLES_SRC,
+        "blackscholes",
+        isa,
+        count,
+        Box::new(move |mem, input| {
+            let n = sizes[input as usize % sizes.len()];
+            let mut rng = DetRng::new(0xB5 + input);
+            let s = mem.alloc_f32_slice(&rng.f32_vec(n, 10.0, 100.0))?;
+            let x = mem.alloc_f32_slice(&rng.f32_vec(n, 10.0, 100.0))?;
+            let t = mem.alloc_f32_slice(&rng.f32_vec(n, 0.1, 2.0))?;
+            let r = mem.alloc_f32_slice(&rng.f32_vec(n, 0.01, 0.1))?;
+            let v = mem.alloc_f32_slice(&rng.f32_vec(n, 0.1, 0.6))?;
+            let out = mem.alloc_f32_slice(&vec![0.0; n])?;
+            Ok(SetupResult {
+                args: vec![
+                    RtVal::Scalar(Scalar::ptr(s)),
+                    RtVal::Scalar(Scalar::ptr(x)),
+                    RtVal::Scalar(Scalar::ptr(t)),
+                    RtVal::Scalar(Scalar::ptr(r)),
+                    RtVal::Scalar(Scalar::ptr(v)),
+                    RtVal::Scalar(Scalar::ptr(out)),
+                    RtVal::Scalar(Scalar::i32(n as i32)),
+                ],
+                outputs: vec![OutputRegion {
+                    addr: out,
+                    bytes: (n * 4) as u64,
+                }],
+            })
+        }),
+    )
+    .expect("blackscholes compiles")
+}
+
+pub fn sorting(isa: VectorIsa, scale: Scale) -> SpmdWorkload {
+    let sizes = match scale {
+        Scale::Test => vec![30usize, 57],
+        Scale::Paper => vec![1000, 4000],
+    };
+    let count = sizes.len() as u64;
+    SpmdWorkload::compile(
+        "Sorting",
+        "ISPC",
+        "ISPC (SPMD-C)",
+        "1D array length: [1000, 100000] (scaled)",
+        SORTING_SRC,
+        "sort_ispc",
+        isa,
+        count,
+        Box::new(move |mem, input| {
+            let n = sizes[input as usize % sizes.len()];
+            let mut rng = DetRng::new(0x50F7 + input);
+            let a = mem.alloc_f32_slice(&rng.f32_vec(n, 0.0, 1000.0))?;
+            Ok(SetupResult {
+                args: vec![
+                    RtVal::Scalar(Scalar::ptr(a)),
+                    RtVal::Scalar(Scalar::i32(n as i32)),
+                ],
+                outputs: vec![OutputRegion {
+                    addr: a,
+                    bytes: (n * 4) as u64,
+                }],
+            })
+        }),
+    )
+    .expect("sorting compiles")
+}
+
+pub fn stencil(isa: VectorIsa, scale: Scale) -> SpmdWorkload {
+    // Paper: 2D arrays from 16x16 to 64x64.
+    let dims = match scale {
+        Scale::Test => vec![(16usize, 16usize, 2usize), (20, 12, 2)],
+        Scale::Paper => vec![(16, 16, 8), (64, 64, 8)],
+    };
+    let count = dims.len() as u64;
+    SpmdWorkload::compile(
+        "Stencil",
+        "ISPC",
+        "ISPC (SPMD-C)",
+        "2D array dimension: 16x16 .. 64x64",
+        STENCIL_SRC,
+        "stencil_ispc",
+        isa,
+        count,
+        Box::new(move |mem, input| {
+            let (w, h, steps) = dims[input as usize % dims.len()];
+            let mut rng = DetRng::new(0x57E + input);
+            let ain = mem.alloc_f32_slice(&rng.f32_vec(w * h, 0.0, 1.0))?;
+            let aout = mem.alloc_f32_slice(&vec![0.0; w * h])?;
+            Ok(SetupResult {
+                args: vec![
+                    RtVal::Scalar(Scalar::ptr(ain)),
+                    RtVal::Scalar(Scalar::ptr(aout)),
+                    RtVal::Scalar(Scalar::i32(w as i32)),
+                    RtVal::Scalar(Scalar::i32(h as i32)),
+                    RtVal::Scalar(Scalar::i32(steps as i32)),
+                ],
+                outputs: vec![OutputRegion {
+                    addr: ain,
+                    bytes: (w * h * 4) as u64,
+                }],
+            })
+        }),
+    )
+    .expect("stencil compiles")
+}
+
+/// A deterministic synthetic scene standing in for the paper's Sponza /
+/// Teapot / Cornell camera inputs.
+pub fn make_scene(which: u64, nspheres: usize) -> Vec<f32> {
+    let mut rng = DetRng::new(0x5CE4E_u64.wrapping_add(which));
+    let mut s = Vec::with_capacity(nspheres * 4);
+    for _ in 0..nspheres {
+        s.push(rng.range_f32(-0.6, 0.6)); // cx
+        s.push(rng.range_f32(-0.6, 0.6)); // cy
+        s.push(rng.range_f32(2.0, 6.0)); // cz
+        s.push(rng.range_f32(0.2, 0.8)); // radius
+    }
+    s
+}
+
+pub fn raytracing(isa: VectorIsa, scale: Scale) -> SpmdWorkload {
+    let (w, h, nspheres) = match scale {
+        Scale::Test => (16usize, 8usize, 5usize),
+        Scale::Paper => (64, 48, 16),
+    };
+    SpmdWorkload::compile(
+        "Ray tracing",
+        "ISPC",
+        "ISPC (SPMD-C)",
+        "camera input: 3 synthetic scenes (Sponza/Teapot/Cornell stand-ins)",
+        RAYTRACING_SRC,
+        "raytrace_ispc",
+        isa,
+        3,
+        Box::new(move |mem, input| {
+            let scene = make_scene(input, nspheres);
+            let ps = mem.alloc_f32_slice(&scene)?;
+            let img = mem.alloc_f32_slice(&vec![0.0; w * h])?;
+            Ok(SetupResult {
+                args: vec![
+                    RtVal::Scalar(Scalar::ptr(ps)),
+                    RtVal::Scalar(Scalar::i32(nspheres as i32)),
+                    RtVal::Scalar(Scalar::ptr(img)),
+                    RtVal::Scalar(Scalar::i32(w as i32)),
+                    RtVal::Scalar(Scalar::i32(h as i32)),
+                ],
+                outputs: vec![OutputRegion {
+                    addr: img,
+                    bytes: (w * h * 4) as u64,
+                }],
+            })
+        }),
+    )
+    .expect("raytracing compiles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vexec::{Interp, NoHost};
+    use vulfi::workload::Workload;
+
+    #[test]
+    fn blackscholes_matches_reference() {
+        for isa in VectorIsa::ALL {
+            let w = blackscholes(isa, Scale::Test);
+            let mut interp = Interp::new(w.module());
+            let setup = w.setup(&mut interp.mem, 0).unwrap();
+            let n = 37;
+            let read = |interp: &Interp, k: usize| {
+                interp
+                    .mem
+                    .read_f32_slice(setup.args[k].scalar().as_u64(), n)
+                    .unwrap()
+            };
+            let (s, x, t, r, v) = (
+                read(&interp, 0),
+                read(&interp, 1),
+                read(&interp, 2),
+                read(&interp, 3),
+                read(&interp, 4),
+            );
+            interp.run(w.entry(), &setup.args, &mut NoHost).unwrap();
+            let got = interp
+                .mem
+                .read_f32_slice(setup.args[5].scalar().as_u64(), n)
+                .unwrap();
+            for i in 0..n {
+                let expect = blackscholes_ref(s[i], x[i], t[i], r[i], v[i]);
+                assert!(
+                    (got[i] - expect).abs() < 1e-2 * expect.abs().max(1.0),
+                    "isa={isa} i={i}: {} vs {expect}",
+                    got[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sorting_sorts() {
+        for isa in VectorIsa::ALL {
+            for input in 0..2u64 {
+                let w = sorting(isa, Scale::Test);
+                let mut interp = Interp::new(w.module());
+                let setup = w.setup(&mut interp.mem, input).unwrap();
+                let n = if input == 0 { 30 } else { 57 };
+                let addr = setup.args[0].scalar().as_u64();
+                let mut expect = interp.mem.read_f32_slice(addr, n).unwrap();
+                interp.run(w.entry(), &setup.args, &mut NoHost).unwrap();
+                let got = interp.mem.read_f32_slice(addr, n).unwrap();
+                expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                assert_eq!(got, expect, "isa={isa} input={input}");
+            }
+        }
+    }
+
+    #[test]
+    fn stencil_matches_reference() {
+        let w = stencil(VectorIsa::Avx, Scale::Test);
+        let mut interp = Interp::new(w.module());
+        let setup = w.setup(&mut interp.mem, 0).unwrap();
+        let (wd, h, steps) = (16usize, 16usize, 2usize);
+        let addr = setup.args[0].scalar().as_u64();
+        let mut reference = interp.mem.read_f32_slice(addr, wd * h).unwrap();
+        interp.run(w.entry(), &setup.args, &mut NoHost).unwrap();
+        let got = interp.mem.read_f32_slice(addr, wd * h).unwrap();
+        for _ in 0..steps {
+            let snap = reference.clone();
+            for y in 1..h - 1 {
+                for x in 1..wd - 1 {
+                    let i = y * wd + x;
+                    reference[i] =
+                        0.2 * (snap[i] + snap[i - 1] + snap[i + 1] + snap[i - wd] + snap[i + wd]);
+                }
+            }
+        }
+        for i in 0..wd * h {
+            assert!(
+                (got[i] - reference[i]).abs() < 1e-4,
+                "i={i}: {} vs {}",
+                got[i],
+                reference[i]
+            );
+        }
+    }
+
+    #[test]
+    fn raytracing_hits_something() {
+        for isa in VectorIsa::ALL {
+            let w = raytracing(isa, Scale::Test);
+            let mut interp = Interp::new(w.module());
+            let setup = w.setup(&mut interp.mem, 0).unwrap();
+            interp.run(w.entry(), &setup.args, &mut NoHost).unwrap();
+            let img = interp
+                .mem
+                .read_f32_slice(setup.args[2].scalar().as_u64(), 16 * 8)
+                .unwrap();
+            let lit = img.iter().filter(|&&p| p > 0.0).count();
+            assert!(lit > 0, "isa={isa}: no pixel hit any sphere");
+            assert!(img.iter().all(|p| p.is_finite()));
+        }
+    }
+
+    #[test]
+    fn raytracing_scenes_differ() {
+        let w = raytracing(VectorIsa::Avx, Scale::Test);
+        let render = |input: u64| {
+            let mut interp = Interp::new(w.module());
+            let setup = w.setup(&mut interp.mem, input).unwrap();
+            interp.run(w.entry(), &setup.args, &mut NoHost).unwrap();
+            interp
+                .mem
+                .read_f32_slice(setup.args[2].scalar().as_u64(), 16 * 8)
+                .unwrap()
+        };
+        assert_ne!(render(0), render(1));
+        assert_ne!(render(1), render(2));
+    }
+}

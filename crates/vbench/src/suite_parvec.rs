@@ -1,0 +1,263 @@
+//! PARVEC-derived benchmarks (paper Table I): `Fluidanimate` and
+//! `Swaptions`. The paper uses the PARVEC vectorized C++ codes; here both
+//! are re-implemented as SPMD-C kernels that keep the computational core —
+//! an O(n²) SPH density sweep for fluidanimate and an HJM-style Monte-Carlo
+//! rate simulation for swaptions (per-lane LCG paths, as the real
+//! hardware/testbed RNG is unavailable).
+
+use spmdc::VectorIsa;
+use vexec::{RtVal, Scalar};
+use vulfi::workload::{OutputRegion, SetupResult};
+
+use crate::util::{DetRng, Scale};
+use crate::workload::SpmdWorkload;
+
+/// SPH particle-density kernel (the heart of fluidanimate's
+/// ComputeDensities phase), all-pairs form.
+pub const FLUIDANIMATE_SRC: &str = r#"
+export void fluid_density(uniform float px[], uniform float py[], uniform float pz[],
+                          uniform float density[], uniform int n, uniform float h2) {
+    foreach (i = 0 ... n) {
+        float xi = px[i];
+        float yi = py[i];
+        float zi = pz[i];
+        float rho = 0.0;
+        for (uniform int j = 0; j < n; j++) {
+            uniform float xj = px[j];
+            uniform float yj = py[j];
+            uniform float zj = pz[j];
+            float dx = xi - xj;
+            float dy = yi - yj;
+            float dz = zi - zj;
+            float r2 = dx * dx + dy * dy + dz * dz;
+            if (r2 < h2) {
+                float diff = h2 - r2;
+                rho += diff * diff * diff;
+            }
+        }
+        density[i] = rho;
+    }
+}
+"#;
+
+/// Monte-Carlo swaption pricing: per-lane LCG paths of a mean-zero rate
+/// walk, averaged into a discounted payoff.
+pub const SWAPTIONS_SRC: &str = r#"
+export void swaptions_price(uniform float strike[], uniform float vol[], uniform float r0[],
+                            uniform float prices[], uniform int nsw, uniform int npaths,
+                            uniform int nsteps) {
+    for (uniform int s = 0; s < nsw; s++) {
+        uniform float K = strike[s];
+        uniform float sigma = vol[s];
+        uniform float r = r0[s];
+        uniform float sum = 0.0;
+        foreach (p = 0 ... npaths) {
+            int seed = p * 1103515245 + 12345 + s * 7919;
+            float rate = r;
+            for (uniform int t = 0; t < nsteps; t++) {
+                seed = seed * 1103515245 + 12345;
+                int u = (seed >> 8) & 65535;
+                float z = ((float)u / 65536.0) - 0.5;
+                rate = rate + sigma * z * 0.1;
+                rate = max(rate, 0.0);
+            }
+            float payoff = max(rate - K, 0.0);
+            sum += reduce_add(payoff);
+        }
+        prices[s] = sum / (float)npaths * exp(-r);
+    }
+}
+"#;
+
+/// Reference SPH density (for tests).
+pub fn fluid_density_ref(px: &[f32], py: &[f32], pz: &[f32], h2: f32) -> Vec<f32> {
+    let n = px.len();
+    (0..n)
+        .map(|i| {
+            let mut rho = 0.0f32;
+            for j in 0..n {
+                let dx = px[i] - px[j];
+                let dy = py[i] - py[j];
+                let dz = pz[i] - pz[j];
+                let r2 = dx * dx + dy * dy + dz * dz;
+                if r2 < h2 {
+                    let diff = h2 - r2;
+                    rho += diff * diff * diff;
+                }
+            }
+            rho
+        })
+        .collect()
+}
+
+pub fn fluidanimate(isa: VectorIsa, scale: Scale) -> SpmdWorkload {
+    let sizes = match scale {
+        Scale::Test => vec![24usize, 40],
+        Scale::Paper => vec![200, 350],
+    };
+    let count = sizes.len() as u64;
+    SpmdWorkload::compile(
+        "Fluidanimate",
+        "Parvec",
+        "C++ (SPMD-C)",
+        "sim_small / sim_medium particle sets",
+        FLUIDANIMATE_SRC,
+        "fluid_density",
+        isa,
+        count,
+        Box::new(move |mem, input| {
+            let n = sizes[input as usize % sizes.len()];
+            let mut rng = DetRng::new(0xF1u64 + input);
+            let px = rng.f32_vec(n, 0.0, 1.0);
+            let py = rng.f32_vec(n, 0.0, 1.0);
+            let pz = rng.f32_vec(n, 0.0, 1.0);
+            let ppx = mem.alloc_f32_slice(&px)?;
+            let ppy = mem.alloc_f32_slice(&py)?;
+            let ppz = mem.alloc_f32_slice(&pz)?;
+            let pd = mem.alloc_f32_slice(&vec![0.0; n])?;
+            Ok(SetupResult {
+                args: vec![
+                    RtVal::Scalar(Scalar::ptr(ppx)),
+                    RtVal::Scalar(Scalar::ptr(ppy)),
+                    RtVal::Scalar(Scalar::ptr(ppz)),
+                    RtVal::Scalar(Scalar::ptr(pd)),
+                    RtVal::Scalar(Scalar::i32(n as i32)),
+                    RtVal::Scalar(Scalar::f32(0.09)),
+                ],
+                outputs: vec![OutputRegion {
+                    addr: pd,
+                    bytes: (n * 4) as u64,
+                }],
+            })
+        }),
+    )
+    .expect("fluidanimate compiles")
+}
+
+pub fn swaptions(isa: VectorIsa, scale: Scale) -> SpmdWorkload {
+    // Paper: swaptions ∈ {16, 64}, simulations ∈ {100, 200}.
+    let configs: Vec<(usize, usize, usize)> = match scale {
+        Scale::Test => vec![(4, 16, 6), (6, 24, 6)],
+        Scale::Paper => vec![(16, 100, 20), (64, 200, 20)],
+    };
+    let count = configs.len() as u64;
+    SpmdWorkload::compile(
+        "Swaptions",
+        "Parvec",
+        "C++ (SPMD-C)",
+        "swaptions: [16,64], simulations: [100,200]",
+        SWAPTIONS_SRC,
+        "swaptions_price",
+        isa,
+        count,
+        Box::new(move |mem, input| {
+            let (nsw, npaths, nsteps) = configs[input as usize % configs.len()];
+            let mut rng = DetRng::new(0x5AB + input);
+            let strike = rng.f32_vec(nsw, 0.02, 0.06);
+            let vol = rng.f32_vec(nsw, 0.1, 0.4);
+            let r0 = rng.f32_vec(nsw, 0.01, 0.05);
+            let ps = mem.alloc_f32_slice(&strike)?;
+            let pv = mem.alloc_f32_slice(&vol)?;
+            let pr = mem.alloc_f32_slice(&r0)?;
+            let pp = mem.alloc_f32_slice(&vec![0.0; nsw])?;
+            Ok(SetupResult {
+                args: vec![
+                    RtVal::Scalar(Scalar::ptr(ps)),
+                    RtVal::Scalar(Scalar::ptr(pv)),
+                    RtVal::Scalar(Scalar::ptr(pr)),
+                    RtVal::Scalar(Scalar::ptr(pp)),
+                    RtVal::Scalar(Scalar::i32(nsw as i32)),
+                    RtVal::Scalar(Scalar::i32(npaths as i32)),
+                    RtVal::Scalar(Scalar::i32(nsteps as i32)),
+                ],
+                outputs: vec![OutputRegion {
+                    addr: pp,
+                    bytes: (nsw * 4) as u64,
+                }],
+            })
+        }),
+    )
+    .expect("swaptions compiles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vexec::{Interp, NoHost};
+    use vulfi::workload::Workload;
+
+    #[test]
+    fn fluidanimate_matches_reference() {
+        for isa in VectorIsa::ALL {
+            let w = fluidanimate(isa, Scale::Test);
+            let mut interp = Interp::new(w.module());
+            let setup = w.setup(&mut interp.mem, 0).unwrap();
+            let n = 24;
+            let px = interp
+                .mem
+                .read_f32_slice(setup.args[0].scalar().as_u64(), n)
+                .unwrap();
+            let py = interp
+                .mem
+                .read_f32_slice(setup.args[1].scalar().as_u64(), n)
+                .unwrap();
+            let pz = interp
+                .mem
+                .read_f32_slice(setup.args[2].scalar().as_u64(), n)
+                .unwrap();
+            interp.run(w.entry(), &setup.args, &mut NoHost).unwrap();
+            let got = interp
+                .mem
+                .read_f32_slice(setup.args[3].scalar().as_u64(), n)
+                .unwrap();
+            let expect = fluid_density_ref(&px, &py, &pz, 0.09);
+            for i in 0..n {
+                assert!(
+                    (got[i] - expect[i]).abs() < 1e-4,
+                    "isa={isa} i={i}: {} vs {}",
+                    got[i],
+                    expect[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn swaptions_runs_and_prices_are_sane() {
+        for isa in VectorIsa::ALL {
+            let w = swaptions(isa, Scale::Test);
+            let mut interp = Interp::new(w.module());
+            let setup = w.setup(&mut interp.mem, 0).unwrap();
+            interp.run(w.entry(), &setup.args, &mut NoHost).unwrap();
+            let prices = interp
+                .mem
+                .read_f32_slice(setup.args[3].scalar().as_u64(), 4)
+                .unwrap();
+            for p in prices {
+                assert!(p.is_finite());
+                assert!((0.0..1.0).contains(&p), "price {p} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn swaptions_isa_agree_up_to_reduction_order() {
+        // The LCG paths are integer-deterministic, but the horizontal
+        // payoff reduction runs 8 lanes on AVX and 4 on SSE, so float
+        // rounding differs slightly between targets.
+        let run = |isa| {
+            let w = swaptions(isa, Scale::Test);
+            let mut interp = Interp::new(w.module());
+            let setup = w.setup(&mut interp.mem, 1).unwrap();
+            interp.run(w.entry(), &setup.args, &mut NoHost).unwrap();
+            interp
+                .mem
+                .read_f32_slice(setup.args[3].scalar().as_u64(), 6)
+                .unwrap()
+        };
+        let (avx, sse) = (run(VectorIsa::Avx), run(VectorIsa::Sse4));
+        for (a, s) in avx.iter().zip(&sse) {
+            assert!((a - s).abs() < 1e-4, "{a} vs {s}");
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! Benchmarks re-implemented from Burkardt's scientific computing library
+//! (paper Table I): `Chebyshev`, `Jacobi`, and `Conjugate Gradient`.
+
+use spmdc::VectorIsa;
+use vexec::{RtVal, Scalar};
+use vulfi::workload::{OutputRegion, SetupResult};
+
+use crate::util::{DetRng, Scale};
+use crate::workload::SpmdWorkload;
+
+/// Chebyshev coefficients of sampled function values:
+/// `c[k] = 2/n * Σ_j fx[j] * cos(π k (j + 0.5) / n)`.
+pub const CHEBYSHEV_SRC: &str = r#"
+export void chebyshev_coeffs(uniform float fx[], uniform float c[], uniform int n) {
+    foreach (k = 0 ... n) {
+        float sum = 0.0;
+        for (uniform int j = 0; j < n; j++) {
+            uniform float fj = fx[j];
+            sum += fj * cos(3.14159265 * (float)k * (((float)j + 0.5) / (float)n));
+        }
+        c[k] = sum * (2.0 / (float)n);
+    }
+}
+"#;
+
+/// 2D Jacobi relaxation with a source term.
+pub const JACOBI_SRC: &str = r#"
+export void jacobi_ispc(uniform float u0[], uniform float u1[], uniform float f[],
+                        uniform int w, uniform int h, uniform int steps) {
+    for (uniform int t = 0; t < steps; t++) {
+        for (uniform int y = 1; y < h - 1; y++) {
+            uniform int row = y * w;
+            foreach (x = 1 ... w - 1) {
+                u1[x + row] = 0.25 * (u0[x + (row - 1)] + u0[x + (row + 1)]
+                                      + u0[x + (row - w)] + u0[x + (row + w)] + f[x + row]);
+            }
+        }
+        for (uniform int y2 = 1; y2 < h - 1; y2++) {
+            uniform int row2 = y2 * w;
+            foreach (x2 = 1 ... w - 1) {
+                u0[x2 + row2] = u1[x2 + row2];
+            }
+        }
+    }
+}
+"#;
+
+/// Conjugate gradient on the 1D Poisson (tridiagonal 2/-1) operator,
+/// matrix-free, fixed iteration count. Boundary loads are masked affine
+/// accesses — the masked-intrinsic path the paper's Fig. 5 shows.
+pub const CG_SRC: &str = r#"
+export void cg_ispc(uniform float b[], uniform float x[], uniform float r[],
+                    uniform float p[], uniform float ap[], uniform int n,
+                    uniform int iters) {
+    foreach (i = 0 ... n) {
+        r[i] = b[i];
+        p[i] = b[i];
+        x[i] = 0.0;
+    }
+    uniform float rs = 0.0;
+    foreach (i2 = 0 ... n) {
+        rs += reduce_add(r[i2] * r[i2]);
+    }
+    for (uniform int it = 0; it < iters; it++) {
+        foreach (i3 = 0 ... n) {
+            float left = 0.0;
+            float right = 0.0;
+            if (i3 > 0) {
+                left = p[i3 - 1];
+            }
+            if (i3 < n - 1) {
+                right = p[i3 + 1];
+            }
+            ap[i3] = 2.0 * p[i3] - left - right;
+        }
+        uniform float pap = 0.0;
+        foreach (i4 = 0 ... n) {
+            pap += reduce_add(p[i4] * ap[i4]);
+        }
+        uniform float alpha = rs / pap;
+        foreach (i5 = 0 ... n) {
+            x[i5] = x[i5] + alpha * p[i5];
+            r[i5] = r[i5] - alpha * ap[i5];
+        }
+        uniform float rs_new = 0.0;
+        foreach (i6 = 0 ... n) {
+            rs_new += reduce_add(r[i6] * r[i6]);
+        }
+        uniform float beta = rs_new / rs;
+        foreach (i7 = 0 ... n) {
+            p[i7] = r[i7] + beta * p[i7];
+        }
+        rs = rs_new;
+    }
+}
+"#;
+
+/// Reference Chebyshev coefficients (f64 accumulation, for tests).
+pub fn chebyshev_ref(fx: &[f32]) -> Vec<f32> {
+    let n = fx.len();
+    (0..n)
+        .map(|k| {
+            let mut sum = 0.0f64;
+            for (j, &f) in fx.iter().enumerate() {
+                sum += f as f64
+                    * (std::f64::consts::PI * k as f64 * ((j as f64 + 0.5) / n as f64)).cos();
+            }
+            (sum * 2.0 / n as f64) as f32
+        })
+        .collect()
+}
+
+pub fn chebyshev(isa: VectorIsa, scale: Scale) -> SpmdWorkload {
+    // Paper: degree ∈ [1, 256].
+    let degrees = match scale {
+        Scale::Test => vec![13usize, 26],
+        Scale::Paper => vec![64, 256],
+    };
+    let count = degrees.len() as u64;
+    SpmdWorkload::compile(
+        "Chebyshev",
+        "SCL",
+        "ISPC (SPMD-C)",
+        "degree: [1, 256]",
+        CHEBYSHEV_SRC,
+        "chebyshev_coeffs",
+        isa,
+        count,
+        Box::new(move |mem, input| {
+            let n = degrees[input as usize % degrees.len()];
+            // Sample f(cos θ_j) for f(x) = x³ - 0.4x + noise-free smooth fn.
+            let fx: Vec<f32> = (0..n)
+                .map(|j| {
+                    let xj =
+                        (std::f64::consts::PI * (j as f64 + 0.5) / n as f64).cos() as f32;
+                    xj * xj * xj - 0.4 * xj
+                })
+                .collect();
+            let pfx = mem.alloc_f32_slice(&fx)?;
+            let pc = mem.alloc_f32_slice(&vec![0.0; n])?;
+            Ok(SetupResult {
+                args: vec![
+                    RtVal::Scalar(Scalar::ptr(pfx)),
+                    RtVal::Scalar(Scalar::ptr(pc)),
+                    RtVal::Scalar(Scalar::i32(n as i32)),
+                ],
+                outputs: vec![OutputRegion {
+                    addr: pc,
+                    bytes: (n * 4) as u64,
+                }],
+            })
+        }),
+    )
+    .expect("chebyshev compiles")
+}
+
+pub fn jacobi(isa: VectorIsa, scale: Scale) -> SpmdWorkload {
+    // Paper: 32x32 .. 192x192.
+    let dims = match scale {
+        Scale::Test => vec![(14usize, 12usize, 2usize), (18, 14, 2)],
+        Scale::Paper => vec![(32, 32, 8), (192, 192, 8)],
+    };
+    let count = dims.len() as u64;
+    SpmdWorkload::compile(
+        "Jacobi",
+        "SCL",
+        "ISPC (SPMD-C)",
+        "2D array dimension: 32x32 .. 192x192",
+        JACOBI_SRC,
+        "jacobi_ispc",
+        isa,
+        count,
+        Box::new(move |mem, input| {
+            let (w, h, steps) = dims[input as usize % dims.len()];
+            let mut rng = DetRng::new(0x1AC0B1 + input);
+            let u0 = mem.alloc_f32_slice(&rng.f32_vec(w * h, 0.0, 1.0))?;
+            let u1 = mem.alloc_f32_slice(&vec![0.0; w * h])?;
+            let f = mem.alloc_f32_slice(&rng.f32_vec(w * h, -0.1, 0.1))?;
+            Ok(SetupResult {
+                args: vec![
+                    RtVal::Scalar(Scalar::ptr(u0)),
+                    RtVal::Scalar(Scalar::ptr(u1)),
+                    RtVal::Scalar(Scalar::ptr(f)),
+                    RtVal::Scalar(Scalar::i32(w as i32)),
+                    RtVal::Scalar(Scalar::i32(h as i32)),
+                    RtVal::Scalar(Scalar::i32(steps as i32)),
+                ],
+                outputs: vec![OutputRegion {
+                    addr: u0,
+                    bytes: (w * h * 4) as u64,
+                }],
+            })
+        }),
+    )
+    .expect("jacobi compiles")
+}
+
+pub fn conjugate_gradient(isa: VectorIsa, scale: Scale) -> SpmdWorkload {
+    // Paper: 32x32 .. 256x256 systems; ours is the 1D Poisson analogue.
+    let sizes = match scale {
+        Scale::Test => vec![(21usize, 21usize), (34, 12)],
+        Scale::Paper => vec![(256, 12), (1024, 16)],
+    };
+    let count = sizes.len() as u64;
+    SpmdWorkload::compile(
+        "ConjugateGradient",
+        "SCL",
+        "ISPC (SPMD-C)",
+        "system size: 32 .. 256 (1D Poisson)",
+        CG_SRC,
+        "cg_ispc",
+        isa,
+        count,
+        Box::new(move |mem, input| {
+            let (n, iters) = sizes[input as usize % sizes.len()];
+            let mut rng = DetRng::new(0xC6 + input);
+            let b = mem.alloc_f32_slice(&rng.f32_vec(n, -1.0, 1.0))?;
+            let x = mem.alloc_f32_slice(&vec![0.0; n])?;
+            let r = mem.alloc_f32_slice(&vec![0.0; n])?;
+            let p = mem.alloc_f32_slice(&vec![0.0; n])?;
+            let ap = mem.alloc_f32_slice(&vec![0.0; n])?;
+            Ok(SetupResult {
+                args: vec![
+                    RtVal::Scalar(Scalar::ptr(b)),
+                    RtVal::Scalar(Scalar::ptr(x)),
+                    RtVal::Scalar(Scalar::ptr(r)),
+                    RtVal::Scalar(Scalar::ptr(p)),
+                    RtVal::Scalar(Scalar::ptr(ap)),
+                    RtVal::Scalar(Scalar::i32(n as i32)),
+                    RtVal::Scalar(Scalar::i32(iters as i32)),
+                ],
+                outputs: vec![OutputRegion {
+                    addr: x,
+                    bytes: (n * 4) as u64,
+                }],
+            })
+        }),
+    )
+    .expect("conjugate gradient compiles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vexec::{Interp, NoHost};
+    use vulfi::workload::Workload;
+
+    #[test]
+    fn chebyshev_matches_reference() {
+        for isa in VectorIsa::ALL {
+            let w = chebyshev(isa, Scale::Test);
+            let mut interp = Interp::new(w.module());
+            let setup = w.setup(&mut interp.mem, 0).unwrap();
+            let n = 13;
+            let fx = interp
+                .mem
+                .read_f32_slice(setup.args[0].scalar().as_u64(), n)
+                .unwrap();
+            interp.run(w.entry(), &setup.args, &mut NoHost).unwrap();
+            let got = interp
+                .mem
+                .read_f32_slice(setup.args[1].scalar().as_u64(), n)
+                .unwrap();
+            let expect = chebyshev_ref(&fx);
+            for i in 0..n {
+                assert!(
+                    (got[i] - expect[i]).abs() < 2e-3,
+                    "isa={isa} i={i}: {} vs {}",
+                    got[i],
+                    expect[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn jacobi_matches_reference() {
+        let w = jacobi(VectorIsa::Sse4, Scale::Test);
+        let mut interp = Interp::new(w.module());
+        let setup = w.setup(&mut interp.mem, 0).unwrap();
+        let (wd, h, steps) = (14usize, 12usize, 2usize);
+        let u_addr = setup.args[0].scalar().as_u64();
+        let f_addr = setup.args[2].scalar().as_u64();
+        let mut u = interp.mem.read_f32_slice(u_addr, wd * h).unwrap();
+        let f = interp.mem.read_f32_slice(f_addr, wd * h).unwrap();
+        interp.run(w.entry(), &setup.args, &mut NoHost).unwrap();
+        let got = interp.mem.read_f32_slice(u_addr, wd * h).unwrap();
+        for _ in 0..steps {
+            let snap = u.clone();
+            for y in 1..h - 1 {
+                for x in 1..wd - 1 {
+                    let i = y * wd + x;
+                    u[i] = 0.25 * (snap[i - 1] + snap[i + 1] + snap[i - wd] + snap[i + wd] + f[i]);
+                }
+            }
+        }
+        for i in 0..wd * h {
+            assert!((got[i] - u[i]).abs() < 1e-4, "i={i}: {} vs {}", got[i], u[i]);
+        }
+    }
+
+    #[test]
+    fn cg_reduces_residual() {
+        for isa in VectorIsa::ALL {
+            let w = conjugate_gradient(isa, Scale::Test);
+            let mut interp = Interp::new(w.module());
+            let setup = w.setup(&mut interp.mem, 0).unwrap();
+            let n = 21usize;
+            let b_addr = setup.args[0].scalar().as_u64();
+            let x_addr = setup.args[1].scalar().as_u64();
+            let b = interp.mem.read_f32_slice(b_addr, n).unwrap();
+            interp.run(w.entry(), &setup.args, &mut NoHost).unwrap();
+            let x = interp.mem.read_f32_slice(x_addr, n).unwrap();
+            // Residual of A x vs b under the tridiagonal (2,-1) operator.
+            let apply = |v: &[f32], i: usize| {
+                let left = if i > 0 { v[i - 1] } else { 0.0 };
+                let right = if i + 1 < n { v[i + 1] } else { 0.0 };
+                2.0 * v[i] - left - right
+            };
+            // n CG iterations solve an n-dimensional SPD system (exact
+            // termination property), so the residual must be tiny.
+            let res: f32 = (0..n).map(|i| (apply(&x, i) - b[i]).powi(2)).sum();
+            let b_norm: f32 = b.iter().map(|v| v * v).sum();
+            assert!(
+                res < b_norm * 1e-3,
+                "isa={isa}: CG did not converge: {res} vs {b_norm}"
+            );
+        }
+    }
+
+    #[test]
+    fn cg_boundary_masked_loads_do_not_trap() {
+        // n chosen so lane 0 of iteration 0 and the last lane of the last
+        // full-body iteration both sit on the array boundary.
+        let w = conjugate_gradient(VectorIsa::Avx, Scale::Test);
+        let mut interp = Interp::new(w.module());
+        let setup = w.setup(&mut interp.mem, 1).unwrap();
+        interp.run(w.entry(), &setup.args, &mut NoHost).unwrap();
+    }
+}

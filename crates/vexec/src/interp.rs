@@ -1,0 +1,1171 @@
+//! The VIR interpreter: a virtual vector machine.
+//!
+//! Executes one module function (plus anything it calls) against the
+//! guarded [`Memory`] model. All "crash" conditions of the paper's outcome
+//! taxonomy surface as [`Trap`]s: invalid memory references, division by
+//! zero, runaway execution (hang budget), unknown calls.
+//!
+//! Host functions — VULFI's runtime injection API, the detector runtime,
+//! and anything else declared but not defined — are dispatched through the
+//! [`HostEnv`] trait, mirroring how an instrumented native binary links
+//! against the fault-injection runtime library.
+
+use vir::intrinsics::{self, Intrinsic, MathOp};
+use vir::{
+    BinOp, BlockId, CastOp, FCmpPred, Function, ICmpPred, InstKind, Module, Operand,
+    ScalarTy, Terminator, Type, ValueId,
+};
+
+use crate::mem::{Memory, Trap};
+use crate::profile::InstMix;
+use crate::value::{RtVal, Scalar};
+
+/// Host-function dispatcher.
+pub trait HostEnv {
+    /// Handle a call to an external function. Return `Ok(None)` for void
+    /// functions. `mem` allows host functions to inspect program memory.
+    fn call(&mut self, name: &str, args: &[RtVal], mem: &mut Memory)
+        -> Result<Option<RtVal>, Trap>;
+}
+
+/// A host environment that rejects every call.
+pub struct NoHost;
+
+impl HostEnv for NoHost {
+    fn call(&mut self, name: &str, _: &[RtVal], _: &mut Memory) -> Result<Option<RtVal>, Trap> {
+        Err(Trap::UnknownFunction(name.to_string()))
+    }
+}
+
+/// Result of a completed execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecResult {
+    pub ret: Option<RtVal>,
+    /// Dynamic instruction count (instructions + terminators executed).
+    pub dyn_insts: u64,
+}
+
+/// Maximum call depth.
+const MAX_DEPTH: usize = 64;
+
+/// The interpreter. One instance executes programs from one module.
+pub struct Interp<'m> {
+    pub module: &'m Module,
+    pub mem: Memory,
+    budget: u64,
+    executed: u64,
+    mix: Option<InstMix>,
+}
+
+impl<'m> Interp<'m> {
+    pub fn new(module: &'m Module) -> Interp<'m> {
+        Interp {
+            module,
+            mem: Memory::default(),
+            budget: u64::MAX / 2,
+            executed: 0,
+            mix: None,
+        }
+    }
+
+    /// Enable dynamic instruction-mix profiling (Table I / Fig. 10 style
+    /// dynamic composition). Adds per-instruction bookkeeping cost.
+    pub fn enable_profiling(&mut self) {
+        self.mix = Some(InstMix::default());
+    }
+
+    /// Take the collected profile, if profiling was enabled.
+    pub fn take_mix(&mut self) -> Option<InstMix> {
+        self.mix.take()
+    }
+
+    fn note_inst(&mut self, f: &Function, iid: vir::InstId) {
+        if let Some(mix) = &mut self.mix {
+            let inst = f.inst(iid);
+            let is_vec = inst.ty.is_vector()
+                || inst
+                    .operands()
+                    .iter()
+                    .any(|op| f.operand_type(op).is_vector());
+            mix.record(inst.opcode(), is_vec);
+        }
+    }
+
+    fn note_term(&mut self, opcode: &'static str) {
+        if let Some(mix) = &mut self.mix {
+            mix.record(opcode, false);
+        }
+    }
+
+    /// Cap the number of dynamic instructions; exceeding it traps with
+    /// [`Trap::HangBudget`]. Campaigns set this from the golden run to
+    /// detect fault-induced infinite loops.
+    pub fn set_budget(&mut self, budget: u64) {
+        self.budget = budget;
+    }
+
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Execute `func` with `args`.
+    pub fn run(
+        &mut self,
+        func: &str,
+        args: &[RtVal],
+        host: &mut dyn HostEnv,
+    ) -> Result<ExecResult, Trap> {
+        let f = self
+            .module
+            .function(func)
+            .ok_or_else(|| Trap::UnknownFunction(func.to_string()))?;
+        if f.params.len() != args.len() {
+            return Err(Trap::HostError(format!(
+                "@{func} expects {} arguments, got {}",
+                f.params.len(),
+                args.len()
+            )));
+        }
+        let ret = self.call_function(f, args.to_vec(), host, 0)?;
+        Ok(ExecResult {
+            ret,
+            dyn_insts: self.executed,
+        })
+    }
+
+    fn tick(&mut self) -> Result<(), Trap> {
+        self.executed += 1;
+        if self.executed > self.budget {
+            Err(Trap::HangBudget)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn call_function(
+        &mut self,
+        f: &'m Function,
+        args: Vec<RtVal>,
+        host: &mut dyn HostEnv,
+        depth: usize,
+    ) -> Result<Option<RtVal>, Trap> {
+        if depth >= MAX_DEPTH {
+            return Err(Trap::StackOverflow);
+        }
+        let mut frame: Vec<Option<RtVal>> = vec![None; f.values.len()];
+        for (i, a) in args.into_iter().enumerate() {
+            frame[i] = Some(a);
+        }
+
+        let mut cur = f.entry();
+        let mut prev: Option<BlockId> = None;
+        loop {
+            let block = f.block(cur);
+
+            // Phase 1: evaluate all phis against the *incoming* frame.
+            let mut phi_updates: Vec<(ValueId, RtVal)> = Vec::new();
+            let mut body_start = 0;
+            for (k, &iid) in block.insts.iter().enumerate() {
+                let inst = f.inst(iid);
+                if let InstKind::Phi { incomings } = &inst.kind {
+                    self.tick()?;
+                    self.note_inst(f, iid);
+                    let pb = prev.ok_or_else(|| {
+                        Trap::HostError("phi in entry block at runtime".into())
+                    })?;
+                    let (_, op) = incomings
+                        .iter()
+                        .find(|(b, _)| *b == pb)
+                        .ok_or_else(|| Trap::HostError("phi missing incoming edge".into()))?;
+                    let v = self.eval_operand(f, &frame, op)?;
+                    phi_updates.push((inst.result.unwrap(), v));
+                    body_start = k + 1;
+                } else {
+                    break;
+                }
+            }
+            for (v, val) in phi_updates {
+                frame[v.index()] = Some(val);
+            }
+
+            // Phase 2: straight-line body.
+            for &iid in &block.insts[body_start..] {
+                self.tick()?;
+                self.note_inst(f, iid);
+                let inst = f.inst(iid);
+                let result = self.exec_inst(f, &frame, &inst.kind, inst.ty, host, depth)?;
+                if let Some(res_v) = inst.result {
+                    frame[res_v.index()] =
+                        Some(result.ok_or_else(|| {
+                            Trap::HostError("non-void instruction produced no value".into())
+                        })?);
+                }
+            }
+
+            // Terminator.
+            self.tick()?;
+            match &block.term {
+                Terminator::Br(b) => {
+                    self.note_term("br");
+                    prev = Some(cur);
+                    cur = *b;
+                }
+                Terminator::CondBr {
+                    cond,
+                    on_true,
+                    on_false,
+                } => {
+                    self.note_term("condbr");
+                    let c = self.eval_operand(f, &frame, cond)?.scalar();
+                    prev = Some(cur);
+                    cur = if c.is_true() { *on_true } else { *on_false };
+                }
+                Terminator::Ret(Some(op)) => {
+                    self.note_term("ret");
+                    return Ok(Some(self.eval_operand(f, &frame, op)?));
+                }
+                Terminator::Ret(None) => {
+                    self.note_term("ret");
+                    return Ok(None);
+                }
+                Terminator::Unreachable => return Err(Trap::Unreachable),
+            }
+        }
+    }
+
+    fn eval_operand(
+        &self,
+        _f: &Function,
+        frame: &[Option<RtVal>],
+        op: &Operand,
+    ) -> Result<RtVal, Trap> {
+        match op {
+            Operand::Const(c) => Ok(RtVal::from_constant(c)),
+            Operand::Value(v) => frame[v.index()]
+                .clone()
+                .ok_or_else(|| Trap::HostError(format!("use of undefined value v{}", v.0))),
+        }
+    }
+
+    fn exec_inst(
+        &mut self,
+        f: &'m Function,
+        frame: &[Option<RtVal>],
+        kind: &InstKind,
+        ty: Type,
+        host: &mut dyn HostEnv,
+        depth: usize,
+    ) -> Result<Option<RtVal>, Trap> {
+        let ev = |i: &Interp<'m>, op: &Operand| i.eval_operand(f, frame, op);
+        match kind {
+            InstKind::Bin { op, lhs, rhs } => {
+                let a = ev(self, lhs)?;
+                let b = ev(self, rhs)?;
+                Ok(Some(zip_lanes(&a, &b, |x, y| eval_bin(*op, x, y))?))
+            }
+            InstKind::ICmp { pred, lhs, rhs } => {
+                let a = ev(self, lhs)?;
+                let b = ev(self, rhs)?;
+                Ok(Some(zip_lanes_to(ScalarTy::I1, &a, &b, |x, y| {
+                    Ok(Scalar::i1(eval_icmp(*pred, x, y)))
+                })?))
+            }
+            InstKind::FCmp { pred, lhs, rhs } => {
+                let a = ev(self, lhs)?;
+                let b = ev(self, rhs)?;
+                Ok(Some(zip_lanes_to(ScalarTy::I1, &a, &b, |x, y| {
+                    Ok(Scalar::i1(eval_fcmp(*pred, x, y)))
+                })?))
+            }
+            InstKind::Select {
+                cond,
+                on_true,
+                on_false,
+            } => {
+                let c = ev(self, cond)?;
+                let t = ev(self, on_true)?;
+                let e = ev(self, on_false)?;
+                match c {
+                    RtVal::Scalar(s) => Ok(Some(if s.is_true() { t } else { e })),
+                    RtVal::Vector(_, lanes) => {
+                        let elem = t.lane(0).ty;
+                        let out = lanes.iter().enumerate().map(|(i, &cb)| {
+                            if cb & 1 == 1 {
+                                t.lane(i)
+                            } else {
+                                e.lane(i)
+                            }
+                        });
+                        Ok(Some(RtVal::from_lanes(elem, out)))
+                    }
+                }
+            }
+            InstKind::Cast { op, val } => {
+                let v = ev(self, val)?;
+                let to_elem = ty.elem().expect("cast to void");
+                let out = v
+                    .lanes()
+                    .into_iter()
+                    .map(|s| eval_cast(*op, s, to_elem))
+                    .collect::<Vec<_>>();
+                Ok(Some(if ty.is_vector() {
+                    RtVal::from_lanes(to_elem, out)
+                } else {
+                    RtVal::Scalar(out[0])
+                }))
+            }
+            InstKind::Alloca { elem, count } => {
+                let n = ev(self, count)?.scalar().as_i64();
+                if n < 0 {
+                    return Err(Trap::OutOfMemory);
+                }
+                let base = self.mem.alloc(elem.size_bytes() * n as u64)?;
+                Ok(Some(RtVal::Scalar(Scalar::ptr(base))))
+            }
+            InstKind::Load { ptr } => {
+                let addr = ev(self, ptr)?.scalar().as_u64();
+                match ty {
+                    Type::Scalar(s) => Ok(Some(RtVal::Scalar(self.mem.read_scalar(s, addr)?))),
+                    Type::Vector(s, n) => {
+                        let mut lanes = Vec::with_capacity(n as usize);
+                        for i in 0..n as u64 {
+                            lanes.push(self.mem.read_scalar(s, addr + i * s.bytes())?);
+                        }
+                        Ok(Some(RtVal::from_lanes(s, lanes)))
+                    }
+                    Type::Void => unreachable!("load of void"),
+                }
+            }
+            InstKind::Store { val, ptr } => {
+                let v = ev(self, val)?;
+                let addr = ev(self, ptr)?.scalar().as_u64();
+                match &v {
+                    RtVal::Scalar(s) => self.mem.write_scalar(addr, *s)?,
+                    RtVal::Vector(e, lanes) => {
+                        for (i, &b) in lanes.iter().enumerate() {
+                            self.mem
+                                .write_scalar(addr + i as u64 * e.bytes(), Scalar::new(*e, b))?;
+                        }
+                    }
+                }
+                Ok(None)
+            }
+            InstKind::Gep { elem, base, index } => {
+                let b = ev(self, base)?.scalar().as_u64();
+                let i = ev(self, index)?.scalar().as_i64();
+                let addr = b.wrapping_add((elem.size_bytes() as i64).wrapping_mul(i) as u64);
+                Ok(Some(RtVal::Scalar(Scalar::ptr(addr))))
+            }
+            InstKind::ExtractElement { vec, idx } => {
+                let v = ev(self, vec)?;
+                let i = ev(self, idx)?.scalar().as_u64() as usize % v.num_lanes();
+                Ok(Some(RtVal::Scalar(v.lane(i))))
+            }
+            InstKind::InsertElement { vec, elt, idx } => {
+                let v = ev(self, vec)?;
+                let e = ev(self, elt)?.scalar();
+                let i = ev(self, idx)?.scalar().as_u64() as usize % v.num_lanes();
+                Ok(Some(v.with_lane(i, e)))
+            }
+            InstKind::ShuffleVector { a, b, mask } => {
+                let va = ev(self, a)?;
+                let vb = ev(self, b)?;
+                let n = va.num_lanes();
+                let elem = va.lane(0).ty;
+                let out = mask.iter().map(|&mi| {
+                    if mi < 0 {
+                        Scalar::new(elem, 0) // undef lane
+                    } else if (mi as usize) < n {
+                        va.lane(mi as usize)
+                    } else {
+                        vb.lane(mi as usize - n)
+                    }
+                });
+                Ok(Some(RtVal::from_lanes(elem, out)))
+            }
+            InstKind::Phi { .. } => {
+                Err(Trap::HostError("phi outside block header".into()))
+            }
+            InstKind::Call { callee, args } => {
+                let argv: Vec<RtVal> = args
+                    .iter()
+                    .map(|a| self.eval_operand(f, frame, a))
+                    .collect::<Result<_, _>>()?;
+                // Defined function?
+                if let Some(callee_f) = self.module.function(callee) {
+                    return self.call_function(callee_f, argv, host, depth + 1);
+                }
+                // Intrinsic?
+                if let Some(intr) = intrinsics::parse(callee) {
+                    return self.eval_intrinsic(intr, &argv);
+                }
+                if callee.starts_with("llvm.") {
+                    return Err(Trap::UnknownFunction(callee.clone()));
+                }
+                // Host function.
+                let ret = host.call(callee, &argv, &mut self.mem)?;
+                if ret.is_none() && !ty.is_void() {
+                    return Err(Trap::HostError(format!(
+                        "host @{callee} returned nothing for a non-void call"
+                    )));
+                }
+                Ok(ret)
+            }
+        }
+    }
+
+    fn eval_intrinsic(&mut self, intr: Intrinsic, args: &[RtVal]) -> Result<Option<RtVal>, Trap> {
+        match intr {
+            Intrinsic::MaskLoad { lanes, elem } => {
+                let addr = args[0].scalar().as_u64();
+                let mask = &args[1];
+                let mut out = Vec::with_capacity(lanes as usize);
+                for i in 0..lanes as usize {
+                    if mask.lane(i).mask_active() {
+                        out.push(self.mem.read_scalar(elem, addr + i as u64 * elem.bytes())?);
+                    } else {
+                        out.push(Scalar::new(elem, 0));
+                    }
+                }
+                Ok(Some(RtVal::from_lanes(elem, out)))
+            }
+            Intrinsic::MaskStore { lanes, elem } => {
+                let addr = args[0].scalar().as_u64();
+                let mask = &args[1];
+                let val = &args[2];
+                for i in 0..lanes as usize {
+                    if mask.lane(i).mask_active() {
+                        self.mem
+                            .write_scalar(addr + i as u64 * elem.bytes(), val.lane(i))?;
+                    }
+                }
+                Ok(None)
+            }
+            Intrinsic::Math { op, ty } => {
+                let elem = ty.elem().unwrap();
+                let unary = |g: fn(f64) -> f64, v: &RtVal| -> RtVal {
+                    let mut out = v
+                        .lanes()
+                        .into_iter()
+                        .map(|s| Scalar::from_float(elem, g(s.as_float())));
+                    if ty.is_vector() {
+                        RtVal::from_lanes(elem, out)
+                    } else {
+                        RtVal::Scalar(out.next_back().unwrap())
+                    }
+                };
+                let binary = |g: fn(f64, f64) -> f64, a: &RtVal, b: &RtVal| -> RtVal {
+                    let out: Vec<Scalar> = a
+                        .lanes()
+                        .into_iter()
+                        .zip(b.lanes())
+                        .map(|(x, y)| Scalar::from_float(elem, g(x.as_float(), y.as_float())))
+                        .collect();
+                    if ty.is_vector() {
+                        RtVal::from_lanes(elem, out)
+                    } else {
+                        RtVal::Scalar(out[0])
+                    }
+                };
+                let r = match op {
+                    MathOp::Sqrt => unary(f64::sqrt, &args[0]),
+                    MathOp::Exp => unary(f64::exp, &args[0]),
+                    MathOp::Log => unary(f64::ln, &args[0]),
+                    MathOp::Sin => unary(f64::sin, &args[0]),
+                    MathOp::Cos => unary(f64::cos, &args[0]),
+                    MathOp::Fabs => unary(f64::abs, &args[0]),
+                    MathOp::Floor => unary(f64::floor, &args[0]),
+                    MathOp::Ceil => unary(f64::ceil, &args[0]),
+                    MathOp::Pow => binary(f64::powf, &args[0], &args[1]),
+                    MathOp::MinNum => binary(f64::min, &args[0], &args[1]),
+                    MathOp::MaxNum => binary(f64::max, &args[0], &args[1]),
+                };
+                Ok(Some(r))
+            }
+            Intrinsic::Movmsk { lanes } => {
+                let mut bits: u64 = 0;
+                for i in 0..lanes as usize {
+                    if args[0].lane(i).mask_active() {
+                        bits |= 1 << i;
+                    }
+                }
+                Ok(Some(RtVal::Scalar(Scalar::i32(bits as i32))))
+            }
+            Intrinsic::MaskAny { lanes } => {
+                let any = (0..lanes as usize).any(|i| args[0].lane(i).is_true());
+                Ok(Some(RtVal::Scalar(Scalar::i1(any))))
+            }
+            Intrinsic::MaskAll { lanes } => {
+                let all = (0..lanes as usize).all(|i| args[0].lane(i).is_true());
+                Ok(Some(RtVal::Scalar(Scalar::i1(all))))
+            }
+        }
+    }
+}
+
+/// Elementwise zip of two register values, same element type as inputs.
+fn zip_lanes(
+    a: &RtVal,
+    b: &RtVal,
+    f: impl Fn(Scalar, Scalar) -> Result<Scalar, Trap>,
+) -> Result<RtVal, Trap> {
+    match (a, b) {
+        (RtVal::Scalar(x), RtVal::Scalar(y)) => Ok(RtVal::Scalar(f(*x, *y)?)),
+        _ => {
+            let elem = a.lane(0).ty;
+            let out: Result<Vec<Scalar>, Trap> = a
+                .lanes()
+                .into_iter()
+                .zip(b.lanes())
+                .map(|(x, y)| f(x, y))
+                .collect();
+            Ok(RtVal::from_lanes(elem, out?))
+        }
+    }
+}
+
+/// Elementwise zip with a different output element type.
+fn zip_lanes_to(
+    out_ty: ScalarTy,
+    a: &RtVal,
+    b: &RtVal,
+    f: impl Fn(Scalar, Scalar) -> Result<Scalar, Trap>,
+) -> Result<RtVal, Trap> {
+    match (a, b) {
+        (RtVal::Scalar(x), RtVal::Scalar(y)) => Ok(RtVal::Scalar(f(*x, *y)?)),
+        _ => {
+            let out: Result<Vec<Scalar>, Trap> = a
+                .lanes()
+                .into_iter()
+                .zip(b.lanes())
+                .map(|(x, y)| f(x, y))
+                .collect();
+            Ok(RtVal::from_lanes(out_ty, out?))
+        }
+    }
+}
+
+/// One scalar binary operation. Integer ops wrap; division by zero traps;
+/// shift amounts at or beyond the width produce 0 (sign-fill for `ashr`),
+/// giving bit-flipped shift amounts a *defined* faulty semantics instead of
+/// UB.
+pub fn eval_bin(op: BinOp, a: Scalar, b: Scalar) -> Result<Scalar, Trap> {
+    let ty = a.ty;
+    let bits = ty.bits();
+    let out = match op {
+        BinOp::Add => a.bits.wrapping_add(b.bits),
+        BinOp::Sub => a.bits.wrapping_sub(b.bits),
+        BinOp::Mul => a.bits.wrapping_mul(b.bits),
+        BinOp::SDiv => {
+            if b.as_i64() == 0 {
+                return Err(Trap::DivByZero);
+            }
+            a.as_i64().wrapping_div(b.as_i64()) as u64
+        }
+        BinOp::UDiv => {
+            if b.bits == 0 {
+                return Err(Trap::DivByZero);
+            }
+            a.bits / b.bits
+        }
+        BinOp::SRem => {
+            if b.as_i64() == 0 {
+                return Err(Trap::DivByZero);
+            }
+            a.as_i64().wrapping_rem(b.as_i64()) as u64
+        }
+        BinOp::URem => {
+            if b.bits == 0 {
+                return Err(Trap::DivByZero);
+            }
+            a.bits % b.bits
+        }
+        BinOp::And => a.bits & b.bits,
+        BinOp::Or => a.bits | b.bits,
+        BinOp::Xor => a.bits ^ b.bits,
+        BinOp::Shl => {
+            let amt = b.bits;
+            if amt >= bits as u64 {
+                0
+            } else {
+                a.bits << amt
+            }
+        }
+        BinOp::LShr => {
+            let amt = b.bits;
+            if amt >= bits as u64 {
+                0
+            } else {
+                a.bits >> amt
+            }
+        }
+        BinOp::AShr => {
+            let amt = b.bits;
+            if amt >= bits as u64 {
+                if a.as_i64() < 0 {
+                    u64::MAX
+                } else {
+                    0
+                }
+            } else {
+                (a.as_i64() >> amt) as u64
+            }
+        }
+        BinOp::FAdd => return Ok(Scalar::from_float(ty, a.as_float() + b.as_float())),
+        BinOp::FSub => return Ok(Scalar::from_float(ty, a.as_float() - b.as_float())),
+        BinOp::FMul => return Ok(Scalar::from_float(ty, a.as_float() * b.as_float())),
+        BinOp::FDiv => return Ok(Scalar::from_float(ty, a.as_float() / b.as_float())),
+        BinOp::FRem => return Ok(Scalar::from_float(ty, a.as_float() % b.as_float())),
+    };
+    Ok(Scalar::new(ty, out))
+}
+
+/// One scalar integer comparison.
+pub fn eval_icmp(pred: ICmpPred, a: Scalar, b: Scalar) -> bool {
+    match pred {
+        ICmpPred::Eq => a.bits == b.bits,
+        ICmpPred::Ne => a.bits != b.bits,
+        ICmpPred::Slt => a.as_i64() < b.as_i64(),
+        ICmpPred::Sle => a.as_i64() <= b.as_i64(),
+        ICmpPred::Sgt => a.as_i64() > b.as_i64(),
+        ICmpPred::Sge => a.as_i64() >= b.as_i64(),
+        ICmpPred::Ult => a.bits < b.bits,
+        ICmpPred::Ule => a.bits <= b.bits,
+        ICmpPred::Ugt => a.bits > b.bits,
+        ICmpPred::Uge => a.bits >= b.bits,
+    }
+}
+
+/// One scalar float comparison.
+pub fn eval_fcmp(pred: FCmpPred, a: Scalar, b: Scalar) -> bool {
+    let (x, y) = (a.as_float(), b.as_float());
+    let unordered = x.is_nan() || y.is_nan();
+    match pred {
+        FCmpPred::Oeq => !unordered && x == y,
+        FCmpPred::One => !unordered && x != y,
+        FCmpPred::Olt => !unordered && x < y,
+        FCmpPred::Ole => !unordered && x <= y,
+        FCmpPred::Ogt => !unordered && x > y,
+        FCmpPred::Oge => !unordered && x >= y,
+        FCmpPred::Ord => !unordered,
+        FCmpPred::Uno => unordered,
+        FCmpPred::Ueq => unordered || x == y,
+        FCmpPred::Une => unordered || x != y,
+    }
+}
+
+/// One scalar cast. Out-of-range `fptosi` (including NaN) produces 0 — a
+/// defined semantics so that bit-flipped floats keep execution
+/// deterministic.
+pub fn eval_cast(op: CastOp, v: Scalar, to: ScalarTy) -> Scalar {
+    match op {
+        CastOp::Trunc | CastOp::Bitcast | CastOp::PtrToInt | CastOp::IntToPtr | CastOp::ZExt => {
+            Scalar::new(to, v.bits)
+        }
+        CastOp::SExt => Scalar::new(to, v.as_i64() as u64),
+        CastOp::FpToSi => {
+            let f = v.as_float();
+            let i = if f.is_nan() || f < i64::MIN as f64 || f > i64::MAX as f64 {
+                0
+            } else {
+                f as i64
+            };
+            Scalar::new(to, i as u64)
+        }
+        CastOp::SiToFp => Scalar::from_float(to, v.as_i64() as f64),
+        CastOp::FpExt | CastOp::FpTrunc => Scalar::from_float(to, v.as_float()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vir::parser::parse_module;
+
+    fn run_i32(src: &str, func: &str, args: &[RtVal]) -> Result<i64, Trap> {
+        let m = parse_module(src).unwrap();
+        vir::verify::verify_module(&m).unwrap();
+        let mut interp = Interp::new(&m);
+        let r = interp.run(func, args, &mut NoHost)?;
+        Ok(r.ret.unwrap().scalar().as_i64())
+    }
+
+    #[test]
+    fn runs_sum_loop() {
+        let src = r#"
+define i32 @sum(i32 %n) {
+entry:
+  br label %header
+header:
+  %i = phi i32 [ 0, %entry ], [ %i2, %body ]
+  %acc = phi i32 [ 0, %entry ], [ %acc2, %body ]
+  %cond = icmp slt i32 %i, %n
+  br i1 %cond, label %body, label %exit
+body:
+  %acc2 = add i32 %acc, %i
+  %i2 = add i32 %i, 1
+  br label %header
+exit:
+  ret i32 %acc
+}
+"#;
+        assert_eq!(run_i32(src, "sum", &[RtVal::Scalar(Scalar::i32(10))]).unwrap(), 45);
+        assert_eq!(run_i32(src, "sum", &[RtVal::Scalar(Scalar::i32(0))]).unwrap(), 0);
+    }
+
+    #[test]
+    fn vector_arithmetic_elementwise() {
+        let src = r#"
+define <4 x i32> @vadd(<4 x i32> %a, <4 x i32> %b) {
+entry:
+  %s = add <4 x i32> %a, %b
+  ret <4 x i32> %s
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let mut interp = Interp::new(&m);
+        let a = RtVal::from_lanes(ScalarTy::I32, (0..4).map(Scalar::i32));
+        let b = RtVal::from_lanes(ScalarTy::I32, (10..14).map(Scalar::i32));
+        let r = interp.run("vadd", &[a, b], &mut NoHost).unwrap();
+        let lanes: Vec<i64> = r.ret.unwrap().lanes().iter().map(|s| s.as_i64()).collect();
+        assert_eq!(lanes, vec![10, 12, 14, 16]);
+    }
+
+    #[test]
+    fn div_by_zero_traps() {
+        let src = r#"
+define i32 @d(i32 %a, i32 %b) {
+entry:
+  %q = sdiv i32 %a, %b
+  ret i32 %q
+}
+"#;
+        let e = run_i32(
+            src,
+            "d",
+            &[RtVal::Scalar(Scalar::i32(1)), RtVal::Scalar(Scalar::i32(0))],
+        );
+        assert_eq!(e, Err(Trap::DivByZero));
+    }
+
+    #[test]
+    fn hang_budget_traps() {
+        let src = r#"
+define void @spin() {
+entry:
+  br label %entry2
+entry2:
+  br label %entry2
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let mut interp = Interp::new(&m);
+        interp.set_budget(1000);
+        let e = interp.run("spin", &[], &mut NoHost);
+        assert_eq!(e.unwrap_err(), Trap::HangBudget);
+    }
+
+    #[test]
+    fn memory_ops_and_gep() {
+        let src = r#"
+define i32 @second(ptr %a) {
+entry:
+  %p = getelementptr i32, ptr %a, i32 1
+  %v = load i32, ptr %p
+  ret i32 %v
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let mut interp = Interp::new(&m);
+        let base = interp.mem.alloc_i32_slice(&[7, 42, 9]).unwrap();
+        let r = interp
+            .run("second", &[RtVal::Scalar(Scalar::ptr(base))], &mut NoHost)
+            .unwrap();
+        assert_eq!(r.ret.unwrap().scalar().as_i64(), 42);
+    }
+
+    #[test]
+    fn oob_load_traps() {
+        let src = r#"
+define i32 @past(ptr %a) {
+entry:
+  %p = getelementptr i32, ptr %a, i32 100
+  %v = load i32, ptr %p
+  ret i32 %v
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let mut interp = Interp::new(&m);
+        let base = interp.mem.alloc_i32_slice(&[1, 2, 3]).unwrap();
+        let e = interp.run("past", &[RtVal::Scalar(Scalar::ptr(base))], &mut NoHost);
+        assert!(matches!(e, Err(Trap::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn masked_load_skips_inactive_lanes_and_oob() {
+        // Mask covers only the first 2 lanes; the other 6 would be OOB but
+        // must not be touched — the whole point of masked tails.
+        let src = r#"
+declare <8 x float> @llvm.x86.avx.maskload.ps.256(ptr, <8 x float>)
+
+define <8 x float> @tail(ptr %a, <8 x float> %m) {
+entry:
+  %v = call <8 x float> @llvm.x86.avx.maskload.ps.256(ptr %a, <8 x float> %m)
+  ret <8 x float> %v
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let mut interp = Interp::new(&m);
+        let base = interp.mem.alloc_f32_slice(&[1.5, 2.5]).unwrap();
+        let on = f32::from_bits(0xffff_ffff);
+        let mask = RtVal::from_lanes(
+            ScalarTy::F32,
+            (0..8).map(|i| if i < 2 { Scalar::f32(on) } else { Scalar::f32(0.0) }),
+        );
+        let r = interp
+            .run("tail", &[RtVal::Scalar(Scalar::ptr(base)), mask], &mut NoHost)
+            .unwrap();
+        let lanes = r.ret.unwrap();
+        assert_eq!(lanes.lane(0).as_f32(), 1.5);
+        assert_eq!(lanes.lane(1).as_f32(), 2.5);
+        for i in 2..8 {
+            assert_eq!(lanes.lane(i).as_f32(), 0.0);
+        }
+    }
+
+    #[test]
+    fn masked_store_writes_only_active_lanes() {
+        let src = r#"
+declare void @llvm.x86.avx.maskstore.ps.256(ptr, <8 x float>, <8 x float>)
+
+define void @st(ptr %a, <8 x float> %m, <8 x float> %v) {
+entry:
+  call void @llvm.x86.avx.maskstore.ps.256(ptr %a, <8 x float> %m, <8 x float> %v)
+  ret void
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let mut interp = Interp::new(&m);
+        let base = interp.mem.alloc_f32_slice(&[0.0; 8]).unwrap();
+        let on = f32::from_bits(0xffff_ffff);
+        let mask = RtVal::from_lanes(
+            ScalarTy::F32,
+            (0..8).map(|i| if i % 2 == 0 { Scalar::f32(on) } else { Scalar::f32(0.0) }),
+        );
+        let val = RtVal::from_lanes(ScalarTy::F32, (0..8).map(|i| Scalar::f32(i as f32 + 1.0)));
+        interp
+            .run(
+                "st",
+                &[RtVal::Scalar(Scalar::ptr(base)), mask, val],
+                &mut NoHost,
+            )
+            .unwrap();
+        let out = interp.mem.read_f32_slice(base, 8).unwrap();
+        assert_eq!(out, vec![1.0, 0.0, 3.0, 0.0, 5.0, 0.0, 7.0, 0.0]);
+    }
+
+    #[test]
+    fn math_intrinsics() {
+        let src = r#"
+define float @hyp(float %a, float %b) {
+entry:
+  %aa = fmul float %a, %a
+  %bb = fmul float %b, %b
+  %s = fadd float %aa, %bb
+  %r = call float @llvm.sqrt.f32(float %s)
+  ret float %r
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let mut interp = Interp::new(&m);
+        let r = interp
+            .run(
+                "hyp",
+                &[RtVal::Scalar(Scalar::f32(3.0)), RtVal::Scalar(Scalar::f32(4.0))],
+                &mut NoHost,
+            )
+            .unwrap();
+        assert_eq!(r.ret.unwrap().scalar().as_f32(), 5.0);
+    }
+
+    #[test]
+    fn function_calls_and_recursion_limit() {
+        let src = r#"
+define i32 @inc(i32 %x) {
+entry:
+  %r = add i32 %x, 1
+  ret i32 %r
+}
+
+define i32 @twice(i32 %x) {
+entry:
+  %a = call i32 @inc(i32 %x)
+  %b = call i32 @inc(i32 %a)
+  ret i32 %b
+}
+
+define i32 @forever(i32 %x) {
+entry:
+  %r = call i32 @forever(i32 %x)
+  ret i32 %r
+}
+"#;
+        assert_eq!(run_i32(src, "twice", &[RtVal::Scalar(Scalar::i32(5))]).unwrap(), 7);
+        let e = run_i32(src, "forever", &[RtVal::Scalar(Scalar::i32(5))]);
+        assert_eq!(e, Err(Trap::StackOverflow));
+    }
+
+    #[test]
+    fn host_calls_dispatch() {
+        struct Doubler;
+        impl HostEnv for Doubler {
+            fn call(
+                &mut self,
+                name: &str,
+                args: &[RtVal],
+                _mem: &mut Memory,
+            ) -> Result<Option<RtVal>, Trap> {
+                assert_eq!(name, "ext.double");
+                Ok(Some(RtVal::Scalar(Scalar::i32(
+                    args[0].scalar().as_i64() as i32 * 2,
+                ))))
+            }
+        }
+        let src = r#"
+declare i32 @ext.double(i32)
+
+define i32 @f(i32 %x) {
+entry:
+  %r = call i32 @ext.double(i32 %x)
+  ret i32 %r
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let mut interp = Interp::new(&m);
+        let r = interp
+            .run("f", &[RtVal::Scalar(Scalar::i32(21))], &mut Doubler)
+            .unwrap();
+        assert_eq!(r.ret.unwrap().scalar().as_i64(), 42);
+    }
+
+    #[test]
+    fn dyn_inst_count_is_deterministic() {
+        let src = r#"
+define i32 @sum(i32 %n) {
+entry:
+  br label %header
+header:
+  %i = phi i32 [ 0, %entry ], [ %i2, %body ]
+  %acc = phi i32 [ 0, %entry ], [ %acc2, %body ]
+  %cond = icmp slt i32 %i, %n
+  br i1 %cond, label %body, label %exit
+body:
+  %acc2 = add i32 %acc, %i
+  %i2 = add i32 %i, 1
+  br label %header
+exit:
+  ret i32 %acc
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let count = |n: i32| {
+            let mut interp = Interp::new(&m);
+            interp
+                .run("sum", &[RtVal::Scalar(Scalar::i32(n))], &mut NoHost)
+                .unwrap()
+                .dyn_insts
+        };
+        assert_eq!(count(10), count(10));
+        assert!(count(20) > count(10));
+    }
+
+    #[test]
+    fn shuffles_and_inserts() {
+        let src = r#"
+define <8 x float> @bcast(float %x) {
+entry:
+  %i = insertelement <8 x float> undef, float %x, i32 0
+  %b = shufflevector <8 x float> %i, <8 x float> undef, <8 x i32> <i32 0, i32 0, i32 0, i32 0, i32 0, i32 0, i32 0, i32 0>
+  ret <8 x float> %b
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let mut interp = Interp::new(&m);
+        let r = interp
+            .run("bcast", &[RtVal::Scalar(Scalar::f32(2.5))], &mut NoHost)
+            .unwrap();
+        let v = r.ret.unwrap();
+        for i in 0..8 {
+            assert_eq!(v.lane(i).as_f32(), 2.5);
+        }
+    }
+
+    #[test]
+    fn shift_overflow_defined() {
+        assert_eq!(
+            eval_bin(BinOp::Shl, Scalar::i32(1), Scalar::i32(40)).unwrap().bits,
+            0
+        );
+        assert_eq!(
+            eval_bin(BinOp::AShr, Scalar::i32(-1), Scalar::i32(99)).unwrap().as_i64(),
+            -1
+        );
+        assert_eq!(
+            eval_bin(BinOp::LShr, Scalar::i32(-1), Scalar::i32(99)).unwrap().bits,
+            0
+        );
+    }
+
+    #[test]
+    fn fcmp_nan_semantics() {
+        let nan = Scalar::f32(f32::NAN);
+        let one = Scalar::f32(1.0);
+        assert!(!eval_fcmp(FCmpPred::Oeq, nan, one));
+        assert!(eval_fcmp(FCmpPred::Une, nan, one));
+        assert!(eval_fcmp(FCmpPred::Uno, nan, nan));
+        assert!(eval_fcmp(FCmpPred::Ord, one, one));
+    }
+
+    #[test]
+    fn casts() {
+        assert_eq!(eval_cast(CastOp::SExt, Scalar::i8(-1), ScalarTy::I32).as_i64(), -1);
+        assert_eq!(eval_cast(CastOp::ZExt, Scalar::i8(-1), ScalarTy::I32).as_i64(), 255);
+        assert_eq!(eval_cast(CastOp::Trunc, Scalar::i32(0x1ff), ScalarTy::I8).as_u64(), 0xff);
+        assert_eq!(
+            eval_cast(CastOp::SiToFp, Scalar::i32(-3), ScalarTy::F32).as_f32(),
+            -3.0
+        );
+        assert_eq!(
+            eval_cast(CastOp::FpToSi, Scalar::f32(2.9), ScalarTy::I32).as_i64(),
+            2
+        );
+        assert_eq!(
+            eval_cast(CastOp::FpToSi, Scalar::f32(f32::NAN), ScalarTy::I32).as_i64(),
+            0
+        );
+        assert_eq!(
+            eval_cast(CastOp::Bitcast, Scalar::f32(1.0), ScalarTy::I32).as_u64(),
+            0x3f80_0000
+        );
+    }
+}
+
+#[cfg(test)]
+mod intrinsic_tests {
+    use super::*;
+    use vir::parser::parse_module;
+
+    fn run_ret(src: &str, func: &str, args: &[RtVal]) -> RtVal {
+        let m = parse_module(src).unwrap();
+        vir::verify::verify_module(&m).unwrap();
+        let mut interp = Interp::new(&m);
+        interp.run(func, args, &mut NoHost).unwrap().ret.unwrap()
+    }
+
+    #[test]
+    fn movmsk_collects_sign_bits() {
+        let src = r#"
+define i32 @m(<8 x float> %v) {
+entry:
+  %r = call i32 @llvm.x86.avx.movmsk.ps.256(<8 x float> %v)
+  ret i32 %r
+}
+"#;
+        let v = RtVal::from_lanes(
+            ScalarTy::F32,
+            [1.0f32, -1.0, 2.0, -0.5, 0.0, -0.0, 3.0, -9.0]
+                .iter()
+                .map(|&x| Scalar::f32(x)),
+        );
+        let r = run_ret(src, "m", &[v]);
+        // Negative lanes: 1, 3, 5 (-0.0 has the sign bit set!), 7.
+        assert_eq!(r.scalar().as_i64(), 0b1010_1010);
+    }
+
+    #[test]
+    fn mask_any_and_all() {
+        let src = r#"
+define i1 @any(<4 x i1> %m) {
+entry:
+  %r = call i1 @llvm.vulfi.mask.any.v4i1(<4 x i1> %m)
+  ret i1 %r
+}
+
+define i1 @all(<4 x i1> %m) {
+entry:
+  %r = call i1 @llvm.vulfi.mask.all.v4i1(<4 x i1> %m)
+  ret i1 %r
+}
+"#;
+        let mk = |bits: [bool; 4]| {
+            RtVal::from_lanes(ScalarTy::I1, bits.iter().map(|&b| Scalar::i1(b)))
+        };
+        let m = parse_module(src).unwrap();
+        let run = |f: &str, v: RtVal| {
+            Interp::new(&m)
+                .run(f, &[v], &mut NoHost)
+                .unwrap()
+                .ret
+                .unwrap()
+                .scalar()
+                .is_true()
+        };
+        assert!(run("any", mk([false, true, false, false])));
+        assert!(!run("any", mk([false, false, false, false])));
+        assert!(run("all", mk([true, true, true, true])));
+        assert!(!run("all", mk([true, true, false, true])));
+    }
+
+    #[test]
+    fn minnum_maxnum_and_pow() {
+        let src = r#"
+define float @f(float %a, float %b) {
+entry:
+  %mn = call float @llvm.minnum.f32(float %a, float %b)
+  %mx = call float @llvm.maxnum.f32(float %a, float %b)
+  %p = call float @llvm.pow.f32(float %mx, float 2.0)
+  %r = fadd float %mn, %p
+  ret float %r
+}
+"#;
+        let r = run_ret(
+            src,
+            "f",
+            &[RtVal::Scalar(Scalar::f32(-3.0)), RtVal::Scalar(Scalar::f32(4.0))],
+        );
+        assert_eq!(r.scalar().as_f32(), -3.0 + 16.0);
+    }
+
+    #[test]
+    fn vector_math_is_elementwise() {
+        let src = r#"
+define <4 x float> @s(<4 x float> %v) {
+entry:
+  %r = call <4 x float> @llvm.sqrt.v4f32(<4 x float> %v)
+  ret <4 x float> %r
+}
+"#;
+        let v = RtVal::from_lanes(
+            ScalarTy::F32,
+            [1.0f32, 4.0, 9.0, 16.0].iter().map(|&x| Scalar::f32(x)),
+        );
+        let r = run_ret(src, "s", &[v]);
+        let lanes: Vec<f32> = r.lanes().iter().map(|s| s.as_f32()).collect();
+        assert_eq!(lanes, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn unknown_intrinsic_traps_cleanly() {
+        let src = r#"
+define void @f() {
+entry:
+  call void @llvm.x86.avx.maskstore.ps.256(ptr null, <8 x float> zeroinitializer, <8 x float> zeroinitializer)
+  ret void
+}
+"#;
+        // All lanes masked off: the null pointer is never dereferenced.
+        let m = parse_module(src).unwrap();
+        let mut interp = Interp::new(&m);
+        interp.run("f", &[], &mut NoHost).unwrap();
+    }
+}

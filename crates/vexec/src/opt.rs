@@ -1,0 +1,379 @@
+//! Constant folding over VIR, using this crate's evaluator as the
+//! semantics oracle (no duplicated arithmetic rules to drift apart).
+//!
+//! Together with `vir::transform::dce`, this is the second half of the
+//! "-O3 cleanup" stand-in the SPMD-C pipeline runs: compile-time-known
+//! registers must not appear as fault sites, because a real compiler
+//! would never materialize them.
+//!
+//! Folds, conservatively:
+//! - `bin`/`icmp`/`fcmp` with two constant operands (element-wise for
+//!   vectors); division folds only when no lane divides by zero — a
+//!   constant trap must stay a runtime trap;
+//! - casts of constants;
+//! - `select` with a constant scalar condition;
+//! - `extractelement`/`insertelement`/`shufflevector` over constants;
+//! - integer identities: `x+0`, `x-0`, `x*1`, `x*0`, `x&-1`, `x|0`,
+//!   `x^0`, shifts by 0.
+
+use vir::{BinOp, ConstData, Constant, Function, InstKind, Operand, Type};
+
+use crate::interp::{eval_bin, eval_cast, eval_fcmp, eval_icmp};
+use crate::value::Scalar;
+
+fn const_lanes(c: &Constant) -> Vec<Scalar> {
+    let elem = c.ty.elem().expect("void constant");
+    c.lane_bits()
+        .into_iter()
+        .map(|b| Scalar::new(elem, b))
+        .collect()
+}
+
+fn make_const(ty: Type, lanes: Vec<Scalar>) -> Constant {
+    match ty {
+        Type::Scalar(_) => Constant::new(ty, ConstData::Scalar(lanes[0].bits)),
+        Type::Vector(..) => Constant::new(
+            ty,
+            ConstData::Vector(lanes.into_iter().map(|s| s.bits).collect()),
+        ),
+        Type::Void => unreachable!(),
+    }
+}
+
+/// Try to fold one instruction to a constant.
+fn fold_inst(f: &Function, kind: &InstKind, ty: Type) -> Option<Constant> {
+    fn c(op: &Operand) -> Option<&Constant> {
+        op.constant()
+    }
+    match kind {
+        InstKind::Bin { op, lhs, rhs } => {
+            let (a, b) = (c(lhs)?, c(rhs)?);
+            let out: Option<Vec<Scalar>> = const_lanes(a)
+                .into_iter()
+                .zip(const_lanes(b))
+                .map(|(x, y)| eval_bin(*op, x, y).ok())
+                .collect();
+            Some(make_const(ty, out?))
+        }
+        InstKind::ICmp { pred, lhs, rhs } => {
+            let (a, b) = (c(lhs)?, c(rhs)?);
+            let out: Vec<Scalar> = const_lanes(a)
+                .into_iter()
+                .zip(const_lanes(b))
+                .map(|(x, y)| Scalar::i1(eval_icmp(*pred, x, y)))
+                .collect();
+            Some(make_const(ty, out))
+        }
+        InstKind::FCmp { pred, lhs, rhs } => {
+            let (a, b) = (c(lhs)?, c(rhs)?);
+            let out: Vec<Scalar> = const_lanes(a)
+                .into_iter()
+                .zip(const_lanes(b))
+                .map(|(x, y)| Scalar::i1(eval_fcmp(*pred, x, y)))
+                .collect();
+            Some(make_const(ty, out))
+        }
+        InstKind::Cast { op, val } => {
+            let a = c(val)?;
+            let to = ty.elem()?;
+            let out: Vec<Scalar> = const_lanes(a)
+                .into_iter()
+                .map(|s| eval_cast(*op, s, to))
+                .collect();
+            Some(make_const(ty, out))
+        }
+        InstKind::Select {
+            cond,
+            on_true,
+            on_false,
+        } => {
+            let cc = c(cond)?;
+            if cc.ty.is_vector() {
+                let (t, e) = (c(on_true)?, c(on_false)?);
+                let out: Vec<Scalar> = const_lanes(cc)
+                    .into_iter()
+                    .zip(const_lanes(t).into_iter().zip(const_lanes(e)))
+                    .map(|(m, (x, y))| if m.is_true() { x } else { y })
+                    .collect();
+                Some(make_const(ty, out))
+            } else if cc.scalar_bits()? & 1 == 1 {
+                c(on_true).cloned()
+            } else {
+                c(on_false).cloned()
+            }
+        }
+        InstKind::ExtractElement { vec, idx } => {
+            let v = c(vec)?;
+            let i = c(idx)?.as_i64()? as usize;
+            let lanes = const_lanes(v);
+            let s = lanes.get(i % lanes.len())?;
+            Some(make_const(ty, vec![*s]))
+        }
+        InstKind::InsertElement { vec, elt, idx } => {
+            let v = c(vec)?;
+            let e = c(elt)?;
+            let i = c(idx)?.as_i64()? as usize;
+            let mut lanes = const_lanes(v);
+            let n = lanes.len();
+            lanes[i % n] = const_lanes(e)[0];
+            Some(make_const(ty, lanes))
+        }
+        InstKind::ShuffleVector { a, b, mask } => {
+            let (va, vb) = (c(a)?, c(b)?);
+            let (la, lb) = (const_lanes(va), const_lanes(vb));
+            let elem = ty.elem()?;
+            let out: Vec<Scalar> = mask
+                .iter()
+                .map(|&m| {
+                    if m < 0 {
+                        Scalar::new(elem, 0)
+                    } else if (m as usize) < la.len() {
+                        la[m as usize]
+                    } else {
+                        lb[m as usize - la.len()]
+                    }
+                })
+                .collect();
+            Some(make_const(ty, out))
+        }
+        _ => {
+            let _ = f;
+            None
+        }
+    }
+}
+
+/// Integer identity simplification: returns the surviving operand.
+fn identity(kind: &InstKind, ty: Type) -> Option<Operand> {
+    let InstKind::Bin { op, lhs, rhs } = kind else {
+        return None;
+    };
+    if !ty.is_int() {
+        return None;
+    }
+    let is_splat = |o: &Operand, v: i64| -> bool {
+        o.constant().is_some_and(|cst| {
+            let elem = match cst.ty.elem() {
+                Some(e) if e.is_int() => e,
+                _ => return false,
+            };
+            cst.lane_bits()
+                .iter()
+                .all(|&b| vir::constant::sext(b, elem.bits()) == v)
+        })
+    };
+    match op {
+        BinOp::Add | BinOp::Or | BinOp::Xor => {
+            if is_splat(rhs, 0) {
+                return Some(lhs.clone());
+            }
+            if is_splat(lhs, 0) && *op == BinOp::Add {
+                return Some(rhs.clone());
+            }
+        }
+        BinOp::Sub | BinOp::Shl | BinOp::LShr | BinOp::AShr
+            if is_splat(rhs, 0) => {
+                return Some(lhs.clone());
+            }
+        BinOp::Mul => {
+            if is_splat(rhs, 1) {
+                return Some(lhs.clone());
+            }
+            if is_splat(lhs, 1) {
+                return Some(rhs.clone());
+            }
+            if is_splat(rhs, 0) || is_splat(lhs, 0) {
+                let elem = ty.elem()?;
+                return Some(Operand::Const(match ty {
+                    Type::Vector(_, n) => Constant::splat(elem, n, 0),
+                    _ => Constant::new(ty, ConstData::Scalar(0)),
+                }));
+            }
+        }
+        BinOp::And
+            if is_splat(rhs, -1) => {
+                return Some(lhs.clone());
+            }
+        _ => {}
+    }
+    None
+}
+
+/// Fold constants in `f` until fixpoint. Returns how many instructions
+/// were folded away. Run `vir::transform::dce::run` afterwards to drop the
+/// dead definitions.
+pub fn fold(f: &mut Function) -> usize {
+    let mut folded = 0;
+    loop {
+        let mut change: Option<(vir::ValueId, Operand)> = None;
+        'scan: for (_, iid) in f.placed_insts() {
+            let inst = f.inst(iid);
+            let Some(result) = inst.result else { continue };
+            if let Some(cst) = fold_inst(f, &inst.kind, inst.ty) {
+                change = Some((result, Operand::Const(cst)));
+                break 'scan;
+            }
+            if let Some(op) = identity(&inst.kind, inst.ty) {
+                change = Some((result, op));
+                break 'scan;
+            }
+        }
+        match change {
+            Some((old, new)) => {
+                f.replace_uses(old, new, &[]);
+                folded += 1;
+                // The defining instruction is now dead; DCE removes it.
+                vir::transform::dce::run(f);
+            }
+            None => break,
+        }
+    }
+    folded
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vir::builder::FuncBuilder;
+    use vir::inst::{CastOp, ICmpPred, Terminator};
+    use vir::Module;
+
+    fn check_ret_const(f: &Function, expect: i64) {
+        match &f.block(f.entry()).term {
+            Terminator::Ret(Some(Operand::Const(cst))) => {
+                assert_eq!(cst.as_i64(), Some(expect))
+            }
+            t => panic!("not folded to a constant return: {t:?}"),
+        }
+    }
+
+    #[test]
+    fn folds_constant_chains() {
+        let mut b = FuncBuilder::new("f", vec![], Type::I32);
+        let e = b.add_block("entry");
+        b.position_at(e);
+        let x = b.bin(BinOp::Add, Constant::i32(2).into(), Constant::i32(3).into(), "x");
+        let y = b.bin(BinOp::Mul, x, Constant::i32(4).into(), "y");
+        b.ret(Some(y));
+        let mut f = b.finish();
+        let n = fold(&mut f);
+        assert_eq!(n, 2);
+        assert_eq!(f.num_placed_insts(), 0);
+        check_ret_const(&f, 20);
+    }
+
+    #[test]
+    fn folding_preserves_trap_semantics() {
+        // `sdiv 1, 0` must NOT fold away — it traps at runtime.
+        let mut b = FuncBuilder::new("f", vec![], Type::I32);
+        let e = b.add_block("entry");
+        b.position_at(e);
+        let x = b.bin(
+            BinOp::SDiv,
+            Constant::i32(1).into(),
+            Constant::i32(0).into(),
+            "x",
+        );
+        b.ret(Some(x));
+        let mut f = b.finish();
+        assert_eq!(fold(&mut f), 0);
+        assert_eq!(f.num_placed_insts(), 1);
+    }
+
+    #[test]
+    fn folds_vector_ops_elementwise() {
+        let mut b = FuncBuilder::new("f", vec![], Type::I32);
+        let e = b.add_block("entry");
+        b.position_at(e);
+        let v = b.bin(
+            BinOp::Add,
+            Constant::vec_i32(&[1, 2, 3, 4]).into(),
+            Constant::vec_i32(&[10, 20, 30, 40]).into(),
+            "v",
+        );
+        let x = b.extract(v, Constant::i32(2).into(), "x");
+        b.ret(Some(x));
+        let mut f = b.finish();
+        fold(&mut f);
+        check_ret_const(&f, 33);
+    }
+
+    #[test]
+    fn integer_identities() {
+        let mut b = FuncBuilder::new("f", vec![("x".into(), Type::I32)], Type::I32);
+        let e = b.add_block("entry");
+        b.position_at(e);
+        let a = b.bin(BinOp::Add, b.param(0), Constant::i32(0).into(), "a");
+        let m = b.bin(BinOp::Mul, a, Constant::i32(1).into(), "m");
+        let s = b.bin(BinOp::Shl, m, Constant::i32(0).into(), "s");
+        b.ret(Some(s));
+        let mut f = b.finish();
+        let n = fold(&mut f);
+        assert_eq!(n, 3);
+        assert_eq!(f.num_placed_insts(), 0);
+        // Return is now the parameter itself.
+        match &f.block(f.entry()).term {
+            Terminator::Ret(Some(Operand::Value(v))) => assert_eq!(v.index(), 0),
+            t => panic!("{t:?}"),
+        }
+    }
+
+    #[test]
+    fn mul_by_zero_becomes_zero_not_operand() {
+        let mut b = FuncBuilder::new("f", vec![("x".into(), Type::I32)], Type::I32);
+        let e = b.add_block("entry");
+        b.position_at(e);
+        let m = b.bin(BinOp::Mul, b.param(0), Constant::i32(0).into(), "m");
+        b.ret(Some(m));
+        let mut f = b.finish();
+        fold(&mut f);
+        check_ret_const(&f, 0);
+    }
+
+    #[test]
+    fn no_float_identities() {
+        // x + 0.0 must NOT fold: x could be -0.0 and -0.0 + 0.0 == +0.0.
+        let mut b = FuncBuilder::new("f", vec![("x".into(), Type::F32)], Type::F32);
+        let e = b.add_block("entry");
+        b.position_at(e);
+        let a = b.bin(BinOp::FAdd, b.param(0), Constant::f32(0.0).into(), "a");
+        b.ret(Some(a));
+        let mut f = b.finish();
+        assert_eq!(fold(&mut f), 0);
+    }
+
+    #[test]
+    fn folds_casts_selects_and_shuffles() {
+        let mut b = FuncBuilder::new("f", vec![], Type::I32);
+        let e = b.add_block("entry");
+        b.position_at(e);
+        let cast = b.cast(CastOp::FpToSi, Constant::f32(7.9).into(), Type::I32, "c");
+        let cond = b.icmp(ICmpPred::Sgt, cast.clone(), Constant::i32(5).into(), "p");
+        let sel = b.select(cond, cast, Constant::i32(-1).into(), "s");
+        b.ret(Some(sel));
+        let mut f = b.finish();
+        fold(&mut f);
+        check_ret_const(&f, 7);
+    }
+
+    #[test]
+    fn folded_module_still_verifies_and_runs() {
+        use crate::{Interp, NoHost, RtVal};
+        let mut b = FuncBuilder::new("f", vec![("x".into(), Type::I32)], Type::I32);
+        let e = b.add_block("entry");
+        b.position_at(e);
+        let k = b.bin(BinOp::Add, Constant::i32(10).into(), Constant::i32(5).into(), "k");
+        let r = b.bin(BinOp::Mul, b.param(0), k, "r");
+        b.ret(Some(r));
+        let mut f = b.finish();
+        fold(&mut f);
+        let mut m = Module::new("t");
+        m.add_function(f);
+        vir::verify::verify_module(&m).unwrap();
+        let mut interp = Interp::new(&m);
+        let out = interp
+            .run("f", &[RtVal::Scalar(Scalar::i32(3))], &mut NoHost)
+            .unwrap();
+        assert_eq!(out.ret.unwrap().scalar().as_i64(), 45);
+    }
+}

@@ -1,0 +1,103 @@
+//! Dynamic execution profiles.
+//!
+//! The paper's Table I reports dynamic instruction counts and Fig. 10 the
+//! vector/scalar composition. [`InstMix`] captures both *dynamically*: how
+//! many executed instructions were vector instructions (per the paper's
+//! §II-A definition — at least one vector operand or result), broken down
+//! by opcode.
+
+use std::collections::BTreeMap;
+
+/// Aggregated dynamic instruction mix of one execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InstMix {
+    /// All executed instructions, terminators included.
+    pub total: u64,
+    /// Executed *vector* instructions (paper §II-A definition).
+    pub vector: u64,
+    /// Executed scalar instructions (incl. terminators).
+    pub scalar: u64,
+    /// Per-opcode dynamic counts.
+    pub by_opcode: BTreeMap<&'static str, u64>,
+}
+
+impl InstMix {
+    pub fn record(&mut self, opcode: &'static str, is_vector: bool) {
+        self.total += 1;
+        if is_vector {
+            self.vector += 1;
+        } else {
+            self.scalar += 1;
+        }
+        *self.by_opcode.entry(opcode).or_insert(0) += 1;
+    }
+
+    /// Percentage of executed instructions that were vector instructions.
+    pub fn vector_pct(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            100.0 * self.vector as f64 / self.total as f64
+        }
+    }
+
+    /// Merge another mix into this one.
+    pub fn merge(&mut self, other: &InstMix) {
+        self.total += other.total;
+        self.vector += other.vector;
+        self.scalar += other.scalar;
+        for (k, v) in &other.by_opcode {
+            *self.by_opcode.entry(k).or_insert(0) += v;
+        }
+    }
+
+    /// Opcodes sorted by descending dynamic count.
+    pub fn hottest(&self) -> Vec<(&'static str, u64)> {
+        let mut v: Vec<(&'static str, u64)> =
+            self.by_opcode.iter().map(|(k, c)| (*k, *c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_percentages() {
+        let mut m = InstMix::default();
+        m.record("fadd", true);
+        m.record("fadd", true);
+        m.record("add", false);
+        m.record("br", false);
+        assert_eq!(m.total, 4);
+        assert_eq!(m.vector, 2);
+        assert_eq!(m.scalar, 2);
+        assert_eq!(m.vector_pct(), 50.0);
+        assert_eq!(m.by_opcode["fadd"], 2);
+    }
+
+    #[test]
+    fn merge_and_hottest() {
+        let mut a = InstMix::default();
+        a.record("add", false);
+        let mut b = InstMix::default();
+        b.record("add", false);
+        b.record("fmul", true);
+        b.record("fmul", true);
+        a.merge(&b);
+        assert_eq!(a.total, 4);
+        assert_eq!(a.hottest()[0], ("add", 2));
+        assert_eq!(a.hottest()[0].1, 2);
+        let hot = a.hottest();
+        assert!(hot.contains(&("fmul", 2)));
+    }
+
+    #[test]
+    fn empty_mix() {
+        let m = InstMix::default();
+        assert_eq!(m.vector_pct(), 0.0);
+        assert!(m.hottest().is_empty());
+    }
+}

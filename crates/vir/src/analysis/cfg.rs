@@ -1,0 +1,130 @@
+//! Control-flow graph: predecessor/successor maps and reachability.
+
+use crate::function::Function;
+use crate::inst::BlockId;
+
+/// Predecessor/successor lists for every block of a function.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    pub preds: Vec<Vec<BlockId>>,
+    pub succs: Vec<Vec<BlockId>>,
+}
+
+impl Cfg {
+    pub fn build(f: &Function) -> Cfg {
+        let n = f.blocks.len();
+        let mut preds = vec![Vec::new(); n];
+        let mut succs = vec![Vec::new(); n];
+        for (bi, b) in f.blocks.iter().enumerate() {
+            let from = BlockId(bi as u32);
+            for s in b.term.successors() {
+                succs[bi].push(s);
+                if !preds[s.index()].contains(&from) {
+                    preds[s.index()].push(from);
+                }
+            }
+        }
+        Cfg { preds, succs }
+    }
+
+    pub fn preds(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.index()]
+    }
+
+    pub fn succs(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.index()]
+    }
+
+    /// Blocks reachable from the entry, in reverse-postorder.
+    pub fn reverse_postorder(&self, entry: BlockId) -> Vec<BlockId> {
+        let n = self.succs.len();
+        let mut visited = vec![false; n];
+        let mut post = Vec::with_capacity(n);
+        // Iterative DFS with an explicit stack of (block, next-succ-index).
+        let mut stack: Vec<(BlockId, usize)> = vec![(entry, 0)];
+        visited[entry.index()] = true;
+        while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+            if *i < self.succs[b.index()].len() {
+                let s = self.succs[b.index()][*i];
+                *i += 1;
+                if !visited[s.index()] {
+                    visited[s.index()] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(b);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        post
+    }
+
+    /// Set of blocks reachable from entry.
+    pub fn reachable(&self, entry: BlockId) -> Vec<bool> {
+        let order = self.reverse_postorder(entry);
+        let mut r = vec![false; self.succs.len()];
+        for b in order {
+            r[b.index()] = true;
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::constant::Constant;
+    use crate::inst::ICmpPred;
+    use crate::types::Type;
+
+    fn diamond() -> Function {
+        let mut b = FuncBuilder::new("d", vec![("c".into(), Type::I32)], Type::I32);
+        let entry = b.add_block("entry");
+        let t = b.add_block("t");
+        let e = b.add_block("e");
+        let merge = b.add_block("merge");
+        b.position_at(entry);
+        let c = b.icmp(ICmpPred::Sgt, b.param(0), Constant::i32(0).into(), "c");
+        b.cond_br(c, t, e);
+        b.position_at(t);
+        b.br(merge);
+        b.position_at(e);
+        b.br(merge);
+        b.position_at(merge);
+        b.ret(Some(Constant::i32(0).into()));
+        b.finish()
+    }
+
+    #[test]
+    fn preds_and_succs() {
+        let f = diamond();
+        let cfg = Cfg::build(&f);
+        assert_eq!(cfg.succs(BlockId(0)), &[BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.preds(BlockId(3)), &[BlockId(1), BlockId(2)]);
+        assert!(cfg.preds(BlockId(0)).is_empty());
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_all() {
+        let f = diamond();
+        let cfg = Cfg::build(&f);
+        let rpo = cfg.reverse_postorder(BlockId(0));
+        assert_eq!(rpo[0], BlockId(0));
+        assert_eq!(rpo.len(), 4);
+        // merge must come after both branches.
+        let pos = |b: BlockId| rpo.iter().position(|&x| x == b).unwrap();
+        assert!(pos(BlockId(3)) > pos(BlockId(1)));
+        assert!(pos(BlockId(3)) > pos(BlockId(2)));
+    }
+
+    #[test]
+    fn unreachable_blocks_not_visited() {
+        let mut f = diamond();
+        f.add_block("dead"); // no edges in
+        let cfg = Cfg::build(&f);
+        let r = cfg.reachable(BlockId(0));
+        assert_eq!(r, vec![true, true, true, true, false]);
+    }
+}

@@ -1,0 +1,150 @@
+//! Dominator analysis (Cooper–Harvey–Kennedy iterative algorithm).
+
+use crate::analysis::cfg::Cfg;
+use crate::inst::BlockId;
+
+/// Immediate-dominator tree for the reachable part of a function.
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    /// `idom[b]` is the immediate dominator; the entry maps to itself.
+    /// Unreachable blocks map to `None`.
+    idom: Vec<Option<BlockId>>,
+    entry: BlockId,
+}
+
+impl DomTree {
+    pub fn build(cfg: &Cfg, entry: BlockId) -> DomTree {
+        let rpo = cfg.reverse_postorder(entry);
+        let n = cfg.succs.len();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_index[b.index()] = i;
+        }
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[entry.index()] = Some(entry);
+
+        let intersect = |idom: &[Option<BlockId>], mut a: BlockId, mut b: BlockId| -> BlockId {
+            while a != b {
+                while rpo_index[a.index()] > rpo_index[b.index()] {
+                    a = idom[a.index()].expect("processed block has idom");
+                }
+                while rpo_index[b.index()] > rpo_index[a.index()] {
+                    b = idom[b.index()].expect("processed block has idom");
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in cfg.preds(b) {
+                    if idom[p.index()].is_none() {
+                        continue; // unprocessed or unreachable
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, cur, p),
+                    });
+                }
+                if new_idom != idom[b.index()] && new_idom.is_some() {
+                    idom[b.index()] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        DomTree { idom, entry }
+    }
+
+    /// Does `a` dominate `b`? (Reflexive; false if either is unreachable.)
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.idom[b.index()].is_none() || self.idom[a.index()].is_none() {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            if cur == self.entry {
+                return false;
+            }
+            cur = match self.idom[cur.index()] {
+                Some(d) => d,
+                None => return false,
+            };
+        }
+    }
+
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        if b == self.entry {
+            None
+        } else {
+            self.idom[b.index()]
+        }
+    }
+
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.idom[b.index()].is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::constant::Constant;
+    use crate::function::Function;
+    use crate::inst::ICmpPred;
+    use crate::types::Type;
+
+    /// entry -> header -> (body -> header | exit)
+    fn loop_fn() -> Function {
+        let mut b = FuncBuilder::new("l", vec![("n".into(), Type::I32)], Type::Void);
+        let entry = b.add_block("entry");
+        let header = b.add_block("header");
+        let body = b.add_block("body");
+        let exit = b.add_block("exit");
+        b.position_at(entry);
+        b.br(header);
+        b.position_at(header);
+        let i = b.phi(Type::I32, "i");
+        let c = b.icmp(ICmpPred::Slt, i.clone(), b.param(0), "c");
+        b.cond_br(c, body, exit);
+        b.position_at(body);
+        let i2 = b.bin(crate::inst::BinOp::Add, i.clone(), Constant::i32(1).into(), "i2");
+        b.br(header);
+        b.add_incoming(&i, entry, Constant::i32(0).into());
+        b.add_incoming(&i, body, i2);
+        b.position_at(exit);
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn loop_dominators() {
+        let f = loop_fn();
+        let cfg = Cfg::build(&f);
+        let dom = DomTree::build(&cfg, f.entry());
+        let (entry, header, body, exit) = (BlockId(0), BlockId(1), BlockId(2), BlockId(3));
+        assert_eq!(dom.idom(header), Some(entry));
+        assert_eq!(dom.idom(body), Some(header));
+        assert_eq!(dom.idom(exit), Some(header));
+        assert!(dom.dominates(entry, exit));
+        assert!(dom.dominates(header, body));
+        assert!(!dom.dominates(body, exit));
+        assert!(dom.dominates(exit, exit));
+    }
+
+    #[test]
+    fn unreachable_blocks_have_no_idom() {
+        let mut f = loop_fn();
+        let dead = f.add_block("dead");
+        let cfg = Cfg::build(&f);
+        let dom = DomTree::build(&cfg, f.entry());
+        assert!(!dom.is_reachable(dead));
+        assert!(!dom.dominates(BlockId(0), dead));
+    }
+}

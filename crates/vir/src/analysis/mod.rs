@@ -1,0 +1,14 @@
+//! Program analyses over VIR functions: CFG, dominators, use-def chains,
+//! and the forward-slice fault-site classifier.
+
+pub mod cfg;
+pub mod dom;
+pub mod loops;
+pub mod slice;
+pub mod uses;
+
+pub use cfg::Cfg;
+pub use dom::DomTree;
+pub use loops::{find_loops, loop_depths, NaturalLoop};
+pub use slice::{SiteCategory, SiteFlags, SliceAnalysis};
+pub use uses::{TermUse, UseGraph};

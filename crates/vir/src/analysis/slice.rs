@@ -1,0 +1,258 @@
+//! Forward-slice computation and fault-site categorization (paper §II-C).
+//!
+//! VULFI classifies every candidate fault site by analyzing the *forward
+//! slice* of its Lvalue:
+//!
+//! 1. **Pure-data sites** — the slice contains no address calculation and no
+//!    control-flow instruction.
+//! 2. **Control sites** — the slice contains at least one control-flow
+//!    instruction (a conditional branch whose direction depends on it).
+//! 3. **Address sites** — the slice contains at least one `getelementptr`,
+//!    or the value reaches the pointer operand of a load/store.
+//!
+//! Categories 2 and 3 overlap; category 1 is disjoint from both (paper
+//! Fig. 2). The slice follows SSA def-use edges only — flow through memory
+//! (store → load of the same address) is not tracked, matching the
+//! intraprocedural, register-level analysis a practical LLVM pass performs.
+//! The SPMD-C code generator inlines all calls, so intraprocedural slices
+//! are complete for the benchmark suite.
+
+use crate::analysis::uses::UseGraph;
+use crate::function::Function;
+use crate::inst::{InstKind, ValueId};
+
+/// Evidence collected from a value's forward slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SiteFlags {
+    /// Slice reaches a `getelementptr` or a load/store pointer operand.
+    pub address: bool,
+    /// Slice reaches a conditional-branch condition.
+    pub control: bool,
+}
+
+impl SiteFlags {
+    pub fn is_pure_data(self) -> bool {
+        !self.address && !self.control
+    }
+}
+
+/// The three (overlapping) fault-site categories of paper §II-C.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum SiteCategory {
+    PureData,
+    Control,
+    Address,
+}
+
+impl SiteCategory {
+    pub const ALL: [SiteCategory; 3] =
+        [SiteCategory::PureData, SiteCategory::Control, SiteCategory::Address];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            SiteCategory::PureData => "pure-data",
+            SiteCategory::Control => "control",
+            SiteCategory::Address => "address",
+        }
+    }
+
+    /// Does a site with these slice flags belong to this category?
+    pub fn matches(self, flags: SiteFlags) -> bool {
+        match self {
+            SiteCategory::PureData => flags.is_pure_data(),
+            SiteCategory::Control => flags.control,
+            SiteCategory::Address => flags.address,
+        }
+    }
+}
+
+impl std::fmt::Display for SiteCategory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Forward-slice classifier with memoization across queries.
+pub struct SliceAnalysis<'f> {
+    f: &'f Function,
+    uses: UseGraph,
+    cache: Vec<Option<SiteFlags>>,
+}
+
+impl<'f> SliceAnalysis<'f> {
+    pub fn new(f: &'f Function) -> SliceAnalysis<'f> {
+        let uses = UseGraph::build(f);
+        SliceAnalysis {
+            f,
+            cache: vec![None; f.values.len()],
+            uses,
+        }
+    }
+
+    /// Classify the forward slice of `v`.
+    pub fn classify(&mut self, v: ValueId) -> SiteFlags {
+        if let Some(flags) = self.cache[v.index()] {
+            return flags;
+        }
+        let mut flags = SiteFlags::default();
+        let mut visited = vec![false; self.f.values.len()];
+        let mut stack = vec![v];
+        visited[v.index()] = true;
+        while let Some(cur) = stack.pop() {
+            if flags.address && flags.control {
+                break; // saturated
+            }
+            if self.uses.feeds_branch(cur) {
+                flags.control = true;
+            }
+            for &user in self.uses.users(cur) {
+                let inst = self.f.inst(user);
+                match &inst.kind {
+                    InstKind::Gep { .. } => flags.address = true,
+                    InstKind::Load { ptr }
+                        if ptr.value() == Some(cur) => {
+                            flags.address = true;
+                        }
+                    InstKind::Store { ptr, .. }
+                        if ptr.value() == Some(cur) => {
+                            flags.address = true;
+                        }
+                    _ => {}
+                }
+                if let Some(res) = inst.result {
+                    if !visited[res.index()] {
+                        visited[res.index()] = true;
+                        stack.push(res);
+                    }
+                }
+            }
+        }
+        self.cache[v.index()] = Some(flags);
+        flags
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::constant::Constant;
+    use crate::inst::{BinOp, ICmpPred};
+    use crate::types::Type;
+
+    /// Reproduces the paper's Fig. 3 example:
+    /// ```c
+    /// void foo(int a[], int n, int x) {
+    ///   int s = x;
+    ///   for (int i = 0; i < n; i++) { a[i] = a[i] * s; s = s + i; }
+    /// }
+    /// ```
+    /// `i` must classify as both control and address; `s` as pure-data.
+    fn fig3() -> (crate::function::Function, ValueId, ValueId) {
+        let mut b = FuncBuilder::new(
+            "foo",
+            vec![
+                ("a".into(), Type::PTR),
+                ("n".into(), Type::I32),
+                ("x".into(), Type::I32),
+            ],
+            Type::Void,
+        );
+        let entry = b.add_block("entry");
+        let header = b.add_block("header");
+        let body = b.add_block("body");
+        let exit = b.add_block("exit");
+        b.position_at(entry);
+        b.br(header);
+        b.position_at(header);
+        let i = b.phi(Type::I32, "i");
+        let s = b.phi(Type::I32, "s");
+        let cond = b.icmp(ICmpPred::Slt, i.clone(), b.param(1), "cond");
+        b.cond_br(cond, body, exit);
+        b.position_at(body);
+        let p = b.gep(Type::I32, b.param(0), i.clone(), "p");
+        let av = b.load(Type::I32, p.clone(), "av");
+        let prod = b.bin(BinOp::Mul, av, s.clone(), "prod");
+        b.store(prod, p);
+        let s2 = b.bin(BinOp::Add, s.clone(), i.clone(), "s2");
+        let i2 = b.bin(BinOp::Add, i.clone(), Constant::i32(1).into(), "i2");
+        b.br(header);
+        b.add_incoming(&i, entry, Constant::i32(0).into());
+        b.add_incoming(&i, body, i2);
+        b.add_incoming(&s, entry, b.param(2));
+        b.add_incoming(&s, body, s2);
+        b.position_at(exit);
+        b.ret(None);
+        let iv = i.value().unwrap();
+        let sv = s.value().unwrap();
+        (b.finish(), iv, sv)
+    }
+
+    #[test]
+    fn fig3_i_is_control_and_address() {
+        let (f, i, _) = fig3();
+        let mut sa = SliceAnalysis::new(&f);
+        let flags = sa.classify(i);
+        assert!(flags.control, "i drives the loop exit condition");
+        assert!(flags.address, "i indexes into a[]");
+        assert!(!flags.is_pure_data());
+        assert!(SiteCategory::Control.matches(flags));
+        assert!(SiteCategory::Address.matches(flags));
+        assert!(!SiteCategory::PureData.matches(flags));
+    }
+
+    #[test]
+    fn fig3_s_is_pure_data() {
+        let (f, _, s) = fig3();
+        let mut sa = SliceAnalysis::new(&f);
+        let flags = sa.classify(s);
+        assert!(flags.is_pure_data(), "s never reaches control or addresses");
+        assert!(SiteCategory::PureData.matches(flags));
+    }
+
+    #[test]
+    fn pointer_operand_of_load_counts_as_address() {
+        let mut b = FuncBuilder::new("g", vec![("p".into(), Type::PTR)], Type::I32);
+        let entry = b.add_block("entry");
+        b.position_at(entry);
+        let v = b.load(Type::I32, b.param(0), "v");
+        b.ret(Some(v));
+        let f = b.finish();
+        let mut sa = SliceAnalysis::new(&f);
+        let flags = sa.classify(f.param_value(0));
+        assert!(flags.address);
+        assert!(!flags.control);
+    }
+
+    #[test]
+    fn value_stored_as_data_is_not_address() {
+        let mut b = FuncBuilder::new(
+            "h",
+            vec![("p".into(), Type::PTR), ("x".into(), Type::I32)],
+            Type::Void,
+        );
+        let entry = b.add_block("entry");
+        b.position_at(entry);
+        let doubled = b.bin(BinOp::Add, b.param(1), b.param(1), "d");
+        b.store(doubled.clone(), b.param(0));
+        b.ret(None);
+        let f = b.finish();
+        let mut sa = SliceAnalysis::new(&f);
+        let flags = sa.classify(doubled.value().unwrap());
+        assert!(flags.is_pure_data(), "stored *value* is data, not address");
+    }
+
+    #[test]
+    fn categories_overlap_like_fig2() {
+        // Fig. 2: control and address overlap; pure-data is disjoint.
+        let flags_both = SiteFlags {
+            address: true,
+            control: true,
+        };
+        assert!(SiteCategory::Control.matches(flags_both));
+        assert!(SiteCategory::Address.matches(flags_both));
+        assert!(!SiteCategory::PureData.matches(flags_both));
+        let flags_none = SiteFlags::default();
+        assert!(SiteCategory::PureData.matches(flags_none));
+    }
+}

@@ -1,0 +1,126 @@
+//! Use-def information: for every SSA value, who uses it.
+
+use crate::function::Function;
+use crate::inst::{InstId, ValueId};
+
+/// How a terminator uses a value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TermUse {
+    /// Condition of a conditional branch — the "control-flow" evidence the
+    /// site classifier looks for (paper §II-C).
+    BranchCond,
+    /// Returned value.
+    RetVal,
+}
+
+/// Reverse use map for one function.
+#[derive(Debug, Clone)]
+pub struct UseGraph {
+    /// For each value: the instructions that read it.
+    users: Vec<Vec<InstId>>,
+    /// For each value: terminator uses.
+    term_uses: Vec<Vec<TermUse>>,
+}
+
+impl UseGraph {
+    pub fn build(f: &Function) -> UseGraph {
+        let n = f.values.len();
+        let mut users = vec![Vec::new(); n];
+        let mut term_uses = vec![Vec::new(); n];
+        for (_, iid) in f.placed_insts() {
+            for op in f.inst(iid).operands() {
+                if let Some(v) = op.value() {
+                    if !users[v.index()].contains(&iid) {
+                        users[v.index()].push(iid);
+                    }
+                }
+            }
+        }
+        for b in &f.blocks {
+            match &b.term {
+                crate::inst::Terminator::CondBr { cond, .. } => {
+                    if let Some(v) = cond.value() {
+                        term_uses[v.index()].push(TermUse::BranchCond);
+                    }
+                }
+                crate::inst::Terminator::Ret(Some(op)) => {
+                    if let Some(v) = op.value() {
+                        term_uses[v.index()].push(TermUse::RetVal);
+                    }
+                }
+                _ => {}
+            }
+        }
+        UseGraph { users, term_uses }
+    }
+
+    /// Instructions reading `v`.
+    pub fn users(&self, v: ValueId) -> &[InstId] {
+        &self.users[v.index()]
+    }
+
+    /// Terminator uses of `v`.
+    pub fn term_uses(&self, v: ValueId) -> &[TermUse] {
+        &self.term_uses[v.index()]
+    }
+
+    /// Is `v` the condition of some conditional branch?
+    pub fn feeds_branch(&self, v: ValueId) -> bool {
+        self.term_uses[v.index()].contains(&TermUse::BranchCond)
+    }
+
+    /// Is `v` unused (dead)?
+    pub fn is_dead(&self, v: ValueId) -> bool {
+        self.users[v.index()].is_empty() && self.term_uses[v.index()].is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::constant::Constant;
+    use crate::inst::{BinOp, ICmpPred};
+    use crate::types::Type;
+
+    #[test]
+    fn tracks_inst_and_terminator_uses() {
+        let mut b = FuncBuilder::new("f", vec![("x".into(), Type::I32)], Type::I32);
+        let entry = b.add_block("entry");
+        let t = b.add_block("t");
+        let e = b.add_block("e");
+        b.position_at(entry);
+        let x = b.param(0);
+        let y = b.bin(BinOp::Add, x.clone(), Constant::i32(1).into(), "y");
+        let c = b.icmp(ICmpPred::Sgt, y.clone(), Constant::i32(10).into(), "c");
+        b.cond_br(c.clone(), t, e);
+        b.position_at(t);
+        b.ret(Some(y.clone()));
+        b.position_at(e);
+        b.ret(Some(Constant::i32(0).into()));
+        let f = b.finish();
+        let ug = UseGraph::build(&f);
+
+        let xv = x.value().unwrap();
+        let yv = y.value().unwrap();
+        let cv = c.value().unwrap();
+        assert_eq!(ug.users(xv).len(), 1); // the add
+        assert_eq!(ug.users(yv).len(), 1); // the icmp
+        assert_eq!(ug.term_uses(yv), &[TermUse::RetVal]);
+        assert!(ug.feeds_branch(cv));
+        assert!(!ug.feeds_branch(yv));
+        assert!(!ug.is_dead(yv));
+    }
+
+    #[test]
+    fn dead_values_detected() {
+        let mut b = FuncBuilder::new("f", vec![("x".into(), Type::I32)], Type::Void);
+        let entry = b.add_block("entry");
+        b.position_at(entry);
+        let dead = b.bin(BinOp::Mul, b.param(0), Constant::i32(3).into(), "dead");
+        b.ret(None);
+        let f = b.finish();
+        let ug = UseGraph::build(&f);
+        assert!(ug.is_dead(dead.value().unwrap()));
+    }
+}

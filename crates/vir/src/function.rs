@@ -1,0 +1,456 @@
+//! Functions, basic blocks, and modules.
+//!
+//! A [`Function`] owns three arenas: SSA values, instructions, and basic
+//! blocks. Instructions live in the instruction arena and blocks hold
+//! ordered lists of [`InstId`]s, so transformation passes (e.g. VULFI's
+//! per-lane instrumentation) can splice new instructions into a block
+//! without invalidating existing ids.
+
+use std::collections::HashMap;
+
+use crate::inst::{BlockId, Inst, InstId, InstKind, Operand, Terminator, ValueId};
+use crate::types::Type;
+
+/// Where an SSA value comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueDef {
+    /// The n-th function parameter.
+    Param(u32),
+    /// The result of an instruction.
+    Inst(InstId),
+}
+
+/// Metadata for one SSA value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValueInfo {
+    pub ty: Type,
+    pub name: Option<String>,
+    pub def: ValueDef,
+}
+
+/// A basic block: a label, an ordered instruction list, and a terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    pub name: String,
+    pub insts: Vec<InstId>,
+    pub term: Terminator,
+}
+
+/// An external function declaration (VULFI runtime API functions, detector
+/// runtime calls, and any other host-provided functions are declared, not
+/// defined).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDecl {
+    pub name: String,
+    pub ret: Type,
+    pub params: Vec<Type>,
+    /// Lenient signature: extra arguments of any type are accepted.
+    pub vararg: bool,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    pub name: String,
+    /// Parameter names; parameter `i` is SSA value `ValueId(i)`.
+    pub params: Vec<(String, Type)>,
+    pub ret: Type,
+    pub values: Vec<ValueInfo>,
+    pub insts: Vec<Inst>,
+    pub blocks: Vec<Block>,
+}
+
+impl Function {
+    /// Create a function with no blocks yet. Parameters become the first
+    /// SSA values.
+    pub fn new(name: impl Into<String>, params: Vec<(String, Type)>, ret: Type) -> Function {
+        let values = params
+            .iter()
+            .enumerate()
+            .map(|(i, (n, t))| ValueInfo {
+                ty: *t,
+                name: Some(n.clone()),
+                def: ValueDef::Param(i as u32),
+            })
+            .collect();
+        Function {
+            name: name.into(),
+            params,
+            ret,
+            values,
+            insts: Vec::new(),
+            blocks: Vec::new(),
+        }
+    }
+
+    /// The entry block (block 0 by convention).
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    pub fn param_value(&self, i: usize) -> ValueId {
+        debug_assert!(i < self.params.len());
+        ValueId(i as u32)
+    }
+
+    pub fn block(&self, b: BlockId) -> &Block {
+        &self.blocks[b.index()]
+    }
+
+    pub fn block_mut(&mut self, b: BlockId) -> &mut Block {
+        &mut self.blocks[b.index()]
+    }
+
+    pub fn inst(&self, i: InstId) -> &Inst {
+        &self.insts[i.index()]
+    }
+
+    pub fn inst_mut(&mut self, i: InstId) -> &mut Inst {
+        &mut self.insts[i.index()]
+    }
+
+    pub fn value(&self, v: ValueId) -> &ValueInfo {
+        &self.values[v.index()]
+    }
+
+    /// Type of an operand (values resolved through the value table).
+    pub fn operand_type(&self, op: &Operand) -> Type {
+        match op {
+            Operand::Value(v) => self.value(*v).ty,
+            Operand::Const(c) => c.ty,
+        }
+    }
+
+    /// Append a new basic block and return its id.
+    pub fn add_block(&mut self, name: impl Into<String>) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(Block {
+            name: name.into(),
+            insts: Vec::new(),
+            term: Terminator::Unreachable,
+        });
+        id
+    }
+
+    /// Find a block by label.
+    pub fn block_by_name(&self, name: &str) -> Option<BlockId> {
+        self.blocks
+            .iter()
+            .position(|b| b.name == name)
+            .map(|i| BlockId(i as u32))
+    }
+
+    /// Allocate a fresh SSA value of type `ty` (defined by `def`).
+    pub fn new_value(&mut self, ty: Type, name: Option<String>, def: ValueDef) -> ValueId {
+        let id = ValueId(self.values.len() as u32);
+        self.values.push(ValueInfo { ty, name, def });
+        id
+    }
+
+    /// Append an instruction to the end of `block`, creating a result value
+    /// when `ty` is non-void. Returns `(inst, result)`.
+    pub fn append_inst(
+        &mut self,
+        block: BlockId,
+        kind: InstKind,
+        ty: Type,
+        name: Option<String>,
+    ) -> (InstId, Option<ValueId>) {
+        let iid = InstId(self.insts.len() as u32);
+        let result = if ty.is_void() {
+            None
+        } else {
+            Some(self.new_value(ty, name, ValueDef::Inst(iid)))
+        };
+        self.insts.push(Inst { kind, ty, result });
+        self.blocks[block.index()].insts.push(iid);
+        (iid, result)
+    }
+
+    /// Create an instruction *without* placing it into any block. Used by
+    /// passes that splice instruction chains at precise positions.
+    pub fn create_inst(&mut self, kind: InstKind, ty: Type, name: Option<String>) -> InstId {
+        let iid = InstId(self.insts.len() as u32);
+        let result = if ty.is_void() {
+            None
+        } else {
+            Some(self.new_value(ty, name, ValueDef::Inst(iid)))
+        };
+        self.insts.push(Inst { kind, ty, result });
+        iid
+    }
+
+    /// Insert `new` into `block` immediately after `after`.
+    /// Panics if `after` is not in `block`.
+    pub fn insert_after(&mut self, block: BlockId, after: InstId, new: InstId) {
+        let b = &mut self.blocks[block.index()];
+        let pos = b
+            .insts
+            .iter()
+            .position(|&i| i == after)
+            .expect("anchor instruction not found in block");
+        b.insts.insert(pos + 1, new);
+    }
+
+    /// Insert `new` into `block` immediately before `before`.
+    pub fn insert_before(&mut self, block: BlockId, before: InstId, new: InstId) {
+        let b = &mut self.blocks[block.index()];
+        let pos = b
+            .insts
+            .iter()
+            .position(|&i| i == before)
+            .expect("anchor instruction not found in block");
+        b.insts.insert(pos, new);
+    }
+
+    /// Replace every use of value `old` with `new` across the whole function
+    /// (instruction operands and terminator operands), except inside the
+    /// instructions listed in `skip`. This is the "redirect all users"
+    /// step of the VULFI instrumentation workflow (paper Fig. 4).
+    pub fn replace_uses(&mut self, old: ValueId, new: Operand, skip: &[InstId]) {
+        for (idx, inst) in self.insts.iter_mut().enumerate() {
+            if skip.contains(&InstId(idx as u32)) {
+                continue;
+            }
+            inst.for_each_operand_mut(|op| {
+                if op.value() == Some(old) {
+                    *op = new.clone();
+                }
+            });
+        }
+        for block in &mut self.blocks {
+            block.term.for_each_operand_mut(|op| {
+                if op.value() == Some(old) {
+                    *op = new.clone();
+                }
+            });
+        }
+    }
+
+    /// The block that contains instruction `i`, if it is placed.
+    pub fn block_of(&self, i: InstId) -> Option<BlockId> {
+        for (bi, b) in self.blocks.iter().enumerate() {
+            if b.insts.contains(&i) {
+                return Some(BlockId(bi as u32));
+            }
+        }
+        None
+    }
+
+    /// Resolve the printable name of a value (`%name` or `%vN`).
+    pub fn value_display_name(&self, v: ValueId) -> String {
+        match &self.value(v).name {
+            Some(n) => n.clone(),
+            None => format!("v{}", v.0),
+        }
+    }
+
+    /// True when `inst` is a vector instruction per the paper's definition
+    /// (§II-A): it has at least one vector-typed operand or a vector result.
+    pub fn inst_is_vector(&self, i: InstId) -> bool {
+        let inst = self.inst(i);
+        if inst.ty.is_vector() {
+            return true;
+        }
+        inst.operands()
+            .iter()
+            .any(|op| self.operand_type(op).is_vector())
+    }
+
+    /// Iterate `(BlockId, InstId)` over all placed instructions in layout
+    /// order.
+    pub fn placed_insts(&self) -> impl Iterator<Item = (BlockId, InstId)> + '_ {
+        self.blocks.iter().enumerate().flat_map(|(bi, b)| {
+            b.insts
+                .iter()
+                .map(move |&i| (BlockId(bi as u32), i))
+        })
+    }
+
+    /// Total number of placed instructions (terminators not counted).
+    pub fn num_placed_insts(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+}
+
+/// A translation unit: defined functions plus external declarations.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Module {
+    pub name: String,
+    pub functions: Vec<Function>,
+    pub decls: Vec<FuncDecl>,
+}
+
+impl Module {
+    pub fn new(name: impl Into<String>) -> Module {
+        Module {
+            name: name.into(),
+            functions: Vec::new(),
+            decls: Vec::new(),
+        }
+    }
+
+    pub fn add_function(&mut self, f: Function) -> usize {
+        self.functions.push(f);
+        self.functions.len() - 1
+    }
+
+    /// Add an external declaration if not already present.
+    pub fn declare(&mut self, decl: FuncDecl) {
+        if !self.decls.iter().any(|d| d.name == decl.name) {
+            self.decls.push(decl);
+        }
+    }
+
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    pub fn function_mut(&mut self, name: &str) -> Option<&mut Function> {
+        self.functions.iter_mut().find(|f| f.name == name)
+    }
+
+    pub fn decl(&self, name: &str) -> Option<&FuncDecl> {
+        self.decls.iter().find(|d| d.name == name)
+    }
+
+    /// Map from function name to definition index.
+    pub fn function_index(&self) -> HashMap<&str, usize> {
+        self.functions
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.name.as_str(), i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constant::Constant;
+    use crate::inst::BinOp;
+
+    fn simple_fn() -> Function {
+        // define i32 @f(i32 %x) { entry: %y = add i32 %x, 1; ret i32 %y }
+        let mut f = Function::new("f", vec![("x".into(), Type::I32)], Type::I32);
+        let entry = f.add_block("entry");
+        let x = f.param_value(0);
+        let (_, y) = f.append_inst(
+            entry,
+            InstKind::Bin {
+                op: BinOp::Add,
+                lhs: x.into(),
+                rhs: Constant::i32(1).into(),
+            },
+            Type::I32,
+            Some("y".into()),
+        );
+        f.block_mut(entry).term = Terminator::Ret(Some(y.unwrap().into()));
+        f
+    }
+
+    #[test]
+    fn params_are_first_values() {
+        let f = simple_fn();
+        assert_eq!(f.value(ValueId(0)).ty, Type::I32);
+        assert_eq!(f.value(ValueId(0)).def, ValueDef::Param(0));
+        assert_eq!(f.params.len(), 1);
+    }
+
+    #[test]
+    fn append_creates_result_values() {
+        let f = simple_fn();
+        assert_eq!(f.num_placed_insts(), 1);
+        let (_, iid) = f.placed_insts().next().unwrap();
+        let inst = f.inst(iid);
+        assert!(inst.result.is_some());
+        assert_eq!(inst.ty, Type::I32);
+    }
+
+    #[test]
+    fn replace_uses_rewrites_terminators_too() {
+        let mut f = simple_fn();
+        let y = ValueId(1);
+        f.replace_uses(y, Constant::i32(42).into(), &[]);
+        match &f.block(BlockId(0)).term {
+            Terminator::Ret(Some(Operand::Const(c))) => assert_eq!(c.as_i64(), Some(42)),
+            t => panic!("unexpected terminator {t:?}"),
+        }
+    }
+
+    #[test]
+    fn replace_uses_respects_skip_list() {
+        let mut f = simple_fn();
+        let x = ValueId(0);
+        let (_, add_iid) = f.placed_insts().next().unwrap();
+        f.replace_uses(x, Constant::i32(9).into(), &[add_iid]);
+        // The add still refers to %x because it was skipped.
+        let inst = f.inst(add_iid);
+        assert_eq!(inst.operands()[0].value(), Some(x));
+    }
+
+    #[test]
+    fn insert_after_positions_correctly() {
+        let mut f = simple_fn();
+        let entry = BlockId(0);
+        let anchor = f.block(entry).insts[0];
+        let new = f.create_inst(
+            InstKind::Bin {
+                op: BinOp::Mul,
+                lhs: ValueId(1).into(),
+                rhs: Constant::i32(2).into(),
+            },
+            Type::I32,
+            None,
+        );
+        f.insert_after(entry, anchor, new);
+        assert_eq!(f.block(entry).insts, vec![anchor, new]);
+        assert_eq!(f.block_of(new), Some(entry));
+    }
+
+    #[test]
+    fn module_lookup() {
+        let mut m = Module::new("test");
+        m.add_function(simple_fn());
+        m.declare(FuncDecl {
+            name: "ext".into(),
+            ret: Type::Void,
+            params: vec![Type::I32],
+            vararg: false,
+        });
+        // Duplicate declarations are merged.
+        m.declare(FuncDecl {
+            name: "ext".into(),
+            ret: Type::Void,
+            params: vec![Type::I32],
+            vararg: false,
+        });
+        assert!(m.function("f").is_some());
+        assert!(m.function("g").is_none());
+        assert_eq!(m.decls.len(), 1);
+        assert_eq!(m.function_index()["f"], 0);
+    }
+
+    #[test]
+    fn inst_is_vector_uses_value_types() {
+        let mut f = Function::new(
+            "v",
+            vec![("a".into(), Type::vec(crate::types::ScalarTy::F32, 8))],
+            Type::F32,
+        );
+        let entry = f.add_block("entry");
+        let a = f.param_value(0);
+        // extractelement: scalar result but vector operand => vector inst.
+        let (iid, r) = f.append_inst(
+            entry,
+            InstKind::ExtractElement {
+                vec: a.into(),
+                idx: Constant::i32(0).into(),
+            },
+            Type::F32,
+            None,
+        );
+        f.block_mut(entry).term = Terminator::Ret(Some(r.unwrap().into()));
+        assert!(f.inst_is_vector(iid));
+    }
+}

@@ -1,0 +1,65 @@
+//! # VIR — a vector-aware, LLVM-like SSA intermediate representation
+//!
+//! VIR is the IR substrate of this repository's reproduction of *"Towards
+//! Resiliency Evaluation of Vector Programs"* (VULFI). It models the slice
+//! of LLVM 3.2 the paper exercises:
+//!
+//! - typed SSA with scalar and **first-class vector types**,
+//! - the vector register instructions the paper defines in §II-A
+//!   (`extractelement`, `insertelement`, `shufflevector`),
+//! - address calculation via a simplified `getelementptr`,
+//! - **masked x86-style intrinsics** (`llvm.x86.avx.maskload.ps.256`,
+//!   `llvm.x86.avx.maskstore.ps.256`, and SSE4 analogues) with a registry
+//!   that records which argument carries the execution mask (§II-D),
+//! - a textual printer and parser that round-trip,
+//! - a verifier (types, CFG structure, SSA dominance),
+//! - analyses: CFG, dominators, use-def, and the **forward-slice fault-site
+//!   classifier** of §II-C (pure-data / control / address).
+//!
+//! Modules that *consume* VIR: [`vexec`](https://docs.rs/vexec) interprets
+//! it, `spmdc` generates it from SPMD-C sources, and `vulfi` instruments it
+//! with fault-injection callbacks.
+//!
+//! ## Example
+//!
+//! ```
+//! use vir::builder::FuncBuilder;
+//! use vir::{BinOp, Constant, Module, Type};
+//!
+//! let mut b = FuncBuilder::new("axpy1", vec![
+//!     ("a".into(), Type::F32),
+//!     ("x".into(), Type::F32),
+//!     ("y".into(), Type::F32),
+//! ], Type::F32);
+//! let entry = b.add_block("entry");
+//! b.position_at(entry);
+//! let ax = b.bin(BinOp::FMul, b.param(0), b.param(1), "ax");
+//! let r = b.bin(BinOp::FAdd, ax, b.param(2), "r");
+//! b.ret(Some(r));
+//!
+//! let mut m = Module::new("example");
+//! m.add_function(b.finish());
+//! vir::verify::verify_module(&m).unwrap();
+//! println!("{}", vir::printer::print_module(&m));
+//! ```
+
+pub mod analysis;
+pub mod builder;
+pub mod constant;
+pub mod function;
+pub mod inst;
+pub mod intrinsics;
+pub mod parser;
+pub mod printer;
+pub mod transform;
+pub mod types;
+pub mod verify;
+
+pub use analysis::{SiteCategory, SiteFlags};
+pub use constant::{ConstData, Constant};
+pub use function::{Block, FuncDecl, Function, Module, ValueDef, ValueInfo};
+pub use inst::{
+    BinOp, BlockId, CastOp, FCmpPred, ICmpPred, Inst, InstId, InstKind, Operand, Terminator,
+    ValueId,
+};
+pub use types::{ScalarTy, Type};

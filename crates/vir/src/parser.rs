@@ -1,0 +1,1036 @@
+//! Parser for the textual VIR format emitted by [`crate::printer`].
+//!
+//! The grammar is line-oriented: one instruction, label, `declare`, or
+//! `define` header per line. Comments run from `;` to end of line.
+
+use std::collections::HashMap;
+
+use crate::constant::{ConstData, Constant};
+use crate::function::{FuncDecl, Function, Module, ValueDef, ValueInfo};
+use crate::inst::{
+    BinOp, BlockId, CastOp, FCmpPred, ICmpPred, Inst, InstId, InstKind, Operand, Terminator,
+    ValueId,
+};
+use crate::types::{ScalarTy, Type};
+
+/// A parse failure with a line number (1-based) and message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    pub line: usize,
+    pub msg: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+type PResult<T> = Result<T, ParseError>;
+
+/// Parse a full module from text.
+pub fn parse_module(src: &str) -> PResult<Module> {
+    let mut module = Module::new("");
+    // Recover the module name from the LLVM-style `; ModuleID = '...'`
+    // header comment, so print -> parse round-trips exactly.
+    for line in src.lines() {
+        let t = line.trim();
+        if let Some(rest) = t.strip_prefix("; ModuleID = '") {
+            if let Some(name) = rest.strip_suffix('\'') {
+                module.name = name.to_string();
+            }
+            break;
+        }
+        if !t.is_empty() && !t.starts_with(';') {
+            break;
+        }
+    }
+    let lines: Vec<(usize, String)> = src
+        .lines()
+        .enumerate()
+        .map(|(i, l)| {
+            let no_comment = match l.find(';') {
+                Some(p) => &l[..p],
+                None => l,
+            };
+            (i + 1, no_comment.trim().to_string())
+        })
+        .filter(|(_, l)| !l.is_empty())
+        .collect();
+
+    let mut i = 0;
+    while i < lines.len() {
+        let (ln, line) = &lines[i];
+        if let Some(rest) = line.strip_prefix("declare ") {
+            module.decls.push(parse_decl(rest, *ln)?);
+            i += 1;
+        } else if line.starts_with("define ") {
+            // Collect lines until the closing '}'.
+            let mut body = Vec::new();
+            let header = (*ln, line.clone());
+            i += 1;
+            let mut closed = false;
+            while i < lines.len() {
+                if lines[i].1 == "}" {
+                    closed = true;
+                    i += 1;
+                    break;
+                }
+                body.push(lines[i].clone());
+                i += 1;
+            }
+            if !closed {
+                return Err(err(header.0, "unterminated function body"));
+            }
+            module.functions.push(parse_function(&header, &body)?);
+        } else {
+            return Err(err(*ln, format!("unexpected top-level line: {line}")));
+        }
+    }
+    Ok(module)
+}
+
+fn err(line: usize, msg: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        msg: msg.into(),
+    }
+}
+
+// --- Tokenizer (per line) -------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    /// Bare identifier / keyword (`add`, `i32`, `label`, `undef`, `x`, ...).
+    Ident(String),
+    /// `%name`
+    Local(String),
+    /// `@name`
+    Global(String),
+    /// Numeric literal, kept as text (`-1`, `1.5`, `0x3F800000`).
+    Num(String),
+    Punct(char),
+    /// `...`
+    Ellipsis,
+}
+
+struct Lexer {
+    toks: Vec<Tok>,
+    pos: usize,
+    line: usize,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_' || c == '.'
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '.'
+}
+
+fn lex(line: &str, lineno: usize) -> PResult<Lexer> {
+    let mut toks = Vec::new();
+    let chars: Vec<char> = line.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == '%' || c == '@' {
+            let mut j = i + 1;
+            while j < chars.len() && is_ident_char(chars[j]) {
+                j += 1;
+            }
+            if j == i + 1 {
+                return Err(err(lineno, "empty value name"));
+            }
+            let name: String = chars[i + 1..j].iter().collect();
+            toks.push(if c == '%' {
+                Tok::Local(name)
+            } else {
+                Tok::Global(name)
+            });
+            i = j;
+            continue;
+        }
+        if c == '.' && chars.get(i + 1) == Some(&'.') && chars.get(i + 2) == Some(&'.') {
+            toks.push(Tok::Ellipsis);
+            i += 3;
+            continue;
+        }
+        if c.is_ascii_digit() || (c == '-' && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit()))
+        {
+            let mut j = i + 1;
+            while j < chars.len() {
+                let d = chars[j];
+                let ok = d.is_ascii_hexdigit()
+                    || d == 'x'
+                    || d == 'X'
+                    || d == '.'
+                    || ((d == '+' || d == '-')
+                        && matches!(chars.get(j - 1), Some('e') | Some('E')));
+                if !ok {
+                    break;
+                }
+                j += 1;
+            }
+            toks.push(Tok::Num(chars[i..j].iter().collect()));
+            i = j;
+            continue;
+        }
+        if is_ident_start(c) {
+            let mut j = i + 1;
+            while j < chars.len() && is_ident_char(chars[j]) {
+                j += 1;
+            }
+            toks.push(Tok::Ident(chars[i..j].iter().collect()));
+            i = j;
+            continue;
+        }
+        if "<>(){}[],=:*".contains(c) {
+            toks.push(Tok::Punct(c));
+            i += 1;
+            continue;
+        }
+        return Err(err(lineno, format!("unexpected character '{c}'")));
+    }
+    Ok(Lexer {
+        toks,
+        pos: 0,
+        line: lineno,
+    })
+}
+
+impl Lexer {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> PResult<Tok> {
+        let t = self
+            .toks
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| err(self.line, "unexpected end of line"))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect_punct(&mut self, c: char) -> PResult<()> {
+        match self.next()? {
+            Tok::Punct(p) if p == c => Ok(()),
+            t => Err(err(self.line, format!("expected '{c}', got {t:?}"))),
+        }
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if self.peek() == Some(&Tok::Punct(c)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self, s: &str) -> PResult<()> {
+        match self.next()? {
+            Tok::Ident(i) if i == s => Ok(()),
+            t => Err(err(self.line, format!("expected '{s}', got {t:?}"))),
+        }
+    }
+
+    fn ident(&mut self) -> PResult<String> {
+        match self.next()? {
+            Tok::Ident(i) => Ok(i),
+            t => Err(err(self.line, format!("expected identifier, got {t:?}"))),
+        }
+    }
+
+    fn local(&mut self) -> PResult<String> {
+        match self.next()? {
+            Tok::Local(n) => Ok(n),
+            t => Err(err(self.line, format!("expected %name, got {t:?}"))),
+        }
+    }
+
+    fn global(&mut self) -> PResult<String> {
+        match self.next()? {
+            Tok::Global(n) => Ok(n),
+            t => Err(err(self.line, format!("expected @name, got {t:?}"))),
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+}
+
+// --- Types ----------------------------------------------------------------
+
+fn scalar_from_name(s: &str) -> Option<ScalarTy> {
+    Some(match s {
+        "i1" => ScalarTy::I1,
+        "i8" => ScalarTy::I8,
+        "i16" => ScalarTy::I16,
+        "i32" => ScalarTy::I32,
+        "i64" => ScalarTy::I64,
+        "float" => ScalarTy::F32,
+        "double" => ScalarTy::F64,
+        "ptr" => ScalarTy::Ptr,
+        _ => return None,
+    })
+}
+
+fn parse_type(lx: &mut Lexer) -> PResult<Type> {
+    if lx.eat_punct('<') {
+        let lanes = match lx.next()? {
+            Tok::Num(n) => n
+                .parse::<u32>()
+                .map_err(|_| err(lx.line, "bad lane count"))?,
+            t => return Err(err(lx.line, format!("expected lane count, got {t:?}"))),
+        };
+        lx.expect_ident("x")?;
+        let elem_name = lx.ident()?;
+        let elem = scalar_from_name(&elem_name)
+            .ok_or_else(|| err(lx.line, format!("unknown element type {elem_name}")))?;
+        lx.expect_punct('>')?;
+        if lanes == 0 {
+            return Err(err(lx.line, "vector types need at least one lane"));
+        }
+        return Ok(Type::vec(elem, lanes));
+    }
+    let name = lx.ident()?;
+    if name == "void" {
+        return Ok(Type::Void);
+    }
+    scalar_from_name(&name)
+        .map(Type::Scalar)
+        .ok_or_else(|| err(lx.line, format!("unknown type {name}")))
+}
+
+// --- Constants ------------------------------------------------------------
+
+fn parse_scalar_bits(tok: &Tok, ty: ScalarTy, line: usize) -> PResult<u64> {
+    match tok {
+        Tok::Ident(s) if s == "true" && ty == ScalarTy::I1 => Ok(1),
+        Tok::Ident(s) if s == "false" && ty == ScalarTy::I1 => Ok(0),
+        Tok::Ident(s) if s == "null" && ty == ScalarTy::Ptr => Ok(0),
+        Tok::Num(n) => {
+            if let Some(hex) = n.strip_prefix("0x").or_else(|| n.strip_prefix("0X")) {
+                return u64::from_str_radix(hex, 16)
+                    .map(|b| b & ty.bit_mask())
+                    .map_err(|_| err(line, format!("bad hex literal {n}")));
+            }
+            if ty.is_int() {
+                let v: i128 = n
+                    .parse()
+                    .map_err(|_| err(line, format!("bad integer literal {n}")))?;
+                Ok((v as u64) & ty.bit_mask())
+            } else {
+                let v: f64 = n
+                    .parse()
+                    .map_err(|_| err(line, format!("bad float literal {n}")))?;
+                Ok(match ty {
+                    ScalarTy::F32 => (v as f32).to_bits() as u64,
+                    ScalarTy::F64 => v.to_bits(),
+                    _ => unreachable!(),
+                })
+            }
+        }
+        t => Err(err(line, format!("expected scalar constant, got {t:?}"))),
+    }
+}
+
+/// Parse a constant of a known type (after its type annotation).
+fn parse_constant(lx: &mut Lexer, ty: Type) -> PResult<Constant> {
+    if let Some(Tok::Ident(s)) = lx.peek() {
+        match s.as_str() {
+            "undef" => {
+                lx.next()?;
+                return Ok(Constant::undef(ty));
+            }
+            "zeroinitializer" => {
+                lx.next()?;
+                return Ok(Constant::zero(ty));
+            }
+            _ => {}
+        }
+    }
+    match ty {
+        Type::Scalar(s) => {
+            let tok = lx.next()?;
+            let bits = parse_scalar_bits(&tok, s, lx.line)?;
+            Ok(Constant::new(ty, ConstData::Scalar(bits)))
+        }
+        Type::Vector(s, lanes) => {
+            lx.expect_punct('<')?;
+            let mut elems = Vec::with_capacity(lanes as usize);
+            loop {
+                // Each element is `<elemty> <value>`, LLVM-style.
+                let ename = lx.ident()?;
+                let ety = scalar_from_name(&ename)
+                    .ok_or_else(|| err(lx.line, format!("unknown element type {ename}")))?;
+                if ety != s {
+                    return Err(err(lx.line, "vector element type mismatch"));
+                }
+                if let Some(Tok::Ident(u)) = lx.peek() {
+                    if u == "undef" {
+                        lx.next()?;
+                        elems.push(0);
+                        if !lx.eat_punct(',') {
+                            break;
+                        }
+                        continue;
+                    }
+                }
+                let tok = lx.next()?;
+                elems.push(parse_scalar_bits(&tok, s, lx.line)?);
+                if !lx.eat_punct(',') {
+                    break;
+                }
+            }
+            lx.expect_punct('>')?;
+            if elems.len() != lanes as usize {
+                return Err(err(
+                    lx.line,
+                    format!("expected {lanes} vector elements, got {}", elems.len()),
+                ));
+            }
+            Ok(Constant::new(ty, ConstData::Vector(elems)))
+        }
+        Type::Void => Err(err(lx.line, "void has no constants")),
+    }
+}
+
+// --- Declarations -----------------------------------------------------------
+
+fn parse_decl(rest: &str, lineno: usize) -> PResult<FuncDecl> {
+    let mut lx = lex(rest, lineno)?;
+    let ret = parse_type(&mut lx)?;
+    let name = lx.global()?;
+    lx.expect_punct('(')?;
+    let mut params = Vec::new();
+    let mut vararg = false;
+    if !lx.eat_punct(')') {
+        loop {
+            if lx.peek() == Some(&Tok::Ellipsis) {
+                lx.next()?;
+                vararg = true;
+            } else {
+                params.push(parse_type(&mut lx)?);
+            }
+            if !lx.eat_punct(',') {
+                break;
+            }
+        }
+        lx.expect_punct(')')?;
+    }
+    Ok(FuncDecl {
+        name,
+        ret,
+        params,
+        vararg,
+    })
+}
+
+// --- Function bodies --------------------------------------------------------
+
+/// Parser state for one function: name→value map with forward references.
+struct FnCtx {
+    f: Function,
+    value_by_name: HashMap<String, ValueId>,
+    /// Values referenced before definition; def is a sentinel until fixed.
+    pending: HashMap<String, usize>, // name -> line of first use
+    block_by_name: HashMap<String, BlockId>,
+}
+
+const PENDING_DEF: ValueDef = ValueDef::Param(u32::MAX);
+
+impl FnCtx {
+    /// Resolve `%name` at a use site with the type from the annotation.
+    fn use_value(&mut self, name: &str, ty: Type, line: usize) -> PResult<ValueId> {
+        if let Some(&v) = self.value_by_name.get(name) {
+            let have = self.f.value(v).ty;
+            if have != ty {
+                return Err(err(
+                    line,
+                    format!("type mismatch for %{name}: {have} vs {ty}"),
+                ));
+            }
+            return Ok(v);
+        }
+        // Forward reference: create a pending value.
+        let id = ValueId(self.f.values.len() as u32);
+        self.f.values.push(ValueInfo {
+            ty,
+            name: Some(name.to_string()),
+            def: PENDING_DEF,
+        });
+        self.value_by_name.insert(name.to_string(), id);
+        self.pending.insert(name.to_string(), line);
+        Ok(id)
+    }
+
+    /// Define `%name` as the result of instruction `iid` with type `ty`.
+    fn define_value(&mut self, name: &str, ty: Type, iid: InstId, line: usize) -> PResult<ValueId> {
+        if let Some(&v) = self.value_by_name.get(name) {
+            if self.pending.remove(name).is_none() {
+                return Err(err(line, format!("redefinition of %{name}")));
+            }
+            let info = &mut self.f.values[v.index()];
+            if info.ty != ty {
+                return Err(err(
+                    line,
+                    format!("type mismatch for %{name}: {} vs {ty}", info.ty),
+                ));
+            }
+            info.def = ValueDef::Inst(iid);
+            return Ok(v);
+        }
+        let id = ValueId(self.f.values.len() as u32);
+        self.f.values.push(ValueInfo {
+            ty,
+            name: Some(name.to_string()),
+            def: ValueDef::Inst(iid),
+        });
+        self.value_by_name.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    fn block_ref(&self, name: &str, line: usize) -> PResult<BlockId> {
+        self.block_by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| err(line, format!("unknown block %{name}")))
+    }
+}
+
+/// Parse `ty (%name | constant)`.
+fn parse_typed_operand(lx: &mut Lexer, ctx: &mut FnCtx) -> PResult<Operand> {
+    let ty = parse_type(lx)?;
+    parse_operand_of_type(lx, ctx, ty)
+}
+
+fn parse_operand_of_type(lx: &mut Lexer, ctx: &mut FnCtx, ty: Type) -> PResult<Operand> {
+    if let Some(Tok::Local(_)) = lx.peek() {
+        let name = lx.local()?;
+        let v = ctx.use_value(&name, ty, lx.line)?;
+        return Ok(Operand::Value(v));
+    }
+    Ok(Operand::Const(parse_constant(lx, ty)?))
+}
+
+fn parse_function(header: &(usize, String), body: &[(usize, String)]) -> PResult<Function> {
+    let (hln, hline) = header;
+    let rest = hline
+        .strip_prefix("define ")
+        .ok_or_else(|| err(*hln, "expected define"))?;
+    let mut lx = lex(rest, *hln)?;
+    let ret = parse_type(&mut lx)?;
+    let fname = lx.global()?;
+    lx.expect_punct('(')?;
+    let mut params = Vec::new();
+    if !lx.eat_punct(')') {
+        loop {
+            let ty = parse_type(&mut lx)?;
+            let name = lx.local()?;
+            params.push((name, ty));
+            if !lx.eat_punct(',') {
+                break;
+            }
+        }
+        lx.expect_punct(')')?;
+    }
+    lx.expect_punct('{')?;
+
+    let mut ctx = FnCtx {
+        f: Function::new(fname, params, ret),
+        value_by_name: HashMap::new(),
+        pending: HashMap::new(),
+        block_by_name: HashMap::new(),
+    };
+    for (i, (n, _)) in ctx.f.params.clone().iter().enumerate() {
+        ctx.value_by_name.insert(n.clone(), ValueId(i as u32));
+    }
+
+    // Pre-scan: create blocks for every label line so branches resolve.
+    for (ln, line) in body {
+        if let Some(label) = line.strip_suffix(':') {
+            if label.chars().all(is_ident_char) && !label.is_empty() {
+                if ctx.block_by_name.contains_key(label) {
+                    return Err(err(*ln, format!("duplicate block label {label}")));
+                }
+                let b = ctx.f.add_block(label);
+                ctx.block_by_name.insert(label.to_string(), b);
+            }
+        }
+    }
+    if ctx.f.blocks.is_empty() {
+        return Err(err(*hln, "function has no basic blocks"));
+    }
+
+    let mut cur: Option<BlockId> = None;
+    let mut cur_terminated = false;
+    for (ln, line) in body {
+        if let Some(label) = line.strip_suffix(':') {
+            if label.chars().all(is_ident_char) && !label.is_empty() {
+                if let Some(b) = cur {
+                    if !cur_terminated {
+                        return Err(err(
+                            *ln,
+                            format!("block %{} lacks a terminator", ctx.f.block(b).name),
+                        ));
+                    }
+                }
+                cur = Some(ctx.block_by_name[label]);
+                cur_terminated = false;
+                continue;
+            }
+        }
+        let block = cur.ok_or_else(|| err(*ln, "instruction before first label"))?;
+        if cur_terminated {
+            return Err(err(*ln, "instruction after terminator"));
+        }
+        let mut lx = lex(line, *ln)?;
+        if parse_line(&mut lx, &mut ctx, block)? {
+            cur_terminated = true;
+        }
+        if !lx.at_end() {
+            return Err(err(*ln, "trailing tokens on line"));
+        }
+    }
+    if let Some(b) = cur {
+        if !cur_terminated {
+            return Err(err(
+                *hln,
+                format!("block %{} lacks a terminator", ctx.f.block(b).name),
+            ));
+        }
+    }
+    if let Some((name, line)) = ctx.pending.iter().next() {
+        return Err(err(*line, format!("%{name} is used but never defined")));
+    }
+    Ok(ctx.f)
+}
+
+/// Parse one instruction or terminator line. Returns true for terminators.
+fn parse_line(lx: &mut Lexer, ctx: &mut FnCtx, block: BlockId) -> PResult<bool> {
+    // Terminators ----------------------------------------------------------
+    if let Some(Tok::Ident(kw)) = lx.peek() {
+        match kw.as_str() {
+            "br" => {
+                lx.next()?;
+                if let Some(Tok::Ident(l)) = lx.peek() {
+                    if l == "label" {
+                        lx.next()?;
+                        let target = lx.local()?;
+                        let t = ctx.block_ref(&target, lx.line)?;
+                        ctx.f.block_mut(block).term = Terminator::Br(t);
+                        return Ok(true);
+                    }
+                }
+                let cond = parse_typed_operand(lx, ctx)?;
+                lx.expect_punct(',')?;
+                lx.expect_ident("label")?;
+                let tname = lx.local()?;
+                lx.expect_punct(',')?;
+                lx.expect_ident("label")?;
+                let fname = lx.local()?;
+                ctx.f.block_mut(block).term = Terminator::CondBr {
+                    cond,
+                    on_true: ctx.block_ref(&tname, lx.line)?,
+                    on_false: ctx.block_ref(&fname, lx.line)?,
+                };
+                return Ok(true);
+            }
+            "ret" => {
+                lx.next()?;
+                if let Some(Tok::Ident(v)) = lx.peek() {
+                    if v == "void" {
+                        lx.next()?;
+                        ctx.f.block_mut(block).term = Terminator::Ret(None);
+                        return Ok(true);
+                    }
+                }
+                let op = parse_typed_operand(lx, ctx)?;
+                ctx.f.block_mut(block).term = Terminator::Ret(Some(op));
+                return Ok(true);
+            }
+            "unreachable" => {
+                lx.next()?;
+                ctx.f.block_mut(block).term = Terminator::Unreachable;
+                return Ok(true);
+            }
+            _ => {}
+        }
+    }
+
+    // Optional result name --------------------------------------------------
+    let result_name = if let Some(Tok::Local(_)) = lx.peek() {
+        let n = lx.local()?;
+        lx.expect_punct('=')?;
+        Some(n)
+    } else {
+        None
+    };
+
+    let (kind, ty) = parse_inst_body(lx, ctx, block)?;
+
+    let iid = InstId(ctx.f.insts.len() as u32);
+    let result = match (&result_name, ty) {
+        (Some(n), t) if !t.is_void() => Some(ctx.define_value(n, t, iid, lx.line)?),
+        (Some(_), _) => return Err(err(lx.line, "void instruction cannot have a result")),
+        (None, t) if !t.is_void() => {
+            // Unnamed result: allocate an anonymous value.
+            Some(ctx.f.new_value(t, None, ValueDef::Inst(iid)))
+        }
+        (None, _) => None,
+    };
+    ctx.f.insts.push(Inst { kind, ty, result });
+    ctx.f.blocks[block.index()].insts.push(iid);
+    Ok(false)
+}
+
+/// Parse the instruction body after an optional `%x =`. Returns the kind and
+/// result type.
+fn parse_inst_body(lx: &mut Lexer, ctx: &mut FnCtx, block: BlockId) -> PResult<(InstKind, Type)> {
+    let _ = block;
+    let op_name = lx.ident()?;
+
+    if let Some(op) = BinOp::from_mnemonic(&op_name) {
+        let ty = parse_type(lx)?;
+        let lhs = parse_operand_of_type(lx, ctx, ty)?;
+        lx.expect_punct(',')?;
+        let rhs = parse_operand_of_type(lx, ctx, ty)?;
+        return Ok((InstKind::Bin { op, lhs, rhs }, ty));
+    }
+    if let Some(op) = CastOp::from_mnemonic(&op_name) {
+        let val = parse_typed_operand(lx, ctx)?;
+        lx.expect_ident("to")?;
+        let to = parse_type(lx)?;
+        return Ok((InstKind::Cast { op, val }, to));
+    }
+
+    match op_name.as_str() {
+        "icmp" => {
+            let pred_name = lx.ident()?;
+            let pred = ICmpPred::from_mnemonic(&pred_name)
+                .ok_or_else(|| err(lx.line, format!("unknown icmp predicate {pred_name}")))?;
+            let ty = parse_type(lx)?;
+            let lhs = parse_operand_of_type(lx, ctx, ty)?;
+            lx.expect_punct(',')?;
+            let rhs = parse_operand_of_type(lx, ctx, ty)?;
+            Ok((InstKind::ICmp { pred, lhs, rhs }, ty.mask_type()))
+        }
+        "fcmp" => {
+            let pred_name = lx.ident()?;
+            let pred = FCmpPred::from_mnemonic(&pred_name)
+                .ok_or_else(|| err(lx.line, format!("unknown fcmp predicate {pred_name}")))?;
+            let ty = parse_type(lx)?;
+            let lhs = parse_operand_of_type(lx, ctx, ty)?;
+            lx.expect_punct(',')?;
+            let rhs = parse_operand_of_type(lx, ctx, ty)?;
+            Ok((InstKind::FCmp { pred, lhs, rhs }, ty.mask_type()))
+        }
+        "select" => {
+            let cond = parse_typed_operand(lx, ctx)?;
+            lx.expect_punct(',')?;
+            let on_true = parse_typed_operand(lx, ctx)?;
+            let ty = ctx.f.operand_type(&on_true);
+            lx.expect_punct(',')?;
+            let on_false = parse_typed_operand(lx, ctx)?;
+            Ok((
+                InstKind::Select {
+                    cond,
+                    on_true,
+                    on_false,
+                },
+                ty,
+            ))
+        }
+        "alloca" => {
+            let elem = parse_type(lx)?;
+            lx.expect_punct(',')?;
+            let count = parse_typed_operand(lx, ctx)?;
+            Ok((InstKind::Alloca { elem, count }, Type::PTR))
+        }
+        "load" => {
+            let ty = parse_type(lx)?;
+            lx.expect_punct(',')?;
+            let ptr = parse_typed_operand(lx, ctx)?;
+            Ok((InstKind::Load { ptr }, ty))
+        }
+        "store" => {
+            let val = parse_typed_operand(lx, ctx)?;
+            lx.expect_punct(',')?;
+            let ptr = parse_typed_operand(lx, ctx)?;
+            Ok((InstKind::Store { val, ptr }, Type::Void))
+        }
+        "getelementptr" => {
+            let elem = parse_type(lx)?;
+            lx.expect_punct(',')?;
+            let base = parse_typed_operand(lx, ctx)?;
+            lx.expect_punct(',')?;
+            let index = parse_typed_operand(lx, ctx)?;
+            Ok((InstKind::Gep { elem, base, index }, Type::PTR))
+        }
+        "extractelement" => {
+            let vec = parse_typed_operand(lx, ctx)?;
+            let vty = ctx.f.operand_type(&vec);
+            lx.expect_punct(',')?;
+            let idx = parse_typed_operand(lx, ctx)?;
+            let elem = vty
+                .elem()
+                .ok_or_else(|| err(lx.line, "extractelement on non-vector"))?;
+            Ok((InstKind::ExtractElement { vec, idx }, Type::Scalar(elem)))
+        }
+        "insertelement" => {
+            let vec = parse_typed_operand(lx, ctx)?;
+            let vty = ctx.f.operand_type(&vec);
+            lx.expect_punct(',')?;
+            let elt = parse_typed_operand(lx, ctx)?;
+            lx.expect_punct(',')?;
+            let idx = parse_typed_operand(lx, ctx)?;
+            Ok((InstKind::InsertElement { vec, elt, idx }, vty))
+        }
+        "shufflevector" => {
+            let a = parse_typed_operand(lx, ctx)?;
+            let aty = ctx.f.operand_type(&a);
+            lx.expect_punct(',')?;
+            let b = parse_typed_operand(lx, ctx)?;
+            lx.expect_punct(',')?;
+            // Mask: `<N x i32> <i32 k, ...>` with undef entries as -1.
+            let mask_ty = parse_type(lx)?;
+            let lanes = match mask_ty {
+                Type::Vector(ScalarTy::I32, n) => n,
+                t => return Err(err(lx.line, format!("bad shuffle mask type {t}"))),
+            };
+            lx.expect_punct('<')?;
+            let mut mask = Vec::with_capacity(lanes as usize);
+            loop {
+                lx.expect_ident("i32")?;
+                match lx.next()? {
+                    Tok::Ident(u) if u == "undef" => mask.push(-1),
+                    Tok::Num(n) => mask.push(
+                        n.parse::<i32>()
+                            .map_err(|_| err(lx.line, "bad shuffle index"))?,
+                    ),
+                    t => return Err(err(lx.line, format!("bad shuffle mask entry {t:?}"))),
+                }
+                if !lx.eat_punct(',') {
+                    break;
+                }
+            }
+            lx.expect_punct('>')?;
+            if mask.len() != lanes as usize {
+                return Err(err(lx.line, "shuffle mask length mismatch"));
+            }
+            let elem = aty
+                .elem()
+                .ok_or_else(|| err(lx.line, "shufflevector on non-vector"))?;
+            let ty = Type::vec(elem, mask.len() as u32);
+            Ok((InstKind::ShuffleVector { a, b, mask }, ty))
+        }
+        "phi" => {
+            let ty = parse_type(lx)?;
+            let mut incomings = Vec::new();
+            loop {
+                lx.expect_punct('[')?;
+                let op = parse_operand_of_type(lx, ctx, ty)?;
+                lx.expect_punct(',')?;
+                let bname = lx.local()?;
+                let b = ctx.block_ref(&bname, lx.line)?;
+                lx.expect_punct(']')?;
+                incomings.push((b, op));
+                if !lx.eat_punct(',') {
+                    break;
+                }
+            }
+            Ok((InstKind::Phi { incomings }, ty))
+        }
+        "call" => {
+            let ret = parse_type(lx)?;
+            let callee = lx.global()?;
+            lx.expect_punct('(')?;
+            let mut args = Vec::new();
+            if !lx.eat_punct(')') {
+                loop {
+                    args.push(parse_typed_operand(lx, ctx)?);
+                    if !lx.eat_punct(',') {
+                        break;
+                    }
+                }
+                lx.expect_punct(')')?;
+            }
+            Ok((InstKind::Call { callee, args }, ret))
+        }
+        other => Err(err(lx.line, format!("unknown instruction '{other}'"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::printer::print_module;
+
+    const SUM_SRC: &str = r#"
+define i32 @sum(i32 %n) {
+entry:
+  br label %header
+header:
+  %i = phi i32 [ 0, %entry ], [ %i2, %body ]
+  %acc = phi i32 [ 0, %entry ], [ %acc2, %body ]
+  %cond = icmp slt i32 %i, %n
+  br i1 %cond, label %body, label %exit
+body:
+  %acc2 = add i32 %acc, %i
+  %i2 = add i32 %i, 1
+  br label %header
+exit:
+  ret i32 %acc
+}
+"#;
+
+    #[test]
+    fn parses_loop_function() {
+        let m = parse_module(SUM_SRC).unwrap();
+        assert_eq!(m.functions.len(), 1);
+        let f = &m.functions[0];
+        assert_eq!(f.name, "sum");
+        assert_eq!(f.blocks.len(), 4);
+        assert_eq!(f.num_placed_insts(), 5);
+    }
+
+    #[test]
+    fn print_parse_roundtrip() {
+        let m1 = parse_module(SUM_SRC).unwrap();
+        let text = print_module(&m1);
+        let m2 = parse_module(&text).unwrap();
+        assert_eq!(print_module(&m2), text);
+    }
+
+    #[test]
+    fn parses_fig5_style_masked_ops() {
+        let src = r#"
+declare <8 x float> @llvm.x86.avx.maskload.ps.256(ptr, <8 x float>)
+declare void @llvm.x86.avx.maskstore.ps.256(ptr, <8 x float>, <8 x float>)
+
+define void @copy(ptr %src, ptr %dst, <8 x float> %floatmask.i) {
+entry:
+  %0 = call <8 x float> @llvm.x86.avx.maskload.ps.256(ptr %src, <8 x float> %floatmask.i)
+  call void @llvm.x86.avx.maskstore.ps.256(ptr %dst, <8 x float> %floatmask.i, <8 x float> %0)
+  ret void
+}
+"#;
+        let m = parse_module(src).unwrap();
+        assert_eq!(m.decls.len(), 2);
+        let f = m.function("copy").unwrap();
+        assert_eq!(f.num_placed_insts(), 2);
+        // Round-trip.
+        let text = print_module(&m);
+        let m2 = parse_module(&text).unwrap();
+        assert_eq!(print_module(&m2), text);
+    }
+
+    #[test]
+    fn parses_vector_constants_and_shuffles() {
+        let src = r#"
+define <8 x float> @bcast(float %uval) {
+allocas:
+  %uval_broadcast_init = insertelement <8 x float> undef, float %uval, i32 0
+  %uval_broadcast = shufflevector <8 x float> %uval_broadcast_init, <8 x float> undef, <8 x i32> zeroinitializer
+  ret <8 x float> %uval_broadcast
+}
+"#;
+        // `zeroinitializer` is not valid for shuffle masks in our printer,
+        // but LLVM allows it; check we report a clean error.
+        assert!(parse_module(src).is_err());
+
+        let src2 = r#"
+define <8 x float> @bcast(float %uval) {
+allocas:
+  %i = insertelement <8 x float> undef, float %uval, i32 0
+  %b = shufflevector <8 x float> %i, <8 x float> undef, <8 x i32> <i32 0, i32 0, i32 0, i32 0, i32 0, i32 0, i32 0, i32 0>
+  ret <8 x float> %b
+}
+"#;
+        let m = parse_module(src2).unwrap();
+        let f = m.function("bcast").unwrap();
+        assert_eq!(f.num_placed_insts(), 2);
+    }
+
+    #[test]
+    fn rejects_undefined_values() {
+        let src = r#"
+define i32 @f(i32 %x) {
+entry:
+  %y = add i32 %x, %nope
+  ret i32 %y
+}
+"#;
+        let e = parse_module(src).unwrap_err();
+        assert!(e.msg.contains("never defined"), "{e}");
+    }
+
+    #[test]
+    fn rejects_missing_terminator() {
+        let src = r#"
+define i32 @f(i32 %x) {
+entry:
+  %y = add i32 %x, 1
+}
+"#;
+        let e = parse_module(src).unwrap_err();
+        assert!(e.msg.contains("terminator"), "{e}");
+    }
+
+    #[test]
+    fn rejects_type_mismatch_between_uses() {
+        let src = r#"
+define i32 @f(i32 %x) {
+entry:
+  %y = add i32 %x, 1
+  %z = fadd float %y, 1.0
+  ret i32 %y
+}
+"#;
+        let e = parse_module(src).unwrap_err();
+        assert!(e.msg.contains("type mismatch"), "{e}");
+    }
+
+    #[test]
+    fn parses_float_formats() {
+        let src = r#"
+define float @f() {
+entry:
+  %a = fadd float 1.5, -2.25
+  %b = fadd float %a, 0x3F800000
+  ret float %b
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let f = m.function("f").unwrap();
+        let inst = f.inst(f.block(BlockId(0)).insts[0]);
+        let ops = inst.operands();
+        assert_eq!(
+            ops[0].constant().unwrap().scalar_bits(),
+            Some(1.5f32.to_bits() as u64)
+        );
+        assert_eq!(
+            ops[1].constant().unwrap().scalar_bits(),
+            Some((-2.25f32).to_bits() as u64)
+        );
+    }
+
+    #[test]
+    fn parses_varargs_decl() {
+        let src = "declare float @vulfi.inject.f32(float, float, ...)";
+        let m = parse_module(src).unwrap();
+        assert!(m.decls[0].vararg);
+        assert_eq!(m.decls[0].params.len(), 2);
+    }
+}

@@ -1,0 +1,149 @@
+//! IR-to-IR transformations.
+//!
+//! [`dce`] is the dead-code-elimination pass the SPMD-C compiler runs after
+//! code generation, standing in for the `-O3` cleanups the paper's ISPC
+//! pipeline performs: the fault-site population must not be diluted by
+//! registers no real compiler would materialize.
+
+pub mod dce {
+    use crate::analysis::UseGraph;
+    use crate::function::Function;
+    use crate::inst::{InstId, InstKind};
+    use crate::intrinsics::{self, Intrinsic};
+
+    /// Is this instruction free of observable side effects (and therefore
+    /// removable when its result is unused)? Loads are removable — VIR has
+    /// no volatile accesses.
+    pub fn is_pure(kind: &InstKind) -> bool {
+        match kind {
+            InstKind::Store { .. } => false,
+            InstKind::Call { callee, .. } => match intrinsics::parse(callee) {
+                Some(Intrinsic::MaskStore { .. }) => false,
+                Some(_) => true, // math, maskload, movmsk, mask reductions
+                None => false,   // host calls (injection API, detectors, ...)
+            },
+            _ => true,
+        }
+    }
+
+    /// Remove unused pure instructions until fixpoint. Returns the number
+    /// of instructions removed.
+    pub fn run(f: &mut Function) -> usize {
+        let mut removed_total = 0;
+        loop {
+            let uses = UseGraph::build(f);
+            let mut dead: Vec<InstId> = Vec::new();
+            for (_, iid) in f.placed_insts() {
+                let inst = f.inst(iid);
+                let unused = match inst.result {
+                    Some(r) => uses.is_dead(r),
+                    None => false, // void instructions are kept unless pure+resultless (none exist)
+                };
+                if unused && is_pure(&inst.kind) {
+                    dead.push(iid);
+                }
+            }
+            if dead.is_empty() {
+                break;
+            }
+            removed_total += dead.len();
+            for b in &mut f.blocks {
+                b.insts.retain(|i| !dead.contains(i));
+            }
+        }
+        removed_total
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::builder::FuncBuilder;
+        use crate::constant::Constant;
+        use crate::inst::BinOp;
+        use crate::types::{ScalarTy, Type};
+
+        #[test]
+        fn removes_dead_chains() {
+            let mut b = FuncBuilder::new("f", vec![("x".into(), Type::I32)], Type::I32);
+            let e = b.add_block("entry");
+            b.position_at(e);
+            let live = b.bin(BinOp::Add, b.param(0), Constant::i32(1).into(), "live");
+            // Dead chain: d2 depends on d1, both unused.
+            let d1 = b.bin(BinOp::Mul, b.param(0), Constant::i32(3).into(), "d1");
+            let _d2 = b.bin(BinOp::Mul, d1, Constant::i32(5).into(), "d2");
+            b.ret(Some(live));
+            let mut f = b.finish();
+            assert_eq!(f.num_placed_insts(), 3);
+            let removed = run(&mut f);
+            assert_eq!(removed, 2, "the whole dead chain goes");
+            assert_eq!(f.num_placed_insts(), 1);
+        }
+
+        #[test]
+        fn keeps_stores_and_host_calls() {
+            let mut b = FuncBuilder::new("g", vec![("p".into(), Type::PTR)], Type::Void);
+            let e = b.add_block("entry");
+            b.position_at(e);
+            b.store(Constant::i32(7).into(), b.param(0));
+            b.call("host.effect", vec![], Type::Void, "");
+            b.ret(None);
+            let mut f = b.finish();
+            assert_eq!(run(&mut f), 0);
+            assert_eq!(f.num_placed_insts(), 2);
+        }
+
+        #[test]
+        fn removes_unused_loads_and_broadcasts() {
+            let mut b = FuncBuilder::new("h", vec![("p".into(), Type::PTR)], Type::Void);
+            let e = b.add_block("entry");
+            b.position_at(e);
+            let v = b.load(Type::F32, b.param(0), "v");
+            let _bc = b.broadcast(v, 8, "dead_bc");
+            b.ret(None);
+            let mut f = b.finish();
+            let removed = run(&mut f);
+            assert_eq!(removed, 3, "load + insert + shuffle all dead");
+            assert_eq!(f.num_placed_insts(), 0);
+        }
+
+        #[test]
+        fn keeps_maskstore_drops_unused_maskload() {
+            use crate::intrinsics::{maskload_name, maskstore_name};
+            let vty = Type::vec(ScalarTy::F32, 8);
+            let mut b = FuncBuilder::new(
+                "k",
+                vec![("p".into(), Type::PTR), ("m".into(), vty)],
+                Type::Void,
+            );
+            let e = b.add_block("entry");
+            b.position_at(e);
+            let _unused = b.call(
+                maskload_name(8, ScalarTy::F32),
+                vec![b.param(0), b.param(1)],
+                vty,
+                "unused",
+            );
+            b.call(
+                maskstore_name(8, ScalarTy::F32),
+                vec![b.param(0), b.param(1), Constant::splat_f32(8, 0.0).into()],
+                Type::Void,
+                "",
+            );
+            b.ret(None);
+            let mut f = b.finish();
+            assert_eq!(run(&mut f), 1);
+            assert_eq!(f.num_placed_insts(), 1);
+        }
+
+        #[test]
+        fn values_used_by_terminators_are_live() {
+            let mut b = FuncBuilder::new("t", vec![("x".into(), Type::I32)], Type::I32);
+            let e = b.add_block("entry");
+            b.position_at(e);
+            let r = b.bin(BinOp::Add, b.param(0), Constant::i32(2).into(), "r");
+            b.ret(Some(r));
+            let mut f = b.finish();
+            assert_eq!(run(&mut f), 0);
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! Type system of the VIR intermediate representation.
+//!
+//! VIR mirrors the slice of the LLVM 3.2 type system that the VULFI paper
+//! exercises: scalar integers (`i1`..`i64`), IEEE floats (`float`/`double`),
+//! an opaque pointer type, and fixed-length vectors of any scalar type.
+
+use std::fmt;
+
+/// A scalar (non-aggregate) type: the element domain of vector registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ScalarTy {
+    /// 1-bit integer (booleans, comparison results, lane masks).
+    I1,
+    /// 8-bit integer.
+    I8,
+    /// 16-bit integer.
+    I16,
+    /// 32-bit integer.
+    I32,
+    /// 64-bit integer.
+    I64,
+    /// IEEE-754 binary32.
+    F32,
+    /// IEEE-754 binary64.
+    F64,
+    /// Opaque pointer, 64 bits wide in the VIR memory model.
+    Ptr,
+}
+
+impl ScalarTy {
+    /// Width of the value in bits. This is the domain over which the fault
+    /// injector picks a random bit position (paper §II-B).
+    pub fn bits(self) -> u32 {
+        match self {
+            ScalarTy::I1 => 1,
+            ScalarTy::I8 => 8,
+            ScalarTy::I16 => 16,
+            ScalarTy::I32 | ScalarTy::F32 => 32,
+            ScalarTy::I64 | ScalarTy::F64 | ScalarTy::Ptr => 64,
+        }
+    }
+
+    /// Storage footprint in bytes (i1 is stored as one byte).
+    pub fn bytes(self) -> u64 {
+        match self {
+            ScalarTy::I1 | ScalarTy::I8 => 1,
+            ScalarTy::I16 => 2,
+            ScalarTy::I32 | ScalarTy::F32 => 4,
+            ScalarTy::I64 | ScalarTy::F64 | ScalarTy::Ptr => 8,
+        }
+    }
+
+    /// True for the integer family (including `i1`).
+    pub fn is_int(self) -> bool {
+        matches!(
+            self,
+            ScalarTy::I1 | ScalarTy::I8 | ScalarTy::I16 | ScalarTy::I32 | ScalarTy::I64
+        )
+    }
+
+    /// True for `float`/`double`.
+    pub fn is_float(self) -> bool {
+        matches!(self, ScalarTy::F32 | ScalarTy::F64)
+    }
+
+    /// Mask keeping only the bits that belong to this type's width.
+    pub fn bit_mask(self) -> u64 {
+        match self.bits() {
+            64 => u64::MAX,
+            b => (1u64 << b) - 1,
+        }
+    }
+
+    /// LLVM-style spelling (`i32`, `float`, `ptr`, ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            ScalarTy::I1 => "i1",
+            ScalarTy::I8 => "i8",
+            ScalarTy::I16 => "i16",
+            ScalarTy::I32 => "i32",
+            ScalarTy::I64 => "i64",
+            ScalarTy::F32 => "float",
+            ScalarTy::F64 => "double",
+            ScalarTy::Ptr => "ptr",
+        }
+    }
+
+    /// Short suffix used in intrinsic names (`f32`, `i32`, ...).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            ScalarTy::I1 => "i1",
+            ScalarTy::I8 => "i8",
+            ScalarTy::I16 => "i16",
+            ScalarTy::I32 => "i32",
+            ScalarTy::I64 => "i64",
+            ScalarTy::F32 => "f32",
+            ScalarTy::F64 => "f64",
+            ScalarTy::Ptr => "p0",
+        }
+    }
+}
+
+impl fmt::Display for ScalarTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A first-class VIR type.
+///
+/// Per the paper's terminology (§II-A): a *vector register* has a `Vector`
+/// type; a *scalar register* has integer, floating point, or pointer type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// The type of instructions that produce no value (`store`, void calls).
+    Void,
+    /// A scalar register type.
+    Scalar(ScalarTy),
+    /// A packed vector of `lanes` scalar elements.
+    Vector(ScalarTy, u32),
+}
+
+impl Type {
+    /// Convenience constructors.
+    pub const I1: Type = Type::Scalar(ScalarTy::I1);
+    pub const I8: Type = Type::Scalar(ScalarTy::I8);
+    pub const I16: Type = Type::Scalar(ScalarTy::I16);
+    pub const I32: Type = Type::Scalar(ScalarTy::I32);
+    pub const I64: Type = Type::Scalar(ScalarTy::I64);
+    pub const F32: Type = Type::Scalar(ScalarTy::F32);
+    pub const F64: Type = Type::Scalar(ScalarTy::F64);
+    pub const PTR: Type = Type::Scalar(ScalarTy::Ptr);
+
+    /// Build a vector type; `lanes` must be at least 1.
+    pub fn vec(elem: ScalarTy, lanes: u32) -> Type {
+        assert!(lanes >= 1, "vector types need at least one lane");
+        Type::Vector(elem, lanes)
+    }
+
+    /// The paper's `Vl`: number of scalar registers packed in this register.
+    /// Scalars count as one lane.
+    pub fn lanes(self) -> u32 {
+        match self {
+            Type::Vector(_, n) => n,
+            Type::Scalar(_) => 1,
+            Type::Void => 0,
+        }
+    }
+
+    /// Element scalar type (the type itself for scalars).
+    pub fn elem(self) -> Option<ScalarTy> {
+        match self {
+            Type::Scalar(s) | Type::Vector(s, _) => Some(s),
+            Type::Void => None,
+        }
+    }
+
+    /// True when this is a vector register type.
+    pub fn is_vector(self) -> bool {
+        matches!(self, Type::Vector(..))
+    }
+
+    /// True when this is a scalar register type.
+    pub fn is_scalar(self) -> bool {
+        matches!(self, Type::Scalar(_))
+    }
+
+    pub fn is_void(self) -> bool {
+        matches!(self, Type::Void)
+    }
+
+    /// True for scalar or vector of integers.
+    pub fn is_int(self) -> bool {
+        self.elem().is_some_and(ScalarTy::is_int)
+    }
+
+    /// True for scalar or vector of floats.
+    pub fn is_float(self) -> bool {
+        self.elem().is_some_and(ScalarTy::is_float)
+    }
+
+    /// True for the scalar pointer type.
+    pub fn is_ptr(self) -> bool {
+        self == Type::PTR
+    }
+
+    /// Storage footprint in bytes.
+    pub fn size_bytes(self) -> u64 {
+        match self {
+            Type::Void => 0,
+            Type::Scalar(s) => s.bytes(),
+            Type::Vector(s, n) => s.bytes() * n as u64,
+        }
+    }
+
+    /// The `<n x i1>` mask type matching this vector's lane count.
+    pub fn mask_type(self) -> Type {
+        match self {
+            Type::Vector(_, n) => Type::Vector(ScalarTy::I1, n),
+            _ => Type::I1,
+        }
+    }
+
+    /// Replace the element type, keeping the shape (scalar stays scalar).
+    pub fn with_elem(self, elem: ScalarTy) -> Type {
+        match self {
+            Type::Vector(_, n) => Type::Vector(elem, n),
+            Type::Scalar(_) => Type::Scalar(elem),
+            Type::Void => Type::Void,
+        }
+    }
+
+    /// Suffix used in intrinsic names: `f32` for scalars, `v8f32` for vectors.
+    pub fn intrinsic_suffix(self) -> String {
+        match self {
+            Type::Void => "void".to_string(),
+            Type::Scalar(s) => s.suffix().to_string(),
+            Type::Vector(s, n) => format!("v{}{}", n, s.suffix()),
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Void => f.write_str("void"),
+            Type::Scalar(s) => write!(f, "{s}"),
+            Type::Vector(s, n) => write!(f, "<{n} x {s}>"),
+        }
+    }
+}
+
+impl From<ScalarTy> for Type {
+    fn from(s: ScalarTy) -> Type {
+        Type::Scalar(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_widths() {
+        assert_eq!(ScalarTy::I1.bits(), 1);
+        assert_eq!(ScalarTy::I8.bits(), 8);
+        assert_eq!(ScalarTy::I16.bits(), 16);
+        assert_eq!(ScalarTy::I32.bits(), 32);
+        assert_eq!(ScalarTy::I64.bits(), 64);
+        assert_eq!(ScalarTy::F32.bits(), 32);
+        assert_eq!(ScalarTy::F64.bits(), 64);
+        assert_eq!(ScalarTy::Ptr.bits(), 64);
+    }
+
+    #[test]
+    fn bit_masks_cover_width() {
+        assert_eq!(ScalarTy::I1.bit_mask(), 1);
+        assert_eq!(ScalarTy::I8.bit_mask(), 0xff);
+        assert_eq!(ScalarTy::F32.bit_mask(), 0xffff_ffff);
+        assert_eq!(ScalarTy::I64.bit_mask(), u64::MAX);
+    }
+
+    #[test]
+    fn vector_lane_counts() {
+        let avx = Type::vec(ScalarTy::F32, 8);
+        let sse = Type::vec(ScalarTy::F32, 4);
+        assert_eq!(avx.lanes(), 8);
+        assert_eq!(sse.lanes(), 4);
+        assert_eq!(Type::I32.lanes(), 1);
+        assert!(avx.is_vector());
+        assert!(!Type::I32.is_vector());
+    }
+
+    #[test]
+    fn sizes() {
+        assert_eq!(Type::vec(ScalarTy::F32, 8).size_bytes(), 32);
+        assert_eq!(Type::vec(ScalarTy::I32, 4).size_bytes(), 16);
+        assert_eq!(Type::F64.size_bytes(), 8);
+        assert_eq!(Type::Void.size_bytes(), 0);
+    }
+
+    #[test]
+    fn display_matches_llvm_spelling() {
+        assert_eq!(Type::vec(ScalarTy::F32, 8).to_string(), "<8 x float>");
+        assert_eq!(Type::I32.to_string(), "i32");
+        assert_eq!(Type::PTR.to_string(), "ptr");
+        assert_eq!(Type::Void.to_string(), "void");
+    }
+
+    #[test]
+    fn mask_types() {
+        assert_eq!(
+            Type::vec(ScalarTy::F32, 8).mask_type(),
+            Type::vec(ScalarTy::I1, 8)
+        );
+        assert_eq!(Type::F32.mask_type(), Type::I1);
+    }
+
+    #[test]
+    fn intrinsic_suffixes() {
+        assert_eq!(Type::vec(ScalarTy::F32, 8).intrinsic_suffix(), "v8f32");
+        assert_eq!(Type::F64.intrinsic_suffix(), "f64");
+        assert_eq!(Type::I32.intrinsic_suffix(), "i32");
+    }
+
+    #[test]
+    fn with_elem_keeps_shape() {
+        assert_eq!(
+            Type::vec(ScalarTy::F32, 4).with_elem(ScalarTy::I32),
+            Type::vec(ScalarTy::I32, 4)
+        );
+        assert_eq!(Type::F32.with_elem(ScalarTy::I64), Type::I64);
+    }
+}

@@ -1,0 +1,346 @@
+//! Property-based tests (proptest) on the core invariants:
+//!
+//! - the textual IR format round-trips arbitrary straight-line functions;
+//! - bit flips are involutive and width-respecting;
+//! - interpreter arithmetic agrees with Rust reference semantics;
+//! - DCE never changes observable results;
+//! - the memory model rejects every access that leaves an allocation;
+//! - campaign statistics behave like statistics.
+
+use proptest::prelude::*;
+
+use vexec::interp::{eval_bin, eval_icmp};
+use vexec::{Interp, Memory, NoHost, RtVal, Scalar, Trap};
+use vir::builder::FuncBuilder;
+use vir::{BinOp, Constant, ICmpPred, Module, ScalarTy, Type};
+
+// --- Generators -------------------------------------------------------------
+
+fn arb_scalar_ty() -> impl Strategy<Value = ScalarTy> {
+    prop_oneof![
+        Just(ScalarTy::I8),
+        Just(ScalarTy::I16),
+        Just(ScalarTy::I32),
+        Just(ScalarTy::I64),
+        Just(ScalarTy::F32),
+        Just(ScalarTy::F64),
+    ]
+}
+
+fn arb_int_binop() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::And),
+        Just(BinOp::Or),
+        Just(BinOp::Xor),
+        Just(BinOp::Shl),
+        Just(BinOp::LShr),
+        Just(BinOp::AShr),
+    ]
+}
+
+/// A straight-line i32 function: a chain of binops over two params plus
+/// constants. Returns the module and a closure evaluating the reference.
+fn build_chain(ops: &[(BinOp, i32)]) -> Module {
+    let mut b = FuncBuilder::new(
+        "chain",
+        vec![("x".into(), Type::I32), ("y".into(), Type::I32)],
+        Type::I32,
+    );
+    let entry = b.add_block("entry");
+    b.position_at(entry);
+    let mut acc = b.param(0);
+    let y = b.param(1);
+    for (i, (op, c)) in ops.iter().enumerate() {
+        let rhs = if i % 2 == 0 {
+            y.clone()
+        } else {
+            Constant::i32(*c).into()
+        };
+        acc = b.bin(*op, acc, rhs, "");
+    }
+    b.ret(Some(acc));
+    let mut m = Module::new("prop");
+    m.add_function(b.finish());
+    m
+}
+
+fn reference_chain(ops: &[(BinOp, i32)], x: i32, y: i32) -> i32 {
+    let mut acc = x;
+    for (i, (op, c)) in ops.iter().enumerate() {
+        let rhs = if i % 2 == 0 { y } else { *c };
+        let a = Scalar::i32(acc);
+        let b = Scalar::i32(rhs);
+        acc = eval_bin(*op, a, b).map(|s| s.as_i64() as i32).unwrap_or(0);
+    }
+    acc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // --- Bit flips ---------------------------------------------------------
+
+    #[test]
+    fn flip_bit_is_involutive(ty in arb_scalar_ty(), bits: u64, bit_raw: u32) {
+        let s = Scalar::new(ty, bits);
+        let bit = bit_raw % ty.bits();
+        let flipped = s.flip_bit(bit);
+        prop_assert_ne!(flipped.bits, s.bits);
+        prop_assert_eq!(flipped.flip_bit(bit), s);
+        // The flip stays within the type's width.
+        prop_assert_eq!(flipped.bits & !ty.bit_mask(), 0);
+        // Exactly one bit differs.
+        prop_assert_eq!((flipped.bits ^ s.bits).count_ones(), 1);
+    }
+
+    // --- Scalar semantics ----------------------------------------------------
+
+    #[test]
+    fn int_arithmetic_matches_rust(a: i32, b: i32, op in arb_int_binop()) {
+        let r = eval_bin(op, Scalar::i32(a), Scalar::i32(b)).unwrap();
+        let expect: i64 = match op {
+            BinOp::Add => a.wrapping_add(b) as i64,
+            BinOp::Sub => a.wrapping_sub(b) as i64,
+            BinOp::Mul => a.wrapping_mul(b) as i64,
+            BinOp::And => (a & b) as i64,
+            BinOp::Or => (a | b) as i64,
+            BinOp::Xor => (a ^ b) as i64,
+            BinOp::Shl => {
+                let amt = b as u32 as u64;
+                if amt >= 32 { 0 } else { a.wrapping_shl(amt as u32) as i64 }
+            }
+            BinOp::LShr => {
+                let amt = b as u32 as u64;
+                if amt >= 32 { 0 } else { ((a as u32) >> amt) as i32 as i64 }
+            }
+            BinOp::AShr => {
+                let amt = b as u32 as u64;
+                if amt >= 32 { if a < 0 { -1 } else { 0 } } else { (a >> amt) as i64 }
+            }
+            _ => unreachable!(),
+        };
+        prop_assert_eq!(r.as_i64(), expect);
+    }
+
+    #[test]
+    fn division_by_zero_always_traps(a: i32) {
+        for op in [BinOp::SDiv, BinOp::UDiv, BinOp::SRem, BinOp::URem] {
+            prop_assert_eq!(
+                eval_bin(op, Scalar::i32(a), Scalar::i32(0)),
+                Err(Trap::DivByZero)
+            );
+        }
+    }
+
+    #[test]
+    fn icmp_trichotomy(a: i32, b: i32) {
+        let (x, y) = (Scalar::i32(a), Scalar::i32(b));
+        let lt = eval_icmp(ICmpPred::Slt, x, y);
+        let eq = eval_icmp(ICmpPred::Eq, x, y);
+        let gt = eval_icmp(ICmpPred::Sgt, x, y);
+        prop_assert_eq!(lt as u8 + eq as u8 + gt as u8, 1, "exactly one holds");
+        prop_assert_eq!(eval_icmp(ICmpPred::Sle, x, y), lt || eq);
+        prop_assert_eq!(eval_icmp(ICmpPred::Sge, x, y), gt || eq);
+        prop_assert_eq!(eval_icmp(ICmpPred::Ne, x, y), !eq);
+    }
+
+    // --- Printer/parser round-trip -------------------------------------------
+
+    #[test]
+    fn straight_line_functions_roundtrip(
+        ops in prop::collection::vec((arb_int_binop(), any::<i32>()), 1..12)
+    ) {
+        let m = build_chain(&ops);
+        vir::verify::verify_module(&m).unwrap();
+        let text = vir::printer::print_module(&m);
+        let m2 = vir::parser::parse_module(&text).unwrap();
+        vir::verify::verify_module(&m2).unwrap();
+        prop_assert_eq!(vir::printer::print_module(&m2), text);
+    }
+
+    #[test]
+    fn float_constants_roundtrip(bits: u32) {
+        let c = Constant::new(Type::F32, vir::ConstData::Scalar(bits as u64));
+        let mut b = FuncBuilder::new("f", vec![], Type::F32);
+        let e = b.add_block("entry");
+        b.position_at(e);
+        let v = b.bin(BinOp::FAdd, c.into(), Constant::f32(0.0).into(), "v");
+        b.ret(Some(v));
+        let mut m = Module::new("fc");
+        m.add_function(b.finish());
+        let text = vir::printer::print_module(&m);
+        let m2 = vir::parser::parse_module(&text).unwrap();
+        // The constant's bit pattern survives the trip exactly.
+        let f2 = &m2.functions[0];
+        let inst = f2.inst(f2.block(vir::BlockId(0)).insts[0]);
+        let got = inst.operands()[0].constant().unwrap().scalar_bits().unwrap();
+        prop_assert_eq!(got, bits as u64);
+    }
+
+    // --- Interpreter vs reference / DCE ---------------------------------------
+
+    #[test]
+    fn interp_matches_reference_on_chains(
+        ops in prop::collection::vec((arb_int_binop(), any::<i32>()), 1..10),
+        x: i32,
+        y: i32,
+    ) {
+        let m = build_chain(&ops);
+        let mut interp = Interp::new(&m);
+        let got = interp
+            .run(
+                "chain",
+                &[RtVal::Scalar(Scalar::i32(x)), RtVal::Scalar(Scalar::i32(y))],
+                &mut NoHost,
+            )
+            .unwrap()
+            .ret
+            .unwrap()
+            .scalar()
+            .as_i64() as i32;
+        prop_assert_eq!(got, reference_chain(&ops, x, y));
+    }
+
+    #[test]
+    fn dce_preserves_results(
+        ops in prop::collection::vec((arb_int_binop(), any::<i32>()), 1..8),
+        dead_ops in prop::collection::vec((arb_int_binop(), any::<i32>()), 1..8),
+        x: i32,
+        y: i32,
+    ) {
+        // Build a chain, then append an unused chain; DCE must remove the
+        // dead part and preserve the live result.
+        let mut b = FuncBuilder::new(
+            "f",
+            vec![("x".into(), Type::I32), ("y".into(), Type::I32)],
+            Type::I32,
+        );
+        let entry = b.add_block("entry");
+        b.position_at(entry);
+        let mut acc = b.param(0);
+        for (op, c) in &ops {
+            acc = b.bin(*op, acc, Constant::i32(*c).into(), "");
+        }
+        let mut dead = b.param(1);
+        for (op, c) in &dead_ops {
+            dead = b.bin(*op, dead, Constant::i32(*c).into(), "");
+        }
+        b.ret(Some(acc));
+        let mut f = b.finish();
+        let before = f.num_placed_insts();
+        let removed = vir::transform::dce::run(&mut f);
+        prop_assert_eq!(removed, dead_ops.len());
+        prop_assert_eq!(f.num_placed_insts(), before - dead_ops.len());
+        let mut m = Module::new("dce");
+        m.add_function(f);
+        vir::verify::verify_module(&m).unwrap();
+        let mut interp = Interp::new(&m);
+        let got = interp
+            .run(
+                "f",
+                &[RtVal::Scalar(Scalar::i32(x)), RtVal::Scalar(Scalar::i32(y))],
+                &mut NoHost,
+            )
+            .unwrap()
+            .ret
+            .unwrap()
+            .scalar()
+            .as_i64() as i32;
+        // Reference on the live chain only (rhs always constant here).
+        let mut expect = Scalar::i32(x);
+        for (op, c) in &ops {
+            expect = eval_bin(*op, expect, Scalar::i32(*c)).unwrap();
+        }
+        prop_assert_eq!(got as i64, expect.as_i64());
+    }
+
+    // --- Memory model ----------------------------------------------------------
+
+    #[test]
+    fn memory_rejects_escaping_accesses(
+        sizes in prop::collection::vec(1u64..128, 1..6),
+        probe_off in 0u64..4096,
+        probe_size in 1u64..16,
+    ) {
+        let mut mem = Memory::default();
+        let bases: Vec<(u64, u64)> = sizes
+            .iter()
+            .map(|&s| (mem.alloc(s).unwrap(), s))
+            .collect();
+        // Any probe fully inside an allocation is valid; anything that
+        // escapes every allocation must be invalid.
+        let addr = bases[0].0.wrapping_add(probe_off);
+        let inside = bases
+            .iter()
+            .any(|&(b, s)| addr >= b && addr + probe_size <= b + s);
+        prop_assert_eq!(mem.is_valid(addr, probe_size), inside);
+    }
+
+    #[test]
+    fn memory_write_read_roundtrip(vals in prop::collection::vec(any::<f32>(), 1..64)) {
+        let mut mem = Memory::default();
+        let a = mem.alloc_f32_slice(&vals).unwrap();
+        let back = mem.read_f32_slice(a, vals.len()).unwrap();
+        for (x, y) in vals.iter().zip(&back) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    // --- Statistics -------------------------------------------------------------
+
+    #[test]
+    fn margin_of_error_nonnegative_and_scale_invariant(
+        xs in prop::collection::vec(0.0f64..100.0, 2..40),
+        shift in -50.0f64..50.0,
+    ) {
+        use vulfi::stats::margin_of_error_95;
+        let m1 = margin_of_error_95(&xs);
+        prop_assert!(m1 >= 0.0);
+        // Shifting every sample leaves the margin unchanged.
+        let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
+        let m2 = margin_of_error_95(&shifted);
+        prop_assert!((m1 - m2).abs() < 1e-9 * (1.0 + m1.abs()));
+    }
+
+    #[test]
+    fn t_table_is_monotone_decreasing(df in 1usize..200) {
+        use vulfi::stats::t_critical_95;
+        prop_assert!(t_critical_95(df) >= t_critical_95(df + 1));
+        prop_assert!(t_critical_95(df) >= 1.96);
+    }
+
+    // --- Injection runtime -------------------------------------------------------
+
+    #[test]
+    fn unreached_targets_leave_execution_untouched(
+        n in 5u64..50,
+        seed: u64,
+    ) {
+        // Target beyond the dynamic site count: output must equal golden.
+        use vulfi::VulfiHost;
+        let m = build_chain(&[(BinOp::Add, 1), (BinOp::Xor, 3)]);
+        let mut im = m.clone();
+        vulfi::instrument_module(
+            &mut im,
+            "chain",
+            vulfi::InstrumentOptions::new(vir::analysis::SiteCategory::PureData),
+        )
+        .unwrap();
+        let args = [
+            RtVal::Scalar(Scalar::i32((seed & 0xffff) as i32)),
+            RtVal::Scalar(Scalar::i32(7)),
+        ];
+        let mut profile = VulfiHost::profile();
+        let golden = Interp::new(&im)
+            .run("chain", &args, &mut profile)
+            .unwrap()
+            .ret;
+        let mut host = VulfiHost::inject(profile.dynamic_sites + n, seed);
+        let out = Interp::new(&im).run("chain", &args, &mut host).unwrap().ret;
+        prop_assert_eq!(golden, out);
+        prop_assert!(host.injection.is_none());
+    }
+}
