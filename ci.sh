@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# CI gate: build, test, format, lint. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release --workspace
+cargo test -q --workspace
+cargo fmt --check
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "ci: all checks passed"

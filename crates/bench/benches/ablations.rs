@@ -125,5 +125,11 @@ fn target_mode(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, mask_awareness, check_placement, campaign_throughput, target_mode);
+criterion_group!(
+    benches,
+    mask_awareness,
+    check_placement,
+    campaign_throughput,
+    target_mode
+);
 criterion_main!(benches);

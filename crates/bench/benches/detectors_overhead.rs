@@ -21,9 +21,7 @@ fn bench(c: &mut Criterion) {
                 let mut interp = Interp::new(w.module());
                 let setup = w.setup(&mut interp.mem, 0).unwrap();
                 let mut host = VulfiHost::profile();
-                criterion::black_box(
-                    interp.run(w.entry(), &setup.args, &mut host).unwrap(),
-                )
+                criterion::black_box(interp.run(w.entry(), &setup.args, &mut host).unwrap())
             })
         });
         group.bench_function("with", |b| {
@@ -31,9 +29,7 @@ fn bench(c: &mut Criterion) {
                 let mut interp = Interp::new(wd.module());
                 let setup = wd.setup(&mut interp.mem, 0).unwrap();
                 let mut host = VulfiHost::profile();
-                criterion::black_box(
-                    interp.run(wd.entry(), &setup.args, &mut host).unwrap(),
-                )
+                criterion::black_box(interp.run(wd.entry(), &setup.args, &mut host).unwrap())
             })
         });
         group.finish();

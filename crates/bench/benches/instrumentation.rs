@@ -21,12 +21,7 @@ fn bench_pass(c: &mut Criterion) {
         group.bench_function(cat.name(), |b| {
             b.iter(|| {
                 let mut m = w.module().clone();
-                let r = instrument_module(
-                    &mut m,
-                    w.entry(),
-                    InstrumentOptions::new(cat),
-                )
-                .unwrap();
+                let r = instrument_module(&mut m, w.entry(), InstrumentOptions::new(cat)).unwrap();
                 criterion::black_box(r.sites.len())
             })
         });
@@ -53,9 +48,7 @@ fn bench_overhead(c: &mut Criterion) {
                 let mut interp = Interp::new(&prog.module);
                 let setup = w.setup(&mut interp.mem, 0).unwrap();
                 let mut host = VulfiHost::profile();
-                criterion::black_box(
-                    interp.run(&prog.entry, &setup.args, &mut host).unwrap(),
-                )
+                criterion::black_box(interp.run(&prog.entry, &setup.args, &mut host).unwrap())
             })
         });
     }

@@ -4,8 +4,15 @@
 //! stopping rule).
 //!
 //! ```text
-//! cargo run --release -p vulfi-bench --bin fig11 [--paper] [--only NAME] [--json]
+//! cargo run --release -p vulfi-bench --bin fig11 [--paper] [--only NAME] [--json] \
+//!     [--store DIR] [--jobs N]
 //! ```
+//!
+//! Every study runs through the persistent orchestration store
+//! (`--store`, default `results/store`): a killed run resumes from the
+//! shards already on disk, and re-rendering a finished table executes
+//! nothing. Results are bit-identical to the in-memory
+//! `vulfi::run_study` regardless of sharding, threads, or interruptions.
 //!
 //! Shape expectations from §IV-D, re-checked by the summary this binary
 //! prints:
@@ -17,13 +24,16 @@
 
 use vbench::study_benchmarks;
 use vir::analysis::SiteCategory;
-use vulfi::campaign::{prepare, run_study};
+use vulfi::campaign::prepare;
 use vulfi::workload::Workload;
 use vulfi::{StudyReport, SuiteReport};
-use vulfi_bench::{isas, pct, HarnessOpts, TextTable};
+use vulfi_bench::{clear_progress, isas, open_store, pct, stderr_progress, HarnessOpts, TextTable};
+use vulfi_orch::{run_study_persistent, RunOptions};
 
 fn main() {
     let opts = HarnessOpts::from_env();
+    let store = open_store(&opts);
+    let (mut reused, mut executed) = (0usize, 0usize);
     let mut table = TextTable::new(&[
         "Benchmark",
         "Category",
@@ -46,8 +56,23 @@ fn main() {
             }
             for cat in SiteCategory::ALL {
                 let prog = prepare(&w, cat).expect("instrumentation");
-                let study = run_study(&prog, &w, &opts.study)
-                    .unwrap_or_else(|e| panic!("{} {cat}: {e}", w.name()));
+                let out = run_study_persistent(
+                    &prog,
+                    &w,
+                    w.name(),
+                    isa.name(),
+                    &opts.study,
+                    &store,
+                    RunOptions {
+                        progress: stderr_progress(),
+                        ..RunOptions::default()
+                    },
+                )
+                .unwrap_or_else(|e| panic!("{} {cat}: {e}", w.name()));
+                clear_progress();
+                reused += out.reused_shards;
+                executed += out.executed_shards;
+                let study = out.result.expect("uncapped run completes its study");
                 let c = &study.counts;
                 table.row(vec![
                     w.name().to_string(),
@@ -80,6 +105,10 @@ fn main() {
     for (cat, r) in report.crash_by_category() {
         println!("  {:9} {}", cat.name(), pct(r));
     }
+    println!(
+        "Store {}: {reused} shard(s) reused, {executed} executed.",
+        opts.store
+    );
     if opts.json {
         println!("{}", serde_json::to_string_pretty(&report).unwrap());
     }

@@ -11,8 +11,14 @@
 //! - **SDC detection rate** — the share of SDC runs the detector flagged.
 //!
 //! ```text
-//! cargo run --release -p vulfi-bench --bin fig12 [--paper] [--json]
+//! cargo run --release -p vulfi-bench --bin fig12 [--paper] [--json] \
+//!     [--store DIR] [--jobs N]
 //! ```
+//!
+//! Each cell's campaign runs through the persistent orchestration store
+//! as a one-campaign study (campaign 0's seed is the study seed, so the
+//! experiments are bit-identical to the old in-memory `run_campaign`);
+//! killed runs resume and finished cells are cache hits.
 //!
 //! Shape expectations from §IV-E: pure-data → **zero** detections;
 //! control → highest SDC (up to ~96% for vector sum) with ~50-57%
@@ -21,12 +27,24 @@
 use detectors::{DetectorConfig, WithDetectors};
 use vbench::micro_benchmarks;
 use vir::analysis::SiteCategory;
-use vulfi::campaign::{measure_dyn_insts, prepare, run_campaign};
+use vulfi::campaign::{measure_dyn_insts, prepare};
 use vulfi::workload::Workload;
-use vulfi_bench::{isas, pct, HarnessOpts, TextTable};
+use vulfi::StudyConfig;
+use vulfi_bench::{clear_progress, isas, open_store, pct, stderr_progress, HarnessOpts, TextTable};
+use vulfi_orch::{run_study_persistent, RunOptions};
 
 fn main() {
     let opts = HarnessOpts::from_env();
+    let store = open_store(&opts);
+    // One campaign per cell: campaign 0's seed equals the study seed, so
+    // this reproduces `run_campaign(.., opts.study.seed)` exactly.
+    let cell_cfg = StudyConfig {
+        experiments_per_campaign: opts.micro_experiments,
+        min_campaigns: 1,
+        max_campaigns: 1,
+        ..opts.study
+    };
+    let (mut reused, mut executed) = (0usize, 0usize);
     let mut table = TextTable::new(&[
         "Micro-benchmark",
         "Category",
@@ -56,8 +74,23 @@ fn main() {
 
             for cat in SiteCategory::ALL {
                 let prog = prepare(&wd, cat).expect("instrumentation");
-                let c = run_campaign(&prog, &wd, opts.micro_experiments, opts.study.seed)
-                    .unwrap_or_else(|e| panic!("{} {cat}: {e}", w.name()));
+                let out = run_study_persistent(
+                    &prog,
+                    &wd,
+                    w.name(),
+                    isa.name(),
+                    &cell_cfg,
+                    &store,
+                    RunOptions {
+                        progress: stderr_progress(),
+                        ..RunOptions::default()
+                    },
+                )
+                .unwrap_or_else(|e| panic!("{} {cat}: {e}", w.name()));
+                clear_progress();
+                reused += out.reused_shards;
+                executed += out.executed_shards;
+                let c = out.result.expect("one-campaign study completes");
                 table.row(vec![
                     w.name().to_string(),
                     cat.to_string(),
@@ -88,6 +121,10 @@ fn main() {
     println!("{}", table.render());
     println!("Expected shape (paper §IV-E): pure-data detection = 0;");
     println!("control has the highest SDC and detection rates; address crashes most.");
+    println!(
+        "Store {}: {reused} shard(s) reused, {executed} executed.",
+        opts.store
+    );
     if opts.json {
         println!("{}", serde_json::to_string_pretty(&json_rows).unwrap());
     }

@@ -30,6 +30,11 @@ pub struct HarnessOpts {
     pub only: Option<String>,
     /// Emit a JSON blob after the human-readable table.
     pub json: bool,
+    /// Result-store directory for the study binaries (fig11/fig12):
+    /// completed studies are cached here and interrupted ones resume.
+    pub store: String,
+    /// Worker-thread cap (0 = all cores).
+    pub jobs: usize,
 }
 
 impl Default for HarnessOpts {
@@ -46,6 +51,8 @@ impl Default for HarnessOpts {
             micro_experiments: 400,
             only: None,
             json: false,
+            store: "results/store".to_string(),
+            jobs: 0,
         }
     }
 }
@@ -53,7 +60,7 @@ impl Default for HarnessOpts {
 impl HarnessOpts {
     /// Parse `args` (without `argv[0]`). Recognized flags:
     /// `--paper`, `--experiments N`, `--campaigns N`, `--seed N`,
-    /// `--only NAME`, `--json`.
+    /// `--only NAME`, `--json`, `--store DIR`, `--jobs N`.
     pub fn parse(args: &[String]) -> Result<HarnessOpts, String> {
         let mut o = HarnessOpts::default();
         let mut it = args.iter();
@@ -79,9 +86,17 @@ impl HarnessOpts {
                     )
                 }
                 "--json" => o.json = true,
+                "--store" => {
+                    o.store = it
+                        .next()
+                        .ok_or_else(|| format!("{a} needs a value"))?
+                        .clone()
+                }
+                "--jobs" => o.jobs = next_num(&mut it, a)? as usize,
                 "--help" | "-h" => {
                     return Err(
-                        "flags: --paper --experiments N --campaigns N --seed N --only NAME --json"
+                        "flags: --paper --experiments N --campaigns N --seed N --only NAME \
+                         --json --store DIR --jobs N"
                             .to_string(),
                     )
                 }
@@ -108,10 +123,7 @@ impl HarnessOpts {
     }
 }
 
-fn next_num<'a>(
-    it: &mut impl Iterator<Item = &'a String>,
-    flag: &str,
-) -> Result<u64, String> {
+fn next_num<'a>(it: &mut impl Iterator<Item = &'a String>, flag: &str) -> Result<u64, String> {
     it.next()
         .ok_or_else(|| format!("{flag} needs a value"))?
         .parse()
@@ -169,6 +181,39 @@ impl TextTable {
     }
 }
 
+/// Open (creating if needed) the orchestration store selected by
+/// `--store` and apply the `--jobs` cap. The study binaries route every
+/// campaign through this store, so a killed run resumes where it
+/// stopped and a finished table re-renders from cache.
+pub fn open_store(opts: &HarnessOpts) -> vulfi_orch::Store {
+    if opts.jobs != 0 {
+        vulfi_orch::set_jobs(opts.jobs);
+    }
+    vulfi_orch::Store::open(&opts.store)
+        .unwrap_or_else(|e| panic!("open store {}: {e}", opts.store))
+}
+
+/// Per-shard progress callback keeping a live status line on stderr —
+/// only when stderr is a terminal, so piped/CI output stays clean.
+pub fn stderr_progress() -> Option<vulfi_orch::ProgressFn> {
+    use std::io::IsTerminal as _;
+    if std::io::stderr().is_terminal() {
+        Some(Box::new(|s: &vulfi_orch::ProgressSnapshot| {
+            eprint!("\r\x1b[K{}", s.render_line());
+        }))
+    } else {
+        None
+    }
+}
+
+/// Erase the live status line left by [`stderr_progress`].
+pub fn clear_progress() {
+    use std::io::IsTerminal as _;
+    if std::io::stderr().is_terminal() {
+        eprint!("\r\x1b[K");
+    }
+}
+
 /// Both ISAs, in the paper's presentation order.
 pub fn isas() -> [VectorIsa; 2] {
     [VectorIsa::Avx, VectorIsa::Sse4]
@@ -206,13 +251,27 @@ mod tests {
 
     #[test]
     fn parse_overrides_and_only() {
-        let o =
-            HarnessOpts::parse(&s(&["--experiments", "10", "--seed", "7", "--only", "Stencil"]))
-                .unwrap();
+        let o = HarnessOpts::parse(&s(&[
+            "--experiments",
+            "10",
+            "--seed",
+            "7",
+            "--only",
+            "Stencil",
+        ]))
+        .unwrap();
         assert_eq!(o.study.experiments_per_campaign, 10);
         assert_eq!(o.study.seed, 7);
         assert!(o.selected("Stencil"));
         assert!(!o.selected("Jacobi"));
+    }
+
+    #[test]
+    fn parse_store_and_jobs() {
+        let o = HarnessOpts::parse(&s(&["--store", "/tmp/r", "--jobs", "3"])).unwrap();
+        assert_eq!(o.store, "/tmp/r");
+        assert_eq!(o.jobs, 3);
+        assert!(HarnessOpts::parse(&s(&["--jobs", "many"])).is_err());
     }
 
     #[test]

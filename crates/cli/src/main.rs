@@ -38,21 +38,32 @@ fn usage() -> String {
      vulfi instrument <file> --category pure-data|control|address [--func NAME]\n  \
      vulfi detect <file> [--func NAME] [--uniform]\n  \
      vulfi campaign --bench NAME [--isa avx|sse] [--category CAT] [--experiments N] [--seed N] [--detectors]\n  \
+     vulfi study --bench NAME [--isa avx|sse] [--category CAT] [--experiments N] [--campaigns N] [--seed N]\n         \
+     [--store DIR] [--resume] [--jobs N] [--shard-size N] [--json] [--detectors]\n  \
+     vulfi results summary [--store DIR] [--json]\n  \
+     vulfi results merge <SRC>... --store DST\n  \
      vulfi profile --bench NAME [--isa avx|sse]\n  \
      vulfi list"
         .to_string()
 }
 
+#[derive(Debug)]
 struct Flags {
     isa: VectorIsa,
     out: Option<String>,
     func: Option<String>,
     category: Option<SiteCategory>,
     bench: Option<String>,
-    experiments: usize,
+    experiments: Option<usize>,
+    campaigns: usize,
     seed: u64,
     detectors: bool,
     uniform: bool,
+    store: String,
+    resume: bool,
+    jobs: Option<usize>,
+    shard_size: usize,
+    json: bool,
     positional: Vec<String>,
 }
 
@@ -63,10 +74,16 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         func: None,
         category: None,
         bench: None,
-        experiments: 200,
+        experiments: None,
+        campaigns: 8,
         seed: 42,
         detectors: false,
         uniform: false,
+        store: "results/store".to_string(),
+        resume: false,
+        jobs: None,
+        shard_size: 25,
+        json: false,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -96,18 +113,43 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             }
             "--bench" => f.bench = Some(val(a)?),
             "--experiments" => {
-                f.experiments = val(a)?
+                f.experiments = Some(
+                    val(a)?
+                        .parse()
+                        .map_err(|_| "--experiments needs a number".to_string())?,
+                )
+            }
+            "--campaigns" => {
+                f.campaigns = val(a)?
                     .parse()
-                    .map_err(|_| "--experiments needs a number".to_string())?
+                    .map_err(|_| "--campaigns needs a number".to_string())?
             }
             "--seed" => {
                 f.seed = val(a)?
                     .parse()
                     .map_err(|_| "--seed needs a number".to_string())?
             }
+            "--store" => f.store = val(a)?,
+            "--jobs" => {
+                f.jobs = Some(
+                    val(a)?
+                        .parse()
+                        .map_err(|_| "--jobs needs a number".to_string())?,
+                )
+            }
+            "--shard-size" => {
+                f.shard_size = val(a)?
+                    .parse::<usize>()
+                    .map_err(|_| "--shard-size needs a number".to_string())?
+                    .max(1)
+            }
+            "--resume" => f.resume = true,
+            "--json" => f.json = true,
             "--detectors" => f.detectors = true,
             "--uniform" => f.uniform = true,
-            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag {other}\n{}", usage()))
+            }
             other => f.positional.push(other.to_string()),
         }
     }
@@ -190,11 +232,8 @@ fn run(args: &[String]) -> Result<(), String> {
             let category = flags.category.ok_or("instrument requires --category")?;
             let mut m = load_module(path, flags.isa)?;
             let fname = pick_func(&m, &flags)?.to_string();
-            let r = vulfi::instrument_module(
-                &mut m,
-                &fname,
-                vulfi::InstrumentOptions::new(category),
-            )?;
+            let r =
+                vulfi::instrument_module(&mut m, &fname, vulfi::InstrumentOptions::new(category))?;
             eprintln!("instrumented {} sites in @{fname}", r.sites.len());
             emit(&vir::printer::print_module(&m), &flags.out)
         }
@@ -221,6 +260,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 .or_else(|| vbench::micro_benchmark(name, flags.isa, scale))
                 .ok_or_else(|| format!("unknown benchmark '{name}' (see `vulfi list`)"))?;
             let category = flags.category.unwrap_or(SiteCategory::PureData);
+            let experiments = flags.experiments.unwrap_or(200);
             let run_one = |w: &dyn Workload| -> Result<(), String> {
                 let prog = vulfi::prepare(w, category).map_err(|e| e.to_string())?;
                 println!(
@@ -229,10 +269,10 @@ fn run(args: &[String]) -> Result<(), String> {
                     flags.isa,
                     category,
                     prog.sites.len(),
-                    flags.experiments,
+                    experiments,
                     flags.seed
                 );
-                let c = vulfi::run_campaign(&prog, w, flags.experiments, flags.seed)
+                let c = vulfi::run_campaign(&prog, w, experiments, flags.seed)
                     .map_err(|e| e.to_string())?;
                 println!(
                     "SDC {:5.1}%   Benign {:5.1}%   Crash {:5.1}%",
@@ -257,6 +297,12 @@ fn run(args: &[String]) -> Result<(), String> {
                 run_one(&w)
             }
         }
+        "study" => run_study_cmd(&flags),
+        "results" => match flags.positional.first().map(String::as_str) {
+            Some("summary") => results_summary(&flags),
+            Some("merge") => results_merge(&flags),
+            _ => Err(format!("results needs a subcommand\n{}", usage())),
+        },
         "profile" => {
             let name = flags.bench.as_deref().ok_or("profile requires --bench")?;
             let scale = vbench::Scale::Test;
@@ -281,7 +327,12 @@ fn run(args: &[String]) -> Result<(), String> {
             );
             println!("hottest opcodes:");
             for (op, n) in mix.hottest().into_iter().take(12) {
-                println!("  {:16} {:>10}  ({:.1}%)", op, n, 100.0 * n as f64 / mix.total as f64);
+                println!(
+                    "  {:16} {:>10}  ({:.1}%)",
+                    op,
+                    n,
+                    100.0 * n as f64 / mix.total as f64
+                );
             }
             Ok(())
         }
@@ -302,6 +353,284 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         other => Err(format!("unknown command '{other}'\n{}", usage())),
     }
+}
+
+fn isa_name(isa: VectorIsa) -> &'static str {
+    match isa {
+        VectorIsa::Avx => "avx",
+        VectorIsa::Sse4 => "sse",
+    }
+}
+
+fn load_bench(name: &str, isa: VectorIsa) -> Result<vbench::SpmdWorkload, String> {
+    let scale = vbench::Scale::Test;
+    vbench::study_benchmark(name, isa, scale)
+        .or_else(|| vbench::micro_benchmark(name, isa, scale))
+        .ok_or_else(|| format!("unknown benchmark '{name}' (see `vulfi list`)"))
+}
+
+/// `vulfi study`: run (or resume) a persistent study through the store.
+fn run_study_cmd(flags: &Flags) -> Result<(), String> {
+    let name = flags.bench.as_deref().ok_or("study requires --bench")?;
+    if let Some(j) = flags.jobs {
+        vulfi_orch::set_jobs(j);
+    }
+    let w = load_bench(name, flags.isa)?;
+    let category = flags.category.unwrap_or(SiteCategory::PureData);
+    let cfg = vulfi::StudyConfig {
+        experiments_per_campaign: flags.experiments.unwrap_or(25),
+        max_campaigns: flags.campaigns,
+        seed: flags.seed,
+        ..vulfi::StudyConfig::default()
+    };
+    let store = vulfi_orch::Store::open(&flags.store).map_err(|e| e.to_string())?;
+    let isa = isa_name(flags.isa);
+
+    let run_one = |w: &dyn Workload| -> Result<(), String> {
+        let prog = vulfi::prepare(w, category).map_err(|e| e.to_string())?;
+        let key = vulfi_orch::study_key(&prog, w.name(), isa, &cfg);
+        let study = store.study(&key);
+        if study.exists() && !flags.resume {
+            let done = study.shards().map_err(|e| e.to_string())?;
+            let plan = vulfi_orch::plan_shards(&cfg, flags.shard_size);
+            let pending = vulfi_orch::missing_jobs(&plan, &done, &cfg).len();
+            if pending > 0 && pending < plan.len() {
+                return Err(format!(
+                    "study {key} has partial results ({}/{} shards stored); \
+                     pass --resume to execute only the missing shards, or remove {}",
+                    plan.len() - pending,
+                    plan.len(),
+                    study.dir().display()
+                ));
+            }
+        }
+        let progress: Option<vulfi_orch::ProgressFn> = if flags.json {
+            None
+        } else {
+            Some(Box::new(|s: &vulfi_orch::ProgressSnapshot| {
+                eprint!("\r{}", s.render_line());
+            }))
+        };
+        let out = vulfi_orch::run_study_persistent(
+            &prog,
+            w,
+            w.name(),
+            isa,
+            &cfg,
+            &store,
+            vulfi_orch::RunOptions {
+                shard_size: flags.shard_size,
+                max_shards: None,
+                progress,
+            },
+        )
+        .map_err(|e| e.to_string())?;
+        if !flags.json && out.executed_shards > 0 {
+            eprintln!();
+        }
+        let r = out
+            .result
+            .ok_or_else(|| "study incomplete after run (store corrupted?)".to_string())?;
+        if flags.json {
+            let doc = serde_json::json!({
+                "key": out.key.0.clone(),
+                "workload": w.name(),
+                "isa": isa,
+                "category": category.name(),
+                "mean_sdc": r.summary.mean,
+                "margin_95": r.summary.margin_95,
+                "campaigns": r.summary.campaigns,
+                "converged": r.converged,
+                "samples": r.samples.clone(),
+                "counts": serde_json::to_value(&r.counts).unwrap(),
+                "shards_total": out.total_shards as u64,
+                "shards_reused": out.reused_shards as u64,
+                "shards_executed": out.executed_shards as u64,
+                "wall_ns": out.wall_ns,
+                "dyn_insts": out.dyn_insts,
+            });
+            println!("{}", serde_json::to_string_pretty(&doc).unwrap());
+        } else {
+            println!(
+                "study {} [{}], category {}, key {}",
+                w.name(),
+                isa,
+                category,
+                out.key
+            );
+            println!(
+                "shards: {} total, {} reused, {} executed",
+                out.total_shards, out.reused_shards, out.executed_shards
+            );
+            println!(
+                "SDC {:.1}% ± {:.1} over {} campaigns ({})",
+                r.summary.mean,
+                r.summary.margin_95,
+                r.summary.campaigns,
+                if r.converged {
+                    "converged"
+                } else {
+                    "not converged"
+                }
+            );
+            println!(
+                "counts: SDC {} Benign {} Crash {} | {} dyn insts | {:.2}s wall",
+                r.counts.sdc,
+                r.counts.benign,
+                r.counts.crash,
+                out.dyn_insts,
+                out.wall_ns as f64 / 1e9
+            );
+            if r.counts.detected > 0 {
+                println!(
+                    "detections: {} total, SDC detection rate {:.1}%",
+                    r.counts.detected,
+                    r.counts.sdc_detection_rate()
+                );
+            }
+        }
+        Ok(())
+    };
+    if flags.detectors {
+        let wd = detectors::WithDetectors::new(&w, detectors::DetectorConfig::default())
+            .map_err(|e| e.to_string())?;
+        run_one(&wd)
+    } else {
+        run_one(&w)
+    }
+}
+
+/// `vulfi results summary`: one line (or JSON record) per stored study.
+fn results_summary(flags: &Flags) -> Result<(), String> {
+    let store = vulfi_orch::Store::open(&flags.store).map_err(|e| e.to_string())?;
+    let keys = store.studies().map_err(|e| e.to_string())?;
+    let mut docs = Vec::new();
+    for key in &keys {
+        let study = store.study(key);
+        let m = study.read_manifest().map_err(|e| e.to_string())?;
+        let shards = study.shards().map_err(|e| e.to_string())?;
+        let covered = vulfi_orch::covered_experiments(&shards, &m.cfg);
+        let total = m.cfg.max_campaigns * m.cfg.experiments_per_campaign;
+        match vulfi_orch::merge(&m.cfg, m.category, &shards) {
+            Some(r) => {
+                if flags.json {
+                    docs.push(serde_json::json!({
+                        "key": key.0.clone(),
+                        "workload": m.workload.clone(),
+                        "isa": m.isa.clone(),
+                        "category": m.category.name(),
+                        "status": "complete",
+                        "mean_sdc": r.summary.mean,
+                        "margin_95": r.summary.margin_95,
+                        "campaigns": r.summary.campaigns,
+                        "converged": r.converged,
+                    }));
+                } else {
+                    println!(
+                        "{}  {:24} {:4} {:9}  SDC {:5.1}% ± {:4.1}  {:2} campaigns  {}",
+                        &key.0[..12],
+                        m.workload,
+                        m.isa,
+                        m.category.name(),
+                        r.summary.mean,
+                        r.summary.margin_95,
+                        r.summary.campaigns,
+                        if r.converged { "converged" } else { "capped" }
+                    );
+                }
+            }
+            None => {
+                if flags.json {
+                    docs.push(serde_json::json!({
+                        "key": key.0.clone(),
+                        "workload": m.workload.clone(),
+                        "isa": m.isa.clone(),
+                        "category": m.category.name(),
+                        "status": "partial",
+                        "covered_experiments": covered as u64,
+                        "total_experiments": total as u64,
+                    }));
+                } else {
+                    println!(
+                        "{}  {:24} {:4} {:9}  partial: {}/{} experiments",
+                        &key.0[..12],
+                        m.workload,
+                        m.isa,
+                        m.category.name(),
+                        covered,
+                        total
+                    );
+                }
+            }
+        }
+    }
+    if flags.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&serde_json::Value::Array(docs)).unwrap()
+        );
+    } else if keys.is_empty() {
+        println!("no studies under {}", flags.store);
+    }
+    Ok(())
+}
+
+/// `vulfi results merge <SRC>... --store DST`: fold shard logs from other
+/// stores (e.g. per-machine result dirs) into one, skipping shards whose
+/// experiments the destination already covers.
+fn results_merge(flags: &Flags) -> Result<(), String> {
+    let srcs = &flags.positional[1..];
+    if srcs.is_empty() {
+        return Err(format!(
+            "results merge needs source store dirs\n{}",
+            usage()
+        ));
+    }
+    let dst = vulfi_orch::Store::open(&flags.store).map_err(|e| e.to_string())?;
+    let mut studies = 0usize;
+    let mut appended = 0usize;
+    for src in srcs {
+        let src_store = vulfi_orch::Store::open(src).map_err(|e| e.to_string())?;
+        for key in src_store.studies().map_err(|e| e.to_string())? {
+            let from = src_store.study(&key);
+            let manifest = from.read_manifest().map_err(|e| e.to_string())?;
+            let to = dst.study(&key);
+            if !to.exists() {
+                let mut m = manifest.clone();
+                m.complete = false;
+                to.write_manifest(&m).map_err(|e| e.to_string())?;
+            }
+            studies += 1;
+            let mut have: std::collections::HashSet<(usize, usize)> = to
+                .shards()
+                .map_err(|e| e.to_string())?
+                .iter()
+                .flat_map(|r| (r.start..r.end).map(move |i| (r.campaign, i)))
+                .collect();
+            for rec in from.shards().map_err(|e| e.to_string())? {
+                if (rec.start..rec.end).any(|i| !have.contains(&(rec.campaign, i))) {
+                    to.append_shard(&rec).map_err(|e| e.to_string())?;
+                    have.extend((rec.start..rec.end).map(|i| (rec.campaign, i)));
+                    appended += 1;
+                }
+            }
+            let shards = to.shards().map_err(|e| e.to_string())?;
+            if vulfi_orch::merge(&manifest.cfg, manifest.category, &shards).is_some() {
+                let mut m = to.read_manifest().map_err(|e| e.to_string())?;
+                if !m.complete {
+                    m.complete = true;
+                    to.write_manifest(&m).map_err(|e| e.to_string())?;
+                }
+            }
+        }
+    }
+    println!(
+        "merged {studies} stud{} from {} store(s): {appended} new shard(s) into {}",
+        if studies == 1 { "y" } else { "ies" },
+        srcs.len(),
+        flags.store
+    );
+    Ok(())
 }
 
 #[cfg(test)]
@@ -376,7 +705,14 @@ export void scale(uniform float a[], uniform int n, uniform float s) {
         .unwrap();
         assert!(fs::read_to_string(&out).unwrap().contains("@vulfi.inject"));
         let out2 = std::env::temp_dir().join("vulfi_cli_test_det.vir");
-        run(&s(&["detect", &path, "--uniform", "-o", out2.to_str().unwrap()])).unwrap();
+        run(&s(&[
+            "detect",
+            &path,
+            "--uniform",
+            "-o",
+            out2.to_str().unwrap(),
+        ]))
+        .unwrap();
         let text = fs::read_to_string(&out2).unwrap();
         assert!(text.contains("@vulfi.check.foreach"));
         assert!(text.contains("@vulfi.check.uniform"));
@@ -403,6 +739,138 @@ export void scale(uniform float a[], uniform int n, uniform float s) {
     }
 
     #[test]
+    fn unknown_flag_error_includes_usage() {
+        let e = parse_flags(&s(&["--definitely-not-a-flag"])).unwrap_err();
+        assert!(e.contains("usage:"), "{e}");
+        assert!(e.contains("vulfi study"), "{e}");
+    }
+
+    #[test]
+    fn study_flags_parse() {
+        let f = parse_flags(&s(&[
+            "--bench",
+            "vector sum",
+            "--jobs",
+            "2",
+            "--shard-size",
+            "5",
+            "--store",
+            "/tmp/x",
+            "--resume",
+            "--json",
+            "--campaigns",
+            "6",
+        ]))
+        .unwrap();
+        assert_eq!(f.jobs, Some(2));
+        assert_eq!(f.shard_size, 5);
+        assert_eq!(f.store, "/tmp/x");
+        assert!(f.resume && f.json);
+        assert_eq!(f.campaigns, 6);
+        assert!(parse_flags(&s(&["--jobs", "two"])).is_err());
+    }
+
+    fn temp_store(tag: &str) -> String {
+        let dir =
+            std::env::temp_dir().join(format!("vulfi_cli_store_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn study_results_and_merge_commands() {
+        let store = temp_store("study");
+        let base = [
+            "study",
+            "--bench",
+            "vector sum",
+            "--experiments",
+            "12",
+            "--campaigns",
+            "5",
+            "--seed",
+            "7",
+            "--shard-size",
+            "5",
+            "--store",
+            &store,
+        ];
+        run(&s(&base)).unwrap();
+        // Re-run: fully cached, also fine with --json output.
+        let mut cached: Vec<&str> = base.to_vec();
+        cached.push("--json");
+        run(&s(&cached)).unwrap();
+        run(&s(&["results", "summary", "--store", &store])).unwrap();
+        run(&s(&["results", "summary", "--store", &store, "--json"])).unwrap();
+        // Merge into a fresh destination store carries the study over.
+        let dst = temp_store("merged");
+        run(&s(&["results", "merge", &store, "--store", &dst])).unwrap();
+        run(&s(&["results", "summary", "--store", &dst])).unwrap();
+        let merged_keys = vulfi_orch::Store::open(&dst).unwrap().studies().unwrap();
+        assert_eq!(merged_keys.len(), 1);
+        assert!(
+            run(&s(&["results", "merge", "--store", &dst])).is_err(),
+            "no sources"
+        );
+        assert!(run(&s(&["results", "bogus"])).is_err());
+    }
+
+    #[test]
+    fn partial_study_requires_resume_flag() {
+        let store_dir = temp_store("partial");
+        // Simulate a killed run: execute only 1 shard through the orch API
+        // with the exact configuration the CLI will derive.
+        let w = vbench::micro_benchmark("vector sum", VectorIsa::Avx, vbench::Scale::Test).unwrap();
+        let prog = vulfi::prepare(&w, SiteCategory::PureData).unwrap();
+        let cfg = vulfi::StudyConfig {
+            experiments_per_campaign: 12,
+            max_campaigns: 5,
+            seed: 7,
+            ..vulfi::StudyConfig::default()
+        };
+        let store = vulfi_orch::Store::open(&store_dir).unwrap();
+        vulfi_orch::run_study_persistent(
+            &prog,
+            &w,
+            w.name(),
+            "avx",
+            &cfg,
+            &store,
+            vulfi_orch::RunOptions {
+                shard_size: 5,
+                max_shards: Some(1),
+                progress: None,
+            },
+        )
+        .unwrap();
+
+        let base = |extra: &[&str]| {
+            let mut v = s(&[
+                "study",
+                "--bench",
+                "vector sum",
+                "--experiments",
+                "12",
+                "--campaigns",
+                "5",
+                "--seed",
+                "7",
+                "--shard-size",
+                "5",
+                "--store",
+                &store_dir,
+            ]);
+            v.extend(extra.iter().map(|x| x.to_string()));
+            v
+        };
+        let err = run(&base(&[])).unwrap_err();
+        assert!(err.contains("--resume"), "{err}");
+        run(&base(&["--resume"])).unwrap();
+        // Now complete: running again without --resume is a cache hit.
+        run(&base(&[])).unwrap();
+    }
+
+    #[test]
     fn errors_are_reported_not_panicked() {
         assert!(run(&s(&["compile", "/nonexistent/xyz.spmd"])).is_err());
         let bad = write_temp("bad.spmd", "export void f( {");
@@ -410,7 +878,10 @@ export void scale(uniform float a[], uniform int n, uniform float s) {
         let badvir = write_temp("bad.vir", "define nonsense");
         assert!(run(&s(&["compile", &badvir])).is_err());
         let path = write_temp("scale3.spmd", KERNEL);
-        assert!(run(&s(&["instrument", &path])).is_err(), "missing --category");
+        assert!(
+            run(&s(&["instrument", &path])).is_err(),
+            "missing --category"
+        );
         assert!(run(&s(&["sites", &path, "--func", "missing"])).is_err());
     }
 }

@@ -39,7 +39,7 @@ pub enum Outcome {
 }
 
 /// One completed experiment.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Experiment {
     pub outcome: Outcome,
     /// Did an inserted detector flag the run?
@@ -74,10 +74,7 @@ pub struct Prepared {
 }
 
 /// Instrument `workload`'s module for the given category.
-pub fn prepare(
-    workload: &dyn Workload,
-    category: SiteCategory,
-) -> Result<Prepared, CampaignError> {
+pub fn prepare(workload: &dyn Workload, category: SiteCategory) -> Result<Prepared, CampaignError> {
     prepare_with(workload, InstrumentOptions::new(category))
 }
 
@@ -87,8 +84,8 @@ pub fn prepare_with(
     opts: InstrumentOptions,
 ) -> Result<Prepared, CampaignError> {
     let mut module = workload.module().clone();
-    let Instrumented { sites } = instrument_module(&mut module, workload.entry(), opts)
-        .map_err(CampaignError)?;
+    let Instrumented { sites } =
+        instrument_module(&mut module, workload.entry(), opts).map_err(CampaignError)?;
     Ok(Prepared {
         module,
         entry: workload.entry().to_string(),
@@ -235,7 +232,7 @@ fn percent(num: u64, den: u64) -> f64 {
 }
 
 /// One campaign: `n` independent experiments (paper: 100).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct CampaignResult {
     pub counts: OutcomeCounts,
     pub experiments: Vec<Experiment>,
@@ -245,6 +242,42 @@ impl CampaignResult {
     pub fn sdc_rate(&self) -> f64 {
         self.counts.sdc_rate()
     }
+}
+
+/// Seed of campaign `c` within a study seeded `study_seed`.
+///
+/// Every driver (run_study, the orchestrator's shard scheduler) derives
+/// campaign seeds through this one function so results are bit-identical
+/// regardless of how experiments are grouped into shards or threads.
+pub fn campaign_seed(study_seed: u64, c: usize) -> u64 {
+    study_seed.wrapping_add((c as u64) << 32)
+}
+
+/// RNG of experiment `i` within a campaign seeded `campaign_seed`.
+pub fn experiment_rng(campaign_seed: u64, i: usize) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(
+        campaign_seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(i as u64),
+    )
+}
+
+/// Run experiments `range` of the campaign seeded `campaign_seed`,
+/// sequentially. This is the shard-level entry point: concatenating the
+/// results of any partition of `0..n` into ranges equals the experiment
+/// list of [`run_campaign`] with the same seed.
+pub fn run_experiment_range(
+    prog: &Prepared,
+    workload: &dyn Workload,
+    campaign_seed: u64,
+    range: std::ops::Range<usize>,
+) -> Result<Vec<Experiment>, CampaignError> {
+    range
+        .map(|i| {
+            let mut rng = experiment_rng(campaign_seed, i);
+            run_experiment(prog, workload, &mut rng)
+        })
+        .collect()
 }
 
 /// Run one campaign of `n` experiments in parallel. `seed` makes the
@@ -258,9 +291,7 @@ pub fn run_campaign(
     let experiments: Result<Vec<Experiment>, CampaignError> = (0..n)
         .into_par_iter()
         .map(|i| {
-            let mut rng = ChaCha8Rng::seed_from_u64(
-                seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i as u64),
-            );
+            let mut rng = experiment_rng(seed, i);
             run_experiment(prog, workload, &mut rng)
         })
         .collect();
@@ -303,7 +334,7 @@ impl Default for StudyConfig {
 }
 
 /// A completed study for one (workload, category) cell.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct StudyResult {
     pub category: SiteCategory,
     /// Per-campaign SDC rates (the statistical samples).
@@ -327,7 +358,7 @@ pub fn run_study(
             prog,
             workload,
             cfg.experiments_per_campaign,
-            cfg.seed.wrapping_add((c as u64) << 32),
+            campaign_seed(cfg.seed, c),
         )?;
         samples.push(campaign.sdc_rate());
         counts.merge(&campaign.counts);
@@ -367,8 +398,8 @@ pub fn measure_dyn_insts(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vexec::{Memory, RtVal, Scalar};
     use crate::workload::{OutputRegion, SetupResult};
+    use vexec::{Memory, RtVal, Scalar};
 
     /// A tiny but real workload: scale an array in-place.
     struct ScaleWorkload {
@@ -506,11 +537,33 @@ exit:
         };
         let s = run_study(&prog, &w, &cfg).unwrap();
         assert!(s.samples.len() >= 4);
-        assert_eq!(
-            s.counts.total(),
-            s.samples.len() as u64 * 30,
-        );
+        assert_eq!(s.counts.total(), s.samples.len() as u64 * 30,);
         assert!(s.summary.mean >= 0.0);
+    }
+
+    #[test]
+    fn sharded_ranges_equal_whole_campaign() {
+        let w = ScaleWorkload::new();
+        let prog = prepare(&w, SiteCategory::PureData).unwrap();
+        let seed = campaign_seed(0xDEAD_BEEF, 2);
+        let whole = run_campaign(&prog, &w, 30, seed).unwrap();
+        // Any partition of 0..30 must reproduce the same experiments.
+        let mut pieced = Vec::new();
+        for range in [0..7, 7..8, 8..21, 21..30] {
+            pieced.extend(run_experiment_range(&prog, &w, seed, range).unwrap());
+        }
+        assert_eq!(whole.experiments, pieced);
+    }
+
+    #[test]
+    fn experiment_serde_roundtrip() {
+        let w = ScaleWorkload::new();
+        let prog = prepare(&w, SiteCategory::PureData).unwrap();
+        let mut rng = experiment_rng(99, 0);
+        let e = run_experiment(&prog, &w, &mut rng).unwrap();
+        let text = serde_json::to_string(&e).unwrap();
+        let back: Experiment = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, e);
     }
 
     #[test]

@@ -20,9 +20,7 @@
 //! scalar-era injector that targets dead lanes too.
 
 use vir::analysis::SiteCategory;
-use vir::{
-    Constant, FuncDecl, Function, InstId, InstKind, Module, Operand, ScalarTy, Type,
-};
+use vir::{Constant, FuncDecl, Function, InstId, InstKind, Module, Operand, ScalarTy, Type};
 
 use crate::sites::{enumerate_operand_sites, enumerate_sites, SiteKind, StaticSite};
 
@@ -279,7 +277,9 @@ fn instrument_site(f: &mut Function, site: &StaticSite, mask_aware: bool) {
             f.replace_uses(result, result_op, &chain);
         }
         SiteKind::StoreValue { operand_index } => {
-            let ok = f.inst_mut(site.inst).set_operand_at(operand_index, result_op);
+            let ok = f
+                .inst_mut(site.inst)
+                .set_operand_at(operand_index, result_op);
             debug_assert!(ok, "operand index valid");
         }
     }
@@ -370,16 +370,22 @@ entry:
         assert_eq!(r.sites.len(), 2); // maskload Lvalue + maskstore value
         let text = print_module(&m);
         // Per-lane extract of both value and mask, as in paper Fig. 5(B).
-        assert!(text.contains("extractelement <8 x float> %0, i32 0"), "{text}");
+        assert!(
+            text.contains("extractelement <8 x float> %0, i32 0"),
+            "{text}"
+        );
         assert!(
             text.contains("extractelement <8 x float> %floatmask.i, i32 0"),
             "{text}"
         );
-        assert!(text.contains("call float @vulfi.inject.f32(float"), "{text}");
+        assert!(
+            text.contains("call float @vulfi.inject.f32(float"),
+            "{text}"
+        );
         assert!(text.contains("insertelement <8 x float>"), "{text}");
         // 8 lanes × 2 sites = 16 inject calls.
         assert_eq!(text.matches("@vulfi.inject.f32(").count(), 16 + 1, "{text}"); // +1 declare
-        // The maskstore's stored value must now be the final insertelement.
+                                                                                  // The maskstore's stored value must now be the final insertelement.
         assert!(
             text.contains("<8 x float> %floatmask.i, <8 x float> %ins7.s1)"),
             "{text}"
@@ -398,7 +404,10 @@ entry:
         let mut m = parse(src);
         instrument_module(&mut m, "v", InstrumentOptions::new(SiteCategory::PureData)).unwrap();
         let text = print_module(&m);
-        assert!(text.contains("call i32 @vulfi.inject.i32(i32 %ext0.s0, i1 true"), "{text}");
+        assert!(
+            text.contains("call i32 @vulfi.inject.i32(i32 %ext0.s0, i1 true"),
+            "{text}"
+        );
     }
 
     #[test]
@@ -476,8 +485,8 @@ entry:
 #[cfg(test)]
 mod operand_mode_tests {
     use super::*;
-    use vexec::{Interp, RtVal, Scalar};
     use crate::runtime::VulfiHost;
+    use vexec::{Interp, RtVal, Scalar};
 
     const LOOP_SRC: &str = r#"
 define i32 @sum(ptr %a, i32 %n) {
@@ -519,8 +528,12 @@ exit:
     #[test]
     fn operand_mode_is_transparent_and_runnable() {
         let mut m = vir::parser::parse_module(LOOP_SRC).unwrap();
-        instrument_module(&mut m, "sum", InstrumentOptions::operands(SiteCategory::Control))
-            .unwrap();
+        instrument_module(
+            &mut m,
+            "sum",
+            InstrumentOptions::operands(SiteCategory::Control),
+        )
+        .unwrap();
         vir::verify::verify_module(&m).unwrap();
         let mut interp = Interp::new(&m);
         let a = interp.mem.alloc_i32_slice(&[5, 6, 7]).unwrap();

@@ -56,11 +56,13 @@ pub mod stats;
 pub mod workload;
 
 pub use campaign::{
-    prepare, prepare_with, run_campaign, run_experiment, run_study, CampaignError,
-    CampaignResult, Experiment, Outcome, OutcomeCounts, Prepared, StudyConfig, StudyResult,
+    campaign_seed, experiment_rng, prepare, prepare_with, run_campaign, run_experiment,
+    run_experiment_range, run_study, CampaignError, CampaignResult, Experiment, Outcome,
+    OutcomeCounts, Prepared, StudyConfig, StudyResult,
 };
 pub use instrument::{instrument_module, InstrumentOptions, Instrumented};
 pub use report::{StudyReport, SuiteReport};
 pub use runtime::{DetectorStats, InjectionRecord, RunMode, VulfiHost};
-pub use sites::{enumerate_sites, category_mix, CategoryMix, SiteKind, StaticSite};
+pub use sites::{category_mix, enumerate_sites, CategoryMix, SiteKind, StaticSite};
+pub use stats::{study_converged, StudySummary};
 pub use workload::{OutputRegion, SetupResult, Workload};

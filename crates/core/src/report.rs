@@ -90,8 +90,7 @@ impl SuiteReport {
                 let avg = if cells.is_empty() {
                     0.0
                 } else {
-                    cells.iter().map(|c| c.counts.crash_rate()).sum::<f64>()
-                        / cells.len() as f64
+                    cells.iter().map(|c| c.counts.crash_rate()).sum::<f64>() / cells.len() as f64
                 };
                 (cat, avg)
             })

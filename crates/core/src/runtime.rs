@@ -71,7 +71,10 @@ impl VulfiHost {
     /// Faulty-run host: flips one bit at dynamic site `target` (1-based).
     pub fn inject(target: u64, bit_entropy: u64) -> VulfiHost {
         VulfiHost {
-            mode: RunMode::Inject { target, bit_entropy },
+            mode: RunMode::Inject {
+                target,
+                bit_entropy,
+            },
             dynamic_sites: 0,
             injection: None,
             detectors: DetectorStats::default(),
@@ -96,7 +99,11 @@ impl VulfiHost {
             return Ok(Some(RtVal::Scalar(val)));
         }
         self.dynamic_sites += 1;
-        if let RunMode::Inject { target, bit_entropy } = self.mode {
+        if let RunMode::Inject {
+            target,
+            bit_entropy,
+        } = self.mode
+        {
             if self.dynamic_sites == target && self.injection.is_none() {
                 let bit = (bit_entropy % val.ty.bits() as u64) as u32;
                 let flipped = val.flip_bit(bit);
@@ -173,11 +180,7 @@ mod tests {
     use super::*;
     use vexec::{Memory, Scalar};
 
-    fn call(
-        h: &mut VulfiHost,
-        name: &str,
-        args: Vec<RtVal>,
-    ) -> Result<Option<RtVal>, Trap> {
+    fn call(h: &mut VulfiHost, name: &str, args: Vec<RtVal>) -> Result<Option<RtVal>, Trap> {
         let mut mem = Memory::default();
         h.call(name, &args, &mut mem)
     }

@@ -99,9 +99,7 @@ pub fn enumerate_sites(f: &Function) -> Vec<StaticSite> {
         // Store-like: the value operand is the site.
         let store_val_op: Option<(usize, Operand)> = match &inst.kind {
             InstKind::Store { val, .. } => Some((0, val.clone())),
-            InstKind::Call { args, .. } => {
-                store_value.map(|ix| (ix, args[ix].clone()))
-            }
+            InstKind::Call { args, .. } => store_value.map(|ix| (ix, args[ix].clone())),
             _ => None,
         };
         if let Some((ix, val)) = store_val_op {
@@ -347,7 +345,10 @@ entry:
         assert_eq!(load_site.mask, Some(MaskSource { arg_index: 1 }));
         assert_eq!(load_site.lanes(), 8);
         let store_site = &sites[1];
-        assert!(matches!(store_site.kind, SiteKind::StoreValue { operand_index: 2 }));
+        assert!(matches!(
+            store_site.kind,
+            SiteKind::StoreValue { operand_index: 2 }
+        ));
         assert_eq!(store_site.mask, Some(MaskSource { arg_index: 1 }));
     }
 

@@ -74,7 +74,9 @@ pub fn find_foreach_loops(f: &Function) -> Vec<ForeachLoop> {
             let phi_val = phi.result.unwrap();
             // Find an incoming edge whose value is `add phi, C`.
             for (latch, inc_op) in incomings {
-                let Some(inc_val) = inc_op.value() else { continue };
+                let Some(inc_val) = inc_op.value() else {
+                    continue;
+                };
                 let Some(def) = instruction_defining(f, inc_val) else {
                     continue;
                 };
@@ -109,7 +111,9 @@ pub fn find_foreach_loops(f: &Function) -> Vec<ForeachLoop> {
                 if *on_true != header {
                     continue;
                 }
-                let Some(cond_val) = cond.value() else { continue };
+                let Some(cond_val) = cond.value() else {
+                    continue;
+                };
                 let Some(cmp_def) = instruction_defining(f, cond_val) else {
                     continue;
                 };
@@ -190,7 +194,11 @@ fn insert_one(f: &mut Function, lp: &ForeachLoop, id: i64, placement: CheckPlace
     // `foreach_fullbody_check_invariants`).
     let det = f.add_block(format!(
         "foreach_fullbody_check_invariants{}",
-        if id == 0 { String::new() } else { format!(".{id}") }
+        if id == 0 {
+            String::new()
+        } else {
+            format!(".{id}")
+        }
     ));
     let call = f.create_inst(
         InstKind::Call {
@@ -376,7 +384,9 @@ export void two(uniform float a[], uniform float b[], uniform int n) {
             let natural = vir::analysis::find_loops(f);
             for lp in &loops {
                 assert!(
-                    natural.iter().any(|n| n.header == lp.header && n.contains(lp.latch)),
+                    natural
+                        .iter()
+                        .any(|n| n.header == lp.header && n.contains(lp.latch)),
                     "{name}: matched foreach at %{} is not a natural loop",
                     f.block(lp.header).name
                 );
@@ -388,14 +398,17 @@ export void two(uniform float a[], uniform float b[], uniform int n) {
         // Small local kernels shaped like the named benchmarks (this crate
         // cannot depend on vbench without a cycle).
         let src = match src_kind {
-            "Stencil" => r#"
+            "Stencil" => {
+                r#"
 export void k(uniform float a[], uniform float b[], uniform int n) {
     foreach (i = 1 ... n) {
         b[i] = a[i - 1] + a[i + 1];
     }
 }
-"#,
-            "Jacobi" => r#"
+"#
+            }
+            "Jacobi" => {
+                r#"
 export void k(uniform float a[], uniform float b[], uniform int n) {
     for (uniform int t = 0; t < 3; t++) {
         foreach (i = 0 ... n) {
@@ -406,8 +419,10 @@ export void k(uniform float a[], uniform float b[], uniform int n) {
         }
     }
 }
-"#,
-            _ => r#"
+"#
+            }
+            _ => {
+                r#"
 export uniform float k(uniform float a[], uniform int n) {
     uniform float s = 0.0;
     foreach (i = 0 ... n) {
@@ -415,7 +430,8 @@ export uniform float k(uniform float a[], uniform int n) {
     }
     return s;
 }
-"#,
+"#
+            }
         };
         compile(src, VectorIsa::Avx, src_kind).unwrap()
     }

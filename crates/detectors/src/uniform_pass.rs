@@ -41,10 +41,7 @@ pub fn find_broadcasts(f: &Function) -> Vec<Broadcast> {
             continue;
         }
         // Second operand is undef.
-        let b_is_undef = matches!(
-            b.constant().map(|c| &c.data),
-            Some(ConstData::Undef)
-        );
+        let b_is_undef = matches!(b.constant().map(|c| &c.data), Some(ConstData::Undef));
         if !b_is_undef {
             continue;
         }
@@ -56,10 +53,7 @@ pub fn find_broadcasts(f: &Function) -> Vec<Broadcast> {
         let InstKind::InsertElement { vec, idx, .. } = &f.inst(a_def).kind else {
             continue;
         };
-        let vec_is_undef = matches!(
-            vec.constant().map(|c| &c.data),
-            Some(ConstData::Undef)
-        );
+        let vec_is_undef = matches!(vec.constant().map(|c| &c.data), Some(ConstData::Undef));
         let idx_is_zero = idx.constant().and_then(|c| c.as_i64()) == Some(0);
         if vec_is_undef && idx_is_zero {
             out.push(Broadcast { shuffle: iid });

@@ -151,7 +151,10 @@ export void vcopy_ispc(uniform float a1[], uniform float a2[], uniform int n) {
         let with = vulfi::campaign::measure_dyn_insts(wd.module(), wd.entry(), &wd, 0).unwrap();
         assert!(with > plain, "detector adds instructions");
         let overhead = (with - plain) as f64 / plain as f64;
-        assert!(overhead < 0.25, "exit-only detector overhead small, got {overhead}");
+        assert!(
+            overhead < 0.25,
+            "exit-only detector overhead small, got {overhead}"
+        );
     }
 
     #[test]

@@ -1,0 +1,56 @@
+//! # vulfi-orch — persistent, resumable campaign orchestration
+//!
+//! `vulfi::run_study` answers "what is this workload's SDC rate?" in one
+//! blocking call. This crate wraps the same experiment machinery in the
+//! operational layer a long evaluation needs:
+//!
+//! - **Content-addressed studies** ([`key`]): a study's identity is the
+//!   hash of its instrumented IR, category, ISA, seed, and full
+//!   configuration, so re-running a finished study is a cache hit and
+//!   changing any input lands in a fresh directory.
+//! - **Crash-tolerant persistence** ([`store`]): shards append to a JSONL
+//!   log; the manifest is replaced atomically. Killing a run loses at
+//!   most the in-flight shards.
+//! - **Deterministic sharding** ([`plan`]): every experiment's RNG
+//!   derives from its `(campaign, index)` coordinates, so any partition
+//!   into shards, on any thread count, merges to the bit-identical
+//!   result of an uninterrupted sequential run.
+//! - **Live observability** ([`observe`]): experiments/sec, ETA, and
+//!   running SDC/Benign/Crash counts after every shard.
+//!
+//! ```no_run
+//! # use vulfi_orch::{run_study_persistent, RunOptions, Store};
+//! # fn demo(prog: &vulfi::Prepared, w: &dyn vulfi::Workload) -> Result<(), vulfi_orch::OrchError> {
+//! let store = Store::open("results/store")?;
+//! let cfg = vulfi::StudyConfig::default();
+//! let out = run_study_persistent(prog, w, "Stencil", "avx", &cfg, &store, RunOptions::default())?;
+//! if let Some(result) = out.result {
+//!     println!("SDC {:.1}% ± {:.1}", result.summary.mean, result.summary.margin_95);
+//! }
+//! # Ok(()) }
+//! ```
+
+pub mod key;
+pub mod observe;
+pub mod plan;
+pub mod run;
+pub mod store;
+
+pub use key::{study_key, StudyKey};
+pub use observe::{Progress, ProgressSnapshot};
+pub use plan::{covered_experiments, merge, merged_dyn_insts, missing_jobs, plan_shards, ShardJob};
+pub use run::{run_study_persistent, set_jobs, ProgressFn, RunOptions, RunOutcome};
+pub use store::{Manifest, ShardRecord, Store, StudyStore};
+
+/// Orchestration-layer error (I/O, storage corruption, or a campaign
+/// failure bubbled up from the experiment runner).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrchError(pub String);
+
+impl std::fmt::Display for OrchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "orchestration error: {}", self.0)
+    }
+}
+
+impl std::error::Error for OrchError {}

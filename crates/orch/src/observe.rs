@@ -1,0 +1,136 @@
+//! Live observability for running studies.
+//!
+//! The runner updates a [`Progress`] under its store lock after every
+//! shard; callers receive a [`ProgressSnapshot`] through their callback
+//! and render it however they like ([`ProgressSnapshot::render_line`]
+//! for terminals, `serde_json` for `--json` streams).
+
+use std::time::Instant;
+
+use vulfi::OutcomeCounts;
+
+/// Mutable progress state owned by the runner.
+#[derive(Debug)]
+pub struct Progress {
+    /// Experiments in the full plan (all campaigns × experiments each).
+    pub total: u64,
+    /// Experiments covered by shards reused from the store.
+    pub resumed: u64,
+    /// Experiments executed by this invocation so far.
+    pub executed: u64,
+    /// Outcome counts over everything seen so far (resumed + executed).
+    pub counts: OutcomeCounts,
+    /// Golden-run dynamic instructions over everything seen so far.
+    pub dyn_insts: u64,
+    started: Instant,
+}
+
+impl Progress {
+    pub fn start(total: u64) -> Progress {
+        Progress {
+            total,
+            resumed: 0,
+            executed: 0,
+            counts: OutcomeCounts::default(),
+            dyn_insts: 0,
+            started: Instant::now(),
+        }
+    }
+
+    pub fn snapshot(&self) -> ProgressSnapshot {
+        let elapsed = self.started.elapsed().as_secs_f64();
+        // Rate over what this invocation actually ran; resumed shards
+        // were free and would inflate the ETA's denominator.
+        let eps = if elapsed > 0.0 {
+            self.executed as f64 / elapsed
+        } else {
+            0.0
+        };
+        let done = self.resumed + self.executed;
+        let remaining = self.total.saturating_sub(done);
+        let eta_secs = if eps > 0.0 {
+            remaining as f64 / eps
+        } else {
+            f64::INFINITY
+        };
+        ProgressSnapshot {
+            done,
+            total: self.total,
+            resumed: self.resumed,
+            executed: self.executed,
+            elapsed_secs: elapsed,
+            experiments_per_sec: eps,
+            eta_secs,
+            counts: self.counts,
+            dyn_insts: self.dyn_insts,
+        }
+    }
+}
+
+/// One point-in-time view of a study run.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ProgressSnapshot {
+    pub done: u64,
+    pub total: u64,
+    pub resumed: u64,
+    pub executed: u64,
+    pub elapsed_secs: f64,
+    pub experiments_per_sec: f64,
+    /// `Infinity` until the first shard of this invocation lands.
+    pub eta_secs: f64,
+    pub counts: OutcomeCounts,
+    pub dyn_insts: u64,
+}
+
+impl ProgressSnapshot {
+    /// A single status line, e.g.
+    /// `[ 120/600] 412.3 exp/s ETA 1.2s | SDC 34 Benign 71 Crash 15 | 1.2M dyn insts`.
+    pub fn render_line(&self) -> String {
+        let eta = if self.eta_secs.is_finite() {
+            format!("{:.1}s", self.eta_secs)
+        } else {
+            "?".to_string()
+        };
+        format!(
+            "[{:>6}/{}] {:.1} exp/s ETA {} | SDC {} Benign {} Crash {} | {} dyn insts",
+            self.done,
+            self.total,
+            self.experiments_per_sec,
+            eta,
+            self.counts.sdc,
+            self.counts.benign,
+            self.counts.crash,
+            self.dyn_insts,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_accounts_resumed_and_executed() {
+        let mut p = Progress::start(100);
+        p.resumed = 40;
+        p.executed = 10;
+        p.counts.sdc = 5;
+        let s = p.snapshot();
+        assert_eq!(s.done, 50);
+        assert_eq!(s.total, 100);
+        assert!(s.experiments_per_sec >= 0.0);
+        let line = s.render_line();
+        assert!(line.contains("50/100"), "{line}");
+        assert!(line.contains("SDC 5"), "{line}");
+    }
+
+    #[test]
+    fn snapshot_serializes() {
+        let p = Progress::start(10);
+        let text = serde_json::to_string(&p.snapshot()).unwrap();
+        assert!(
+            text.contains("\"total\": 10") || text.contains("\"total\":10"),
+            "{text}"
+        );
+    }
+}

@@ -1,0 +1,256 @@
+//! Deterministic shard planning and order-independent merging.
+//!
+//! A **shard** is a contiguous range of experiment indices within one
+//! campaign. Because every experiment's RNG is derived from
+//! `(campaign, index)` alone (`vulfi::campaign_seed` /
+//! `vulfi::experiment_rng`), any partition of a study into shards —
+//! executed in any order, on any number of threads, across any number of
+//! interrupted runs — merges back to the bit-identical result of
+//! `vulfi::run_study`.
+
+use vir::analysis::SiteCategory;
+use vulfi::{study_converged, Experiment, OutcomeCounts, StudyConfig, StudyResult, StudySummary};
+
+use crate::store::ShardRecord;
+
+/// One unit of schedulable work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardJob {
+    pub campaign: usize,
+    pub start: usize,
+    pub end: usize,
+}
+
+impl ShardJob {
+    pub fn experiments(&self) -> usize {
+        self.end - self.start
+    }
+}
+
+/// Split a study into shards of at most `shard_size` experiments.
+///
+/// All `max_campaigns` campaigns are planned; merging applies the
+/// stopping rule on the campaign prefix, so extra campaigns past the
+/// convergence point are stored but never counted.
+pub fn plan_shards(cfg: &StudyConfig, shard_size: usize) -> Vec<ShardJob> {
+    let shard_size = shard_size.max(1);
+    let mut jobs = Vec::new();
+    for campaign in 0..cfg.max_campaigns {
+        let mut start = 0;
+        while start < cfg.experiments_per_campaign {
+            let end = (start + shard_size).min(cfg.experiments_per_campaign);
+            jobs.push(ShardJob {
+                campaign,
+                start,
+                end,
+            });
+            start = end;
+        }
+    }
+    jobs
+}
+
+/// Which planned jobs are already covered by stored shards?
+///
+/// Coverage is tracked per experiment index, so records written under a
+/// different shard size still count.
+pub fn missing_jobs(plan: &[ShardJob], done: &[ShardRecord], cfg: &StudyConfig) -> Vec<ShardJob> {
+    let covered = coverage(done, cfg);
+    plan.iter()
+        .filter(|j| (j.start..j.end).any(|i| !covered[j.campaign][i]))
+        .copied()
+        .collect()
+}
+
+fn coverage(done: &[ShardRecord], cfg: &StudyConfig) -> Vec<Vec<bool>> {
+    let mut covered = vec![vec![false; cfg.experiments_per_campaign]; cfg.max_campaigns];
+    for rec in done {
+        if rec.campaign >= cfg.max_campaigns {
+            continue;
+        }
+        for (off, _) in rec.experiments.iter().enumerate() {
+            let i = rec.start + off;
+            if i < rec.end && i < cfg.experiments_per_campaign {
+                covered[rec.campaign][i] = true;
+            }
+        }
+    }
+    covered
+}
+
+/// Number of experiments already covered by stored shards.
+pub fn covered_experiments(done: &[ShardRecord], cfg: &StudyConfig) -> usize {
+    coverage(done, cfg)
+        .iter()
+        .map(|c| c.iter().filter(|&&b| b).count())
+        .sum()
+}
+
+/// Merge stored shards into the study result, or `None` while campaigns
+/// needed by the stopping rule are still incomplete.
+///
+/// Mirrors `vulfi::run_study` exactly: walk campaigns in order,
+/// accumulate each campaign's SDC rate as one sample, and stop as soon
+/// as the ±`target_margin` @95% rule fires. Shards of campaigns past the
+/// stopping point are ignored, so the merged result is bit-identical to
+/// an uninterrupted sequential run no matter how (or how often) the
+/// study was sharded.
+pub fn merge(
+    cfg: &StudyConfig,
+    category: SiteCategory,
+    done: &[ShardRecord],
+) -> Option<StudyResult> {
+    // Slot experiments by (campaign, index); determinism makes duplicate
+    // records (e.g. re-runs under a different shard size) identical, so
+    // last-write-wins is safe.
+    let mut slots: Vec<Vec<Option<&Experiment>>> =
+        vec![vec![None; cfg.experiments_per_campaign]; cfg.max_campaigns];
+    for rec in done {
+        if rec.campaign >= cfg.max_campaigns {
+            continue;
+        }
+        for (off, e) in rec.experiments.iter().enumerate() {
+            let i = rec.start + off;
+            if i < rec.end && i < cfg.experiments_per_campaign {
+                slots[rec.campaign][i] = Some(e);
+            }
+        }
+    }
+
+    let mut samples = Vec::new();
+    let mut counts = OutcomeCounts::default();
+    let mut converged = false;
+    for campaign in slots.iter().take(cfg.max_campaigns) {
+        if campaign.iter().any(Option::is_none) {
+            // The stopping rule needs this campaign and it isn't done.
+            return None;
+        }
+        let mut ccounts = OutcomeCounts::default();
+        for e in campaign.iter().flatten() {
+            ccounts.add(e);
+        }
+        samples.push(ccounts.sdc_rate());
+        counts.merge(&ccounts);
+        if study_converged(&samples, cfg.target_margin, cfg.min_campaigns) {
+            converged = true;
+            break;
+        }
+    }
+    Some(StudyResult {
+        category,
+        summary: StudySummary::from_samples(&samples),
+        samples,
+        counts,
+        converged,
+    })
+}
+
+/// Total golden-run dynamic instructions over the campaigns a merged
+/// result actually used.
+pub fn merged_dyn_insts(cfg: &StudyConfig, result: &StudyResult, done: &[ShardRecord]) -> u64 {
+    let used = result.samples.len();
+    done.iter()
+        .filter(|r| r.campaign < used.min(cfg.max_campaigns))
+        .flat_map(|r| r.experiments.iter())
+        .map(|e| e.golden_dyn_insts)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> StudyConfig {
+        StudyConfig {
+            experiments_per_campaign: 10,
+            target_margin: 3.0,
+            min_campaigns: 2,
+            max_campaigns: 3,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn plan_covers_every_experiment_once() {
+        let plan = plan_shards(&cfg(), 4);
+        // 10 experiments / shard size 4 → 3 shards per campaign.
+        assert_eq!(plan.len(), 9);
+        for c in 0..3 {
+            let total: usize = plan
+                .iter()
+                .filter(|j| j.campaign == c)
+                .map(ShardJob::experiments)
+                .sum();
+            assert_eq!(total, 10);
+        }
+        assert_eq!(plan_shards(&cfg(), 1000).len(), 3, "one shard per campaign");
+    }
+
+    fn fake_record(campaign: usize, start: usize, end: usize) -> ShardRecord {
+        let experiments = (start..end)
+            .map(|_| Experiment {
+                outcome: vulfi::Outcome::Benign,
+                detected: false,
+                injection: None,
+                input: 0,
+                dynamic_sites: 1,
+                golden_dyn_insts: 5,
+            })
+            .collect();
+        ShardRecord {
+            campaign,
+            start,
+            end,
+            experiments,
+            wall_ns: 0,
+        }
+    }
+
+    #[test]
+    fn missing_jobs_shrink_as_shards_land() {
+        let cfg = cfg();
+        let plan = plan_shards(&cfg, 5); // 2 shards x 3 campaigns
+        assert_eq!(missing_jobs(&plan, &[], &cfg).len(), 6);
+        let done = vec![fake_record(0, 0, 5), fake_record(1, 5, 10)];
+        let missing = missing_jobs(&plan, &done, &cfg);
+        assert_eq!(missing.len(), 4);
+        assert!(!missing.contains(&ShardJob {
+            campaign: 0,
+            start: 0,
+            end: 5
+        }));
+        assert_eq!(covered_experiments(&done, &cfg), 10);
+    }
+
+    #[test]
+    fn coverage_is_per_experiment_not_per_shard() {
+        // Records written under shard size 2 satisfy a size-5 plan.
+        let cfg = cfg();
+        let plan = plan_shards(&cfg, 5);
+        let done: Vec<ShardRecord> = (0..5).map(|k| fake_record(0, 2 * k, 2 * k + 2)).collect();
+        let missing = missing_jobs(&plan, &done, &cfg);
+        assert!(missing.iter().all(|j| j.campaign != 0));
+    }
+
+    #[test]
+    fn merge_waits_for_needed_campaigns() {
+        // Convergence needs >= 4 samples (the normality screen), so plan
+        // 6 campaigns and leave the last two unrun: the stopping rule
+        // fires at campaign 4 and never needs them.
+        let cfg = StudyConfig {
+            experiments_per_campaign: 10,
+            target_margin: 3.0,
+            min_campaigns: 4,
+            max_campaigns: 6,
+            seed: 1,
+        };
+        assert!(merge(&cfg, SiteCategory::PureData, &[fake_record(0, 0, 10)]).is_none());
+        let done: Vec<ShardRecord> = (0..4).map(|c| fake_record(c, 0, 10)).collect();
+        let r = merge(&cfg, SiteCategory::PureData, &done).unwrap();
+        // All-benign → zero-variance samples → converged at min_campaigns.
+        assert!(r.converged);
+        assert_eq!(r.samples, vec![0.0; 4]);
+        assert_eq!(r.counts.total(), 40);
+        assert_eq!(merged_dyn_insts(&cfg, &r, &done), 200);
+    }
+}

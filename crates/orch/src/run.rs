@@ -1,0 +1,182 @@
+//! The shard runner: fan missing shards out over rayon, persist each as
+//! it completes, and merge the store back into a study result.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use rayon::prelude::*;
+use vulfi::{campaign_seed, run_experiment_range, Prepared, StudyConfig, StudyResult, Workload};
+
+use crate::key::{study_key, StudyKey};
+use crate::observe::{Progress, ProgressSnapshot};
+use crate::plan::{covered_experiments, merge, merged_dyn_insts, missing_jobs, plan_shards};
+use crate::store::{Manifest, ShardRecord, Store};
+use crate::OrchError;
+
+/// Callback invoked (serialized, under the runner's lock) after every
+/// completed shard.
+pub type ProgressFn = Box<dyn Fn(&ProgressSnapshot) + Send + Sync>;
+
+pub struct RunOptions {
+    /// Experiments per shard.
+    pub shard_size: usize,
+    /// Stop after executing this many shards in this invocation, leaving
+    /// the rest pending in the store (tests use this to simulate a killed
+    /// run; incremental batch jobs can use it as a work quantum).
+    pub max_shards: Option<usize>,
+    pub progress: Option<ProgressFn>,
+}
+
+impl Default for RunOptions {
+    fn default() -> RunOptions {
+        RunOptions {
+            shard_size: 25,
+            max_shards: None,
+            progress: None,
+        }
+    }
+}
+
+/// What a [`run_study_persistent`] invocation did.
+pub struct RunOutcome {
+    pub key: StudyKey,
+    pub total_shards: usize,
+    /// Shards already in the store, skipped by this invocation.
+    pub reused_shards: usize,
+    pub executed_shards: usize,
+    /// Shards still missing (nonzero only under `max_shards` cutoffs).
+    pub pending_shards: usize,
+    /// `Some` once every campaign the stopping rule needs is stored.
+    pub result: Option<StudyResult>,
+    /// Wall time of this invocation.
+    pub wall_ns: u64,
+    /// Golden-run dynamic instructions over the campaigns the merged
+    /// result used (0 while partial).
+    pub dyn_insts: u64,
+    pub progress: ProgressSnapshot,
+}
+
+/// Run (or resume) a study through `store`.
+///
+/// Experiments already persisted under this study's content key are
+/// never re-executed; everything else fans out over rayon in shard
+/// units, each appended to the store the moment it completes. Results
+/// are bit-identical to `vulfi::run_study` with the same config
+/// regardless of shard size, thread count, or how many times the run
+/// was interrupted and resumed.
+pub fn run_study_persistent(
+    prog: &Prepared,
+    workload: &dyn Workload,
+    workload_name: &str,
+    isa: &str,
+    cfg: &StudyConfig,
+    store: &Store,
+    opts: RunOptions,
+) -> Result<RunOutcome, OrchError> {
+    let started = Instant::now();
+    let key = study_key(prog, workload_name, isa, cfg);
+    let study = store.study(&key);
+    let plan = plan_shards(cfg, opts.shard_size);
+
+    if !study.exists() {
+        study.write_manifest(&Manifest {
+            key: key.clone(),
+            workload: workload_name.to_string(),
+            isa: isa.to_string(),
+            category: prog.category,
+            entry: prog.entry.clone(),
+            cfg: *cfg,
+            total_shards: plan.len() as u64,
+            complete: false,
+        })?;
+    }
+
+    let done = study.shards()?;
+    let mut missing = missing_jobs(&plan, &done, cfg);
+    let reused_shards = plan.len() - missing.len();
+    if let Some(cap) = opts.max_shards {
+        missing.truncate(cap);
+    }
+
+    let mut progress = Progress::start((cfg.max_campaigns * cfg.experiments_per_campaign) as u64);
+    progress.resumed = covered_experiments(&done, cfg) as u64;
+    for rec in &done {
+        for e in &rec.experiments {
+            progress.counts.add(e);
+            progress.dyn_insts += e.golden_dyn_insts;
+        }
+    }
+
+    // One lock serializes the append-only log, the progress counters,
+    // and the user's callback; experiment execution itself runs outside
+    // it.
+    let sink = Mutex::new((&study, progress));
+    let executed_shards = missing.len();
+    let results: Result<Vec<()>, OrchError> = missing
+        .into_par_iter()
+        .map(|job| {
+            let shard_start = Instant::now();
+            let experiments = run_experiment_range(
+                prog,
+                workload,
+                campaign_seed(cfg.seed, job.campaign),
+                job.start..job.end,
+            )
+            .map_err(|e| OrchError(e.to_string()))?;
+            let rec = ShardRecord {
+                campaign: job.campaign,
+                start: job.start,
+                end: job.end,
+                experiments,
+                wall_ns: shard_start.elapsed().as_nanos() as u64,
+            };
+            let mut guard = sink.lock().unwrap();
+            let (study, progress) = &mut *guard;
+            study.append_shard(&rec)?;
+            progress.executed += rec.experiments.len() as u64;
+            for e in &rec.experiments {
+                progress.counts.add(e);
+                progress.dyn_insts += e.golden_dyn_insts;
+            }
+            if let Some(cb) = &opts.progress {
+                cb(&progress.snapshot());
+            }
+            Ok(())
+        })
+        .collect();
+    results?;
+
+    let (_, progress) = sink.into_inner().unwrap();
+    let done = study.shards()?;
+    let result = merge(cfg, prog.category, &done);
+    let pending_shards = missing_jobs(&plan, &done, cfg).len();
+    let dyn_insts = result
+        .as_ref()
+        .map(|r| merged_dyn_insts(cfg, r, &done))
+        .unwrap_or(0);
+    if result.is_some() {
+        let mut manifest = study.read_manifest()?;
+        if !manifest.complete {
+            manifest.complete = true;
+            study.write_manifest(&manifest)?;
+        }
+    }
+    Ok(RunOutcome {
+        key,
+        total_shards: plan.len(),
+        reused_shards,
+        executed_shards,
+        pending_shards,
+        result,
+        wall_ns: started.elapsed().as_nanos() as u64,
+        dyn_insts,
+        progress: progress.snapshot(),
+    })
+}
+
+/// Set the global worker count (`--jobs N`; 0 = all cores).
+pub fn set_jobs(n: usize) {
+    let _ = rayon::ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build_global();
+}

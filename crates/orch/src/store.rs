@@ -1,0 +1,178 @@
+//! Append-only, crash-tolerant persistence for study shards.
+//!
+//! Layout under the store root:
+//!
+//! ```text
+//! results/store/<study-key>/
+//!   manifest.json    # study identity + config (atomic tmp+rename writes)
+//!   shards.jsonl     # one JSON line per completed shard, append-only
+//! ```
+//!
+//! A killed run leaves at worst one truncated trailing line in
+//! `shards.jsonl`; the reader skips unparsable lines, so resume sees
+//! exactly the shards whose writes completed. The manifest is only ever
+//! replaced via write-to-temp + `rename`, which is atomic on POSIX.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use vir::analysis::SiteCategory;
+use vulfi::{Experiment, StudyConfig};
+
+use crate::key::StudyKey;
+use crate::OrchError;
+
+/// Study identity + configuration, persisted next to the shard log.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Manifest {
+    pub key: StudyKey,
+    pub workload: String,
+    pub isa: String,
+    pub category: SiteCategory,
+    pub entry: String,
+    pub cfg: StudyConfig,
+    /// Shards in the current plan (informational; the plan is recomputed
+    /// deterministically from `cfg` and the shard size).
+    pub total_shards: u64,
+    /// All campaigns covered and merged at least once.
+    pub complete: bool,
+}
+
+/// One completed shard: a contiguous run of experiments of one campaign.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ShardRecord {
+    pub campaign: usize,
+    /// Experiment index range `[start, end)` within the campaign.
+    pub start: usize,
+    pub end: usize,
+    pub experiments: Vec<Experiment>,
+    /// Wall time this shard took when first executed (informational; not
+    /// part of the deterministic result).
+    pub wall_ns: u64,
+}
+
+/// A directory of studies, each under its content-addressed key.
+pub struct Store {
+    root: PathBuf,
+}
+
+impl Store {
+    /// Open (creating if needed) a store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Store, OrchError> {
+        let root = root.into();
+        fs::create_dir_all(&root)
+            .map_err(|e| OrchError(format!("create store {}: {e}", root.display())))?;
+        Ok(Store { root })
+    }
+
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    pub fn study(&self, key: &StudyKey) -> StudyStore {
+        StudyStore {
+            dir: self.root.join(&key.0),
+        }
+    }
+
+    /// Keys of every study directory containing a manifest.
+    pub fn studies(&self) -> Result<Vec<StudyKey>, OrchError> {
+        let mut keys = Vec::new();
+        let entries = fs::read_dir(&self.root)
+            .map_err(|e| OrchError(format!("read store {}: {e}", self.root.display())))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| OrchError(format!("read store entry: {e}")))?;
+            if entry.path().join("manifest.json").is_file() {
+                keys.push(StudyKey(entry.file_name().to_string_lossy().into_owned()));
+            }
+        }
+        keys.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(keys)
+    }
+}
+
+/// One study's directory.
+pub struct StudyStore {
+    dir: PathBuf,
+}
+
+impl StudyStore {
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn manifest_path(&self) -> PathBuf {
+        self.dir.join("manifest.json")
+    }
+
+    fn shards_path(&self) -> PathBuf {
+        self.dir.join("shards.jsonl")
+    }
+
+    pub fn exists(&self) -> bool {
+        self.manifest_path().is_file()
+    }
+
+    /// Atomically replace the manifest (write temp file, then rename).
+    pub fn write_manifest(&self, m: &Manifest) -> Result<(), OrchError> {
+        fs::create_dir_all(&self.dir)
+            .map_err(|e| OrchError(format!("create {}: {e}", self.dir.display())))?;
+        let text = serde_json::to_string_pretty(m)
+            .map_err(|e| OrchError(format!("encode manifest: {e}")))?;
+        let tmp = self.dir.join("manifest.json.tmp");
+        fs::write(&tmp, text.as_bytes())
+            .map_err(|e| OrchError(format!("write {}: {e}", tmp.display())))?;
+        fs::rename(&tmp, self.manifest_path())
+            .map_err(|e| OrchError(format!("rename manifest: {e}")))?;
+        Ok(())
+    }
+
+    pub fn read_manifest(&self) -> Result<Manifest, OrchError> {
+        let path = self.manifest_path();
+        let text = fs::read_to_string(&path)
+            .map_err(|e| OrchError(format!("read {}: {e}", path.display())))?;
+        serde_json::from_str(&text).map_err(|e| OrchError(format!("parse manifest: {e}")))
+    }
+
+    /// Append one shard record as a single JSONL line.
+    ///
+    /// The record is written with a *leading* newline so that a
+    /// truncated line left by a killed writer (which has no trailing
+    /// newline) is terminated rather than concatenated with this
+    /// record; the reader skips the resulting blank lines.
+    pub fn append_shard(&self, rec: &ShardRecord) -> Result<(), OrchError> {
+        let line =
+            serde_json::to_string(rec).map_err(|e| OrchError(format!("encode shard: {e}")))?;
+        let mut f = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.shards_path())
+            .map_err(|e| OrchError(format!("open shard log: {e}")))?;
+        writeln!(f, "\n{line}").map_err(|e| OrchError(format!("append shard: {e}")))?;
+        f.flush()
+            .map_err(|e| OrchError(format!("flush shard log: {e}")))?;
+        Ok(())
+    }
+
+    /// All fully-written shard records. A truncated trailing line (from a
+    /// killed run) is skipped, not an error.
+    pub fn shards(&self) -> Result<Vec<ShardRecord>, OrchError> {
+        let path = self.shards_path();
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(OrchError(format!("read {}: {e}", path.display()))),
+        };
+        let mut out = Vec::new();
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            if let Ok(rec) = serde_json::from_str::<ShardRecord>(line) {
+                out.push(rec);
+            }
+        }
+        Ok(out)
+    }
+}

@@ -26,9 +26,7 @@ use std::collections::HashMap;
 
 use vir::builder::FuncBuilder;
 use vir::intrinsics::{math_name, MathOp};
-use vir::{
-    BinOp, CastOp, Constant, FCmpPred, ICmpPred, Module, Operand, ScalarTy, Type,
-};
+use vir::{BinOp, CastOp, Constant, FCmpPred, ICmpPred, Module, Operand, ScalarTy, Type};
 
 use crate::ast::*;
 use crate::parser::parse_program;
@@ -164,7 +162,10 @@ fn compile_function(f: &FuncDef, isa: VectorIsa) -> CResult<vir::Function> {
                 if !s.uniform {
                     return Err(CompileError {
                         line: f.line,
-                        msg: format!("parameter {} must be uniform (varying parameters are not supported)", p.name),
+                        msg: format!(
+                            "parameter {} must be uniform (varying parameters are not supported)",
+                            p.name
+                        ),
                     });
                 }
                 Type::Scalar(base_scalar(s.base))
@@ -372,7 +373,12 @@ impl Cg {
                 let zero = self.zero_of(v.ty.base, v.ty.uniform);
                 self.b.fcmp(FCmpPred::Une, v.op, zero, "")
             }
-            _ => return self.err(line, format!("unsupported cast {} -> {}", v.ty.base.name(), to.name())),
+            _ => {
+                return self.err(
+                    line,
+                    format!("unsupported cast {} -> {}", v.ty.base.name(), to.name()),
+                )
+            }
         };
         Ok(CgVal {
             ty: STy {
@@ -630,7 +636,11 @@ impl Cg {
             let av = self.convert(av, BaseTy::Bool, line)?;
             let bv = self.convert(bv, BaseTy::Bool, line)?;
             let (av, bv) = self.promote_pair(av, bv, line)?;
-            let kind = if op == BinKind::And { BinOp::And } else { BinOp::Or };
+            let kind = if op == BinKind::And {
+                BinOp::And
+            } else {
+                BinOp::Or
+            };
             let ty = av.ty;
             let r = self.b.bin(kind, av.op, bv.op, "");
             return Ok(CgVal { ty, op: r });
@@ -707,13 +717,7 @@ impl Cg {
         Ok(CgVal { ty, op: r })
     }
 
-    fn call_expr(
-        &mut self,
-        name: &str,
-        args: &[Expr],
-        ctx: &Ctx,
-        line: usize,
-    ) -> CResult<CgVal> {
+    fn call_expr(&mut self, name: &str, args: &[Expr], ctx: &Ctx, line: usize) -> CResult<CgVal> {
         let need = |n: usize| -> CResult<()> {
             if args.len() != n {
                 Err(CompileError {
@@ -745,11 +749,13 @@ impl Cg {
                 };
                 let elem = base_scalar(v.ty.base);
                 let is_float = v.ty.base != BaseTy::Int;
-                let mut acc = self.b.extract(masked.clone(), Constant::i32(0).into(), "red0");
+                let mut acc = self
+                    .b
+                    .extract(masked.clone(), Constant::i32(0).into(), "red0");
                 for k in 1..self.lanes() {
-                    let lane =
-                        self.b
-                            .extract(masked.clone(), Constant::i32(k as i32).into(), "");
+                    let lane = self
+                        .b
+                        .extract(masked.clone(), Constant::i32(k as i32).into(), "");
                     let op = if is_float { BinOp::FAdd } else { BinOp::Add };
                     acc = self.b.bin(op, acc, lane, "");
                 }
@@ -824,18 +830,13 @@ impl Cg {
                     _ => MathOp::MaxNum,
                 };
                 let ir = self.ir_ty(a.ty);
-                let r = self
-                    .b
-                    .call(math_name(mop, ir), vec![a.op, b.op], ir, name);
+                let r = self.b.call(math_name(mop, ir), vec![a.op, b.op], ir, name);
                 Ok(CgVal { ty: a.ty, op: r })
             }
             "clamp" => {
                 need(3)?;
                 let lo_clamped = Expr::new(
-                    ExprKind::Call(
-                        "max".into(),
-                        vec![args[0].clone(), args[1].clone()],
-                    ),
+                    ExprKind::Call("max".into(), vec![args[0].clone(), args[1].clone()]),
                     line,
                 );
                 let clamped = Expr::new(
@@ -945,9 +946,7 @@ impl Cg {
                         .extract(idx.clone(), Constant::i32(k as i32).into(), "");
                     let a = self.b.gep(Type::Scalar(elem), ptr.clone(), ik, "");
                     let v = self.b.load(Type::Scalar(elem), a, "");
-                    acc = self
-                        .b
-                        .insert(acc, v, Constant::i32(k as i32).into(), "");
+                    acc = self.b.insert(acc, v, Constant::i32(k as i32).into(), "");
                 }
                 Ok(acc)
             }
@@ -1163,9 +1162,12 @@ impl Cg {
                         let rhs = match op {
                             None => rhs,
                             Some(bk) => {
-                                let lhs = CgVal { ty: vty, op: cur.clone() };
+                                let lhs = CgVal {
+                                    ty: vty,
+                                    op: cur.clone(),
+                                };
                                 let (a, b) = self.promote_pair(lhs, rhs, line)?;
-                                
+
                                 self.apply_arith(*bk, a, b, line)?
                             }
                         };
@@ -1350,7 +1352,10 @@ impl Cg {
         self.b.position_at(then_bb);
         self.stmts(then_body, ctx, false)?;
         let then_end = self.b.current_block();
-        let then_vals: Vec<Operand> = pre.iter().map(|(n, _, _)| self.var_val(n).unwrap().1).collect();
+        let then_vals: Vec<Operand> = pre
+            .iter()
+            .map(|(n, _, _)| self.var_val(n).unwrap().1)
+            .collect();
         self.b.br(merge_bb);
 
         let (else_end, else_vals) = if has_else {
@@ -1361,8 +1366,10 @@ impl Cg {
             self.b.position_at(else_bb);
             self.stmts(else_body, ctx, false)?;
             let end = self.b.current_block();
-            let vals: Vec<Operand> =
-                pre.iter().map(|(n, _, _)| self.var_val(n).unwrap().1).collect();
+            let vals: Vec<Operand> = pre
+                .iter()
+                .map(|(n, _, _)| self.var_val(n).unwrap().1)
+                .collect();
             self.b.br(merge_bb);
             (end, vals)
         } else {
@@ -1533,13 +1540,7 @@ impl Cg {
     /// enclosing mask is still live (a `mask.any` back-edge check, ISPC's
     /// movmsk idiom). Assignments are blended with the live mask at the
     /// latch so retired lanes keep their final values.
-    fn varying_while(
-        &mut self,
-        cond: &Expr,
-        body: &[Stmt],
-        ctx: &Ctx,
-        line: usize,
-    ) -> CResult<()> {
+    fn varying_while(&mut self, cond: &Expr, body: &[Stmt], ctx: &Ctx, line: usize) -> CResult<()> {
         let assigned: Vec<String> = {
             let mut v = assigned_vars(body);
             v.retain(|n| self.var_val(n).is_some());
@@ -1670,9 +1671,7 @@ impl Cg {
 
         let lr_ph = self.b.add_block(format!("foreach_full_body.lr.ph{sfx}"));
         let full_body = self.b.add_block(format!("foreach_full_body{sfx}"));
-        let partial_outer = self
-            .b
-            .add_block(format!("partial_inner_all_outer{sfx}"));
+        let partial_outer = self.b.add_block(format!("partial_inner_all_outer{sfx}"));
         let partial_inner = self.b.add_block(format!("partial_inner_only{sfx}"));
         let reset = self.b.add_block(format!("foreach_reset{sfx}"));
 
@@ -1691,7 +1690,8 @@ impl Cg {
         // --- Full body: all lanes on. ---
         self.b.position_at(full_body);
         let counter = self.b.phi(Type::I32, &format!("counter{sfx}"));
-        self.b.add_incoming(&counter, lr_ph, Constant::i32(0).into());
+        self.b
+            .add_incoming(&counter, lr_ph, Constant::i32(0).into());
         let mut full_phis: Vec<(String, Operand)> = Vec::new();
         for (n, t, v) in &pre {
             let ty = self.ir_ty(*t);
@@ -1787,8 +1787,12 @@ impl Cg {
         let p_base = if start_is_zero {
             aligned_end.clone()
         } else {
-            self.b
-                .bin(BinOp::Add, aligned_end.clone(), start_v.op.clone(), "p_base")
+            self.b.bin(
+                BinOp::Add,
+                aligned_end.clone(),
+                start_v.op.clone(),
+                "p_base",
+            )
         };
         let p_bcast = {
             let v = CgVal {
@@ -1842,8 +1846,10 @@ impl Cg {
         for (i, (n, t, _)) in pre.iter().enumerate() {
             let ty = self.ir_ty(*t);
             let phi = self.b.phi(ty, n);
-            self.b.add_incoming(&phi, partial_outer, outer_vals[i].clone());
-            self.b.add_incoming(&phi, partial_end, partial_vals[i].clone());
+            self.b
+                .add_incoming(&phi, partial_outer, outer_vals[i].clone());
+            self.b
+                .add_incoming(&phi, partial_end, partial_vals[i].clone());
             self.set_var(n, phi, line)?;
         }
         Ok(())
@@ -1882,8 +1888,14 @@ export void vcopy_ispc(uniform float a1[], uniform float a2[], uniform int n) {
         assert!(text.contains("@llvm.x86.avx.maskload.ps.256"), "{text}");
         assert!(text.contains("@llvm.x86.avx.maskstore.ps.256"), "{text}");
         assert!(text.contains("%nextras = srem i32 %n, 8"), "{text}");
-        assert!(text.contains("%aligned_end = sub i32 %n, %nextras"), "{text}");
-        assert!(text.contains("%new_counter = add i32 %counter, 8"), "{text}");
+        assert!(
+            text.contains("%aligned_end = sub i32 %n, %nextras"),
+            "{text}"
+        );
+        assert!(
+            text.contains("%new_counter = add i32 %counter, 8"),
+            "{text}"
+        );
     }
 
     #[test]
@@ -2046,10 +2058,12 @@ export void f(uniform float a[], uniform int n) {
     #[test]
     fn rejects_unknown_identifiers_and_functions() {
         assert!(compile("export void f() { nope = 3; }", VectorIsa::Avx, "m").is_err());
-        assert!(
-            compile("export void f(uniform float a[]) { a[0] = whatsit(1.0); }", VectorIsa::Avx, "m")
-                .is_err()
-        );
+        assert!(compile(
+            "export void f(uniform float a[]) { a[0] = whatsit(1.0); }",
+            VectorIsa::Avx,
+            "m"
+        )
+        .is_err());
     }
 
     #[test]

@@ -240,69 +240,70 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
         }
         // Operators / punctuation
         let two = |a: char, b: char| c == a && chars.get(i + 1) == Some(&b);
-        let (tok, width) = if c == '.' && chars.get(i + 1) == Some(&'.') && chars.get(i + 2) == Some(&'.') {
-            (Tok::DotDotDot, 3)
-        } else if two('+', '+') {
-            (Tok::PlusPlus, 2)
-        } else if two('-', '-') {
-            (Tok::MinusMinus, 2)
-        } else if two('+', '=') {
-            (Tok::PlusAssign, 2)
-        } else if two('-', '=') {
-            (Tok::MinusAssign, 2)
-        } else if two('*', '=') {
-            (Tok::StarAssign, 2)
-        } else if two('/', '=') {
-            (Tok::SlashAssign, 2)
-        } else if two('<', '=') {
-            (Tok::Le, 2)
-        } else if two('>', '=') {
-            (Tok::Ge, 2)
-        } else if two('=', '=') {
-            (Tok::EqEq, 2)
-        } else if two('!', '=') {
-            (Tok::Ne, 2)
-        } else if two('&', '&') {
-            (Tok::AndAnd, 2)
-        } else if two('|', '|') {
-            (Tok::OrOr, 2)
-        } else if two('<', '<') {
-            (Tok::Shl, 2)
-        } else if two('>', '>') {
-            (Tok::Shr, 2)
-        } else {
-            let t = match c {
-                '(' => Tok::LParen,
-                ')' => Tok::RParen,
-                '{' => Tok::LBrace,
-                '}' => Tok::RBrace,
-                '[' => Tok::LBracket,
-                ']' => Tok::RBracket,
-                ',' => Tok::Comma,
-                ';' => Tok::Semi,
-                '=' => Tok::Assign,
-                '+' => Tok::Plus,
-                '-' => Tok::Minus,
-                '*' => Tok::Star,
-                '/' => Tok::Slash,
-                '%' => Tok::Percent,
-                '<' => Tok::Lt,
-                '>' => Tok::Gt,
-                '!' => Tok::Not,
-                '&' => Tok::Amp,
-                '|' => Tok::Pipe,
-                '^' => Tok::Caret,
-                '?' => Tok::Question,
-                ':' => Tok::Colon,
-                _ => {
-                    return Err(LexError {
-                        line,
-                        msg: format!("unexpected character '{c}'"),
-                    })
-                }
+        let (tok, width) =
+            if c == '.' && chars.get(i + 1) == Some(&'.') && chars.get(i + 2) == Some(&'.') {
+                (Tok::DotDotDot, 3)
+            } else if two('+', '+') {
+                (Tok::PlusPlus, 2)
+            } else if two('-', '-') {
+                (Tok::MinusMinus, 2)
+            } else if two('+', '=') {
+                (Tok::PlusAssign, 2)
+            } else if two('-', '=') {
+                (Tok::MinusAssign, 2)
+            } else if two('*', '=') {
+                (Tok::StarAssign, 2)
+            } else if two('/', '=') {
+                (Tok::SlashAssign, 2)
+            } else if two('<', '=') {
+                (Tok::Le, 2)
+            } else if two('>', '=') {
+                (Tok::Ge, 2)
+            } else if two('=', '=') {
+                (Tok::EqEq, 2)
+            } else if two('!', '=') {
+                (Tok::Ne, 2)
+            } else if two('&', '&') {
+                (Tok::AndAnd, 2)
+            } else if two('|', '|') {
+                (Tok::OrOr, 2)
+            } else if two('<', '<') {
+                (Tok::Shl, 2)
+            } else if two('>', '>') {
+                (Tok::Shr, 2)
+            } else {
+                let t = match c {
+                    '(' => Tok::LParen,
+                    ')' => Tok::RParen,
+                    '{' => Tok::LBrace,
+                    '}' => Tok::RBrace,
+                    '[' => Tok::LBracket,
+                    ']' => Tok::RBracket,
+                    ',' => Tok::Comma,
+                    ';' => Tok::Semi,
+                    '=' => Tok::Assign,
+                    '+' => Tok::Plus,
+                    '-' => Tok::Minus,
+                    '*' => Tok::Star,
+                    '/' => Tok::Slash,
+                    '%' => Tok::Percent,
+                    '<' => Tok::Lt,
+                    '>' => Tok::Gt,
+                    '!' => Tok::Not,
+                    '&' => Tok::Amp,
+                    '|' => Tok::Pipe,
+                    '^' => Tok::Caret,
+                    '?' => Tok::Question,
+                    ':' => Tok::Colon,
+                    _ => {
+                        return Err(LexError {
+                            line,
+                            msg: format!("unexpected character '{c}'"),
+                        })
+                    }
+                };
+                (t, 1)
             };
-            (t, 1)
-        };
         toks.push(Token { tok, line });
         i += width;
     }
@@ -321,7 +322,11 @@ mod tests {
     fn lexes_keywords_and_idents() {
         assert_eq!(
             kinds("uniform int n"),
-            vec![Tok::Kw(Kw::Uniform), Tok::Kw(Kw::Int), Tok::Ident("n".into())]
+            vec![
+                Tok::Kw(Kw::Uniform),
+                Tok::Kw(Kw::Int),
+                Tok::Ident("n".into())
+            ]
         );
     }
 

@@ -254,8 +254,10 @@ impl Parser {
                     None
                 } else {
                     let s = if Self::is_base_ty(self.peek())
-                        || matches!(self.peek(), Some(Tok::Kw(Kw::Uniform) | Tok::Kw(Kw::Varying)))
-                    {
+                        || matches!(
+                            self.peek(),
+                            Some(Tok::Kw(Kw::Uniform) | Tok::Kw(Kw::Varying))
+                        ) {
                         self.decl_stmt()?
                     } else {
                         self.simple_stmt()?
@@ -596,7 +598,10 @@ export void vcopy_ispc(uniform int a1[], uniform int a2[], uniform int n) {
         assert!(f.export);
         assert_eq!(f.name, "vcopy_ispc");
         assert_eq!(f.params.len(), 3);
-        assert!(matches!(f.params[0].ty, ParamTy::Array { elem: BaseTy::Int }));
+        assert!(matches!(
+            f.params[0].ty,
+            ParamTy::Array { elem: BaseTy::Int }
+        ));
         assert!(matches!(f.body[0].kind, StmtKind::Foreach { .. }));
     }
 
@@ -632,7 +637,10 @@ void f(uniform float a[], uniform int n) {
 }
 "#;
         let p = parse_program(src).unwrap();
-        let StmtKind::For { init, step, body, .. } = &p.funcs[0].body[1].kind else {
+        let StmtKind::For {
+            init, step, body, ..
+        } = &p.funcs[0].body[1].kind
+        else {
             panic!()
         };
         assert!(init.is_some());

@@ -83,23 +83,17 @@ fn arb_expr() -> impl Strategy<Value = E> {
     ];
     leaf.prop_recursive(4, 24, 3, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(l, r)| E::Add(Box::new(l), Box::new(r))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(l, r)| E::Sub(Box::new(l), Box::new(r))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(l, r)| E::Mul(Box::new(l), Box::new(r))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(l, r)| E::Min(Box::new(l), Box::new(r))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(l, r)| E::Max(Box::new(l), Box::new(r))),
-            (inner.clone(), inner.clone(), inner.clone(), inner)
-                .prop_map(|(l, r, x, y)| E::Pick(
-                    Box::new(l),
-                    Box::new(r),
-                    Box::new(x),
-                    Box::new(y)
-                )),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| E::Add(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| E::Sub(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| E::Mul(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| E::Min(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| E::Max(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone(), inner.clone(), inner).prop_map(|(l, r, x, y)| E::Pick(
+                Box::new(l),
+                Box::new(r),
+                Box::new(x),
+                Box::new(y)
+            )),
         ]
     })
 }

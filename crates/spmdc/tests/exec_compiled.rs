@@ -37,7 +37,11 @@ export void vcopy_ispc(uniform float a1[], uniform float a2[], uniform int n) {
             let a1 = interp.mem.alloc_f32_slice(&input).unwrap();
             let a2 = interp.mem.alloc_f32_slice(&vec![0.0; n.max(1)]).unwrap();
             interp
-                .run("vcopy_ispc", &[ptr(a1), ptr(a2), i32v(n as i32)], &mut NoHost)
+                .run(
+                    "vcopy_ispc",
+                    &[ptr(a1), ptr(a2), i32v(n as i32)],
+                    &mut NoHost,
+                )
                 .unwrap();
             let out = interp.mem.read_f32_slice(a2, n).unwrap();
             assert_eq!(out, input, "isa={isa} n={n}");
@@ -147,7 +151,11 @@ export void permute(uniform float a[], uniform int idx[], uniform float out[], u
         let pi = interp.mem.alloc_i32_slice(&idx).unwrap();
         let po = interp.mem.alloc_f32_slice(&vec![0.0; n]).unwrap();
         interp
-            .run("permute", &[ptr(pa), ptr(pi), ptr(po), i32v(n as i32)], &mut NoHost)
+            .run(
+                "permute",
+                &[ptr(pa), ptr(pi), ptr(po), i32v(n as i32)],
+                &mut NoHost,
+            )
             .unwrap();
         let out = interp.mem.read_f32_slice(po, n).unwrap();
         for (i, v) in out.iter().enumerate() {
@@ -176,7 +184,11 @@ export void double_indirect(uniform float a[], uniform int idx[], uniform int n)
     let pa = interp.mem.alloc_f32_slice(&a).unwrap();
     let pi = interp.mem.alloc_i32_slice(&idx).unwrap();
     interp
-        .run("double_indirect", &[ptr(pa), ptr(pi), i32v(n as i32)], &mut NoHost)
+        .run(
+            "double_indirect",
+            &[ptr(pa), ptr(pi), i32v(n as i32)],
+            &mut NoHost,
+        )
         .unwrap();
     let out = interp.mem.read_f32_slice(pa, n).unwrap();
     for (i, v) in out.iter().enumerate() {
@@ -204,7 +216,11 @@ export void blur3(uniform float a[], uniform float out[], uniform int n) {
             .alloc_f32_slice(&vec![0.0; interior + 2])
             .unwrap();
         interp
-            .run("blur3", &[ptr(pa), ptr(po), i32v(interior as i32)], &mut NoHost)
+            .run(
+                "blur3",
+                &[ptr(pa), ptr(po), i32v(interior as i32)],
+                &mut NoHost,
+            )
             .unwrap();
         let out = interp.mem.read_f32_slice(po, interior + 2).unwrap();
         for i in 0..interior {
@@ -239,7 +255,11 @@ export void sweep(uniform float a[], uniform float b[], uniform int n, uniform i
     let pa = interp.mem.alloc_f32_slice(&a).unwrap();
     let pb = interp.mem.alloc_f32_slice(&vec![0.0; total]).unwrap();
     interp
-        .run("sweep", &[ptr(pa), ptr(pb), i32v(n as i32), i32v(3)], &mut NoHost)
+        .run(
+            "sweep",
+            &[ptr(pa), ptr(pb), i32v(n as i32), i32v(3)],
+            &mut NoHost,
+        )
         .unwrap();
     // Reference.
     let mut reference = a.clone();
@@ -251,7 +271,12 @@ export void sweep(uniform float a[], uniform float b[], uniform int n, uniform i
     }
     let out = interp.mem.read_f32_slice(pa, total).unwrap();
     for i in 0..total {
-        assert!((out[i] - reference[i]).abs() < 1e-5, "i={i}: {} vs {}", out[i], reference[i]);
+        assert!(
+            (out[i] - reference[i]).abs() < 1e-5,
+            "i={i}: {} vs {}",
+            out[i],
+            reference[i]
+        );
     }
 }
 

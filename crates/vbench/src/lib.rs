@@ -26,8 +26,7 @@ pub mod util;
 pub mod workload;
 
 pub use suite::{
-    micro_benchmark, micro_benchmarks, study_benchmark, study_benchmarks, MICRO_NAMES,
-    STUDY_NAMES,
+    micro_benchmark, micro_benchmarks, study_benchmark, study_benchmarks, MICRO_NAMES, STUDY_NAMES,
 };
 pub use util::{DetRng, Scale};
 pub use workload::SpmdWorkload;

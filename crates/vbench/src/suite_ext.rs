@@ -118,8 +118,7 @@ mod tests {
             let (dx, dy) = (3.0 / wd as f32, 2.4 / h as f32);
             for j in 0..h {
                 for i in 0..wd {
-                    let expect =
-                        mandelbrot_ref(x0 + dx * i as f32, y0 + dy * j as f32, maxit);
+                    let expect = mandelbrot_ref(x0 + dx * i as f32, y0 + dy * j as f32, maxit);
                     assert_eq!(got[j * wd + i], expect, "isa={isa} pixel ({i},{j})");
                 }
             }

@@ -131,8 +131,7 @@ pub fn chebyshev(isa: VectorIsa, scale: Scale) -> SpmdWorkload {
             // Sample f(cos θ_j) for f(x) = x³ - 0.4x + noise-free smooth fn.
             let fx: Vec<f32> = (0..n)
                 .map(|j| {
-                    let xj =
-                        (std::f64::consts::PI * (j as f64 + 0.5) / n as f64).cos() as f32;
+                    let xj = (std::f64::consts::PI * (j as f64 + 0.5) / n as f64).cos() as f32;
                     xj * xj * xj - 0.4 * xj
                 })
                 .collect();
@@ -295,7 +294,12 @@ mod tests {
             }
         }
         for i in 0..wd * h {
-            assert!((got[i] - u[i]).abs() < 1e-4, "i={i}: {} vs {}", got[i], u[i]);
+            assert!(
+                (got[i] - u[i]).abs() < 1e-4,
+                "i={i}: {} vs {}",
+                got[i],
+                u[i]
+            );
         }
     }
 

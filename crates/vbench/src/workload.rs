@@ -108,10 +108,7 @@ export void negate(uniform float a[], uniform int n) {
             Box::new(|mem, _| {
                 let a = mem.alloc_f32_slice(&[1.0, -2.0, 3.0, -4.0, 5.0, -6.0])?;
                 Ok(SetupResult {
-                    args: vec![
-                        RtVal::Scalar(Scalar::ptr(a)),
-                        RtVal::Scalar(Scalar::i32(6)),
-                    ],
+                    args: vec![RtVal::Scalar(Scalar::ptr(a)), RtVal::Scalar(Scalar::i32(6))],
                     outputs: vec![OutputRegion { addr: a, bytes: 24 }],
                 })
             }),

@@ -12,8 +12,8 @@
 
 use vir::intrinsics::{self, Intrinsic, MathOp};
 use vir::{
-    BinOp, BlockId, CastOp, FCmpPred, Function, ICmpPred, InstKind, Module, Operand,
-    ScalarTy, Terminator, Type, ValueId,
+    BinOp, BlockId, CastOp, FCmpPred, Function, ICmpPred, InstKind, Module, Operand, ScalarTy,
+    Terminator, Type, ValueId,
 };
 
 use crate::mem::{Memory, Trap};
@@ -170,9 +170,8 @@ impl<'m> Interp<'m> {
                 if let InstKind::Phi { incomings } = &inst.kind {
                     self.tick()?;
                     self.note_inst(f, iid);
-                    let pb = prev.ok_or_else(|| {
-                        Trap::HostError("phi in entry block at runtime".into())
-                    })?;
+                    let pb = prev
+                        .ok_or_else(|| Trap::HostError("phi in entry block at runtime".into()))?;
                     let (_, op) = incomings
                         .iter()
                         .find(|(b, _)| *b == pb)
@@ -195,10 +194,9 @@ impl<'m> Interp<'m> {
                 let inst = f.inst(iid);
                 let result = self.exec_inst(f, &frame, &inst.kind, inst.ty, host, depth)?;
                 if let Some(res_v) = inst.result {
-                    frame[res_v.index()] =
-                        Some(result.ok_or_else(|| {
-                            Trap::HostError("non-void instruction produced no value".into())
-                        })?);
+                    frame[res_v.index()] = Some(result.ok_or_else(|| {
+                        Trap::HostError("non-void instruction produced no value".into())
+                    })?);
                 }
             }
 
@@ -383,9 +381,7 @@ impl<'m> Interp<'m> {
                 });
                 Ok(Some(RtVal::from_lanes(elem, out)))
             }
-            InstKind::Phi { .. } => {
-                Err(Trap::HostError("phi outside block header".into()))
-            }
+            InstKind::Phi { .. } => Err(Trap::HostError("phi outside block header".into())),
             InstKind::Call { callee, args } => {
                 let argv: Vec<RtVal> = args
                     .iter()
@@ -709,8 +705,14 @@ exit:
   ret i32 %acc
 }
 "#;
-        assert_eq!(run_i32(src, "sum", &[RtVal::Scalar(Scalar::i32(10))]).unwrap(), 45);
-        assert_eq!(run_i32(src, "sum", &[RtVal::Scalar(Scalar::i32(0))]).unwrap(), 0);
+        assert_eq!(
+            run_i32(src, "sum", &[RtVal::Scalar(Scalar::i32(10))]).unwrap(),
+            45
+        );
+        assert_eq!(
+            run_i32(src, "sum", &[RtVal::Scalar(Scalar::i32(0))]).unwrap(),
+            0
+        );
     }
 
     #[test]
@@ -820,10 +822,20 @@ entry:
         let on = f32::from_bits(0xffff_ffff);
         let mask = RtVal::from_lanes(
             ScalarTy::F32,
-            (0..8).map(|i| if i < 2 { Scalar::f32(on) } else { Scalar::f32(0.0) }),
+            (0..8).map(|i| {
+                if i < 2 {
+                    Scalar::f32(on)
+                } else {
+                    Scalar::f32(0.0)
+                }
+            }),
         );
         let r = interp
-            .run("tail", &[RtVal::Scalar(Scalar::ptr(base)), mask], &mut NoHost)
+            .run(
+                "tail",
+                &[RtVal::Scalar(Scalar::ptr(base)), mask],
+                &mut NoHost,
+            )
             .unwrap();
         let lanes = r.ret.unwrap();
         assert_eq!(lanes.lane(0).as_f32(), 1.5);
@@ -850,7 +862,13 @@ entry:
         let on = f32::from_bits(0xffff_ffff);
         let mask = RtVal::from_lanes(
             ScalarTy::F32,
-            (0..8).map(|i| if i % 2 == 0 { Scalar::f32(on) } else { Scalar::f32(0.0) }),
+            (0..8).map(|i| {
+                if i % 2 == 0 {
+                    Scalar::f32(on)
+                } else {
+                    Scalar::f32(0.0)
+                }
+            }),
         );
         let val = RtVal::from_lanes(ScalarTy::F32, (0..8).map(|i| Scalar::f32(i as f32 + 1.0)));
         interp
@@ -881,7 +899,10 @@ entry:
         let r = interp
             .run(
                 "hyp",
-                &[RtVal::Scalar(Scalar::f32(3.0)), RtVal::Scalar(Scalar::f32(4.0))],
+                &[
+                    RtVal::Scalar(Scalar::f32(3.0)),
+                    RtVal::Scalar(Scalar::f32(4.0)),
+                ],
                 &mut NoHost,
             )
             .unwrap();
@@ -910,7 +931,10 @@ entry:
   ret i32 %r
 }
 "#;
-        assert_eq!(run_i32(src, "twice", &[RtVal::Scalar(Scalar::i32(5))]).unwrap(), 7);
+        assert_eq!(
+            run_i32(src, "twice", &[RtVal::Scalar(Scalar::i32(5))]).unwrap(),
+            7
+        );
         let e = run_i32(src, "forever", &[RtVal::Scalar(Scalar::i32(5))]);
         assert_eq!(e, Err(Trap::StackOverflow));
     }
@@ -1003,15 +1027,21 @@ entry:
     #[test]
     fn shift_overflow_defined() {
         assert_eq!(
-            eval_bin(BinOp::Shl, Scalar::i32(1), Scalar::i32(40)).unwrap().bits,
+            eval_bin(BinOp::Shl, Scalar::i32(1), Scalar::i32(40))
+                .unwrap()
+                .bits,
             0
         );
         assert_eq!(
-            eval_bin(BinOp::AShr, Scalar::i32(-1), Scalar::i32(99)).unwrap().as_i64(),
+            eval_bin(BinOp::AShr, Scalar::i32(-1), Scalar::i32(99))
+                .unwrap()
+                .as_i64(),
             -1
         );
         assert_eq!(
-            eval_bin(BinOp::LShr, Scalar::i32(-1), Scalar::i32(99)).unwrap().bits,
+            eval_bin(BinOp::LShr, Scalar::i32(-1), Scalar::i32(99))
+                .unwrap()
+                .bits,
             0
         );
     }
@@ -1028,9 +1058,18 @@ entry:
 
     #[test]
     fn casts() {
-        assert_eq!(eval_cast(CastOp::SExt, Scalar::i8(-1), ScalarTy::I32).as_i64(), -1);
-        assert_eq!(eval_cast(CastOp::ZExt, Scalar::i8(-1), ScalarTy::I32).as_i64(), 255);
-        assert_eq!(eval_cast(CastOp::Trunc, Scalar::i32(0x1ff), ScalarTy::I8).as_u64(), 0xff);
+        assert_eq!(
+            eval_cast(CastOp::SExt, Scalar::i8(-1), ScalarTy::I32).as_i64(),
+            -1
+        );
+        assert_eq!(
+            eval_cast(CastOp::ZExt, Scalar::i8(-1), ScalarTy::I32).as_i64(),
+            255
+        );
+        assert_eq!(
+            eval_cast(CastOp::Trunc, Scalar::i32(0x1ff), ScalarTy::I8).as_u64(),
+            0xff
+        );
         assert_eq!(
             eval_cast(CastOp::SiToFp, Scalar::i32(-3), ScalarTy::F32).as_f32(),
             -3.0
@@ -1097,9 +1136,8 @@ entry:
   ret i1 %r
 }
 "#;
-        let mk = |bits: [bool; 4]| {
-            RtVal::from_lanes(ScalarTy::I1, bits.iter().map(|&b| Scalar::i1(b)))
-        };
+        let mk =
+            |bits: [bool; 4]| RtVal::from_lanes(ScalarTy::I1, bits.iter().map(|&b| Scalar::i1(b)));
         let m = parse_module(src).unwrap();
         let run = |f: &str, v: RtVal| {
             Interp::new(&m)
@@ -1131,7 +1169,10 @@ entry:
         let r = run_ret(
             src,
             "f",
-            &[RtVal::Scalar(Scalar::f32(-3.0)), RtVal::Scalar(Scalar::f32(4.0))],
+            &[
+                RtVal::Scalar(Scalar::f32(-3.0)),
+                RtVal::Scalar(Scalar::f32(4.0)),
+            ],
         );
         assert_eq!(r.scalar().as_f32(), -3.0 + 16.0);
     }

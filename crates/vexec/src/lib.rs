@@ -44,6 +44,6 @@ pub mod profile;
 pub mod value;
 
 pub use interp::{ExecResult, HostEnv, Interp, NoHost};
-pub use profile::InstMix;
 pub use mem::{Memory, Trap};
+pub use profile::InstMix;
 pub use value::{RtVal, Scalar};

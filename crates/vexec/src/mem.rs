@@ -194,14 +194,20 @@ impl Memory {
 
     pub fn read_f32_slice(&self, addr: u64, len: usize) -> Result<Vec<f32>, Trap> {
         (0..len)
-            .map(|i| Ok(self.read_scalar(ScalarTy::F32, addr + i as u64 * 4)?.as_f32()))
+            .map(|i| {
+                Ok(self
+                    .read_scalar(ScalarTy::F32, addr + i as u64 * 4)?
+                    .as_f32())
+            })
             .collect()
     }
 
     pub fn read_i32_slice(&self, addr: u64, len: usize) -> Result<Vec<i32>, Trap> {
         (0..len)
             .map(|i| {
-                Ok(self.read_scalar(ScalarTy::I32, addr + i as u64 * 4)?.as_i64() as i32)
+                Ok(self
+                    .read_scalar(ScalarTy::I32, addr + i as u64 * 4)?
+                    .as_i64() as i32)
             })
             .collect()
     }

@@ -171,10 +171,9 @@ fn identity(kind: &InstKind, ty: Type) -> Option<Operand> {
                 return Some(rhs.clone());
             }
         }
-        BinOp::Sub | BinOp::Shl | BinOp::LShr | BinOp::AShr
-            if is_splat(rhs, 0) => {
-                return Some(lhs.clone());
-            }
+        BinOp::Sub | BinOp::Shl | BinOp::LShr | BinOp::AShr if is_splat(rhs, 0) => {
+            return Some(lhs.clone());
+        }
         BinOp::Mul => {
             if is_splat(rhs, 1) {
                 return Some(lhs.clone());
@@ -190,10 +189,9 @@ fn identity(kind: &InstKind, ty: Type) -> Option<Operand> {
                 }));
             }
         }
-        BinOp::And
-            if is_splat(rhs, -1) => {
-                return Some(lhs.clone());
-            }
+        BinOp::And if is_splat(rhs, -1) => {
+            return Some(lhs.clone());
+        }
         _ => {}
     }
     None
@@ -252,7 +250,12 @@ mod tests {
         let mut b = FuncBuilder::new("f", vec![], Type::I32);
         let e = b.add_block("entry");
         b.position_at(e);
-        let x = b.bin(BinOp::Add, Constant::i32(2).into(), Constant::i32(3).into(), "x");
+        let x = b.bin(
+            BinOp::Add,
+            Constant::i32(2).into(),
+            Constant::i32(3).into(),
+            "x",
+        );
         let y = b.bin(BinOp::Mul, x, Constant::i32(4).into(), "y");
         b.ret(Some(y));
         let mut f = b.finish();
@@ -362,7 +365,12 @@ mod tests {
         let mut b = FuncBuilder::new("f", vec![("x".into(), Type::I32)], Type::I32);
         let e = b.add_block("entry");
         b.position_at(e);
-        let k = b.bin(BinOp::Add, Constant::i32(10).into(), Constant::i32(5).into(), "k");
+        let k = b.bin(
+            BinOp::Add,
+            Constant::i32(10).into(),
+            Constant::i32(5).into(),
+            "k",
+        );
         let r = b.bin(BinOp::Mul, b.param(0), k, "r");
         b.ret(Some(r));
         let mut f = b.finish();

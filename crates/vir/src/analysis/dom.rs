@@ -114,7 +114,12 @@ mod tests {
         let c = b.icmp(ICmpPred::Slt, i.clone(), b.param(0), "c");
         b.cond_br(c, body, exit);
         b.position_at(body);
-        let i2 = b.bin(crate::inst::BinOp::Add, i.clone(), Constant::i32(1).into(), "i2");
+        let i2 = b.bin(
+            crate::inst::BinOp::Add,
+            i.clone(),
+            Constant::i32(1).into(),
+            "i2",
+        );
         b.br(header);
         b.add_incoming(&i, entry, Constant::i32(0).into());
         b.add_incoming(&i, body, i2);

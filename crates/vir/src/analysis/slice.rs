@@ -45,8 +45,11 @@ pub enum SiteCategory {
 }
 
 impl SiteCategory {
-    pub const ALL: [SiteCategory; 3] =
-        [SiteCategory::PureData, SiteCategory::Control, SiteCategory::Address];
+    pub const ALL: [SiteCategory; 3] = [
+        SiteCategory::PureData,
+        SiteCategory::Control,
+        SiteCategory::Address,
+    ];
 
     pub fn name(self) -> &'static str {
         match self {
@@ -109,14 +112,12 @@ impl<'f> SliceAnalysis<'f> {
                 let inst = self.f.inst(user);
                 match &inst.kind {
                     InstKind::Gep { .. } => flags.address = true,
-                    InstKind::Load { ptr }
-                        if ptr.value() == Some(cur) => {
-                            flags.address = true;
-                        }
-                    InstKind::Store { ptr, .. }
-                        if ptr.value() == Some(cur) => {
-                            flags.address = true;
-                        }
+                    InstKind::Load { ptr } if ptr.value() == Some(cur) => {
+                        flags.address = true;
+                    }
+                    InstKind::Store { ptr, .. } if ptr.value() == Some(cur) => {
+                        flags.address = true;
+                    }
                     _ => {}
                 }
                 if let Some(res) = inst.result {

@@ -201,7 +201,13 @@ impl FuncBuilder {
         }
     }
 
-    pub fn call(&mut self, callee: impl Into<String>, args: Vec<Operand>, ret: Type, name: &str) -> Operand {
+    pub fn call(
+        &mut self,
+        callee: impl Into<String>,
+        args: Vec<Operand>,
+        ret: Type,
+        name: &str,
+    ) -> Operand {
         self.emit(
             InstKind::Call {
                 callee: callee.into(),

@@ -260,11 +260,10 @@ impl Function {
     /// Iterate `(BlockId, InstId)` over all placed instructions in layout
     /// order.
     pub fn placed_insts(&self) -> impl Iterator<Item = (BlockId, InstId)> + '_ {
-        self.blocks.iter().enumerate().flat_map(|(bi, b)| {
-            b.insts
-                .iter()
-                .map(move |&i| (BlockId(bi as u32), i))
-        })
+        self.blocks
+            .iter()
+            .enumerate()
+            .flat_map(|(bi, b)| b.insts.iter().map(move |&i| (BlockId(bi as u32), i)))
     }
 
     /// Total number of placed instructions (terminators not counted).

@@ -136,7 +136,10 @@ impl Intrinsic {
     }
 
     pub fn is_masked_memop(&self) -> bool {
-        matches!(self, Intrinsic::MaskLoad { .. } | Intrinsic::MaskStore { .. })
+        matches!(
+            self,
+            Intrinsic::MaskLoad { .. } | Intrinsic::MaskStore { .. }
+        )
     }
 }
 
@@ -370,9 +373,17 @@ mod tests {
             (16, ScalarTy::F32),
         ] {
             let ld = maskload_name(lanes, elem);
-            assert_eq!(parse(&ld), Some(Intrinsic::MaskLoad { lanes, elem }), "{ld}");
+            assert_eq!(
+                parse(&ld),
+                Some(Intrinsic::MaskLoad { lanes, elem }),
+                "{ld}"
+            );
             let st = maskstore_name(lanes, elem);
-            assert_eq!(parse(&st), Some(Intrinsic::MaskStore { lanes, elem }), "{st}");
+            assert_eq!(
+                parse(&st),
+                Some(Intrinsic::MaskStore { lanes, elem }),
+                "{st}"
+            );
         }
     }
 

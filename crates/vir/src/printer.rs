@@ -221,7 +221,11 @@ fn print_inst_named(f: &Function, iid: crate::inst::InstId, names: &[String]) ->
         }
         InstKind::Load { ptr } => format!("load {}, {}", inst.ty, typed_op(f, ptr, names)),
         InstKind::Store { val, ptr } => {
-            format!("store {}, {}", typed_op(f, val, names), typed_op(f, ptr, names))
+            format!(
+                "store {}, {}",
+                typed_op(f, val, names),
+                typed_op(f, ptr, names)
+            )
         }
         InstKind::Gep { elem, base, index } => format!(
             "getelementptr {}, {}, {}",
@@ -311,10 +315,7 @@ mod tests {
         assert_eq!(print_constant(&Constant::bool(true)), "true");
         assert_eq!(print_constant(&Constant::f32(1.5)), "1.5");
         assert_eq!(print_constant(&Constant::f64(0.1)), "0.1");
-        assert_eq!(
-            print_constant(&Constant::f32(f32::INFINITY)),
-            "0x7F800000"
-        );
+        assert_eq!(print_constant(&Constant::f32(f32::INFINITY)), "0x7F800000");
         assert_eq!(
             print_constant(&Constant::zero(Type::vec(ScalarTy::I32, 4))),
             "zeroinitializer"
@@ -379,7 +380,12 @@ mod tests {
         b.position_at(entry);
         let p = b.param(0);
         let m = b.param(1);
-        let ld = b.call(maskload_name(8, ScalarTy::F32), vec![p, m.clone()], vty, "0");
+        let ld = b.call(
+            maskload_name(8, ScalarTy::F32),
+            vec![p, m.clone()],
+            vty,
+            "0",
+        );
         let e = b.extract(ld.clone(), Constant::i32(0).into(), "ext0");
         b.insert(ld, e, Constant::i32(0).into(), "ins0");
         b.ret(None);
@@ -388,10 +394,7 @@ mod tests {
             s.contains("call <8 x float> @llvm.x86.avx.maskload.ps.256(ptr %p, <8 x float> %m)"),
             "{s}"
         );
-        assert!(
-            s.contains("extractelement <8 x float> %0, i32 0"),
-            "{s}"
-        );
+        assert!(s.contains("extractelement <8 x float> %0, i32 0"), "{s}");
         assert!(
             s.contains("insertelement <8 x float> %0, float %ext0, i32 0"),
             "{s}"

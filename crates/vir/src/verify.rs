@@ -125,10 +125,9 @@ pub fn verify_function(m: &Module, f: &Function) -> Result<(), VerifyError> {
                     ));
                 }
             }
-            Terminator::Ret(None)
-                if !f.ret.is_void() => {
-                    return Err(fail(Some(bid), "ret void in non-void function".into()));
-                }
+            Terminator::Ret(None) if !f.ret.is_void() => {
+                return Err(fail(Some(bid), "ret void in non-void function".into()));
+            }
             _ => {}
         }
 
@@ -606,7 +605,11 @@ a:
     #[test]
     fn accepts_known_intrinsic_and_rejects_unknown() {
         let vty = Type::vec(crate::types::ScalarTy::F32, 8);
-        let mut b = FuncBuilder::new("f", vec![("p".into(), Type::PTR), ("m".into(), vty)], Type::Void);
+        let mut b = FuncBuilder::new(
+            "f",
+            vec![("p".into(), Type::PTR), ("m".into(), vty)],
+            Type::Void,
+        );
         let e = b.add_block("entry");
         b.position_at(e);
         b.call(

@@ -99,7 +99,12 @@ fn main() {
     let sites = vulfi::enumerate_sites(f);
     println!("kernel '{}': {} static fault sites", w.name(), sites.len());
     for (cat, mix) in vulfi::category_mix(&sites) {
-        println!("  {:9}: {:3} sites, {:.0}% vector", cat.name(), mix.total(), mix.vector_pct());
+        println!(
+            "  {:9}: {:3} sites, {:.0}% vector",
+            cat.name(),
+            mix.total(),
+            mix.vector_pct()
+        );
     }
 
     // Add the compiler-invariant detectors, then study each category.

@@ -38,9 +38,7 @@ fn main() {
 
     // Insert the invariants detector and show the new block.
     let wd = WithDetectors::new(&w, DetectorConfig::default()).expect("detector pass");
-    println!(
-        "\n=== detector block inserted (paper Figs. 7-8) ==="
-    );
+    println!("\n=== detector block inserted (paper Figs. 7-8) ===");
     let printed = vir::printer::print_module(wd.module());
     for chunk in printed.split("\n\n") {
         // print only the function containing the check call

@@ -101,7 +101,13 @@ fn main() {
         // Lanes 0..5 active, 6..7 masked off.
         let mask = RtVal::from_lanes(
             ScalarTy::F32,
-            (0..8).map(|i| if i < 6 { Scalar::f32(on) } else { Scalar::f32(0.0) }),
+            (0..8).map(|i| {
+                if i < 6 {
+                    Scalar::f32(on)
+                } else {
+                    Scalar::f32(0.0)
+                }
+            }),
         );
         interp
             .run(

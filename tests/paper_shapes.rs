@@ -65,7 +65,10 @@ fn address_faults_crash_most() {
         let w = micro_benchmark(name, VectorIsa::Avx, Scale::Test).unwrap();
         let crash_rate = |cat: SiteCategory| {
             let prog = prepare(&w, cat).unwrap();
-            run_campaign(&prog, &w, N_EXP, SEED).unwrap().counts.crash_rate()
+            run_campaign(&prog, &w, N_EXP, SEED)
+                .unwrap()
+                .counts
+                .crash_rate()
         };
         let addr = crash_rate(SiteCategory::Address);
         let data = crash_rate(SiteCategory::PureData);
@@ -83,7 +86,10 @@ fn study_benchmarks_follow_crash_ordering_too() {
     let w = study_benchmark("Blackscholes", VectorIsa::Sse4, Scale::Test).unwrap();
     let crash_rate = |cat: SiteCategory| {
         let prog = prepare(&w, cat).unwrap();
-        run_campaign(&prog, &w, 120, SEED).unwrap().counts.crash_rate()
+        run_campaign(&prog, &w, 120, SEED)
+            .unwrap()
+            .counts
+            .crash_rate()
     };
     assert!(crash_rate(SiteCategory::Address) > crash_rate(SiteCategory::PureData));
 }
@@ -142,8 +148,7 @@ fn detector_overhead_stays_low() {
     for name in ["vector copy", "dot product", "vector sum"] {
         let w = micro_benchmark(name, VectorIsa::Avx, Scale::Test).unwrap();
         let wd = WithDetectors::new(&w, DetectorConfig::default()).unwrap();
-        let plain =
-            vulfi::campaign::measure_dyn_insts(w.module(), w.entry(), &w, 0).unwrap();
+        let plain = vulfi::campaign::measure_dyn_insts(w.module(), w.entry(), &w, 0).unwrap();
         let with = vulfi::campaign::measure_dyn_insts(wd.module(), wd.entry(), &wd, 0).unwrap();
         let overhead = 100.0 * (with as f64 - plain as f64) / plain as f64;
         assert!(

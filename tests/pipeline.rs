@@ -67,11 +67,7 @@ fn campaigns_complete_for_all_benchmarks_and_categories() {
     for w in study_benchmarks(VectorIsa::Avx, Scale::Test) {
         for cat in SiteCategory::ALL {
             let prog = prepare(&w, cat).unwrap_or_else(|e| panic!("{} {cat}: {e}", w.name()));
-            assert!(
-                !prog.sites.is_empty(),
-                "{} has no {cat} sites",
-                w.name()
-            );
+            assert!(!prog.sites.is_empty(), "{} has no {cat} sites", w.name());
             let c = run_campaign(&prog, &w, 12, 0xAB)
                 .unwrap_or_else(|e| panic!("{} {cat}: {e}", w.name()));
             assert_eq!(c.counts.total(), 12, "{} {cat}", w.name());
@@ -131,7 +127,10 @@ fn detectors_compose_with_full_pipeline_on_study_benchmark() {
     use detectors::{DetectorConfig, WithDetectors};
     let w = vbench::study_benchmark("Jacobi", VectorIsa::Avx, Scale::Test).unwrap();
     let wd = WithDetectors::new(&w, DetectorConfig::default()).unwrap();
-    assert!(wd.foreach_detectors >= 2, "jacobi has several foreach loops");
+    assert!(
+        wd.foreach_detectors >= 2,
+        "jacobi has several foreach loops"
+    );
     let prog = prepare(&wd, SiteCategory::Control).unwrap();
     let c = run_campaign(&prog, &wd, 60, 3).unwrap();
     assert_eq!(c.counts.total(), 60);

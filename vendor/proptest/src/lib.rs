@@ -1,0 +1,583 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Re-implements the subset of proptest's API this workspace's property
+//! tests use — `proptest!`, `prop_assert*`, `prop_oneof!`, `Just`,
+//! ranges/tuples as strategies, `any::<T>()`, `prop::collection::vec`,
+//! `prop_map`, `prop_recursive`, `ProptestConfig::with_cases` — as a
+//! plain randomized test runner. Failing inputs are printed but **not
+//! shrunk** (upstream's key extra); cases are seeded deterministically
+//! per test name, so failures reproduce run-to-run.
+
+use std::rc::Rc;
+
+// --- RNG -----------------------------------------------------------------
+
+/// SplitMix64; deterministic per (test name, case index).
+#[derive(Debug, Clone)]
+pub struct PropRng {
+    state: u64,
+}
+
+impl PropRng {
+    pub fn for_case(test_name: &str, case: u32) -> PropRng {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in test_name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+        PropRng {
+            state: h ^ ((case as u64).wrapping_mul(0x9E3779B97F4A7C15)),
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        let zone = (u64::MAX / bound) * bound;
+        loop {
+            let x = self.next_u64();
+            if x < zone {
+                return x % bound;
+            }
+        }
+    }
+
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+// --- Config --------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+// --- Strategy ------------------------------------------------------------
+
+/// A generator of random values (no shrinking).
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut PropRng) -> Self::Value;
+
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng: &mut PropRng| self.sample(rng)))
+    }
+
+    /// Depth-bounded recursive strategies. `_desired_size` and
+    /// `_expected_branch` are accepted for API compatibility; recursion
+    /// chance halves per level instead.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let leaf = self.boxed();
+        let mut cur = leaf.clone();
+        for _ in 0..depth {
+            let expanded = f(cur).boxed();
+            let leaf2 = leaf.clone();
+            cur = BoxedStrategy(Rc::new(move |rng: &mut PropRng| {
+                if rng.below(2) == 0 {
+                    leaf2.sample(rng)
+                } else {
+                    expanded.sample(rng)
+                }
+            }));
+        }
+        cur
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<V>(Rc<dyn Fn(&mut PropRng) -> V>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> BoxedStrategy<V> {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut PropRng) -> V {
+        (self.0)(rng)
+    }
+}
+
+/// Always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<V: Clone>(pub V);
+
+impl<V: Clone> Strategy for Just<V> {
+    type Value = V;
+    fn sample(&self, _rng: &mut PropRng) -> V {
+        self.0.clone()
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut PropRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Uniform choice between boxed alternatives (the `prop_oneof!` payload).
+pub struct Union<V> {
+    pub arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut PropRng) -> V {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].sample(rng)
+    }
+}
+
+// --- Ranges as strategies -------------------------------------------------
+
+macro_rules! strategy_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut PropRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let width = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add(rng.below(width) as $t)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut PropRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let width = (hi as i128 - lo as i128) as u64;
+                if width == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.below(width + 1) as $t)
+            }
+        }
+    )*};
+}
+strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! strategy_float_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut PropRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+strategy_float_range!(f32, f64);
+
+// --- Tuples of strategies -------------------------------------------------
+
+macro_rules! strategy_tuple {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut PropRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )*};
+}
+strategy_tuple! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+// --- any::<T>() -----------------------------------------------------------
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut PropRng) -> Self;
+}
+
+macro_rules! arb_via_bits {
+    ($($t:ty => $bits:expr),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut PropRng) -> $t {
+                (rng.next_u64() >> (64 - $bits)) as $t
+            }
+        }
+    )*};
+}
+arb_via_bits!(u8 => 8, u16 => 16, u32 => 32, i8 => 8, i16 => 16, i32 => 32);
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut PropRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut PropRng) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+impl Arbitrary for usize {
+    fn arbitrary(rng: &mut PropRng) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut PropRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut PropRng) -> f32 {
+        // Mostly well-behaved magnitudes, occasionally extreme/special.
+        match rng.below(8) {
+            0 => f32::from_bits(rng.next_u32()),
+            _ => ((rng.unit_f64() - 0.5) * 2.0e3) as f32,
+        }
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut PropRng) -> f64 {
+        match rng.below(8) {
+            0 => f64::from_bits(rng.next_u64()),
+            _ => (rng.unit_f64() - 0.5) * 2.0e6,
+        }
+    }
+}
+
+/// Strategy wrapper over [`Arbitrary`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut PropRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+// --- prop:: namespace -----------------------------------------------------
+
+pub mod prop {
+    pub mod collection {
+        use crate::{PropRng, Strategy};
+
+        /// Length bound for [`vec`]: a fixed size, `min..max`, or `min..=max`.
+        pub struct SizeRange {
+            min: usize,
+            /// Exclusive upper bound.
+            max: usize,
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> SizeRange {
+                SizeRange { min: n, max: n + 1 }
+            }
+        }
+
+        impl From<std::ops::Range<usize>> for SizeRange {
+            fn from(r: std::ops::Range<usize>) -> SizeRange {
+                SizeRange {
+                    min: r.start,
+                    max: r.end,
+                }
+            }
+        }
+
+        impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+            fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+                SizeRange {
+                    min: *r.start(),
+                    max: *r.end() + 1,
+                }
+            }
+        }
+
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut PropRng) -> Vec<S::Value> {
+                let width = (self.size.max - self.size.min).max(1) as u64;
+                let len = self.size.min + rng.below(width) as usize;
+                (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+
+        /// `prop::collection::vec(strategy, len)` / `vec(strategy, min..max)`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+    }
+}
+
+// --- Macros ---------------------------------------------------------------
+
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Any,
+        Arbitrary, BoxedStrategy, Just, PropRng, ProptestConfig, Strategy,
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union { arms: vec![ $( $crate::Strategy::boxed($arm) ),+ ] }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err(format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond), file!(), line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err(format!(
+                "assertion failed: {} ({}) at {}:{}",
+                stringify!($cond), format!($($fmt)+), file!(), line!()
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return Err(format!(
+                "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`) at {}:{}",
+                stringify!($a), stringify!($b), __a, __b, file!(), line!()
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return Err(format!(
+                "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`, {}) at {}:{}",
+                stringify!($a), stringify!($b), __a, __b, format!($($fmt)+),
+                file!(), line!()
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        if *__a == *__b {
+            return Err(format!(
+                "assertion failed: `{} != {}` (both: `{:?}`) at {}:{}",
+                stringify!($a),
+                stringify!($b),
+                __a,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+}
+
+/// Bind `pat in strategy` / `ident: Type` parameters, then leave the
+/// test body to run. Implementation detail of [`proptest!`].
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident, ) => {};
+    ($rng:ident, $p:pat in $s:expr, $($rest:tt)*) => {
+        let $p = $crate::Strategy::sample(&$s, &mut $rng);
+        $crate::__proptest_bind!($rng, $($rest)*);
+    };
+    ($rng:ident, $p:pat in $s:expr) => {
+        let $p = $crate::Strategy::sample(&$s, &mut $rng);
+    };
+    ($rng:ident, $i:ident : $t:ty, $($rest:tt)*) => {
+        let $i = <$t as $crate::Arbitrary>::arbitrary(&mut $rng);
+        $crate::__proptest_bind!($rng, $($rest)*);
+    };
+    ($rng:ident, $i:ident : $t:ty) => {
+        let $i = <$t as $crate::Arbitrary>::arbitrary(&mut $rng);
+    };
+}
+
+/// Expand the test functions. Implementation detail of [`proptest!`].
+#[macro_export]
+macro_rules! __proptest_fns {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+     $(#[$attr:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*) => {
+        #[test]
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::PropRng::for_case(stringify!($name), __case);
+                let __outcome: ::std::result::Result<(), ::std::string::String> = {
+                    $crate::__proptest_bind!(__rng, $($params)*);
+                    #[allow(clippy::redundant_closure_call)]
+                    (|| { $body Ok(()) })()
+                };
+                if let Err(__e) = __outcome {
+                    panic!("proptest case {}/{} failed:\n{}", __case + 1, __cfg.cases, __e);
+                }
+            }
+        }
+        $crate::__proptest_fns!{ @cfg($cfg) $($rest)* }
+    };
+}
+
+/// proptest's entry macro: a block of `#[test] fn name(bindings) { .. }`
+/// items, each run for `cases` random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ @cfg($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name_and_case() {
+        let mut a = PropRng::for_case("t", 3);
+        let mut b = PropRng::for_case("t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = PropRng::for_case("t", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_anys_bind(x in 1u64..100, y: u32, flag: bool) {
+            prop_assert!((1..100).contains(&x));
+            let _ = (y, flag);
+        }
+
+        #[test]
+        fn vec_strategy_respects_size(v in prop::collection::vec(0i32..5, 2..9)) {
+            prop_assert!(v.len() >= 2 && v.len() < 9, "len {}", v.len());
+            for x in &v {
+                prop_assert!((0..5).contains(x));
+            }
+        }
+
+        #[test]
+        fn oneof_and_map_work(e in prop_oneof![
+            Just(0u8),
+            (1u8..4).prop_map(|n| n * 10),
+        ]) {
+            prop_assert!(e == 0 || (10..40).contains(&e));
+        }
+
+        #[test]
+        fn tuples_sample_elementwise((a, b) in (0u32..10, 10u32..20)) {
+            prop_assert!(a < 10 && (10..20).contains(&b));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn recursive_strategies_terminate(n in Just(1u8).prop_recursive(3, 8, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| a.saturating_add(b))
+        })) {
+            prop_assert!(n >= 1);
+        }
+
+        #[test]
+        fn trailing_comma_params_parse(a: i32, b: i32,) {
+            let _ = (a, b);
+            prop_assert!(true);
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Offline stand-in for `rand_chacha`: a from-scratch ChaCha8 keystream
+//! generator implementing the vendored [`rand`] traits.
+//!
+//! The campaign driver only needs a *deterministic, well-mixed, seedable*
+//! stream (experiment seeds → identical experiments), which the real
+//! ChaCha8 block function provides. Layout follows djb's original ChaCha:
+//! 4 constant words, 8 key words (the 32-byte seed), a 64-bit block
+//! counter, and a 64-bit stream id (zero here), with 8 rounds per block.
+
+use rand::{RngCore, SeedableRng};
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x61707865, 0x3320646e, 0x79622d32, 0x6b206574];
+const ROUNDS: usize = 8;
+
+/// The ChaCha8 random number generator.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    key: [u32; 8],
+    counter: u64,
+    /// Current block's output words.
+    block: [u32; 16],
+    /// Next word index within `block`; 16 forces a refill.
+    word: usize,
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        // state[14..16]: stream id, fixed to zero.
+        let input = state;
+        for _ in 0..ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for i in 0..16 {
+            self.block[i] = state[i].wrapping_add(input[i]);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.word = 0;
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.word >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.word];
+        self.word += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let w = self.next_u32().to_le_bytes();
+            chunk.copy_from_slice(&w[..chunk.len()]);
+        }
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> ChaCha8Rng {
+        let mut key = [0u32; 8];
+        for (i, k) in key.iter_mut().enumerate() {
+            *k = u32::from_le_bytes(seed[i * 4..i * 4 + 4].try_into().unwrap());
+        }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            block: [0; 16],
+            word: 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn streams_are_reproducible() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn blocks_advance() {
+        // More than one 16-word block must not repeat the first block.
+        let mut r = ChaCha8Rng::seed_from_u64(9);
+        let first: Vec<u32> = (0..16).map(|_| r.next_u32()).collect();
+        let second: Vec<u32> = (0..16).map(|_| r.next_u32()).collect();
+        assert_ne!(first, second);
+    }
+
+    #[test]
+    fn roughly_uniform_bits() {
+        let mut r = ChaCha8Rng::seed_from_u64(1234);
+        let ones: u32 = (0..1000).map(|_| r.next_u64().count_ones()).sum();
+        // 64,000 bits, expect ~32,000 ones; allow 3%.
+        assert!((31000..33000).contains(&ones), "{ones}");
+    }
+
+    #[test]
+    fn gen_methods_work_through_traits() {
+        let mut r = ChaCha8Rng::seed_from_u64(7);
+        let x = r.gen_range(1u64..=10);
+        assert!((1..=10).contains(&x));
+        let _: u64 = r.gen();
+    }
+}

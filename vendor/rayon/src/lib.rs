@@ -1,0 +1,249 @@
+//! Offline stand-in for `rayon`, scoped to what this workspace uses:
+//! `into_par_iter().map(..).collect()` (order-preserving), `for_each`,
+//! and a global thread-count knob via [`ThreadPoolBuilder::build_global`]
+//! (the CLI's `--jobs N`).
+//!
+//! Work distribution is dynamic: a shared atomic cursor hands items to
+//! `current_num_threads()` scoped `std::thread`s, so uneven item costs
+//! (e.g. fault-injection experiments that hang until the budget trips)
+//! still balance. Results land in their input positions, so `collect`
+//! preserves order exactly like rayon's indexed collect.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of worker threads parallel calls will use.
+pub fn current_num_threads() -> usize {
+    match GLOBAL_THREADS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Error from [`ThreadPoolBuilder::build_global`]. The shim never fails;
+/// the type exists for API compatibility.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Configures the global degree of parallelism.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// `0` means "use all available cores".
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        GLOBAL_THREADS.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// Run `f` over every item, in parallel, returning results in input order.
+fn run_parallel<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = current_num_threads().min(n).max(1);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let out: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i].lock().unwrap().take().expect("item taken once");
+                let r = f(item);
+                *out[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+    out.into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker filled slot"))
+        .collect()
+}
+
+/// An about-to-run parallel iterator (items are materialized up front).
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// A mapped parallel iterator.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send> ParIter<T> {
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        run_parallel(self.items, &|t| f(t));
+    }
+
+    pub fn collect<C: FromParallelIterator<T>>(self) -> C {
+        C::from_ordered_vec(self.items)
+    }
+}
+
+impl<T, R, F> ParMap<T, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    pub fn collect<C: FromParallelIterator<R>>(self) -> C {
+        C::from_ordered_vec(run_parallel(self.items, &self.f))
+    }
+
+    pub fn for_each<G>(self, g: G)
+    where
+        G: Fn(R) + Sync,
+    {
+        let f = self.f;
+        run_parallel(self.items, &|t| g(f(t)));
+    }
+}
+
+/// Collection targets for [`ParIter::collect`] / [`ParMap::collect`].
+pub trait FromParallelIterator<R>: Sized {
+    fn from_ordered_vec(v: Vec<R>) -> Self;
+}
+
+impl<R> FromParallelIterator<R> for Vec<R> {
+    fn from_ordered_vec(v: Vec<R>) -> Vec<R> {
+        v
+    }
+}
+
+impl<T, E> FromParallelIterator<Result<T, E>> for Result<Vec<T>, E> {
+    fn from_ordered_vec(v: Vec<Result<T, E>>) -> Result<Vec<T>, E> {
+        v.into_iter().collect()
+    }
+}
+
+/// Types convertible into a parallel iterator.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! par_range {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+par_range!(u32, u64, usize, i32, i64);
+
+pub mod prelude {
+    pub use crate::{FromParallelIterator, IntoParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v.len(), 1000);
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i * 2);
+        }
+    }
+
+    #[test]
+    fn result_collect_short_circuits_to_err() {
+        let r: Result<Vec<u32>, String> = (0..100u32)
+            .into_par_iter()
+            .map(|i| {
+                if i == 57 {
+                    Err("boom".to_string())
+                } else {
+                    Ok(i)
+                }
+            })
+            .collect();
+        assert_eq!(r.unwrap_err(), "boom");
+        let ok: Result<Vec<u32>, String> = (0..100u32).into_par_iter().map(Ok).collect();
+        assert_eq!(ok.unwrap().len(), 100);
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        let hits = AtomicUsize::new(0);
+        (0..500usize).into_par_iter().for_each(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn thread_count_is_configurable() {
+        // Not build_global here (shared state across tests); check default.
+        assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn vec_into_par_iter() {
+        let words = vec!["a".to_string(), "bb".to_string(), "ccc".to_string()];
+        let lens: Vec<usize> = words.into_par_iter().map(|w| w.len()).collect();
+        assert_eq!(lens, vec![1, 2, 3]);
+    }
+}

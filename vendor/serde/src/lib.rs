@@ -1,0 +1,407 @@
+//! Offline stand-in for `serde` (+`serde_derive`).
+//!
+//! The container has no crates.io access, so this crate provides the
+//! small serde surface the workspace actually uses, kept *source
+//! compatible*: `#[derive(serde::Serialize, serde::Deserialize)]` on
+//! structs with named fields and on unit-variant enums, driven through a
+//! single self-describing data model ([`Value`], a JSON document tree)
+//! instead of real serde's visitor architecture. `serde_json` (also
+//! vendored) renders and parses that model as JSON text.
+
+// Let this crate's own tests use the derives, whose expansion names
+// paths as `serde::...`.
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped document tree: the single data model every vendored
+/// `Serialize`/`Deserialize` impl speaks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// Numbers keep their integer-ness so `u64` counts round-trip exactly.
+    Num(Number),
+    Str(String),
+    Array(Vec<Value>),
+    /// Insertion-ordered object (derived structs emit fields in order).
+    Object(Vec<(String, Value)>),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    U(u64),
+    I(i64),
+    F(f64),
+}
+
+impl Value {
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|o| o.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error: what was expected, what was found.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    pub fn expected(what: &str, got: &Value) -> DeError {
+        DeError(format!("expected {what}, found {}", got.kind()))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialize error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Serialization into the [`Value`] data model.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization out of the [`Value`] data model.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Fetch and convert one struct field (used by derived impls).
+pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, DeError> {
+    match v.get(name) {
+        Some(f) => T::from_value(f).map_err(|e| DeError(format!("field `{name}`: {}", e.0))),
+        None => Err(DeError(format!("missing field `{name}`"))),
+    }
+}
+
+// --- Impls for the primitive / std types the workspace serializes -------
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Num(Number::U(*self as u64)) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, DeError> {
+                match v {
+                    Value::Num(Number::U(n)) => <$t>::try_from(*n)
+                        .map_err(|_| DeError(format!("{n} out of range"))),
+                    Value::Num(Number::I(n)) => <$t>::try_from(*n)
+                        .map_err(|_| DeError(format!("{n} out of range"))),
+                    other => Err(DeError::expected("unsigned integer", other)),
+                }
+            }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Num(Number::I(*self as i64)) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, DeError> {
+                match v {
+                    Value::Num(Number::I(n)) => <$t>::try_from(*n)
+                        .map_err(|_| DeError(format!("{n} out of range"))),
+                    Value::Num(Number::U(n)) => <$t>::try_from(*n)
+                        .map_err(|_| DeError(format!("{n} out of range"))),
+                    other => Err(DeError::expected("integer", other)),
+                }
+            }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Num(Number::F(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<f64, DeError> {
+        match v {
+            Value::Num(Number::F(f)) => Ok(*f),
+            Value::Num(Number::U(n)) => Ok(*n as f64),
+            Value::Num(Number::I(n)) => Ok(*n as f64),
+            // Non-finite floats print as bare words; see serde_json's writer.
+            Value::Str(s) if s == "Infinity" => Ok(f64::INFINITY),
+            Value::Str(s) if s == "-Infinity" => Ok(f64::NEG_INFINITY),
+            Value::Str(s) if s == "NaN" => Ok(f64::NAN),
+            other => Err(DeError::expected("number", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Num(Number::F(*self as f64))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<f32, DeError> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<bool, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<String, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Vec<T>, DeError> {
+        match v {
+            Value::Array(a) => a.iter().map(T::from_value).collect(),
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Option<T>, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Value, DeError> {
+        Ok(v.clone())
+    }
+}
+
+// --- Conversions used by serde_json's `json!` macro ---------------------
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::Str(s)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Value {
+        Value::Num(Number::F(f))
+    }
+}
+
+impl From<f32> for Value {
+    fn from(f: f32) -> Value {
+        Value::Num(Number::F(f as f64))
+    }
+}
+
+macro_rules! value_from_uint {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(n: $t) -> Value { Value::Num(Number::U(n as u64)) }
+        }
+    )*};
+}
+value_from_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! value_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(n: $t) -> Value { Value::Num(Number::I(n as i64)) }
+        }
+    )*};
+}
+value_from_int!(i8, i16, i32, i64, isize);
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derive_struct_roundtrip() {
+        #[derive(Debug, PartialEq, Serialize, Deserialize)]
+        struct Point {
+            x: u64,
+            y: f64,
+            label: String,
+        }
+        let p = Point {
+            x: 3,
+            y: -1.5,
+            label: "hi".into(),
+        };
+        let v = p.to_value();
+        assert_eq!(v.get("x"), Some(&Value::Num(Number::U(3))));
+        let back = Point::from_value(&v).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn derive_unit_enum_roundtrip() {
+        #[derive(Debug, PartialEq, Serialize, Deserialize)]
+        enum Color {
+            Red,
+            GreenIsh,
+        }
+        assert_eq!(Color::Red.to_value(), Value::Str("Red".into()));
+        assert_eq!(
+            Color::from_value(&Value::Str("GreenIsh".into())).unwrap(),
+            Color::GreenIsh
+        );
+        assert!(Color::from_value(&Value::Str("Blue".into())).is_err());
+    }
+
+    #[test]
+    fn nested_and_optional_fields() {
+        #[derive(Debug, PartialEq, Serialize, Deserialize)]
+        struct Inner {
+            n: u32,
+        }
+        #[derive(Debug, PartialEq, Serialize, Deserialize)]
+        struct Outer {
+            inner: Option<Inner>,
+            items: Vec<u64>,
+        }
+        let a = Outer {
+            inner: Some(Inner { n: 7 }),
+            items: vec![1, 2, 3],
+        };
+        assert_eq!(Outer::from_value(&a.to_value()).unwrap(), a);
+        let b = Outer {
+            inner: None,
+            items: vec![],
+        };
+        assert_eq!(Outer::from_value(&b.to_value()).unwrap(), b);
+    }
+
+    #[test]
+    fn missing_field_reports_name() {
+        #[derive(Debug, Serialize, Deserialize)]
+        struct Needs {
+            present: bool,
+        }
+        let e = Needs::from_value(&Value::Object(vec![])).unwrap_err();
+        assert!(e.0.contains("present"), "{e}");
+    }
+}

@@ -1,0 +1,229 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! serde facade.
+//!
+//! Since the offline container has neither `syn` nor `quote`, the item is
+//! parsed directly from the `proc_macro::TokenStream`. Supported shapes —
+//! which cover every derive in this workspace — are structs with named
+//! fields and enums whose variants are all unit variants. Generics,
+//! tuple/unit structs, and data-carrying enum variants are rejected with
+//! a compile error rather than silently mis-handled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Item {
+    /// Struct name + field names, in declaration order.
+    Struct(String, Vec<String>),
+    /// Enum name + unit variant names.
+    Enum(String, Vec<String>),
+}
+
+/// Skip attributes (`#[...]`, including doc comments) and visibility
+/// (`pub`, `pub(...)`) at the cursor.
+fn skip_meta(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` followed by a bracket group.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_meta(&tokens, 0);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    if kind != "struct" && kind != "enum" {
+        return Err(format!("cannot derive for `{kind}` items"));
+    }
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!("generic type `{name}` is not supported"));
+        }
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => {
+            return Err(format!(
+                "`{name}`: only braced {kind}s with named members are supported"
+            ))
+        }
+    };
+    let body: Vec<TokenTree> = body.into_iter().collect();
+    let mut names = Vec::new();
+    let mut j = 0;
+    while j < body.len() {
+        j = skip_meta(&body, j);
+        let Some(tt) = body.get(j) else { break };
+        let TokenTree::Ident(id) = tt else {
+            return Err(format!("`{name}`: unexpected token {tt} in body"));
+        };
+        names.push(id.to_string());
+        j += 1;
+        match (kind.as_str(), body.get(j)) {
+            // Struct field: `name : Type ,` — skip to the next top-level comma.
+            ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ':' => {
+                j += 1;
+                while j < body.len() {
+                    if let TokenTree::Punct(p) = &body[j] {
+                        if p.as_char() == ',' {
+                            j += 1;
+                            break;
+                        }
+                        // `<` .. `>` inside types contain no top-level commas
+                        // in this token model only when angle brackets are
+                        // punctuation — track nesting depth.
+                        if p.as_char() == '<' {
+                            let mut depth = 1;
+                            j += 1;
+                            while j < body.len() && depth > 0 {
+                                if let TokenTree::Punct(q) = &body[j] {
+                                    match q.as_char() {
+                                        '<' => depth += 1,
+                                        '>' => depth -= 1,
+                                        _ => {}
+                                    }
+                                }
+                                j += 1;
+                            }
+                            continue;
+                        }
+                    }
+                    j += 1;
+                }
+            }
+            // Unit enum variant: `Name ,` or final `Name`.
+            ("enum", Some(TokenTree::Punct(p))) if p.as_char() == ',' => j += 1,
+            ("enum", None) => {}
+            ("enum", Some(other)) => {
+                return Err(format!(
+                    "`{name}`: only unit enum variants are supported, found `{other}` after `{}`",
+                    names.last().unwrap()
+                ));
+            }
+            ("struct", _) => {
+                return Err(format!("`{name}`: only named struct fields are supported"));
+            }
+            _ => unreachable!(),
+        }
+    }
+    Ok(if kind == "struct" {
+        Item::Struct(name, names)
+    } else {
+        Item::Enum(name, names)
+    })
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(i) => i,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match item {
+        Item::Struct(name, fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__o.push(({f:?}.to_string(), \
+                         serde::Serialize::to_value(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         let mut __o: Vec<(String, serde::Value)> = Vec::new();\n\
+                         {pushes}\n\
+                         serde::Value::Object(__o)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => {v:?},"))
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         serde::Value::Str(match self {{ {arms} }}.to_string())\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(i) => i,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match item {
+        Item::Struct(name, fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: serde::field(__v, {f:?})?,"))
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &serde::Value) -> Result<Self, serde::DeError> {{\n\
+                         if __v.as_object().is_none() {{\n\
+                             return Err(serde::DeError::expected({name:?}, __v));\n\
+                         }}\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &serde::Value) -> Result<Self, serde::DeError> {{\n\
+                         match __v.as_str() {{\n\
+                             Some(__s) => match __s {{\n\
+                                 {arms}\n\
+                                 other => Err(serde::DeError(format!(\n\
+                                     \"unknown {name} variant `{{other}}`\"))),\n\
+                             }},\n\
+                             None => Err(serde::DeError::expected({name:?}, __v)),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}

@@ -1,0 +1,434 @@
+//! Offline stand-in for `serde_json`: JSON text over the vendored
+//! [`serde::Value`] data model. Provides `to_string`, `to_string_pretty`,
+//! `from_str`, and the `json!` literal macro — the full surface this
+//! workspace uses.
+
+pub use serde::{DeError as Error, Number, Value};
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Serialize a value to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serialize a value to human-readable JSON (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Parse JSON text into any [`Deserialize`] type.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let v = parse_value(text)?;
+    T::from_value(&v)
+}
+
+/// Convert any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Convert a [`Value`] tree into any deserializable type.
+pub fn from_value<T: Deserialize>(v: &Value) -> Result<T, Error> {
+    T::from_value(v)
+}
+
+// --- Writer --------------------------------------------------------------
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_number(out: &mut String, n: &Number) {
+    match n {
+        Number::U(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Number::I(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Number::F(f) if f.is_finite() => {
+            // Rust's float Display is shortest-round-trip, so `from_str`
+            // recovers the bit pattern exactly. Keep a trailing `.0` on
+            // integral floats so they stay floats across the trip.
+            if f.fract() == 0.0 && f.abs() < 1e15 {
+                let _ = write!(out, "{f:.1}");
+            } else {
+                let _ = write!(out, "{f}");
+            }
+        }
+        // Non-finite floats have no JSON representation; write a string
+        // (the vendored serde's f64 deserializer accepts these back).
+        Number::F(f) if f.is_nan() => out.push_str("\"NaN\""),
+        Number::F(f) if *f > 0.0 => out.push_str("\"Infinity\""),
+        Number::F(_) => out.push_str("\"-Infinity\""),
+    }
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    let (nl, pad, pad_close, colon) = match indent {
+        Some(w) => (
+            "\n",
+            " ".repeat(w * (depth + 1)),
+            " ".repeat(w * depth),
+            ": ",
+        ),
+        None => ("", String::new(), String::new(), ":"),
+    };
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Num(n) => write_number(out, n),
+        Value::Str(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                write_value(out, item, indent, depth + 1);
+            }
+            out.push_str(nl);
+            out.push_str(&pad_close);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                write_escaped(out, k);
+                out.push_str(colon);
+                write_value(out, item, indent, depth + 1);
+            }
+            out.push_str(nl);
+            out.push_str(&pad_close);
+            out.push('}');
+        }
+    }
+}
+
+// --- Parser --------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        Error(format!("JSON parse error at byte {}: {msg}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek().ok_or_else(|| self.err("unexpected end"))? {
+            b'{' => self.parse_object(),
+            b'[' => self.parse_array(),
+            b'"' => Ok(Value::Str(self.parse_string()?)),
+            b't' if self.eat_literal("true") => Ok(Value::Bool(true)),
+            b'f' if self.eat_literal("false") => Ok(Value::Bool(false)),
+            b'n' if self.eat_literal("null") => Ok(Value::Null),
+            b'-' | b'0'..=b'9' => self.parse_number(),
+            c => Err(self.err(&format!("unexpected `{}`", c as char))),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.parse()?;
+            entries.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let start = self.pos;
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            s.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'b' => s.push('\u{8}'),
+                        b'f' => s.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.err("short \\u escape"))?;
+                            let hex = std::str::from_utf8(hex).map_err(|_| self.err("bad \\u"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u digits"))?;
+                            self.pos += 4;
+                            s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        c => return Err(self.err(&format!("bad escape `\\{}`", c as char))),
+                    }
+                }
+                _ => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("bad number"))?;
+        if is_float {
+            let f: f64 = text.parse().map_err(|_| self.err("bad float"))?;
+            Ok(Value::Num(Number::F(f)))
+        } else if text.starts_with('-') {
+            let i: i64 = text.parse().map_err(|_| self.err("bad integer"))?;
+            Ok(Value::Num(Number::I(i)))
+        } else {
+            let u: u64 = text.parse().map_err(|_| self.err("bad integer"))?;
+            Ok(Value::Num(Number::U(u)))
+        }
+    }
+}
+
+fn parse_value(text: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.parse()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(v)
+}
+
+// --- json! macro ----------------------------------------------------------
+
+/// Build a [`Value`] from a JSON-like literal. Supports objects with
+/// string-literal keys whose values are arbitrary expressions convertible
+/// to `Value` via `Into` (use `vec![..]` for arrays inside objects),
+/// plus top-level arrays and `null`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($item:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::Value::from($item) ),* ])
+    };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( ($key.to_string(), $crate::Value::from($val)) ),*
+        ])
+    };
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_and_pretty_rendering() {
+        let v = json!({
+            "name": "vulfi",
+            "count": 3u64,
+            "rate": 42.5f64,
+            "tags": vec!["a", "b"],
+            "none": Value::Null,
+        });
+        let compact = to_string(&v).unwrap();
+        assert_eq!(
+            compact,
+            r#"{"name":"vulfi","count":3,"rate":42.5,"tags":["a","b"],"none":null}"#
+        );
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("  \"count\": 3"), "{pretty}");
+        assert_eq!(from_str::<Value>(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_handles_escapes_and_nesting() {
+        let v: Value = from_str(r#"{"s": "a\"b\\c\nd", "n": [1, -2, 3.5e2]}"#).unwrap();
+        assert_eq!(v.get("s").unwrap().as_str().unwrap(), "a\"b\\c\nd");
+        let arr = v.get("n").unwrap().as_array().unwrap();
+        assert_eq!(arr[0], Value::Num(Number::U(1)));
+        assert_eq!(arr[1], Value::Num(Number::I(-2)));
+        assert_eq!(arr[2], Value::Num(Number::F(350.0)));
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for f in [0.1f64, 1.0 / 3.0, 99.000000001, 1e-30, -7.25, 40.0] {
+            let text = to_string(&f).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(back.to_bits(), f.to_bits(), "{text}");
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_survive() {
+        let inf = to_string(&f64::INFINITY).unwrap();
+        assert_eq!(from_str::<f64>(&inf).unwrap(), f64::INFINITY);
+        let nan = to_string(&f64::NAN).unwrap();
+        assert!(from_str::<f64>(&nan).unwrap().is_nan());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("12 34").is_err());
+        assert!(from_str::<Value>("").is_err());
+    }
+
+    #[test]
+    fn integral_floats_stay_floats() {
+        let text = to_string(&40.0f64).unwrap();
+        assert_eq!(text, "40.0");
+        assert_eq!(
+            from_str::<Value>(&text).unwrap(),
+            Value::Num(Number::F(40.0))
+        );
+    }
+}
