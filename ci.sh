@@ -5,6 +5,10 @@ cd "$(dirname "$0")"
 
 cargo build --release --workspace
 cargo test -q --workspace
+# Chaos suite (bounded iterations): kill/corrupt/fsck/resume loops must
+# stay bit-identical. Already part of the workspace run above; kept as
+# an explicit gate so containment regressions fail loudly by name.
+cargo test -q -p vulfi-orch --test chaos
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -37,11 +37,14 @@ fn usage() -> String {
      vulfi sites <file> [--isa avx|sse] [--func NAME]\n  \
      vulfi instrument <file> --category pure-data|control|address [--func NAME]\n  \
      vulfi detect <file> [--func NAME] [--uniform]\n  \
-     vulfi campaign --bench NAME [--isa avx|sse] [--category CAT] [--experiments N] [--seed N] [--detectors]\n  \
+     vulfi campaign --bench NAME [--isa avx|sse] [--category CAT] [--experiments N] [--seed N] [--detectors]\n         \
+     [--strict] [--wall-limit-ms N] [--mem-limit-mb N]\n  \
      vulfi study --bench NAME [--isa avx|sse] [--category CAT] [--experiments N] [--campaigns N] [--seed N]\n         \
-     [--store DIR] [--resume] [--jobs N] [--shard-size N] [--json] [--detectors]\n  \
+     [--store DIR] [--resume] [--jobs N] [--shard-size N] [--json] [--detectors]\n         \
+     [--strict] [--wall-limit-ms N] [--mem-limit-mb N]\n  \
      vulfi results summary [--store DIR] [--json]\n  \
      vulfi results merge <SRC>... --store DST\n  \
+     vulfi store fsck [--store DIR] [--repair] [--json]\n  \
      vulfi profile --bench NAME [--isa avx|sse]\n  \
      vulfi list"
         .to_string()
@@ -64,6 +67,15 @@ struct Flags {
     jobs: Option<usize>,
     shard_size: usize,
     json: bool,
+    /// Abort the campaign on an engine panic instead of recording a
+    /// contained Crash outcome.
+    strict: bool,
+    /// `store fsck`: quarantine and rebuild corrupt shard logs.
+    repair: bool,
+    /// Wall-clock watchdog per faulty run, in milliseconds.
+    wall_limit_ms: Option<u64>,
+    /// Memory ceiling per faulty run, in MiB.
+    mem_limit_mb: Option<u64>,
     positional: Vec<String>,
 }
 
@@ -84,6 +96,10 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         jobs: None,
         shard_size: 25,
         json: false,
+        strict: false,
+        repair: false,
+        wall_limit_ms: None,
+        mem_limit_mb: None,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -143,6 +159,22 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     .map_err(|_| "--shard-size needs a number".to_string())?
                     .max(1)
             }
+            "--wall-limit-ms" => {
+                f.wall_limit_ms = Some(
+                    val(a)?
+                        .parse()
+                        .map_err(|_| "--wall-limit-ms needs a number".to_string())?,
+                )
+            }
+            "--mem-limit-mb" => {
+                f.mem_limit_mb = Some(
+                    val(a)?
+                        .parse()
+                        .map_err(|_| "--mem-limit-mb needs a number".to_string())?,
+                )
+            }
+            "--strict" => f.strict = true,
+            "--repair" => f.repair = true,
             "--resume" => f.resume = true,
             "--json" => f.json = true,
             "--detectors" => f.detectors = true,
@@ -261,8 +293,10 @@ fn run(args: &[String]) -> Result<(), String> {
                 .ok_or_else(|| format!("unknown benchmark '{name}' (see `vulfi list`)"))?;
             let category = flags.category.unwrap_or(SiteCategory::PureData);
             let experiments = flags.experiments.unwrap_or(200);
+            vulfi::set_strict(flags.strict);
             let run_one = |w: &dyn Workload| -> Result<(), String> {
-                let prog = vulfi::prepare(w, category).map_err(|e| e.to_string())?;
+                let mut prog = vulfi::prepare(w, category).map_err(|e| e.to_string())?;
+                apply_limits(&mut prog, &flags);
                 println!(
                     "benchmark {} [{}], category {}, {} static sites, {} experiments, seed {}",
                     w.name(),
@@ -287,6 +321,7 @@ fn run(args: &[String]) -> Result<(), String> {
                         c.counts.sdc_detection_rate()
                     );
                 }
+                report_engine_faults();
                 Ok(())
             };
             if flags.detectors {
@@ -302,6 +337,10 @@ fn run(args: &[String]) -> Result<(), String> {
             Some("summary") => results_summary(&flags),
             Some("merge") => results_merge(&flags),
             _ => Err(format!("results needs a subcommand\n{}", usage())),
+        },
+        "store" => match flags.positional.first().map(String::as_str) {
+            Some("fsck") => store_fsck(&flags),
+            _ => Err(format!("store needs a subcommand (fsck)\n{}", usage())),
         },
         "profile" => {
             let name = flags.bench.as_deref().ok_or("profile requires --bench")?;
@@ -355,6 +394,37 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// Surface any engine panics that were contained during this run: they
+/// were counted as Crash outcomes, but an operator should know the
+/// engine (not the injected fault alone) was involved.
+fn report_engine_faults() {
+    let faults = vulfi::drain_engine_faults();
+    if faults.is_empty() {
+        return;
+    }
+    eprintln!(
+        "warning: {} experiment(s) absorbed an engine panic (recorded as Crash; \
+         re-run with --strict to abort instead):",
+        faults.len()
+    );
+    for f in faults.iter().take(5) {
+        eprintln!("  {f}");
+    }
+    if faults.len() > 5 {
+        eprintln!("  ... and {} more", faults.len() - 5);
+    }
+}
+
+/// Apply `--wall-limit-ms` / `--mem-limit-mb` to a prepared program.
+fn apply_limits(prog: &mut vulfi::Prepared, flags: &Flags) {
+    if let Some(ms) = flags.wall_limit_ms {
+        prog.limits.wall_ms = ms;
+    }
+    if let Some(mb) = flags.mem_limit_mb {
+        prog.limits.mem_bytes = mb << 20;
+    }
+}
+
 fn isa_name(isa: VectorIsa) -> &'static str {
     match isa {
         VectorIsa::Avx => "avx",
@@ -385,9 +455,11 @@ fn run_study_cmd(flags: &Flags) -> Result<(), String> {
     };
     let store = vulfi_orch::Store::open(&flags.store).map_err(|e| e.to_string())?;
     let isa = isa_name(flags.isa);
+    vulfi::set_strict(flags.strict);
 
     let run_one = |w: &dyn Workload| -> Result<(), String> {
-        let prog = vulfi::prepare(w, category).map_err(|e| e.to_string())?;
+        let mut prog = vulfi::prepare(w, category).map_err(|e| e.to_string())?;
+        apply_limits(&mut prog, flags);
         let key = vulfi_orch::study_key(&prog, w.name(), isa, &cfg);
         let study = store.study(&key);
         if study.exists() && !flags.resume {
@@ -489,6 +561,7 @@ fn run_study_cmd(flags: &Flags) -> Result<(), String> {
                 );
             }
         }
+        report_engine_faults();
         Ok(())
     };
     if flags.detectors {
@@ -633,6 +706,77 @@ fn results_merge(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// `vulfi store fsck`: check every study's shard log; with `--repair`,
+/// quarantine corrupt logs and salvage the intact records.
+fn store_fsck(flags: &Flags) -> Result<(), String> {
+    let store = vulfi_orch::Store::open(&flags.store).map_err(|e| e.to_string())?;
+    let report = store.fsck(flags.repair).map_err(|e| e.to_string())?;
+    if flags.json {
+        let docs: Vec<serde_json::Value> = report
+            .studies
+            .iter()
+            .map(|s| {
+                serde_json::json!({
+                    "key": s.key.0.clone(),
+                    "lines": s.lines as u64,
+                    "valid": s.valid as u64,
+                    "torn_tail": s.torn_tail,
+                    "corrupt": s.corrupt
+                        .iter()
+                        .map(|(line, reason)| serde_json::json!({
+                            "line": *line as u64,
+                            "reason": reason.clone(),
+                        }))
+                        .collect::<Vec<_>>(),
+                    "quarantined": s.quarantined
+                        .as_ref()
+                        .map(|p| p.display().to_string())
+                        .unwrap_or_default(),
+                })
+            })
+            .collect();
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&serde_json::Value::Array(docs)).unwrap()
+        );
+    } else {
+        for s in &report.studies {
+            let status = if s.needs_repair() {
+                "CORRUPT"
+            } else if s.torn_tail {
+                "torn tail"
+            } else {
+                "ok"
+            };
+            println!(
+                "{}  {:10}  {} record(s) valid of {} line(s)",
+                &s.key.0[..12.min(s.key.0.len())],
+                status,
+                s.valid,
+                s.lines
+            );
+            for (line, reason) in &s.corrupt {
+                println!("    line {line}: {reason}");
+            }
+            if let Some(q) = &s.quarantined {
+                println!("    quarantined to {}", q.display());
+            }
+        }
+        if report.studies.is_empty() {
+            println!("no studies under {}", flags.store);
+        }
+    }
+    if report.needs_repair() && !flags.repair {
+        return Err(format!(
+            "corrupt shard log(s) found under {}; re-run with --repair to \
+             quarantine them and salvage intact records, then resume the \
+             affected studies",
+            flags.store
+        ));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -770,6 +914,32 @@ export void scale(uniform float a[], uniform int n, uniform float s) {
         assert!(parse_flags(&s(&["--jobs", "two"])).is_err());
     }
 
+    #[test]
+    fn containment_flags_parse() {
+        let f = parse_flags(&s(&[
+            "--strict",
+            "--repair",
+            "--wall-limit-ms",
+            "250",
+            "--mem-limit-mb",
+            "64",
+        ]))
+        .unwrap();
+        assert!(f.strict && f.repair);
+        assert_eq!(f.wall_limit_ms, Some(250));
+        assert_eq!(f.mem_limit_mb, Some(64));
+        assert!(parse_flags(&s(&["--wall-limit-ms", "soon"])).is_err());
+        assert!(parse_flags(&s(&["--mem-limit-mb"])).is_err());
+
+        let mut prog_flags = parse_flags(&s(&["--mem-limit-mb", "2"])).unwrap();
+        prog_flags.wall_limit_ms = Some(9);
+        let w = vbench::micro_benchmark("vector sum", VectorIsa::Avx, vbench::Scale::Test).unwrap();
+        let mut prog = vulfi::prepare(&w, SiteCategory::PureData).unwrap();
+        apply_limits(&mut prog, &prog_flags);
+        assert_eq!(prog.limits.wall_ms, 9);
+        assert_eq!(prog.limits.mem_bytes, 2 << 20);
+    }
+
     fn temp_store(tag: &str) -> String {
         let dir =
             std::env::temp_dir().join(format!("vulfi_cli_store_{tag}_{}", std::process::id()));
@@ -868,6 +1038,67 @@ export void scale(uniform float a[], uniform int n, uniform float s) {
         run(&base(&["--resume"])).unwrap();
         // Now complete: running again without --resume is a cache hit.
         run(&base(&[])).unwrap();
+    }
+
+    #[test]
+    fn store_fsck_detects_repairs_and_resumes() {
+        let store_dir = temp_store("fsck");
+        let base = [
+            "study",
+            "--bench",
+            "vector sum",
+            "--experiments",
+            "12",
+            "--campaigns",
+            "5",
+            "--seed",
+            "11",
+            "--shard-size",
+            "5",
+            "--store",
+            &store_dir,
+        ];
+        run(&s(&base)).unwrap();
+
+        // Empty-positional and unknown-subcommand paths.
+        assert!(run(&s(&["store", "--store", &store_dir])).is_err());
+        assert!(run(&s(&["store", "scrub", "--store", &store_dir])).is_err());
+
+        // Clean store: fsck passes in both output modes.
+        run(&s(&["store", "fsck", "--store", &store_dir])).unwrap();
+        run(&s(&["store", "fsck", "--store", &store_dir, "--json"])).unwrap();
+
+        // Flip one byte mid-file: summary fails loudly, fsck reports,
+        // --repair quarantines, and the study resumes to completion.
+        let keys = vulfi_orch::Store::open(&store_dir)
+            .unwrap()
+            .studies()
+            .unwrap();
+        let log = std::path::Path::new(&store_dir)
+            .join(&keys[0].0)
+            .join("shards.jsonl");
+        let mut bytes = fs::read(&log).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        fs::write(&log, &bytes).unwrap();
+
+        let err = run(&s(&["results", "summary", "--store", &store_dir])).unwrap_err();
+        assert!(err.contains("fsck"), "{err}");
+        let err = run(&s(&["store", "fsck", "--store", &store_dir])).unwrap_err();
+        assert!(err.contains("--repair"), "{err}");
+        run(&s(&["store", "fsck", "--store", &store_dir, "--repair"])).unwrap();
+        assert!(std::path::Path::new(&store_dir)
+            .join(&keys[0].0)
+            .join("shards.quarantine")
+            .join("shards.0.jsonl")
+            .is_file());
+
+        // The lost shards re-run under --resume and the study completes.
+        let mut resume: Vec<&str> = base.to_vec();
+        resume.push("--resume");
+        run(&s(&resume)).unwrap();
+        run(&s(&["store", "fsck", "--store", &store_dir])).unwrap();
+        run(&s(&["results", "summary", "--store", &store_dir])).unwrap();
     }
 
     #[test]

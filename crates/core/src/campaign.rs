@@ -20,6 +20,7 @@ use vexec::{Interp, Trap};
 use vir::analysis::SiteCategory;
 use vir::Module;
 
+use crate::faultlog::{panic_message, record_engine_fault, strict, EngineFault};
 use crate::instrument::{instrument_module, InstrumentOptions, Instrumented};
 use crate::runtime::{InjectionRecord, VulfiHost};
 use crate::sites::StaticSite;
@@ -65,12 +66,52 @@ impl std::fmt::Display for CampaignError {
 
 impl std::error::Error for CampaignError {}
 
+/// Resource ceilings applied to the **faulty** run of every experiment.
+///
+/// The golden run is never limited: it defines correct behaviour, and a
+/// trap there is a workload bug ([`CampaignError`]), not an outcome. The
+/// faulty run, by contrast, executes under an injected bit flip and can
+/// be driven into runaway loops or allocation storms; each ceiling
+/// converts such a runaway into a contained [`Outcome::Crash`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ResourceLimits {
+    /// Hang-budget multiplier over the golden run's dynamic instruction
+    /// count (deterministic; the primary hang containment).
+    pub hang_factor: u64,
+    /// Flat slack added to the hang budget.
+    pub hang_slack: u64,
+    /// Wall-clock watchdog for the faulty run, in milliseconds. `0`
+    /// disables it — the default, because wall time is inherently
+    /// non-deterministic: a study run with a wall limit is only
+    /// bit-reproducible if no experiment ever comes near the limit. Use
+    /// it as a backstop when the instruction budget alone leaves single
+    /// experiments unacceptably slow in real time.
+    pub wall_ms: u64,
+    /// Memory ceiling for program-driven allocation in the faulty run,
+    /// in bytes. `0` keeps the engine default (64 MiB). Deterministic.
+    pub mem_bytes: u64,
+}
+
+impl Default for ResourceLimits {
+    fn default() -> ResourceLimits {
+        ResourceLimits {
+            hang_factor: HANG_FACTOR,
+            hang_slack: HANG_SLACK,
+            wall_ms: 0,
+            mem_bytes: 0,
+        }
+    }
+}
+
 /// An instrumented program ready for injection runs.
 pub struct Prepared {
     pub module: Module,
     pub entry: String,
     pub sites: Vec<StaticSite>,
     pub category: SiteCategory,
+    /// Resource ceilings for faulty runs (defaults preserve historical
+    /// behaviour: hang budget only).
+    pub limits: ResourceLimits,
 }
 
 /// Instrument `workload`'s module for the given category.
@@ -91,6 +132,7 @@ pub fn prepare_with(
         entry: workload.entry().to_string(),
         sites,
         category: opts.category,
+        limits: ResourceLimits::default(),
     })
 }
 
@@ -99,13 +141,67 @@ const HANG_FACTOR: u64 = 10;
 const HANG_SLACK: u64 = 100_000;
 
 /// Run one fault-injection experiment.
+///
+/// The experiment body is wrapped in `std::panic::catch_unwind`: an
+/// engine (or workload) panic on faulted state is classified as
+/// [`Outcome::Crash`] and recorded in the engine-fault log
+/// ([`crate::engine_faults`]) instead of unwinding through the campaign.
+/// Under [`crate::set_strict`] the panic aborts the campaign as a
+/// [`CampaignError`] instead.
 pub fn run_experiment(
     prog: &Prepared,
     workload: &dyn Workload,
     rng: &mut ChaCha8Rng,
 ) -> Result<Experiment, CampaignError> {
-    let input = rng.gen_range(0..workload.num_inputs().max(1));
+    run_experiment_tagged(prog, workload, rng, None)
+}
 
+/// [`run_experiment`] with panic provenance `(campaign_seed, index)`.
+fn run_experiment_tagged(
+    prog: &Prepared,
+    workload: &dyn Workload,
+    rng: &mut ChaCha8Rng,
+    provenance: Option<(u64, usize)>,
+) -> Result<Experiment, CampaignError> {
+    // Draw the input OUTSIDE the isolated body: a panicking experiment
+    // must still produce a deterministic record, identical whether it ran
+    // via run_study or any shard partition.
+    let input = rng.gen_range(0..workload.num_inputs().max(1));
+    let body = std::panic::AssertUnwindSafe(|| run_experiment_body(prog, workload, rng, input));
+    match std::panic::catch_unwind(body) {
+        Ok(result) => result,
+        Err(payload) => {
+            let fault = EngineFault {
+                workload: workload.name().to_string(),
+                experiment: provenance,
+                input,
+                message: panic_message(payload.as_ref()),
+            };
+            if strict() {
+                return Err(CampaignError(format!("strict mode: {fault}")));
+            }
+            record_engine_fault(fault);
+            // The engine died mid-experiment: from the outside that is a
+            // crash of the faulted program. No injection record or site
+            // counts survive the unwind, so the record carries zeros.
+            Ok(Experiment {
+                outcome: Outcome::Crash,
+                detected: false,
+                injection: None,
+                input,
+                dynamic_sites: 0,
+                golden_dyn_insts: 0,
+            })
+        }
+    }
+}
+
+fn run_experiment_body(
+    prog: &Prepared,
+    workload: &dyn Workload,
+    rng: &mut ChaCha8Rng,
+    input: u64,
+) -> Result<Experiment, CampaignError> {
     // --- Golden run -------------------------------------------------------
     let mut interp = Interp::new(&prog.module);
     let setup = workload
@@ -135,10 +231,23 @@ pub fn run_experiment(
     let target = rng.gen_range(1..=n_sites);
     let bit_entropy: u64 = rng.gen();
     let mut interp = Interp::new(&prog.module);
-    interp.set_budget(golden.dyn_insts * HANG_FACTOR + HANG_SLACK);
+    interp.set_budget(
+        golden
+            .dyn_insts
+            .saturating_mul(prog.limits.hang_factor)
+            .saturating_add(prog.limits.hang_slack),
+    );
     let setup2 = workload
         .setup(&mut interp.mem, input)
         .map_err(|t| CampaignError(format!("setup failed: {t}")))?;
+    // Ceilings go on after setup: workload-provided buffers are
+    // legitimate; the ceilings bound what the *faulted program* does.
+    if prog.limits.wall_ms > 0 {
+        interp.set_wall_limit(std::time::Duration::from_millis(prog.limits.wall_ms));
+    }
+    if prog.limits.mem_bytes > 0 {
+        interp.set_memory_limit(prog.limits.mem_bytes);
+    }
     let mut host = VulfiHost::inject(target, bit_entropy);
     let result = interp.run(&prog.entry, &setup2.args, &mut host);
 
@@ -275,7 +384,7 @@ pub fn run_experiment_range(
     range
         .map(|i| {
             let mut rng = experiment_rng(campaign_seed, i);
-            run_experiment(prog, workload, &mut rng)
+            run_experiment_tagged(prog, workload, &mut rng, Some((campaign_seed, i)))
         })
         .collect()
 }
@@ -292,7 +401,7 @@ pub fn run_campaign(
         .into_par_iter()
         .map(|i| {
             let mut rng = experiment_rng(seed, i);
-            run_experiment(prog, workload, &mut rng)
+            run_experiment_tagged(prog, workload, &mut rng, Some((seed, i)))
         })
         .collect();
     let experiments = experiments?;
@@ -574,5 +683,268 @@ exit:
         assert_eq!(a, b);
         let c = measure_dyn_insts(w.module(), "scale", &w, 2).unwrap();
         assert!(c > a, "bigger input → more dynamic instructions");
+    }
+
+    // --- Fault containment -----------------------------------------------
+
+    /// Serialises tests that depend on the process-global strict flag or
+    /// the engine-fault log.
+    static CONTAINMENT_GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn gate() -> std::sync::MutexGuard<'static, ()> {
+        CONTAINMENT_GATE
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// A workload whose `setup` panics for one specific input: a stand-in
+    /// for any engine panic on malformed faulted state.
+    struct PanicWorkload {
+        inner: ScaleWorkload,
+    }
+
+    impl Workload for PanicWorkload {
+        fn name(&self) -> &str {
+            "panicky scale"
+        }
+        fn entry(&self) -> &str {
+            self.inner.entry()
+        }
+        fn module(&self) -> &Module {
+            self.inner.module()
+        }
+        fn num_inputs(&self) -> u64 {
+            self.inner.num_inputs()
+        }
+        fn setup(&self, mem: &mut Memory, input: u64) -> Result<SetupResult, vexec::Trap> {
+            if input == 1 {
+                panic!("deliberate test panic on input 1");
+            }
+            self.inner.setup(mem, input)
+        }
+    }
+
+    #[test]
+    fn engine_panic_is_contained_as_crash_with_provenance() {
+        let _g = gate();
+        crate::faultlog::drain_engine_faults();
+        let w = PanicWorkload {
+            inner: ScaleWorkload::new(),
+        };
+        let prog = prepare(&w, SiteCategory::PureData).unwrap();
+        let seed = campaign_seed(0x51C, 0);
+        let c = run_campaign(&prog, &w, 30, seed).unwrap();
+        assert_eq!(c.counts.total(), 30, "every experiment must be recorded");
+        let panicked: Vec<_> = c
+            .experiments
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.input == 1)
+            .collect();
+        assert!(!panicked.is_empty(), "input 1 must be drawn at least once");
+        for (_, e) in &panicked {
+            assert_eq!(e.outcome, Outcome::Crash);
+            assert_eq!(e.injection, None);
+            assert_eq!(e.dynamic_sites, 0);
+        }
+        // Provenance: one log entry per panicking experiment, carrying
+        // (campaign seed, index) and the panic message.
+        let faults = crate::faultlog::drain_engine_faults();
+        assert_eq!(faults.len(), panicked.len());
+        for (i, _) in &panicked {
+            assert!(
+                faults.iter().any(|f| f.experiment == Some((seed, *i))
+                    && f.message.contains("deliberate test panic")
+                    && f.workload == "panicky scale"),
+                "missing provenance for experiment {i}: {faults:?}"
+            );
+        }
+        // Containment is deterministic: the same campaign replays
+        // bit-identically, panics included.
+        let c2 = run_campaign(&prog, &w, 30, seed).unwrap();
+        assert_eq!(c.experiments, c2.experiments);
+        crate::faultlog::drain_engine_faults();
+    }
+
+    #[test]
+    fn strict_mode_aborts_on_engine_panic() {
+        let _g = gate();
+        let w = PanicWorkload {
+            inner: ScaleWorkload::new(),
+        };
+        let prog = prepare(&w, SiteCategory::PureData).unwrap();
+        crate::faultlog::set_strict(true);
+        let result = run_campaign(&prog, &w, 30, campaign_seed(0x51C, 0));
+        crate::faultlog::set_strict(false);
+        let err = result.expect_err("strict mode must abort the campaign");
+        assert!(err.0.contains("strict mode"), "{err}");
+        assert!(err.0.contains("deliberate test panic"), "{err}");
+        crate::faultlog::drain_engine_faults();
+    }
+
+    /// A loop that touches only `a[0]`: control flips cannot go out of
+    /// bounds, so a runaway loop must be stopped by the hang budget or
+    /// the wall-clock watchdog — nothing else.
+    struct SpinWorkload {
+        module: Module,
+    }
+
+    impl SpinWorkload {
+        fn new() -> SpinWorkload {
+            let src = r#"
+define void @spin(ptr %a, i32 %n) {
+entry:
+  br label %header
+header:
+  %i = phi i32 [ 0, %entry ], [ %i2, %body ]
+  %cond = icmp slt i32 %i, %n
+  br i1 %cond, label %body, label %exit
+body:
+  %v = load float, ptr %a
+  %d = fadd float %v, 1.0
+  store float %d, ptr %a
+  %i2 = add i32 %i, 1
+  br label %header
+exit:
+  ret void
+}
+"#;
+            SpinWorkload {
+                module: vir::parser::parse_module(src).unwrap(),
+            }
+        }
+    }
+
+    impl Workload for SpinWorkload {
+        fn name(&self) -> &str {
+            "spin"
+        }
+        fn entry(&self) -> &str {
+            "spin"
+        }
+        fn module(&self) -> &Module {
+            &self.module
+        }
+        fn num_inputs(&self) -> u64 {
+            1
+        }
+        fn setup(&self, mem: &mut Memory, _input: u64) -> Result<SetupResult, vexec::Trap> {
+            let a = mem.alloc_f32_slice(&[0.0])?;
+            Ok(SetupResult {
+                args: vec![
+                    RtVal::Scalar(Scalar::ptr(a)),
+                    RtVal::Scalar(Scalar::i32(24)),
+                ],
+                outputs: vec![OutputRegion { addr: a, bytes: 4 }],
+            })
+        }
+    }
+
+    /// Like `SpinWorkload`, but every iteration `alloca`s a fresh buffer,
+    /// so a runaway loop is an allocation storm.
+    struct GrowWorkload {
+        module: Module,
+    }
+
+    impl GrowWorkload {
+        fn new() -> GrowWorkload {
+            let src = r#"
+define void @grow(ptr %a, i32 %n) {
+entry:
+  br label %header
+header:
+  %i = phi i32 [ 0, %entry ], [ %i2, %body ]
+  %cond = icmp slt i32 %i, %n
+  br i1 %cond, label %body, label %exit
+body:
+  %buf = alloca float, i32 64
+  %v = load float, ptr %a
+  store float %v, ptr %buf
+  %i2 = add i32 %i, 1
+  br label %header
+exit:
+  ret void
+}
+"#;
+            GrowWorkload {
+                module: vir::parser::parse_module(src).unwrap(),
+            }
+        }
+    }
+
+    impl Workload for GrowWorkload {
+        fn name(&self) -> &str {
+            "grow"
+        }
+        fn entry(&self) -> &str {
+            "grow"
+        }
+        fn module(&self) -> &Module {
+            &self.module
+        }
+        fn num_inputs(&self) -> u64 {
+            1
+        }
+        fn setup(&self, mem: &mut Memory, _input: u64) -> Result<SetupResult, vexec::Trap> {
+            let a = mem.alloc_f32_slice(&[0.0])?;
+            Ok(SetupResult {
+                args: vec![
+                    RtVal::Scalar(Scalar::ptr(a)),
+                    RtVal::Scalar(Scalar::i32(16)),
+                ],
+                outputs: vec![OutputRegion { addr: a, bytes: 4 }],
+            })
+        }
+    }
+
+    #[test]
+    fn hang_budget_contains_runaway_loops_as_crash() {
+        let w = SpinWorkload::new();
+        let prog = prepare(&w, SiteCategory::Control).unwrap();
+        assert_eq!(prog.limits, ResourceLimits::default());
+        let c = run_campaign(&prog, &w, 60, 17).unwrap();
+        assert_eq!(c.counts.total(), 60);
+        // @spin touches only a[0]; any crash here is the hang budget.
+        assert!(
+            c.counts.crash > 0,
+            "control flips must drive the loop past the budget: {:?}",
+            c.counts
+        );
+    }
+
+    #[test]
+    fn wall_clock_watchdog_contains_runaway_loops_as_crash() {
+        let w = SpinWorkload::new();
+        let mut prog = prepare(&w, SiteCategory::Control).unwrap();
+        // Push the instruction budget out of reach so only the watchdog
+        // can stop a runaway loop, then give it a tight real-time leash.
+        prog.limits.hang_factor = u64::MAX;
+        prog.limits.hang_slack = u64::MAX;
+        prog.limits.wall_ms = 30;
+        let c = run_campaign(&prog, &w, 60, 17).unwrap();
+        assert_eq!(c.counts.total(), 60);
+        assert!(
+            c.counts.crash > 0,
+            "the watchdog must contain the runaway loops: {:?}",
+            c.counts
+        );
+    }
+
+    #[test]
+    fn memory_ceiling_contains_allocation_storms_as_crash() {
+        let w = GrowWorkload::new();
+        let mut prog = prepare(&w, SiteCategory::Control).unwrap();
+        // No instruction or wall limit: only the memory ceiling can stop
+        // a runaway allocation loop (64 floats per iteration).
+        prog.limits.hang_factor = u64::MAX;
+        prog.limits.hang_slack = u64::MAX;
+        prog.limits.mem_bytes = 1 << 20;
+        let c = run_campaign(&prog, &w, 60, 17).unwrap();
+        assert_eq!(c.counts.total(), 60);
+        assert!(
+            c.counts.crash > 0,
+            "the memory ceiling must contain the allocation storms: {:?}",
+            c.counts
+        );
     }
 }

@@ -1,0 +1,147 @@
+//! Engine-fault containment log.
+//!
+//! A fault injector must survive the faults it injects: one pathological
+//! faulted execution that panics inside the engine must not take down the
+//! whole campaign (the paper's outcome taxonomy, §IV-B, only holds if
+//! every experiment is accounted for). [`crate::run_experiment`] wraps
+//! each experiment in `std::panic::catch_unwind`; a caught panic is
+//! classified as [`crate::Outcome::Crash`] and recorded here with its
+//! provenance, so a study that absorbed engine faults is *visible* as
+//! such rather than silently indistinguishable from a clean one.
+//!
+//! In **strict mode** ([`set_strict`]) a caught panic aborts the
+//! campaign with a [`crate::CampaignError`] instead — the mode CI and
+//! engine developers want, where an engine panic is a bug to fix, not an
+//! outcome to count.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// Provenance of one engine panic absorbed during a campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineFault {
+    /// Workload that was executing.
+    pub workload: String,
+    /// `(campaign_seed, experiment_index)` when known (study/shard paths);
+    /// `None` for direct [`crate::run_experiment`] calls.
+    pub experiment: Option<(u64, usize)>,
+    /// Input index the experiment drew.
+    pub input: u64,
+    /// The panic message.
+    pub message: String,
+}
+
+impl std::fmt::Display for EngineFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.experiment {
+            Some((seed, idx)) => write!(
+                f,
+                "engine panic in {} (campaign seed {seed:#x}, experiment {idx}, input {}): {}",
+                self.workload, self.input, self.message
+            ),
+            None => write!(
+                f,
+                "engine panic in {} (input {}): {}",
+                self.workload, self.input, self.message
+            ),
+        }
+    }
+}
+
+static STRICT: AtomicBool = AtomicBool::new(false);
+static LOG: Mutex<Vec<EngineFault>> = Mutex::new(Vec::new());
+
+/// In strict mode a caught engine panic aborts the campaign as a
+/// [`crate::CampaignError`] instead of being recorded as a Crash outcome.
+pub fn set_strict(on: bool) {
+    STRICT.store(on, Ordering::Relaxed);
+}
+
+/// Is strict mode on?
+pub fn strict() -> bool {
+    STRICT.load(Ordering::Relaxed)
+}
+
+/// Record one absorbed engine panic. Called by the experiment runner;
+/// callers normally only read the log.
+pub fn record_engine_fault(fault: EngineFault) {
+    // A panic while the log lock is held would poison it; recover the
+    // guard so containment bookkeeping itself can never cascade.
+    let mut log = LOG
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    log.push(fault);
+}
+
+/// Snapshot of every engine fault recorded since the last
+/// [`drain_engine_faults`].
+pub fn engine_faults() -> Vec<EngineFault> {
+    LOG.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clone()
+}
+
+/// Take (and clear) the recorded engine faults.
+pub fn drain_engine_faults() -> Vec<EngineFault> {
+    std::mem::take(
+        &mut *LOG
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner),
+    )
+}
+
+/// Render a panic payload (from `catch_unwind`) as a message string.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_records_and_drains() {
+        drain_engine_faults();
+        record_engine_fault(EngineFault {
+            workload: "w".into(),
+            experiment: Some((7, 3)),
+            input: 1,
+            message: "boom".into(),
+        });
+        let snap = engine_faults();
+        assert!(snap.iter().any(|f| f.message == "boom"));
+        let drained = drain_engine_faults();
+        assert!(drained.iter().any(|f| f.experiment == Some((7, 3))));
+        assert!(!engine_faults().iter().any(|f| f.message == "boom"));
+    }
+
+    #[test]
+    fn panic_messages_render() {
+        let static_payload: Box<dyn std::any::Any + Send> = Box::new("static");
+        assert_eq!(panic_message(static_payload.as_ref()), "static");
+        let owned: Box<dyn std::any::Any + Send> = Box::new(String::from("owned"));
+        assert_eq!(panic_message(owned.as_ref()), "owned");
+        let odd: Box<dyn std::any::Any + Send> = Box::new(42u32);
+        assert_eq!(panic_message(odd.as_ref()), "non-string panic payload");
+    }
+
+    #[test]
+    fn fault_display_includes_provenance() {
+        let f = EngineFault {
+            workload: "scale".into(),
+            experiment: Some((0xAB, 9)),
+            input: 2,
+            message: "index out of bounds".into(),
+        };
+        let text = f.to_string();
+        assert!(text.contains("scale"), "{text}");
+        assert!(text.contains("experiment 9"), "{text}");
+        assert!(text.contains("index out of bounds"), "{text}");
+    }
+}

@@ -48,6 +48,7 @@
 //! ```
 
 pub mod campaign;
+pub mod faultlog;
 pub mod instrument;
 pub mod report;
 pub mod runtime;
@@ -58,7 +59,10 @@ pub mod workload;
 pub use campaign::{
     campaign_seed, experiment_rng, prepare, prepare_with, run_campaign, run_experiment,
     run_experiment_range, run_study, CampaignError, CampaignResult, Experiment, Outcome,
-    OutcomeCounts, Prepared, StudyConfig, StudyResult,
+    OutcomeCounts, Prepared, ResourceLimits, StudyConfig, StudyResult,
+};
+pub use faultlog::{
+    drain_engine_faults, engine_faults, record_engine_fault, set_strict, strict, EngineFault,
 };
 pub use instrument::{instrument_module, InstrumentOptions, Instrumented};
 pub use report::{StudyReport, SuiteReport};

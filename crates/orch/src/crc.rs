@@ -1,0 +1,55 @@
+//! CRC-32/IEEE (the zlib/PNG polynomial), used to checksum every shard
+//! record line so a flipped byte in `shards.jsonl` is *detected* instead
+//! of silently changing merged results.
+
+const POLY: u32 = 0xEDB8_8320;
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// CRC-32/IEEE of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_standard_check_value() {
+        // The CRC-32/IEEE check value from the catalogue of CRC algorithms.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn detects_single_byte_changes() {
+        let a = crc32(b"{\"campaign\":0}");
+        let b = crc32(b"{\"campaign\":1}");
+        assert_ne!(a, b);
+        assert_eq!(crc32(b""), 0);
+    }
+}

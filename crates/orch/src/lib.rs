@@ -8,9 +8,11 @@
 //!   hash of its instrumented IR, category, ISA, seed, and full
 //!   configuration, so re-running a finished study is a cache hit and
 //!   changing any input lands in a fresh directory.
-//! - **Crash-tolerant persistence** ([`store`]): shards append to a JSONL
-//!   log; the manifest is replaced atomically. Killing a run loses at
-//!   most the in-flight shards.
+//! - **Crash-tolerant persistence** ([`store`]): shards append to a
+//!   checksummed JSONL log; the manifest is replaced atomically. Killing
+//!   a run loses at most the in-flight shards, a flipped byte is detected
+//!   rather than merged, and [`Store::fsck`] quarantines a damaged log
+//!   and salvages every intact record.
 //! - **Deterministic sharding** ([`plan`]): every experiment's RNG
 //!   derives from its `(campaign, index)` coordinates, so any partition
 //!   into shards, on any thread count, merges to the bit-identical
@@ -30,17 +32,19 @@
 //! # Ok(()) }
 //! ```
 
+pub mod crc;
 pub mod key;
 pub mod observe;
 pub mod plan;
 pub mod run;
 pub mod store;
 
+pub use crc::crc32;
 pub use key::{study_key, StudyKey};
 pub use observe::{Progress, ProgressSnapshot};
 pub use plan::{covered_experiments, merge, merged_dyn_insts, missing_jobs, plan_shards, ShardJob};
 pub use run::{run_study_persistent, set_jobs, ProgressFn, RunOptions, RunOutcome};
-pub use store::{Manifest, ShardRecord, Store, StudyStore};
+pub use store::{FsckReport, Manifest, ShardRecord, Store, StudyFsck, StudyStore};
 
 /// Orchestration-layer error (I/O, storage corruption, or a campaign
 /// failure bubbled up from the experiment runner).

@@ -92,6 +92,10 @@ pub fn run_study_persistent(
     }
 
     let done = study.shards()?;
+    // Heal the expected kill artifact (a torn trailing line) now, so the
+    // appends below cannot bury it mid-file where it would read as
+    // corruption. Real corruption errored out of `shards()` above.
+    study.trim_torn_tail()?;
     let mut missing = missing_jobs(&plan, &done, cfg);
     let reused_shards = plan.len() - missing.len();
     if let Some(cap) = opts.max_shards {
@@ -130,7 +134,13 @@ pub fn run_study_persistent(
                 experiments,
                 wall_ns: shard_start.elapsed().as_nanos() as u64,
             };
-            let mut guard = sink.lock().unwrap();
+            // Recover the guard on poison: a panic in another worker (or
+            // in a user callback) must not cascade into losing this
+            // shard's append — the counters it protects stay coherent
+            // because every mutation below is completed before unlock.
+            let mut guard = sink
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             let (study, progress) = &mut *guard;
             study.append_shard(&rec)?;
             progress.executed += rec.experiments.len() as u64;
@@ -139,14 +149,19 @@ pub fn run_study_persistent(
                 progress.dyn_insts += e.golden_dyn_insts;
             }
             if let Some(cb) = &opts.progress {
-                cb(&progress.snapshot());
+                // A panicking observer must not kill the study: the
+                // shard is already persisted; reporting is best-effort.
+                let snap = progress.snapshot();
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| cb(&snap)));
             }
             Ok(())
         })
         .collect();
     results?;
 
-    let (_, progress) = sink.into_inner().unwrap();
+    let (_, progress) = sink
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     let done = study.shards()?;
     let result = merge(cfg, prog.category, &done);
     let pending_shards = missing_jobs(&plan, &done, cfg).len();

@@ -1,25 +1,40 @@
-//! Append-only, crash-tolerant persistence for study shards.
+//! Append-only, crash-tolerant, self-checking persistence for study
+//! shards.
 //!
 //! Layout under the store root:
 //!
 //! ```text
 //! results/store/<study-key>/
-//!   manifest.json    # study identity + config (atomic tmp+rename writes)
-//!   shards.jsonl     # one JSON line per completed shard, append-only
+//!   manifest.json       # study identity + config (atomic tmp+rename)
+//!   shards.jsonl        # one checksummed JSON line per completed shard
+//!   shards.quarantine/  # corrupt logs moved aside by fsck --repair
 //! ```
 //!
-//! A killed run leaves at worst one truncated trailing line in
-//! `shards.jsonl`; the reader skips unparsable lines, so resume sees
-//! exactly the shards whose writes completed. The manifest is only ever
-//! replaced via write-to-temp + `rename`, which is atomic on POSIX.
+//! Every shard line carries a CRC-32 suffix (`{json}\tcrc32=xxxxxxxx`),
+//! so corruption is *detected*, never silently merged. The failure
+//! contract of [`StudyStore::shards`]:
+//!
+//! - A torn **trailing** line (killed writer) is skipped: resume sees
+//!   exactly the shards whose writes completed.
+//! - Corruption anywhere **earlier** is an error pointing at
+//!   `vulfi store fsck`, which quarantines the damaged log, salvages
+//!   every checksum-valid record, and lets the scheduler re-run the
+//!   lost jobs.
+//!
+//! The manifest is only ever replaced via write-to-temp + `rename`,
+//! which is atomic on POSIX. Appends retry transient I/O errors with
+//! capped exponential backoff, rolling the file back to its pre-append
+//! length between attempts so a partial write is never left mid-file.
 
 use std::fs;
-use std::io::Write as _;
+use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 use vir::analysis::SiteCategory;
 use vulfi::{Experiment, StudyConfig};
 
+use crate::crc::crc32;
 use crate::key::StudyKey;
 use crate::OrchError;
 
@@ -50,6 +65,63 @@ pub struct ShardRecord {
     /// Wall time this shard took when first executed (informational; not
     /// part of the deterministic result).
     pub wall_ns: u64,
+}
+
+/// Result of classifying every non-blank line of a shard log.
+#[derive(Debug, Default)]
+struct LogScan {
+    /// Non-blank lines inspected.
+    lines: usize,
+    /// Checksum-valid, parseable records, in file order.
+    records: Vec<ShardRecord>,
+    /// The last non-blank line is torn (killed writer).
+    torn_tail: bool,
+    /// Corrupt non-tail lines as `(1-based line number, reason)`.
+    corrupt: Vec<(usize, String)>,
+}
+
+/// Health report for one study's shard log (see [`StudyStore::fsck`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StudyFsck {
+    pub key: StudyKey,
+    /// Non-blank lines inspected.
+    pub lines: usize,
+    /// Checksum-valid, parseable records.
+    pub valid: usize,
+    /// A torn trailing line (killed writer) — recoverable by re-running.
+    pub torn_tail: bool,
+    /// Corrupt non-tail lines as `(1-based line number, reason)`.
+    pub corrupt: Vec<(usize, String)>,
+    /// Where the damaged log was moved, when repair ran.
+    pub quarantined: Option<PathBuf>,
+}
+
+impl StudyFsck {
+    /// Anything wrong at all (including a recoverable torn tail)?
+    pub fn dirty(&self) -> bool {
+        self.torn_tail || !self.corrupt.is_empty()
+    }
+
+    /// Corruption that [`StudyStore::shards`] refuses to read past.
+    pub fn needs_repair(&self) -> bool {
+        !self.corrupt.is_empty()
+    }
+}
+
+/// Store-wide fsck report: one entry per study.
+#[derive(Debug, Clone, Default)]
+pub struct FsckReport {
+    pub studies: Vec<StudyFsck>,
+}
+
+impl FsckReport {
+    pub fn needs_repair(&self) -> bool {
+        self.studies.iter().any(StudyFsck::needs_repair)
+    }
+
+    pub fn dirty(&self) -> bool {
+        self.studies.iter().any(StudyFsck::dirty)
+    }
 }
 
 /// A directory of studies, each under its content-addressed key.
@@ -90,11 +162,67 @@ impl Store {
         keys.sort_by(|a, b| a.0.cmp(&b.0));
         Ok(keys)
     }
+
+    /// Check (and with `repair`, heal) every study's shard log.
+    pub fn fsck(&self, repair: bool) -> Result<FsckReport, OrchError> {
+        let mut report = FsckReport::default();
+        for key in self.studies()? {
+            report.studies.push(self.study(&key).fsck(repair)?);
+        }
+        Ok(report)
+    }
 }
 
 /// One study's directory.
 pub struct StudyStore {
     dir: PathBuf,
+}
+
+/// Transient I/O error kinds worth retrying.
+fn is_transient(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Retry `op` on transient I/O errors with capped exponential backoff
+/// (1 ms doubling to 50 ms, at most 5 retries). `op` must be safe to
+/// re-run wholesale — callers roll back partial effects at the top of
+/// the closure.
+fn with_io_retry<T>(mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+    let mut delay = Duration::from_millis(1);
+    let mut retries = 0;
+    loop {
+        match op() {
+            Err(e) if is_transient(&e) && retries < 5 => {
+                retries += 1;
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(Duration::from_millis(50));
+            }
+            other => return other,
+        }
+    }
+}
+
+/// Parse one shard log line: verify the CRC suffix (when present — lines
+/// from older stores have none and parse unchecked), then decode.
+fn parse_shard_line(line: &str) -> Result<ShardRecord, String> {
+    let json = match line.rsplit_once('\t') {
+        Some((json, tail)) if tail.starts_with("crc32=") => {
+            let want = u32::from_str_radix(&tail["crc32=".len()..], 16)
+                .map_err(|_| format!("malformed checksum suffix {tail:?}"))?;
+            let got = crc32(json.as_bytes());
+            if got != want {
+                return Err(format!(
+                    "checksum mismatch (recorded {want:08x}, computed {got:08x})"
+                ));
+            }
+            json
+        }
+        _ => line,
+    };
+    serde_json::from_str(json).map_err(|e| format!("unparseable record: {e}"))
 }
 
 impl StudyStore {
@@ -108,6 +236,10 @@ impl StudyStore {
 
     fn shards_path(&self) -> PathBuf {
         self.dir.join("shards.jsonl")
+    }
+
+    fn quarantine_dir(&self) -> PathBuf {
+        self.dir.join("shards.quarantine")
     }
 
     pub fn exists(&self) -> bool {
@@ -135,44 +267,269 @@ impl StudyStore {
         serde_json::from_str(&text).map_err(|e| OrchError(format!("parse manifest: {e}")))
     }
 
-    /// Append one shard record as a single JSONL line.
+    /// Render one checksummed log line (no newlines).
+    fn encode_shard_line(rec: &ShardRecord) -> Result<String, OrchError> {
+        let json =
+            serde_json::to_string(rec).map_err(|e| OrchError(format!("encode shard: {e}")))?;
+        let crc = crc32(json.as_bytes());
+        Ok(format!("{json}\tcrc32={crc:08x}"))
+    }
+
+    /// Append one shard record as a single checksummed JSONL line.
     ///
     /// The record is written with a *leading* newline so that a
     /// truncated line left by a killed writer (which has no trailing
     /// newline) is terminated rather than concatenated with this
-    /// record; the reader skips the resulting blank lines.
+    /// record; the reader skips the resulting blank lines. Transient
+    /// I/O errors are retried with backoff; between attempts the file
+    /// is rolled back to its pre-append length so a partial write can
+    /// never end up mid-file.
     pub fn append_shard(&self, rec: &ShardRecord) -> Result<(), OrchError> {
-        let line =
-            serde_json::to_string(rec).map_err(|e| OrchError(format!("encode shard: {e}")))?;
-        let mut f = fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(self.shards_path())
-            .map_err(|e| OrchError(format!("open shard log: {e}")))?;
-        writeln!(f, "\n{line}").map_err(|e| OrchError(format!("append shard: {e}")))?;
-        f.flush()
-            .map_err(|e| OrchError(format!("flush shard log: {e}")))?;
+        let line = Self::encode_shard_line(rec)?;
+        let payload = format!("\n{line}\n");
+        let mut f = with_io_retry(|| {
+            fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(self.shards_path())
+        })
+        .map_err(|e| OrchError(format!("open shard log: {e}")))?;
+        let before = f
+            .metadata()
+            .map_err(|e| OrchError(format!("stat shard log: {e}")))?
+            .len();
+        with_io_retry(|| {
+            f.set_len(before)?;
+            f.write_all(payload.as_bytes())?;
+            f.flush()
+        })
+        .map_err(|e| OrchError(format!("append shard: {e}")))?;
         Ok(())
     }
 
-    /// All fully-written shard records. A truncated trailing line (from a
-    /// killed run) is skipped, not an error.
-    pub fn shards(&self) -> Result<Vec<ShardRecord>, OrchError> {
+    /// Classify every non-blank line of the shard log.
+    fn scan(&self) -> Result<LogScan, OrchError> {
         let path = self.shards_path();
-        let text = match fs::read_to_string(&path) {
-            Ok(t) => t,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(LogScan::default()),
             Err(e) => return Err(OrchError(format!("read {}: {e}", path.display()))),
         };
-        let mut out = Vec::new();
-        for line in text.lines() {
-            if line.trim().is_empty() {
-                continue;
-            }
-            if let Ok(rec) = serde_json::from_str::<ShardRecord>(line) {
-                out.push(rec);
+        // Corruption can hit any byte, including one that breaks UTF-8;
+        // decode lossily so the damage surfaces as a checksum-failing
+        // line (fsck's department), not an unreadable store.
+        let text = String::from_utf8_lossy(&bytes);
+        let lines: Vec<(usize, &str)> = text
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| !l.trim().is_empty())
+            .collect();
+        let mut scan = LogScan {
+            lines: lines.len(),
+            ..LogScan::default()
+        };
+        for (pos, (lineno, line)) in lines.iter().enumerate() {
+            match parse_shard_line(line) {
+                Ok(rec) => scan.records.push(rec),
+                // Only the final line can be a torn write from a kill.
+                Err(_) if pos == lines.len() - 1 => scan.torn_tail = true,
+                Err(reason) => scan.corrupt.push((lineno + 1, reason)),
             }
         }
-        Ok(out)
+        Ok(scan)
+    }
+
+    /// All fully-written shard records.
+    ///
+    /// A torn **trailing** line (from a killed run) is skipped, not an
+    /// error. Corruption anywhere earlier — a failed checksum or an
+    /// unparseable record that further appends have since buried — is an
+    /// error: silently dropping it would change merged results without a
+    /// trace. Run `vulfi store fsck` to quarantine and recover.
+    pub fn shards(&self) -> Result<Vec<ShardRecord>, OrchError> {
+        let scan = self.scan()?;
+        if let Some((lineno, reason)) = scan.corrupt.first() {
+            return Err(OrchError(format!(
+                "corrupt shard log {} at line {lineno}: {reason}; \
+                 run `vulfi store fsck --repair` to quarantine and recover",
+                self.shards_path().display(),
+            )));
+        }
+        Ok(scan.records)
+    }
+
+    /// Heal the one failure a kill is *expected* to leave: a torn
+    /// trailing line. The log is atomically rewritten (temp + rename)
+    /// from its valid records so that subsequent appends cannot bury the
+    /// torn fragment mid-file, where it would read as corruption. Called
+    /// by the runner on every resume; returns whether a trim happened.
+    /// Mid-file corruption is *not* healed here — that is fsck's job.
+    pub fn trim_torn_tail(&self) -> Result<bool, OrchError> {
+        let scan = self.scan()?;
+        if !scan.corrupt.is_empty() {
+            return Err(OrchError(format!(
+                "corrupt shard log {}: run `vulfi store fsck --repair`",
+                self.shards_path().display()
+            )));
+        }
+        if !scan.torn_tail {
+            return Ok(false);
+        }
+        self.rewrite_log(&scan.records)?;
+        Ok(true)
+    }
+
+    /// Atomically replace the shard log with exactly `records`.
+    fn rewrite_log(&self, records: &[ShardRecord]) -> Result<(), OrchError> {
+        let mut text = String::new();
+        for rec in records {
+            text.push_str(&Self::encode_shard_line(rec)?);
+            text.push('\n');
+        }
+        let tmp = self.dir.join("shards.jsonl.tmp");
+        fs::write(&tmp, text.as_bytes())
+            .map_err(|e| OrchError(format!("write {}: {e}", tmp.display())))?;
+        fs::rename(&tmp, self.shards_path())
+            .map_err(|e| OrchError(format!("replace shard log: {e}")))?;
+        Ok(())
+    }
+
+    /// Check this study's shard log; with `repair`, heal it.
+    ///
+    /// - Clean log (possibly empty/missing): nothing to do.
+    /// - Torn trailing line only: recoverable — a resumed run simply
+    ///   re-executes the unfinished shard. With `repair` the tail is
+    ///   trimmed (via the same quarantine path, so no byte is destroyed).
+    /// - Corrupt earlier lines: the log is unsafe to merge. With
+    ///   `repair`, the damaged file moves to `shards.quarantine/`, every
+    ///   checksum-valid record is salvaged into a fresh `shards.jsonl`,
+    ///   and the manifest's `complete` flag is cleared so the scheduler
+    ///   re-runs the lost jobs.
+    pub fn fsck(&self, repair: bool) -> Result<StudyFsck, OrchError> {
+        let key = StudyKey(
+            self.dir
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default(),
+        );
+        let scan = self.scan()?;
+        let mut report = StudyFsck {
+            key,
+            lines: scan.lines,
+            valid: scan.records.len(),
+            torn_tail: scan.torn_tail,
+            corrupt: scan.corrupt,
+            quarantined: None,
+        };
+        if repair && report.dirty() {
+            report.quarantined = Some(self.quarantine_log()?);
+            // Rebuild the log from the salvaged records (all re-encoded
+            // with checksums, which also upgrades legacy lines).
+            self.rewrite_log(&scan.records)?;
+            // Records may have been lost: force the scheduler to re-plan.
+            if self.exists() {
+                let mut manifest = self.read_manifest()?;
+                if manifest.complete {
+                    manifest.complete = false;
+                    self.write_manifest(&manifest)?;
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// Move the current shard log into `shards.quarantine/` under a
+    /// fresh numbered name; returns the destination.
+    fn quarantine_log(&self) -> Result<PathBuf, OrchError> {
+        let qdir = self.quarantine_dir();
+        fs::create_dir_all(&qdir)
+            .map_err(|e| OrchError(format!("create {}: {e}", qdir.display())))?;
+        let mut n = 0;
+        let dest = loop {
+            let candidate = qdir.join(format!("shards.{n}.jsonl"));
+            if !candidate.exists() {
+                break candidate;
+            }
+            n += 1;
+        };
+        fs::rename(self.shards_path(), &dest)
+            .map_err(|e| OrchError(format!("quarantine shard log: {e}")))?;
+        Ok(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_retry_survives_transient_errors() {
+        let mut attempts = 0;
+        let result: io::Result<u32> = with_io_retry(|| {
+            attempts += 1;
+            if attempts < 3 {
+                Err(io::Error::new(io::ErrorKind::Interrupted, "flaky"))
+            } else {
+                Ok(7)
+            }
+        });
+        assert_eq!(result.unwrap(), 7);
+        assert_eq!(attempts, 3);
+    }
+
+    #[test]
+    fn io_retry_gives_up_on_persistent_and_hard_errors() {
+        let mut attempts = 0;
+        let result: io::Result<()> = with_io_retry(|| {
+            attempts += 1;
+            Err(io::Error::new(io::ErrorKind::WouldBlock, "always busy"))
+        });
+        assert!(result.is_err());
+        assert_eq!(attempts, 6, "initial try + 5 retries");
+
+        let mut attempts = 0;
+        let result: io::Result<()> = with_io_retry(|| {
+            attempts += 1;
+            Err(io::Error::new(io::ErrorKind::PermissionDenied, "nope"))
+        });
+        assert!(result.is_err());
+        assert_eq!(attempts, 1, "hard errors must not be retried");
+    }
+
+    #[test]
+    fn shard_lines_roundtrip_and_reject_flips() {
+        let rec = ShardRecord {
+            campaign: 2,
+            start: 5,
+            end: 9,
+            experiments: Vec::new(),
+            wall_ns: 123,
+        };
+        let line = StudyStore::encode_shard_line(&rec).unwrap();
+        assert!(line.contains("\tcrc32="));
+        let back = parse_shard_line(&line).unwrap();
+        assert_eq!(back.campaign, 2);
+        assert_eq!((back.start, back.end), (5, 9));
+
+        // Flip one byte of the JSON body: the checksum must catch it.
+        let mut bytes = line.clone().into_bytes();
+        bytes[10] ^= 0x01;
+        let tampered = String::from_utf8(bytes).unwrap();
+        let err = parse_shard_line(&tampered).unwrap_err();
+        assert!(err.contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn legacy_lines_without_checksum_still_parse() {
+        let rec = ShardRecord {
+            campaign: 0,
+            start: 0,
+            end: 1,
+            experiments: Vec::new(),
+            wall_ns: 0,
+        };
+        let json = serde_json::to_string(&rec).unwrap();
+        let back = parse_shard_line(&json).unwrap();
+        assert_eq!(back.end, 1);
     }
 }

@@ -10,6 +10,8 @@
 //! [`HostEnv`] trait, mirroring how an instrumented native binary links
 //! against the fault-injection runtime library.
 
+use std::time::{Duration, Instant};
+
 use vir::intrinsics::{self, Intrinsic, MathOp};
 use vir::{
     BinOp, BlockId, CastOp, FCmpPred, Function, ICmpPred, InstKind, Module, Operand, ScalarTy,
@@ -48,12 +50,19 @@ pub struct ExecResult {
 /// Maximum call depth.
 const MAX_DEPTH: usize = 64;
 
+/// How many instructions run between wall-clock deadline checks. A power
+/// of two so the check compiles to a mask test; large enough that
+/// `Instant::now()` never shows up in profiles, small enough that a
+/// runaway loop overshoots its deadline by microseconds, not seconds.
+const WALL_CHECK_MASK: u64 = (1 << 13) - 1;
+
 /// The interpreter. One instance executes programs from one module.
 pub struct Interp<'m> {
     pub module: &'m Module,
     pub mem: Memory,
     budget: u64,
     executed: u64,
+    deadline: Option<Instant>,
     mix: Option<InstMix>,
 }
 
@@ -64,6 +73,7 @@ impl<'m> Interp<'m> {
             mem: Memory::default(),
             budget: u64::MAX / 2,
             executed: 0,
+            deadline: None,
             mix: None,
         }
     }
@@ -104,6 +114,24 @@ impl<'m> Interp<'m> {
         self.budget = budget;
     }
 
+    /// Arm the wall-clock watchdog: execution trap with
+    /// [`Trap::WallClock`] once `limit` of real time has elapsed
+    /// (checked every few thousand instructions). Unlike the instruction
+    /// budget this is **not deterministic** — it exists as a last-resort
+    /// containment bound for faulted executions whose per-instruction
+    /// cost explodes (e.g. allocation churn), and should be set
+    /// generously above any plausible honest runtime.
+    pub fn set_wall_limit(&mut self, limit: Duration) {
+        self.deadline = Some(Instant::now() + limit);
+    }
+
+    /// Cap the simulated memory: allocations beyond `bytes` trap with
+    /// [`Trap::OutOfMemory`]. Convenience forwarding to
+    /// [`Memory::set_limit`].
+    pub fn set_memory_limit(&mut self, bytes: u64) {
+        self.mem.set_limit(bytes);
+    }
+
     pub fn executed(&self) -> u64 {
         self.executed
     }
@@ -136,10 +164,16 @@ impl<'m> Interp<'m> {
     fn tick(&mut self) -> Result<(), Trap> {
         self.executed += 1;
         if self.executed > self.budget {
-            Err(Trap::HangBudget)
-        } else {
-            Ok(())
+            return Err(Trap::HangBudget);
         }
+        if self.executed & WALL_CHECK_MASK == 0 {
+            if let Some(deadline) = self.deadline {
+                if Instant::now() >= deadline {
+                    return Err(Trap::WallClock);
+                }
+            }
+        }
+        Ok(())
     }
 
     fn call_function(
@@ -151,6 +185,14 @@ impl<'m> Interp<'m> {
     ) -> Result<Option<RtVal>, Trap> {
         if depth >= MAX_DEPTH {
             return Err(Trap::StackOverflow);
+        }
+        if args.len() > f.values.len() {
+            return Err(Trap::EngineFault(format!(
+                "call to @{} with {} arguments but only {} value slots",
+                f.name,
+                args.len(),
+                f.values.len()
+            )));
         }
         let mut frame: Vec<Option<RtVal>> = vec![None; f.values.len()];
         for (i, a) in args.into_iter().enumerate() {
@@ -177,7 +219,10 @@ impl<'m> Interp<'m> {
                         .find(|(b, _)| *b == pb)
                         .ok_or_else(|| Trap::HostError("phi missing incoming edge".into()))?;
                     let v = self.eval_operand(f, &frame, op)?;
-                    phi_updates.push((inst.result.unwrap(), v));
+                    let res = inst
+                        .result
+                        .ok_or_else(|| Trap::EngineFault("phi without a result value".into()))?;
+                    phi_updates.push((res, v));
                     body_start = k + 1;
                 } else {
                     break;
@@ -286,6 +331,11 @@ impl<'m> Interp<'m> {
                 match c {
                     RtVal::Scalar(s) => Ok(Some(if s.is_true() { t } else { e })),
                     RtVal::Vector(_, lanes) => {
+                        if t.num_lanes() < lanes.len() || e.num_lanes() < lanes.len() {
+                            return Err(Trap::EngineFault(
+                                "select arms narrower than the condition vector".into(),
+                            ));
+                        }
                         let elem = t.lane(0).ty;
                         let out = lanes.iter().enumerate().map(|(i, &cb)| {
                             if cb & 1 == 1 {
@@ -300,7 +350,9 @@ impl<'m> Interp<'m> {
             }
             InstKind::Cast { op, val } => {
                 let v = ev(self, val)?;
-                let to_elem = ty.elem().expect("cast to void");
+                let to_elem = ty
+                    .elem()
+                    .ok_or_else(|| Trap::EngineFault("cast to void type".into()))?;
                 let out = v
                     .lanes()
                     .into_iter()
@@ -331,7 +383,7 @@ impl<'m> Interp<'m> {
                         }
                         Ok(Some(RtVal::from_lanes(s, lanes)))
                     }
-                    Type::Void => unreachable!("load of void"),
+                    Type::Void => Err(Trap::EngineFault("load of void type".into())),
                 }
             }
             InstKind::Store { val, ptr } => {
@@ -356,11 +408,17 @@ impl<'m> Interp<'m> {
             }
             InstKind::ExtractElement { vec, idx } => {
                 let v = ev(self, vec)?;
+                if v.num_lanes() == 0 {
+                    return Err(Trap::EngineFault("extractelement from empty vector".into()));
+                }
                 let i = ev(self, idx)?.scalar().as_u64() as usize % v.num_lanes();
                 Ok(Some(RtVal::Scalar(v.lane(i))))
             }
             InstKind::InsertElement { vec, elt, idx } => {
                 let v = ev(self, vec)?;
+                if v.num_lanes() == 0 {
+                    return Err(Trap::EngineFault("insertelement into empty vector".into()));
+                }
                 let e = ev(self, elt)?.scalar();
                 let i = ev(self, idx)?.scalar().as_u64() as usize % v.num_lanes();
                 Ok(Some(v.with_lane(i, e)))
@@ -369,17 +427,29 @@ impl<'m> Interp<'m> {
                 let va = ev(self, a)?;
                 let vb = ev(self, b)?;
                 let n = va.num_lanes();
+                if n == 0 {
+                    return Err(Trap::EngineFault("shufflevector of empty vector".into()));
+                }
                 let elem = va.lane(0).ty;
-                let out = mask.iter().map(|&mi| {
-                    if mi < 0 {
-                        Scalar::new(elem, 0) // undef lane
-                    } else if (mi as usize) < n {
-                        va.lane(mi as usize)
-                    } else {
-                        vb.lane(mi as usize - n)
-                    }
-                });
-                Ok(Some(RtVal::from_lanes(elem, out)))
+                let out: Result<Vec<Scalar>, Trap> = mask
+                    .iter()
+                    .map(|&mi| {
+                        if mi < 0 {
+                            Ok(Scalar::new(elem, 0)) // undef lane
+                        } else if (mi as usize) < n {
+                            Ok(va.lane(mi as usize))
+                        } else if (mi as usize) < n + vb.num_lanes() {
+                            Ok(vb.lane(mi as usize - n))
+                        } else {
+                            Err(Trap::EngineFault(format!(
+                                "shufflevector mask index {mi} out of range for {} + {} lanes",
+                                n,
+                                vb.num_lanes()
+                            )))
+                        }
+                    })
+                    .collect();
+                Ok(Some(RtVal::from_lanes(elem, out?)))
             }
             InstKind::Phi { .. } => Err(Trap::HostError("phi outside block header".into())),
             InstKind::Call { callee, args } => {
@@ -411,8 +481,19 @@ impl<'m> Interp<'m> {
     }
 
     fn eval_intrinsic(&mut self, intr: Intrinsic, args: &[RtVal]) -> Result<Option<RtVal>, Trap> {
+        let need = |n: usize| -> Result<(), Trap> {
+            if args.len() < n {
+                Err(Trap::EngineFault(format!(
+                    "intrinsic expects {n} arguments, got {}",
+                    args.len()
+                )))
+            } else {
+                Ok(())
+            }
+        };
         match intr {
             Intrinsic::MaskLoad { lanes, elem } => {
+                need(2)?;
                 let addr = args[0].scalar().as_u64();
                 let mask = &args[1];
                 let mut out = Vec::with_capacity(lanes as usize);
@@ -426,6 +507,7 @@ impl<'m> Interp<'m> {
                 Ok(Some(RtVal::from_lanes(elem, out)))
             }
             Intrinsic::MaskStore { lanes, elem } => {
+                need(3)?;
                 let addr = args[0].scalar().as_u64();
                 let mask = &args[1];
                 let val = &args[2];
@@ -438,7 +520,13 @@ impl<'m> Interp<'m> {
                 Ok(None)
             }
             Intrinsic::Math { op, ty } => {
-                let elem = ty.elem().unwrap();
+                match op {
+                    MathOp::Pow | MathOp::MinNum | MathOp::MaxNum => need(2)?,
+                    _ => need(1)?,
+                }
+                let elem = ty
+                    .elem()
+                    .ok_or_else(|| Trap::EngineFault("math intrinsic with void type".into()))?;
                 let unary = |g: fn(f64) -> f64, v: &RtVal| -> RtVal {
                     let mut out = v
                         .lanes()
@@ -479,6 +567,7 @@ impl<'m> Interp<'m> {
                 Ok(Some(r))
             }
             Intrinsic::Movmsk { lanes } => {
+                need(1)?;
                 let mut bits: u64 = 0;
                 for i in 0..lanes as usize {
                     if args[0].lane(i).mask_active() {
@@ -488,10 +577,12 @@ impl<'m> Interp<'m> {
                 Ok(Some(RtVal::Scalar(Scalar::i32(bits as i32))))
             }
             Intrinsic::MaskAny { lanes } => {
+                need(1)?;
                 let any = (0..lanes as usize).any(|i| args[0].lane(i).is_true());
                 Ok(Some(RtVal::Scalar(Scalar::i1(any))))
             }
             Intrinsic::MaskAll { lanes } => {
+                need(1)?;
                 let all = (0..lanes as usize).all(|i| args[0].lane(i).is_true());
                 Ok(Some(RtVal::Scalar(Scalar::i1(all))))
             }
@@ -765,6 +856,78 @@ entry2:
         interp.set_budget(1000);
         let e = interp.run("spin", &[], &mut NoHost);
         assert_eq!(e.unwrap_err(), Trap::HangBudget);
+    }
+
+    #[test]
+    fn wall_clock_watchdog_traps_infinite_loop() {
+        let src = r#"
+define void @spin() {
+entry:
+  br label %entry2
+entry2:
+  br label %entry2
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let mut interp = Interp::new(&m);
+        // Budget effectively unbounded: only the wall clock can stop this.
+        interp.set_wall_limit(std::time::Duration::from_millis(20));
+        let started = std::time::Instant::now();
+        let e = interp.run("spin", &[], &mut NoHost);
+        assert_eq!(e.unwrap_err(), Trap::WallClock);
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(10),
+            "watchdog must fire promptly"
+        );
+    }
+
+    #[test]
+    fn memory_ceiling_traps_alloca() {
+        let src = r#"
+define void @gulp(i32 %n) {
+entry:
+  %p = alloca float, i32 %n
+  ret void
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let mut interp = Interp::new(&m);
+        interp.set_memory_limit(1024);
+        let e = interp.run("gulp", &[RtVal::Scalar(Scalar::i32(4096))], &mut NoHost);
+        assert_eq!(e.unwrap_err(), Trap::OutOfMemory);
+        // Under the ceiling, the same program is fine.
+        let mut interp = Interp::new(&m);
+        interp.set_memory_limit(1024);
+        interp
+            .run("gulp", &[RtVal::Scalar(Scalar::i32(8))], &mut NoHost)
+            .unwrap();
+    }
+
+    #[test]
+    fn engine_faults_trap_instead_of_panicking() {
+        // A call with mismatched arity inside the module (bypassing the
+        // top-level arity check) must trap, not panic.
+        let src = r#"
+define i32 @callee(i32 %a) {
+entry:
+  ret i32 %a
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let mut interp = Interp::new(&m);
+        // Top-level arity mismatch is a HostError (caller bug)...
+        let e = interp.run("callee", &[], &mut NoHost);
+        assert!(matches!(e, Err(Trap::HostError(_))));
+        // ...but an intrinsic short on arguments is an EngineFault.
+        let mut interp = Interp::new(&m);
+        let e = interp.eval_intrinsic(
+            Intrinsic::Math {
+                op: MathOp::Sqrt,
+                ty: Type::Scalar(ScalarTy::F32),
+            },
+            &[],
+        );
+        assert!(matches!(e, Err(Trap::EngineFault(_))), "{e:?}");
     }
 
     #[test]

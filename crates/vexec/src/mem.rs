@@ -37,6 +37,13 @@ pub enum Trap {
     StackOverflow,
     /// `alloca` or host allocation exhausted simulated memory.
     OutOfMemory,
+    /// The wall-clock watchdog fired (fault-induced hang that the
+    /// instruction budget alone did not bound in acceptable real time).
+    WallClock,
+    /// The engine reached an internal state that only malformed (faulted)
+    /// input can produce — a would-be panic converted into a trap so one
+    /// pathological experiment cannot take down a whole campaign.
+    EngineFault(String),
     /// A host function reported a fatal error.
     HostError(String),
 }
@@ -53,6 +60,8 @@ impl std::fmt::Display for Trap {
             Trap::HangBudget => write!(f, "dynamic instruction budget exhausted"),
             Trap::StackOverflow => write!(f, "call stack overflow"),
             Trap::OutOfMemory => write!(f, "simulated memory exhausted"),
+            Trap::WallClock => write!(f, "wall-clock watchdog fired"),
+            Trap::EngineFault(m) => write!(f, "engine fault: {m}"),
             Trap::HostError(m) => write!(f, "host error: {m}"),
         }
     }
@@ -120,6 +129,15 @@ impl Memory {
     /// Total bytes currently allocated.
     pub fn allocated_bytes(&self) -> u64 {
         self.regions.iter().map(|r| r.size).sum()
+    }
+
+    /// Cap the address space at `bytes` beyond the base address. Future
+    /// allocations past the ceiling raise [`Trap::OutOfMemory`]; existing
+    /// allocations are unaffected. Campaigns use this so a fault-induced
+    /// allocation runaway is contained as a **Crash** outcome instead of
+    /// exhausting host memory.
+    pub fn set_limit(&mut self, bytes: u64) {
+        self.limit = BASE_ADDR.saturating_add(bytes);
     }
 
     /// Validate that `[addr, addr+size)` lies entirely inside one live
