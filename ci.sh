@@ -12,4 +12,15 @@ cargo test -q -p vulfi-orch --test chaos
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Trace smoke test: a small traced study must leave a clean (fsck'd)
+# trace sidecar that summarize can read end to end.
+SMOKE=$(mktemp -d)
+trap 'rm -rf "$SMOKE"' EXIT
+./target/release/vulfi study --bench "vector sum" --experiments 12 --campaigns 5 \
+    --seed 7 --shard-size 5 --store "$SMOKE/store" --trace "$SMOKE/trace" \
+    --metrics-out "$SMOKE/metrics.prom" > /dev/null
+./target/release/vulfi trace fsck --trace "$SMOKE/trace"
+./target/release/vulfi trace summarize --trace "$SMOKE/trace" > /dev/null
+grep -q '^vulfi_experiments_total' "$SMOKE/metrics.prom"
+
 echo "ci: all checks passed"

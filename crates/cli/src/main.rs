@@ -41,10 +41,12 @@ fn usage() -> String {
      [--strict] [--wall-limit-ms N] [--mem-limit-mb N]\n  \
      vulfi study --bench NAME [--isa avx|sse] [--category CAT] [--experiments N] [--campaigns N] [--seed N]\n         \
      [--store DIR] [--resume] [--jobs N] [--shard-size N] [--json] [--detectors]\n         \
-     [--strict] [--wall-limit-ms N] [--mem-limit-mb N]\n  \
+     [--strict] [--wall-limit-ms N] [--mem-limit-mb N] [--trace DIR] [--metrics-out PATH]\n  \
      vulfi results summary [--store DIR] [--json]\n  \
      vulfi results merge <SRC>... --store DST\n  \
      vulfi store fsck [--store DIR] [--repair] [--json]\n  \
+     vulfi trace summarize [--trace DIR] [--top N] [--json]\n  \
+     vulfi trace fsck [--trace DIR] [--repair] [--json]\n  \
      vulfi profile --bench NAME [--isa avx|sse]\n  \
      vulfi list"
         .to_string()
@@ -76,6 +78,14 @@ struct Flags {
     wall_limit_ms: Option<u64>,
     /// Memory ceiling per faulty run, in MiB.
     mem_limit_mb: Option<u64>,
+    /// Trace-store root: `study --trace DIR` records per-experiment
+    /// spans there; `trace summarize|fsck` read it.
+    trace: Option<String>,
+    /// Write a metrics snapshot here after `study` (`.json` → JSON,
+    /// anything else → Prometheus text format).
+    metrics_out: Option<String>,
+    /// `trace summarize`: how many SDC-prone sites to list.
+    top: usize,
     positional: Vec<String>,
 }
 
@@ -100,6 +110,9 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         repair: false,
         wall_limit_ms: None,
         mem_limit_mb: None,
+        trace: None,
+        metrics_out: None,
+        top: 10,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -172,6 +185,13 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                         .parse()
                         .map_err(|_| "--mem-limit-mb needs a number".to_string())?,
                 )
+            }
+            "--trace" => f.trace = Some(val(a)?),
+            "--metrics-out" => f.metrics_out = Some(val(a)?),
+            "--top" => {
+                f.top = val(a)?
+                    .parse::<usize>()
+                    .map_err(|_| "--top needs a number".to_string())?
             }
             "--strict" => f.strict = true,
             "--repair" => f.repair = true,
@@ -342,6 +362,14 @@ fn run(args: &[String]) -> Result<(), String> {
             Some("fsck") => store_fsck(&flags),
             _ => Err(format!("store needs a subcommand (fsck)\n{}", usage())),
         },
+        "trace" => match flags.positional.first().map(String::as_str) {
+            Some("summarize") => trace_summarize(&flags),
+            Some("fsck") => trace_fsck(&flags),
+            _ => Err(format!(
+                "trace needs a subcommand (summarize, fsck)\n{}",
+                usage()
+            )),
+        },
         "profile" => {
             let name = flags.bench.as_deref().ok_or("profile requires --bench")?;
             let scale = vbench::Scale::Test;
@@ -476,13 +504,7 @@ fn run_study_cmd(flags: &Flags) -> Result<(), String> {
                 ));
             }
         }
-        let progress: Option<vulfi_orch::ProgressFn> = if flags.json {
-            None
-        } else {
-            Some(Box::new(|s: &vulfi_orch::ProgressSnapshot| {
-                eprint!("\r{}", s.render_line());
-            }))
-        };
+        let progress: Option<vulfi_orch::ProgressFn> = Some(make_progress_reporter(flags.json));
         let out = vulfi_orch::run_study_persistent(
             &prog,
             w,
@@ -494,11 +516,12 @@ fn run_study_cmd(flags: &Flags) -> Result<(), String> {
                 shard_size: flags.shard_size,
                 max_shards: None,
                 progress,
+                trace: flags.trace.as_ref().map(std::path::PathBuf::from),
             },
         )
         .map_err(|e| e.to_string())?;
-        if !flags.json && out.executed_shards > 0 {
-            eprintln!();
+        if let Some(path) = &flags.metrics_out {
+            write_metrics(path)?;
         }
         let r = out
             .result
@@ -706,11 +729,218 @@ fn results_merge(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-/// `vulfi store fsck`: check every study's shard log; with `--repair`,
-/// quarantine corrupt logs and salvage the intact records.
-fn store_fsck(flags: &Flags) -> Result<(), String> {
-    let store = vulfi_orch::Store::open(&flags.store).map_err(|e| e.to_string())?;
+/// Build the `study` progress reporter.
+///
+/// - `--json`: one compact [`vulfi_orch::ProgressSnapshot`] JSON object
+///   per line on stderr (stdout stays reserved for the final result
+///   document). The runner guarantees the last line reports
+///   `done == total` on a completed study.
+/// - TTY stderr: a multi-line status block (progress plus metrics
+///   folded in from the global registry), redrawn in place at most
+///   ~4×/s and always for the final snapshot.
+/// - otherwise: one plain status line per shard.
+fn make_progress_reporter(json: bool) -> vulfi_orch::ProgressFn {
+    use std::io::{IsTerminal as _, Write as _};
+    if json {
+        return Box::new(|s: &vulfi_orch::ProgressSnapshot| {
+            if let Ok(line) = serde_json::to_string(s) {
+                let mut err = std::io::stderr().lock();
+                let _ = writeln!(err, "{line}");
+            }
+        });
+    }
+    let tty = std::io::stderr().is_terminal();
+    // (time of last redraw, lines the last block occupied)
+    let state = std::sync::Mutex::new((None::<std::time::Instant>, 0usize));
+    Box::new(move |s: &vulfi_orch::ProgressSnapshot| {
+        if !tty {
+            eprintln!("{}", s.render_line());
+            return;
+        }
+        let mut st = state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let finished = s.done >= s.total;
+        let due =
+            st.0.map(|t| t.elapsed() >= std::time::Duration::from_millis(250))
+                .unwrap_or(true);
+        if !due && !finished {
+            return;
+        }
+        let block = render_status_block(s);
+        let mut err = std::io::stderr().lock();
+        if st.1 > 0 {
+            // Redraw over the previous block.
+            let _ = write!(err, "\x1b[{}A", st.1);
+        }
+        for line in &block {
+            let _ = writeln!(err, "\r\x1b[2K{line}");
+        }
+        let _ = err.flush();
+        *st = (Some(std::time::Instant::now()), block.len());
+    })
+}
+
+/// Smallest histogram bucket bound covering the median observation
+/// (`None` for the +Inf overflow bucket or an empty histogram).
+fn median_bound(h: &vulfi_orch::metrics::HistogramSnapshot) -> Option<f64> {
+    let total = h.count();
+    if total == 0 {
+        return None;
+    }
+    let mut seen = 0u64;
+    for (i, c) in h.counts.iter().enumerate() {
+        seen += c;
+        if 2 * seen >= total {
+            return h.bounds.get(i).copied();
+        }
+    }
+    None
+}
+
+/// The multi-line TTY status: the classic progress line with the
+/// metrics registry folded in underneath.
+fn render_status_block(s: &vulfi_orch::ProgressSnapshot) -> Vec<String> {
+    let m = vulfi_orch::metrics::global().snapshot();
+    let lat = &m.append_latency_seconds;
+    let appends = lat.count();
+    let avg_ms = if appends > 0 {
+        1e3 * lat.sum / appends as f64
+    } else {
+        0.0
+    };
+    let mut lines = vec![
+        s.render_line(),
+        format!(
+            "  store: {} append(s), avg {avg_ms:.2} ms | {} retried | {} engine fault(s)",
+            appends, m.store_retries, m.engine_faults
+        ),
+    ];
+    let traced: u64 = m
+        .propagation_insts
+        .iter()
+        .map(|c| c.histogram.count())
+        .sum();
+    if traced > 0 {
+        let per: Vec<String> = m
+            .propagation_insts
+            .iter()
+            .filter(|c| c.histogram.count() > 0)
+            .map(|c| {
+                let p50 = match median_bound(&c.histogram) {
+                    Some(b) => format!("≤{}", vulfi_orch::humanize(b as u64)),
+                    None => format!(
+                        ">{}",
+                        vulfi_orch::humanize(*c.histogram.bounds.last().unwrap_or(&0.0) as u64)
+                    ),
+                };
+                format!("{} p50 {p50}", c.category)
+            })
+            .collect();
+        lines.push(format!(
+            "  trace: {traced} propagation sample(s) | {} insts",
+            per.join(", ")
+        ));
+    }
+    lines
+}
+
+/// Write a snapshot of the global metrics registry to `path`:
+/// `.json` → JSON, anything else → Prometheus text exposition format.
+fn write_metrics(path: &str) -> Result<(), String> {
+    let snap = vulfi_orch::metrics::global().snapshot();
+    let text = if path.ends_with(".json") {
+        vulfi_orch::render_json(&snap).map_err(|e| e.to_string())?
+    } else {
+        vulfi_orch::render_prometheus(&snap)
+    };
+    fs::write(path, text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn trace_root(flags: &Flags) -> String {
+    flags
+        .trace
+        .clone()
+        .unwrap_or_else(|| "results/trace".to_string())
+}
+
+/// `vulfi trace summarize`: roll up every study's trace shards into
+/// per-category outcome counts and propagation percentiles, plus the
+/// most SDC-prone static sites.
+fn trace_summarize(flags: &Flags) -> Result<(), String> {
+    let root = trace_root(flags);
+    let store = vulfi_orch::TraceStore::open(&root).map_err(|e| e.to_string())?;
+    let s = vulfi_orch::summarize(&store, flags.top).map_err(|e| e.to_string())?;
+    if flags.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&s).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+    if s.spans == 0 {
+        println!("no trace spans under {root}");
+        return Ok(());
+    }
+    println!(
+        "{} stud{}, {} span(s), {} injected",
+        s.studies,
+        if s.studies == 1 { "y" } else { "ies" },
+        s.spans,
+        s.injected
+    );
+    for c in &s.categories {
+        let prop = match &c.propagation {
+            Some(p) => format!(
+                "propagation p50 {} p90 {} p99 {} max {} insts ({} samples)",
+                vulfi_orch::humanize(p.p50),
+                vulfi_orch::humanize(p.p90),
+                vulfi_orch::humanize(p.p99),
+                vulfi_orch::humanize(p.max),
+                p.samples
+            ),
+            None => "no propagation samples".to_string(),
+        };
+        println!(
+            "  {:9}: {:6} spans | SDC {} Benign {} Crash {} | {}",
+            c.category, c.spans, c.sdc, c.benign, c.crash, prop
+        );
+    }
+    if !s.top_sdc_sites.is_empty() {
+        println!("top SDC-prone sites:");
+        for site in &s.top_sdc_sites {
+            println!(
+                "  site {:4} {:12} ({})  SDC {}/{}",
+                site.site_id, site.opcode, site.workload, site.sdc, site.total
+            );
+        }
+    }
+    Ok(())
+}
+
+/// `vulfi trace fsck`: check every study's trace log; with `--repair`,
+/// quarantine corrupt logs and salvage the intact shards.
+fn trace_fsck(flags: &Flags) -> Result<(), String> {
+    let root = trace_root(flags);
+    let store = vulfi_orch::TraceStore::open(&root).map_err(|e| e.to_string())?;
     let report = store.fsck(flags.repair).map_err(|e| e.to_string())?;
+    print_fsck_report(&report, flags, &root)?;
+    if report.needs_repair() && !flags.repair {
+        return Err(format!(
+            "corrupt trace log(s) found under {root}; re-run with --repair to \
+             quarantine them and salvage intact records (summaries then cover \
+             the surviving spans)"
+        ));
+    }
+    Ok(())
+}
+
+/// Shared fsck report renderer for the result store and the trace store.
+fn print_fsck_report(
+    report: &vulfi_orch::FsckReport,
+    flags: &Flags,
+    root: &str,
+) -> Result<(), String> {
     if flags.json {
         let docs: Vec<serde_json::Value> = report
             .studies
@@ -763,9 +993,18 @@ fn store_fsck(flags: &Flags) -> Result<(), String> {
             }
         }
         if report.studies.is_empty() {
-            println!("no studies under {}", flags.store);
+            println!("no studies under {root}");
         }
     }
+    Ok(())
+}
+
+/// `vulfi store fsck`: check every study's shard log; with `--repair`,
+/// quarantine corrupt logs and salvage the intact records.
+fn store_fsck(flags: &Flags) -> Result<(), String> {
+    let store = vulfi_orch::Store::open(&flags.store).map_err(|e| e.to_string())?;
+    let report = store.fsck(flags.repair).map_err(|e| e.to_string())?;
+    print_fsck_report(&report, flags, &flags.store)?;
     if report.needs_repair() && !flags.repair {
         return Err(format!(
             "corrupt shard log(s) found under {}; re-run with --repair to \
@@ -1010,6 +1249,7 @@ export void scale(uniform float a[], uniform int n, uniform float s) {
                 shard_size: 5,
                 max_shards: Some(1),
                 progress: None,
+                trace: None,
             },
         )
         .unwrap();

@@ -25,6 +25,7 @@ use crate::instrument::{instrument_module, InstrumentOptions, Instrumented};
 use crate::runtime::{InjectionRecord, VulfiHost};
 use crate::sites::StaticSite;
 use crate::stats::{study_converged, StudySummary};
+use crate::trace::TraceCapture;
 use crate::workload::{snapshot_outputs, Workload};
 
 /// Outcome classification of one experiment (paper §IV-B).
@@ -153,21 +154,26 @@ pub fn run_experiment(
     workload: &dyn Workload,
     rng: &mut ChaCha8Rng,
 ) -> Result<Experiment, CampaignError> {
-    run_experiment_tagged(prog, workload, rng, None)
+    run_experiment_tagged(prog, workload, rng, None, None)
 }
 
-/// [`run_experiment`] with panic provenance `(campaign_seed, index)`.
-fn run_experiment_tagged(
+/// [`run_experiment`] with panic provenance `(campaign_seed, index)` and
+/// an optional propagation-trace capture (see [`crate::trace`]). Tracing
+/// never changes the experiment result: the capture only observes.
+pub(crate) fn run_experiment_tagged(
     prog: &Prepared,
     workload: &dyn Workload,
     rng: &mut ChaCha8Rng,
     provenance: Option<(u64, usize)>,
+    mut capture: Option<&mut TraceCapture>,
 ) -> Result<Experiment, CampaignError> {
     // Draw the input OUTSIDE the isolated body: a panicking experiment
     // must still produce a deterministic record, identical whether it ran
     // via run_study or any shard partition.
     let input = rng.gen_range(0..workload.num_inputs().max(1));
-    let body = std::panic::AssertUnwindSafe(|| run_experiment_body(prog, workload, rng, input));
+    let body = std::panic::AssertUnwindSafe(|| {
+        run_experiment_body(prog, workload, rng, input, capture.as_deref_mut())
+    });
     match std::panic::catch_unwind(body) {
         Ok(result) => result,
         Err(payload) => {
@@ -179,6 +185,15 @@ fn run_experiment_tagged(
             };
             if strict() {
                 return Err(CampaignError(format!("strict mode: {fault}")));
+            }
+            // A capture interrupted mid-experiment holds partial state;
+            // reset it to describe what is actually known: the engine
+            // died, which the outside world sees as a crash.
+            if let Some(cap) = capture {
+                *cap = TraceCapture {
+                    trap: Some(format!("engine panic: {}", fault.message)),
+                    ..TraceCapture::default()
+                };
             }
             record_engine_fault(fault);
             // The engine died mid-experiment: from the outside that is a
@@ -201,12 +216,21 @@ fn run_experiment_body(
     workload: &dyn Workload,
     rng: &mut ChaCha8Rng,
     input: u64,
+    mut capture: Option<&mut TraceCapture>,
 ) -> Result<Experiment, CampaignError> {
     // --- Golden run -------------------------------------------------------
+    // When tracing, the golden run records the architectural event stream
+    // (stores, branch decisions, return value) the faulty run will be
+    // compared against. The sink only observes, so traced and untraced
+    // experiments are bit-identical.
+    let mut golden_tracer = capture.is_some().then(vexec::DivergenceTracer::record);
     let mut interp = Interp::new(&prog.module);
     let setup = workload
         .setup(&mut interp.mem, input)
         .map_err(|t| CampaignError(format!("setup failed: {t}")))?;
+    if let Some(t) = golden_tracer.as_mut() {
+        interp.set_trace_sink(t);
+    }
     let mut golden_host = VulfiHost::profile();
     let golden = interp
         .run(&prog.entry, &setup.args, &mut golden_host)
@@ -217,6 +241,9 @@ fn run_experiment_body(
 
     if n_sites == 0 {
         // Nothing to inject into under this category for this input.
+        if let Some(cap) = capture.as_deref_mut() {
+            *cap = TraceCapture::default();
+        }
         return Ok(Experiment {
             outcome: Outcome::Benign,
             detected: false,
@@ -230,6 +257,9 @@ fn run_experiment_body(
     // --- Faulty run -------------------------------------------------------
     let target = rng.gen_range(1..=n_sites);
     let bit_entropy: u64 = rng.gen();
+    let mut faulty_tracer = golden_tracer
+        .take()
+        .map(|t| vexec::DivergenceTracer::compare(t.into_stream()));
     let mut interp = Interp::new(&prog.module);
     interp.set_budget(
         golden
@@ -248,10 +278,14 @@ fn run_experiment_body(
     if prog.limits.mem_bytes > 0 {
         interp.set_memory_limit(prog.limits.mem_bytes);
     }
+    if let Some(t) = faulty_tracer.as_mut() {
+        interp.set_trace_sink(t);
+    }
     let mut host = VulfiHost::inject(target, bit_entropy);
     let result = interp.run(&prog.entry, &setup2.args, &mut host);
+    let faulty_dyn_insts = interp.executed();
 
-    let (outcome, detected) = match result {
+    let (outcome, detected) = match &result {
         Err(Trap::HostError(m)) => return Err(CampaignError(format!("runtime bug: {m}"))),
         Err(_) => (Outcome::Crash, host.detectors.detected()),
         Ok(r) => {
@@ -264,6 +298,22 @@ fn run_experiment_body(
             }
         }
     };
+    if let Some(cap) = capture {
+        let divergence = faulty_tracer.map(|mut t| {
+            // A clean exit that consumed fewer events than golden is a
+            // divergence by omission at the end of the run.
+            if result.is_ok() {
+                t.finish(faulty_dyn_insts);
+            }
+            t.divergence().map(|d| d.dyn_index)
+        });
+        *cap = TraceCapture {
+            injected_at: host.injection_at,
+            divergence: divergence.flatten(),
+            faulty_dyn_insts,
+            trap: result.as_ref().err().map(|t| t.to_string()),
+        };
+    }
     Ok(Experiment {
         outcome,
         detected,
@@ -384,7 +434,7 @@ pub fn run_experiment_range(
     range
         .map(|i| {
             let mut rng = experiment_rng(campaign_seed, i);
-            run_experiment_tagged(prog, workload, &mut rng, Some((campaign_seed, i)))
+            run_experiment_tagged(prog, workload, &mut rng, Some((campaign_seed, i)), None)
         })
         .collect()
 }
@@ -401,7 +451,7 @@ pub fn run_campaign(
         .into_par_iter()
         .map(|i| {
             let mut rng = experiment_rng(seed, i);
-            run_experiment_tagged(prog, workload, &mut rng, Some((seed, i)))
+            run_experiment_tagged(prog, workload, &mut rng, Some((seed, i)), None)
         })
         .collect();
     let experiments = experiments?;

@@ -54,6 +54,7 @@ pub mod report;
 pub mod runtime;
 pub mod sites;
 pub mod stats;
+pub mod trace;
 pub mod workload;
 
 pub use campaign::{
@@ -69,4 +70,5 @@ pub use report::{StudyReport, SuiteReport};
 pub use runtime::{DetectorStats, InjectionRecord, RunMode, VulfiHost};
 pub use sites::{category_mix, enumerate_sites, CategoryMix, SiteKind, StaticSite};
 pub use stats::{study_converged, StudySummary};
+pub use trace::{run_experiment_range_traced, ExperimentTrace, TraceInjection};
 pub use workload::{OutputRegion, SetupResult, Workload};

@@ -54,6 +54,10 @@ pub struct VulfiHost {
     /// Dynamic fault sites observed so far (active lanes only).
     pub dynamic_sites: u64,
     pub injection: Option<InjectionRecord>,
+    /// Dynamic instruction count at the moment of injection (from the
+    /// interpreter's host clock). Observability only — not serialized
+    /// with the experiment record.
+    pub injection_at: Option<u64>,
     pub detectors: DetectorStats,
 }
 
@@ -64,6 +68,7 @@ impl VulfiHost {
             mode: RunMode::Profile,
             dynamic_sites: 0,
             injection: None,
+            injection_at: None,
             detectors: DetectorStats::default(),
         }
     }
@@ -77,11 +82,17 @@ impl VulfiHost {
             },
             dynamic_sites: 0,
             injection: None,
+            injection_at: None,
             detectors: DetectorStats::default(),
         }
     }
 
-    fn handle_inject(&mut self, name: &str, args: &[RtVal]) -> Result<Option<RtVal>, Trap> {
+    fn handle_inject(
+        &mut self,
+        name: &str,
+        args: &[RtVal],
+        mem: &Memory,
+    ) -> Result<Option<RtVal>, Trap> {
         let bad = |m: &str| Trap::HostError(format!("@{name}: {m}"));
         if args.len() < 4 {
             return Err(bad("expects (value, mask, site, lane)"));
@@ -115,6 +126,7 @@ impl VulfiHost {
                     bits_before: val.bits,
                     bits_after: flipped.bits,
                 });
+                self.injection_at = Some(mem.host_clock());
                 return Ok(Some(RtVal::Scalar(flipped)));
             }
         }
@@ -163,10 +175,10 @@ impl HostEnv for VulfiHost {
         &mut self,
         name: &str,
         args: &[RtVal],
-        _mem: &mut Memory,
+        mem: &mut Memory,
     ) -> Result<Option<RtVal>, Trap> {
         if name.starts_with("vulfi.inject.") {
-            return self.handle_inject(name, args);
+            return self.handle_inject(name, args, mem);
         }
         if name.starts_with("vulfi.check.") {
             return self.handle_check(name, args);

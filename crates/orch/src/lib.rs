@@ -34,17 +34,26 @@
 
 pub mod crc;
 pub mod key;
+pub mod metrics;
 pub mod observe;
 pub mod plan;
 pub mod run;
 pub mod store;
+pub mod tracestore;
 
 pub use crc::crc32;
 pub use key::{study_key, StudyKey};
-pub use observe::{Progress, ProgressSnapshot};
+pub use metrics::{
+    parse_prometheus, render_json, render_prometheus, Metrics, MetricsSnapshot, PromSample,
+};
+pub use observe::{humanize, Progress, ProgressSnapshot};
 pub use plan::{covered_experiments, merge, merged_dyn_insts, missing_jobs, plan_shards, ShardJob};
 pub use run::{run_study_persistent, set_jobs, ProgressFn, RunOptions, RunOutcome};
 pub use store::{FsckReport, Manifest, ShardRecord, Store, StudyFsck, StudyStore};
+pub use tracestore::{
+    summarize, CategorySummary, PropagationPercentiles, SiteSdcSummary, TraceLog, TraceShard,
+    TraceStore, TraceSummary,
+};
 
 /// Orchestration-layer error (I/O, storage corruption, or a campaign
 /// failure bubbled up from the experiment runner).

@@ -1,20 +1,28 @@
 //! The shard runner: fan missing shards out over rayon, persist each as
 //! it completes, and merge the store back into a study result.
 
+use std::path::PathBuf;
 use std::sync::Mutex;
 use std::time::Instant;
 
 use rayon::prelude::*;
-use vulfi::{campaign_seed, run_experiment_range, Prepared, StudyConfig, StudyResult, Workload};
+use vulfi::{
+    campaign_seed, run_experiment_range, run_experiment_range_traced, Prepared, StudyConfig,
+    StudyResult, Workload,
+};
 
 use crate::key::{study_key, StudyKey};
 use crate::observe::{Progress, ProgressSnapshot};
 use crate::plan::{covered_experiments, merge, merged_dyn_insts, missing_jobs, plan_shards};
 use crate::store::{Manifest, ShardRecord, Store};
+use crate::tracestore::{TraceShard, TraceStore};
 use crate::OrchError;
 
 /// Callback invoked (serialized, under the runner's lock) after every
-/// completed shard.
+/// completed shard, and once more with the final state before the
+/// runner returns — consumers always observe the finished snapshot
+/// (`done == total` on a completed study) even if the last shard's
+/// callback was lost or no shard ran at all.
 pub type ProgressFn = Box<dyn Fn(&ProgressSnapshot) + Send + Sync>;
 
 pub struct RunOptions {
@@ -25,6 +33,11 @@ pub struct RunOptions {
     /// run; incremental batch jobs can use it as a work quantum).
     pub max_shards: Option<usize>,
     pub progress: Option<ProgressFn>,
+    /// Record per-experiment trace spans under this trace-store root
+    /// (`vulfi study --trace <dir>`). Tracing is observational: the
+    /// persisted results and the study key are bit-identical with or
+    /// without it.
+    pub trace: Option<PathBuf>,
 }
 
 impl Default for RunOptions {
@@ -33,6 +46,7 @@ impl Default for RunOptions {
             shard_size: 25,
             max_shards: None,
             progress: None,
+            trace: None,
         }
     }
 }
@@ -91,6 +105,19 @@ pub fn run_study_persistent(
         })?;
     }
 
+    // Open the trace sidecar first so a bad --trace path fails before
+    // any work, and heal its own kill artifact the same way as the
+    // result log below.
+    let trace_log = match &opts.trace {
+        Some(root) => {
+            let tstore = TraceStore::open(root)?;
+            let tlog = tstore.study(&key);
+            tlog.trim_torn_tail()?;
+            Some(tlog)
+        }
+        None => None,
+    };
+
     let done = study.shards()?;
     // Heal the expected kill artifact (a torn trailing line) now, so the
     // appends below cannot bury it mid-file where it would read as
@@ -111,22 +138,33 @@ pub fn run_study_persistent(
         }
     }
 
-    // One lock serializes the append-only log, the progress counters,
+    // One lock serializes the append-only logs, the progress counters,
     // and the user's callback; experiment execution itself runs outside
     // it.
     let sink = Mutex::new((&study, progress));
     let executed_shards = missing.len();
+    let metrics = crate::metrics::global();
+    let faults_before = vulfi::engine_faults().len() as u64;
     let results: Result<Vec<()>, OrchError> = missing
         .into_par_iter()
         .map(|job| {
             let shard_start = Instant::now();
-            let experiments = run_experiment_range(
-                prog,
-                workload,
-                campaign_seed(cfg.seed, job.campaign),
-                job.start..job.end,
-            )
+            let seed = campaign_seed(cfg.seed, job.campaign);
+            let (experiments, spans) = if trace_log.is_some() {
+                run_experiment_range_traced(prog, workload, seed, job.start..job.end)
+            } else {
+                run_experiment_range(prog, workload, seed, job.start..job.end)
+                    .map(|e| (e, Vec::new()))
+            }
             .map_err(|e| OrchError(e.to_string()))?;
+            for e in &experiments {
+                metrics.inc_experiment(prog.category, e.outcome);
+            }
+            for s in &spans {
+                if let Some(p) = s.propagation {
+                    metrics.observe_propagation(prog.category, p);
+                }
+            }
             let rec = ShardRecord {
                 campaign: job.campaign,
                 start: job.start,
@@ -142,8 +180,25 @@ pub fn run_study_persistent(
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
             let (study, progress) = &mut *guard;
+            let append_start = Instant::now();
             study.append_shard(&rec)?;
-            progress.executed += rec.experiments.len() as u64;
+            metrics.observe_shard_append(append_start.elapsed().as_nanos() as u64);
+            if let Some(tlog) = &trace_log {
+                // The result shard is already durable; the trace append
+                // rides in the same critical section so a kill tears at
+                // most the trace line (which resume trims) and never
+                // interleaves two writers.
+                tlog.append_shard(&TraceShard {
+                    campaign: job.campaign,
+                    start: job.start,
+                    end: job.end,
+                    workload: workload_name.to_string(),
+                    category: prog.category.name().to_string(),
+                    isa: isa.to_string(),
+                    traces: spans,
+                })?;
+            }
+            progress.note_shard(rec.experiments.len() as u64);
             for e in &rec.experiments {
                 progress.counts.add(e);
                 progress.dyn_insts += e.golden_dyn_insts;
@@ -158,6 +213,7 @@ pub fn run_study_persistent(
         })
         .collect();
     results?;
+    metrics.add_engine_faults((vulfi::engine_faults().len() as u64).saturating_sub(faults_before));
 
     let (_, progress) = sink
         .into_inner()
@@ -176,6 +232,14 @@ pub fn run_study_persistent(
             study.write_manifest(&manifest)?;
         }
     }
+    let final_snapshot = progress.snapshot();
+    if let Some(cb) = &opts.progress {
+        // Always emit the final state, even when every shard was reused
+        // (the per-shard callback never fired) — consumers of the stream
+        // can rely on the last snapshot reporting `done == total` for a
+        // completed study.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| cb(&final_snapshot)));
+    }
     Ok(RunOutcome {
         key,
         total_shards: plan.len(),
@@ -185,7 +249,7 @@ pub fn run_study_persistent(
         result,
         wall_ns: started.elapsed().as_nanos() as u64,
         dyn_insts,
-        progress: progress.snapshot(),
+        progress: final_snapshot,
     })
 }
 

@@ -25,6 +25,11 @@
 //! which is atomic on POSIX. Appends retry transient I/O errors with
 //! capped exponential backoff, rolling the file back to its pre-append
 //! length between attempts so a partial write is never left mid-file.
+//!
+//! The line format, torn-tail handling, quarantine, and retry machinery
+//! live in the record-generic [`CheckedLog`], which the trace store
+//! ([`crate::tracestore`]) reuses verbatim — one implementation, one
+//! failure contract, two record types.
 
 use std::fs;
 use std::io::{self, Write as _};
@@ -67,20 +72,32 @@ pub struct ShardRecord {
     pub wall_ns: u64,
 }
 
-/// Result of classifying every non-blank line of a shard log.
-#[derive(Debug, Default)]
-struct LogScan {
+/// Result of classifying every non-blank line of a checksummed log.
+#[derive(Debug)]
+pub(crate) struct LogScan<T> {
     /// Non-blank lines inspected.
-    lines: usize,
+    pub lines: usize,
     /// Checksum-valid, parseable records, in file order.
-    records: Vec<ShardRecord>,
+    pub records: Vec<T>,
     /// The last non-blank line is torn (killed writer).
-    torn_tail: bool,
+    pub torn_tail: bool,
     /// Corrupt non-tail lines as `(1-based line number, reason)`.
-    corrupt: Vec<(usize, String)>,
+    pub corrupt: Vec<(usize, String)>,
 }
 
-/// Health report for one study's shard log (see [`StudyStore::fsck`]).
+impl<T> Default for LogScan<T> {
+    fn default() -> LogScan<T> {
+        LogScan {
+            lines: 0,
+            records: Vec::new(),
+            torn_tail: false,
+            corrupt: Vec::new(),
+        }
+    }
+}
+
+/// Health report for one study's checksummed log (see
+/// [`StudyStore::fsck`] / `TraceLog::fsck`).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StudyFsck {
     pub key: StudyKey,
@@ -143,9 +160,7 @@ impl Store {
     }
 
     pub fn study(&self, key: &StudyKey) -> StudyStore {
-        StudyStore {
-            dir: self.root.join(&key.0),
-        }
+        StudyStore::at(self.root.join(&key.0))
     }
 
     /// Keys of every study directory containing a manifest.
@@ -173,11 +188,6 @@ impl Store {
     }
 }
 
-/// One study's directory.
-pub struct StudyStore {
-    dir: PathBuf,
-}
-
 /// Transient I/O error kinds worth retrying.
 fn is_transient(e: &io::Error) -> bool {
     matches!(
@@ -189,7 +199,8 @@ fn is_transient(e: &io::Error) -> bool {
 /// Retry `op` on transient I/O errors with capped exponential backoff
 /// (1 ms doubling to 50 ms, at most 5 retries). `op` must be safe to
 /// re-run wholesale — callers roll back partial effects at the top of
-/// the closure.
+/// the closure. Every retry increments the store-retry counter of the
+/// global metrics registry.
 fn with_io_retry<T>(mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
     let mut delay = Duration::from_millis(1);
     let mut retries = 0;
@@ -197,6 +208,7 @@ fn with_io_retry<T>(mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
         match op() {
             Err(e) if is_transient(&e) && retries < 5 => {
                 retries += 1;
+                crate::metrics::global().inc_store_retries();
                 std::thread::sleep(delay);
                 delay = (delay * 2).min(Duration::from_millis(50));
             }
@@ -205,9 +217,16 @@ fn with_io_retry<T>(mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
     }
 }
 
-/// Parse one shard log line: verify the CRC suffix (when present — lines
-/// from older stores have none and parse unchecked), then decode.
-fn parse_shard_line(line: &str) -> Result<ShardRecord, String> {
+/// Render one checksummed log line (no newlines).
+pub(crate) fn encode_record_line<T: serde::Serialize>(rec: &T) -> Result<String, OrchError> {
+    let json = serde_json::to_string(rec).map_err(|e| OrchError(format!("encode record: {e}")))?;
+    let crc = crc32(json.as_bytes());
+    Ok(format!("{json}\tcrc32={crc:08x}"))
+}
+
+/// Parse one checksummed log line: verify the CRC suffix (when present —
+/// lines from older stores have none and parse unchecked), then decode.
+pub(crate) fn parse_record_line<T: serde::Deserialize>(line: &str) -> Result<T, String> {
     let json = match line.rsplit_once('\t') {
         Some((json, tail)) if tail.starts_with("crc32=") => {
             let want = u32::from_str_radix(&tail["crc32=".len()..], 16)
@@ -225,7 +244,214 @@ fn parse_shard_line(line: &str) -> Result<ShardRecord, String> {
     serde_json::from_str(json).map_err(|e| format!("unparseable record: {e}"))
 }
 
+/// A checksummed, append-only JSONL log with torn-tail recovery and
+/// quarantine — the shared persistence engine behind both the result
+/// shard log and the trace shard log.
+pub(crate) struct CheckedLog {
+    /// The log file (e.g. `<study>/shards.jsonl`).
+    path: PathBuf,
+    /// Quarantine directory for damaged logs.
+    qdir: PathBuf,
+    /// Remediation hint appended to corruption errors (the command that
+    /// repairs this log).
+    repair_hint: &'static str,
+}
+
+impl CheckedLog {
+    pub(crate) fn new(path: PathBuf, qdir: PathBuf, repair_hint: &'static str) -> CheckedLog {
+        CheckedLog {
+            path,
+            qdir,
+            repair_hint,
+        }
+    }
+
+    /// Append one record as a single checksummed JSONL line.
+    ///
+    /// The record is written with a *leading* newline so that a
+    /// truncated line left by a killed writer (which has no trailing
+    /// newline) is terminated rather than concatenated with this
+    /// record; the reader skips the resulting blank lines. Transient
+    /// I/O errors are retried with backoff; between attempts the file
+    /// is rolled back to its pre-append length so a partial write can
+    /// never end up mid-file.
+    pub(crate) fn append<T: serde::Serialize>(&self, rec: &T) -> Result<(), OrchError> {
+        if let Some(dir) = self.path.parent() {
+            fs::create_dir_all(dir)
+                .map_err(|e| OrchError(format!("create {}: {e}", dir.display())))?;
+        }
+        let line = encode_record_line(rec)?;
+        let payload = format!("\n{line}\n");
+        let mut f = with_io_retry(|| {
+            fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&self.path)
+        })
+        .map_err(|e| OrchError(format!("open {}: {e}", self.path.display())))?;
+        let before = f
+            .metadata()
+            .map_err(|e| OrchError(format!("stat {}: {e}", self.path.display())))?
+            .len();
+        with_io_retry(|| {
+            f.set_len(before)?;
+            f.write_all(payload.as_bytes())?;
+            f.flush()
+        })
+        .map_err(|e| OrchError(format!("append to {}: {e}", self.path.display())))?;
+        Ok(())
+    }
+
+    /// Classify every non-blank line of the log.
+    pub(crate) fn scan<T: serde::Deserialize>(&self) -> Result<LogScan<T>, OrchError> {
+        let bytes = match fs::read(&self.path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(LogScan::default()),
+            Err(e) => return Err(OrchError(format!("read {}: {e}", self.path.display()))),
+        };
+        // Corruption can hit any byte, including one that breaks UTF-8;
+        // decode lossily so the damage surfaces as a checksum-failing
+        // line (fsck's department), not an unreadable store.
+        let text = String::from_utf8_lossy(&bytes);
+        let lines: Vec<(usize, &str)> = text
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| !l.trim().is_empty())
+            .collect();
+        let mut scan = LogScan {
+            lines: lines.len(),
+            ..LogScan::default()
+        };
+        for (pos, (lineno, line)) in lines.iter().enumerate() {
+            match parse_record_line(line) {
+                Ok(rec) => scan.records.push(rec),
+                // Only the final line can be a torn write from a kill.
+                Err(_) if pos == lines.len() - 1 => scan.torn_tail = true,
+                Err(reason) => scan.corrupt.push((lineno + 1, reason)),
+            }
+        }
+        Ok(scan)
+    }
+
+    /// All fully-written records.
+    ///
+    /// A torn **trailing** line (from a killed run) is skipped, not an
+    /// error. Corruption anywhere earlier — a failed checksum or an
+    /// unparseable record that further appends have since buried — is an
+    /// error: silently dropping it would skew whatever is derived from
+    /// this log without a trace.
+    pub(crate) fn records<T: serde::Deserialize>(&self) -> Result<Vec<T>, OrchError> {
+        let scan = self.scan()?;
+        if let Some((lineno, reason)) = scan.corrupt.first() {
+            return Err(OrchError(format!(
+                "corrupt log {} at line {lineno}: {reason}; run `{}` to quarantine and recover",
+                self.path.display(),
+                self.repair_hint,
+            )));
+        }
+        Ok(scan.records)
+    }
+
+    /// Heal the one failure a kill is *expected* to leave: a torn
+    /// trailing line. The log is atomically rewritten (temp + rename)
+    /// from its valid records so that subsequent appends cannot bury the
+    /// torn fragment mid-file, where it would read as corruption.
+    /// Returns whether a trim happened. Mid-file corruption is *not*
+    /// healed here — that is fsck's job.
+    pub(crate) fn trim_torn_tail<T: serde::Serialize + serde::Deserialize>(
+        &self,
+    ) -> Result<bool, OrchError> {
+        let scan = self.scan::<T>()?;
+        if !scan.corrupt.is_empty() {
+            return Err(OrchError(format!(
+                "corrupt log {}: run `{}`",
+                self.path.display(),
+                self.repair_hint,
+            )));
+        }
+        if !scan.torn_tail {
+            return Ok(false);
+        }
+        self.rewrite(&scan.records)?;
+        Ok(true)
+    }
+
+    /// Atomically replace the log with exactly `records`.
+    pub(crate) fn rewrite<T: serde::Serialize>(&self, records: &[T]) -> Result<(), OrchError> {
+        let mut text = String::new();
+        for rec in records {
+            text.push_str(&encode_record_line(rec)?);
+            text.push('\n');
+        }
+        let tmp = self.path.with_extension("jsonl.tmp");
+        fs::write(&tmp, text.as_bytes())
+            .map_err(|e| OrchError(format!("write {}: {e}", tmp.display())))?;
+        fs::rename(&tmp, &self.path)
+            .map_err(|e| OrchError(format!("replace {}: {e}", self.path.display())))?;
+        Ok(())
+    }
+
+    /// Check this log; with `repair`, heal it (quarantine the damaged
+    /// file, salvage every checksum-valid record into a fresh log).
+    /// Returns the report *without* the owner-specific follow-up (e.g.
+    /// clearing a manifest's `complete` flag) — callers layer that on.
+    pub(crate) fn fsck<T: serde::Serialize + serde::Deserialize>(
+        &self,
+        key: StudyKey,
+        repair: bool,
+    ) -> Result<StudyFsck, OrchError> {
+        let scan = self.scan::<T>()?;
+        let mut report = StudyFsck {
+            key,
+            lines: scan.lines,
+            valid: scan.records.len(),
+            torn_tail: scan.torn_tail,
+            corrupt: scan.corrupt,
+            quarantined: None,
+        };
+        if repair && report.dirty() {
+            report.quarantined = Some(self.quarantine()?);
+            // Rebuild the log from the salvaged records (all re-encoded
+            // with checksums, which also upgrades legacy lines).
+            self.rewrite(&scan.records)?;
+        }
+        Ok(report)
+    }
+
+    /// Move the current log into the quarantine directory under a fresh
+    /// numbered name; returns the destination.
+    fn quarantine(&self) -> Result<PathBuf, OrchError> {
+        fs::create_dir_all(&self.qdir)
+            .map_err(|e| OrchError(format!("create {}: {e}", self.qdir.display())))?;
+        let stem = self
+            .path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "log".to_string());
+        let mut n = 0;
+        let dest = loop {
+            let candidate = self.qdir.join(format!("{stem}.{n}.jsonl"));
+            if !candidate.exists() {
+                break candidate;
+            }
+            n += 1;
+        };
+        fs::rename(&self.path, &dest)
+            .map_err(|e| OrchError(format!("quarantine {}: {e}", self.path.display())))?;
+        Ok(dest)
+    }
+}
+
+/// One study's directory.
+pub struct StudyStore {
+    dir: PathBuf,
+}
+
 impl StudyStore {
+    fn at(dir: PathBuf) -> StudyStore {
+        StudyStore { dir }
+    }
+
     pub fn dir(&self) -> &Path {
         &self.dir
     }
@@ -234,12 +460,12 @@ impl StudyStore {
         self.dir.join("manifest.json")
     }
 
-    fn shards_path(&self) -> PathBuf {
-        self.dir.join("shards.jsonl")
-    }
-
-    fn quarantine_dir(&self) -> PathBuf {
-        self.dir.join("shards.quarantine")
+    fn log(&self) -> CheckedLog {
+        CheckedLog::new(
+            self.dir.join("shards.jsonl"),
+            self.dir.join("shards.quarantine"),
+            "vulfi store fsck --repair",
+        )
     }
 
     pub fn exists(&self) -> bool {
@@ -267,131 +493,26 @@ impl StudyStore {
         serde_json::from_str(&text).map_err(|e| OrchError(format!("parse manifest: {e}")))
     }
 
-    /// Render one checksummed log line (no newlines).
-    fn encode_shard_line(rec: &ShardRecord) -> Result<String, OrchError> {
-        let json =
-            serde_json::to_string(rec).map_err(|e| OrchError(format!("encode shard: {e}")))?;
-        let crc = crc32(json.as_bytes());
-        Ok(format!("{json}\tcrc32={crc:08x}"))
-    }
-
-    /// Append one shard record as a single checksummed JSONL line.
-    ///
-    /// The record is written with a *leading* newline so that a
-    /// truncated line left by a killed writer (which has no trailing
-    /// newline) is terminated rather than concatenated with this
-    /// record; the reader skips the resulting blank lines. Transient
-    /// I/O errors are retried with backoff; between attempts the file
-    /// is rolled back to its pre-append length so a partial write can
-    /// never end up mid-file.
+    /// Append one shard record as a single checksummed JSONL line (see
+    /// [`CheckedLog::append`] for the crash-safety contract).
     pub fn append_shard(&self, rec: &ShardRecord) -> Result<(), OrchError> {
-        let line = Self::encode_shard_line(rec)?;
-        let payload = format!("\n{line}\n");
-        let mut f = with_io_retry(|| {
-            fs::OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(self.shards_path())
-        })
-        .map_err(|e| OrchError(format!("open shard log: {e}")))?;
-        let before = f
-            .metadata()
-            .map_err(|e| OrchError(format!("stat shard log: {e}")))?
-            .len();
-        with_io_retry(|| {
-            f.set_len(before)?;
-            f.write_all(payload.as_bytes())?;
-            f.flush()
-        })
-        .map_err(|e| OrchError(format!("append shard: {e}")))?;
-        Ok(())
-    }
-
-    /// Classify every non-blank line of the shard log.
-    fn scan(&self) -> Result<LogScan, OrchError> {
-        let path = self.shards_path();
-        let bytes = match fs::read(&path) {
-            Ok(b) => b,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(LogScan::default()),
-            Err(e) => return Err(OrchError(format!("read {}: {e}", path.display()))),
-        };
-        // Corruption can hit any byte, including one that breaks UTF-8;
-        // decode lossily so the damage surfaces as a checksum-failing
-        // line (fsck's department), not an unreadable store.
-        let text = String::from_utf8_lossy(&bytes);
-        let lines: Vec<(usize, &str)> = text
-            .lines()
-            .enumerate()
-            .filter(|(_, l)| !l.trim().is_empty())
-            .collect();
-        let mut scan = LogScan {
-            lines: lines.len(),
-            ..LogScan::default()
-        };
-        for (pos, (lineno, line)) in lines.iter().enumerate() {
-            match parse_shard_line(line) {
-                Ok(rec) => scan.records.push(rec),
-                // Only the final line can be a torn write from a kill.
-                Err(_) if pos == lines.len() - 1 => scan.torn_tail = true,
-                Err(reason) => scan.corrupt.push((lineno + 1, reason)),
-            }
-        }
-        Ok(scan)
+        self.log().append(rec)
     }
 
     /// All fully-written shard records.
     ///
     /// A torn **trailing** line (from a killed run) is skipped, not an
-    /// error. Corruption anywhere earlier — a failed checksum or an
-    /// unparseable record that further appends have since buried — is an
-    /// error: silently dropping it would change merged results without a
-    /// trace. Run `vulfi store fsck` to quarantine and recover.
+    /// error. Corruption anywhere earlier is an error: silently dropping
+    /// it would change merged results without a trace. Run
+    /// `vulfi store fsck` to quarantine and recover.
     pub fn shards(&self) -> Result<Vec<ShardRecord>, OrchError> {
-        let scan = self.scan()?;
-        if let Some((lineno, reason)) = scan.corrupt.first() {
-            return Err(OrchError(format!(
-                "corrupt shard log {} at line {lineno}: {reason}; \
-                 run `vulfi store fsck --repair` to quarantine and recover",
-                self.shards_path().display(),
-            )));
-        }
-        Ok(scan.records)
+        self.log().records()
     }
 
-    /// Heal the one failure a kill is *expected* to leave: a torn
-    /// trailing line. The log is atomically rewritten (temp + rename)
-    /// from its valid records so that subsequent appends cannot bury the
-    /// torn fragment mid-file, where it would read as corruption. Called
-    /// by the runner on every resume; returns whether a trim happened.
-    /// Mid-file corruption is *not* healed here — that is fsck's job.
+    /// Heal a torn trailing line left by a killed writer; called by the
+    /// runner on every resume. Returns whether a trim happened.
     pub fn trim_torn_tail(&self) -> Result<bool, OrchError> {
-        let scan = self.scan()?;
-        if !scan.corrupt.is_empty() {
-            return Err(OrchError(format!(
-                "corrupt shard log {}: run `vulfi store fsck --repair`",
-                self.shards_path().display()
-            )));
-        }
-        if !scan.torn_tail {
-            return Ok(false);
-        }
-        self.rewrite_log(&scan.records)?;
-        Ok(true)
-    }
-
-    /// Atomically replace the shard log with exactly `records`.
-    fn rewrite_log(&self, records: &[ShardRecord]) -> Result<(), OrchError> {
-        let mut text = String::new();
-        for rec in records {
-            text.push_str(&Self::encode_shard_line(rec)?);
-            text.push('\n');
-        }
-        let tmp = self.dir.join("shards.jsonl.tmp");
-        fs::write(&tmp, text.as_bytes())
-            .map_err(|e| OrchError(format!("write {}: {e}", tmp.display())))?;
-        fs::rename(&tmp, self.shards_path())
-            .map_err(|e| OrchError(format!("replace shard log: {e}")))?;
-        Ok(())
+        self.log().trim_torn_tail::<ShardRecord>()
     }
 
     /// Check this study's shard log; with `repair`, heal it.
@@ -412,49 +533,16 @@ impl StudyStore {
                 .map(|n| n.to_string_lossy().into_owned())
                 .unwrap_or_default(),
         );
-        let scan = self.scan()?;
-        let mut report = StudyFsck {
-            key,
-            lines: scan.lines,
-            valid: scan.records.len(),
-            torn_tail: scan.torn_tail,
-            corrupt: scan.corrupt,
-            quarantined: None,
-        };
-        if repair && report.dirty() {
-            report.quarantined = Some(self.quarantine_log()?);
-            // Rebuild the log from the salvaged records (all re-encoded
-            // with checksums, which also upgrades legacy lines).
-            self.rewrite_log(&scan.records)?;
+        let report = self.log().fsck::<ShardRecord>(key, repair)?;
+        if repair && report.dirty() && self.exists() {
             // Records may have been lost: force the scheduler to re-plan.
-            if self.exists() {
-                let mut manifest = self.read_manifest()?;
-                if manifest.complete {
-                    manifest.complete = false;
-                    self.write_manifest(&manifest)?;
-                }
+            let mut manifest = self.read_manifest()?;
+            if manifest.complete {
+                manifest.complete = false;
+                self.write_manifest(&manifest)?;
             }
         }
         Ok(report)
-    }
-
-    /// Move the current shard log into `shards.quarantine/` under a
-    /// fresh numbered name; returns the destination.
-    fn quarantine_log(&self) -> Result<PathBuf, OrchError> {
-        let qdir = self.quarantine_dir();
-        fs::create_dir_all(&qdir)
-            .map_err(|e| OrchError(format!("create {}: {e}", qdir.display())))?;
-        let mut n = 0;
-        let dest = loop {
-            let candidate = qdir.join(format!("shards.{n}.jsonl"));
-            if !candidate.exists() {
-                break candidate;
-            }
-            n += 1;
-        };
-        fs::rename(self.shards_path(), &dest)
-            .map_err(|e| OrchError(format!("quarantine shard log: {e}")))?;
-        Ok(dest)
     }
 }
 
@@ -505,9 +593,9 @@ mod tests {
             experiments: Vec::new(),
             wall_ns: 123,
         };
-        let line = StudyStore::encode_shard_line(&rec).unwrap();
+        let line = encode_record_line(&rec).unwrap();
         assert!(line.contains("\tcrc32="));
-        let back = parse_shard_line(&line).unwrap();
+        let back: ShardRecord = parse_record_line(&line).unwrap();
         assert_eq!(back.campaign, 2);
         assert_eq!((back.start, back.end), (5, 9));
 
@@ -515,7 +603,7 @@ mod tests {
         let mut bytes = line.clone().into_bytes();
         bytes[10] ^= 0x01;
         let tampered = String::from_utf8(bytes).unwrap();
-        let err = parse_shard_line(&tampered).unwrap_err();
+        let err = parse_record_line::<ShardRecord>(&tampered).unwrap_err();
         assert!(err.contains("checksum"), "{err}");
     }
 
@@ -529,7 +617,7 @@ mod tests {
             wall_ns: 0,
         };
         let json = serde_json::to_string(&rec).unwrap();
-        let back = parse_shard_line(&json).unwrap();
+        let back: ShardRecord = parse_record_line(&json).unwrap();
         assert_eq!(back.end, 1);
     }
 }

@@ -134,6 +134,7 @@ fn panicking_experiments_stay_contained_resumable_and_bit_identical() {
             shard_size: 5,
             max_shards: Some(2),
             progress: None,
+            trace: None,
         },
     )
     .unwrap();
@@ -149,6 +150,7 @@ fn panicking_experiments_stay_contained_resumable_and_bit_identical() {
             shard_size: 5,
             max_shards: None,
             progress: None,
+            trace: None,
         },
     )
     .unwrap();
@@ -189,6 +191,7 @@ fn panicking_progress_observer_does_not_lose_the_study() {
             shard_size: 5,
             max_shards: None,
             progress: Some(Box::new(|_| panic!("chaos: observer down"))),
+            trace: None,
         },
     )
     .unwrap();
@@ -242,6 +245,7 @@ fn kill_corrupt_fsck_resume_loop_always_converges_bit_identically() {
                 shard_size: 5,
                 max_shards: Some(2),
                 progress: None,
+                trace: None,
             },
         );
         // The previous round's corruption may only surface now — that is
@@ -289,6 +293,7 @@ fn kill_corrupt_fsck_resume_loop_always_converges_bit_identically() {
                 shard_size: 5,
                 max_shards: None,
                 progress: None,
+                trace: None,
             },
         )
         .unwrap();
@@ -334,7 +339,7 @@ proptest! {
         ));
         let _ = std::fs::remove_dir_all(&dir);
         let store = Store::open(&dir).unwrap();
-        let opts = || RunOptions { shard_size: 3, max_shards: None, progress: None };
+        let opts = || RunOptions { shard_size: 3, max_shards: None, progress: None, trace: None };
         run_study_persistent(&prog, &w, "vector sum", "avx", &cfg, &store, opts()).unwrap();
 
         let key = vulfi_orch::study_key(&prog, "vector sum", "avx", &cfg);

@@ -60,7 +60,7 @@ proptest! {
             "sse",
             &cfg,
             &store,
-            RunOptions { shard_size, max_shards: None, progress: None },
+            RunOptions { shard_size, max_shards: None, progress: None, trace: None },
         )
         .unwrap();
         set_jobs(0);

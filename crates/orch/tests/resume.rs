@@ -68,6 +68,7 @@ fn killed_study_resumes_and_matches_uninterrupted_run() {
             shard_size: 5,
             max_shards: Some(2),
             progress: None,
+            trace: None,
         },
     )
     .unwrap();
@@ -90,6 +91,7 @@ fn killed_study_resumes_and_matches_uninterrupted_run() {
             shard_size: 5,
             max_shards: None,
             progress: None,
+            trace: None,
         },
     )
     .unwrap();
@@ -137,6 +139,7 @@ fn result_is_independent_of_threads_and_shard_size() {
                 shard_size,
                 max_shards: None,
                 progress: None,
+                trace: None,
             },
         )
         .unwrap();
@@ -167,17 +170,26 @@ fn progress_callback_reports_monotone_counts() {
             progress: Some(Box::new(move |snap| {
                 sink.lock().unwrap().push((snap.done, snap.counts.total()));
             })),
+            trace: None,
         },
     )
     .unwrap();
 
     let seen = seen.lock().unwrap().clone();
-    assert_eq!(seen.len(), out.executed_shards, "one callback per shard");
+    assert_eq!(
+        seen.len(),
+        out.executed_shards + 1,
+        "one callback per shard plus the final snapshot"
+    );
     let total = (cfg.experiments_per_campaign * cfg.max_campaigns) as u64;
     for window in seen.windows(2) {
-        assert!(window[0].0 < window[1].0, "done must increase");
+        assert!(window[0].0 <= window[1].0, "done must never decrease");
     }
-    assert_eq!(seen.last().unwrap().0, total);
+    assert_eq!(
+        seen.last().unwrap().0,
+        total,
+        "stream always ends with done == total on a completed study"
+    );
     assert_eq!(out.progress.done, total);
     assert!(out.progress.experiments_per_sec > 0.0);
     assert!(out.dyn_insts > 0);
@@ -202,6 +214,7 @@ fn store_skips_truncated_trailing_line() {
             shard_size: 5,
             max_shards: Some(2),
             progress: None,
+            trace: None,
         },
     )
     .unwrap();

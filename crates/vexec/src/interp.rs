@@ -20,6 +20,7 @@ use vir::{
 
 use crate::mem::{Memory, Trap};
 use crate::profile::InstMix;
+use crate::trace::{fold_bits, TraceEvent, TraceSink};
 use crate::value::{RtVal, Scalar};
 
 /// Host-function dispatcher.
@@ -64,6 +65,7 @@ pub struct Interp<'m> {
     executed: u64,
     deadline: Option<Instant>,
     mix: Option<InstMix>,
+    trace: Option<&'m mut dyn TraceSink>,
 }
 
 impl<'m> Interp<'m> {
@@ -75,6 +77,23 @@ impl<'m> Interp<'m> {
             executed: 0,
             deadline: None,
             mix: None,
+            trace: None,
+        }
+    }
+
+    /// Install an architectural-event observer (see [`crate::trace`]).
+    ///
+    /// The sink only observes; execution, results, and dynamic
+    /// instruction counts are bit-identical with or without one. When no
+    /// sink is installed the hooks cost a single `Option` test on paths
+    /// that already touch memory or control flow.
+    pub fn set_trace_sink(&mut self, sink: &'m mut dyn TraceSink) {
+        self.trace = Some(sink);
+    }
+
+    fn note_event(&mut self, ev: TraceEvent) {
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.event(self.executed, ev);
         }
     }
 
@@ -155,6 +174,16 @@ impl<'m> Interp<'m> {
             )));
         }
         let ret = self.call_function(f, args.to_vec(), host, 0)?;
+        if self.trace.is_some() {
+            let bits = match &ret {
+                None => 0,
+                Some(v) => v
+                    .lanes()
+                    .into_iter()
+                    .fold(0, |acc, s| fold_bits(acc, s.bits)),
+            };
+            self.note_event(TraceEvent::Ret { bits });
+        }
         Ok(ExecResult {
             ret,
             dyn_insts: self.executed,
@@ -262,6 +291,7 @@ impl<'m> Interp<'m> {
                     let c = self.eval_operand(f, &frame, cond)?.scalar();
                     prev = Some(cur);
                     cur = if c.is_true() { *on_true } else { *on_false };
+                    self.note_event(TraceEvent::Branch { block: cur.0 });
                 }
                 Terminator::Ret(Some(op)) => {
                     self.note_term("ret");
@@ -398,6 +428,13 @@ impl<'m> Interp<'m> {
                         }
                     }
                 }
+                if self.trace.is_some() {
+                    let bits = v
+                        .lanes()
+                        .into_iter()
+                        .fold(0, |acc, s| fold_bits(acc, s.bits));
+                    self.note_event(TraceEvent::Store { addr, bits });
+                }
                 Ok(None)
             }
             InstKind::Gep { elem, base, index } => {
@@ -468,7 +505,10 @@ impl<'m> Interp<'m> {
                 if callee.starts_with("llvm.") {
                     return Err(Trap::UnknownFunction(callee.clone()));
                 }
-                // Host function.
+                // Host function. Mirror the dynamic-instruction clock into
+                // memory so host environments (e.g. the fault injector)
+                // can timestamp their actions without a wider interface.
+                self.mem.set_host_clock(self.executed);
                 let ret = host.call(callee, &argv, &mut self.mem)?;
                 if ret.is_none() && !ty.is_void() {
                     return Err(Trap::HostError(format!(
@@ -516,6 +556,17 @@ impl<'m> Interp<'m> {
                         self.mem
                             .write_scalar(addr + i as u64 * elem.bytes(), val.lane(i))?;
                     }
+                }
+                if self.trace.is_some() {
+                    // Fold which lanes were active along with their bits,
+                    // so a mask flip with identical data still registers.
+                    let mut bits = 0;
+                    for i in 0..lanes as usize {
+                        if mask.lane(i).mask_active() {
+                            bits = fold_bits(fold_bits(bits, i as u64), val.lane(i).bits);
+                        }
+                    }
+                    self.note_event(TraceEvent::Store { addr, bits });
                 }
                 Ok(None)
             }

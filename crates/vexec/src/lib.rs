@@ -41,9 +41,11 @@ pub mod interp;
 pub mod mem;
 pub mod opt;
 pub mod profile;
+pub mod trace;
 pub mod value;
 
 pub use interp::{ExecResult, HostEnv, Interp, NoHost};
 pub use mem::{Memory, Trap};
 pub use profile::InstMix;
+pub use trace::{Divergence, DivergenceTracer, TraceEvent, TraceSink};
 pub use value::{RtVal, Scalar};
