@@ -23,4 +23,21 @@ trap 'rm -rf "$SMOKE"' EXIT
 ./target/release/vulfi trace summarize --trace "$SMOKE/trace" > /dev/null
 grep -q '^vulfi_experiments_total' "$SMOKE/metrics.prom"
 
+# Analytics smoke tests: diffing a store against itself must flag
+# nothing, and the HTML report must render self-contained with its
+# heatmap section.
+./target/release/vulfi report diff "$SMOKE/store" "$SMOKE/store" | grep -q '0 significant'
+./target/release/vulfi report heatmap --trace "$SMOKE/trace" > /dev/null
+./target/release/vulfi report html --store "$SMOKE/store" --trace "$SMOKE/trace" \
+    --metrics-in "$SMOKE/metrics.prom" -o "$SMOKE/report.html"
+grep -q 'id="heatmap"' "$SMOKE/report.html"
+grep -q 'id="diff"' "$SMOKE/report.html"
+! grep -q '<script' "$SMOKE/report.html"
+
+# Throughput record: bench --record must emit parseable JSON with a
+# nonzero experiments-per-second figure.
+./target/release/vulfi bench --bench "vector sum" --experiments 10 --record \
+    -o "$SMOKE/BENCH_report.json" > /dev/null
+grep -q 'exp_per_sec' "$SMOKE/BENCH_report.json"
+
 echo "ci: all checks passed"

@@ -47,6 +47,11 @@ fn usage() -> String {
      vulfi store fsck [--store DIR] [--repair] [--json]\n  \
      vulfi trace summarize [--trace DIR] [--top N] [--json]\n  \
      vulfi trace fsck [--trace DIR] [--repair] [--json]\n  \
+     vulfi report diff <STORE_A> <STORE_B> [--json]\n  \
+     vulfi report heatmap [--trace DIR] [--top N] [--json]\n  \
+     vulfi report html [--store DIR] [--trace DIR] [--diff-store DIR] [--metrics-in PATH]\n         \
+     [--top N] [-o out.html]\n  \
+     vulfi bench [--bench NAME] [--isa avx|sse] [--experiments N] [--seed N] [--record] [-o PATH]\n  \
      vulfi profile --bench NAME [--isa avx|sse]\n  \
      vulfi list"
         .to_string()
@@ -86,6 +91,13 @@ struct Flags {
     metrics_out: Option<String>,
     /// `trace summarize`: how many SDC-prone sites to list.
     top: usize,
+    /// `report html`: second store to diff the primary store against.
+    diff_store: Option<String>,
+    /// `report html`: fold a Prometheus-format metrics snapshot into the
+    /// report.
+    metrics_in: Option<String>,
+    /// `bench`: write the machine-readable `BENCH_report.json`.
+    record: bool,
     positional: Vec<String>,
 }
 
@@ -113,6 +125,9 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         trace: None,
         metrics_out: None,
         top: 10,
+        diff_store: None,
+        metrics_in: None,
+        record: false,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -188,6 +203,9 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             }
             "--trace" => f.trace = Some(val(a)?),
             "--metrics-out" => f.metrics_out = Some(val(a)?),
+            "--diff-store" => f.diff_store = Some(val(a)?),
+            "--metrics-in" => f.metrics_in = Some(val(a)?),
+            "--record" => f.record = true,
             "--top" => {
                 f.top = val(a)?
                     .parse::<usize>()
@@ -221,16 +239,22 @@ fn load_module(path: &str, isa: VectorIsa) -> Result<Module, String> {
 }
 
 /// Pick the target function: `--func`, else the first definition.
-fn pick_func<'m>(m: &'m Module, flags: &Flags) -> Result<&'m str, String> {
+fn pick_func<'m>(m: &'m Module, flags: &Flags) -> Result<&'m vir::Function, String> {
+    let available = || {
+        let names: Vec<String> = m.functions.iter().map(|f| format!("@{}", f.name)).collect();
+        if names.is_empty() {
+            "module defines no functions".to_string()
+        } else {
+            format!("module defines: {}", names.join(", "))
+        }
+    };
     match &flags.func {
         Some(n) => m
             .function(n)
-            .map(|f| f.name.as_str())
-            .ok_or_else(|| format!("no function @{n}")),
+            .ok_or_else(|| format!("no function @{n}; {}", available())),
         None => m
             .functions
             .first()
-            .map(|f| f.name.as_str())
             .ok_or_else(|| "module has no functions".to_string()),
     }
 }
@@ -259,8 +283,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "sites" => {
             let path = flags.positional.first().ok_or_else(usage)?;
             let m = load_module(path, flags.isa)?;
-            let fname = pick_func(&m, &flags)?;
-            let f = m.function(fname).unwrap();
+            let f = pick_func(&m, &flags)?;
+            let fname = f.name.as_str();
             let sites = vulfi::enumerate_sites(f);
             println!(
                 "@{fname}: {} static fault sites ({} scalar fault sites including lanes)",
@@ -283,7 +307,7 @@ fn run(args: &[String]) -> Result<(), String> {
             let path = flags.positional.first().ok_or_else(usage)?;
             let category = flags.category.ok_or("instrument requires --category")?;
             let mut m = load_module(path, flags.isa)?;
-            let fname = pick_func(&m, &flags)?.to_string();
+            let fname = pick_func(&m, &flags)?.name.clone();
             let r =
                 vulfi::instrument_module(&mut m, &fname, vulfi::InstrumentOptions::new(category))?;
             eprintln!("instrumented {} sites in @{fname}", r.sites.len());
@@ -292,7 +316,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "detect" => {
             let path = flags.positional.first().ok_or_else(usage)?;
             let mut m = load_module(path, flags.isa)?;
-            let fname = pick_func(&m, &flags)?.to_string();
+            let fname = pick_func(&m, &flags)?.name.clone();
             let n = detectors::insert_foreach_detectors(
                 &mut m,
                 &fname,
@@ -370,6 +394,16 @@ fn run(args: &[String]) -> Result<(), String> {
                 usage()
             )),
         },
+        "report" => match flags.positional.first().map(String::as_str) {
+            Some("diff") => report_diff(&flags),
+            Some("heatmap") => report_heatmap(&flags),
+            Some("html") => report_html(&flags),
+            _ => Err(format!(
+                "report needs a subcommand (diff, heatmap, html)\n{}",
+                usage()
+            )),
+        },
+        "bench" => bench_cmd(&flags),
         "profile" => {
             let name = flags.bench.as_deref().ok_or("profile requires --bench")?;
             let scale = vbench::Scale::Test;
@@ -400,6 +434,17 @@ fn run(args: &[String]) -> Result<(), String> {
                     n,
                     100.0 * n as f64 / mix.total as f64
                 );
+            }
+            if mix.lanes_total > 0 {
+                println!(
+                    "lane occupancy: mean {:.2} active lanes per vector instruction, \
+                     {:.1}% lane utilization",
+                    mix.avg_active_lanes(),
+                    100.0 * mix.lane_utilization()
+                );
+                for (active, n) in mix.occupancy_histogram() {
+                    println!("  {active:>2} active lane(s): {n:>10} inst(s)");
+                }
             }
             Ok(())
         }
@@ -1016,6 +1061,209 @@ fn store_fsck(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// `vulfi report diff <A> <B>`: compare two stores cell by cell with
+/// Wilson intervals and a two-proportion z-test.
+fn report_diff(flags: &Flags) -> Result<(), String> {
+    let (Some(a), Some(b)) = (flags.positional.get(1), flags.positional.get(2)) else {
+        return Err(format!("report diff needs two store dirs\n{}", usage()));
+    };
+    let store_a = vulfi_orch::Store::open(a).map_err(|e| e.to_string())?;
+    let store_b = vulfi_orch::Store::open(b).map_err(|e| e.to_string())?;
+    let d = vulfi_orch::diff_stores(&store_a, &store_b).map_err(|e| e.to_string())?;
+    if flags.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&d).map_err(|e| e.to_string())?
+        );
+    } else if d.cells.is_empty() && d.only_a.is_empty() && d.only_b.is_empty() {
+        println!("no comparable studies between {a} and {b}");
+    } else {
+        print!("{}", vulfi_orch::render_diff_text(&d));
+    }
+    Ok(())
+}
+
+/// `vulfi report heatmap`: site × lane × bit SDC density from the trace
+/// store.
+fn report_heatmap(flags: &Flags) -> Result<(), String> {
+    let root = trace_root(flags);
+    let store = vulfi_orch::TraceStore::open(&root).map_err(|e| e.to_string())?;
+    let maps = vulfi_orch::heatmaps(&store, flags.top).map_err(|e| e.to_string())?;
+    if flags.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&maps).map_err(|e| e.to_string())?
+        );
+    } else {
+        print!("{}", vulfi_orch::render_heatmap_text(&maps));
+    }
+    Ok(())
+}
+
+fn parse_isa_name(s: &str) -> Option<VectorIsa> {
+    match s {
+        "avx" => Some(VectorIsa::Avx),
+        "sse" => Some(VectorIsa::Sse4),
+        _ => None,
+    }
+}
+
+/// Profile the golden run of every (workload, ISA) the store has studied.
+/// Unknown workload names (e.g. detector-wrapped variants) are skipped.
+fn occupancy_profiles(
+    store: &vulfi_orch::Store,
+) -> Result<Vec<vulfi_orch::OccupancyProfile>, String> {
+    let mut seen = std::collections::BTreeSet::new();
+    let mut out = Vec::new();
+    for key in store.studies().map_err(|e| e.to_string())? {
+        let m = store
+            .study(&key)
+            .read_manifest()
+            .map_err(|e| e.to_string())?;
+        if !seen.insert((m.workload.clone(), m.isa.clone())) {
+            continue;
+        }
+        let Some(isa) = parse_isa_name(&m.isa) else {
+            continue;
+        };
+        let Ok(w) = load_bench(&m.workload, isa) else {
+            continue;
+        };
+        let mut interp = vexec::Interp::new(w.module());
+        interp.enable_profiling();
+        let Ok(setup) = w.setup(&mut interp.mem, 0) else {
+            continue;
+        };
+        if interp
+            .run(w.entry(), &setup.args, &mut vexec::NoHost)
+            .is_err()
+        {
+            continue;
+        }
+        let mix = interp.take_mix().expect("profiling enabled");
+        out.push(vulfi_orch::OccupancyProfile::from_mix(
+            &m.workload,
+            &m.isa,
+            &mix,
+        ));
+    }
+    Ok(out)
+}
+
+/// `vulfi report html`: one self-contained HTML file over the store, the
+/// trace sidecars, an optional comparison store, and an optional metrics
+/// snapshot.
+fn report_html(flags: &Flags) -> Result<(), String> {
+    let store = vulfi_orch::Store::open(&flags.store).map_err(|e| e.to_string())?;
+    let trace = match &flags.trace {
+        Some(root) => Some(vulfi_orch::TraceStore::open(root).map_err(|e| e.to_string())?),
+        None => None,
+    };
+    let diff_store = match &flags.diff_store {
+        Some(dir) => Some(vulfi_orch::Store::open(dir).map_err(|e| e.to_string())?),
+        None => None,
+    };
+    let metrics: Vec<vulfi_orch::MetricRow> = match &flags.metrics_in {
+        Some(path) => {
+            let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            vulfi_orch::parse_prometheus(&text)?
+                .into_iter()
+                .map(|s| {
+                    let labels: Vec<String> =
+                        s.labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                    vulfi_orch::MetricRow {
+                        name: if labels.is_empty() {
+                            s.name
+                        } else {
+                            format!("{}{{{}}}", s.name, labels.join(","))
+                        },
+                        value: s.value,
+                    }
+                })
+                .collect()
+        }
+        None => Vec::new(),
+    };
+    let occupancy = occupancy_profiles(&store)?;
+    let html = vulfi_orch::html_from_stores(
+        "vulfi resiliency report",
+        Some(&store),
+        trace.as_ref(),
+        diff_store.as_ref(),
+        &occupancy,
+        &metrics,
+        flags.top,
+    )
+    .map_err(|e| e.to_string())?;
+    let out = flags
+        .out
+        .clone()
+        .unwrap_or_else(|| "results/report.html".to_string());
+    if let Some(parent) = std::path::Path::new(&out).parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent).map_err(|e| format!("{}: {e}", parent.display()))?;
+        }
+    }
+    fs::write(&out, &html).map_err(|e| format!("{out}: {e}"))?;
+    eprintln!("wrote {out} ({} bytes)", html.len());
+    Ok(())
+}
+
+/// `vulfi bench`: bounded campaigns over the micro-benchmarks, reporting
+/// throughput; `--record` writes the machine-readable `BENCH_report.json`.
+fn bench_cmd(flags: &Flags) -> Result<(), String> {
+    let names: Vec<String> = match &flags.bench {
+        Some(n) => vec![n.clone()],
+        None => vbench::MICRO_NAMES.iter().map(|n| n.to_string()).collect(),
+    };
+    let experiments = flags.experiments.unwrap_or(40);
+    let mut docs = Vec::new();
+    for name in &names {
+        let w = load_bench(name, flags.isa)?;
+        let prog = vulfi::prepare(&w, flags.category.unwrap_or(SiteCategory::PureData))
+            .map_err(|e| e.to_string())?;
+        let started = std::time::Instant::now();
+        let c =
+            vulfi::run_campaign(&prog, &w, experiments, flags.seed).map_err(|e| e.to_string())?;
+        let wall_ns = started.elapsed().as_nanos() as u64;
+        let wall_s = (wall_ns as f64 / 1e9).max(1e-9);
+        let dyn_insts: u64 = c.experiments.iter().map(|e| e.golden_dyn_insts).sum();
+        let exp_per_sec = experiments as f64 / wall_s;
+        println!(
+            "{:14} [{}]: {} experiments in {:.2}s — {:.0} exp/s, {:.1}M dyn-inst/s, SDC {:.1}%",
+            name,
+            isa_name(flags.isa),
+            experiments,
+            wall_s,
+            exp_per_sec,
+            dyn_insts as f64 / wall_s / 1e6,
+            c.counts.sdc_rate()
+        );
+        docs.push(serde_json::json!({
+            "name": name.clone(),
+            "isa": isa_name(flags.isa),
+            "experiments": experiments as u64,
+            "wall_ns": wall_ns,
+            "exp_per_sec": exp_per_sec,
+            "dyn_insts": dyn_insts,
+            "dyn_insts_per_sec": dyn_insts as f64 / wall_s,
+            "sdc_rate": c.counts.sdc_rate(),
+        }));
+    }
+    report_engine_faults();
+    if flags.record {
+        let out = flags
+            .out
+            .clone()
+            .unwrap_or_else(|| "BENCH_report.json".to_string());
+        let doc = serde_json::json!({ "benches": serde_json::Value::Array(docs) });
+        fs::write(&out, serde_json::to_string_pretty(&doc).unwrap())
+            .map_err(|e| format!("{out}: {e}"))?;
+        eprintln!("wrote {out}");
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1353,6 +1601,32 @@ export void scale(uniform float a[], uniform int n, uniform float s) {
             run(&s(&["instrument", &path])).is_err(),
             "missing --category"
         );
-        assert!(run(&s(&["sites", &path, "--func", "missing"])).is_err());
+        let e = run(&s(&["sites", &path, "--func", "missing"])).unwrap_err();
+        assert!(
+            e.contains("no function @missing") && e.contains("@scale"),
+            "unknown --func must list what the module defines: {e}"
+        );
+    }
+
+    #[test]
+    fn report_and_bench_flags_parse() {
+        let f = parse_flags(&s(&[
+            "html",
+            "--diff-store",
+            "/tmp/b",
+            "--metrics-in",
+            "m.prom",
+            "--record",
+        ]))
+        .unwrap();
+        assert_eq!(f.diff_store.as_deref(), Some("/tmp/b"));
+        assert_eq!(f.metrics_in.as_deref(), Some("m.prom"));
+        assert!(f.record);
+        assert!(parse_flags(&s(&["--diff-store"])).is_err());
+        // Subcommand dispatch errors.
+        assert!(run(&s(&["report"])).is_err());
+        assert!(run(&s(&["report", "bogus"])).is_err());
+        assert!(run(&s(&["report", "diff", "/tmp/only-one-store"])).is_err());
+        assert!(run(&s(&["bench", "--bench", "NoSuchBench"])).is_err());
     }
 }

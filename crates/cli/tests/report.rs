@@ -1,0 +1,261 @@
+//! End-to-end analytics contract, driven through the real binary:
+//!
+//! - `report diff` on two stores produced by the same study key and
+//!   seeds reports zero significant cells and zero drift — the
+//!   determinism contract, checked statistically.
+//! - `report html` emits one self-contained file: heatmap and diff
+//!   sections present, no scripts, no external fetches.
+//! - `bench --record` writes a parseable throughput report.
+//! - `results summary` / `trace summarize` behave on empty and
+//!   single-shard stores.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use vulfi_orch::DiffReport;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vulfi_cli_report_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn vulfi(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_vulfi"))
+        .args(args)
+        .output()
+        .expect("spawn vulfi binary")
+}
+
+fn assert_ok(out: &Output, what: &str) {
+    assert!(
+        out.status.success(),
+        "{what} failed (status {:?})\nstdout:\n{}\nstderr:\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// Run the standard small study into `store` (optionally tracing).
+fn run_study(store: &str, trace: Option<&str>) {
+    let mut args = vec![
+        "study",
+        "--bench",
+        "vector sum",
+        "--experiments",
+        "12",
+        "--campaigns",
+        "5",
+        "--seed",
+        "7",
+        "--shard-size",
+        "5",
+        "--store",
+        store,
+    ];
+    if let Some(t) = trace {
+        args.extend(["--trace", t]);
+    }
+    assert_ok(&vulfi(&args), "vulfi study");
+}
+
+#[test]
+fn diff_of_twin_stores_reports_zero_significant_cells() {
+    let a = temp_dir("twin_a");
+    let b = temp_dir("twin_b");
+    let (a_s, b_s) = (a.to_str().unwrap(), b.to_str().unwrap());
+    run_study(a_s, None);
+    run_study(b_s, None);
+
+    let json = vulfi(&["report", "diff", a_s, b_s, "--json"]);
+    assert_ok(&json, "vulfi report diff --json");
+    let d: DiffReport = serde_json::from_str(stdout(&json).trim()).unwrap();
+    assert_eq!(d.cells.len(), 1, "one comparable cell");
+    assert_eq!(
+        d.significant, 0,
+        "identical seeds cannot differ significantly"
+    );
+    assert_eq!(d.drift, 0, "identical stores cannot drift");
+    let c = &d.cells[0];
+    assert_eq!(c.key_a, c.key_b, "same inputs hash to the same study key");
+    assert_eq!((c.sdc_a, c.n_a), (c.sdc_b, c.n_b));
+    assert!(!c.significant && !c.drift);
+    assert!(c.p > 0.99, "identical proportions: p ≈ 1, got {}", c.p);
+    assert!(
+        c.lo_a <= c.rate_a && c.rate_a <= c.hi_a,
+        "Wilson bounds bracket the rate"
+    );
+
+    // The human-readable table agrees.
+    let text = vulfi(&["report", "diff", a_s, b_s]);
+    assert_ok(&text, "vulfi report diff");
+    let t = stdout(&text);
+    assert!(t.contains("1 cell(s) compared, 0 significant"), "{t}");
+    assert!(!t.contains("DRIFT"), "{t}");
+}
+
+#[test]
+fn html_report_is_self_contained_and_complete() {
+    let store = temp_dir("html_store");
+    let trace = temp_dir("html_trace");
+    let twin = temp_dir("html_twin");
+    let out = temp_dir("html_out").join("report.html");
+    let (store_s, trace_s, twin_s) = (
+        store.to_str().unwrap(),
+        trace.to_str().unwrap(),
+        twin.to_str().unwrap(),
+    );
+    run_study(store_s, Some(trace_s));
+    run_study(twin_s, None);
+
+    let r = vulfi(&[
+        "report",
+        "html",
+        "--store",
+        store_s,
+        "--trace",
+        trace_s,
+        "--diff-store",
+        twin_s,
+        "-o",
+        out.to_str().unwrap(),
+    ]);
+    assert_ok(&r, "vulfi report html");
+    let html = std::fs::read_to_string(&out).expect("report written");
+
+    for id in [
+        "studies",
+        "diff",
+        "heatmap",
+        "occupancy",
+        "propagation",
+        "metrics",
+    ] {
+        assert!(
+            html.contains(&format!("id=\"{id}\"")),
+            "missing section {id}"
+        );
+    }
+    // Real content, not placeholders: the studied workload appears in
+    // the study table, heatmap, and occupancy profile.
+    assert!(html.contains("vector sum"));
+    assert!(html.contains("lane × bit SDC density"));
+    assert!(html.contains("0 drifted") || html.contains("drifted"));
+    // Self-contained: nothing executable, nothing fetched.
+    for needle in ["<script", "http://", "https://", "<link", "@import", "url("] {
+        assert!(!html.contains(needle), "external reference: {needle}");
+    }
+    assert!(html.contains("<svg"), "charts are inline SVG");
+}
+
+#[test]
+fn bench_record_writes_parseable_throughput_report() {
+    let out = temp_dir("bench").join("BENCH_report.json");
+    std::fs::create_dir_all(out.parent().unwrap()).unwrap();
+    let r = vulfi(&[
+        "bench",
+        "--bench",
+        "vector sum",
+        "--experiments",
+        "10",
+        "--seed",
+        "3",
+        "--record",
+        "-o",
+        out.to_str().unwrap(),
+    ]);
+    assert_ok(&r, "vulfi bench --record");
+    let doc: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&out).unwrap()).unwrap();
+    let benches = doc.get("benches").and_then(|v| v.as_array()).unwrap();
+    assert_eq!(benches.len(), 1);
+    let b = &benches[0];
+    assert_eq!(b.get("name").and_then(|v| v.as_str()), Some("vector sum"));
+    assert_eq!(b.get("experiments").and_then(|v| v.as_u64()), Some(10));
+    assert!(b.get("exp_per_sec").and_then(|v| v.as_f64()).unwrap() > 0.0);
+    assert!(b.get("dyn_insts").and_then(|v| v.as_u64()).unwrap() > 0);
+    assert!(b.get("wall_ns").and_then(|v| v.as_u64()).unwrap() > 0);
+}
+
+#[test]
+fn summaries_handle_empty_and_single_shard_stores() {
+    // Empty stores: both summary commands succeed and say so.
+    let empty_store = temp_dir("empty_store");
+    let empty_trace = temp_dir("empty_trace");
+    let rs = vulfi(&[
+        "results",
+        "summary",
+        "--store",
+        empty_store.to_str().unwrap(),
+    ]);
+    assert_ok(&rs, "results summary on empty store");
+    assert!(stdout(&rs).contains("no studies under"), "{}", stdout(&rs));
+    let ts = vulfi(&[
+        "trace",
+        "summarize",
+        "--trace",
+        empty_trace.to_str().unwrap(),
+    ]);
+    assert_ok(&ts, "trace summarize on empty store");
+    assert!(
+        stdout(&ts).contains("no trace spans under"),
+        "{}",
+        stdout(&ts)
+    );
+    // Diffing two empty stores is clean, not an error.
+    let d = vulfi(&[
+        "report",
+        "diff",
+        empty_store.to_str().unwrap(),
+        empty_trace.to_str().unwrap(),
+    ]);
+    assert_ok(&d, "report diff on empty stores");
+    assert!(
+        stdout(&d).contains("no comparable studies"),
+        "{}",
+        stdout(&d)
+    );
+
+    // Single-shard store: one campaign-sized shard per campaign.
+    let one = temp_dir("single_shard");
+    let one_trace = temp_dir("single_shard_trace");
+    let (one_s, one_trace_s) = (one.to_str().unwrap(), one_trace.to_str().unwrap());
+    assert_ok(
+        &vulfi(&[
+            "study",
+            "--bench",
+            "vector sum",
+            "--experiments",
+            "10",
+            "--campaigns",
+            "4",
+            "--seed",
+            "5",
+            "--shard-size",
+            "100",
+            "--store",
+            one_s,
+            "--trace",
+            one_trace_s,
+        ]),
+        "single-shard study",
+    );
+    let rs = vulfi(&["results", "summary", "--store", one_s]);
+    assert_ok(&rs, "results summary on single-shard store");
+    assert!(stdout(&rs).contains("vector sum"), "{}", stdout(&rs));
+    let ts = vulfi(&["trace", "summarize", "--trace", one_trace_s]);
+    assert_ok(&ts, "trace summarize on single-shard store");
+    assert!(stdout(&ts).contains("vector sum"), "{}", stdout(&ts));
+    let hm = vulfi(&["report", "heatmap", "--trace", one_trace_s]);
+    assert_ok(&hm, "report heatmap on single-shard store");
+    assert!(
+        stdout(&hm).contains("most vulnerable sites"),
+        "{}",
+        stdout(&hm)
+    );
+}

@@ -69,6 +69,6 @@ pub use instrument::{instrument_module, InstrumentOptions, Instrumented};
 pub use report::{StudyReport, SuiteReport};
 pub use runtime::{DetectorStats, InjectionRecord, RunMode, VulfiHost};
 pub use sites::{category_mix, enumerate_sites, CategoryMix, SiteKind, StaticSite};
-pub use stats::{study_converged, StudySummary};
+pub use stats::{study_converged, two_proportion_z_test, wilson_interval_95, StudySummary, ZTest};
 pub use trace::{run_experiment_range_traced, ExperimentTrace, TraceInjection};
 pub use workload::{OutputRegion, SetupResult, Workload};

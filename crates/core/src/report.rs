@@ -40,6 +40,14 @@ impl StudyReport {
     pub fn sdc_rate(&self) -> f64 {
         self.counts.sdc_rate()
     }
+
+    /// Wilson 95% score interval on the experiment-level SDC proportion,
+    /// in percent — the uncertainty band analytics tables print next to
+    /// [`Self::sdc_rate`].
+    pub fn sdc_wilson_95(&self) -> (f64, f64) {
+        let (lo, hi) = crate::stats::wilson_interval_95(self.counts.sdc, self.counts.total());
+        (100.0 * lo, 100.0 * hi)
+    }
 }
 
 /// A whole evaluation run: many cells plus the configuration used.
@@ -152,6 +160,14 @@ mod tests {
             .unwrap()
             .1;
         assert!((addr - 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wilson_band_brackets_the_rate() {
+        let c = cell("A", SiteCategory::PureData, 40, 10);
+        let (lo, hi) = c.sdc_wilson_95();
+        assert!(lo < c.sdc_rate() && c.sdc_rate() < hi);
+        assert!(lo > 30.0 && hi < 51.0, "({lo}, {hi})");
     }
 
     #[test]

@@ -114,6 +114,79 @@ pub fn study_converged(samples: &[f64], target_margin: f64, min_campaigns: usize
         && margin_of_error_95(samples) <= target_margin
 }
 
+/// Standard normal CDF via the Abramowitz & Stegun 7.1.26 erf
+/// approximation (|error| < 1.5e-7 — far below anything a fault-injection
+/// sample size can resolve).
+pub fn normal_cdf(x: f64) -> f64 {
+    let t = x / std::f64::consts::SQRT_2;
+    0.5 * (1.0 + erf(t))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Wilson score interval at 95% confidence for a binomial proportion,
+/// returned as `(lo, hi)` fractions in `[0, 1]`.
+///
+/// Unlike the Wald interval this stays inside `[0, 1]` and behaves at the
+/// extremes (0 or n successes), which fault-injection cells routinely hit
+/// (e.g. an all-benign control study). `n == 0` yields the fully
+/// uninformative `(0, 1)`.
+pub fn wilson_interval_95(successes: u64, n: u64) -> (f64, f64) {
+    const Z: f64 = 1.96;
+    if n == 0 {
+        return (0.0, 1.0);
+    }
+    let nf = n as f64;
+    let p = successes as f64 / nf;
+    let z2 = Z * Z;
+    let denom = 1.0 + z2 / nf;
+    let center = (p + z2 / (2.0 * nf)) / denom;
+    let half = Z * (p * (1.0 - p) / nf + z2 / (4.0 * nf * nf)).sqrt() / denom;
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+/// A two-proportion pooled z-test.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ZTest {
+    pub z: f64,
+    /// Two-sided p-value.
+    pub p: f64,
+}
+
+/// Two-proportion pooled z-test: are `x1/n1` and `x2/n2` plausibly the
+/// same underlying proportion?
+///
+/// Degenerate inputs (an empty sample, or a pooled proportion of exactly
+/// 0 or 1, where the test statistic is undefined) report `z = 0, p = 1`:
+/// no evidence of a difference.
+pub fn two_proportion_z_test(x1: u64, n1: u64, x2: u64, n2: u64) -> ZTest {
+    if n1 == 0 || n2 == 0 {
+        return ZTest { z: 0.0, p: 1.0 };
+    }
+    let (n1f, n2f) = (n1 as f64, n2 as f64);
+    let p1 = x1 as f64 / n1f;
+    let p2 = x2 as f64 / n2f;
+    let pooled = (x1 + x2) as f64 / (n1f + n2f);
+    let se = (pooled * (1.0 - pooled) * (1.0 / n1f + 1.0 / n2f)).sqrt();
+    if se == 0.0 {
+        return ZTest { z: 0.0, p: 1.0 };
+    }
+    let z = (p1 - p2) / se;
+    let p = 2.0 * (1.0 - normal_cdf(z.abs()));
+    ZTest {
+        z,
+        p: p.clamp(0.0, 1.0),
+    }
+}
+
 /// Summary statistics of a finished study.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct StudySummary {
@@ -191,6 +264,64 @@ mod tests {
         let skewed: Vec<f64> = (0..30).map(|i| if i < 29 { 0.0 } else { 1000.0 }).collect();
         assert!(!looks_normal(&skewed));
         assert!(!looks_normal(&[1.0, 2.0]));
+    }
+
+    #[test]
+    fn normal_cdf_known_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.96) - 0.9750021).abs() < 1e-4);
+        assert!((normal_cdf(-1.96) - 0.0249979).abs() < 1e-4);
+        assert!((normal_cdf(1.0) - 0.8413447).abs() < 1e-5);
+        assert!(normal_cdf(8.0) > 0.999999);
+        assert!(normal_cdf(-8.0) < 1e-6);
+    }
+
+    #[test]
+    fn wilson_interval_known_values() {
+        // 10/50 at 95%: the textbook Wilson interval is (0.1124, 0.3304).
+        let (lo, hi) = wilson_interval_95(10, 50);
+        assert!((lo - 0.1124).abs() < 1e-3, "lo = {lo}");
+        assert!((hi - 0.3304).abs() < 1e-3, "hi = {hi}");
+        // 0/20: lower bound pinned at 0, upper clearly positive (~0.161).
+        let (lo, hi) = wilson_interval_95(0, 20);
+        assert_eq!(lo, 0.0);
+        assert!((hi - 0.1611).abs() < 1e-3, "hi = {hi}");
+        // 20/20: symmetric to the above.
+        let (lo, hi) = wilson_interval_95(20, 20);
+        assert!((lo - 0.8389).abs() < 1e-3, "lo = {lo}");
+        assert_eq!(hi, 1.0);
+        // Degenerate sample: total uncertainty.
+        assert_eq!(wilson_interval_95(0, 0), (0.0, 1.0));
+        // More data tightens the interval around the same proportion.
+        let (lo_s, hi_s) = wilson_interval_95(20, 100);
+        let (lo_l, hi_l) = wilson_interval_95(200, 1000);
+        assert!(hi_l - lo_l < hi_s - lo_s);
+    }
+
+    #[test]
+    fn z_test_known_values() {
+        // Classic worked example: 45/100 vs 30/100 → z ≈ 2.191, p ≈ 0.0285.
+        let t = two_proportion_z_test(45, 100, 30, 100);
+        assert!((t.z - 2.1909).abs() < 1e-3, "z = {}", t.z);
+        assert!((t.p - 0.0285).abs() < 1e-3, "p = {}", t.p);
+        // Identical proportions: z = 0, p = 1.
+        let t = two_proportion_z_test(12, 60, 12, 60);
+        assert_eq!(t.z, 0.0);
+        assert!((t.p - 1.0).abs() < 1e-6);
+        // Sign follows the first sample.
+        assert!(two_proportion_z_test(10, 100, 40, 100).z < 0.0);
+        // Degenerate pools are "no evidence", not NaN.
+        assert_eq!(
+            two_proportion_z_test(0, 50, 0, 50),
+            ZTest { z: 0.0, p: 1.0 }
+        );
+        assert_eq!(
+            two_proportion_z_test(50, 50, 50, 50),
+            ZTest { z: 0.0, p: 1.0 }
+        );
+        assert_eq!(two_proportion_z_test(1, 0, 1, 10), ZTest { z: 0.0, p: 1.0 });
+        // A huge, obvious difference is overwhelmingly significant.
+        assert!(two_proportion_z_test(90, 100, 10, 100).p < 1e-6);
     }
 
     #[test]

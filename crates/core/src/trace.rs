@@ -257,6 +257,27 @@ exit:
         for (k, span) in spans.iter().enumerate() {
             assert_eq!(span.index, k);
         }
+
+        // Lane-occupancy profiling holds the same contract: campaigns run
+        // with profiling disabled (a single Option test), and a profiled
+        // golden execution of the same workload is bit-identical to the
+        // unprofiled one the experiments above measured.
+        let golden = |profile: bool| {
+            let mut interp = vexec::Interp::new(w.module());
+            if profile {
+                interp.enable_profiling();
+            }
+            let setup = w.setup(&mut interp.mem, 0).unwrap();
+            let r = interp
+                .run(w.entry(), &setup.args, &mut vexec::NoHost)
+                .unwrap();
+            let out = interp.mem.read_f32_slice(setup.outputs[0].addr, 8).unwrap();
+            (r, out)
+        };
+        let (r_plain, out_plain) = golden(false);
+        let (r_prof, out_prof) = golden(true);
+        assert_eq!(r_plain, r_prof, "profiling must not perturb execution");
+        assert_eq!(out_plain, out_prof);
     }
 
     #[test]

@@ -1,0 +1,1398 @@
+//! Offline resiliency analytics over the result and trace stores.
+//!
+//! Everything here is *read-only*: the inputs are the checksummed shard
+//! logs (`store`) and trace sidecars (`tracestore`) a finished — or
+//! half-finished — evaluation left behind, and the outputs are the
+//! comparisons the paper actually publishes:
+//!
+//! - **study cells** ([`load_cells`]): every stored study merged through
+//!   the deterministic stopping rule into one (workload × category ×
+//!   ISA) cell with Wilson-scored SDC proportions;
+//! - **study diffing** ([`diff_stores`]): cell-by-cell comparison of two
+//!   stores (AVX vs SSE, pre/post a detector pass, two protocols) with a
+//!   two-proportion z-test and drift detection for resumed runs of the
+//!   same study key;
+//! - **vulnerability heatmaps** ([`heatmaps`]): trace spans aggregated
+//!   into site rankings and lane × bit SDC-density grids, joining static
+//!   site metadata (opcode, §II-C categories) against dynamic outcomes;
+//! - **lane occupancy** ([`OccupancyProfile`]): the dynamic
+//!   mask-occupancy histogram of a golden run, for explaining vector SDC
+//!   rates the way the paper's §IV discussion does (masked-off lanes
+//!   absorb faults);
+//! - **rendered reports** ([`render_html`]): one self-contained HTML
+//!   file — inline SVG, zero scripts, zero external fetches.
+
+use std::collections::BTreeMap;
+
+use vulfi::{two_proportion_z_test, wilson_interval_95, Outcome};
+
+use crate::plan::merge;
+use crate::store::Store;
+use crate::tracestore::{summarize, TraceStore, TraceSummary};
+use crate::OrchError;
+
+/// One stored study merged into a comparable cell.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct StudyCell {
+    pub key: String,
+    pub workload: String,
+    pub isa: String,
+    pub category: String,
+    pub sdc: u64,
+    pub benign: u64,
+    pub crash: u64,
+    pub detected: u64,
+    pub sdc_detected: u64,
+    /// Experiments the stopping rule actually counted.
+    pub experiments: u64,
+    /// Experiment-level SDC proportion, percent.
+    pub sdc_rate: f64,
+    /// Wilson 95% bounds on the SDC proportion, percent.
+    pub wilson_lo: f64,
+    pub wilson_hi: f64,
+    /// Campaign-mean SDC rate ± margin (the paper's §IV-D statistic).
+    pub mean_sdc: f64,
+    pub margin_95: f64,
+    pub campaigns: usize,
+    pub converged: bool,
+}
+
+/// Merge every complete study in `store` into cells; the second list
+/// names studies still partial (excluded rather than silently skewed).
+pub fn load_cells(store: &Store) -> Result<(Vec<StudyCell>, Vec<String>), OrchError> {
+    let mut cells = Vec::new();
+    let mut partial = Vec::new();
+    for key in store.studies()? {
+        let study = store.study(&key);
+        let m = study.read_manifest()?;
+        let shards = study.shards()?;
+        match merge(&m.cfg, m.category, &shards) {
+            Some(r) => {
+                let n = r.counts.total();
+                let (lo, hi) = wilson_interval_95(r.counts.sdc, n);
+                cells.push(StudyCell {
+                    key: key.0.clone(),
+                    workload: m.workload.clone(),
+                    isa: m.isa.clone(),
+                    category: m.category.name().to_string(),
+                    sdc: r.counts.sdc,
+                    benign: r.counts.benign,
+                    crash: r.counts.crash,
+                    detected: r.counts.detected,
+                    sdc_detected: r.counts.sdc_detected,
+                    experiments: n,
+                    sdc_rate: r.counts.sdc_rate(),
+                    wilson_lo: 100.0 * lo,
+                    wilson_hi: 100.0 * hi,
+                    mean_sdc: r.summary.mean,
+                    margin_95: r.summary.margin_95,
+                    campaigns: r.summary.campaigns,
+                    converged: r.converged,
+                });
+            }
+            None => partial.push(format!(
+                "{} [{}] {} ({})",
+                m.workload,
+                m.isa,
+                m.category.name(),
+                &key.0[..12.min(key.0.len())]
+            )),
+        }
+    }
+    cells.sort_by(|a, b| {
+        a.workload
+            .cmp(&b.workload)
+            .then(a.category.cmp(&b.category))
+            .then(a.isa.cmp(&b.isa))
+    });
+    Ok((cells, partial))
+}
+
+/// One matched pair of cells across two stores.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DiffCell {
+    pub workload: String,
+    pub category: String,
+    pub isa_a: String,
+    pub isa_b: String,
+    pub key_a: String,
+    pub key_b: String,
+    pub sdc_a: u64,
+    pub n_a: u64,
+    pub rate_a: f64,
+    pub lo_a: f64,
+    pub hi_a: f64,
+    pub sdc_b: u64,
+    pub n_b: u64,
+    pub rate_b: f64,
+    pub lo_b: f64,
+    pub hi_b: f64,
+    /// `rate_b - rate_a`, percentage points.
+    pub delta: f64,
+    pub z: f64,
+    pub p: f64,
+    /// Two-sided p < 0.05.
+    pub significant: bool,
+    /// Same study key on both sides but different merged counts — a
+    /// resumed run drifted from its twin, which determinism forbids.
+    pub drift: bool,
+}
+
+/// The full comparison of two stores.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DiffReport {
+    pub cells: Vec<DiffCell>,
+    /// Cells present only in store A / only in store B.
+    pub only_a: Vec<String>,
+    pub only_b: Vec<String>,
+    /// Partial (unmergeable) studies excluded from each side.
+    pub partial_a: Vec<String>,
+    pub partial_b: Vec<String>,
+    pub significant: u64,
+    pub drift: u64,
+}
+
+fn cell_label(c: &StudyCell) -> String {
+    format!("{} [{}] {}", c.workload, c.isa, c.category)
+}
+
+/// Pair up two stores' cells and test each pair for a significant SDC
+/// difference.
+///
+/// Cells join on (workload, category, ISA). Cells left unmatched fall
+/// back to a (workload, category) join when that is unambiguous — the
+/// AVX-vs-SSE comparison, where the ISA is exactly what differs.
+pub fn diff_stores(a: &Store, b: &Store) -> Result<DiffReport, OrchError> {
+    let (cells_a, partial_a) = load_cells(a)?;
+    let (cells_b, partial_b) = load_cells(b)?;
+    Ok(diff_cells(cells_a, cells_b, partial_a, partial_b))
+}
+
+fn diff_cells(
+    cells_a: Vec<StudyCell>,
+    cells_b: Vec<StudyCell>,
+    partial_a: Vec<String>,
+    partial_b: Vec<String>,
+) -> DiffReport {
+    let mut used_b = vec![false; cells_b.len()];
+    let mut pairs: Vec<(StudyCell, StudyCell)> = Vec::new();
+    let mut only_a = Vec::new();
+
+    // Pass 1: exact (workload, category, isa) join.
+    let mut unmatched_a = Vec::new();
+    for ca in cells_a {
+        let hit = (0..cells_b.len()).find(|&i| {
+            !used_b[i]
+                && cells_b[i].workload == ca.workload
+                && cells_b[i].category == ca.category
+                && cells_b[i].isa == ca.isa
+        });
+        match hit {
+            Some(i) => {
+                used_b[i] = true;
+                pairs.push((ca, cells_b[i].clone()));
+            }
+            None => unmatched_a.push(ca),
+        }
+    }
+    // Pass 2: (workload, category) join for the leftovers, only when
+    // unambiguous on both sides.
+    for ca in unmatched_a {
+        let candidates: Vec<usize> = cells_b
+            .iter()
+            .enumerate()
+            .filter(|(i, cb)| {
+                !used_b[*i] && cb.workload == ca.workload && cb.category == ca.category
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if candidates.len() == 1 {
+            used_b[candidates[0]] = true;
+            pairs.push((ca, cells_b[candidates[0]].clone()));
+        } else {
+            only_a.push(cell_label(&ca));
+        }
+    }
+    let only_b: Vec<String> = cells_b
+        .iter()
+        .zip(&used_b)
+        .filter(|(_, used)| !**used)
+        .map(|(c, _)| cell_label(c))
+        .collect();
+
+    let mut cells = Vec::new();
+    let mut significant = 0u64;
+    let mut drift = 0u64;
+    for (ca, cb) in pairs {
+        let t = two_proportion_z_test(ca.sdc, ca.experiments, cb.sdc, cb.experiments);
+        let is_sig = t.p < 0.05;
+        let is_drift = ca.key == cb.key
+            && (ca.sdc != cb.sdc
+                || ca.benign != cb.benign
+                || ca.crash != cb.crash
+                || ca.experiments != cb.experiments);
+        significant += is_sig as u64;
+        drift += is_drift as u64;
+        cells.push(DiffCell {
+            workload: ca.workload,
+            category: ca.category,
+            isa_a: ca.isa,
+            isa_b: cb.isa,
+            key_a: ca.key,
+            key_b: cb.key,
+            sdc_a: ca.sdc,
+            n_a: ca.experiments,
+            rate_a: ca.sdc_rate,
+            lo_a: ca.wilson_lo,
+            hi_a: ca.wilson_hi,
+            sdc_b: cb.sdc,
+            n_b: cb.experiments,
+            rate_b: cb.sdc_rate,
+            lo_b: cb.wilson_lo,
+            hi_b: cb.wilson_hi,
+            delta: cb.sdc_rate - ca.sdc_rate,
+            z: t.z,
+            p: t.p,
+            significant: is_sig,
+            drift: is_drift,
+        });
+    }
+    cells.sort_by(|x, y| {
+        x.p.partial_cmp(&y.p)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(x.workload.cmp(&y.workload))
+            .then(x.category.cmp(&y.category))
+    });
+    DiffReport {
+        cells,
+        only_a,
+        only_b,
+        partial_a,
+        partial_b,
+        significant,
+        drift,
+    }
+}
+
+/// Render a diff as a significance-annotated text table.
+pub fn render_diff_text(r: &DiffReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<22} {:<9} {:>5}/{:<5} {:>18} {:>5}/{:<5} {:>18} {:>7} {:>7} {:>7}  flags\n",
+        "workload",
+        "category",
+        "sdcA",
+        "nA",
+        "A% [wilson95]",
+        "sdcB",
+        "nB",
+        "B% [wilson95]",
+        "Δpp",
+        "z",
+        "p"
+    ));
+    for c in &r.cells {
+        let mut flags = String::new();
+        if c.significant {
+            flags.push_str("SIGNIFICANT ");
+        }
+        if c.drift {
+            flags.push_str("DRIFT ");
+        }
+        out.push_str(&format!(
+            "{:<22} {:<9} {:>5}/{:<5} {:>5.1} [{:4.1},{:4.1}] {:>5}/{:<5} {:>5.1} [{:4.1},{:4.1}] {:>+7.1} {:>7.2} {:>7.4}  {}\n",
+            c.workload,
+            c.category,
+            c.sdc_a,
+            c.n_a,
+            c.rate_a,
+            c.lo_a,
+            c.hi_a,
+            c.sdc_b,
+            c.n_b,
+            c.rate_b,
+            c.lo_b,
+            c.hi_b,
+            c.delta,
+            c.z,
+            c.p,
+            flags.trim_end()
+        ));
+    }
+    out.push_str(&format!(
+        "{} cell(s) compared, {} significant at p<0.05, {} drifted\n",
+        r.cells.len(),
+        r.significant,
+        r.drift
+    ));
+    for s in &r.only_a {
+        out.push_str(&format!("only in A: {s}\n"));
+    }
+    for s in &r.only_b {
+        out.push_str(&format!("only in B: {s}\n"));
+    }
+    for s in &r.partial_a {
+        out.push_str(&format!("partial in A (excluded): {s}\n"));
+    }
+    for s in &r.partial_b {
+        out.push_str(&format!("partial in B (excluded): {s}\n"));
+    }
+    out
+}
+
+/// One (lane, bit) cell of a vulnerability grid.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LaneBitCell {
+    pub lane: u32,
+    pub bit: u32,
+    pub injections: u64,
+    pub sdc: u64,
+}
+
+/// One static site joined against its dynamic outcomes.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SiteRow {
+    pub site_id: u32,
+    pub opcode: String,
+    /// §II-C categories of the site's forward slice.
+    pub categories: Vec<String>,
+    pub injections: u64,
+    pub sdc: u64,
+    pub crash: u64,
+    /// SDC share of this site's injections, percent.
+    pub sdc_rate: f64,
+}
+
+/// Site × lane × bit vulnerability surface of one workload.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WorkloadHeatmap {
+    pub workload: String,
+    /// Grid extents: observed lanes are `0..lanes`, bits `0..bits`.
+    pub lanes: u32,
+    pub bits: u32,
+    /// Sparse grid cells, lane-major; cells that saw no injection are
+    /// omitted.
+    pub grid: Vec<LaneBitCell>,
+    /// Sites ranked by SDC count (then injections, then id).
+    pub sites: Vec<SiteRow>,
+}
+
+/// Aggregate every trace span into per-workload vulnerability heatmaps.
+///
+/// Spans deduplicate by `(study, campaign, experiment)` exactly like
+/// [`summarize`], so resumed runs never double-count. Site ranking keeps
+/// the `top_sites` most SDC-prone sites per workload.
+pub fn heatmaps(store: &TraceStore, top_sites: usize) -> Result<Vec<WorkloadHeatmap>, OrchError> {
+    let mut spans: BTreeMap<(String, usize, usize), (String, vulfi::ExperimentTrace)> =
+        BTreeMap::new();
+    for key in store.studies()? {
+        for shard in store.study(&key).shards()? {
+            for t in shard.traces {
+                spans.insert(
+                    (key.0.clone(), shard.campaign, t.index),
+                    (shard.workload.clone(), t),
+                );
+            }
+        }
+    }
+
+    // workload → ((lane, bit) → (injections, sdc), site → row)
+    type SiteKey = (u32, String);
+    type Grid = BTreeMap<(u32, u32), (u64, u64)>;
+    type SiteTally = BTreeMap<SiteKey, (Vec<String>, u64, u64, u64)>;
+    let mut grids: BTreeMap<String, Grid> = BTreeMap::new();
+    let mut sites: BTreeMap<String, SiteTally> = BTreeMap::new();
+    for (workload, t) in spans.values() {
+        let Some(inj) = &t.injection else { continue };
+        let cell = grids
+            .entry(workload.clone())
+            .or_default()
+            .entry((inj.lane, inj.bit))
+            .or_insert((0, 0));
+        cell.0 += 1;
+        cell.1 += (t.outcome == Outcome::Sdc) as u64;
+        let row = sites
+            .entry(workload.clone())
+            .or_default()
+            .entry((inj.site_id, inj.opcode.clone()))
+            .or_insert_with(|| (inj.categories.clone(), 0, 0, 0));
+        row.1 += 1;
+        row.2 += (t.outcome == Outcome::Sdc) as u64;
+        row.3 += (t.outcome == Outcome::Crash) as u64;
+    }
+
+    let mut out = Vec::new();
+    for (workload, grid) in grids {
+        let lanes = grid.keys().map(|(l, _)| l + 1).max().unwrap_or(0);
+        let bits = grid.keys().map(|(_, b)| b + 1).max().unwrap_or(0);
+        let grid: Vec<LaneBitCell> = grid
+            .into_iter()
+            .map(|((lane, bit), (injections, sdc))| LaneBitCell {
+                lane,
+                bit,
+                injections,
+                sdc,
+            })
+            .collect();
+        let mut rows: Vec<SiteRow> = sites
+            .remove(&workload)
+            .unwrap_or_default()
+            .into_iter()
+            .map(
+                |((site_id, opcode), (categories, injections, sdc, crash))| SiteRow {
+                    site_id,
+                    opcode,
+                    categories,
+                    injections,
+                    sdc,
+                    crash,
+                    sdc_rate: if injections == 0 {
+                        0.0
+                    } else {
+                        100.0 * sdc as f64 / injections as f64
+                    },
+                },
+            )
+            .collect();
+        rows.sort_by(|a, b| {
+            b.sdc
+                .cmp(&a.sdc)
+                .then(b.injections.cmp(&a.injections))
+                .then(a.site_id.cmp(&b.site_id))
+        });
+        rows.truncate(top_sites);
+        out.push(WorkloadHeatmap {
+            workload,
+            lanes,
+            bits,
+            grid,
+            sites: rows,
+        });
+    }
+    Ok(out)
+}
+
+/// Render heatmaps as text: a site ranking plus a lane-row density strip.
+pub fn render_heatmap_text(maps: &[WorkloadHeatmap]) -> String {
+    let mut out = String::new();
+    for m in maps {
+        out.push_str(&format!(
+            "{}: {} grid cell(s) over {} lane(s) x {} bit(s)\n",
+            m.workload,
+            m.grid.len(),
+            m.lanes,
+            m.bits
+        ));
+        for lane in 0..m.lanes {
+            let (inj, sdc) = m
+                .grid
+                .iter()
+                .filter(|c| c.lane == lane)
+                .fold((0u64, 0u64), |(i, s), c| (i + c.injections, s + c.sdc));
+            if inj == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "  lane {:>2}: {:>5} injection(s), {:>4} SDC ({:.1}%)\n",
+                lane,
+                inj,
+                sdc,
+                100.0 * sdc as f64 / inj as f64
+            ));
+        }
+        out.push_str("  most vulnerable sites:\n");
+        for s in &m.sites {
+            out.push_str(&format!(
+                "    site {:>4} {:<12} [{}] SDC {}/{} ({:.1}%), {} crash(es)\n",
+                s.site_id,
+                s.opcode,
+                s.categories.join(","),
+                s.sdc,
+                s.injections,
+                s.sdc_rate,
+                s.crash
+            ));
+        }
+    }
+    if maps.is_empty() {
+        out.push_str("no injected trace spans\n");
+    }
+    out
+}
+
+/// One bucket of the mask-occupancy histogram.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct OccupancyBucket {
+    pub active_lanes: u32,
+    pub insts: u64,
+}
+
+/// Lane-occupancy profile of one workload's golden run.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct OccupancyProfile {
+    pub workload: String,
+    pub isa: String,
+    pub total: u64,
+    pub vector: u64,
+    pub vector_pct: f64,
+    pub lanes_active: u64,
+    pub lanes_total: u64,
+    pub avg_active_lanes: f64,
+    /// Active fraction of all vector lane slots, percent.
+    pub lane_utilization_pct: f64,
+    pub hist: Vec<OccupancyBucket>,
+}
+
+impl OccupancyProfile {
+    pub fn from_mix(workload: &str, isa: &str, mix: &vexec::InstMix) -> OccupancyProfile {
+        OccupancyProfile {
+            workload: workload.to_string(),
+            isa: isa.to_string(),
+            total: mix.total,
+            vector: mix.vector,
+            vector_pct: mix.vector_pct(),
+            lanes_active: mix.lanes_active,
+            lanes_total: mix.lanes_total,
+            avg_active_lanes: mix.avg_active_lanes(),
+            lane_utilization_pct: 100.0 * mix.lane_utilization(),
+            hist: mix
+                .occupancy_histogram()
+                .into_iter()
+                .map(|(active_lanes, insts)| OccupancyBucket {
+                    active_lanes,
+                    insts,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One metrics-snapshot row for the HTML report.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MetricRow {
+    pub name: String,
+    pub value: f64,
+}
+
+/// Everything [`render_html`] can include. Empty slices and `None`
+/// render as explicit "no data" sections rather than disappearing.
+pub struct ReportInputs<'a> {
+    pub title: &'a str,
+    pub cells: &'a [StudyCell],
+    pub partial: &'a [String],
+    pub diff: Option<&'a DiffReport>,
+    pub heatmaps: &'a [WorkloadHeatmap],
+    pub occupancy: &'a [OccupancyProfile],
+    pub traces: Option<&'a TraceSummary>,
+    pub metrics: &'a [MetricRow],
+}
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+/// An inline-SVG horizontal bar with a Wilson-interval whisker, scaled
+/// to `max` percent.
+fn sdc_bar(rate: f64, lo: f64, hi: f64, max: f64) -> String {
+    const W: f64 = 260.0;
+    let x = |v: f64| (W * (v / max.max(1e-9)).clamp(0.0, 1.0)).round();
+    format!(
+        "<svg width=\"{W}\" height=\"14\" role=\"img\">\
+         <rect x=\"0\" y=\"2\" width=\"{}\" height=\"10\" fill=\"#c0392b\"/>\
+         <line x1=\"{}\" y1=\"7\" x2=\"{}\" y2=\"7\" stroke=\"#2c3e50\" stroke-width=\"2\"/>\
+         </svg>",
+        x(rate),
+        x(lo),
+        x(hi)
+    )
+}
+
+fn heatmap_table(m: &WorkloadHeatmap) -> String {
+    let mut cells: BTreeMap<(u32, u32), (u64, u64)> = BTreeMap::new();
+    for c in &m.grid {
+        cells.insert((c.lane, c.bit), (c.injections, c.sdc));
+    }
+    let peak = m.grid.iter().map(|c| c.sdc).max().unwrap_or(0).max(1) as f64;
+    let mut html = String::from("<table class=\"heat\"><tr><th>lane\\bit</th>");
+    for b in 0..m.bits {
+        html.push_str(&format!("<th>{b}</th>"));
+    }
+    html.push_str("</tr>");
+    for lane in 0..m.lanes {
+        html.push_str(&format!("<tr><th>{lane}</th>"));
+        for bit in 0..m.bits {
+            match cells.get(&(lane, bit)) {
+                Some(&(inj, sdc)) => {
+                    let alpha = (sdc as f64 / peak * 0.9 + 0.05).min(1.0);
+                    html.push_str(&format!(
+                        "<td style=\"background:rgba(192,57,43,{alpha:.2})\" \
+                         title=\"lane {lane} bit {bit}: {sdc} SDC / {inj} injection(s)\">{sdc}</td>"
+                    ));
+                }
+                None => html.push_str("<td class=\"empty\"></td>"),
+            }
+        }
+        html.push_str("</tr>");
+    }
+    html.push_str("</table>");
+    html
+}
+
+/// Render one self-contained HTML report: no scripts, no external
+/// stylesheets, no fetches — inline SVG and CSS only.
+pub fn render_html(inp: &ReportInputs) -> String {
+    let mut h = String::new();
+    h.push_str("<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">\n");
+    h.push_str(&format!("<title>{}</title>\n", esc(inp.title)));
+    h.push_str(
+        "<style>\
+         body{font:14px/1.45 system-ui,sans-serif;margin:2em auto;max-width:1080px;color:#222}\
+         h1{font-size:1.5em} h2{margin-top:2em;border-bottom:1px solid #ddd}\
+         table{border-collapse:collapse;margin:.8em 0} td,th{border:1px solid #ccc;\
+         padding:.25em .6em;text-align:right} th{background:#f4f4f4}\
+         td:first-child,th:first-child{text-align:left}\
+         .heat td{min-width:1.6em;text-align:center} .heat .empty{background:#fafafa}\
+         .sig{color:#c0392b;font-weight:bold} .drift{color:#8e44ad;font-weight:bold}\
+         .muted{color:#888}\
+         </style></head><body>\n",
+    );
+    h.push_str(&format!("<h1>{}</h1>\n", esc(inp.title)));
+
+    // Fig. 11/12-shaped study table.
+    h.push_str("<section id=\"studies\"><h2>Studies</h2>\n");
+    if inp.cells.is_empty() {
+        h.push_str("<p class=\"muted\">no complete studies in the store</p>\n");
+    } else {
+        let max = inp.cells.iter().map(|c| c.wilson_hi).fold(1.0f64, f64::max);
+        h.push_str(
+            "<table><tr><th>workload</th><th>ISA</th><th>category</th><th>SDC</th>\
+             <th>n</th><th>SDC %</th><th>Wilson 95%</th><th>mean ± margin</th>\
+             <th>detect %</th><th></th></tr>\n",
+        );
+        for c in inp.cells {
+            let det = if c.sdc > 0 && c.detected > 0 {
+                format!("{:.1}", 100.0 * c.sdc_detected as f64 / c.sdc as f64)
+            } else {
+                "–".to_string()
+            };
+            h.push_str(&format!(
+                "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td>\
+                 <td>{:.1}</td><td>[{:.1}, {:.1}]</td><td>{:.1} ± {:.1}{}</td><td>{}</td><td>{}</td></tr>\n",
+                esc(&c.workload),
+                esc(&c.isa),
+                esc(&c.category),
+                c.sdc,
+                c.experiments,
+                c.sdc_rate,
+                c.wilson_lo,
+                c.wilson_hi,
+                c.mean_sdc,
+                c.margin_95,
+                if c.converged { "" } else { " (capped)" },
+                det,
+                sdc_bar(c.sdc_rate, c.wilson_lo, c.wilson_hi, max),
+            ));
+        }
+        h.push_str("</table>\n");
+    }
+    for p in inp.partial {
+        h.push_str(&format!(
+            "<p class=\"muted\">partial (excluded): {}</p>\n",
+            esc(p)
+        ));
+    }
+    h.push_str("</section>\n");
+
+    // Diff section.
+    h.push_str("<section id=\"diff\"><h2>Study diff</h2>\n");
+    match inp.diff {
+        None => h.push_str(
+            "<p class=\"muted\">no comparison store given (re-run with \
+             <code>--diff-store DIR</code>)</p>\n",
+        ),
+        Some(d) => {
+            h.push_str(&format!(
+                "<p>{} cell(s) compared — <span class=\"sig\">{} significant</span> at \
+                 p&lt;0.05, <span class=\"drift\">{} drifted</span></p>\n",
+                d.cells.len(),
+                d.significant,
+                d.drift
+            ));
+            h.push_str(
+                "<table><tr><th>workload</th><th>category</th><th>A</th><th>B</th>\
+                 <th>A % [95%]</th><th>B % [95%]</th><th>Δpp</th><th>z</th><th>p</th>\
+                 <th>verdict</th></tr>\n",
+            );
+            for c in &d.cells {
+                let verdict = if c.drift {
+                    "<span class=\"drift\">DRIFT</span>"
+                } else if c.significant {
+                    "<span class=\"sig\">significant</span>"
+                } else {
+                    "—"
+                };
+                h.push_str(&format!(
+                    "<tr><td>{}</td><td>{}</td><td>{} ({}/{})</td><td>{} ({}/{})</td>\
+                     <td>{:.1} [{:.1}, {:.1}]</td><td>{:.1} [{:.1}, {:.1}]</td>\
+                     <td>{:+.1}</td><td>{:.2}</td><td>{:.4}</td><td>{}</td></tr>\n",
+                    esc(&c.workload),
+                    esc(&c.category),
+                    esc(&c.isa_a),
+                    c.sdc_a,
+                    c.n_a,
+                    esc(&c.isa_b),
+                    c.sdc_b,
+                    c.n_b,
+                    c.rate_a,
+                    c.lo_a,
+                    c.hi_a,
+                    c.rate_b,
+                    c.lo_b,
+                    c.hi_b,
+                    c.delta,
+                    c.z,
+                    c.p,
+                    verdict,
+                ));
+            }
+            h.push_str("</table>\n");
+            for s in d.only_a.iter() {
+                h.push_str(&format!("<p class=\"muted\">only in A: {}</p>\n", esc(s)));
+            }
+            for s in d.only_b.iter() {
+                h.push_str(&format!("<p class=\"muted\">only in B: {}</p>\n", esc(s)));
+            }
+        }
+    }
+    h.push_str("</section>\n");
+
+    // Heatmaps.
+    h.push_str("<section id=\"heatmap\"><h2>Vulnerability heatmaps</h2>\n");
+    if inp.heatmaps.is_empty() {
+        h.push_str("<p class=\"muted\">no injected trace spans (run studies with --trace)</p>\n");
+    }
+    for m in inp.heatmaps {
+        h.push_str(&format!(
+            "<h3>{} — lane × bit SDC density</h3>\n",
+            esc(&m.workload)
+        ));
+        h.push_str(&heatmap_table(m));
+        h.push_str(
+            "<table><tr><th>site</th><th>opcode</th><th>categories</th>\
+             <th>injections</th><th>SDC</th><th>crash</th><th>SDC %</th></tr>\n",
+        );
+        for s in &m.sites {
+            h.push_str(&format!(
+                "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td>\
+                 <td>{}</td><td>{:.1}</td></tr>\n",
+                s.site_id,
+                esc(&s.opcode),
+                esc(&s.categories.join(", ")),
+                s.injections,
+                s.sdc,
+                s.crash,
+                s.sdc_rate,
+            ));
+        }
+        h.push_str("</table>\n");
+    }
+    h.push_str("</section>\n");
+
+    // Lane occupancy (Fig. 10-shaped dynamic composition + masking).
+    h.push_str("<section id=\"occupancy\"><h2>Lane occupancy</h2>\n");
+    if inp.occupancy.is_empty() {
+        h.push_str("<p class=\"muted\">no occupancy profiles</p>\n");
+    }
+    for o in inp.occupancy {
+        h.push_str(&format!(
+            "<h3>{} [{}]</h3>\
+             <p>{} dynamic instructions, {:.1}% vector; mean {:.2} active lanes per \
+             vector instruction, {:.1}% lane utilization</p>\n",
+            esc(&o.workload),
+            esc(&o.isa),
+            o.total,
+            o.vector_pct,
+            o.avg_active_lanes,
+            o.lane_utilization_pct,
+        ));
+        let peak = o.hist.iter().map(|b| b.insts).max().unwrap_or(1).max(1) as f64;
+        h.push_str("<table><tr><th>active lanes</th><th>vector insts</th><th></th></tr>\n");
+        for b in &o.hist {
+            let w = (240.0 * b.insts as f64 / peak).round().max(1.0);
+            h.push_str(&format!(
+                "<tr><td>{}</td><td>{}</td><td><svg width=\"240\" height=\"12\">\
+                 <rect x=\"0\" y=\"1\" width=\"{w}\" height=\"10\" fill=\"#2980b9\"/></svg></td></tr>\n",
+                b.active_lanes, b.insts
+            ));
+        }
+        h.push_str("</table>\n");
+    }
+    h.push_str("</section>\n");
+
+    // Propagation percentiles.
+    h.push_str("<section id=\"propagation\"><h2>Propagation</h2>\n");
+    match inp.traces {
+        Some(t) if t.spans > 0 => {
+            h.push_str(&format!(
+                "<p>{} span(s) across {} stud{}, {} injected</p>\n",
+                t.spans,
+                t.studies,
+                if t.studies == 1 { "y" } else { "ies" },
+                t.injected
+            ));
+            h.push_str(
+                "<table><tr><th>category</th><th>spans</th><th>SDC</th><th>benign</th>\
+                 <th>crash</th><th>p50</th><th>p90</th><th>p99</th><th>max</th></tr>\n",
+            );
+            for c in &t.categories {
+                let (p50, p90, p99, max) = match &c.propagation {
+                    Some(p) => (
+                        p.p50.to_string(),
+                        p.p90.to_string(),
+                        p.p99.to_string(),
+                        p.max.to_string(),
+                    ),
+                    None => ("–".into(), "–".into(), "–".into(), "–".into()),
+                };
+                h.push_str(&format!(
+                    "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td>\
+                     <td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>\n",
+                    esc(&c.category),
+                    c.spans,
+                    c.sdc,
+                    c.benign,
+                    c.crash,
+                    p50,
+                    p90,
+                    p99,
+                    max
+                ));
+            }
+            h.push_str("</table>\n");
+        }
+        _ => h.push_str("<p class=\"muted\">no trace spans</p>\n"),
+    }
+    h.push_str("</section>\n");
+
+    // Metrics snapshot.
+    h.push_str("<section id=\"metrics\"><h2>Metrics snapshot</h2>\n");
+    if inp.metrics.is_empty() {
+        h.push_str("<p class=\"muted\">no metrics snapshot (pass --metrics-in)</p>\n");
+    } else {
+        h.push_str("<table><tr><th>metric</th><th>value</th></tr>\n");
+        for m in inp.metrics {
+            h.push_str(&format!(
+                "<tr><td>{}</td><td>{}</td></tr>\n",
+                esc(&m.name),
+                m.value
+            ));
+        }
+        h.push_str("</table>\n");
+    }
+    h.push_str("</section>\n</body></html>\n");
+    h
+}
+
+/// Convenience: build the report straight from stores.
+pub fn html_from_stores(
+    title: &str,
+    store: Option<&Store>,
+    trace: Option<&TraceStore>,
+    diff_against: Option<&Store>,
+    occupancy: &[OccupancyProfile],
+    metrics: &[MetricRow],
+    top_sites: usize,
+) -> Result<String, OrchError> {
+    let (cells, partial) = match store {
+        Some(s) => load_cells(s)?,
+        None => (Vec::new(), Vec::new()),
+    };
+    let diff = match (store, diff_against) {
+        (Some(a), Some(b)) => Some(diff_stores(a, b)?),
+        _ => None,
+    };
+    let (maps, traces) = match trace {
+        Some(t) => (heatmaps(t, top_sites)?, Some(summarize(t, top_sites)?)),
+        None => (Vec::new(), None),
+    };
+    Ok(render_html(&ReportInputs {
+        title,
+        cells: &cells,
+        partial: &partial,
+        diff: diff.as_ref(),
+        heatmaps: &maps,
+        occupancy,
+        traces: traces.as_ref(),
+        metrics,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(workload: &str, isa: &str, category: &str, key: &str, sdc: u64, n: u64) -> StudyCell {
+        let (lo, hi) = wilson_interval_95(sdc, n);
+        let rate = if n == 0 {
+            0.0
+        } else {
+            100.0 * sdc as f64 / n as f64
+        };
+        StudyCell {
+            key: key.to_string(),
+            workload: workload.to_string(),
+            isa: isa.to_string(),
+            category: category.to_string(),
+            sdc,
+            benign: n - sdc,
+            crash: 0,
+            detected: 0,
+            sdc_detected: 0,
+            experiments: n,
+            sdc_rate: rate,
+            wilson_lo: 100.0 * lo,
+            wilson_hi: 100.0 * hi,
+            mean_sdc: rate,
+            margin_95: 1.0,
+            campaigns: 4,
+            converged: true,
+        }
+    }
+
+    #[test]
+    fn identical_cells_diff_to_zero_significance() {
+        let a = vec![
+            cell("W", "avx", "pure-data", "k1", 40, 200),
+            cell("W", "avx", "control", "k2", 10, 200),
+        ];
+        let b = a.clone();
+        let d = diff_cells(a, b, vec![], vec![]);
+        assert_eq!(d.cells.len(), 2);
+        assert_eq!(d.significant, 0);
+        assert_eq!(d.drift, 0);
+        assert!(d.only_a.is_empty() && d.only_b.is_empty());
+        for c in &d.cells {
+            assert!(!c.significant);
+            assert_eq!(c.delta, 0.0);
+        }
+    }
+
+    #[test]
+    fn large_difference_is_significant() {
+        let a = vec![cell("W", "avx", "pure-data", "ka", 120, 200)];
+        let b = vec![cell("W", "avx", "pure-data", "kb", 40, 200)];
+        let d = diff_cells(a, b, vec![], vec![]);
+        assert_eq!(d.significant, 1);
+        let c = &d.cells[0];
+        assert!(c.significant && c.p < 0.001);
+        assert!(c.delta < 0.0, "B has the lower rate");
+        assert_eq!(d.drift, 0, "different keys cannot drift");
+    }
+
+    #[test]
+    fn cross_isa_fallback_join_and_only_lists() {
+        let a = vec![
+            cell("W", "avx", "pure-data", "k1", 50, 200),
+            cell("X", "avx", "pure-data", "k3", 5, 200),
+        ];
+        let b = vec![
+            cell("W", "sse", "pure-data", "k2", 48, 200),
+            cell("Y", "sse", "control", "k4", 5, 200),
+        ];
+        let d = diff_cells(a, b, vec![], vec![]);
+        assert_eq!(d.cells.len(), 1, "W pairs across ISAs");
+        assert_eq!(d.cells[0].isa_a, "avx");
+        assert_eq!(d.cells[0].isa_b, "sse");
+        assert_eq!(d.only_a, vec!["X [avx] pure-data".to_string()]);
+        assert_eq!(d.only_b, vec!["Y [sse] control".to_string()]);
+    }
+
+    #[test]
+    fn same_key_different_counts_flags_drift() {
+        let a = vec![cell("W", "avx", "pure-data", "kk", 50, 200)];
+        let b = vec![cell("W", "avx", "pure-data", "kk", 52, 200)];
+        let d = diff_cells(a, b, vec![], vec![]);
+        assert_eq!(d.drift, 1);
+        assert!(d.cells[0].drift);
+        let text = render_diff_text(&d);
+        assert!(text.contains("DRIFT"), "{text}");
+    }
+
+    #[test]
+    fn html_report_is_self_contained_with_all_sections() {
+        let cells = vec![cell("W", "avx", "pure-data", "k1", 40, 200)];
+        let d = diff_cells(cells.clone(), cells.clone(), vec![], vec![]);
+        let maps = vec![WorkloadHeatmap {
+            workload: "W".to_string(),
+            lanes: 2,
+            bits: 3,
+            grid: vec![LaneBitCell {
+                lane: 0,
+                bit: 2,
+                injections: 5,
+                sdc: 3,
+            }],
+            sites: vec![SiteRow {
+                site_id: 1,
+                opcode: "fmul".to_string(),
+                categories: vec!["pure-data".to_string()],
+                injections: 5,
+                sdc: 3,
+                crash: 0,
+                sdc_rate: 60.0,
+            }],
+        }];
+        let occ = vec![OccupancyProfile {
+            workload: "W".to_string(),
+            isa: "avx".to_string(),
+            total: 100,
+            vector: 40,
+            vector_pct: 40.0,
+            lanes_active: 280,
+            lanes_total: 320,
+            avg_active_lanes: 7.0,
+            lane_utilization_pct: 87.5,
+            hist: vec![
+                OccupancyBucket {
+                    active_lanes: 3,
+                    insts: 8,
+                },
+                OccupancyBucket {
+                    active_lanes: 8,
+                    insts: 32,
+                },
+            ],
+        }];
+        let html = render_html(&ReportInputs {
+            title: "vulfi <report> & test",
+            cells: &cells,
+            partial: &[],
+            diff: Some(&d),
+            heatmaps: &maps,
+            occupancy: &occ,
+            traces: None,
+            metrics: &[MetricRow {
+                name: "vulfi_experiments_total".to_string(),
+                value: 200.0,
+            }],
+        });
+        for id in [
+            "studies",
+            "diff",
+            "heatmap",
+            "occupancy",
+            "propagation",
+            "metrics",
+        ] {
+            assert!(
+                html.contains(&format!("id=\"{id}\"")),
+                "missing section {id}"
+            );
+        }
+        // Self-contained: no scripts, no external fetches of any kind.
+        for needle in ["<script", "http://", "https://", "<link", "@import", "url("] {
+            assert!(!html.contains(needle), "external reference: {needle}");
+        }
+        // Title is escaped, charts are inline SVG.
+        assert!(html.contains("vulfi &lt;report&gt; &amp; test"));
+        assert!(html.contains("<svg"));
+    }
+
+    #[test]
+    fn heatmap_text_rendering() {
+        let maps = vec![WorkloadHeatmap {
+            workload: "W".to_string(),
+            lanes: 2,
+            bits: 8,
+            grid: vec![
+                LaneBitCell {
+                    lane: 0,
+                    bit: 1,
+                    injections: 4,
+                    sdc: 2,
+                },
+                LaneBitCell {
+                    lane: 1,
+                    bit: 7,
+                    injections: 2,
+                    sdc: 0,
+                },
+            ],
+            sites: vec![],
+        }];
+        let text = render_heatmap_text(&maps);
+        assert!(
+            text.contains("lane  0:     4 injection(s),    2 SDC"),
+            "{text}"
+        );
+        assert!(render_heatmap_text(&[]).contains("no injected trace spans"));
+    }
+
+    // ---- store-backed fixtures ----
+
+    use crate::store::{Manifest, ShardRecord, Store};
+    use crate::tracestore::{TraceShard, TraceStore};
+    use crate::StudyKey;
+    use std::path::PathBuf;
+    use vir::analysis::SiteCategory;
+    use vulfi::{Experiment, ExperimentTrace, StudyConfig, TraceInjection};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("vulfi-analytics-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn synth_cfg() -> StudyConfig {
+        StudyConfig {
+            experiments_per_campaign: 10,
+            target_margin: 3.0,
+            min_campaigns: 4,
+            max_campaigns: 4,
+            seed: 1,
+        }
+    }
+
+    /// Write one complete 4-campaign study: campaign `c` has
+    /// `sdc_per_campaign[c]` SDCs out of 10 experiments.
+    fn synth_study(
+        store: &Store,
+        key: &str,
+        workload: &str,
+        isa: &str,
+        sdc_per_campaign: [usize; 4],
+    ) {
+        let cfg = synth_cfg();
+        let key = StudyKey(key.to_string());
+        let study = store.study(&key);
+        study
+            .write_manifest(&Manifest {
+                key: key.clone(),
+                workload: workload.to_string(),
+                isa: isa.to_string(),
+                category: SiteCategory::PureData,
+                entry: "f".to_string(),
+                cfg,
+                total_shards: 4,
+                complete: true,
+            })
+            .unwrap();
+        for (c, &sdc) in sdc_per_campaign.iter().enumerate() {
+            let experiments = (0..cfg.experiments_per_campaign)
+                .map(|i| Experiment {
+                    outcome: if i < sdc {
+                        Outcome::Sdc
+                    } else {
+                        Outcome::Benign
+                    },
+                    detected: false,
+                    injection: None,
+                    input: 0,
+                    dynamic_sites: 1,
+                    golden_dyn_insts: 5,
+                })
+                .collect();
+            study
+                .append_shard(&ShardRecord {
+                    campaign: c,
+                    start: 0,
+                    end: cfg.experiments_per_campaign,
+                    experiments,
+                    wall_ns: 0,
+                })
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn empty_store_has_no_cells_and_diffs_clean() {
+        let da = tmpdir("empty-a");
+        let db = tmpdir("empty-b");
+        let a = Store::open(&da).unwrap();
+        let b = Store::open(&db).unwrap();
+        let (cells, partial) = load_cells(&a).unwrap();
+        assert!(cells.is_empty() && partial.is_empty());
+        let d = diff_stores(&a, &b).unwrap();
+        assert!(d.cells.is_empty());
+        assert_eq!((d.significant, d.drift), (0, 0));
+        let html = html_from_stores("empty", Some(&a), None, None, &[], &[], 10).unwrap();
+        assert!(html.contains("no complete studies"));
+        assert!(html.contains("id=\"heatmap\"") && html.contains("id=\"diff\""));
+        std::fs::remove_dir_all(&da).unwrap();
+        std::fs::remove_dir_all(&db).unwrap();
+    }
+
+    #[test]
+    fn same_key_same_counts_diff_has_zero_significant_cells() {
+        let da = tmpdir("twin-a");
+        let db = tmpdir("twin-b");
+        let a = Store::open(&da).unwrap();
+        let b = Store::open(&db).unwrap();
+        // Two stores holding the same study key with identical merged
+        // counts — what two resumed runs of one study must produce.
+        synth_study(&a, "kAAAA", "stencil", "avx", [3, 4, 3, 4]);
+        synth_study(&b, "kAAAA", "stencil", "avx", [3, 4, 3, 4]);
+        let d = diff_stores(&a, &b).unwrap();
+        assert_eq!(d.cells.len(), 1);
+        assert_eq!(d.significant, 0, "identical stores cannot differ");
+        assert_eq!(d.drift, 0);
+        let c = &d.cells[0];
+        assert_eq!((c.sdc_a, c.n_a), (14, 40));
+        assert_eq!((c.sdc_b, c.n_b), (14, 40));
+        assert!(!c.significant && !c.drift);
+        std::fs::remove_dir_all(&da).unwrap();
+        std::fs::remove_dir_all(&db).unwrap();
+    }
+
+    #[test]
+    fn drifted_resume_of_same_key_is_flagged() {
+        let da = tmpdir("drift-a");
+        let db = tmpdir("drift-b");
+        let a = Store::open(&da).unwrap();
+        let b = Store::open(&db).unwrap();
+        synth_study(&a, "kDDDD", "stencil", "avx", [3, 4, 3, 4]);
+        synth_study(&b, "kDDDD", "stencil", "avx", [3, 4, 3, 5]);
+        let d = diff_stores(&a, &b).unwrap();
+        assert_eq!(
+            d.drift, 1,
+            "same key, different counts = determinism violation"
+        );
+        assert!(d.cells[0].drift);
+        std::fs::remove_dir_all(&da).unwrap();
+        std::fs::remove_dir_all(&db).unwrap();
+    }
+
+    #[test]
+    fn partial_study_is_excluded_and_named() {
+        let dir = tmpdir("partial");
+        let store = Store::open(&dir).unwrap();
+        let cfg = synth_cfg();
+        let key = StudyKey("kPPPP".to_string());
+        let study = store.study(&key);
+        study
+            .write_manifest(&Manifest {
+                key: key.clone(),
+                workload: "dot".to_string(),
+                isa: "sse".to_string(),
+                category: SiteCategory::PureData,
+                entry: "f".to_string(),
+                cfg,
+                total_shards: 4,
+                complete: false,
+            })
+            .unwrap();
+        // Only campaign 0 of 4 landed: unmergeable.
+        study
+            .append_shard(&ShardRecord {
+                campaign: 0,
+                start: 0,
+                end: 10,
+                experiments: (0..10)
+                    .map(|_| Experiment {
+                        outcome: Outcome::Benign,
+                        detected: false,
+                        injection: None,
+                        input: 0,
+                        dynamic_sites: 1,
+                        golden_dyn_insts: 5,
+                    })
+                    .collect(),
+                wall_ns: 0,
+            })
+            .unwrap();
+        let (cells, partial) = load_cells(&store).unwrap();
+        assert!(cells.is_empty());
+        assert_eq!(partial.len(), 1);
+        assert!(
+            partial[0].contains("dot") && partial[0].contains("sse"),
+            "{partial:?}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn heat_span(
+        index: usize,
+        outcome: Outcome,
+        site: u32,
+        lane: u32,
+        bit: u32,
+    ) -> ExperimentTrace {
+        ExperimentTrace {
+            index,
+            outcome,
+            detected: false,
+            input: 0,
+            injection: Some(TraceInjection {
+                site_id: site,
+                opcode: "fmul".to_string(),
+                categories: vec!["pure-data".to_string()],
+                lane,
+                bit,
+                occurrence: 1,
+                at_dyn_inst: 10,
+            }),
+            golden_dyn_insts: 100,
+            faulty_dyn_insts: 100,
+            dyn_inst_delta: 0,
+            propagation: None,
+            trap: None,
+            wall_ns: 1000,
+        }
+    }
+
+    #[test]
+    fn heatmaps_aggregate_and_deduplicate_spans() {
+        let dir = tmpdir("heat");
+        let store = TraceStore::open(&dir).unwrap();
+        let log = store.study(&StudyKey("kH".to_string()));
+        let shard = |campaign, start, traces: Vec<ExperimentTrace>| TraceShard {
+            campaign,
+            start,
+            end: start + traces.len(),
+            workload: "W".to_string(),
+            category: "pure-data".to_string(),
+            isa: "avx".to_string(),
+            traces,
+        };
+        log.append_shard(&shard(
+            0,
+            0,
+            vec![
+                heat_span(0, Outcome::Sdc, 1, 0, 3),
+                heat_span(1, Outcome::Benign, 2, 1, 5),
+            ],
+        ))
+        .unwrap();
+        // A resumed run re-appends experiment 0: must not double-count.
+        log.append_shard(&shard(0, 0, vec![heat_span(0, Outcome::Sdc, 1, 0, 3)]))
+            .unwrap();
+        log.append_shard(&shard(1, 0, vec![heat_span(0, Outcome::Crash, 1, 0, 3)]))
+            .unwrap();
+
+        let maps = heatmaps(&store, 10).unwrap();
+        assert_eq!(maps.len(), 1);
+        let m = &maps[0];
+        assert_eq!(m.workload, "W");
+        assert_eq!((m.lanes, m.bits), (2, 6));
+        let cell = m.grid.iter().find(|c| c.lane == 0 && c.bit == 3).unwrap();
+        assert_eq!(
+            (cell.injections, cell.sdc),
+            (2, 1),
+            "duplicate span deduplicated; campaign-1 crash counted"
+        );
+        let top = &m.sites[0];
+        assert_eq!(top.site_id, 1);
+        assert_eq!((top.injections, top.sdc, top.crash), (2, 1, 1));
+        assert_eq!(top.categories, vec!["pure-data".to_string()]);
+
+        // Empty trace store → no heatmaps.
+        let empty = tmpdir("heat-empty");
+        let es = TraceStore::open(&empty).unwrap();
+        assert!(heatmaps(&es, 10).unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&empty).unwrap();
+    }
+}

@@ -19,6 +19,10 @@
 //!   result of an uninterrupted sequential run.
 //! - **Live observability** ([`observe`]): experiments/sec, ETA, and
 //!   running SDC/Benign/Crash counts after every shard.
+//! - **Offline analytics** ([`analytics`]): read-only reports over the
+//!   stores — study diffing with Wilson intervals and two-proportion
+//!   z-tests, site × lane × bit vulnerability heatmaps, lane-occupancy
+//!   profiles, and a self-contained HTML report renderer.
 //!
 //! ```no_run
 //! # use vulfi_orch::{run_study_persistent, RunOptions, Store};
@@ -32,6 +36,7 @@
 //! # Ok(()) }
 //! ```
 
+pub mod analytics;
 pub mod crc;
 pub mod key;
 pub mod metrics;
@@ -41,6 +46,11 @@ pub mod run;
 pub mod store;
 pub mod tracestore;
 
+pub use analytics::{
+    diff_stores, heatmaps, html_from_stores, load_cells, render_diff_text, render_heatmap_text,
+    render_html, DiffCell, DiffReport, LaneBitCell, MetricRow, OccupancyBucket, OccupancyProfile,
+    ReportInputs, SiteRow, StudyCell, WorkloadHeatmap,
+};
 pub use crc::crc32;
 pub use key::{study_key, StudyKey};
 pub use metrics::{

@@ -108,15 +108,64 @@ impl<'m> Interp<'m> {
         self.mix.take()
     }
 
-    fn note_inst(&mut self, f: &Function, iid: vir::InstId) {
-        if let Some(mix) = &mut self.mix {
-            let inst = f.inst(iid);
-            let is_vec = inst.ty.is_vector()
-                || inst
-                    .operands()
-                    .iter()
-                    .any(|op| f.operand_type(op).is_vector());
-            mix.record(inst.opcode(), is_vec);
+    fn note_inst(&mut self, f: &Function, frame: &[Option<RtVal>], iid: vir::InstId) {
+        if self.mix.is_none() {
+            return;
+        }
+        let inst = f.inst(iid);
+        let width = inst
+            .operands()
+            .iter()
+            .map(|op| f.operand_type(op).lanes())
+            .chain(std::iter::once(inst.ty.lanes()))
+            .max()
+            .unwrap_or(1);
+        let is_vec = inst.ty.is_vector()
+            || inst
+                .operands()
+                .iter()
+                .any(|op| f.operand_type(op).is_vector());
+        if !is_vec {
+            self.mix.as_mut().unwrap().record(inst.opcode(), false);
+            return;
+        }
+        // Active-lane count: masked memory ops consult their mask operand
+        // and vector selects their condition; everything else executes all
+        // lanes. An unevaluable mask (never in verified IR) falls back to
+        // full width rather than perturbing execution.
+        let active = self
+            .active_lanes(f, frame, &inst.kind)
+            .unwrap_or(width)
+            .min(width);
+        self.mix
+            .as_mut()
+            .unwrap()
+            .record_vector_lanes(inst.opcode(), active, width);
+    }
+
+    /// How many lanes of a vector instruction are architecturally live,
+    /// or `None` when the instruction is unconditionally full-width (or
+    /// its mask cannot be read). Purely observational: evaluates already
+    /// computed operands, never memory or side effects.
+    fn active_lanes(&self, f: &Function, frame: &[Option<RtVal>], kind: &InstKind) -> Option<u32> {
+        let count_mask = |op: &Operand, lanes: u32| -> Option<u32> {
+            let m = self.eval_operand(f, frame, op).ok()?;
+            let n = (lanes as usize).min(m.num_lanes());
+            Some((0..n).filter(|&i| m.lane(i).mask_active()).count() as u32)
+        };
+        match kind {
+            InstKind::Call { callee, args } => match intrinsics::parse(callee)? {
+                Intrinsic::MaskLoad { lanes, .. } => count_mask(args.get(1)?, lanes),
+                Intrinsic::MaskStore { lanes, .. } => count_mask(args.get(1)?, lanes),
+                _ => None,
+            },
+            InstKind::Select { cond, .. } if f.operand_type(cond).is_vector() => {
+                // Select semantics test lane bit 0 (see `exec_inst`), not
+                // the sign bit the AVX mask convention uses.
+                let c = self.eval_operand(f, frame, cond).ok()?;
+                Some(c.lanes().iter().filter(|s| s.bits & 1 == 1).count() as u32)
+            }
+            _ => None,
         }
     }
 
@@ -240,7 +289,7 @@ impl<'m> Interp<'m> {
                 let inst = f.inst(iid);
                 if let InstKind::Phi { incomings } = &inst.kind {
                     self.tick()?;
-                    self.note_inst(f, iid);
+                    self.note_inst(f, &frame, iid);
                     let pb = prev
                         .ok_or_else(|| Trap::HostError("phi in entry block at runtime".into()))?;
                     let (_, op) = incomings
@@ -264,7 +313,7 @@ impl<'m> Interp<'m> {
             // Phase 2: straight-line body.
             for &iid in &block.insts[body_start..] {
                 self.tick()?;
-                self.note_inst(f, iid);
+                self.note_inst(f, &frame, iid);
                 let inst = f.inst(iid);
                 let result = self.exec_inst(f, &frame, &inst.kind, inst.ty, host, depth)?;
                 if let Some(res_v) = inst.result {
@@ -1300,6 +1349,98 @@ entry:
             eval_cast(CastOp::Bitcast, Scalar::f32(1.0), ScalarTy::I32).as_u64(),
             0x3f80_0000
         );
+    }
+}
+
+#[cfg(test)]
+mod profiling_tests {
+    use super::*;
+    use vir::parser::parse_module;
+
+    /// Masked store with 3 of 8 lanes active, plus a full-width fmul.
+    const MASKED: &str = r#"
+declare void @llvm.x86.avx.maskstore.ps.256(ptr, <8 x float>, <8 x float>)
+
+define void @k(ptr %a, <8 x float> %m, <8 x float> %v) {
+entry:
+  %d = fmul <8 x float> %v, %v
+  call void @llvm.x86.avx.maskstore.ps.256(ptr %a, <8 x float> %m, <8 x float> %d)
+  ret void
+}
+"#;
+
+    fn masked_args(interp: &mut Interp) -> Vec<RtVal> {
+        let base = interp.mem.alloc_f32_slice(&[0.0; 8]).unwrap();
+        let on = f32::from_bits(0xffff_ffff);
+        let mask = RtVal::from_lanes(
+            ScalarTy::F32,
+            (0..8).map(|i| {
+                if i < 3 {
+                    Scalar::f32(on)
+                } else {
+                    Scalar::f32(0.0)
+                }
+            }),
+        );
+        let val = RtVal::from_lanes(ScalarTy::F32, (0..8).map(|i| Scalar::f32(i as f32)));
+        vec![RtVal::Scalar(Scalar::ptr(base)), mask, val]
+    }
+
+    #[test]
+    fn occupancy_tracks_masked_lanes() {
+        let m = parse_module(MASKED).unwrap();
+        let mut interp = Interp::new(&m);
+        interp.enable_profiling();
+        let args = masked_args(&mut interp);
+        interp.run("k", &args, &mut NoHost).unwrap();
+        let mix = interp.take_mix().unwrap();
+        // fmul runs all 8 lanes; the maskstore only 3.
+        assert_eq!(mix.lanes_total, 16);
+        assert_eq!(mix.lanes_active, 11);
+        assert_eq!(mix.occupancy_histogram(), vec![(3, 1), (8, 1)]);
+        assert!((mix.avg_active_lanes() - 5.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn occupancy_tracks_vector_select_condition() {
+        let src = r#"
+define <4 x i32> @sel(<4 x i1> %c, <4 x i32> %a, <4 x i32> %b) {
+entry:
+  %r = select <4 x i1> %c, <4 x i32> %a, <4 x i32> %b
+  ret <4 x i32> %r
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let mut interp = Interp::new(&m);
+        interp.enable_profiling();
+        let c = RtVal::from_lanes(ScalarTy::I1, [true, false, true, false].map(Scalar::i1));
+        let a = RtVal::from_lanes(ScalarTy::I32, (0..4).map(Scalar::i32));
+        let b = RtVal::from_lanes(ScalarTy::I32, (4..8).map(Scalar::i32));
+        interp.run("sel", &[c, a, b], &mut NoHost).unwrap();
+        let mix = interp.take_mix().unwrap();
+        assert_eq!(mix.occupancy_histogram(), vec![(2, 1)]);
+    }
+
+    /// Profiling must be purely observational: identical results, memory,
+    /// and dynamic instruction counts with it on or off — the same
+    /// bit-identity contract tracing holds to.
+    #[test]
+    fn profiling_is_observational_bit_for_bit() {
+        let m = parse_module(MASKED).unwrap();
+        let run = |profile: bool| {
+            let mut interp = Interp::new(&m);
+            if profile {
+                interp.enable_profiling();
+            }
+            let args = masked_args(&mut interp);
+            let base = args[0].scalar().as_u64();
+            let r = interp.run("k", &args, &mut NoHost).unwrap();
+            (r, interp.mem.read_f32_slice(base, 8).unwrap())
+        };
+        let (plain, mem_plain) = run(false);
+        let (profiled, mem_profiled) = run(true);
+        assert_eq!(plain, profiled, "profiling must not perturb execution");
+        assert_eq!(mem_plain, mem_profiled);
     }
 }
 

@@ -5,6 +5,15 @@
 //! many executed instructions were vector instructions (per the paper's
 //! §II-A definition — at least one vector operand or result), broken down
 //! by opcode.
+//!
+//! On top of the opcode mix, the profile records **lane occupancy**: for
+//! every executed vector instruction whose active-lane set is knowable
+//! (masked loads/stores consult their mask operand, vector selects their
+//! condition vector, everything else runs all lanes), how many of its
+//! lanes were architecturally live. The paper's §IV discussion leans on
+//! exactly this — faults into masked-off lanes are absorbed — so reports
+//! use the occupancy histogram to *explain* vector SDC rates, not just
+//! state them.
 
 use std::collections::BTreeMap;
 
@@ -19,6 +28,13 @@ pub struct InstMix {
     pub scalar: u64,
     /// Per-opcode dynamic counts.
     pub by_opcode: BTreeMap<&'static str, u64>,
+    /// Sum of *active* lanes over executed vector instructions.
+    pub lanes_active: u64,
+    /// Sum of lane slots (vector widths) over the same instructions.
+    pub lanes_total: u64,
+    /// `occupancy[k]` = vector instructions that executed with exactly
+    /// `k` active lanes. Grown on demand to the widest vector seen.
+    pub occupancy: Vec<u64>,
 }
 
 impl InstMix {
@@ -30,6 +46,49 @@ impl InstMix {
             self.scalar += 1;
         }
         *self.by_opcode.entry(opcode).or_insert(0) += 1;
+    }
+
+    /// Record one executed vector instruction along with its lane
+    /// occupancy: `active` of `width` lanes were architecturally live.
+    pub fn record_vector_lanes(&mut self, opcode: &'static str, active: u32, width: u32) {
+        self.record(opcode, true);
+        self.lanes_active += active as u64;
+        self.lanes_total += width as u64;
+        let k = active as usize;
+        if self.occupancy.len() <= k {
+            self.occupancy.resize(k + 1, 0);
+        }
+        self.occupancy[k] += 1;
+    }
+
+    /// Mean active lanes per vector instruction with lane information.
+    pub fn avg_active_lanes(&self) -> f64 {
+        let insts: u64 = self.occupancy.iter().sum();
+        if insts == 0 {
+            0.0
+        } else {
+            self.lanes_active as f64 / insts as f64
+        }
+    }
+
+    /// Fraction of lane slots that were active (`0.0` with no lane info).
+    pub fn lane_utilization(&self) -> f64 {
+        if self.lanes_total == 0 {
+            0.0
+        } else {
+            self.lanes_active as f64 / self.lanes_total as f64
+        }
+    }
+
+    /// The mask-occupancy histogram as `(active_lanes, instructions)`
+    /// pairs, zero-count buckets omitted.
+    pub fn occupancy_histogram(&self) -> Vec<(u32, u64)> {
+        self.occupancy
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(k, &n)| (k as u32, n))
+            .collect()
     }
 
     /// Percentage of executed instructions that were vector instructions.
@@ -48,6 +107,14 @@ impl InstMix {
         self.scalar += other.scalar;
         for (k, v) in &other.by_opcode {
             *self.by_opcode.entry(k).or_insert(0) += v;
+        }
+        self.lanes_active += other.lanes_active;
+        self.lanes_total += other.lanes_total;
+        if self.occupancy.len() < other.occupancy.len() {
+            self.occupancy.resize(other.occupancy.len(), 0);
+        }
+        for (k, n) in other.occupancy.iter().enumerate() {
+            self.occupancy[k] += n;
         }
     }
 
@@ -99,5 +166,36 @@ mod tests {
         let m = InstMix::default();
         assert_eq!(m.vector_pct(), 0.0);
         assert!(m.hottest().is_empty());
+        assert_eq!(m.avg_active_lanes(), 0.0);
+        assert_eq!(m.lane_utilization(), 0.0);
+        assert!(m.occupancy_histogram().is_empty());
+    }
+
+    #[test]
+    fn lane_occupancy_counts() {
+        let mut m = InstMix::default();
+        m.record_vector_lanes("fmul", 8, 8); // full-width body iteration
+        m.record_vector_lanes("fmul", 8, 8);
+        m.record_vector_lanes("maskstore", 3, 8); // masked tail
+        m.record("add", false);
+        assert_eq!(m.vector, 3);
+        assert_eq!(m.lanes_active, 19);
+        assert_eq!(m.lanes_total, 24);
+        assert!((m.avg_active_lanes() - 19.0 / 3.0).abs() < 1e-12);
+        assert!((m.lane_utilization() - 19.0 / 24.0).abs() < 1e-12);
+        assert_eq!(m.occupancy_histogram(), vec![(3, 1), (8, 2)]);
+    }
+
+    #[test]
+    fn merge_folds_occupancy() {
+        let mut a = InstMix::default();
+        a.record_vector_lanes("fadd", 4, 4);
+        let mut b = InstMix::default();
+        b.record_vector_lanes("fadd", 2, 8);
+        b.record_vector_lanes("fadd", 8, 8);
+        a.merge(&b);
+        assert_eq!(a.lanes_active, 14);
+        assert_eq!(a.lanes_total, 20);
+        assert_eq!(a.occupancy_histogram(), vec![(2, 1), (4, 1), (8, 1)]);
     }
 }

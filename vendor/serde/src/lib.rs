@@ -62,6 +62,32 @@ impl Value {
             .and_then(|o| o.iter().find(|(k, _)| k == key).map(|(_, v)| v))
     }
 
+    /// Integer value, if the number is representable as `u64`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(Number::U(u)) => Some(*u),
+            Value::Num(Number::I(i)) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// Numeric value widened to `f64` (any of the three number kinds).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(Number::U(u)) => Some(*u as f64),
+            Value::Num(Number::I(i)) => Some(*i as f64),
+            Value::Num(Number::F(f)) => Some(*f),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     fn kind(&self) -> &'static str {
         match self {
             Value::Null => "null",
