@@ -40,4 +40,30 @@ grep -q 'id="diff"' "$SMOKE/report.html"
     -o "$SMOKE/BENCH_report.json" > /dev/null
 grep -q 'exp_per_sec' "$SMOKE/BENCH_report.json"
 
+# Throughput gate: re-run the micro-benchmarks against the committed
+# baseline; any >30% exp/s regression fails the build. Re-record with
+# `vulfi bench --experiments 400 --record` when a slowdown is intended.
+./target/release/vulfi bench --experiments 400 --check BENCH_report.json
+
+# Service smoke test: daemon on an ephemeral port, submit over HTTP,
+# wait for the merged result, pull the analytics report, drain
+# gracefully, and leave a store that passes fsck.
+./target/release/vulfi serve --addr 127.0.0.1:0 --store "$SMOKE/serve" --workers 2 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    [ -s "$SMOKE/serve/serve.addr" ] && break
+    sleep 0.1
+done
+ADDR=$(cat "$SMOKE/serve/serve.addr")
+./target/release/vulfi submit --addr "$ADDR" --bench "vector sum" \
+    --experiments 12 --campaigns 5 --shard-size 5 --wait --json > "$SMOKE/submit.json"
+grep -q '"mean_sdc"' "$SMOKE/submit.json"
+KEY=$(./target/release/vulfi status --addr "$ADDR" --json \
+    | grep -o '"key": "[a-f0-9]*"' | head -1 | cut -d'"' -f4)
+./target/release/vulfi status --addr "$ADDR" "$KEY" --report | grep -q '"cell"'
+./target/release/vulfi shutdown --addr "$ADDR" > /dev/null
+wait "$SERVE_PID"
+test ! -e "$SMOKE/serve/serve.addr"
+./target/release/vulfi store fsck --store "$SMOKE/serve"
+
 echo "ci: all checks passed"

@@ -51,7 +51,14 @@ fn usage() -> String {
      vulfi report heatmap [--trace DIR] [--top N] [--json]\n  \
      vulfi report html [--store DIR] [--trace DIR] [--diff-store DIR] [--metrics-in PATH]\n         \
      [--top N] [-o out.html]\n  \
-     vulfi bench [--bench NAME] [--isa avx|sse] [--experiments N] [--seed N] [--record] [-o PATH]\n  \
+     vulfi bench [--bench NAME] [--isa avx|sse] [--experiments N] [--seed N] [--record] [-o PATH]\n         \
+     [--check BASELINE]\n  \
+     vulfi serve [--addr HOST:PORT] [--store DIR] [--workers N] [--lease-ttl-ms N]\n  \
+     vulfi submit --bench NAME [--addr HOST:PORT] [--isa avx|sse] [--category CAT] [--scale test|paper]\n         \
+     [--experiments N] [--campaigns N] [--seed N] [--shard-size N] [--detectors]\n         \
+     [--tenant NAME] [--wait] [--json]\n  \
+     vulfi status [KEY] [--addr HOST:PORT] [--report] [--json]\n  \
+     vulfi shutdown [--addr HOST:PORT]\n  \
      vulfi profile --bench NAME [--isa avx|sse]\n  \
      vulfi list"
         .to_string()
@@ -98,6 +105,23 @@ struct Flags {
     metrics_in: Option<String>,
     /// `bench`: write the machine-readable `BENCH_report.json`.
     record: bool,
+    /// `bench`: compare throughput against this baseline report and fail
+    /// on a >30% regression.
+    check: Option<String>,
+    /// `serve`/`submit`/`status`/`shutdown`: daemon address.
+    addr: String,
+    /// `serve`: worker threads collaborating on the active study.
+    workers: usize,
+    /// `serve`: shard lease TTL before a silent worker's shard re-runs.
+    lease_ttl_ms: u64,
+    /// `submit`: tenant name recorded with the job.
+    tenant: Option<String>,
+    /// `submit`: poll the study to completion before exiting.
+    wait: bool,
+    /// `submit`: workload input scale ("test" or "paper").
+    scale: String,
+    /// `status KEY`: fetch the analytics report instead of the status.
+    report: bool,
     positional: Vec<String>,
 }
 
@@ -128,6 +152,14 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         diff_store: None,
         metrics_in: None,
         record: false,
+        check: None,
+        addr: "127.0.0.1:7070".to_string(),
+        workers: 2,
+        lease_ttl_ms: 60_000,
+        tenant: None,
+        wait: false,
+        scale: "test".to_string(),
+        report: false,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -206,6 +238,23 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--diff-store" => f.diff_store = Some(val(a)?),
             "--metrics-in" => f.metrics_in = Some(val(a)?),
             "--record" => f.record = true,
+            "--check" => f.check = Some(val(a)?),
+            "--addr" => f.addr = val(a)?,
+            "--workers" => {
+                f.workers = val(a)?
+                    .parse::<usize>()
+                    .map_err(|_| "--workers needs a number".to_string())?
+                    .max(1)
+            }
+            "--lease-ttl-ms" => {
+                f.lease_ttl_ms = val(a)?
+                    .parse()
+                    .map_err(|_| "--lease-ttl-ms needs a number".to_string())?
+            }
+            "--tenant" => f.tenant = Some(val(a)?),
+            "--scale" => f.scale = val(a)?,
+            "--wait" => f.wait = true,
+            "--report" => f.report = true,
             "--top" => {
                 f.top = val(a)?
                     .parse::<usize>()
@@ -404,6 +453,10 @@ fn run(args: &[String]) -> Result<(), String> {
             )),
         },
         "bench" => bench_cmd(&flags),
+        "serve" => serve_cmd(&flags),
+        "submit" => submit_cmd(&flags),
+        "status" => status_cmd(&flags),
+        "shutdown" => shutdown_cmd(&flags),
         "profile" => {
             let name = flags.bench.as_deref().ok_or("profile requires --bench")?;
             let scale = vbench::Scale::Test;
@@ -463,8 +516,63 @@ fn run(args: &[String]) -> Result<(), String> {
             println!("{}", usage());
             Ok(())
         }
-        other => Err(format!("unknown command '{other}'\n{}", usage())),
+        other => match suggest_command(other) {
+            Some(best) => Err(format!(
+                "unknown command '{other}' (did you mean '{best}'?)\n{}",
+                usage()
+            )),
+            None => Err(format!("unknown command '{other}'\n{}", usage())),
+        },
     }
+}
+
+/// Every top-level subcommand, for typo suggestions.
+const COMMANDS: &[&str] = &[
+    "compile",
+    "sites",
+    "instrument",
+    "detect",
+    "campaign",
+    "study",
+    "results",
+    "store",
+    "trace",
+    "report",
+    "bench",
+    "serve",
+    "submit",
+    "status",
+    "shutdown",
+    "profile",
+    "list",
+    "help",
+];
+
+/// Levenshtein distance, small inputs only (command names).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.iter().enumerate() {
+        let mut row = vec![i + 1];
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            row.push(sub.min(prev[j + 1] + 1).min(row[j] + 1));
+        }
+        prev = row;
+    }
+    prev[b.len()]
+}
+
+/// The closest known command within edit distance 2, if any — so
+/// `vulfi serv` points at `serve` instead of dumping only the usage.
+fn suggest_command(typo: &str) -> Option<&'static str> {
+    COMMANDS
+        .iter()
+        .copied()
+        .map(|c| (edit_distance(typo, c), c))
+        .filter(|(d, c)| *d <= 2 && *d < c.len())
+        .min_by_key(|(d, _)| *d)
+        .map(|(_, c)| c)
 }
 
 /// Surface any engine panics that were contained during this run: they
@@ -1256,11 +1364,321 @@ fn bench_cmd(flags: &Flags) -> Result<(), String> {
             .out
             .clone()
             .unwrap_or_else(|| "BENCH_report.json".to_string());
-        let doc = serde_json::json!({ "benches": serde_json::Value::Array(docs) });
+        let doc = serde_json::json!({ "benches": serde_json::Value::Array(docs.clone()) });
         fs::write(&out, serde_json::to_string_pretty(&doc).unwrap())
             .map_err(|e| format!("{out}: {e}"))?;
         eprintln!("wrote {out}");
     }
+    if let Some(baseline) = &flags.check {
+        check_bench_regression(baseline, &docs)?;
+    }
+    Ok(())
+}
+
+/// Throughput the CI gate compares: how many regressions matter more
+/// than absolute speed, so a >30% drop in exp/s against the committed
+/// baseline fails the run.
+const BENCH_REGRESSION_TOLERANCE: f64 = 0.30;
+
+/// `vulfi bench --check BASELINE`: compare this run's throughput against
+/// a recorded `BENCH_report.json`, failing on any >30% regression.
+/// Benches absent from the baseline are reported but never fail — adding
+/// a benchmark must not break CI until the baseline is re-recorded.
+fn check_bench_regression(path: &str, docs: &[serde_json::Value]) -> Result<(), String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let base: serde_json::Value =
+        serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
+    let base = base
+        .get("benches")
+        .and_then(|v| v.as_array())
+        .ok_or_else(|| format!("{path}: no 'benches' array (not a bench report?)"))?;
+    let field =
+        |v: &serde_json::Value, k: &str| v.get(k).and_then(|x| x.as_str()).map(str::to_string);
+    let mut regressions = Vec::new();
+    for doc in docs {
+        let (Some(name), Some(isa)) = (field(doc, "name"), field(doc, "isa")) else {
+            continue;
+        };
+        let now = doc
+            .get("exp_per_sec")
+            .and_then(|v| v.as_f64())
+            .unwrap_or(0.0);
+        let Some(was) = base
+            .iter()
+            .find(|b| {
+                field(b, "name").as_deref() == Some(&name)
+                    && field(b, "isa").as_deref() == Some(&isa)
+            })
+            .and_then(|b| b.get("exp_per_sec"))
+            .and_then(|v| v.as_f64())
+        else {
+            println!("  check {name} [{isa}]: no baseline entry, skipped");
+            continue;
+        };
+        let floor = was * (1.0 - BENCH_REGRESSION_TOLERANCE);
+        let verdict = if now < floor { "REGRESSED" } else { "ok" };
+        println!(
+            "  check {name} [{isa}]: {now:.0} exp/s vs baseline {was:.0} (floor {floor:.0}) {verdict}"
+        );
+        if now < floor {
+            regressions.push(format!(
+                "{name} [{isa}]: {now:.0} exp/s < {floor:.0} (baseline {was:.0})"
+            ));
+        }
+    }
+    if regressions.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "bench throughput regressed >{:.0}% vs {path}:\n  {}",
+            100.0 * BENCH_REGRESSION_TOLERANCE,
+            regressions.join("\n  ")
+        ))
+    }
+}
+
+/// `vulfi serve`: run the injection daemon until a signal or
+/// `POST /shutdown` drains it.
+fn serve_cmd(flags: &Flags) -> Result<(), String> {
+    let cfg = vulfi_serve::ServeConfig {
+        addr: flags.addr.clone(),
+        store: std::path::PathBuf::from(&flags.store),
+        workers: flags.workers,
+        lease_ttl: std::time::Duration::from_millis(flags.lease_ttl_ms.max(1)),
+    };
+    vulfi_serve::install_shutdown_signals();
+    let daemon = vulfi_serve::Daemon::bind(&cfg)?;
+    let addr = daemon.local_addr()?;
+    println!(
+        "vulfi serve listening on {addr} ({} worker(s), store {}, lease TTL {}ms)",
+        flags.workers, flags.store, flags.lease_ttl_ms
+    );
+    // Shell scripts discover ephemeral ports from the store, not stdout.
+    eprintln!("address also written to {}/serve.addr", flags.store);
+    daemon.run()
+}
+
+/// Build the wire spec from the same flags `vulfi study` takes.
+fn spec_from_flags(flags: &Flags) -> Result<vulfi::StudySpec, String> {
+    let spec = vulfi::StudySpec {
+        bench: flags.bench.clone().ok_or("submit requires --bench")?,
+        isa: isa_name(flags.isa).to_string(),
+        category: flags
+            .category
+            .unwrap_or(SiteCategory::PureData)
+            .name()
+            .to_string(),
+        scale: flags.scale.clone(),
+        experiments: flags.experiments.unwrap_or(25),
+        campaigns: flags.campaigns,
+        seed: flags.seed,
+        shard_size: flags.shard_size,
+        detectors: flags.detectors,
+    };
+    spec.validate()?;
+    Ok(spec)
+}
+
+/// `vulfi submit`: enqueue a study on a running daemon; with `--wait`,
+/// poll it to completion and print the result.
+fn submit_cmd(flags: &Flags) -> Result<(), String> {
+    let spec = spec_from_flags(flags)?;
+    let client = vulfi_serve::Client::new(flags.addr.clone());
+    let body = serde_json::to_value(&spec).map_err(|e| e.to_string())?;
+    let mut headers: Vec<(&str, &str)> = Vec::new();
+    if let Some(t) = &flags.tenant {
+        headers.push(("X-Vulfi-Tenant", t));
+    }
+    let (status, doc) = client.post("/studies", &body, &headers)?;
+    if status != 202 {
+        return Err(format!(
+            "submit rejected ({status}): {}",
+            vulfi_serve::Client::error_of(&doc)
+        ));
+    }
+    let key = doc
+        .get("key")
+        .and_then(|v| v.as_str())
+        .ok_or("daemon response has no key")?
+        .to_string();
+    let job = doc.get("job").and_then(|v| v.as_u64()).unwrap_or(0);
+    if flags.json && !flags.wait {
+        println!("{}", serde_json::to_string_pretty(&doc).unwrap());
+        return Ok(());
+    }
+    println!("job {job} queued as study {key}");
+    if flags.wait {
+        let doc = poll_study(&client, &key)?;
+        print_status_doc(&doc, flags.json);
+    }
+    Ok(())
+}
+
+/// Poll `GET /studies/:key` until the merged result appears or the job
+/// fails, echoing progress to stderr.
+fn poll_study(client: &vulfi_serve::Client, key: &str) -> Result<serde_json::Value, String> {
+    let mut last_done = u64::MAX;
+    loop {
+        let (status, doc) = client.get(&format!("/studies/{key}"))?;
+        if status != 200 {
+            return Err(format!(
+                "status poll failed ({status}): {}",
+                vulfi_serve::Client::error_of(&doc)
+            ));
+        }
+        if doc.get("state").and_then(|v| v.as_str()) == Some("failed") {
+            let reason = doc
+                .get("job")
+                .and_then(|j| j.get("error"))
+                .and_then(|v| v.as_str())
+                .unwrap_or("unknown reason");
+            return Err(format!("study {key} failed: {reason}"));
+        }
+        if doc.get("result").is_some() {
+            return Ok(doc);
+        }
+        if let Some(p) = doc.get("progress") {
+            let done = p.get("done").and_then(|v| v.as_u64()).unwrap_or(0);
+            if done != last_done {
+                last_done = done;
+                let total = p.get("total").and_then(|v| v.as_u64()).unwrap_or(0);
+                let eta = p
+                    .get("eta_secs")
+                    .and_then(|v| v.as_f64())
+                    .unwrap_or(f64::INFINITY);
+                eprintln!(
+                    "[{done:>6}/{total}] ETA {}",
+                    if eta.is_finite() {
+                        format!("{eta:.1}s")
+                    } else {
+                        "?".to_string()
+                    }
+                );
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(150));
+    }
+}
+
+/// Render a status document for humans (or verbatim with `--json`).
+fn print_status_doc(doc: &serde_json::Value, json: bool) {
+    if json {
+        println!("{}", serde_json::to_string_pretty(doc).unwrap());
+        return;
+    }
+    let sget = |k: &str| {
+        doc.get(k)
+            .and_then(|v| v.as_str())
+            .unwrap_or("?")
+            .to_string()
+    };
+    let uget = |k: &str| doc.get(k).and_then(|v| v.as_u64()).unwrap_or(0);
+    println!(
+        "study {} — {} [{}] {} — {} ({}/{} experiments)",
+        sget("key"),
+        sget("workload"),
+        sget("isa"),
+        sget("category"),
+        sget("state"),
+        uget("covered"),
+        uget("total")
+    );
+    if let Some(c) = doc.get("counts") {
+        let g = |k: &str| c.get(k).and_then(|v| v.as_u64()).unwrap_or(0);
+        println!(
+            "counts: SDC {} Benign {} Crash {}",
+            g("sdc"),
+            g("benign"),
+            g("crash")
+        );
+    }
+    if let Some(r) = doc.get("result") {
+        println!(
+            "SDC {:.1}% ± {:.1} over {} campaigns ({})",
+            r.get("mean_sdc").and_then(|v| v.as_f64()).unwrap_or(0.0),
+            r.get("margin_95").and_then(|v| v.as_f64()).unwrap_or(0.0),
+            r.get("campaigns").and_then(|v| v.as_u64()).unwrap_or(0),
+            if r.get("converged")
+                .and_then(|v| v.as_bool())
+                .unwrap_or(false)
+            {
+                "converged"
+            } else {
+                "not converged"
+            }
+        );
+    }
+}
+
+/// `vulfi status [KEY]`: one study's status (or its analytics report
+/// with `--report`), or the whole job table without a key.
+fn status_cmd(flags: &Flags) -> Result<(), String> {
+    let client = vulfi_serve::Client::new(flags.addr.clone());
+    match flags.positional.first() {
+        Some(key) if flags.report => {
+            let (status, doc) = client.get(&format!("/studies/{key}/report"))?;
+            if status != 200 {
+                return Err(format!(
+                    "report unavailable ({status}): {}",
+                    vulfi_serve::Client::error_of(&doc)
+                ));
+            }
+            println!("{}", serde_json::to_string_pretty(&doc).unwrap());
+            Ok(())
+        }
+        Some(key) => {
+            let (status, doc) = client.get(&format!("/studies/{key}"))?;
+            if status != 200 {
+                return Err(format!(
+                    "status unavailable ({status}): {}",
+                    vulfi_serve::Client::error_of(&doc)
+                ));
+            }
+            print_status_doc(&doc, flags.json);
+            Ok(())
+        }
+        None => {
+            let (status, doc) = client.get("/jobs")?;
+            if status != 200 {
+                return Err(format!("jobs unavailable ({status})"));
+            }
+            if flags.json {
+                println!("{}", serde_json::to_string_pretty(&doc).unwrap());
+                return Ok(());
+            }
+            let jobs = doc.get("jobs").and_then(|v| v.as_array()).unwrap_or(&[]);
+            if jobs.is_empty() {
+                println!("no jobs on {}", flags.addr);
+            }
+            for j in jobs {
+                let s = |k: &str| j.get(k).and_then(|v| v.as_str()).unwrap_or("-").to_string();
+                println!(
+                    "job {:>3}  {:9}  {}  {} [{}] {}  tenant {}",
+                    j.get("id").and_then(|v| v.as_u64()).unwrap_or(0),
+                    s("state"),
+                    s("key"),
+                    s("bench"),
+                    s("isa"),
+                    s("category"),
+                    s("tenant"),
+                );
+            }
+            Ok(())
+        }
+    }
+}
+
+/// `vulfi shutdown`: ask a running daemon to drain gracefully.
+fn shutdown_cmd(flags: &Flags) -> Result<(), String> {
+    let client = vulfi_serve::Client::new(flags.addr.clone());
+    let (status, doc) = client.post("/shutdown", &serde_json::json!({}), &[])?;
+    if status != 200 {
+        return Err(format!(
+            "shutdown failed ({status}): {}",
+            vulfi_serve::Client::error_of(&doc)
+        ));
+    }
+    println!("shutdown requested on {}", flags.addr);
     Ok(())
 }
 
@@ -1374,6 +1792,134 @@ export void scale(uniform float a[], uniform int n, uniform float s) {
         let e = parse_flags(&s(&["--definitely-not-a-flag"])).unwrap_err();
         assert!(e.contains("usage:"), "{e}");
         assert!(e.contains("vulfi study"), "{e}");
+    }
+
+    #[test]
+    fn unknown_command_suggests_the_closest_one() {
+        // The canonical typo this guards against: `vulfi serv`.
+        let e = run(&s(&["serv"])).unwrap_err();
+        assert!(e.contains("unknown command 'serv'"), "{e}");
+        assert!(e.contains("did you mean 'serve'?"), "{e}");
+        assert!(e.contains("usage:"), "{e}");
+
+        let e = run(&s(&["stduy"])).unwrap_err();
+        assert!(e.contains("did you mean 'study'?"), "{e}");
+
+        // Nothing close: no bogus suggestion, still an error with usage.
+        let e = run(&s(&["frobnicate"])).unwrap_err();
+        assert!(!e.contains("did you mean"), "{e}");
+        assert!(e.contains("usage:"), "{e}");
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("serve", "serve"), 0);
+        assert_eq!(edit_distance("serv", "serve"), 1);
+        assert_eq!(edit_distance("sreve", "serve"), 2);
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(suggest_command("xyzzy"), None);
+        assert_eq!(suggest_command("submti"), Some("submit"));
+    }
+
+    #[test]
+    fn serve_flags_parse() {
+        let f = parse_flags(&s(&[
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "4",
+            "--lease-ttl-ms",
+            "500",
+            "--tenant",
+            "alice",
+            "--scale",
+            "paper",
+            "--wait",
+            "--report",
+            "--check",
+            "BENCH_report.json",
+        ]))
+        .unwrap();
+        assert_eq!(f.addr, "127.0.0.1:0");
+        assert_eq!(f.workers, 4);
+        assert_eq!(f.lease_ttl_ms, 500);
+        assert_eq!(f.tenant.as_deref(), Some("alice"));
+        assert_eq!(f.scale, "paper");
+        assert!(f.wait && f.report);
+        assert_eq!(f.check.as_deref(), Some("BENCH_report.json"));
+        assert!(parse_flags(&s(&["--workers", "zero"])).is_err());
+    }
+
+    #[test]
+    fn submit_spec_mirrors_study_flags() {
+        let f = parse_flags(&s(&[
+            "--bench",
+            "vector sum",
+            "--isa",
+            "sse",
+            "--category",
+            "control",
+            "--experiments",
+            "10",
+            "--campaigns",
+            "3",
+            "--seed",
+            "7",
+            "--shard-size",
+            "5",
+            "--detectors",
+        ]))
+        .unwrap();
+        let spec = spec_from_flags(&f).unwrap();
+        assert_eq!(spec.bench, "vector sum");
+        assert_eq!(spec.isa, "sse");
+        assert_eq!(spec.category, "control");
+        assert_eq!((spec.experiments, spec.campaigns, spec.seed), (10, 3, 7));
+        assert_eq!(spec.shard_size, 5);
+        assert!(spec.detectors);
+
+        // Bad scale is caught client-side, before any network traffic.
+        let mut f = f;
+        f.scale = "huge".to_string();
+        assert!(spec_from_flags(&f).is_err());
+        f.scale = "test".to_string();
+        f.bench = None;
+        assert!(spec_from_flags(&f).unwrap_err().contains("--bench"));
+    }
+
+    #[test]
+    fn bench_check_gates_on_regression() {
+        let baseline = write_temp(
+            "bench_baseline.json",
+            r#"{"benches": [
+                {"name": "vector sum", "isa": "avx", "exp_per_sec": 1000.0},
+                {"name": "dot product", "isa": "avx", "exp_per_sec": 500.0}
+            ]}"#,
+        );
+        let docs = |sum: f64, dot: f64| {
+            vec![
+                serde_json::json!({"name": "vector sum", "isa": "avx", "exp_per_sec": sum}),
+                serde_json::json!({"name": "dot product", "isa": "avx", "exp_per_sec": dot}),
+            ]
+        };
+        // At or above the 70% floor: passes (faster is always fine).
+        check_bench_regression(&baseline, &docs(701.0, 2000.0)).unwrap();
+        // One bench below the floor: fails and names it.
+        let e = check_bench_regression(&baseline, &docs(699.0, 500.0)).unwrap_err();
+        assert!(e.contains("vector sum"), "{e}");
+        assert!(e.contains("699"), "{e}");
+        assert!(!e.contains("dot product ["), "{e}");
+        // A bench with no baseline entry is skipped, not failed.
+        check_bench_regression(
+            &baseline,
+            &[serde_json::json!({"name": "brand new", "isa": "avx", "exp_per_sec": 1.0})],
+        )
+        .unwrap();
+        // Malformed baseline is a clear error.
+        let bad = write_temp("bench_bad.json", r#"{"nope": true}"#);
+        assert!(check_bench_regression(&bad, &docs(1.0, 1.0))
+            .unwrap_err()
+            .contains("benches"));
     }
 
     #[test]

@@ -1,0 +1,254 @@
+//! Service-level chaos and CLI contract tests, driven through the real
+//! binary:
+//!
+//! - `vulfi serv` (the canonical typo) exits non-zero with a suggestion
+//!   and the usage text on stderr;
+//! - a daemon `kill -9`'d mid-campaign, then restarted over the same
+//!   store, completes the study to a result **byte-identical** to a
+//!   plain `vulfi study` of the same spec, and the store passes fsck.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+use vulfi_serve::Client;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vulfi_cli_serve_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn vulfi(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_vulfi"))
+        .args(args)
+        .output()
+        .expect("spawn vulfi binary")
+}
+
+fn assert_ok(out: &Output, what: &str) {
+    assert!(
+        out.status.success(),
+        "{what} failed (status {:?})\nstdout:\n{}\nstderr:\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+}
+
+/// Spawn `vulfi serve` on an ephemeral port and wait for it to publish
+/// its address in `<store>/serve.addr`.
+fn spawn_daemon(store: &Path, workers: &str) -> (Child, String) {
+    let addr_file = store.join("serve.addr");
+    let _ = std::fs::remove_file(&addr_file);
+    let child = Command::new(env!("CARGO_BIN_EXE_vulfi"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--store",
+            store.to_str().unwrap(),
+            "--workers",
+            workers,
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn vulfi serve");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let addr = loop {
+        if let Ok(a) = std::fs::read_to_string(&addr_file) {
+            if !a.trim().is_empty() {
+                break a.trim().to_string();
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "daemon never published its address"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    (child, addr)
+}
+
+#[test]
+fn serv_typo_exits_nonzero_with_suggestion_and_usage() {
+    let out = vulfi(&["serv"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown command 'serv'"), "{stderr}");
+    assert!(stderr.contains("did you mean 'serve'?"), "{stderr}");
+    assert!(stderr.contains("usage:"), "{stderr}");
+
+    // A plain bogus command still errors with usage, minus a suggestion.
+    let out = vulfi(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown command 'frobnicate'"), "{stderr}");
+    assert!(!stderr.contains("did you mean"), "{stderr}");
+}
+
+/// The acceptance test for the service: kill -9 the daemon while workers
+/// hold leased shards mid-campaign, restart over the same store, and the
+/// completed study must merge bit-identically to `vulfi study`.
+#[test]
+fn killed_daemon_resumes_to_bit_identical_study() {
+    let serve_store = temp_dir("chaos_serve");
+    let study_store = temp_dir("chaos_study");
+
+    let (mut daemon, addr) = spawn_daemon(&serve_store, "2");
+    let client = Client::new(addr);
+
+    // Enough shards (40) that the kill below lands mid-campaign.
+    let (status, doc) = client
+        .post(
+            "/studies",
+            &serde_json::json!({
+                "bench": "Blackscholes",
+                "experiments": 25u64,
+                "campaigns": 8u64,
+                "shard_size": 5u64,
+            }),
+            &[("X-Vulfi-Tenant", "chaos")],
+        )
+        .expect("submit");
+    assert_eq!(status, 202, "{doc:?}");
+    let key = doc
+        .get("key")
+        .and_then(|v| v.as_str())
+        .expect("submit returns key")
+        .to_string();
+
+    // Wait until at least one shard has landed but the study is not
+    // done, then SIGKILL the daemon — workers die holding leases, with
+    // in-flight shards lost and the queue job stuck Running.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut killed_midway = false;
+    loop {
+        assert!(Instant::now() < deadline, "study never made progress");
+        let (_, s) = client.get(&format!("/studies/{key}")).expect("status");
+        let covered = s.get("covered").and_then(|v| v.as_u64()).unwrap_or(0);
+        let total = s.get("total").and_then(|v| v.as_u64()).unwrap_or(u64::MAX);
+        if covered > 0 && covered < total {
+            daemon.kill().expect("SIGKILL daemon");
+            killed_midway = true;
+            break;
+        }
+        if s.get("result").is_some() {
+            // The study outran the poll loop; the restart below still
+            // exercises recovery of a completed store.
+            daemon.kill().expect("SIGKILL daemon");
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    daemon.wait().expect("reap killed daemon");
+
+    // A fresh daemon over the same store re-queues the orphaned job and
+    // re-runs exactly the missing shards.
+    let (mut daemon, addr) = spawn_daemon(&serve_store, "2");
+    let client = Client::new(addr.clone());
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let service_result = loop {
+        assert!(
+            Instant::now() < deadline,
+            "restarted daemon never finished the study"
+        );
+        let (_, s) = client
+            .get(&format!("/studies/{key}"))
+            .expect("status after restart");
+        assert_ne!(
+            s.get("state").and_then(|v| v.as_str()),
+            Some("failed"),
+            "{s:?}"
+        );
+        if let Some(r) = s.get("result") {
+            break r.clone();
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    eprintln!("killed_midway={killed_midway}");
+
+    // Reference: the same spec through `vulfi study` into a fresh store.
+    let study_out = vulfi(&[
+        "study",
+        "--bench",
+        "Blackscholes",
+        "--experiments",
+        "25",
+        "--campaigns",
+        "8",
+        "--shard-size",
+        "5",
+        "--store",
+        study_store.to_str().unwrap(),
+        "--json",
+    ]);
+    assert_ok(&study_out, "reference vulfi study");
+    let reference: serde_json::Value =
+        serde_json::from_str(&String::from_utf8_lossy(&study_out.stdout)).expect("study JSON");
+
+    // Same content-addressed key, and an identical merged result.
+    assert_eq!(
+        reference.get("key").and_then(|v| v.as_str()),
+        Some(key.as_str()),
+        "HTTP submission and CLI study must derive the same study key"
+    );
+    for field in [
+        "mean_sdc",
+        "margin_95",
+        "samples",
+        "counts",
+        "campaigns",
+        "converged",
+    ] {
+        let service = service_result
+            .get(field)
+            .unwrap_or_else(|| panic!("service result missing {field}"));
+        let cli = reference
+            .get(field)
+            .unwrap_or_else(|| panic!("study output missing {field}"));
+        assert_eq!(
+            serde_json::to_string(service).unwrap(),
+            serde_json::to_string(cli).unwrap(),
+            "result field '{field}' diverged after kill + restart"
+        );
+    }
+
+    // Byte-level check over the stores themselves: the summary documents
+    // must be identical, proving the shard merge (not just the rendered
+    // numbers) converged to the same state.
+    let a = vulfi(&[
+        "results",
+        "summary",
+        "--store",
+        serve_store.to_str().unwrap(),
+        "--json",
+    ]);
+    let b = vulfi(&[
+        "results",
+        "summary",
+        "--store",
+        study_store.to_str().unwrap(),
+        "--json",
+    ]);
+    assert_ok(&a, "results summary (service store)");
+    assert_ok(&b, "results summary (study store)");
+    assert_eq!(
+        String::from_utf8_lossy(&a.stdout),
+        String::from_utf8_lossy(&b.stdout),
+        "service store and study store must summarize byte-identically"
+    );
+
+    // Graceful shutdown via the CLI, then the store must pass fsck (the
+    // kill left at most a healed torn tail behind).
+    let out = vulfi(&["shutdown", "--addr", &addr]);
+    assert_ok(&out, "vulfi shutdown");
+    let status = daemon.wait().expect("daemon exit");
+    assert!(
+        status.success(),
+        "daemon exited {status:?} after graceful shutdown"
+    );
+    let fsck = vulfi(&["store", "fsck", "--store", serve_store.to_str().unwrap()]);
+    assert_ok(&fsck, "store fsck after chaos");
+}

@@ -53,6 +53,7 @@ pub mod instrument;
 pub mod report;
 pub mod runtime;
 pub mod sites;
+pub mod spec;
 pub mod stats;
 pub mod trace;
 pub mod workload;
@@ -69,6 +70,7 @@ pub use instrument::{instrument_module, InstrumentOptions, Instrumented};
 pub use report::{StudyReport, SuiteReport};
 pub use runtime::{DetectorStats, InjectionRecord, RunMode, VulfiHost};
 pub use sites::{category_mix, enumerate_sites, CategoryMix, SiteKind, StaticSite};
+pub use spec::{StudySpec, SPEC_CATEGORIES, SPEC_ISAS, SPEC_SCALES};
 pub use stats::{study_converged, two_proportion_z_test, wilson_interval_95, StudySummary, ZTest};
 pub use trace::{run_experiment_range_traced, ExperimentTrace, TraceInjection};
 pub use workload::{OutputRegion, SetupResult, Workload};

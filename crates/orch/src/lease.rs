@@ -1,0 +1,231 @@
+//! Shard leasing: hand contiguous experiment ranges to workers, reclaim
+//! them from workers that die.
+//!
+//! A [`LeaseBoard`] is built from the missing jobs of one study (the
+//! output of [`crate::missing_jobs`]) and hands each [`ShardJob`] to at
+//! most one live worker at a time. A worker that finishes calls
+//! [`LeaseBoard::complete`]; one that errors calls
+//! [`LeaseBoard::abandon`] so the shard is immediately re-queued; one
+//! that silently dies is caught by TTL expiry — [`LeaseBoard::reap`]
+//! moves every lease past its deadline back to the pending queue.
+//!
+//! Correctness does not depend on leases at all: every experiment's RNG
+//! derives from its `(campaign, index)` coordinates, so a shard that
+//! runs twice (original lessee resurfacing after its lease was reaped
+//! and re-run) produces byte-identical records, and the store's
+//! last-write-wins merge is unaffected. Leasing is purely an efficiency
+//! device — it keeps workers off each other's shards in the common case.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+use crate::plan::ShardJob;
+
+/// An outstanding lease: which worker holds which shard, until when.
+#[derive(Debug, Clone)]
+pub struct Lease {
+    pub job: ShardJob,
+    pub worker: String,
+    pub deadline: Instant,
+}
+
+/// Lease lifecycle counters (monotonic over the board's lifetime).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LeaseStats {
+    pub granted: u64,
+    pub completed: u64,
+    pub abandoned: u64,
+    /// Leases reclaimed by TTL expiry (dead or wedged workers).
+    pub expired: u64,
+}
+
+/// The shard scheduler for one in-flight study.
+#[derive(Debug)]
+pub struct LeaseBoard {
+    pending: VecDeque<ShardJob>,
+    outstanding: Vec<Lease>,
+    ttl: Duration,
+    stats: LeaseStats,
+}
+
+impl LeaseBoard {
+    /// A board over `jobs`, granting leases valid for `ttl`.
+    pub fn new(jobs: Vec<ShardJob>, ttl: Duration) -> LeaseBoard {
+        LeaseBoard {
+            pending: jobs.into(),
+            outstanding: Vec::new(),
+            ttl,
+            stats: LeaseStats::default(),
+        }
+    }
+
+    /// Grant the next pending shard to `worker`, or `None` when nothing
+    /// is pending (there may still be outstanding leases — see
+    /// [`LeaseBoard::drained`]).
+    pub fn lease(&mut self, worker: &str) -> Option<ShardJob> {
+        self.reap();
+        let job = self.pending.pop_front()?;
+        self.outstanding.push(Lease {
+            job,
+            worker: worker.to_string(),
+            deadline: Instant::now() + self.ttl,
+        });
+        self.stats.granted += 1;
+        Some(job)
+    }
+
+    /// `worker` finished `job` and durably appended its record. A stale
+    /// completion — the lease was already reaped and granted to someone
+    /// else — is a no-op: the resurfacing worker no longer owns the
+    /// shard (its duplicate append is harmless by determinism).
+    pub fn complete(&mut self, worker: &str, job: ShardJob) {
+        if self.take_outstanding(worker, job) {
+            self.stats.completed += 1;
+        }
+    }
+
+    /// `worker` failed on `job`; re-queue it for someone else.
+    pub fn abandon(&mut self, worker: &str, job: ShardJob) {
+        if self.take_outstanding(worker, job) {
+            self.stats.abandoned += 1;
+            self.pending.push_back(job);
+        }
+    }
+
+    /// Reclaim every lease past its deadline (dead workers), re-queuing
+    /// the shards. Returns how many were reclaimed.
+    pub fn reap(&mut self) -> usize {
+        let now = Instant::now();
+        let mut reclaimed = 0;
+        let mut i = 0;
+        while i < self.outstanding.len() {
+            if self.outstanding[i].deadline <= now {
+                let lease = self.outstanding.swap_remove(i);
+                self.pending.push_back(lease.job);
+                self.stats.expired += 1;
+                reclaimed += 1;
+            } else {
+                i += 1;
+            }
+        }
+        reclaimed
+    }
+
+    /// Nothing pending and nothing outstanding: every shard completed.
+    pub fn drained(&self) -> bool {
+        self.pending.is_empty() && self.outstanding.is_empty()
+    }
+
+    /// Nothing pending right now (workers should wait for stragglers or
+    /// lease expiry rather than spin).
+    pub fn idle(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    pub fn stats(&self) -> LeaseStats {
+        self.stats
+    }
+
+    fn take_outstanding(&mut self, worker: &str, job: ShardJob) -> bool {
+        match self
+            .outstanding
+            .iter()
+            .position(|l| l.job == job && l.worker == worker)
+        {
+            Some(i) => {
+                self.outstanding.swap_remove(i);
+                true
+            }
+            // A lease that was already reaped (slow worker resurfacing):
+            // the job is pending again or owned by a new lessee; either
+            // way this worker no longer holds it.
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jobs(n: usize) -> Vec<ShardJob> {
+        (0..n)
+            .map(|i| ShardJob {
+                campaign: 0,
+                start: i * 10,
+                end: (i + 1) * 10,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lease_complete_drains() {
+        let mut b = LeaseBoard::new(jobs(3), Duration::from_secs(60));
+        let mut held = Vec::new();
+        while let Some(j) = b.lease("w1") {
+            held.push(j);
+        }
+        assert_eq!(held.len(), 3);
+        assert!(b.idle() && !b.drained());
+        for j in held {
+            b.complete("w1", j);
+        }
+        assert!(b.drained());
+        let s = b.stats();
+        assert_eq!((s.granted, s.completed, s.expired), (3, 3, 0));
+    }
+
+    #[test]
+    fn abandon_requeues_immediately() {
+        let mut b = LeaseBoard::new(jobs(1), Duration::from_secs(60));
+        let j = b.lease("w1").unwrap();
+        b.abandon("w1", j);
+        assert_eq!(b.pending(), 1);
+        let again = b.lease("w2").unwrap();
+        assert_eq!(again, j);
+        b.complete("w2", again);
+        assert!(b.drained());
+    }
+
+    #[test]
+    fn expired_leases_are_reaped_and_rerun() {
+        let mut b = LeaseBoard::new(jobs(2), Duration::from_millis(1));
+        let j1 = b.lease("doomed").unwrap();
+        let _j2 = b.lease("doomed").unwrap();
+        assert!(b.idle());
+        std::thread::sleep(Duration::from_millis(5));
+        // A fresh worker picks the reclaimed shards back up.
+        let r1 = b.lease("healthy").unwrap();
+        let r2 = b.lease("healthy").unwrap();
+        assert_eq!(b.stats().expired, 2);
+        b.complete("healthy", r1);
+        b.complete("healthy", r2);
+        assert!(b.drained());
+        // The dead worker's stale completion is a no-op.
+        b.complete("doomed", j1);
+        assert_eq!(b.stats().completed, 2);
+    }
+
+    #[test]
+    fn duplicate_completion_after_reap_is_harmless() {
+        let mut b = LeaseBoard::new(jobs(1), Duration::from_millis(1));
+        let j = b.lease("slow").unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(b.reap(), 1);
+        let j2 = b.lease("fast").unwrap();
+        assert_eq!(j, j2);
+        // Slow worker resurfaces and "completes" a job it no longer owns.
+        b.complete("slow", j);
+        assert!(!b.drained(), "fast worker's lease must survive");
+        b.complete("fast", j2);
+        assert!(b.drained());
+    }
+}

@@ -39,9 +39,11 @@
 pub mod analytics;
 pub mod crc;
 pub mod key;
+pub mod lease;
 pub mod metrics;
 pub mod observe;
 pub mod plan;
+pub mod queue;
 pub mod run;
 pub mod store;
 pub mod tracestore;
@@ -53,12 +55,14 @@ pub use analytics::{
 };
 pub use crc::crc32;
 pub use key::{study_key, StudyKey};
+pub use lease::{Lease, LeaseBoard, LeaseStats};
 pub use metrics::{
     parse_prometheus, render_json, render_prometheus, Metrics, MetricsSnapshot, PromSample,
 };
 pub use observe::{humanize, Progress, ProgressSnapshot};
 pub use plan::{covered_experiments, merge, merged_dyn_insts, missing_jobs, plan_shards, ShardJob};
-pub use run::{run_study_persistent, set_jobs, ProgressFn, RunOptions, RunOutcome};
+pub use queue::{JobQueue, JobRecord, JobState};
+pub use run::{run_shard, run_study_persistent, set_jobs, ProgressFn, RunOptions, RunOutcome};
 pub use store::{FsckReport, Manifest, ShardRecord, Store, StudyFsck, StudyStore};
 pub use tracestore::{
     summarize, CategorySummary, PropagationPercentiles, SiteSdcSummary, TraceLog, TraceShard,

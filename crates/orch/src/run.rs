@@ -13,7 +13,9 @@ use vulfi::{
 
 use crate::key::{study_key, StudyKey};
 use crate::observe::{Progress, ProgressSnapshot};
-use crate::plan::{covered_experiments, merge, merged_dyn_insts, missing_jobs, plan_shards};
+use crate::plan::{
+    covered_experiments, merge, merged_dyn_insts, missing_jobs, plan_shards, ShardJob,
+};
 use crate::store::{Manifest, ShardRecord, Store};
 use crate::tracestore::{TraceShard, TraceStore};
 use crate::OrchError;
@@ -68,6 +70,53 @@ pub struct RunOutcome {
     /// result used (0 while partial).
     pub dyn_insts: u64,
     pub progress: ProgressSnapshot,
+}
+
+/// Execute one shard of a study: derive the campaign seed, run the
+/// experiment range (traced when asked), and bump the global metrics —
+/// the single execution path shared by the in-process runner below and
+/// the `vulfi serve` worker pool. Callers append the returned record to
+/// the store themselves (the runner under its sink lock; a service
+/// worker after its lease).
+///
+/// Determinism contract: the record depends only on
+/// `(prog, workload, cfg.seed, job)` — never on who ran it, when, or
+/// how many times (`wall_ns` is informational and excluded from result
+/// merging).
+pub fn run_shard(
+    prog: &Prepared,
+    workload: &dyn Workload,
+    cfg: &StudyConfig,
+    job: ShardJob,
+    traced: bool,
+) -> Result<(ShardRecord, Vec<vulfi::ExperimentTrace>), OrchError> {
+    let shard_start = Instant::now();
+    let seed = campaign_seed(cfg.seed, job.campaign);
+    let (experiments, spans) = if traced {
+        run_experiment_range_traced(prog, workload, seed, job.start..job.end)
+    } else {
+        run_experiment_range(prog, workload, seed, job.start..job.end).map(|e| (e, Vec::new()))
+    }
+    .map_err(|e| OrchError(e.to_string()))?;
+    let metrics = crate::metrics::global();
+    for e in &experiments {
+        metrics.inc_experiment(prog.category, e.outcome);
+    }
+    for s in &spans {
+        if let Some(p) = s.propagation {
+            metrics.observe_propagation(prog.category, p);
+        }
+    }
+    Ok((
+        ShardRecord {
+            campaign: job.campaign,
+            start: job.start,
+            end: job.end,
+            experiments,
+            wall_ns: shard_start.elapsed().as_nanos() as u64,
+        },
+        spans,
+    ))
 }
 
 /// Run (or resume) a study through `store`.
@@ -148,30 +197,7 @@ pub fn run_study_persistent(
     let results: Result<Vec<()>, OrchError> = missing
         .into_par_iter()
         .map(|job| {
-            let shard_start = Instant::now();
-            let seed = campaign_seed(cfg.seed, job.campaign);
-            let (experiments, spans) = if trace_log.is_some() {
-                run_experiment_range_traced(prog, workload, seed, job.start..job.end)
-            } else {
-                run_experiment_range(prog, workload, seed, job.start..job.end)
-                    .map(|e| (e, Vec::new()))
-            }
-            .map_err(|e| OrchError(e.to_string()))?;
-            for e in &experiments {
-                metrics.inc_experiment(prog.category, e.outcome);
-            }
-            for s in &spans {
-                if let Some(p) = s.propagation {
-                    metrics.observe_propagation(prog.category, p);
-                }
-            }
-            let rec = ShardRecord {
-                campaign: job.campaign,
-                start: job.start,
-                end: job.end,
-                experiments,
-                wall_ns: shard_start.elapsed().as_nanos() as u64,
-            };
+            let (rec, spans) = run_shard(prog, workload, cfg, job, trace_log.is_some())?;
             // Recover the guard on poison: a panic in another worker (or
             // in a user callback) must not cascade into losing this
             // shard's append — the counters it protects stay coherent

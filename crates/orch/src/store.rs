@@ -266,6 +266,10 @@ impl CheckedLog {
         }
     }
 
+    pub(crate) fn path(&self) -> &Path {
+        &self.path
+    }
+
     /// Append one record as a single checksummed JSONL line.
     ///
     /// The record is written with a *leading* newline so that a

@@ -1,0 +1,96 @@
+//! Blocking JSON client for the daemon — the guts of `vulfi submit`,
+//! `vulfi status`, and `vulfi shutdown`.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use serde::Value;
+
+use crate::http::parse_response;
+
+/// One daemon endpoint. Every call is one short-lived connection
+/// (`Connection: close`), so the client needs no pooling or framing
+/// state and survives daemon restarts between calls.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: String,
+}
+
+impl Client {
+    pub fn new(addr: impl Into<String>) -> Client {
+        Client { addr: addr.into() }
+    }
+
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// One request/response exchange, returning (status, raw body).
+    fn exchange(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&Value>,
+        headers: &[(&str, &str)],
+    ) -> Result<(u16, String), String> {
+        let mut stream =
+            TcpStream::connect(&self.addr).map_err(|e| format!("connect {}: {e}", self.addr))?;
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+        let payload = match body {
+            Some(v) => serde_json::to_string(v).map_err(|e| e.to_string())?,
+            None => String::new(),
+        };
+        let mut req = format!("{method} {path} HTTP/1.1\r\nHost: {}\r\n", self.addr);
+        for (k, v) in headers {
+            req.push_str(&format!("{k}: {v}\r\n"));
+        }
+        req.push_str(&format!(
+            "Content-Length: {}\r\nConnection: close\r\n\r\n{payload}",
+            payload.len()
+        ));
+        stream
+            .write_all(req.as_bytes())
+            .map_err(|e| format!("send to {}: {e}", self.addr))?;
+        let mut raw = Vec::new();
+        stream
+            .read_to_end(&mut raw)
+            .map_err(|e| format!("read from {}: {e}", self.addr))?;
+        parse_response(&raw)
+    }
+
+    /// GET returning parsed JSON.
+    pub fn get(&self, path: &str) -> Result<(u16, Value), String> {
+        let (status, body) = self.exchange("GET", path, None, &[])?;
+        let doc = serde_json::from_str(&body)
+            .map_err(|e| format!("GET {path}: body is not JSON ({e}): {body}"))?;
+        Ok((status, doc))
+    }
+
+    /// GET returning the raw body (`/metrics` is Prometheus text).
+    pub fn get_text(&self, path: &str) -> Result<(u16, String), String> {
+        self.exchange("GET", path, None, &[])
+    }
+
+    /// POST a JSON document, returning parsed JSON.
+    pub fn post(
+        &self,
+        path: &str,
+        body: &Value,
+        headers: &[(&str, &str)],
+    ) -> Result<(u16, Value), String> {
+        let (status, text) = self.exchange("POST", path, Some(body), headers)?;
+        let doc = serde_json::from_str(&text)
+            .map_err(|e| format!("POST {path}: body is not JSON ({e}): {text}"))?;
+        Ok((status, doc))
+    }
+
+    /// Pull `{"error": "..."}` out of a non-2xx response for display.
+    pub fn error_of(doc: &Value) -> String {
+        doc.get("error")
+            .and_then(|v| v.as_str())
+            .unwrap_or("unknown error")
+            .to_string()
+    }
+}
