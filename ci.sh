@@ -34,6 +34,21 @@ grep -q 'id="heatmap"' "$SMOKE/report.html"
 grep -q 'id="diff"' "$SMOKE/report.html"
 ! grep -q '<script' "$SMOKE/report.html"
 
+# Gauntlet smoke test: the committed scenario (3 fault models x 2 ISAs
+# x 2 benchmarks) must pass its invariants, render into the HTML report,
+# and a deliberately impossible invariant must flip the exit code — the
+# gauntlet is only a gate if a breach actually fails the build.
+./target/release/vulfi gauntlet run scenarios/smoke.toml --store "$SMOKE/gauntlet" \
+    | grep -q '0 breaches: PASS'
+./target/release/vulfi gauntlet report scenarios/smoke.toml --store "$SMOKE/gauntlet" \
+    -o "$SMOKE/gauntlet.html" > /dev/null
+grep -q 'id="gauntlet"' "$SMOKE/gauntlet.html"
+grep -q 'memory-cell' "$SMOKE/gauntlet.html"
+sed 's/^sdc_rate_max.*/sdc_rate_max = 0.0/' scenarios/smoke.toml > "$SMOKE/breach.toml"
+! ./target/release/vulfi gauntlet run "$SMOKE/breach.toml" --store "$SMOKE/gauntlet" --resume \
+    > "$SMOKE/breach.out"
+grep -q 'FAIL (sdc_rate_max)' "$SMOKE/breach.out"
+
 # Throughput record: bench --record must emit parseable JSON with a
 # nonzero experiments-per-second figure.
 ./target/release/vulfi bench --bench "vector sum" --experiments 10 --record \

@@ -47,6 +47,7 @@ impl Default for HarnessOpts {
                 min_campaigns: 4,
                 max_campaigns: 8,
                 seed: 0xDEAD_BEEF,
+                ..StudyConfig::default()
             },
             micro_experiments: 400,
             only: None,

@@ -40,7 +40,7 @@ fn usage() -> String {
      vulfi campaign --bench NAME [--isa avx|sse] [--category CAT] [--experiments N] [--seed N] [--detectors]\n         \
      [--strict] [--wall-limit-ms N] [--mem-limit-mb N]\n  \
      vulfi study --bench NAME [--isa avx|sse] [--category CAT] [--experiments N] [--campaigns N] [--seed N]\n         \
-     [--store DIR] [--resume] [--jobs N] [--shard-size N] [--json] [--detectors]\n         \
+     [--store DIR] [--resume] [--jobs N] [--shard-size N] [--json] [--detectors] [--model M]\n         \
      [--strict] [--wall-limit-ms N] [--mem-limit-mb N] [--trace DIR] [--metrics-out PATH]\n  \
      vulfi results summary [--store DIR] [--json]\n  \
      vulfi results merge <SRC>... --store DST\n  \
@@ -48,14 +48,16 @@ fn usage() -> String {
      vulfi trace summarize [--trace DIR] [--top N] [--json]\n  \
      vulfi trace fsck [--trace DIR] [--repair] [--json]\n  \
      vulfi report diff <STORE_A> <STORE_B> [--json]\n  \
-     vulfi report heatmap [--trace DIR] [--top N] [--json]\n  \
+     vulfi report heatmap [--trace DIR] [--top N] [--model M] [--json]\n  \
      vulfi report html [--store DIR] [--trace DIR] [--diff-store DIR] [--metrics-in PATH]\n         \
      [--top N] [-o out.html]\n  \
+     vulfi gauntlet run <SCENARIO.toml|.json> [--store DIR] [--jobs N] [--resume] [--json]\n  \
+     vulfi gauntlet report <SCENARIO.toml|.json> [--store DIR] [-o out.html]\n  \
      vulfi bench [--bench NAME] [--isa avx|sse] [--experiments N] [--seed N] [--record] [-o PATH]\n         \
      [--check BASELINE]\n  \
      vulfi serve [--addr HOST:PORT] [--store DIR] [--workers N] [--lease-ttl-ms N]\n  \
      vulfi submit --bench NAME [--addr HOST:PORT] [--isa avx|sse] [--category CAT] [--scale test|paper]\n         \
-     [--experiments N] [--campaigns N] [--seed N] [--shard-size N] [--detectors]\n         \
+     [--experiments N] [--campaigns N] [--seed N] [--shard-size N] [--detectors] [--model M]\n         \
      [--tenant NAME] [--wait] [--json]\n  \
      vulfi status [KEY] [--addr HOST:PORT] [--report] [--json]\n  \
      vulfi shutdown [--addr HOST:PORT]\n  \
@@ -122,6 +124,9 @@ struct Flags {
     scale: String,
     /// `status KEY`: fetch the analytics report instead of the status.
     report: bool,
+    /// Fault model (`study`/`submit`; default single-bit-flip), or
+    /// heatmap filter (`report heatmap`; default unfiltered).
+    model: Option<String>,
     positional: Vec<String>,
 }
 
@@ -160,6 +165,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         wait: false,
         scale: "test".to_string(),
         report: false,
+        model: None,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -233,6 +239,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                         .map_err(|_| "--mem-limit-mb needs a number".to_string())?,
                 )
             }
+            "--model" => f.model = Some(val(a)?),
             "--trace" => f.trace = Some(val(a)?),
             "--metrics-out" => f.metrics_out = Some(val(a)?),
             "--diff-store" => f.diff_store = Some(val(a)?),
@@ -452,6 +459,14 @@ fn run(args: &[String]) -> Result<(), String> {
                 usage()
             )),
         },
+        "gauntlet" => match flags.positional.first().map(String::as_str) {
+            Some("run") => gauntlet_run(&flags),
+            Some("report") => gauntlet_report(&flags),
+            _ => Err(format!(
+                "gauntlet needs a subcommand (run, report)\n{}",
+                usage()
+            )),
+        },
         "bench" => bench_cmd(&flags),
         "serve" => serve_cmd(&flags),
         "submit" => submit_cmd(&flags),
@@ -538,6 +553,7 @@ const COMMANDS: &[&str] = &[
     "store",
     "trace",
     "report",
+    "gauntlet",
     "bench",
     "serve",
     "submit",
@@ -632,6 +648,10 @@ fn run_study_cmd(flags: &Flags) -> Result<(), String> {
         experiments_per_campaign: flags.experiments.unwrap_or(25),
         max_campaigns: flags.campaigns,
         seed: flags.seed,
+        model: match flags.model.as_deref() {
+            Some(m) => vulfi::FaultModel::parse(m)?,
+            None => vulfi::FaultModel::default(),
+        },
         ..vulfi::StudyConfig::default()
     };
     let store = vulfi_orch::Store::open(&flags.store).map_err(|e| e.to_string())?;
@@ -640,6 +660,7 @@ fn run_study_cmd(flags: &Flags) -> Result<(), String> {
 
     let run_one = |w: &dyn Workload| -> Result<(), String> {
         let mut prog = vulfi::prepare(w, category).map_err(|e| e.to_string())?;
+        prog.model = cfg.model;
         apply_limits(&mut prog, flags);
         let key = vulfi_orch::study_key(&prog, w.name(), isa, &cfg);
         let study = store.study(&key);
@@ -685,6 +706,7 @@ fn run_study_cmd(flags: &Flags) -> Result<(), String> {
                 "workload": w.name(),
                 "isa": isa,
                 "category": category.name(),
+                "model": cfg.model.name(),
                 "mean_sdc": r.summary.mean,
                 "margin_95": r.summary.margin_95,
                 "campaigns": r.summary.campaigns,
@@ -1196,7 +1218,8 @@ fn report_diff(flags: &Flags) -> Result<(), String> {
 fn report_heatmap(flags: &Flags) -> Result<(), String> {
     let root = trace_root(flags);
     let store = vulfi_orch::TraceStore::open(&root).map_err(|e| e.to_string())?;
-    let maps = vulfi_orch::heatmaps(&store, flags.top).map_err(|e| e.to_string())?;
+    let maps = vulfi_orch::heatmaps_filtered(&store, flags.top, flags.model.as_deref())
+        .map_err(|e| e.to_string())?;
     if flags.json {
         println!(
             "{}",
@@ -1300,6 +1323,7 @@ fn report_html(flags: &Flags) -> Result<(), String> {
         diff_store.as_ref(),
         &occupancy,
         &metrics,
+        None,
         flags.top,
     )
     .map_err(|e| e.to_string())?;
@@ -1314,6 +1338,205 @@ fn report_html(flags: &Flags) -> Result<(), String> {
     }
     fs::write(&out, &html).map_err(|e| format!("{out}: {e}"))?;
     eprintln!("wrote {out} ({} bytes)", html.len());
+    Ok(())
+}
+
+/// Build one gauntlet cell's workload (detector-wrapped when the
+/// scenario asks) and hand it to `f` — the same construction the study
+/// and submit paths use, so a gauntlet cell's key matches an equivalent
+/// `vulfi study` exactly.
+fn with_cell_workload<T>(
+    spec: &vulfi::StudySpec,
+    f: impl FnOnce(&dyn Workload) -> Result<T, String>,
+) -> Result<T, String> {
+    let isa = parse_isa_name(&spec.isa).ok_or_else(|| format!("unknown isa '{}'", spec.isa))?;
+    let scale = if spec.scale == "paper" {
+        vbench::Scale::Paper
+    } else {
+        vbench::Scale::Test
+    };
+    let w = vbench::study_benchmark(&spec.bench, isa, scale)
+        .or_else(|| vbench::micro_benchmark(&spec.bench, isa, scale))
+        .ok_or_else(|| format!("unknown benchmark '{}' (see `vulfi list`)", spec.bench))?;
+    if spec.detectors {
+        let wd = detectors::WithDetectors::new(&w, detectors::DetectorConfig::default())
+            .map_err(|e| e.to_string())?;
+        f(&wd)
+    } else {
+        f(&w)
+    }
+}
+
+/// Read the scenario file named by the subcommand's positional argument.
+fn load_scenario(flags: &Flags) -> Result<vulfi_orch::Scenario, String> {
+    let path = flags
+        .positional
+        .get(1)
+        .ok_or("gauntlet needs a scenario file (TOML or JSON)")?;
+    let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    vulfi_orch::parse_scenario(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// `vulfi gauntlet run`: expand the scenario matrix, execute every cell
+/// as a persistent study (reruns are cache hits; a killed gauntlet
+/// resumes with `--resume`), and judge the invariants. Exits non-zero
+/// on any breach.
+fn gauntlet_run(flags: &Flags) -> Result<(), String> {
+    let scenario = load_scenario(flags)?;
+    if let Some(j) = flags.jobs {
+        vulfi_orch::set_jobs(j);
+    }
+    let store = vulfi_orch::Store::open(&flags.store).map_err(|e| e.to_string())?;
+    vulfi::set_strict(flags.strict);
+    let cells = scenario.expand();
+    let mut verdicts = Vec::new();
+    for (i, spec) in cells.iter().enumerate() {
+        if !flags.json {
+            eprintln!(
+                "[{}/{}] {} [{}] {} {}",
+                i + 1,
+                cells.len(),
+                spec.bench,
+                spec.isa,
+                spec.category,
+                spec.model
+            );
+        }
+        let (key, result) = with_cell_workload(spec, |w| {
+            let category = spec.site_category()?;
+            let cfg = spec.study_config();
+            let mut prog = vulfi::prepare(w, category).map_err(|e| e.to_string())?;
+            prog.model = cfg.model;
+            apply_limits(&mut prog, flags);
+            let key = vulfi_orch::study_key(&prog, w.name(), &spec.isa, &cfg);
+            let study = store.study(&key);
+            if study.exists() && !flags.resume {
+                let done = study.shards().map_err(|e| e.to_string())?;
+                let plan = vulfi_orch::plan_shards(&cfg, spec.shard_size);
+                let pending = vulfi_orch::missing_jobs(&plan, &done, &cfg).len();
+                if pending > 0 && pending < plan.len() {
+                    return Err(format!(
+                        "cell {key} has partial results ({}/{} shards stored); \
+                         pass --resume to execute only the missing shards, or remove {}",
+                        plan.len() - pending,
+                        plan.len(),
+                        study.dir().display()
+                    ));
+                }
+            }
+            let out = vulfi_orch::run_study_persistent(
+                &prog,
+                w,
+                w.name(),
+                &spec.isa,
+                &cfg,
+                &store,
+                vulfi_orch::RunOptions {
+                    shard_size: spec.shard_size,
+                    max_shards: None,
+                    progress: None,
+                    trace: flags.trace.as_ref().map(std::path::PathBuf::from),
+                },
+            )
+            .map_err(|e| e.to_string())?;
+            let r = out
+                .result
+                .ok_or_else(|| "cell incomplete after run (store corrupted?)".to_string())?;
+            Ok((out.key, r))
+        })?;
+        verdicts.push(vulfi_orch::cell_verdict(
+            spec,
+            &key.0,
+            &result,
+            &scenario.invariants,
+        ));
+    }
+    let report = vulfi_orch::GauntletReport {
+        scenario: scenario.name.clone(),
+        cells: verdicts,
+    };
+    if flags.json {
+        println!(
+            "{}",
+            vulfi_orch::render_verdicts_json(&report).map_err(|e| e.to_string())?
+        );
+    } else {
+        print!("{}", vulfi_orch::render_verdicts(&report));
+    }
+    report_engine_faults();
+    if !report.passed() {
+        return Err(format!(
+            "gauntlet '{}': {} invariant breach(es)",
+            scenario.name,
+            report.breaches()
+        ));
+    }
+    Ok(())
+}
+
+/// `vulfi gauntlet report`: judge an already-executed gauntlet from the
+/// store (no execution) and render the verdicts into the HTML report.
+fn gauntlet_report(flags: &Flags) -> Result<(), String> {
+    let scenario = load_scenario(flags)?;
+    let store = vulfi_orch::Store::open(&flags.store).map_err(|e| e.to_string())?;
+    let mut verdicts = Vec::new();
+    for spec in scenario.expand() {
+        let (key, result) = with_cell_workload(&spec, |w| {
+            let category = spec.site_category()?;
+            let cfg = spec.study_config();
+            let mut prog = vulfi::prepare(w, category).map_err(|e| e.to_string())?;
+            prog.model = cfg.model;
+            let key = vulfi_orch::study_key(&prog, w.name(), &spec.isa, &cfg);
+            let study = store.study(&key);
+            let cell_name = format!(
+                "{}/{}/{}/{}",
+                spec.bench, spec.isa, spec.category, spec.model
+            );
+            if !study.exists() {
+                return Err(format!(
+                    "cell {cell_name} ({key}) not in store; run `vulfi gauntlet run` first"
+                ));
+            }
+            let done = study.shards().map_err(|e| e.to_string())?;
+            let r = vulfi_orch::merge(&cfg, category, &done).ok_or_else(|| {
+                format!("cell {cell_name} ({key}) is partial; finish it with `vulfi gauntlet run --resume`")
+            })?;
+            Ok((key, r))
+        })?;
+        verdicts.push(vulfi_orch::cell_verdict(
+            &spec,
+            &key.0,
+            &result,
+            &scenario.invariants,
+        ));
+    }
+    let report = vulfi_orch::GauntletReport {
+        scenario: scenario.name.clone(),
+        cells: verdicts,
+    };
+    let html = vulfi_orch::html_from_stores(
+        &format!("vulfi gauntlet: {}", scenario.name),
+        Some(&store),
+        None,
+        None,
+        &[],
+        &[],
+        Some(&report),
+        flags.top,
+    )
+    .map_err(|e| e.to_string())?;
+    let out = flags
+        .out
+        .clone()
+        .unwrap_or_else(|| "results/gauntlet.html".to_string());
+    if let Some(parent) = std::path::Path::new(&out).parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent).map_err(|e| format!("{}: {e}", parent.display()))?;
+        }
+    }
+    fs::write(&out, &html).map_err(|e| format!("{out}: {e}"))?;
+    eprintln!("wrote {out} ({} bytes)", html.len());
+    print!("{}", vulfi_orch::render_verdicts(&report));
     Ok(())
 }
 
@@ -1474,6 +1697,10 @@ fn spec_from_flags(flags: &Flags) -> Result<vulfi::StudySpec, String> {
         seed: flags.seed,
         shard_size: flags.shard_size,
         detectors: flags.detectors,
+        model: flags
+            .model
+            .clone()
+            .unwrap_or_else(|| vulfi::FaultModel::default().name()),
     };
     spec.validate()?;
     Ok(spec)

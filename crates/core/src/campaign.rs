@@ -20,6 +20,7 @@ use vexec::{Interp, Trap};
 use vir::analysis::SiteCategory;
 use vir::Module;
 
+use crate::fault::FaultModel;
 use crate::faultlog::{panic_message, record_engine_fault, strict, EngineFault};
 use crate::instrument::{instrument_module, InstrumentOptions, Instrumented};
 use crate::runtime::{InjectionRecord, VulfiHost};
@@ -113,6 +114,9 @@ pub struct Prepared {
     /// Resource ceilings for faulty runs (defaults preserve historical
     /// behaviour: hang budget only).
     pub limits: ResourceLimits,
+    /// Fault model applied by every experiment (default: the paper's
+    /// single bit flip).
+    pub model: FaultModel,
 }
 
 /// Instrument `workload`'s module for the given category.
@@ -134,6 +138,7 @@ pub fn prepare_with(
         sites,
         category: opts.category,
         limits: ResourceLimits::default(),
+        model: FaultModel::default(),
     })
 }
 
@@ -218,6 +223,9 @@ fn run_experiment_body(
     input: u64,
     mut capture: Option<&mut TraceCapture>,
 ) -> Result<Experiment, CampaignError> {
+    if prog.model.is_engine_model() {
+        return run_experiment_engine(prog, workload, rng, input, capture);
+    }
     // --- Golden run -------------------------------------------------------
     // When tracing, the golden run records the architectural event stream
     // (stores, branch decisions, return value) the faulty run will be
@@ -281,7 +289,7 @@ fn run_experiment_body(
     if let Some(t) = faulty_tracer.as_mut() {
         interp.set_trace_sink(t);
     }
-    let mut host = VulfiHost::inject(target, bit_entropy);
+    let mut host = VulfiHost::inject_model(target, bit_entropy, prog.model);
     let result = interp.run(&prog.entry, &setup2.args, &mut host);
     let faulty_dyn_insts = interp.executed();
 
@@ -320,6 +328,156 @@ fn run_experiment_body(
         injection: host.injection,
         input,
         dynamic_sites: n_sites,
+        golden_dyn_insts: golden.dyn_insts,
+    })
+}
+
+/// Experiment body for the engine-level fault models (mask corruption,
+/// address lines, memory cells): the corruption targets interpreter state
+/// the instrumented `vulfi.inject` API never sees, so it is applied by a
+/// [`vexec::EngineInjector`] installed on the interpreter instead of by
+/// the host. The RNG draw order is identical to the value-model path
+/// (target, then bit entropy), with the model's own event census as the
+/// target denominator:
+///
+/// - mask corruption: masked-intrinsic executions (counted in the golden
+///   run by a passive injector);
+/// - address lines: guarded memory accesses (same);
+/// - memory cells: golden dynamic instructions (no census run needed).
+fn run_experiment_engine(
+    prog: &Prepared,
+    workload: &dyn Workload,
+    rng: &mut ChaCha8Rng,
+    input: u64,
+    mut capture: Option<&mut TraceCapture>,
+) -> Result<Experiment, CampaignError> {
+    let engine_model = match prog.model {
+        FaultModel::MaskCorrupt => vexec::EngineModel::MaskCorrupt,
+        FaultModel::AddressLine { bit } => vexec::EngineModel::AddressLine { bit },
+        FaultModel::MemoryCell => vexec::EngineModel::MemoryCell,
+        other => {
+            return Err(CampaignError(format!(
+                "{other} is not an engine-level fault model"
+            )))
+        }
+    };
+
+    // --- Golden run -------------------------------------------------------
+    let mut golden_tracer = capture.is_some().then(vexec::DivergenceTracer::record);
+    let mut counter = vexec::EngineInjector::count(engine_model);
+    let mut interp = Interp::new(&prog.module);
+    let setup = workload
+        .setup(&mut interp.mem, input)
+        .map_err(|t| CampaignError(format!("setup failed: {t}")))?;
+    if let Some(t) = golden_tracer.as_mut() {
+        interp.set_trace_sink(t);
+    }
+    interp.set_engine_injector(&mut counter);
+    let mut golden_host = VulfiHost::profile();
+    let golden = interp
+        .run(&prog.entry, &setup.args, &mut golden_host)
+        .map_err(|t| CampaignError(format!("golden run of {} trapped: {t}", workload.name())))?;
+    let golden_out = snapshot_outputs(&interp.mem, &setup.outputs, &golden.ret)
+        .map_err(|t| CampaignError(format!("golden snapshot failed: {t}")))?;
+    drop(interp);
+    let n_events = match engine_model {
+        vexec::EngineModel::MemoryCell => golden.dyn_insts,
+        _ => counter.events(),
+    };
+
+    if n_events == 0 {
+        // The model's event census is empty for this input (e.g. no
+        // masked intrinsics execute): nothing to corrupt.
+        if let Some(cap) = capture.as_deref_mut() {
+            *cap = TraceCapture::default();
+        }
+        return Ok(Experiment {
+            outcome: Outcome::Benign,
+            detected: false,
+            injection: None,
+            input,
+            dynamic_sites: 0,
+            golden_dyn_insts: golden.dyn_insts,
+        });
+    }
+
+    // --- Faulty run -------------------------------------------------------
+    let target = rng.gen_range(1..=n_events);
+    let bit_entropy: u64 = rng.gen();
+    let mut faulty_tracer = golden_tracer
+        .take()
+        .map(|t| vexec::DivergenceTracer::compare(t.into_stream()));
+    let mut injector = vexec::EngineInjector::inject(engine_model, target, bit_entropy);
+    let mut interp = Interp::new(&prog.module);
+    interp.set_budget(
+        golden
+            .dyn_insts
+            .saturating_mul(prog.limits.hang_factor)
+            .saturating_add(prog.limits.hang_slack),
+    );
+    let setup2 = workload
+        .setup(&mut interp.mem, input)
+        .map_err(|t| CampaignError(format!("setup failed: {t}")))?;
+    if prog.limits.wall_ms > 0 {
+        interp.set_wall_limit(std::time::Duration::from_millis(prog.limits.wall_ms));
+    }
+    if prog.limits.mem_bytes > 0 {
+        interp.set_memory_limit(prog.limits.mem_bytes);
+    }
+    if let Some(t) = faulty_tracer.as_mut() {
+        interp.set_trace_sink(t);
+    }
+    interp.set_engine_injector(&mut injector);
+    // The host still serves detector checks; it never injects.
+    let mut host = VulfiHost::profile();
+    let result = interp.run(&prog.entry, &setup2.args, &mut host);
+    let faulty_dyn_insts = interp.executed();
+
+    let (outcome, detected) = match &result {
+        Err(Trap::HostError(m)) => return Err(CampaignError(format!("runtime bug: {m}"))),
+        Err(_) => (Outcome::Crash, host.detectors.detected()),
+        Ok(r) => {
+            let out = snapshot_outputs(&interp.mem, &setup2.outputs, &r.ret)
+                .map_err(|t| CampaignError(format!("faulty snapshot failed: {t}")))?;
+            if out == golden_out {
+                (Outcome::Benign, host.detectors.detected())
+            } else {
+                (Outcome::Sdc, host.detectors.detected())
+            }
+        }
+    };
+    drop(interp);
+    if let Some(cap) = capture {
+        let divergence = faulty_tracer.map(|mut t| {
+            if result.is_ok() {
+                t.finish(faulty_dyn_insts);
+            }
+            t.divergence().map(|d| d.dyn_index)
+        });
+        *cap = TraceCapture {
+            injected_at: injector.injection().map(|i| i.at_dyn_inst),
+            divergence: divergence.flatten(),
+            faulty_dyn_insts,
+            trap: result.as_ref().err().map(|t| t.to_string()),
+        };
+    }
+    // Engine faults have no static site or lane; site_id 0 marks the
+    // synthetic provenance, occurrence is the index in the event census.
+    let injection = injector.injection().map(|inj| InjectionRecord {
+        site_id: 0,
+        lane: 0,
+        occurrence: inj.event,
+        bit: inj.bit,
+        bits_before: inj.bits_before,
+        bits_after: inj.bits_after,
+        model: prog.model,
+    });
+    Ok(Experiment {
+        outcome,
+        detected,
+        injection,
+        input,
+        dynamic_sites: n_events,
         golden_dyn_insts: golden.dyn_insts,
     })
 }
@@ -466,7 +624,7 @@ pub fn run_campaign(
 }
 
 /// Study configuration (defaults follow the paper's §IV-D setup).
-#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct StudyConfig {
     /// Experiments per campaign (paper: 100).
     pub experiments_per_campaign: usize,
@@ -478,6 +636,8 @@ pub struct StudyConfig {
     /// Hard cap on campaigns (paper observed 20 suffice).
     pub max_campaigns: usize,
     pub seed: u64,
+    /// Fault model every experiment applies.
+    pub model: FaultModel,
 }
 
 impl Default for StudyConfig {
@@ -488,7 +648,47 @@ impl Default for StudyConfig {
             min_campaigns: 4,
             max_campaigns: 20,
             seed: 0xDEAD_BEEF,
+            model: FaultModel::default(),
         }
+    }
+}
+
+// Manual serde mirroring the derive, except `model` is omitted when it is
+// the default single-bit flip (and defaulted when absent), so manifests
+// written before the fault-model library existed keep parsing and
+// default-model manifests stay byte-identical.
+impl serde::Serialize for StudyConfig {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            (
+                "experiments_per_campaign".to_string(),
+                self.experiments_per_campaign.to_value(),
+            ),
+            ("target_margin".to_string(), self.target_margin.to_value()),
+            ("min_campaigns".to_string(), self.min_campaigns.to_value()),
+            ("max_campaigns".to_string(), self.max_campaigns.to_value()),
+            ("seed".to_string(), self.seed.to_value()),
+        ];
+        if self.model != FaultModel::default() {
+            fields.push(("model".to_string(), self.model.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl serde::Deserialize for StudyConfig {
+    fn from_value(v: &serde::Value) -> Result<StudyConfig, serde::DeError> {
+        Ok(StudyConfig {
+            experiments_per_campaign: serde::field(v, "experiments_per_campaign")?,
+            target_margin: serde::field(v, "target_margin")?,
+            min_campaigns: serde::field(v, "min_campaigns")?,
+            max_campaigns: serde::field(v, "max_campaigns")?,
+            seed: serde::field(v, "seed")?,
+            model: match v.get("model") {
+                Some(m) => FaultModel::from_value(m)?,
+                None => FaultModel::default(),
+            },
+        })
     }
 }
 
@@ -693,6 +893,7 @@ exit:
             min_campaigns: 4,
             max_campaigns: 10,
             seed: 5,
+            model: FaultModel::default(),
         };
         let s = run_study(&prog, &w, &cfg).unwrap();
         assert!(s.samples.len() >= 4);
@@ -733,6 +934,67 @@ exit:
         assert_eq!(a, b);
         let c = measure_dyn_insts(w.module(), "scale", &w, 2).unwrap();
         assert!(c > a, "bigger input → more dynamic instructions");
+    }
+
+    #[test]
+    fn every_fault_model_runs_deterministic_campaigns() {
+        let w = ScaleWorkload::new();
+        for model in [
+            FaultModel::SingleBitFlip,
+            FaultModel::MultiBitBurst { width: 3 },
+            FaultModel::StuckAt {
+                bit: 30,
+                value: true,
+            },
+            FaultModel::MaskCorrupt,
+            FaultModel::AddressLine { bit: 4 },
+            FaultModel::TemporalPair { gap: 8 },
+            FaultModel::MemoryCell,
+        ] {
+            let mut prog = prepare(&w, SiteCategory::PureData).unwrap();
+            prog.model = model;
+            let a = run_campaign(&prog, &w, 12, 3).unwrap();
+            let b = run_campaign(&prog, &w, 12, 3).unwrap();
+            assert_eq!(
+                a.experiments, b.experiments,
+                "{model} must be deterministic"
+            );
+            assert_eq!(a.counts.total(), 12, "{model}");
+            for e in &a.experiments {
+                if let Some(inj) = &e.injection {
+                    assert_eq!(inj.model, model);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engine_models_corrupt_engine_state() {
+        let w = ScaleWorkload::new();
+        // @scale has no masked intrinsics: the mask-corruption census is
+        // empty and every experiment is benign by construction.
+        let mut prog = prepare(&w, SiteCategory::PureData).unwrap();
+        prog.model = FaultModel::MaskCorrupt;
+        let c = run_campaign(&prog, &w, 10, 5).unwrap();
+        assert_eq!(c.counts.benign, 10, "{:?}", c.counts);
+        assert!(c.experiments.iter().all(|e| e.injection.is_none()));
+
+        // Address-line flips on a strided loop must hit the guard pages
+        // at least sometimes.
+        let mut prog = prepare(&w, SiteCategory::PureData).unwrap();
+        prog.model = FaultModel::AddressLine { bit: 20 };
+        let c = run_campaign(&prog, &w, 30, 5).unwrap();
+        assert!(c.counts.crash > 0, "{:?}", c.counts);
+        assert!(c
+            .experiments
+            .iter()
+            .any(|e| e.injection.as_ref().is_some_and(|i| i.site_id == 0)));
+
+        // Memory-cell upsets corrupt live data: some must surface as SDC.
+        let mut prog = prepare(&w, SiteCategory::PureData).unwrap();
+        prog.model = FaultModel::MemoryCell;
+        let c = run_campaign(&prog, &w, 30, 5).unwrap();
+        assert!(c.counts.sdc > 0, "{:?}", c.counts);
     }
 
     // --- Fault containment -----------------------------------------------

@@ -48,6 +48,7 @@
 //! ```
 
 pub mod campaign;
+pub mod fault;
 pub mod faultlog;
 pub mod instrument;
 pub mod report;
@@ -63,6 +64,7 @@ pub use campaign::{
     run_experiment_range, run_study, CampaignError, CampaignResult, Experiment, Outcome,
     OutcomeCounts, Prepared, ResourceLimits, StudyConfig, StudyResult,
 };
+pub use fault::{FaultModel, MODEL_KINDS};
 pub use faultlog::{
     drain_engine_faults, engine_faults, record_engine_fault, set_strict, strict, EngineFault,
 };

@@ -9,6 +9,8 @@
 
 use vexec::{HostEnv, Memory, RtVal, Trap};
 
+use crate::fault::FaultModel;
+
 /// Execution mode of the runtime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RunMode {
@@ -20,8 +22,8 @@ pub enum RunMode {
     Inject { target: u64, bit_entropy: u64 },
 }
 
-/// Record of the one injection performed.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+/// Record of the (primary) injection performed.
+#[derive(Debug, Clone, PartialEq)]
 pub struct InjectionRecord {
     pub site_id: u32,
     pub lane: u32,
@@ -30,6 +32,46 @@ pub struct InjectionRecord {
     pub bit: u32,
     pub bits_before: u64,
     pub bits_after: u64,
+    /// Fault model that produced this corruption.
+    pub model: FaultModel,
+}
+
+// Manual serde: the `model` field is omitted when it is the default
+// single-bit flip (and defaulted when absent on read), so records written
+// before the fault-model library existed parse — and default-model
+// records stay byte-identical to what that era wrote.
+impl serde::Serialize for InjectionRecord {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("site_id".to_string(), self.site_id.to_value()),
+            ("lane".to_string(), self.lane.to_value()),
+            ("occurrence".to_string(), self.occurrence.to_value()),
+            ("bit".to_string(), self.bit.to_value()),
+            ("bits_before".to_string(), self.bits_before.to_value()),
+            ("bits_after".to_string(), self.bits_after.to_value()),
+        ];
+        if self.model != FaultModel::default() {
+            fields.push(("model".to_string(), self.model.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl serde::Deserialize for InjectionRecord {
+    fn from_value(v: &serde::Value) -> Result<InjectionRecord, serde::DeError> {
+        Ok(InjectionRecord {
+            site_id: serde::field(v, "site_id")?,
+            lane: serde::field(v, "lane")?,
+            occurrence: serde::field(v, "occurrence")?,
+            bit: serde::field(v, "bit")?,
+            bits_before: serde::field(v, "bits_before")?,
+            bits_after: serde::field(v, "bits_after")?,
+            model: match v.get("model") {
+                Some(m) => FaultModel::from_value(m)?,
+                None => FaultModel::default(),
+            },
+        })
+    }
 }
 
 /// Statistics from detector runtime checks.
@@ -51,6 +93,9 @@ impl DetectorStats {
 /// runtime. Any other host call is rejected.
 pub struct VulfiHost {
     mode: RunMode,
+    /// Fault model applied at the target site (value models only; engine
+    /// models bypass the instrumented API entirely).
+    model: FaultModel,
     /// Dynamic fault sites observed so far (active lanes only).
     pub dynamic_sites: u64,
     pub injection: Option<InjectionRecord>,
@@ -58,6 +103,8 @@ pub struct VulfiHost {
     /// interpreter's host clock). Observability only — not serialized
     /// with the experiment record.
     pub injection_at: Option<u64>,
+    /// Host-clock deadline for the second flip of a temporal pair.
+    second_due: Option<u64>,
     pub detectors: DetectorStats,
 }
 
@@ -66,23 +113,34 @@ impl VulfiHost {
     pub fn profile() -> VulfiHost {
         VulfiHost {
             mode: RunMode::Profile,
+            model: FaultModel::default(),
             dynamic_sites: 0,
             injection: None,
             injection_at: None,
+            second_due: None,
             detectors: DetectorStats::default(),
         }
     }
 
     /// Faulty-run host: flips one bit at dynamic site `target` (1-based).
     pub fn inject(target: u64, bit_entropy: u64) -> VulfiHost {
+        VulfiHost::inject_model(target, bit_entropy, FaultModel::default())
+    }
+
+    /// Faulty-run host applying `model` at dynamic site `target`
+    /// (1-based). `bit_entropy` feeds every random choice the model
+    /// makes.
+    pub fn inject_model(target: u64, bit_entropy: u64, model: FaultModel) -> VulfiHost {
         VulfiHost {
             mode: RunMode::Inject {
                 target,
                 bit_entropy,
             },
+            model,
             dynamic_sites: 0,
             injection: None,
             injection_at: None,
+            second_due: None,
             detectors: DetectorStats::default(),
         }
     }
@@ -116,8 +174,7 @@ impl VulfiHost {
         } = self.mode
         {
             if self.dynamic_sites == target && self.injection.is_none() {
-                let bit = (bit_entropy % val.ty.bits() as u64) as u32;
-                let flipped = val.flip_bit(bit);
+                let (flipped, bit) = self.model.mutate_value(val, bit_entropy);
                 self.injection = Some(InjectionRecord {
                     site_id: args[2].lane(0).as_u64() as u32,
                     lane: args[3].lane(0).as_u64() as u32,
@@ -125,9 +182,24 @@ impl VulfiHost {
                     bit,
                     bits_before: val.bits,
                     bits_after: flipped.bits,
+                    model: self.model,
                 });
                 self.injection_at = Some(mem.host_clock());
+                if let FaultModel::TemporalPair { gap } = self.model {
+                    self.second_due = Some(mem.host_clock().saturating_add(gap));
+                }
                 return Ok(Some(RtVal::Scalar(flipped)));
+            }
+            // Second flip of a temporal pair: the next active site once
+            // the dynamic-instruction clock has advanced past the gap.
+            // Only the primary is recorded; the pair shares one entropy
+            // draw (high half selects the second bit).
+            if let Some(due) = self.second_due {
+                if self.injection.is_some() && mem.host_clock() >= due {
+                    self.second_due = None;
+                    let bit = ((bit_entropy >> 32) % val.ty.bits() as u64) as u32;
+                    return Ok(Some(RtVal::Scalar(val.flip_bit(bit))));
+                }
             }
         }
         Ok(Some(RtVal::Scalar(val)))

@@ -13,6 +13,7 @@
 
 use vir::analysis::SiteCategory;
 
+use crate::fault::FaultModel;
 use crate::StudyConfig;
 
 /// Every string field a [`StudySpec`] constrains, with its accepted
@@ -45,6 +46,9 @@ pub struct StudySpec {
     pub shard_size: usize,
     /// Insert SDC detectors into the workload before instrumenting.
     pub detectors: bool,
+    /// Fault model, e.g. `"single-bit-flip"` or `"multi-bit-burst:2"`
+    /// (see [`crate::MODEL_KINDS`]).
+    pub model: String,
 }
 
 impl Default for StudySpec {
@@ -59,6 +63,7 @@ impl Default for StudySpec {
             seed: 42,
             shard_size: 25,
             detectors: false,
+            model: FaultModel::default().name(),
         }
     }
 }
@@ -90,7 +95,13 @@ impl StudySpec {
         if self.shard_size == 0 {
             return Err("spec.shard_size must be positive".to_string());
         }
+        self.fault_model()?;
         Ok(())
+    }
+
+    /// The fault model as the injector's enum.
+    pub fn fault_model(&self) -> Result<FaultModel, String> {
+        FaultModel::parse(&self.model).map_err(|e| format!("spec.model: {e}"))
     }
 
     /// The category as the injector's enum.
@@ -113,6 +124,7 @@ impl StudySpec {
             experiments_per_campaign: self.experiments,
             max_campaigns: self.campaigns,
             seed: self.seed,
+            model: self.fault_model().unwrap_or_default(),
             ..StudyConfig::default()
         }
     }
@@ -159,6 +171,14 @@ mod tests {
         s.scale = "huge".to_string();
         assert!(s.validate().is_err());
 
+        let mut s = spec();
+        s.model = "cosmic-ray".to_string();
+        let e = s.validate().unwrap_err();
+        assert!(
+            e.contains("cosmic-ray") && e.contains("single-bit-flip"),
+            "{e}"
+        );
+
         for zeroed in [
             |s: &mut StudySpec| s.experiments = 0,
             |s: &mut StudySpec| s.campaigns = 0,
@@ -180,5 +200,16 @@ mod tests {
         assert_eq!(cfg.target_margin, StudyConfig::default().target_margin);
         assert_eq!(cfg.min_campaigns, StudyConfig::default().min_campaigns);
         assert_eq!(spec().site_category().unwrap(), SiteCategory::PureData);
+        assert_eq!(cfg.model, FaultModel::SingleBitFlip);
+
+        let mut s = spec();
+        s.model = "stuck-at:7=1".to_string();
+        assert_eq!(
+            s.study_config().model,
+            FaultModel::StuckAt {
+                bit: 7,
+                value: true
+            }
+        );
     }
 }

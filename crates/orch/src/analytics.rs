@@ -383,10 +383,28 @@ pub struct WorkloadHeatmap {
 /// [`summarize`], so resumed runs never double-count. Site ranking keeps
 /// the `top_sites` most SDC-prone sites per workload.
 pub fn heatmaps(store: &TraceStore, top_sites: usize) -> Result<Vec<WorkloadHeatmap>, OrchError> {
+    heatmaps_filtered(store, top_sites, None)
+}
+
+/// [`heatmaps`] restricted to studies of one fault model
+/// (`vulfi report heatmap --model ...`). The filter accepts either a
+/// full parameterized name (`multi-bit-burst:2`) or a bare kind
+/// (`multi-bit-burst`, matching every width).
+pub fn heatmaps_filtered(
+    store: &TraceStore,
+    top_sites: usize,
+    model: Option<&str>,
+) -> Result<Vec<WorkloadHeatmap>, OrchError> {
     let mut spans: BTreeMap<(String, usize, usize), (String, vulfi::ExperimentTrace)> =
         BTreeMap::new();
     for key in store.studies()? {
         for shard in store.study(&key).shards()? {
+            if let Some(want) = model {
+                let kind = shard.model.split(':').next().unwrap_or(&shard.model);
+                if shard.model != want && kind != want {
+                    continue;
+                }
+            }
             for t in shard.traces {
                 spans.insert(
                     (key.0.clone(), shard.campaign, t.index),
@@ -585,6 +603,8 @@ pub struct ReportInputs<'a> {
     pub occupancy: &'a [OccupancyProfile],
     pub traces: Option<&'a TraceSummary>,
     pub metrics: &'a [MetricRow],
+    /// Gauntlet verdicts (`vulfi gauntlet report`).
+    pub gauntlet: Option<&'a crate::scenario::GauntletReport>,
 }
 
 fn esc(s: &str) -> String {
@@ -703,6 +723,74 @@ pub fn render_html(inp: &ReportInputs) -> String {
             "<p class=\"muted\">partial (excluded): {}</p>\n",
             esc(p)
         ));
+    }
+    h.push_str("</section>\n");
+
+    // Gauntlet verdicts.
+    h.push_str("<section id=\"gauntlet\"><h2>Gauntlet verdicts</h2>\n");
+    match inp.gauntlet {
+        None => h.push_str(
+            "<p class=\"muted\">no gauntlet run (render with \
+             <code>vulfi gauntlet report</code>)</p>\n",
+        ),
+        Some(g) => {
+            h.push_str(&format!(
+                "<p>scenario <strong>{}</strong>: {} cells, {} breaches — \
+                 <span class=\"{}\">{}</span></p>\n",
+                esc(&g.scenario),
+                g.cells.len(),
+                g.breaches(),
+                if g.passed() { "" } else { "sig" },
+                if g.passed() { "PASS" } else { "FAIL" },
+            ));
+            h.push_str(
+                "<table><tr><th>bench</th><th>ISA</th><th>category</th><th>model</th>\
+                 <th>n</th><th>SDC %</th><th>crash</th><th>verdict</th></tr>\n",
+            );
+            for c in &g.cells {
+                let verdict = if c.passed() {
+                    "PASS".to_string()
+                } else {
+                    let names: Vec<&str> = c
+                        .invariants
+                        .iter()
+                        .filter(|i| i.breached)
+                        .map(|i| i.name.as_str())
+                        .collect();
+                    format!("<span class=\"sig\">FAIL ({})</span>", names.join(", "))
+                };
+                h.push_str(&format!(
+                    "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td>\
+                     <td>{:.1}</td><td>{}</td><td>{}</td></tr>\n",
+                    esc(&c.bench),
+                    esc(&c.isa),
+                    esc(&c.category),
+                    esc(&c.model),
+                    c.experiments,
+                    c.sdc_rate,
+                    c.crash,
+                    verdict,
+                ));
+            }
+            h.push_str("</table>\n");
+            for c in &g.cells {
+                for i in c.invariants.iter().filter(|i| i.breached) {
+                    h.push_str(&format!(
+                        "<p class=\"sig\">breach: {}/{}/{}/{}: {} {} \
+                         (observed {:.1}%, 95% CI [{:.1}, {:.1}])</p>\n",
+                        esc(&c.bench),
+                        esc(&c.isa),
+                        esc(&c.category),
+                        esc(&c.model),
+                        esc(&i.name),
+                        i.threshold,
+                        i.observed,
+                        i.lo,
+                        i.hi
+                    ));
+                }
+            }
+        }
     }
     h.push_str("</section>\n");
 
@@ -897,6 +985,7 @@ pub fn render_html(inp: &ReportInputs) -> String {
 }
 
 /// Convenience: build the report straight from stores.
+#[allow(clippy::too_many_arguments)]
 pub fn html_from_stores(
     title: &str,
     store: Option<&Store>,
@@ -904,6 +993,7 @@ pub fn html_from_stores(
     diff_against: Option<&Store>,
     occupancy: &[OccupancyProfile],
     metrics: &[MetricRow],
+    gauntlet: Option<&crate::scenario::GauntletReport>,
     top_sites: usize,
 ) -> Result<String, OrchError> {
     let (cells, partial) = match store {
@@ -927,6 +1017,7 @@ pub fn html_from_stores(
         occupancy,
         traces: traces.as_ref(),
         metrics,
+        gauntlet,
     }))
 }
 
@@ -1066,6 +1157,32 @@ mod tests {
                 },
             ],
         }];
+        let gauntlet = crate::scenario::GauntletReport {
+            scenario: "smoke".to_string(),
+            cells: vec![crate::scenario::CellVerdict {
+                bench: "W".to_string(),
+                isa: "avx".to_string(),
+                category: "pure-data".to_string(),
+                model: "multi-bit-burst:2".to_string(),
+                key: "k1".to_string(),
+                experiments: 200,
+                sdc: 40,
+                benign: 150,
+                crash: 10,
+                sdc_detected: 0,
+                sdc_rate: 20.0,
+                converged: true,
+                invariants: vec![crate::scenario::InvariantVerdict {
+                    name: "sdc_rate_max".to_string(),
+                    threshold: 10.0,
+                    observed: 20.0,
+                    lo: 15.0,
+                    hi: 26.0,
+                    breached: true,
+                    vacuous: false,
+                }],
+            }],
+        };
         let html = render_html(&ReportInputs {
             title: "vulfi <report> & test",
             cells: &cells,
@@ -1078,9 +1195,11 @@ mod tests {
                 name: "vulfi_experiments_total".to_string(),
                 value: 200.0,
             }],
+            gauntlet: Some(&gauntlet),
         });
         for id in [
             "studies",
+            "gauntlet",
             "diff",
             "heatmap",
             "occupancy",
@@ -1099,6 +1218,9 @@ mod tests {
         // Title is escaped, charts are inline SVG.
         assert!(html.contains("vulfi &lt;report&gt; &amp; test"));
         assert!(html.contains("<svg"));
+        // The gauntlet section names the breached invariant and model.
+        assert!(html.contains("FAIL (sdc_rate_max)"), "{html}");
+        assert!(html.contains("multi-bit-burst:2"));
     }
 
     #[test]
@@ -1153,6 +1275,7 @@ mod tests {
             min_campaigns: 4,
             max_campaigns: 4,
             seed: 1,
+            ..StudyConfig::default()
         }
     }
 
@@ -1218,7 +1341,7 @@ mod tests {
         let d = diff_stores(&a, &b).unwrap();
         assert!(d.cells.is_empty());
         assert_eq!((d.significant, d.drift), (0, 0));
-        let html = html_from_stores("empty", Some(&a), None, None, &[], &[], 10).unwrap();
+        let html = html_from_stores("empty", Some(&a), None, None, &[], &[], None, 10).unwrap();
         assert!(html.contains("no complete studies"));
         assert!(html.contains("id=\"heatmap\"") && html.contains("id=\"diff\""));
         std::fs::remove_dir_all(&da).unwrap();
@@ -1355,6 +1478,7 @@ mod tests {
             workload: "W".to_string(),
             category: "pure-data".to_string(),
             isa: "avx".to_string(),
+            model: "single-bit-flip".to_string(),
             traces,
         };
         log.append_shard(&shard(
@@ -1387,6 +1511,24 @@ mod tests {
         assert_eq!(top.site_id, 1);
         assert_eq!((top.injections, top.sdc, top.crash), (2, 1, 1));
         assert_eq!(top.categories, vec!["pure-data".to_string()]);
+
+        // A burst-model study in the same store: the unfiltered view
+        // merges it, a model filter separates it (by full name or kind).
+        let blog = store.study(&StudyKey("kB".to_string()));
+        let mut burst = shard(0, 0, vec![heat_span(0, Outcome::Sdc, 9, 1, 2)]);
+        burst.model = "multi-bit-burst:2".to_string();
+        blog.append_shard(&burst).unwrap();
+
+        let only_burst = heatmaps_filtered(&store, 10, Some("multi-bit-burst")).unwrap();
+        assert_eq!(only_burst.len(), 1);
+        assert_eq!(only_burst[0].sites[0].site_id, 9);
+        let exact = heatmaps_filtered(&store, 10, Some("multi-bit-burst:2")).unwrap();
+        assert_eq!(exact, only_burst);
+        let only_default = heatmaps_filtered(&store, 10, Some("single-bit-flip")).unwrap();
+        assert!(only_default[0].sites.iter().all(|s| s.site_id != 9));
+        assert!(heatmaps_filtered(&store, 10, Some("memory-cell"))
+            .unwrap()
+            .is_empty());
 
         // Empty trace store → no heatmaps.
         let empty = tmpdir("heat-empty");

@@ -64,6 +64,14 @@ pub fn study_key(prog: &Prepared, workload_name: &str, isa: &str, cfg: &StudyCon
         canon.push_str(part);
         canon.push('\0');
     }
+    // The fault model joined the config after stores full of
+    // single-bit-flip studies already existed; appending it only when
+    // non-default keeps every pre-existing key (and cached study) valid
+    // while guaranteeing a different model never collides with one.
+    if cfg.model != vulfi::FaultModel::default() {
+        canon.push_str(&format!("fault-model:{}", cfg.model.name()));
+        canon.push('\0');
+    }
     // Two independent FNV-1a streams (distinct offset bases) give 128
     // bits — ample for a results cache keyed by experiment content.
     let lo = fnv1a(0xcbf2_9ce4_8422_2325, canon.as_bytes());
@@ -101,5 +109,36 @@ mod tests {
         cfg2.seed ^= 1;
         let other_seed = study_key(&prep(SiteCategory::PureData), "vector sum", "avx", &cfg2);
         assert_ne!(a, other_seed, "seed must change the key");
+    }
+
+    #[test]
+    fn fault_model_changes_key_but_default_is_legacy_stable() {
+        let cfg = StudyConfig::default();
+        let base = study_key(&prep(SiteCategory::PureData), "vector sum", "avx", &cfg);
+
+        let mut burst = cfg;
+        burst.model = vulfi::FaultModel::MultiBitBurst { width: 2 };
+        let burst_key = study_key(&prep(SiteCategory::PureData), "vector sum", "avx", &burst);
+        assert_ne!(base, burst_key, "fault model must change the key");
+
+        let mut stuck = cfg;
+        stuck.model = vulfi::FaultModel::StuckAt {
+            bit: 0,
+            value: false,
+        };
+        let stuck_key = study_key(&prep(SiteCategory::PureData), "vector sum", "avx", &stuck);
+        assert_ne!(burst_key, stuck_key, "distinct models must not collide");
+
+        // The default model appends nothing to the canon, so keys of
+        // stores written before the model existed still resolve.
+        let mut explicit = cfg;
+        explicit.model = vulfi::FaultModel::SingleBitFlip;
+        let explicit_key = study_key(
+            &prep(SiteCategory::PureData),
+            "vector sum",
+            "avx",
+            &explicit,
+        );
+        assert_eq!(base, explicit_key);
     }
 }

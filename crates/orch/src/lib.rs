@@ -45,13 +45,14 @@ pub mod observe;
 pub mod plan;
 pub mod queue;
 pub mod run;
+pub mod scenario;
 pub mod store;
 pub mod tracestore;
 
 pub use analytics::{
-    diff_stores, heatmaps, html_from_stores, load_cells, render_diff_text, render_heatmap_text,
-    render_html, DiffCell, DiffReport, LaneBitCell, MetricRow, OccupancyBucket, OccupancyProfile,
-    ReportInputs, SiteRow, StudyCell, WorkloadHeatmap,
+    diff_stores, heatmaps, heatmaps_filtered, html_from_stores, load_cells, render_diff_text,
+    render_heatmap_text, render_html, DiffCell, DiffReport, LaneBitCell, MetricRow,
+    OccupancyBucket, OccupancyProfile, ReportInputs, SiteRow, StudyCell, WorkloadHeatmap,
 };
 pub use crc::crc32;
 pub use key::{study_key, StudyKey};
@@ -63,6 +64,10 @@ pub use observe::{humanize, Progress, ProgressSnapshot};
 pub use plan::{covered_experiments, merge, merged_dyn_insts, missing_jobs, plan_shards, ShardJob};
 pub use queue::{JobQueue, JobRecord, JobState};
 pub use run::{run_shard, run_study_persistent, set_jobs, ProgressFn, RunOptions, RunOutcome};
+pub use scenario::{
+    cell_verdict, check_invariant, parse_scenario, render_verdicts, render_verdicts_json,
+    CellVerdict, GauntletReport, Invariant, InvariantVerdict, Scenario,
+};
 pub use store::{FsckReport, Manifest, ShardRecord, Store, StudyFsck, StudyStore};
 pub use tracestore::{
     summarize, CategorySummary, PropagationPercentiles, SiteSdcSummary, TraceLog, TraceShard,

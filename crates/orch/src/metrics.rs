@@ -22,7 +22,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 
 use vir::analysis::SiteCategory;
-use vulfi::Outcome;
+use vulfi::{FaultModel, Outcome, MODEL_KINDS};
 
 /// Upper bounds (inclusive) for shard-append latency, in nanoseconds:
 /// 100µs, 1ms, 10ms, 100ms, 1s, 10s; +Inf implicit.
@@ -105,6 +105,10 @@ impl Histogram {
 pub struct Metrics {
     /// `[category][outcome]` experiment counts.
     experiments: [[AtomicU64; 3]; 3],
+    /// `[fault-model kind][outcome]` experiment counts (gauntlet cells
+    /// running different models share one registry, so per-model rows
+    /// are what makes `GET /metrics` show which model is progressing).
+    by_model: [[AtomicU64; 3]; 7],
     shard_appends: AtomicU64,
     engine_faults: AtomicU64,
     store_retries: AtomicU64,
@@ -123,6 +127,7 @@ impl Metrics {
     pub fn new() -> Metrics {
         Metrics {
             experiments: Default::default(),
+            by_model: Default::default(),
             shard_appends: AtomicU64::new(0),
             engine_faults: AtomicU64::new(0),
             store_retries: AtomicU64::new(0),
@@ -139,6 +144,11 @@ impl Metrics {
     pub fn inc_experiment(&self, category: SiteCategory, outcome: Outcome) {
         self.experiments[category_index(category)][outcome_index(outcome)]
             .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one finished experiment under `model` with `outcome`.
+    pub fn inc_experiment_model(&self, model: FaultModel, outcome: Outcome) {
+        self.by_model[model.kind_index()][outcome_index(outcome)].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Count one shard append and record its latency.
@@ -176,8 +186,19 @@ impl Metrics {
                 });
             }
         }
+        let mut by_model = Vec::new();
+        for (mi, kind) in MODEL_KINDS.iter().enumerate() {
+            for (oi, out) in OUTCOMES.iter().enumerate() {
+                by_model.push(ModelCell {
+                    model: kind.to_string(),
+                    outcome: outcome_name(*out).to_string(),
+                    count: self.by_model[mi][oi].load(Ordering::Relaxed),
+                });
+            }
+        }
         MetricsSnapshot {
             experiments,
+            by_model,
             shard_appends: self.shard_appends.load(Ordering::Relaxed),
             engine_faults: self.engine_faults.load(Ordering::Relaxed),
             store_retries: self.store_retries.load(Ordering::Relaxed),
@@ -223,6 +244,14 @@ pub struct ExperimentCell {
     pub count: u64,
 }
 
+/// One `model × outcome` experiment-count cell.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ModelCell {
+    pub model: String,
+    pub outcome: String,
+    pub count: u64,
+}
+
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct CategoryHistogram {
     pub category: String,
@@ -233,6 +262,9 @@ pub struct CategoryHistogram {
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct MetricsSnapshot {
     pub experiments: Vec<ExperimentCell>,
+    /// Per-fault-model outcome counts (all seven kinds, zeros included,
+    /// so series never appear or vanish between scrapes).
+    pub by_model: Vec<ModelCell>,
     pub shard_appends: u64,
     pub engine_faults: u64,
     pub store_retries: u64,
@@ -284,6 +316,13 @@ pub fn render_prometheus(s: &MetricsSnapshot) -> String {
         out.push_str(&format!(
             "vulfi_experiments_total{{category=\"{}\",outcome=\"{}\"}} {}\n",
             cell.category, cell.outcome, cell.count
+        ));
+    }
+    out.push_str("# TYPE vulfi_experiments_by_model_total counter\n");
+    for cell in &s.by_model {
+        out.push_str(&format!(
+            "vulfi_experiments_by_model_total{{model=\"{}\",outcome=\"{}\"}} {}\n",
+            cell.model, cell.outcome, cell.count
         ));
     }
     out.push_str("# TYPE vulfi_shard_appends_total counter\n");
@@ -428,6 +467,37 @@ mod tests {
         assert_eq!(pd.histogram.counts[1], 1);
         assert_eq!(*pd.histogram.counts.last().unwrap(), 1);
         assert_eq!(pd.histogram.sum, 50_000_005.0);
+    }
+
+    #[test]
+    fn per_model_counters_label_by_kind() {
+        let m = Metrics::new();
+        m.inc_experiment_model(FaultModel::SingleBitFlip, Outcome::Sdc);
+        m.inc_experiment_model(FaultModel::MultiBitBurst { width: 4 }, Outcome::Crash);
+        m.inc_experiment_model(FaultModel::MultiBitBurst { width: 2 }, Outcome::Crash);
+
+        let s = m.snapshot();
+        // Every kind × outcome cell is present, zeros included.
+        assert_eq!(s.by_model.len(), MODEL_KINDS.len() * 3);
+        let cell = |model: &str, outcome: &str| {
+            s.by_model
+                .iter()
+                .find(|c| c.model == model && c.outcome == outcome)
+                .unwrap()
+                .count
+        };
+        assert_eq!(cell("single-bit-flip", "sdc"), 1);
+        // Parameterized variants of one kind share a row.
+        assert_eq!(cell("multi-bit-burst", "crash"), 2);
+        assert_eq!(cell("memory-cell", "benign"), 0);
+
+        let samples = parse_prometheus(&render_prometheus(&s)).unwrap();
+        let p = find(
+            &samples,
+            "vulfi_experiments_by_model_total",
+            &[("model", "multi-bit-burst"), ("outcome", "crash")],
+        );
+        assert_eq!(p.value, 2.0);
     }
 
     #[test]

@@ -167,6 +167,7 @@ mod tests {
             min_campaigns: 2,
             max_campaigns: 3,
             seed: 1,
+            ..StudyConfig::default()
         }
     }
 
@@ -243,6 +244,7 @@ mod tests {
             min_campaigns: 4,
             max_campaigns: 6,
             seed: 1,
+            ..StudyConfig::default()
         };
         assert!(merge(&cfg, SiteCategory::PureData, &[fake_record(0, 0, 10)]).is_none());
         let done: Vec<ShardRecord> = (0..4).map(|c| fake_record(c, 0, 10)).collect();

@@ -90,6 +90,12 @@ pub fn run_shard(
     job: ShardJob,
     traced: bool,
 ) -> Result<(ShardRecord, Vec<vulfi::ExperimentTrace>), OrchError> {
+    if prog.model != cfg.model {
+        return Err(OrchError(format!(
+            "prepared program injects '{}' but the study config says '{}'",
+            prog.model, cfg.model
+        )));
+    }
     let shard_start = Instant::now();
     let seed = campaign_seed(cfg.seed, job.campaign);
     let (experiments, spans) = if traced {
@@ -101,6 +107,7 @@ pub fn run_shard(
     let metrics = crate::metrics::global();
     for e in &experiments {
         metrics.inc_experiment(prog.category, e.outcome);
+        metrics.inc_experiment_model(prog.model, e.outcome);
     }
     for s in &spans {
         if let Some(p) = s.propagation {
@@ -137,6 +144,15 @@ pub fn run_study_persistent(
     opts: RunOptions,
 ) -> Result<RunOutcome, OrchError> {
     let started = Instant::now();
+    if prog.model != cfg.model {
+        // The model rides on both the prepared program (the injector
+        // reads it) and the config (the key hashes it); letting them
+        // diverge would cache results under the wrong key.
+        return Err(OrchError(format!(
+            "prepared program injects '{}' but the study config says '{}'",
+            prog.model, cfg.model
+        )));
+    }
     let key = study_key(prog, workload_name, isa, cfg);
     let study = store.study(&key);
     let plan = plan_shards(cfg, opts.shard_size);
@@ -221,6 +237,7 @@ pub fn run_study_persistent(
                     workload: workload_name.to_string(),
                     category: prog.category.name().to_string(),
                     isa: isa.to_string(),
+                    model: prog.model.name(),
                     traces: spans,
                 })?;
             }

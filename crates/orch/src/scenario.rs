@@ -1,0 +1,832 @@
+//! The gauntlet scenario DSL: a declarative fault-model × workload
+//! matrix with named resiliency invariants.
+//!
+//! A scenario file (TOML subset, or plain JSON) names the axes of an
+//! adversarial certification run — fault models, benchmarks, §II-C
+//! categories, ISAs — plus the invariants every expanded cell must
+//! hold:
+//!
+//! ```toml
+//! name = "smoke"
+//! models = ["single-bit-flip", "multi-bit-burst:2"]
+//! isas = ["avx", "sse"]
+//! benches = ["vector sum"]
+//! categories = ["pure-data"]
+//! experiments = 10
+//! campaigns = 4
+//! seed = 7
+//!
+//! [invariants]
+//! crash_rate_max = 60.0
+//! benign_floor = 1.0
+//! ```
+//!
+//! `vulfi gauntlet run` expands the matrix into ordinary studies (each
+//! with a content-addressed key, so reruns are cache hits and a killed
+//! gauntlet resumes), evaluates the invariants per cell, and exits
+//! non-zero on any breach.
+//!
+//! Invariant thresholds are **Wilson-interval aware**: a `*_max` bound
+//! breaches only when the *lower* 95% confidence bound exceeds it, and
+//! a `*_min`/`*_floor` bound only when the *upper* bound falls short —
+//! a small campaign cannot fail certification on sampling noise alone.
+//!
+//! Both parsers reject unknown fields: a typo'd `expermients` must not
+//! silently run a default-sized gauntlet.
+
+use vulfi::{wilson_interval_95, FaultModel, StudyResult, StudySpec};
+
+use crate::OrchError;
+
+/// One named threshold a gauntlet cell must satisfy. Rates are in
+/// percent (0–100), matching the paper's figures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Invariant {
+    /// SDC rate must stay at or below this (95% lower bound decides).
+    SdcRateMax(f64),
+    /// Crash rate must stay at or below this (95% lower bound decides).
+    CrashRateMax(f64),
+    /// Of the SDC experiments, at least this share must be flagged by a
+    /// detector (95% upper bound decides; vacuous with zero SDCs).
+    DetectorCoverageMin(f64),
+    /// Benign rate must reach at least this (95% upper bound decides).
+    BenignFloor(f64),
+}
+
+impl Invariant {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Invariant::SdcRateMax(_) => "sdc_rate_max",
+            Invariant::CrashRateMax(_) => "crash_rate_max",
+            Invariant::DetectorCoverageMin(_) => "detector_coverage_min",
+            Invariant::BenignFloor(_) => "benign_floor",
+        }
+    }
+
+    pub fn threshold(&self) -> f64 {
+        match self {
+            Invariant::SdcRateMax(t)
+            | Invariant::CrashRateMax(t)
+            | Invariant::DetectorCoverageMin(t)
+            | Invariant::BenignFloor(t) => *t,
+        }
+    }
+}
+
+/// A parsed, validated scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    pub name: String,
+    /// Fault-model names ([`FaultModel::parse`] forms).
+    pub models: Vec<String>,
+    pub isas: Vec<String>,
+    pub benches: Vec<String>,
+    pub categories: Vec<String>,
+    pub scale: String,
+    pub experiments: usize,
+    pub campaigns: usize,
+    pub seed: u64,
+    pub shard_size: usize,
+    pub detectors: bool,
+    pub invariants: Vec<Invariant>,
+}
+
+impl Scenario {
+    /// Expand the matrix into one [`StudySpec`] per cell, in the
+    /// deterministic order models → benches → categories → ISAs (the
+    /// order the verdict table prints).
+    pub fn expand(&self) -> Vec<StudySpec> {
+        let mut cells = Vec::new();
+        for model in &self.models {
+            for bench in &self.benches {
+                for category in &self.categories {
+                    for isa in &self.isas {
+                        cells.push(StudySpec {
+                            bench: bench.clone(),
+                            isa: isa.clone(),
+                            category: category.clone(),
+                            scale: self.scale.clone(),
+                            experiments: self.experiments,
+                            campaigns: self.campaigns,
+                            seed: self.seed,
+                            shard_size: self.shard_size,
+                            detectors: self.detectors,
+                            model: model.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        cells
+    }
+
+    /// Reject anything the gauntlet could not execute, with errors that
+    /// name the offending axis value. Every expanded cell must be a
+    /// valid [`StudySpec`].
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.trim().is_empty() {
+            return Err("scenario.name must be non-empty".to_string());
+        }
+        for (axis, values) in [
+            ("models", &self.models),
+            ("isas", &self.isas),
+            ("benches", &self.benches),
+            ("categories", &self.categories),
+        ] {
+            if values.is_empty() {
+                return Err(format!("scenario.{axis} must list at least one value"));
+            }
+        }
+        for spec in self.expand() {
+            spec.validate()?;
+        }
+        Ok(())
+    }
+}
+
+/// Parse a scenario document — TOML subset or JSON, auto-detected —
+/// and validate it.
+pub fn parse_scenario(text: &str) -> Result<Scenario, String> {
+    let doc = if text.trim_start().starts_with('{') {
+        serde_json::from_str::<serde::Value>(text).map_err(|e| format!("scenario JSON: {e}"))?
+    } else {
+        parse_toml(text)?
+    };
+    let s = scenario_from_value(&doc)?;
+    s.validate()?;
+    Ok(s)
+}
+
+/// Build a [`Scenario`] from a parsed document, overlaying provided
+/// fields onto the defaults and rejecting unknown ones.
+fn scenario_from_value(doc: &serde::Value) -> Result<Scenario, String> {
+    let obj = doc
+        .as_object()
+        .ok_or_else(|| "scenario must be a table/object".to_string())?;
+    let mut s = Scenario {
+        name: String::new(),
+        models: vec![FaultModel::default().name()],
+        isas: vec!["avx".to_string()],
+        benches: Vec::new(),
+        categories: vec!["pure-data".to_string()],
+        scale: "test".to_string(),
+        experiments: 25,
+        campaigns: 4,
+        seed: 42,
+        shard_size: 25,
+        detectors: false,
+        invariants: Vec::new(),
+    };
+    for (k, v) in obj {
+        let str_field = || {
+            v.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| format!("scenario.{k} must be a string"))
+        };
+        let str_list = || -> Result<Vec<String>, String> {
+            let arr = v
+                .as_array()
+                .ok_or_else(|| format!("scenario.{k} must be an array of strings"))?;
+            arr.iter()
+                .map(|e| {
+                    e.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| format!("scenario.{k} must be an array of strings"))
+                })
+                .collect()
+        };
+        let num_field = || {
+            v.as_u64()
+                .ok_or_else(|| format!("scenario.{k} must be a non-negative integer"))
+        };
+        match k.as_str() {
+            "name" => s.name = str_field()?,
+            "models" => s.models = str_list()?,
+            "isas" => s.isas = str_list()?,
+            "benches" => s.benches = str_list()?,
+            "categories" => s.categories = str_list()?,
+            "scale" => s.scale = str_field()?,
+            "experiments" => s.experiments = num_field()? as usize,
+            "campaigns" => s.campaigns = num_field()? as usize,
+            "seed" => s.seed = num_field()?,
+            "shard_size" => s.shard_size = num_field()? as usize,
+            "detectors" => {
+                s.detectors = v
+                    .as_bool()
+                    .ok_or_else(|| format!("scenario.{k} must be a boolean"))?
+            }
+            "invariants" => s.invariants = invariants_from_value(v)?,
+            other => return Err(format!("unknown scenario field '{other}'")),
+        }
+    }
+    Ok(s)
+}
+
+fn invariants_from_value(v: &serde::Value) -> Result<Vec<Invariant>, String> {
+    let obj = v
+        .as_object()
+        .ok_or_else(|| "scenario.invariants must be a table/object".to_string())?;
+    let mut out = Vec::new();
+    for (k, v) in obj {
+        let pct = v
+            .as_f64()
+            .ok_or_else(|| format!("invariant {k} must be a number"))?;
+        if !(0.0..=100.0).contains(&pct) {
+            return Err(format!("invariant {k} must be a percentage in 0..=100"));
+        }
+        out.push(match k.as_str() {
+            "sdc_rate_max" => Invariant::SdcRateMax(pct),
+            "crash_rate_max" => Invariant::CrashRateMax(pct),
+            "detector_coverage_min" => Invariant::DetectorCoverageMin(pct),
+            "benign_floor" => Invariant::BenignFloor(pct),
+            other => {
+                return Err(format!(
+                    "unknown invariant '{other}' (expected sdc_rate_max, crash_rate_max, \
+                     detector_coverage_min, or benign_floor)"
+                ))
+            }
+        });
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// TOML-subset parser
+// ---------------------------------------------------------------------
+
+/// Parse the TOML subset scenarios use into a document tree: top-level
+/// `key = value` pairs (strings, integers, floats, booleans, string
+/// arrays) and flat `[table]` sections. Anything fancier — nested
+/// tables, dates, multi-line strings — is a loud error, not a silent
+/// guess.
+pub fn parse_toml(text: &str) -> Result<serde::Value, String> {
+    let mut root: Vec<(String, serde::Value)> = Vec::new();
+    let mut table: Option<usize> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |m: String| format!("scenario line {}: {m}", lineno + 1);
+        if let Some(rest) = line.strip_prefix('[') {
+            let name = rest
+                .strip_suffix(']')
+                .ok_or_else(|| err("unterminated [table] header".to_string()))?
+                .trim();
+            if name.is_empty() || name.contains(['[', ']', '.']) {
+                return Err(err(format!("unsupported table name '{name}'")));
+            }
+            if root.iter().any(|(k, _)| k == name) {
+                return Err(err(format!("duplicate table [{name}]")));
+            }
+            root.push((name.to_string(), serde::Value::Object(Vec::new())));
+            table = Some(root.len() - 1);
+            continue;
+        }
+        let (k, v) = line
+            .split_once('=')
+            .ok_or_else(|| err("expected `key = value` or `[table]`".to_string()))?;
+        let key = k.trim();
+        if key.is_empty() {
+            return Err(err("empty key".to_string()));
+        }
+        let value = parse_toml_value(v.trim()).map_err(&err)?;
+        let target = match table {
+            Some(i) => match &mut root[i].1 {
+                serde::Value::Object(o) => o,
+                _ => unreachable!("tables are always objects"),
+            },
+            None => &mut root,
+        };
+        if target.iter().any(|(existing, _)| existing == key) {
+            return Err(err(format!("duplicate key '{key}'")));
+        }
+        target.push((key.to_string(), value));
+    }
+    Ok(serde::Value::Object(root))
+}
+
+/// Drop a `#` comment, but never one inside a quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+fn parse_toml_value(s: &str) -> Result<serde::Value, String> {
+    if s.is_empty() {
+        return Err("missing value".to_string());
+    }
+    if s.starts_with('"') {
+        return parse_toml_string(s).map(serde::Value::Str);
+    }
+    if let Some(body) = s.strip_prefix('[') {
+        let body = body
+            .strip_suffix(']')
+            .ok_or_else(|| "unterminated array".to_string())?;
+        let mut items = Vec::new();
+        for item in split_toml_array(body)? {
+            items.push(parse_toml_value(item.trim())?);
+        }
+        return Ok(serde::Value::Array(items));
+    }
+    match s {
+        "true" => return Ok(serde::Value::Bool(true)),
+        "false" => return Ok(serde::Value::Bool(false)),
+        _ => {}
+    }
+    if s.contains(['.', 'e', 'E']) {
+        if let Ok(f) = s.parse::<f64>() {
+            return Ok(serde::Value::Num(serde::Number::F(f)));
+        }
+    }
+    if let Ok(u) = s.parse::<u64>() {
+        return Ok(serde::Value::Num(serde::Number::U(u)));
+    }
+    if let Ok(i) = s.parse::<i64>() {
+        return Ok(serde::Value::Num(serde::Number::I(i)));
+    }
+    Err(format!("unsupported value {s:?}"))
+}
+
+fn parse_toml_string(s: &str) -> Result<String, String> {
+    let body = s
+        .strip_prefix('"')
+        .and_then(|b| b.strip_suffix('"'))
+        .ok_or_else(|| format!("unterminated string {s:?}"))?;
+    let mut out = String::new();
+    let mut chars = body.chars();
+    while let Some(c) = chars.next() {
+        if c == '"' {
+            return Err(format!("stray quote inside string {s:?}"));
+        }
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            other => return Err(format!("unsupported escape \\{:?}", other)),
+        }
+    }
+    Ok(out)
+}
+
+/// Split a TOML array body on top-level commas, respecting quotes.
+fn split_toml_array(body: &str) -> Result<Vec<&str>, String> {
+    let mut items = Vec::new();
+    let mut start = 0;
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in body.char_indices() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            ',' if !in_str => {
+                items.push(&body[start..i]);
+                start = i + 1;
+            }
+            '[' | ']' if !in_str => return Err("nested arrays are not supported".to_string()),
+            _ => {}
+        }
+        escaped = false;
+    }
+    if in_str {
+        return Err("unterminated string in array".to_string());
+    }
+    let tail = &body[start..];
+    if !tail.trim().is_empty() {
+        items.push(tail);
+    }
+    Ok(items)
+}
+
+// ---------------------------------------------------------------------
+// Invariant evaluation & verdicts
+// ---------------------------------------------------------------------
+
+/// One invariant's evaluation against one cell's counts.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct InvariantVerdict {
+    pub name: String,
+    /// The scenario's threshold, percent.
+    pub threshold: f64,
+    /// Point estimate of the governed rate, percent.
+    pub observed: f64,
+    /// Wilson 95% interval of the governed rate, percent.
+    pub lo: f64,
+    pub hi: f64,
+    pub breached: bool,
+    /// True when the invariant had nothing to judge (detector coverage
+    /// with zero SDCs); always a pass.
+    pub vacuous: bool,
+}
+
+/// Evaluate one invariant against a cell's outcome counts.
+pub fn check_invariant(inv: Invariant, r: &StudyResult) -> InvariantVerdict {
+    let c = &r.counts;
+    let n = c.total();
+    let pct = |successes: u64, n: u64| {
+        if n == 0 {
+            0.0
+        } else {
+            100.0 * successes as f64 / n as f64
+        }
+    };
+    let (successes, denom, vacuous) = match inv {
+        Invariant::SdcRateMax(_) => (c.sdc, n, false),
+        Invariant::CrashRateMax(_) => (c.crash, n, false),
+        Invariant::BenignFloor(_) => (c.benign, n, false),
+        Invariant::DetectorCoverageMin(_) => (c.sdc_detected, c.sdc, c.sdc == 0),
+    };
+    let (lo, hi) = wilson_interval_95(successes, denom);
+    let (lo, hi) = (100.0 * lo, 100.0 * hi);
+    let threshold = inv.threshold();
+    // *_max bounds breach only when even the optimistic (lower) bound
+    // exceeds them; *_min/floor bounds only when even the generous
+    // (upper) bound falls short. Sampling noise never fails a cell.
+    let breached = if vacuous {
+        false
+    } else {
+        match inv {
+            Invariant::SdcRateMax(t) | Invariant::CrashRateMax(t) => lo > t,
+            Invariant::DetectorCoverageMin(t) | Invariant::BenignFloor(t) => hi < t,
+        }
+    };
+    InvariantVerdict {
+        name: inv.name().to_string(),
+        threshold,
+        observed: pct(successes, denom),
+        lo,
+        hi,
+        breached,
+        vacuous,
+    }
+}
+
+/// One expanded gauntlet cell with its study result and invariant
+/// verdicts.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CellVerdict {
+    pub bench: String,
+    pub isa: String,
+    pub category: String,
+    pub model: String,
+    /// Content-addressed study key backing this cell.
+    pub key: String,
+    pub experiments: u64,
+    pub sdc: u64,
+    pub benign: u64,
+    pub crash: u64,
+    pub sdc_detected: u64,
+    /// SDC point estimate, percent.
+    pub sdc_rate: f64,
+    /// Whether the ±3 pp stopping rule converged within the campaign cap.
+    pub converged: bool,
+    pub invariants: Vec<InvariantVerdict>,
+}
+
+impl CellVerdict {
+    pub fn passed(&self) -> bool {
+        self.invariants.iter().all(|i| !i.breached)
+    }
+}
+
+/// Judge one finished cell against the scenario's invariants.
+pub fn cell_verdict(
+    spec: &StudySpec,
+    key: &str,
+    result: &StudyResult,
+    invariants: &[Invariant],
+) -> CellVerdict {
+    let c = &result.counts;
+    let n = c.total();
+    CellVerdict {
+        bench: spec.bench.clone(),
+        isa: spec.isa.clone(),
+        category: spec.category.clone(),
+        model: spec.model.clone(),
+        key: key.to_string(),
+        experiments: n,
+        sdc: c.sdc,
+        benign: c.benign,
+        crash: c.crash,
+        sdc_detected: c.sdc_detected,
+        sdc_rate: if n == 0 {
+            0.0
+        } else {
+            100.0 * c.sdc as f64 / n as f64
+        },
+        converged: result.converged,
+        invariants: invariants
+            .iter()
+            .map(|inv| check_invariant(*inv, result))
+            .collect(),
+    }
+}
+
+/// A full gauntlet run's verdicts, in matrix expansion order.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GauntletReport {
+    pub scenario: String,
+    pub cells: Vec<CellVerdict>,
+}
+
+impl GauntletReport {
+    pub fn passed(&self) -> bool {
+        self.cells.iter().all(CellVerdict::passed)
+    }
+
+    pub fn breaches(&self) -> usize {
+        self.cells
+            .iter()
+            .flat_map(|c| &c.invariants)
+            .filter(|i| i.breached)
+            .count()
+    }
+}
+
+/// Render the QRES-style verdict table plus one detail line per breach.
+pub fn render_verdicts(report: &GauntletReport) -> String {
+    let headers = [
+        "bench", "isa", "category", "model", "n", "sdc%", "crash%", "verdict",
+    ];
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for c in &report.cells {
+        let verdict = if c.passed() {
+            "PASS".to_string()
+        } else {
+            let names: Vec<&str> = c
+                .invariants
+                .iter()
+                .filter(|i| i.breached)
+                .map(|i| i.name.as_str())
+                .collect();
+            format!("FAIL ({})", names.join(", "))
+        };
+        rows.push(vec![
+            c.bench.clone(),
+            c.isa.clone(),
+            c.category.clone(),
+            c.model.clone(),
+            c.experiments.to_string(),
+            format!("{:.1}", c.sdc_rate),
+            format!(
+                "{:.1}",
+                if c.experiments == 0 {
+                    0.0
+                } else {
+                    100.0 * c.crash as f64 / c.experiments as f64
+                }
+            ),
+            verdict,
+        ]);
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for r in &rows {
+        for (i, cell) in r.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = format!("gauntlet '{}':\n", report.scenario);
+    let mut line = String::new();
+    for (i, h) in headers.iter().enumerate() {
+        line.push_str(&format!("{:w$}  ", h, w = widths[i]));
+    }
+    out.push_str(line.trim_end());
+    out.push('\n');
+    for r in &rows {
+        let mut line = String::new();
+        for (i, cell) in r.iter().enumerate() {
+            line.push_str(&format!("{:w$}  ", cell, w = widths[i]));
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    for c in &report.cells {
+        for i in c.invariants.iter().filter(|i| i.breached) {
+            out.push_str(&format!(
+                "breach: {}/{}/{}/{}: {} {} (observed {:.1}%, 95% CI [{:.1}, {:.1}])\n",
+                c.bench, c.isa, c.category, c.model, i.name, i.threshold, i.observed, i.lo, i.hi
+            ));
+        }
+    }
+    let verdict_word = if report.passed() { "PASS" } else { "FAIL" };
+    out.push_str(&format!(
+        "{} cells, {} breaches: {}\n",
+        report.cells.len(),
+        report.breaches(),
+        verdict_word
+    ));
+    out
+}
+
+/// Encode a report as JSON (`vulfi gauntlet run --json`).
+pub fn render_verdicts_json(report: &GauntletReport) -> Result<String, OrchError> {
+    serde_json::to_string_pretty(report)
+        .map_err(|e| OrchError(format!("encode gauntlet report: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vir::analysis::SiteCategory;
+    use vulfi::{OutcomeCounts, StudySummary};
+
+    const SMOKE: &str = r#"
+# A comment with a "quote" and an = sign.
+name = "smoke" # trailing comment
+models = ["single-bit-flip", "multi-bit-burst:2"]
+isas = ["avx", "sse"]
+benches = ["vector sum"]
+categories = ["pure-data"]
+experiments = 10
+campaigns = 4
+seed = 7
+shard_size = 5
+detectors = true
+
+[invariants]
+crash_rate_max = 60.0
+benign_floor = 1.0
+"#;
+
+    fn result(sdc: u64, benign: u64, crash: u64, sdc_detected: u64) -> StudyResult {
+        StudyResult {
+            category: SiteCategory::PureData,
+            samples: vec![],
+            summary: StudySummary::from_samples(&[0.0]),
+            counts: OutcomeCounts {
+                sdc,
+                benign,
+                crash,
+                sdc_detected,
+                detected: sdc_detected,
+            },
+            converged: true,
+        }
+    }
+
+    #[test]
+    fn toml_scenario_parses_and_expands_in_order() {
+        let s = parse_scenario(SMOKE).unwrap();
+        assert_eq!(s.name, "smoke");
+        assert_eq!(s.models.len(), 2);
+        assert_eq!(s.seed, 7);
+        assert!(s.detectors);
+        assert_eq!(s.invariants.len(), 2);
+
+        let cells = s.expand();
+        assert_eq!(cells.len(), 4, "2 models × 1 bench × 1 category × 2 isas");
+        // Models vary slowest, ISAs fastest.
+        assert_eq!(cells[0].model, "single-bit-flip");
+        assert_eq!(cells[0].isa, "avx");
+        assert_eq!(cells[1].isa, "sse");
+        assert_eq!(cells[2].model, "multi-bit-burst:2");
+        for c in &cells {
+            assert_eq!(c.experiments, 10);
+            assert_eq!(c.shard_size, 5);
+            c.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn json_scenario_accepted() {
+        let s = parse_scenario(
+            r#"{"name": "j", "benches": ["vector sum"], "models": ["memory-cell"],
+                "invariants": {"sdc_rate_max": 99.0}}"#,
+        )
+        .unwrap();
+        assert_eq!(s.models, vec!["memory-cell".to_string()]);
+        assert_eq!(s.invariants, vec![Invariant::SdcRateMax(99.0)]);
+        // Unlisted axes fall back to defaults.
+        assert_eq!(s.isas, vec!["avx".to_string()]);
+    }
+
+    #[test]
+    fn unknown_fields_and_bad_values_are_loud() {
+        let e = parse_scenario("name = \"x\"\nbenches = [\"vector sum\"]\nexpermients = 3\n")
+            .unwrap_err();
+        assert!(e.contains("expermients"), "{e}");
+
+        let e = parse_scenario(
+            "name = \"x\"\nbenches = [\"vector sum\"]\n[invariants]\nsdc_max = 5.0\n",
+        )
+        .unwrap_err();
+        assert!(e.contains("sdc_max") && e.contains("sdc_rate_max"), "{e}");
+
+        let e =
+            parse_scenario("name = \"x\"\nbenches = [\"vector sum\"]\nmodels = [\"warp-core\"]\n")
+                .unwrap_err();
+        assert!(e.contains("warp-core"), "{e}");
+
+        let e = parse_scenario("name = \"x\"\nbenches = []\n").unwrap_err();
+        assert!(e.contains("benches"), "{e}");
+
+        assert!(parse_toml("key value\n").is_err());
+        assert!(parse_toml("[unterminated\n").is_err());
+        assert!(parse_toml("a = 1\na = 2\n").is_err());
+        assert!(parse_toml("a = [1, [2]]\n").is_err());
+        assert!(parse_toml("a = \"unterminated\n").is_err());
+    }
+
+    #[test]
+    fn invariants_are_wilson_aware() {
+        // 50/100 SDCs: the 95% interval is roughly [40.4, 59.6].
+        let r = result(50, 40, 10, 0);
+        let v = check_invariant(Invariant::SdcRateMax(45.0), &r);
+        assert!(
+            !v.breached,
+            "point estimate above the threshold is not a breach while the \
+             interval still straddles it: {v:?}"
+        );
+        let v = check_invariant(Invariant::SdcRateMax(40.0), &r);
+        assert!(v.breached, "{v:?}");
+        assert!(v.lo > 40.0 && v.lo < 41.0, "{v:?}");
+        assert_eq!(v.observed, 50.0);
+
+        // 0/100 benign: upper bound ≈ 3.7%.
+        let r = result(90, 0, 10, 0);
+        assert!(check_invariant(Invariant::BenignFloor(5.0), &r).breached);
+        assert!(!check_invariant(Invariant::BenignFloor(2.0), &r).breached);
+
+        // Crash bound works off the crash count.
+        let r = result(10, 40, 50, 0);
+        assert!(check_invariant(Invariant::CrashRateMax(40.0), &r).breached);
+
+        // Detector coverage: 9 of 10 SDCs flagged → CI ≈ [59.6, 98.2].
+        let r = result(10, 80, 10, 9);
+        assert!(check_invariant(Invariant::DetectorCoverageMin(99.0), &r).breached);
+        assert!(!check_invariant(Invariant::DetectorCoverageMin(95.0), &r).breached);
+        // Zero SDCs → vacuous pass no matter the threshold.
+        let r = result(0, 100, 0, 0);
+        let v = check_invariant(Invariant::DetectorCoverageMin(100.0), &r);
+        assert!(v.vacuous && !v.breached, "{v:?}");
+    }
+
+    #[test]
+    fn verdict_table_names_breaches_and_round_trips_json() {
+        let spec = StudySpec {
+            bench: "vector sum".to_string(),
+            ..StudySpec::default()
+        };
+        let good = cell_verdict(
+            &spec,
+            "k1",
+            &result(5, 90, 5, 0),
+            &[Invariant::SdcRateMax(50.0)],
+        );
+        let bad = cell_verdict(
+            &spec,
+            "k2",
+            &result(95, 0, 5, 0),
+            &[Invariant::SdcRateMax(50.0)],
+        );
+        assert!(good.passed());
+        assert!(!bad.passed());
+        let report = GauntletReport {
+            scenario: "t".to_string(),
+            cells: vec![good, bad],
+        };
+        assert!(!report.passed());
+        assert_eq!(report.breaches(), 1);
+        let text = render_verdicts(&report);
+        assert!(text.contains("PASS"), "{text}");
+        assert!(text.contains("FAIL (sdc_rate_max)"), "{text}");
+        assert!(
+            text.contains("breach: vector sum/avx/pure-data/single-bit-flip"),
+            "{text}"
+        );
+        assert!(text.contains("2 cells, 1 breaches: FAIL"), "{text}");
+
+        let json = render_verdicts_json(&report).unwrap();
+        let back: GauntletReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn comment_stripping_respects_strings() {
+        assert_eq!(strip_comment("a = \"x # y\" # real"), "a = \"x # y\" ");
+        assert_eq!(strip_comment("# whole line"), "");
+        let v = parse_toml("a = \"x # y\"\n").unwrap();
+        assert_eq!(v.get("a").unwrap().as_str().unwrap(), "x # y");
+    }
+}

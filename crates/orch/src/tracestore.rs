@@ -37,7 +37,7 @@ use crate::OrchError;
 
 /// One traced shard: the spans of a contiguous run of experiments of
 /// one campaign, plus enough study identity to be read standalone.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceShard {
     pub campaign: usize,
     /// Experiment index range `[start, end)` within the campaign.
@@ -47,7 +47,45 @@ pub struct TraceShard {
     /// §II-C category the study injected (`pure-data`/`control`/`address`).
     pub category: String,
     pub isa: String,
+    /// Fault model the study injected (full parameterized name, e.g.
+    /// `multi-bit-burst:2`).
+    pub model: String,
     pub traces: Vec<ExperimentTrace>,
+}
+
+// Manual serde: trace logs written before the fault model existed have
+// no `model` key; read them as single-bit-flip instead of erroring.
+impl serde::Serialize for TraceShard {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("campaign".to_string(), self.campaign.to_value()),
+            ("start".to_string(), self.start.to_value()),
+            ("end".to_string(), self.end.to_value()),
+            ("workload".to_string(), self.workload.to_value()),
+            ("category".to_string(), self.category.to_value()),
+            ("isa".to_string(), self.isa.to_value()),
+            ("model".to_string(), self.model.to_value()),
+            ("traces".to_string(), self.traces.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for TraceShard {
+    fn from_value(v: &serde::Value) -> Result<TraceShard, serde::DeError> {
+        Ok(TraceShard {
+            campaign: serde::field(v, "campaign")?,
+            start: serde::field(v, "start")?,
+            end: serde::field(v, "end")?,
+            workload: serde::field(v, "workload")?,
+            category: serde::field(v, "category")?,
+            isa: serde::field(v, "isa")?,
+            model: match v.get("model") {
+                Some(m) => String::from_value(m)?,
+                None => vulfi::FaultModel::default().name(),
+            },
+            traces: serde::field(v, "traces")?,
+        })
+    }
 }
 
 /// A directory of per-study trace logs.
@@ -331,6 +369,7 @@ pub fn summarize(store: &TraceStore, top_n: usize) -> Result<TraceSummary, OrchE
 #[cfg(test)]
 mod tests {
     use super::*;
+    use serde::{Deserialize as _, Serialize as _};
 
     fn span(
         index: usize,
@@ -369,6 +408,7 @@ mod tests {
             workload: "W".to_string(),
             category: "pure-data".to_string(),
             isa: "avx".to_string(),
+            model: "single-bit-flip".to_string(),
             traces,
         }
     }
@@ -394,6 +434,29 @@ mod tests {
         assert_eq!(shards[0].traces[0].outcome, Outcome::Sdc);
         assert_eq!(store.studies().unwrap(), vec![key]);
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pre_model_shard_lines_read_as_single_bit_flip() {
+        // A shard serialized without the `model` key (the on-disk shape
+        // before fault models existed) must still deserialize.
+        let mut legacy = shard(2, 5, vec![span(5, Outcome::Sdc, 1, None)]);
+        legacy.model = "multi-bit-burst:2".to_string();
+        let v = legacy.to_value();
+        let stripped = serde::Value::Object(
+            v.as_object()
+                .unwrap()
+                .iter()
+                .filter(|(k, _)| k != "model")
+                .cloned()
+                .collect(),
+        );
+        let back = TraceShard::from_value(&stripped).unwrap();
+        assert_eq!(back.model, "single-bit-flip");
+        assert_eq!(back.campaign, 2);
+        assert_eq!(back.traces.len(), 1);
+        // And with the key present it round-trips exactly.
+        assert_eq!(TraceShard::from_value(&v).unwrap(), legacy);
     }
 
     #[test]

@@ -43,6 +43,7 @@ fn cfg() -> StudyConfig {
         min_campaigns: 4,
         max_campaigns: 5,
         seed: 0x000C_4A05,
+        ..StudyConfig::default()
     }
 }
 
@@ -329,6 +330,7 @@ proptest! {
             min_campaigns: 4,
             max_campaigns: 4,
             seed: 0x0BAD_C0DE,
+            ..StudyConfig::default()
         };
         let prog = prepare(&w, SiteCategory::PureData).unwrap();
         let reference = run_study(&prog, &w, &cfg).unwrap();

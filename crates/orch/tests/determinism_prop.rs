@@ -43,6 +43,7 @@ proptest! {
             min_campaigns: 4,
             max_campaigns: 4,
             seed: 0x5EED_0000 + seed,
+            ..StudyConfig::default()
         };
         let reference = run_study(prog(), workload(), &cfg).unwrap();
 

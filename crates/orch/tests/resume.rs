@@ -18,6 +18,7 @@ fn cfg() -> StudyConfig {
         min_campaigns: 4,
         max_campaigns: 5,
         seed: 0xABCD,
+        ..StudyConfig::default()
     }
 }
 

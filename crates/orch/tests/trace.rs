@@ -25,6 +25,7 @@ fn cfg() -> StudyConfig {
         min_campaigns: 4,
         max_campaigns: 5,
         seed: 0x7ACE_5EED,
+        ..StudyConfig::default()
     }
 }
 

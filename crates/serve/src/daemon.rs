@@ -221,6 +221,7 @@ pub fn spec_from_value(doc: &Value) -> Result<StudySpec, String> {
             "campaigns" => spec.campaigns = num_field()? as usize,
             "seed" => spec.seed = num_field()?,
             "shard_size" => spec.shard_size = num_field()? as usize,
+            "model" => spec.model = str_field()?,
             "detectors" => {
                 spec.detectors = v
                     .as_bool()
@@ -438,7 +439,8 @@ fn work_on(shared: &Arc<Shared>, active: &Arc<ActiveStudy>, worker: &str) -> Res
     let category = spec.site_category()?;
     let cfg = spec.study_config();
     with_workload(spec, |w| {
-        let prog = vulfi::prepare(w, category).map_err(|e| e.to_string())?;
+        let mut prog = vulfi::prepare(w, category).map_err(|e| e.to_string())?;
+        prog.model = cfg.model;
         let derived = vulfi_orch::study_key(&prog, w.name(), &spec.isa, &cfg);
         if derived.0 != active.key.0 {
             return Err(format!(

@@ -83,7 +83,8 @@ fn reference_result(spec: &StudySpec) -> vulfi::StudyResult {
     let category = spec.site_category().unwrap();
     let cfg = spec.study_config();
     vulfi_serve::with_workload(spec, |w| {
-        let prog = vulfi::prepare(w, category).map_err(|e| e.to_string())?;
+        let mut prog = vulfi::prepare(w, category).map_err(|e| e.to_string())?;
+        prog.model = cfg.model;
         let out = vulfi_orch::run_study_persistent(
             &prog,
             w,
@@ -186,6 +187,61 @@ fn submitted_study_completes_and_matches_in_process_run() {
     assert_eq!(status, 200);
     daemon.join().unwrap();
     assert!(!store.join("serve.addr").exists());
+}
+
+#[test]
+fn submitted_fault_model_executes_and_matches_in_process_run() {
+    let store = temp_store("model");
+    let (client, daemon) = start_daemon(&store, 2);
+
+    let doc = serde_json::json!({
+        "bench": "vector sum",
+        "experiments": 8u64,
+        "campaigns": 2u64,
+        "shard_size": 4u64,
+        "model": "memory-cell",
+    });
+    let (status, resp) = client.post("/studies", &doc, &[]).unwrap();
+    assert_eq!(status, 202, "{resp:?}");
+    let key = resp
+        .get("key")
+        .and_then(|v| v.as_str())
+        .unwrap()
+        .to_string();
+
+    // Non-default models live under their own key — no collision with
+    // the default-model study of the same spec.
+    let (_, default_resp) = client.post("/studies", &spec_doc(8, 2), &[]).unwrap();
+    assert_ne!(
+        default_resp.get("key").and_then(|v| v.as_str()),
+        Some(key.as_str()),
+        "memory-cell must not share the default model's key"
+    );
+
+    // `wait_complete` asserts the job never fails: the worker's shard
+    // runner rejects a prepared program whose model contradicts the
+    // config, so a worker that forgot to carry the model over dies here.
+    let final_doc = wait_complete(&client, &key, Duration::from_secs(60));
+
+    let spec = StudySpec {
+        bench: "vector sum".to_string(),
+        experiments: 8,
+        campaigns: 2,
+        shard_size: 4,
+        model: "memory-cell".to_string(),
+        ..StudySpec::default()
+    };
+    let reference = reference_result(&spec);
+    assert_eq!(
+        serde_json::to_string(final_doc.get("result").unwrap()).unwrap(),
+        serde_json::to_string(&result_doc(&reference)).unwrap(),
+        "service must execute the submitted fault model, bit-identical to in-process"
+    );
+
+    client
+        .post("/shutdown", &serde_json::json!({}), &[])
+        .unwrap();
+    daemon.join().unwrap();
 }
 
 #[test]

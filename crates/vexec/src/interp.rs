@@ -18,6 +18,7 @@ use vir::{
     Terminator, Type, ValueId,
 };
 
+use crate::fault::EngineInjector;
 use crate::mem::{Memory, Trap};
 use crate::profile::InstMix;
 use crate::trace::{fold_bits, TraceEvent, TraceSink};
@@ -66,6 +67,7 @@ pub struct Interp<'m> {
     deadline: Option<Instant>,
     mix: Option<InstMix>,
     trace: Option<&'m mut dyn TraceSink>,
+    fault: Option<&'m mut EngineInjector>,
 }
 
 impl<'m> Interp<'m> {
@@ -78,7 +80,35 @@ impl<'m> Interp<'m> {
             deadline: None,
             mix: None,
             trace: None,
+            fault: None,
         }
+    }
+
+    /// Install an engine-level fault injector (see [`crate::fault`]).
+    ///
+    /// Value-register fault models never need this; it exists for the
+    /// models that corrupt interpreter state the instrumented injection
+    /// API cannot reach: mask registers, address operands, and guarded
+    /// memory cells. With no injector installed the hooks cost a single
+    /// `Option` test, exactly like the trace sink.
+    pub fn set_engine_injector(&mut self, inj: &'m mut EngineInjector) {
+        self.fault = Some(inj);
+    }
+
+    /// Route a guarded-access address through the engine injector.
+    fn fault_addr(&mut self, addr: u64) -> u64 {
+        match self.fault.as_deref_mut() {
+            Some(inj) => inj.on_mem_access(self.executed, addr),
+            None => addr,
+        }
+    }
+
+    /// Route a masked-intrinsic mask register through the engine
+    /// injector. `None` when no injector is installed (use the original
+    /// mask, avoiding a clone on the default path).
+    fn fault_mask(&mut self, mask: &RtVal) -> Option<RtVal> {
+        let inj = self.fault.as_deref_mut()?;
+        Some(inj.on_mask(self.executed, mask))
     }
 
     /// Install an architectural-event observer (see [`crate::trace`]).
@@ -250,6 +280,9 @@ impl<'m> Interp<'m> {
                     return Err(Trap::WallClock);
                 }
             }
+        }
+        if let Some(inj) = self.fault.as_deref_mut() {
+            inj.on_step(self.executed, &mut self.mem);
         }
         Ok(())
     }
@@ -453,6 +486,7 @@ impl<'m> Interp<'m> {
             }
             InstKind::Load { ptr } => {
                 let addr = ev(self, ptr)?.scalar().as_u64();
+                let addr = self.fault_addr(addr);
                 match ty {
                     Type::Scalar(s) => Ok(Some(RtVal::Scalar(self.mem.read_scalar(s, addr)?))),
                     Type::Vector(s, n) => {
@@ -468,6 +502,7 @@ impl<'m> Interp<'m> {
             InstKind::Store { val, ptr } => {
                 let v = ev(self, val)?;
                 let addr = ev(self, ptr)?.scalar().as_u64();
+                let addr = self.fault_addr(addr);
                 match &v {
                     RtVal::Scalar(s) => self.mem.write_scalar(addr, *s)?,
                     RtVal::Vector(e, lanes) => {
@@ -583,8 +618,9 @@ impl<'m> Interp<'m> {
         match intr {
             Intrinsic::MaskLoad { lanes, elem } => {
                 need(2)?;
-                let addr = args[0].scalar().as_u64();
-                let mask = &args[1];
+                let addr = self.fault_addr(args[0].scalar().as_u64());
+                let faulted = self.fault_mask(&args[1]);
+                let mask = faulted.as_ref().unwrap_or(&args[1]);
                 let mut out = Vec::with_capacity(lanes as usize);
                 for i in 0..lanes as usize {
                     if mask.lane(i).mask_active() {
@@ -597,8 +633,9 @@ impl<'m> Interp<'m> {
             }
             Intrinsic::MaskStore { lanes, elem } => {
                 need(3)?;
-                let addr = args[0].scalar().as_u64();
-                let mask = &args[1];
+                let addr = self.fault_addr(args[0].scalar().as_u64());
+                let faulted = self.fault_mask(&args[1]);
+                let mask = faulted.as_ref().unwrap_or(&args[1]);
                 let val = &args[2];
                 for i in 0..lanes as usize {
                     if mask.lane(i).mask_active() {

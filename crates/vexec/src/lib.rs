@@ -37,6 +37,7 @@
 //! assert_eq!(out.ret.unwrap().scalar().as_f32(), 7.0);
 //! ```
 
+pub mod fault;
 pub mod interp;
 pub mod mem;
 pub mod opt;
@@ -44,6 +45,7 @@ pub mod profile;
 pub mod trace;
 pub mod value;
 
+pub use fault::{EngineInjection, EngineInjector, EngineModel};
 pub use interp::{ExecResult, HostEnv, Interp, NoHost};
 pub use mem::{Memory, Trap};
 pub use profile::InstMix;

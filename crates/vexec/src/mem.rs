@@ -147,6 +147,33 @@ impl Memory {
         self.regions.iter().map(|r| r.size).sum()
     }
 
+    /// Flip bit `bit` (mod 8) of the `k`-th live allocated byte (counted
+    /// in allocation order, `k` taken mod the allocated total), returning
+    /// `(addr, before, after)`. The memory-cell fault-model primitive:
+    /// deterministic given the allocation history, `None` when nothing is
+    /// allocated.
+    pub fn corrupt_byte(&mut self, k: u64, bit: u32) -> Option<(u64, u8, u8)> {
+        let total = self.allocated_bytes();
+        if total == 0 {
+            return None;
+        }
+        let mut k = k % total;
+        let mut addr = None;
+        for r in &self.regions {
+            if k < r.size {
+                addr = Some(r.base + k);
+                break;
+            }
+            k -= r.size;
+        }
+        let addr = addr?;
+        let off = (addr - BASE_ADDR) as usize;
+        let before = self.data[off];
+        let after = before ^ (1u8 << (bit % 8));
+        self.data[off] = after;
+        Some((addr, before, after))
+    }
+
     /// Cap the address space at `bytes` beyond the base address. Future
     /// allocations past the ceiling raise [`Trap::OutOfMemory`]; existing
     /// allocations are unaffected. Campaigns use this so a fault-induced

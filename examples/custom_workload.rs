@@ -119,6 +119,7 @@ fn main() {
         min_campaigns: 4,
         max_campaigns: 8,
         seed: 1,
+        ..StudyConfig::default()
     };
     println!(
         "{:<10} {:>7} {:>8} {:>7} {:>11} {:>7}",

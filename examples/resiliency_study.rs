@@ -19,6 +19,7 @@ fn main() {
         min_campaigns: 4,
         max_campaigns: 10,
         seed: 0x2016,
+        ..StudyConfig::default()
     };
     println!(
         "Black-Scholes resiliency study: {} experiments/campaign, \
