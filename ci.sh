@@ -26,20 +26,46 @@ grep -q '^vulfi_experiments_total' "$SMOKE/metrics.prom"
 # Analytics smoke tests: diffing a store against itself must flag
 # nothing, and the HTML report must render self-contained with its
 # heatmap section.
-./target/release/vulfi report diff "$SMOKE/store" "$SMOKE/store" | grep -q '0 significant'
+./target/release/vulfi report diff "$SMOKE/store" "$SMOKE/store" | grep '0 significant' > /dev/null
 ./target/release/vulfi report heatmap --trace "$SMOKE/trace" > /dev/null
 ./target/release/vulfi report html --store "$SMOKE/store" --trace "$SMOKE/trace" \
     --metrics-in "$SMOKE/metrics.prom" -o "$SMOKE/report.html"
 grep -q 'id="heatmap"' "$SMOKE/report.html"
 grep -q 'id="diff"' "$SMOKE/report.html"
+grep -q 'id="analysis"' "$SMOKE/report.html"
 ! grep -q '<script' "$SMOKE/report.html"
+
+# Static-analysis smoke tests: the analyzer must report a benign
+# fraction for a benchmark, the whole built-in suite must stay
+# lint-clean against the committed baseline, and a deliberately dirty
+# module must flip the exit code under --deny — the lint gate is only a
+# gate if a finding actually fails the build.
+./target/release/vulfi analyze --bench "vector sum" | grep 'provably benign' > /dev/null
+./target/release/vulfi lint --suite --deny > /dev/null
+./target/release/vulfi lint --suite --json -o "$SMOKE/lint.json"
+diff -u LINT_BASELINE.json "$SMOKE/lint.json"
+printf 'define void @ds(i32 %%x) {\nentry:\n  %%p = alloca i32, i64 1\n  store i32 %%x, ptr %%p\n  ret void\n}\n' \
+    > "$SMOKE/dirty.vir"
+! ./target/release/vulfi lint "$SMOKE/dirty.vir" --deny > /dev/null
+./target/release/vulfi sites "$SMOKE/dirty.vir" --json -o "$SMOKE/sites.json"
+grep -q '"sites"' "$SMOKE/sites.json"
+
+# Pruning smoke test: a pruned study must discharge injections without
+# execution, and the soundness gauntlet must cross-validate the
+# analyzer's benign proofs against fully-executed studies — zero
+# predicted-benign injections may land as SDC/Crash or trip a detector.
+./target/release/vulfi study --bench "vector sum" --experiments 20 --campaigns 5 \
+    --seed 7 --shard-size 10 --prune --store "$SMOKE/pruned" \
+    | grep 'statically discharged' > /dev/null
+./target/release/vulfi gauntlet run scenarios/soundness.toml --store "$SMOKE/soundness" \
+    | grep '0 breaches: PASS' > /dev/null
 
 # Gauntlet smoke test: the committed scenario (3 fault models x 2 ISAs
 # x 2 benchmarks) must pass its invariants, render into the HTML report,
 # and a deliberately impossible invariant must flip the exit code — the
 # gauntlet is only a gate if a breach actually fails the build.
 ./target/release/vulfi gauntlet run scenarios/smoke.toml --store "$SMOKE/gauntlet" \
-    | grep -q '0 breaches: PASS'
+    | grep '0 breaches: PASS' > /dev/null
 ./target/release/vulfi gauntlet report scenarios/smoke.toml --store "$SMOKE/gauntlet" \
     -o "$SMOKE/gauntlet.html" > /dev/null
 grep -q 'id="gauntlet"' "$SMOKE/gauntlet.html"
@@ -55,10 +81,11 @@ grep -q 'FAIL (sdc_rate_max)' "$SMOKE/breach.out"
     -o "$SMOKE/BENCH_report.json" > /dev/null
 grep -q 'exp_per_sec' "$SMOKE/BENCH_report.json"
 
-# Throughput gate: re-run the micro-benchmarks against the committed
-# baseline; any >30% exp/s regression fails the build. Re-record with
-# `vulfi bench --experiments 400 --record` when a slowdown is intended.
-./target/release/vulfi bench --experiments 400 --check BENCH_report.json
+# Throughput gate: re-run the micro-benchmarks (full and pruned pairs)
+# against the committed baseline; any >30% exp/s regression fails the
+# build. Re-record with `vulfi bench --experiments 400 --prune --record`
+# when a slowdown is intended.
+./target/release/vulfi bench --experiments 400 --prune --check BENCH_report.json
 
 # Service smoke test: daemon on an ephemeral port, submit over HTTP,
 # wait for the merged result, pull the analytics report, drain
@@ -73,9 +100,12 @@ ADDR=$(cat "$SMOKE/serve/serve.addr")
 ./target/release/vulfi submit --addr "$ADDR" --bench "vector sum" \
     --experiments 12 --campaigns 5 --shard-size 5 --wait --json > "$SMOKE/submit.json"
 grep -q '"mean_sdc"' "$SMOKE/submit.json"
-KEY=$(./target/release/vulfi status --addr "$ADDR" --json \
-    | grep -o '"key": "[a-f0-9]*"' | head -1 | cut -d'"' -f4)
-./target/release/vulfi status --addr "$ADDR" "$KEY" --report | grep -q '"cell"'
+# Capture to a file first: `head -1` closing the pipe early would kill
+# the writer with SIGPIPE/broken-pipe under `pipefail`.
+./target/release/vulfi status --addr "$ADDR" --json > "$SMOKE/status.json"
+KEY=$(grep -o '"key": "[a-f0-9]*"' "$SMOKE/status.json" | head -1 | cut -d'"' -f4)
+./target/release/vulfi status --addr "$ADDR" "$KEY" --report > "$SMOKE/status_report.json"
+grep -q '"cell"' "$SMOKE/status_report.json"
 ./target/release/vulfi shutdown --addr "$ADDR" > /dev/null
 wait "$SERVE_PID"
 test ! -e "$SMOKE/serve/serve.addr"

@@ -34,14 +34,17 @@ fn main() -> ExitCode {
 
 fn usage() -> String {
     "usage:\n  vulfi compile <file> [--isa avx|sse] [-o out.vir]\n  \
-     vulfi sites <file> [--isa avx|sse] [--func NAME]\n  \
+     vulfi sites <file> [--isa avx|sse] [--func NAME] [--json] [-o PATH]\n  \
+     vulfi analyze <file>|--bench NAME [--isa avx|sse] [--func NAME] [--json] [-o PATH]\n  \
+     vulfi lint <file>|--suite [--isa avx|sse] [--func NAME] [--deny] [--json] [-o PATH]\n  \
      vulfi instrument <file> --category pure-data|control|address [--func NAME]\n  \
      vulfi detect <file> [--func NAME] [--uniform]\n  \
      vulfi campaign --bench NAME [--isa avx|sse] [--category CAT] [--experiments N] [--seed N] [--detectors]\n         \
      [--strict] [--wall-limit-ms N] [--mem-limit-mb N]\n  \
      vulfi study --bench NAME [--isa avx|sse] [--category CAT] [--experiments N] [--campaigns N] [--seed N]\n         \
      [--store DIR] [--resume] [--jobs N] [--shard-size N] [--json] [--detectors] [--model M]\n         \
-     [--strict] [--wall-limit-ms N] [--mem-limit-mb N] [--trace DIR] [--metrics-out PATH]\n  \
+     [--strict] [--wall-limit-ms N] [--mem-limit-mb N] [--trace DIR] [--metrics-out PATH]\n         \
+     [--prune[=on|verify]]\n  \
      vulfi results summary [--store DIR] [--json]\n  \
      vulfi results merge <SRC>... --store DST\n  \
      vulfi store fsck [--store DIR] [--repair] [--json]\n  \
@@ -58,7 +61,7 @@ fn usage() -> String {
      vulfi serve [--addr HOST:PORT] [--store DIR] [--workers N] [--lease-ttl-ms N]\n  \
      vulfi submit --bench NAME [--addr HOST:PORT] [--isa avx|sse] [--category CAT] [--scale test|paper]\n         \
      [--experiments N] [--campaigns N] [--seed N] [--shard-size N] [--detectors] [--model M]\n         \
-     [--tenant NAME] [--wait] [--json]\n  \
+     [--tenant NAME] [--wait] [--json] [--prune]\n  \
      vulfi status [KEY] [--addr HOST:PORT] [--report] [--json]\n  \
      vulfi shutdown [--addr HOST:PORT]\n  \
      vulfi profile --bench NAME [--isa avx|sse]\n  \
@@ -127,6 +130,14 @@ struct Flags {
     /// Fault model (`study`/`submit`; default single-bit-flip), or
     /// heatmap filter (`report heatmap`; default unfiltered).
     model: Option<String>,
+    /// `study`/`submit`: static-pruning mode — `None` (off), `"on"`
+    /// (discharge provably-benign injections without executing), or
+    /// `"verify"` (execute everything, cross-validate the predictions).
+    prune: Option<String>,
+    /// `lint`: exit non-zero when any lint fires.
+    deny: bool,
+    /// `lint`: lint every built-in study benchmark instead of a file.
+    suite: bool,
     positional: Vec<String>,
 }
 
@@ -166,9 +177,12 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         scale: "test".to_string(),
         report: false,
         model: None,
+        prune: None,
+        deny: false,
+        suite: false,
         positional: Vec::new(),
     };
-    let mut it = args.iter();
+    let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
         let mut val = |flag: &str| -> Result<String, String> {
             it.next()
@@ -267,6 +281,31 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     .parse::<usize>()
                     .map_err(|_| "--top needs a number".to_string())?
             }
+            "--prune" => {
+                // `--prune` alone means "on"; a mode may follow either as
+                // the next word or glued on with `=`.
+                f.prune = match it.peek().map(|s| s.as_str()) {
+                    Some(m @ ("on" | "verify" | "off")) => {
+                        it.next();
+                        Some(m.to_string())
+                    }
+                    _ => Some("on".to_string()),
+                };
+                if f.prune.as_deref() == Some("off") {
+                    f.prune = None;
+                }
+            }
+            other if other.starts_with("--prune=") => match other.trim_start_matches("--prune=") {
+                m @ ("on" | "verify") => f.prune = Some(m.to_string()),
+                "off" => f.prune = None,
+                bad => {
+                    return Err(format!(
+                        "--prune mode '{bad}' not in [\"off\", \"on\", \"verify\"]"
+                    ))
+                }
+            },
+            "--deny" => f.deny = true,
+            "--suite" => f.suite = true,
             "--strict" => f.strict = true,
             "--repair" => f.repair = true,
             "--resume" => f.resume = true,
@@ -342,23 +381,79 @@ fn run(args: &[String]) -> Result<(), String> {
             let f = pick_func(&m, &flags)?;
             let fname = f.name.as_str();
             let sites = vulfi::enumerate_sites(f);
-            println!(
-                "@{fname}: {} static fault sites ({} scalar fault sites including lanes)",
-                sites.len(),
-                sites.iter().map(|s| s.lanes() as u64).sum::<u64>()
-            );
-            for (cat, mix) in vulfi::category_mix(&sites) {
+            if flags.json {
+                let docs: Vec<serde_json::Value> = sites
+                    .iter()
+                    .map(|s| {
+                        let inst = f.inst(s.inst);
+                        let value = match s.kind {
+                            vulfi::SiteKind::Lvalue => inst
+                                .result
+                                .map(|v| f.value_display_name(v))
+                                .unwrap_or_default(),
+                            vulfi::SiteKind::StoreValue { operand_index } => inst
+                                .operands()
+                                .get(operand_index)
+                                .and_then(|op| op.value())
+                                .map(|v| f.value_display_name(v))
+                                .unwrap_or_else(|| "const".to_string()),
+                        };
+                        let category = if s.flags.address {
+                            "address"
+                        } else if s.flags.control {
+                            "control"
+                        } else {
+                            "pure-data"
+                        };
+                        serde_json::json!({
+                            "id": s.id as u64,
+                            "value": value,
+                            "opcode": inst.opcode(),
+                            "kind": match s.kind {
+                                vulfi::SiteKind::Lvalue => "lvalue".to_string(),
+                                vulfi::SiteKind::StoreValue { operand_index } =>
+                                    format!("store-value:{operand_index}"),
+                            },
+                            "category": category,
+                            "address": s.flags.address,
+                            "control": s.flags.control,
+                            "masked": s.mask.is_some(),
+                            "mask_source": match &s.mask {
+                                Some(m) => serde_json::json!(m.arg_index as u64),
+                                None => serde_json::Value::Null,
+                            },
+                            "vector": s.is_vector_inst,
+                            "lanes": s.lanes() as u64,
+                            "elem": s.elem().name(),
+                        })
+                    })
+                    .collect();
+                let doc = serde_json::json!({
+                    "function": fname,
+                    "sites": serde_json::Value::Array(docs),
+                });
+                emit(&serde_json::to_string_pretty(&doc).unwrap(), &flags.out)
+            } else {
                 println!(
-                    "  {:9}: {:4} sites ({} vector, {} scalar, {:.1}% vector)",
-                    cat.name(),
-                    mix.total(),
-                    mix.vector,
-                    mix.scalar,
-                    mix.vector_pct()
+                    "@{fname}: {} static fault sites ({} scalar fault sites including lanes)",
+                    sites.len(),
+                    sites.iter().map(|s| s.lanes() as u64).sum::<u64>()
                 );
+                for (cat, mix) in vulfi::category_mix(&sites) {
+                    println!(
+                        "  {:9}: {:4} sites ({} vector, {} scalar, {:.1}% vector)",
+                        cat.name(),
+                        mix.total(),
+                        mix.vector,
+                        mix.scalar,
+                        mix.vector_pct()
+                    );
+                }
+                Ok(())
             }
-            Ok(())
         }
+        "analyze" => analyze_cmd(&flags),
+        "lint" => lint_cmd(&flags),
         "instrument" => {
             let path = flags.positional.first().ok_or_else(usage)?;
             let category = flags.category.ok_or("instrument requires --category")?;
@@ -545,6 +640,8 @@ fn run(args: &[String]) -> Result<(), String> {
 const COMMANDS: &[&str] = &[
     "compile",
     "sites",
+    "analyze",
+    "lint",
     "instrument",
     "detect",
     "campaign",
@@ -636,6 +733,126 @@ fn load_bench(name: &str, isa: VectorIsa) -> Result<vbench::SpmdWorkload, String
         .ok_or_else(|| format!("unknown benchmark '{name}' (see `vulfi list`)"))
 }
 
+/// `vulfi analyze`: the static vulnerability report — classify every
+/// (site, lane, bit) of the chosen function and print per-site
+/// provably-benign fractions. A file positional analyzes that module;
+/// `--bench` analyzes the same built-in module a study would instrument.
+fn analyze_cmd(flags: &Flags) -> Result<(), String> {
+    let (m, entry) = match flags.positional.first() {
+        Some(path) => {
+            let m = load_module(path, flags.isa)?;
+            let entry = pick_func(&m, flags)?.name.clone();
+            (m, entry)
+        }
+        None => {
+            let name = flags
+                .bench
+                .as_deref()
+                .ok_or("analyze needs a module file or --bench NAME")?;
+            let w = load_bench(name, flags.isa)?;
+            let entry = w.entry().to_string();
+            (w.module().clone(), entry)
+        }
+    };
+    let report = vulfi::analyze_module(&m, &entry)?;
+    if flags.json {
+        return emit(
+            &serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?,
+            &flags.out,
+        );
+    }
+    let mut text = format!(
+        "@{}: {} sites, {} scalar bits, {:.1}% provably benign\n",
+        report.function,
+        report.sites.len(),
+        report.total_bits(),
+        100.0 * report.benign_fraction()
+    );
+    text.push_str(&format!(
+        "{:>4}  {:18} {:12} {:12} {:10} {:16} {:>8}\n",
+        "site", "value", "opcode", "kind", "category", "class", "benign%"
+    ));
+    for s in &report.sites {
+        text.push_str(&format!(
+            "{:>4}  {:18} {:12} {:12} {:10} {:16} {:>7.1}%\n",
+            s.id,
+            s.value,
+            s.opcode,
+            s.kind,
+            s.category,
+            s.class,
+            100.0 * s.benign_fraction()
+        ));
+    }
+    emit(text.trim_end(), &flags.out)
+}
+
+/// `vulfi lint`: run the static diagnostic catalog (VL001–VL005) over a
+/// module file or, with `--suite`, over every built-in study benchmark.
+/// `--deny` turns any finding into a non-zero exit.
+fn lint_cmd(flags: &Flags) -> Result<(), String> {
+    let mut findings: Vec<(String, vir::analysis::LintFinding)> = Vec::new();
+    let mut targets = 0usize;
+    if flags.suite {
+        for name in vbench::STUDY_NAMES {
+            let w = load_bench(name, flags.isa)?;
+            targets += 1;
+            findings.extend(
+                vir::analysis::lint_module(w.module())
+                    .into_iter()
+                    .map(|f| (name.to_string(), f)),
+            );
+        }
+    } else {
+        let path = flags
+            .positional
+            .first()
+            .ok_or("lint needs a module file or --suite")?;
+        let m = load_module(path, flags.isa)?;
+        targets += 1;
+        let module_findings = match &flags.func {
+            Some(_) => vir::analysis::lint_function(pick_func(&m, flags)?),
+            None => vir::analysis::lint_module(&m),
+        };
+        findings.extend(module_findings.into_iter().map(|f| (path.clone(), f)));
+    }
+    if flags.json {
+        let docs: Vec<serde_json::Value> = findings
+            .iter()
+            .map(|(target, f)| {
+                serde_json::json!({
+                    "target": target.clone(),
+                    "id": f.id,
+                    "name": f.name,
+                    "function": f.function.clone(),
+                    "block": f.block.clone(),
+                    "value": f.value.clone(),
+                    "message": f.message.clone(),
+                })
+            })
+            .collect();
+        emit(
+            &serde_json::to_string_pretty(&serde_json::Value::Array(docs)).unwrap(),
+            &flags.out,
+        )?;
+    } else {
+        let mut text = String::new();
+        for (target, f) in &findings {
+            text.push_str(&format!("{target}: {f}\n"));
+        }
+        text.push_str(&format!(
+            "{} finding(s) across {} target(s)\n",
+            findings.len(),
+            targets
+        ));
+        emit(text.trim_end(), &flags.out)?;
+    }
+    if flags.deny && !findings.is_empty() {
+        return Err(format!("lint: {} finding(s) denied", findings.len()));
+    }
+    Ok(())
+}
+
 /// `vulfi study`: run (or resume) a persistent study through the store.
 fn run_study_cmd(flags: &Flags) -> Result<(), String> {
     let name = flags.bench.as_deref().ok_or("study requires --bench")?;
@@ -652,8 +869,18 @@ fn run_study_cmd(flags: &Flags) -> Result<(), String> {
             Some(m) => vulfi::FaultModel::parse(m)?,
             None => vulfi::FaultModel::default(),
         },
+        // `--prune=verify` runs the full study (same key as an unpruned
+        // run) and cross-validates predictions post-hoc; only `--prune`
+        // / `--prune=on` actually discharges experiments.
+        prune: flags.prune.as_deref() == Some("on"),
         ..vulfi::StudyConfig::default()
     };
+    if flags.prune.is_some() && cfg.model != vulfi::FaultModel::SingleBitFlip {
+        return Err(format!(
+            "--prune requires the single-bit-flip model, not '{}'",
+            cfg.model
+        ));
+    }
     let store = vulfi_orch::Store::open(&flags.store).map_err(|e| e.to_string())?;
     let isa = isa_name(flags.isa);
     vulfi::set_strict(flags.strict);
@@ -700,8 +927,28 @@ fn run_study_cmd(flags: &Flags) -> Result<(), String> {
         let r = out
             .result
             .ok_or_else(|| "study incomplete after run (store corrupted?)".to_string())?;
+        // Pruning accounting and `--prune=verify` cross-validation both
+        // read the stored shards back (cheap: the study just ran or was
+        // cached under the same key).
+        let prune_mode = flags.prune.as_deref();
+        let (discharged, soundness) = if prune_mode.is_some() {
+            let done = store.study(&out.key).shards().map_err(|e| e.to_string())?;
+            let discharged = done
+                .iter()
+                .flat_map(|s| &s.experiments)
+                .filter(|e| e.injection.is_none() && e.dynamic_sites > 0)
+                .count() as u64;
+            let soundness = if prune_mode == Some("verify") {
+                Some(vulfi_orch::verify_soundness(w, &done).map_err(|e| e.to_string())?)
+            } else {
+                None
+            };
+            (discharged, soundness)
+        } else {
+            (0, None)
+        };
         if flags.json {
-            let doc = serde_json::json!({
+            let mut doc = serde_json::json!({
                 "key": out.key.0.clone(),
                 "workload": w.name(),
                 "isa": isa,
@@ -719,6 +966,22 @@ fn run_study_cmd(flags: &Flags) -> Result<(), String> {
                 "wall_ns": out.wall_ns,
                 "dyn_insts": out.dyn_insts,
             });
+            if let Some(mode) = prune_mode {
+                if let serde_json::Value::Object(o) = &mut doc {
+                    o.push(("prune".to_string(), serde_json::json!(mode)));
+                    o.push(("discharged".to_string(), serde_json::json!(discharged)));
+                    if let Some(s) = &soundness {
+                        o.push((
+                            "soundness".to_string(),
+                            serde_json::json!({
+                                "checked": s.checked,
+                                "predicted_benign": s.predicted_benign,
+                                "violations": s.violations.len() as u64,
+                            }),
+                        ));
+                    }
+                }
+            }
             println!("{}", serde_json::to_string_pretty(&doc).unwrap());
         } else {
             println!(
@@ -758,8 +1021,38 @@ fn run_study_cmd(flags: &Flags) -> Result<(), String> {
                     r.counts.sdc_detection_rate()
                 );
             }
+            if prune_mode == Some("on") {
+                let total = r.counts.total().max(1);
+                println!(
+                    "pruning: {} of {} experiments statically discharged ({:.1}%) without execution",
+                    discharged,
+                    r.counts.total(),
+                    100.0 * discharged as f64 / total as f64
+                );
+            }
+            if let Some(s) = &soundness {
+                println!(
+                    "soundness: {} injection(s) checked, {} predicted benign, {} violation(s)",
+                    s.checked,
+                    s.predicted_benign,
+                    s.violations.len()
+                );
+            }
         }
         report_engine_faults();
+        if let Some(s) = &soundness {
+            if !s.is_sound() {
+                let mut msg = format!(
+                    "prediction soundness violated: {} predicted-benign injection(s) \
+                     had a non-benign or detected outcome",
+                    s.violations.len()
+                );
+                for v in s.violations.iter().take(5) {
+                    msg.push_str(&format!("\n  {v}"));
+                }
+                return Err(msg);
+            }
+        }
         Ok(())
     };
     if flags.detectors {
@@ -1316,6 +1609,27 @@ fn report_html(flags: &Flags) -> Result<(), String> {
         None => Vec::new(),
     };
     let occupancy = occupancy_profiles(&store)?;
+    // Static-analysis join: the analyzer's predicted-benign fraction per
+    // site, next to the SDC rate the trace heatmaps actually observed.
+    // Workloads we can't rebuild (or that fail verification) are skipped
+    // rather than failing the whole report.
+    let analysis = match trace.as_ref() {
+        Some(t) => {
+            let maps = vulfi_orch::heatmaps(t, flags.top).map_err(|e| e.to_string())?;
+            let mut reports = Vec::new();
+            for m in &maps {
+                let Ok(w) = load_bench(&m.workload, VectorIsa::Avx) else {
+                    continue;
+                };
+                let Ok(rep) = vulfi::analyze_module(w.module(), w.entry()) else {
+                    continue;
+                };
+                reports.push((m.workload.clone(), rep));
+            }
+            vulfi_orch::analysis_cells(&reports, &maps)
+        }
+        None => Vec::new(),
+    };
     let html = vulfi_orch::html_from_stores(
         "vulfi resiliency report",
         Some(&store),
@@ -1323,6 +1637,7 @@ fn report_html(flags: &Flags) -> Result<(), String> {
         diff_store.as_ref(),
         &occupancy,
         &metrics,
+        &analysis,
         None,
         flags.top,
     )
@@ -1402,7 +1717,7 @@ fn gauntlet_run(flags: &Flags) -> Result<(), String> {
                 spec.model
             );
         }
-        let (key, result) = with_cell_workload(spec, |w| {
+        let cell = with_cell_workload(spec, |w| {
             let category = spec.site_category()?;
             let cfg = spec.study_config();
             let mut prog = vulfi::prepare(w, category).map_err(|e| e.to_string())?;
@@ -1442,13 +1757,24 @@ fn gauntlet_run(flags: &Flags) -> Result<(), String> {
             let r = out
                 .result
                 .ok_or_else(|| "cell incomplete after run (store corrupted?)".to_string())?;
-            Ok((out.key, r))
+            // `prune = "verify"` cells run unpruned; cross-validate the
+            // analyzer's predictions against the stored records so the
+            // prediction_soundness invariant has data to judge.
+            let soundness = if scenario.prune == "verify" {
+                let done = store.study(&out.key).shards().map_err(|e| e.to_string())?;
+                Some(vulfi_orch::verify_soundness(w, &done).map_err(|e| e.to_string())?)
+            } else {
+                None
+            };
+            Ok((out.key, r, soundness))
         })?;
+        let (key, result, soundness) = cell;
         verdicts.push(vulfi_orch::cell_verdict(
             spec,
             &key.0,
             &result,
             &scenario.invariants,
+            soundness.as_ref(),
         ));
     }
     let report = vulfi_orch::GauntletReport {
@@ -1481,7 +1807,7 @@ fn gauntlet_report(flags: &Flags) -> Result<(), String> {
     let store = vulfi_orch::Store::open(&flags.store).map_err(|e| e.to_string())?;
     let mut verdicts = Vec::new();
     for spec in scenario.expand() {
-        let (key, result) = with_cell_workload(&spec, |w| {
+        let cell = with_cell_workload(&spec, |w| {
             let category = spec.site_category()?;
             let cfg = spec.study_config();
             let mut prog = vulfi::prepare(w, category).map_err(|e| e.to_string())?;
@@ -1501,13 +1827,20 @@ fn gauntlet_report(flags: &Flags) -> Result<(), String> {
             let r = vulfi_orch::merge(&cfg, category, &done).ok_or_else(|| {
                 format!("cell {cell_name} ({key}) is partial; finish it with `vulfi gauntlet run --resume`")
             })?;
-            Ok((key, r))
+            let soundness = if scenario.prune == "verify" {
+                Some(vulfi_orch::verify_soundness(w, &done).map_err(|e| e.to_string())?)
+            } else {
+                None
+            };
+            Ok((key, r, soundness))
         })?;
+        let (key, result, soundness) = cell;
         verdicts.push(vulfi_orch::cell_verdict(
             &spec,
             &key.0,
             &result,
             &scenario.invariants,
+            soundness.as_ref(),
         ));
     }
     let report = vulfi_orch::GauntletReport {
@@ -1519,6 +1852,7 @@ fn gauntlet_report(flags: &Flags) -> Result<(), String> {
         Some(&store),
         None,
         None,
+        &[],
         &[],
         &[],
         Some(&report),
@@ -1580,6 +1914,60 @@ fn bench_cmd(flags: &Flags) -> Result<(), String> {
             "dyn_insts_per_sec": dyn_insts as f64 / wall_s,
             "sdc_rate": c.counts.sdc_rate(),
         }));
+        // `--prune`: time the same experiment range with statically
+        // discharged injections skipped, recorded as a separate bench
+        // entry so the trajectory carries the pruned-vs-full pair. The
+        // one-time analyzer/census setup is recorded but not counted in
+        // exp/s — a real study amortizes it over every campaign.
+        if flags.prune.is_some() {
+            if flags.prune.as_deref() != Some("on") {
+                return Err("bench supports only --prune / --prune=on".to_string());
+            }
+            let setup = std::time::Instant::now();
+            let ctx = vulfi::build_prune_context(&prog, &w).map_err(|e| e.to_string())?;
+            let setup_ns = setup.elapsed().as_nanos() as u64;
+            let started = std::time::Instant::now();
+            let exps =
+                vulfi::run_experiment_range_pruned(&prog, &w, &ctx, flags.seed, 0..experiments)
+                    .map_err(|e| e.to_string())?;
+            let pruned_wall_ns = started.elapsed().as_nanos() as u64;
+            let pruned_wall_s = (pruned_wall_ns as f64 / 1e9).max(1e-9);
+            let mut counts = vulfi::OutcomeCounts::default();
+            for e in &exps {
+                counts.add(e);
+            }
+            let discharged = exps
+                .iter()
+                .filter(|e| e.injection.is_none() && e.dynamic_sites > 0)
+                .count();
+            let discharged_pct = 100.0 * discharged as f64 / experiments.max(1) as f64;
+            let pruned_exp_per_sec = experiments as f64 / pruned_wall_s;
+            println!(
+                "{:14} [{}]: pruned {} experiments in {:.2}s — {:.0} exp/s ({:.1}% discharged, {:.1}x vs full)",
+                format!("{name} [pruned]"),
+                isa_name(flags.isa),
+                experiments,
+                pruned_wall_s,
+                pruned_exp_per_sec,
+                discharged_pct,
+                pruned_exp_per_sec / exp_per_sec.max(1e-9),
+            );
+            docs.push(serde_json::json!({
+                "name": format!("{name} [pruned]"),
+                "isa": isa_name(flags.isa),
+                "experiments": experiments as u64,
+                "wall_ns": pruned_wall_ns,
+                "exp_per_sec": pruned_exp_per_sec,
+                "dyn_insts": exps.iter().map(|e| e.golden_dyn_insts).sum::<u64>(),
+                "dyn_insts_per_sec": exps.iter().map(|e| e.golden_dyn_insts).sum::<u64>() as f64
+                    / pruned_wall_s,
+                "sdc_rate": counts.sdc_rate(),
+                "prune": true,
+                "static_discharged": discharged as u64,
+                "static_discharged_pct": discharged_pct,
+                "prune_setup_ns": setup_ns,
+            }));
+        }
     }
     report_engine_faults();
     if flags.record {
@@ -1701,6 +2089,16 @@ fn spec_from_flags(flags: &Flags) -> Result<vulfi::StudySpec, String> {
             .model
             .clone()
             .unwrap_or_else(|| vulfi::FaultModel::default().name()),
+        prune: match flags.prune.as_deref() {
+            None => false,
+            Some("on") => true,
+            Some(other) => {
+                return Err(format!(
+                    "submit supports only --prune / --prune=on, not --prune={other} \
+                     (run --prune=verify locally with `vulfi study`)"
+                ))
+            }
+        },
     };
     spec.validate()?;
     Ok(spec)
@@ -2401,5 +2799,221 @@ export void scale(uniform float a[], uniform int n, uniform float s) {
         assert!(run(&s(&["report", "bogus"])).is_err());
         assert!(run(&s(&["report", "diff", "/tmp/only-one-store"])).is_err());
         assert!(run(&s(&["bench", "--bench", "NoSuchBench"])).is_err());
+    }
+
+    #[test]
+    fn prune_flags_parse_all_forms() {
+        // Bare `--prune` means on; other flags after it still parse.
+        let f = parse_flags(&s(&["--prune", "--bench", "vector sum"])).unwrap();
+        assert_eq!(f.prune.as_deref(), Some("on"));
+        assert_eq!(f.bench.as_deref(), Some("vector sum"));
+        // Mode as the next word, or glued on with `=`.
+        let f = parse_flags(&s(&["--prune", "verify"])).unwrap();
+        assert_eq!(f.prune.as_deref(), Some("verify"));
+        let f = parse_flags(&s(&["--prune=on"])).unwrap();
+        assert_eq!(f.prune.as_deref(), Some("on"));
+        // "off" in either form is the same as not passing the flag.
+        assert_eq!(parse_flags(&s(&["--prune", "off"])).unwrap().prune, None);
+        assert_eq!(parse_flags(&s(&["--prune=off"])).unwrap().prune, None);
+        let e = parse_flags(&s(&["--prune=sometimes"])).unwrap_err();
+        assert!(e.contains("sometimes"), "{e}");
+
+        // submit mirrors --prune into the spec but refuses verify: the
+        // post-hoc soundness scan is a local-CLI affordance.
+        let mut f = parse_flags(&s(&["--bench", "vector sum", "--prune"])).unwrap();
+        assert!(spec_from_flags(&f).unwrap().prune);
+        f.prune = Some("verify".to_string());
+        let e = spec_from_flags(&f).unwrap_err();
+        assert!(e.contains("verify"), "{e}");
+    }
+
+    #[test]
+    fn sites_json_is_machine_readable() {
+        let path = write_temp("sites_json.spmd", KERNEL);
+        let out = std::env::temp_dir().join("vulfi_cli_test_sites.json");
+        run(&s(&["sites", &path, "--json", "-o", out.to_str().unwrap()])).unwrap();
+        let doc: serde_json::Value =
+            serde_json::from_str(&fs::read_to_string(&out).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("function").and_then(|v| v.as_str()),
+            Some("scale"),
+            "{doc:?}"
+        );
+        let sites = doc.get("sites").and_then(|v| v.as_array()).unwrap();
+        assert!(!sites.is_empty());
+        for site in sites {
+            for field in [
+                "id",
+                "value",
+                "opcode",
+                "kind",
+                "category",
+                "address",
+                "control",
+                "masked",
+                "mask_source",
+                "vector",
+                "lanes",
+                "elem",
+            ] {
+                assert!(
+                    site.get(field).is_some(),
+                    "site missing '{field}': {site:?}"
+                );
+            }
+        }
+        // The kernel multiplies in vector lanes: at least one site must
+        // say so, with a plausible lane count.
+        assert!(sites.iter().any(|s| {
+            s.get("vector").and_then(|v| v.as_bool()) == Some(true)
+                && s.get("lanes").and_then(|v| v.as_u64()).unwrap_or(0) > 1
+        }));
+    }
+
+    #[test]
+    fn analyze_command_reports_and_verifies_first() {
+        let path = write_temp("analyze.spmd", KERNEL);
+        let out = std::env::temp_dir().join("vulfi_cli_test_analyze.txt");
+        run(&s(&["analyze", &path, "-o", out.to_str().unwrap()])).unwrap();
+        let text = fs::read_to_string(&out).unwrap();
+        assert!(text.contains("@scale:"), "{text}");
+        assert!(text.contains("provably benign"), "{text}");
+
+        // JSON round-trips through the report type.
+        let out = std::env::temp_dir().join("vulfi_cli_test_analyze.json");
+        run(&s(&[
+            "analyze",
+            &path,
+            "--json",
+            "-o",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let rep: vulfi::VulnReport =
+            serde_json::from_str(&fs::read_to_string(&out).unwrap()).unwrap();
+        assert_eq!(rep.function, "scale");
+        assert!(!rep.sites.is_empty());
+
+        // Benchmarks work by name too.
+        run(&s(&["analyze", "--bench", "vector sum"])).unwrap();
+        assert!(run(&s(&["analyze"])).is_err(), "needs a file or --bench");
+
+        // Ill-formed IR is rejected by the verifier before any analysis:
+        // %y is used before its definition dominates the use.
+        let bad = write_temp(
+            "analyze_bad.vir",
+            "define i32 @f(i32 %x) {\nentry:\n  %z = add i32 %y, 1\n  br label %later\n\
+             later:\n  %y = add i32 %x, 1\n  ret i32 %z\n}\n",
+        );
+        let e = run(&s(&["analyze", &bad])).unwrap_err();
+        assert!(
+            e.contains("use of %y not dominated"),
+            "verifier must reject the module with a clean error, got: {e}"
+        );
+    }
+
+    #[test]
+    fn lint_command_baseline_and_deny() {
+        // The whole built-in suite is lint-clean — that's the committed
+        // baseline ci.sh enforces.
+        run(&s(&["lint", "--suite", "--deny"])).unwrap();
+
+        // A deliberately dirty module: a stack slot stored but never
+        // read (VL002), which --deny turns into a non-zero exit.
+        let dirty = write_temp(
+            "lint_dirty.vir",
+            "define void @ds(i32 %x) {\nentry:\n  %p = alloca i32, i64 1\n\
+             store i32 %x, ptr %p\n  ret void\n}\n",
+        );
+        let out = std::env::temp_dir().join("vulfi_cli_test_lint.json");
+        run(&s(&["lint", &dirty, "--json", "-o", out.to_str().unwrap()])).unwrap();
+        let docs: serde_json::Value =
+            serde_json::from_str(&fs::read_to_string(&out).unwrap()).unwrap();
+        let arr = docs.as_array().unwrap();
+        assert_eq!(arr.len(), 1, "{docs:?}");
+        assert_eq!(arr[0].get("id").and_then(|v| v.as_str()), Some("VL002"));
+        let e = run(&s(&["lint", &dirty, "--deny"])).unwrap_err();
+        assert!(e.contains("denied"), "{e}");
+        assert!(run(&s(&["lint"])).is_err(), "needs a file or --suite");
+    }
+
+    #[test]
+    fn study_prune_discharges_and_verify_cross_validates() {
+        let store = temp_store("prune");
+        let base = |mode: &str, store: &str| {
+            let mut v = s(&[
+                "study",
+                "--bench",
+                "vector sum",
+                "--experiments",
+                "20",
+                "--campaigns",
+                "5",
+                "--seed",
+                "3",
+                "--shard-size",
+                "10",
+                "--store",
+                store,
+            ]);
+            if !mode.is_empty() {
+                v.push(mode.to_string());
+            }
+            v
+        };
+        // Pruned run completes; the store holds synthetic records for the
+        // discharged experiments (injection None but dynamic sites seen).
+        let mut args = base("--prune", &store);
+        args.push("--json".to_string());
+        run(&args).unwrap();
+        let st = vulfi_orch::Store::open(&store).unwrap();
+        let keys = st.studies().unwrap();
+        assert_eq!(keys.len(), 1);
+        let done = st.study(&keys[0]).shards().unwrap();
+        let discharged = done
+            .iter()
+            .flat_map(|sh| &sh.experiments)
+            .filter(|e| e.injection.is_none() && e.dynamic_sites > 0)
+            .count();
+        assert!(
+            discharged > 0,
+            "vector sum has provably-benign bits, some draws must hit them"
+        );
+
+        // Verify mode executes everything under the unpruned key and
+        // cross-validates; any soundness violation would fail the run.
+        let vstore = temp_store("prune_verify");
+        run(&base("--prune=verify", &vstore)).unwrap();
+        let st = vulfi_orch::Store::open(&vstore).unwrap();
+        let vkeys = st.studies().unwrap();
+        assert_eq!(vkeys.len(), 1);
+        assert_ne!(
+            vkeys[0], keys[0],
+            "pruned and full runs must not share a key"
+        );
+        let vdone = st.study(&vkeys[0]).shards().unwrap();
+        assert!(
+            vdone
+                .iter()
+                .flat_map(|sh| &sh.experiments)
+                .all(|e| e.injection.is_some() || e.dynamic_sites == 0),
+            "verify mode must execute every injection, no synthetic records"
+        );
+        // The post-hoc scan itself reports zero violations.
+        let w = vbench::micro_benchmark("vector sum", VectorIsa::Avx, vbench::Scale::Test).unwrap();
+        let sound = vulfi_orch::verify_soundness(&w, &vdone).unwrap();
+        assert!(sound.checked > 0 && sound.predicted_benign > 0);
+        assert!(sound.is_sound(), "{:?}", sound.violations);
+
+        // --prune with a non-single-bit-flip model is refused up front.
+        let mut args = base("--prune", &store);
+        args.extend(s(&["--model", "multi-bit-burst:2"]));
+        let e = run(&args).unwrap_err();
+        assert!(e.contains("single-bit-flip"), "{e}");
+        // So is combining --prune with --trace.
+        let mut args = base("--prune", &store);
+        args.extend(s(&["--trace", "/tmp/nope"]));
+        let e = run(&args).unwrap_err();
+        assert!(e.contains("mutually exclusive"), "{e}");
     }
 }

@@ -1,0 +1,764 @@
+//! Static resiliency analysis: prove injection coordinates benign before
+//! ever running them.
+//!
+//! The fault space of a study is the set of `(site, lane, bit)`
+//! coordinates the injector can corrupt. This pass classifies every
+//! coordinate by joining the site enumeration of [`crate::sites`] with
+//! the vir dataflow analyses:
+//!
+//! - [`vir::analysis::DemandedBits`] — a bit whose demand is clear
+//!   influences no store, address, branch, trap condition, host call, or
+//!   return value; flipping it is architecturally invisible.
+//! - [`vir::analysis::MaskReach`] — a lane of a masked op proven
+//!   inactive on all paths never executes as a dynamic fault site.
+//!
+//! A coordinate proven [`BitClass::ProvablyBenign`] can be *pruned*: the
+//! campaign driver accounts it as [`crate::Outcome::Benign`] without
+//! executing the faulty run (see [`crate::campaign::run_experiment_range_pruned`]).
+//! Everything else keeps its feeding class (store / address / control /
+//! unknown) for the report.
+//!
+//! Soundness rests on the demand transfer functions over-demanding
+//! around every observable: stored values, addresses, branch conditions,
+//! potential trap operands (division, allocation counts), host-call
+//! arguments (which covers detector checks), and returns are always
+//! fully demanded. The analysis runs on the *uninstrumented* module —
+//! the same module [`crate::instrument`] enumerates, so site ids line up
+//! with the instrumented program by construction.
+
+use vir::analysis::{DemandedBits, MaskReach, UseGraph};
+use vir::intrinsics::{self, Intrinsic};
+use vir::{Function, InstKind, Module, ValueId};
+
+use crate::campaign::Experiment;
+use crate::fault::FaultModel;
+use crate::sites::{enumerate_sites, SiteKind, StaticSite};
+use crate::Outcome;
+
+/// Why a coordinate is provably benign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenignReason {
+    /// The bit's demand is clear: no observable depends on it.
+    DeadBit,
+    /// The bit sits above the highest demanded bit of its lane — a
+    /// truncation (or narrowing use) discards it.
+    Truncated,
+    /// The whole lane's demand is clear.
+    DeadLane,
+    /// The lane is masked off on every path (or the site never
+    /// executes); it is not even a dynamic fault site.
+    MaskedLane,
+}
+
+/// Static classification of one `(site, lane, bit)` coordinate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BitClass {
+    /// Flipping this bit provably cannot change any observable output.
+    ProvablyBenign(BenignReason),
+    /// Feeds a stored value or the return value.
+    StoreFeeding,
+    /// Feeds an address computation.
+    AddressFeeding,
+    /// Feeds a branch condition.
+    ControlFeeding,
+    /// Demanded, but the forward slice reaches no classified observable
+    /// (e.g. only an opaque call).
+    Unknown,
+}
+
+impl BitClass {
+    pub fn is_benign(&self) -> bool {
+        matches!(self, BitClass::ProvablyBenign(_))
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            BitClass::ProvablyBenign(_) => "provably-benign",
+            BitClass::StoreFeeding => "store-feeding",
+            BitClass::AddressFeeding => "address-feeding",
+            BitClass::ControlFeeding => "control-feeding",
+            BitClass::Unknown => "unknown",
+        }
+    }
+}
+
+/// Per-site slice of the static vulnerability report.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SiteReport {
+    /// Site id from the full enumeration (matches instrumented ids).
+    pub id: u32,
+    /// Display name of the injected value.
+    pub value: String,
+    pub opcode: String,
+    /// `"lvalue"` or `"store-value"`.
+    pub kind: String,
+    /// Primary category (address > control > pure-data).
+    pub category: String,
+    /// Feeding class of the non-benign coordinates.
+    pub class: String,
+    pub lanes: u32,
+    /// Element width in bits.
+    pub width: u32,
+    /// Benign-bit mask per lane (bit set ⇔ provably benign).
+    pub lane_benign: Vec<u64>,
+    /// Lanes proven inactive on all paths.
+    pub masked_off: Vec<bool>,
+}
+
+impl SiteReport {
+    fn width_mask(&self) -> u64 {
+        if self.width >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        }
+    }
+
+    /// Total coordinates at this site.
+    pub fn total_bits(&self) -> u64 {
+        self.lanes as u64 * self.width as u64
+    }
+
+    /// Provably-benign coordinates at this site.
+    pub fn benign_bits(&self) -> u64 {
+        self.lane_benign
+            .iter()
+            .map(|m| (m & self.width_mask()).count_ones() as u64)
+            .sum()
+    }
+
+    /// Fraction of this site's coordinates predicted benign, 0..=1.
+    pub fn benign_fraction(&self) -> f64 {
+        let total = self.total_bits();
+        if total == 0 {
+            0.0
+        } else {
+            self.benign_bits() as f64 / total as f64
+        }
+    }
+
+    /// Classify one `(lane, bit)` coordinate of this site.
+    pub fn class_of(&self, lane: u32, bit: u32) -> BitClass {
+        let li = lane as usize;
+        if li >= self.lane_benign.len() || bit >= self.width {
+            return BitClass::Unknown;
+        }
+        let benign = self.lane_benign[li] & self.width_mask();
+        if self.masked_off.get(li).copied().unwrap_or(false) {
+            return BitClass::ProvablyBenign(BenignReason::MaskedLane);
+        }
+        if benign == self.width_mask() {
+            return BitClass::ProvablyBenign(BenignReason::DeadLane);
+        }
+        if benign & (1u64 << bit) != 0 {
+            let live = !benign & self.width_mask();
+            let highest_live = 63 - live.leading_zeros();
+            return BitClass::ProvablyBenign(if bit > highest_live {
+                BenignReason::Truncated
+            } else {
+                BenignReason::DeadBit
+            });
+        }
+        match self.class.as_str() {
+            "store-feeding" => BitClass::StoreFeeding,
+            "address-feeding" => BitClass::AddressFeeding,
+            "control-feeding" => BitClass::ControlFeeding,
+            _ => BitClass::Unknown,
+        }
+    }
+}
+
+/// The static vulnerability report for one function.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct VulnReport {
+    pub function: String,
+    pub sites: Vec<SiteReport>,
+}
+
+impl VulnReport {
+    pub fn total_bits(&self) -> u64 {
+        self.sites.iter().map(SiteReport::total_bits).sum()
+    }
+
+    pub fn benign_bits(&self) -> u64 {
+        self.sites.iter().map(SiteReport::benign_bits).sum()
+    }
+
+    /// Fraction of the whole fault space predicted benign, 0..=1.
+    pub fn benign_fraction(&self) -> f64 {
+        let total = self.total_bits();
+        if total == 0 {
+            0.0
+        } else {
+            self.benign_bits() as f64 / total as f64
+        }
+    }
+
+    pub fn site(&self, id: u32) -> Option<&SiteReport> {
+        self.sites.iter().find(|s| s.id == id)
+    }
+}
+
+/// The benign-coordinate set in the shape the campaign driver consumes:
+/// indexed by site id, one benign-bit mask per lane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrunePlan {
+    widths: Vec<u32>,
+    benign: Vec<Vec<u64>>,
+}
+
+impl PrunePlan {
+    pub fn from_report(r: &VulnReport) -> PrunePlan {
+        let n = r.sites.iter().map(|s| s.id as usize + 1).max().unwrap_or(0);
+        let mut widths = vec![0u32; n];
+        let mut benign = vec![Vec::new(); n];
+        for s in &r.sites {
+            widths[s.id as usize] = s.width;
+            benign[s.id as usize] = s.lane_benign.iter().map(|m| m & s.width_mask()).collect();
+        }
+        PrunePlan { widths, benign }
+    }
+
+    /// Element width (bits) of site `id`, if known.
+    pub fn width(&self, site: u32) -> Option<u32> {
+        self.widths.get(site as usize).copied().filter(|&w| w > 0)
+    }
+
+    /// Is flipping `bit` of `lane` at `site` provably benign?
+    pub fn is_benign(&self, site: u32, lane: u32, bit: u32) -> bool {
+        self.benign
+            .get(site as usize)
+            .and_then(|lanes| lanes.get(lane as usize))
+            .is_some_and(|m| bit < 64 && m & (1u64 << bit) != 0)
+    }
+
+    /// Total coordinates covered by the plan.
+    pub fn total_coordinates(&self) -> u64 {
+        self.benign
+            .iter()
+            .zip(&self.widths)
+            .map(|(lanes, w)| lanes.len() as u64 * *w as u64)
+            .sum()
+    }
+
+    /// Coordinates predicted benign.
+    pub fn benign_coordinates(&self) -> u64 {
+        self.benign
+            .iter()
+            .map(|lanes| lanes.iter().map(|m| m.count_ones() as u64).sum::<u64>())
+            .sum()
+    }
+}
+
+fn scalar_mask(bits: u32) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+/// Does `v`'s forward slice reach a store or the return value?
+fn reaches_store_or_ret(f: &Function, uses: &UseGraph, v: ValueId) -> bool {
+    let mut seen = vec![false; f.values.len()];
+    let mut stack = vec![v];
+    while let Some(cur) = stack.pop() {
+        if seen[cur.index()] {
+            continue;
+        }
+        seen[cur.index()] = true;
+        if !uses.term_uses(cur).is_empty() {
+            // RetVal or BranchCond — both observable; branch-feeding
+            // sites carry the control flag, so reaching here from an
+            // unflagged site means the return value.
+            return true;
+        }
+        for &u in uses.users(cur) {
+            let inst = f.inst(u);
+            match &inst.kind {
+                InstKind::Store { .. } => return true,
+                InstKind::Call { callee, .. }
+                    if intrinsics::parse(callee)
+                        .is_some_and(|i| matches!(i, Intrinsic::MaskStore { .. })) =>
+                {
+                    return true;
+                }
+                _ => {}
+            }
+            if let Some(r) = inst.result {
+                stack.push(r);
+            }
+        }
+    }
+    false
+}
+
+fn feeding_class(f: &Function, uses: &UseGraph, site: &StaticSite) -> &'static str {
+    if site.flags.address {
+        return "address-feeding";
+    }
+    if site.flags.control {
+        return "control-feeding";
+    }
+    match site.kind {
+        SiteKind::StoreValue { .. } => "store-feeding",
+        SiteKind::Lvalue => {
+            let result = f.inst(site.inst).result;
+            match result {
+                Some(v) if reaches_store_or_ret(f, uses, v) => "store-feeding",
+                _ => "unknown",
+            }
+        }
+    }
+}
+
+/// Analyze one function: classify every enumerable injection coordinate.
+pub fn analyze_function(f: &Function) -> VulnReport {
+    let sites = enumerate_sites(f);
+    let demand = DemandedBits::compute(f);
+    let mask = MaskReach::new(f);
+    let uses = UseGraph::build(f);
+
+    let mut reports = Vec::with_capacity(sites.len());
+    for site in &sites {
+        let inst = f.inst(site.inst);
+        let lanes = site.lanes();
+        let width = site.elem().bits();
+        let wmask = scalar_mask(width);
+        let block = f.block_of(site.inst);
+        let reachable = block.is_none_or(|b| mask.block_reachable(b));
+
+        // Which lanes are provably inactive? Unreachable code never
+        // executes at all; masked ops may prove individual lanes off.
+        let mut masked_off = vec![!reachable; lanes as usize];
+        if reachable && site.mask.is_some() {
+            if let Some(activity) = mask.masked_op_lanes(site.inst) {
+                for (i, a) in activity.iter().enumerate().take(lanes as usize) {
+                    if *a == Some(false) {
+                        masked_off[i] = true;
+                    }
+                }
+            }
+        }
+
+        // Demand-based benignity applies to Lvalue sites only: the
+        // corrupted value is the instruction result, whose demanded bits
+        // the dataflow computed. Store-value corruption lands in memory,
+        // which the analysis never proves dead.
+        let demand_value = match site.kind {
+            SiteKind::Lvalue => inst.result,
+            SiteKind::StoreValue { .. } => None,
+        };
+        let lane_benign: Vec<u64> = (0..lanes)
+            .map(|l| {
+                if masked_off[l as usize] {
+                    return wmask;
+                }
+                match demand_value {
+                    Some(v) => !demand.lane(v, l) & wmask,
+                    None => 0,
+                }
+            })
+            .collect();
+
+        let value = match site.kind {
+            SiteKind::Lvalue => inst
+                .result
+                .map(|v| f.value_display_name(v))
+                .unwrap_or_default(),
+            SiteKind::StoreValue { operand_index } => inst
+                .operands()
+                .get(operand_index)
+                .and_then(|op| op.value())
+                .map(|v| f.value_display_name(v))
+                .unwrap_or_else(|| "const".to_string()),
+        };
+        let category = if site.flags.address {
+            "address"
+        } else if site.flags.control {
+            "control"
+        } else {
+            "pure-data"
+        };
+        reports.push(SiteReport {
+            id: site.id,
+            value,
+            opcode: inst.opcode().to_string(),
+            kind: match site.kind {
+                SiteKind::Lvalue => "lvalue".to_string(),
+                SiteKind::StoreValue { .. } => "store-value".to_string(),
+            },
+            category: category.to_string(),
+            class: feeding_class(f, &uses, site).to_string(),
+            lanes,
+            width,
+            lane_benign,
+            masked_off,
+        });
+    }
+    VulnReport {
+        function: f.name.clone(),
+        sites: reports,
+    }
+}
+
+/// Analyze `entry` of `module`. The module is verified first: analysis
+/// results on ill-formed IR would be meaningless, so a [`vir::VerifyError`]
+/// surfaces as a clean error instead.
+pub fn analyze_module(module: &Module, entry: &str) -> Result<VulnReport, String> {
+    vir::verify::verify_module(module).map_err(|e| format!("module verification failed: {e}"))?;
+    let f = module
+        .function(entry)
+        .ok_or_else(|| format!("no function '{entry}' in module"))?;
+    Ok(analyze_function(f))
+}
+
+/// One prediction the executed study contradicted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoundnessViolation {
+    pub site_id: u32,
+    pub lane: u32,
+    pub flip_mask: u64,
+    pub outcome: Outcome,
+    pub detected: bool,
+}
+
+impl std::fmt::Display for SoundnessViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "site {} lane {} flip {:#x} predicted benign but observed {:?}{}",
+            self.site_id,
+            self.lane,
+            self.flip_mask,
+            self.outcome,
+            if self.detected { " (detected)" } else { "" }
+        )
+    }
+}
+
+/// Cross-validation result: did any executed injection the plan called
+/// benign produce a non-benign outcome?
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SoundnessReport {
+    /// Experiments whose injection record the plan could judge.
+    pub checked: u64,
+    /// Of those, predicted provably benign.
+    pub predicted_benign: u64,
+    pub violations: Vec<SoundnessViolation>,
+}
+
+impl SoundnessReport {
+    pub fn is_sound(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Misprediction rate over predicted-benign experiments, in percent.
+    pub fn misprediction_pct(&self) -> f64 {
+        if self.predicted_benign == 0 {
+            0.0
+        } else {
+            100.0 * self.violations.len() as f64 / self.predicted_benign as f64
+        }
+    }
+}
+
+/// Scan executed experiments against the plan: every injection whose
+/// flipped bits are all predicted benign must have come out
+/// [`Outcome::Benign`] and undetected. Engine-level models (no static
+/// site) and temporal pairs (second flip unrecorded) are skipped.
+pub fn check_soundness<'a>(
+    plan: &PrunePlan,
+    experiments: impl IntoIterator<Item = &'a Experiment>,
+) -> SoundnessReport {
+    let mut report = SoundnessReport::default();
+    for e in experiments {
+        let Some(inj) = &e.injection else { continue };
+        match inj.model {
+            FaultModel::SingleBitFlip
+            | FaultModel::MultiBitBurst { .. }
+            | FaultModel::StuckAt { .. } => {}
+            _ => continue,
+        }
+        report.checked += 1;
+        let flip = inj.bits_before ^ inj.bits_after;
+        let all_benign =
+            (0..64).all(|b| flip & (1u64 << b) == 0 || plan.is_benign(inj.site_id, inj.lane, b));
+        if !all_benign {
+            continue;
+        }
+        report.predicted_benign += 1;
+        if e.outcome != Outcome::Benign || e.detected {
+            report.violations.push(SoundnessViolation {
+                site_id: inj.site_id,
+                lane: inj.lane,
+                flip_mask: flip,
+                outcome: e.outcome,
+                detected: e.detected,
+            });
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyze(src: &str, entry: &str) -> VulnReport {
+        let m = vir::parser::parse_module(src).unwrap();
+        analyze_module(&m, entry).unwrap()
+    }
+
+    #[test]
+    fn truncated_high_bits_are_benign() {
+        // %w is truncated to i8: bits 8..32 of %w are provably benign.
+        let r = analyze(
+            r#"
+define i8 @f(i32 %x) {
+entry:
+  %w = add i32 %x, 1
+  %t = trunc i32 %w to i8
+  ret i8 %t
+}
+"#,
+            "f",
+        );
+        let site = r
+            .sites
+            .iter()
+            .find(|s| s.value.contains('w'))
+            .expect("site for %w");
+        assert_eq!(site.width, 32);
+        assert_eq!(site.lane_benign[0], 0xFFFF_FF00);
+        assert_eq!(
+            site.class_of(0, 12),
+            BitClass::ProvablyBenign(BenignReason::Truncated)
+        );
+        assert_eq!(site.class_of(0, 3), BitClass::StoreFeeding);
+        // The truncated value itself is fully demanded by the return.
+        let t = r.sites.iter().find(|s| s.value.contains('t')).unwrap();
+        assert_eq!(t.lane_benign[0] & 0xFF, 0);
+    }
+
+    #[test]
+    fn store_value_sites_are_never_bit_benign() {
+        let r = analyze(
+            r#"
+define void @f(ptr %p, i32 %x) {
+entry:
+  %v = and i32 %x, 255
+  store i32 %v, ptr %p
+  ret void
+}
+"#,
+            "f",
+        );
+        let stored = r.sites.iter().find(|s| s.kind == "store-value").unwrap();
+        assert_eq!(stored.benign_bits(), 0);
+        assert_eq!(stored.class, "store-feeding");
+        assert_eq!(stored.class_of(0, 31), BitClass::StoreFeeding);
+        // But the Lvalue site of %v knows bits 8..32 die in the `and`...
+        // no: %v IS the stored value. Its Lvalue site is fully demanded.
+        let lv = r
+            .sites
+            .iter()
+            .find(|s| s.kind == "lvalue" && s.value.contains('v'))
+            .unwrap();
+        assert_eq!(lv.benign_bits(), 0);
+    }
+
+    #[test]
+    fn address_and_control_classes_win_over_store() {
+        let r = analyze(
+            r#"
+define void @f(ptr %a, i32 %n) {
+entry:
+  br label %header
+header:
+  %i = phi i32 [ 0, %entry ], [ %i2, %body ]
+  %cond = icmp slt i32 %i, %n
+  br i1 %cond, label %body, label %exit
+body:
+  %p = getelementptr float, ptr %a, i32 %i
+  %v = load float, ptr %p
+  store float %v, ptr %p
+  %i2 = add i32 %i, 1
+  br label %header
+exit:
+  ret void
+}
+"#,
+            "f",
+        );
+        let p = r.sites.iter().find(|s| s.value.contains('p')).unwrap();
+        assert_eq!(p.class, "address-feeding");
+        assert_eq!(p.class_of(0, 5), BitClass::AddressFeeding);
+        let cond = r.sites.iter().find(|s| s.value.contains("cond")).unwrap();
+        assert_eq!(cond.class, "control-feeding");
+        // i1 has one meaningful bit and it steers the branch.
+        assert_eq!(cond.width, 1);
+        assert_eq!(cond.class_of(0, 0), BitClass::ControlFeeding);
+    }
+
+    #[test]
+    fn dead_value_is_fully_benign() {
+        let r = analyze(
+            r#"
+define void @f(ptr %p, i32 %x) {
+entry:
+  %dead = mul i32 %x, 3
+  store i32 %x, ptr %p
+  ret void
+}
+"#,
+            "f",
+        );
+        let dead = r.sites.iter().find(|s| s.value.contains("dead")).unwrap();
+        assert_eq!(dead.benign_bits(), 32);
+        assert_eq!(
+            dead.class_of(0, 17),
+            BitClass::ProvablyBenign(BenignReason::DeadLane)
+        );
+    }
+
+    #[test]
+    fn masked_memop_mask_bits_below_msb_are_benign() {
+        // The AVX maskload reads only the sign bit of each mask lane:
+        // bits 0..31 of every %m lane are provably benign.
+        let r = analyze(
+            r#"
+define <8 x float> @f(ptr %p, <8 x i32> %m) {
+entry:
+  %v = call <8 x float> @llvm.x86.avx.maskload.ps.256(ptr %p, <8 x i32> %m)
+  ret <8 x float> %v
+}
+"#,
+            "f",
+        );
+        // %m is a param, not a site; but the loaded value %v is fully
+        // demanded by the return.
+        let v = r.sites.iter().find(|s| s.value.contains('v')).unwrap();
+        assert_eq!(v.lanes, 8);
+        assert_eq!(v.benign_bits(), 0);
+    }
+
+    #[test]
+    fn provably_off_lanes_of_masked_ops_are_benign() {
+        // Constant mask 0,0,0,0,-1,-1,-1,-1: lanes 0..4 never execute.
+        let r = analyze(
+            r#"
+define <8 x float> @f(ptr %p) {
+entry:
+  %v = call <8 x float> @llvm.x86.avx.maskload.ps.256(ptr %p, <8 x i32> <i32 0, i32 0, i32 0, i32 0, i32 -1, i32 -1, i32 -1, i32 -1>)
+  ret <8 x float> %v
+}
+"#,
+            "f",
+        );
+        let v = r.sites.iter().find(|s| s.value.contains('v')).unwrap();
+        for lane in 0..4 {
+            assert!(v.masked_off[lane], "lane {lane} provably off");
+            assert_eq!(
+                v.class_of(lane as u32, 13),
+                BitClass::ProvablyBenign(BenignReason::MaskedLane)
+            );
+        }
+        for lane in 4..8 {
+            assert!(!v.masked_off[lane]);
+            assert_eq!(v.class_of(lane as u32, 13), BitClass::StoreFeeding);
+        }
+        assert_eq!(v.benign_bits(), 4 * 32);
+    }
+
+    #[test]
+    fn plan_mirrors_report_and_counts_coordinates() {
+        let r = analyze(
+            r#"
+define i8 @f(i32 %x) {
+entry:
+  %w = add i32 %x, 1
+  %t = trunc i32 %w to i8
+  ret i8 %t
+}
+"#,
+            "f",
+        );
+        let plan = PrunePlan::from_report(&r);
+        let w = r.sites.iter().find(|s| s.value.contains('w')).unwrap();
+        assert!(plan.is_benign(w.id, 0, 20));
+        assert!(!plan.is_benign(w.id, 0, 3));
+        assert!(!plan.is_benign(w.id, 1, 20), "no such lane");
+        assert!(!plan.is_benign(999, 0, 0), "no such site");
+        assert_eq!(plan.width(w.id), Some(32));
+        assert_eq!(plan.total_coordinates(), r.total_bits());
+        assert_eq!(plan.benign_coordinates(), r.benign_bits());
+        assert!(r.benign_fraction() > 0.0);
+    }
+
+    #[test]
+    fn analyze_module_verifies_first() {
+        // Parses fine, but %y is used before its definition dominates the
+        // use — verification must reject it before analysis runs.
+        let m = vir::parser::parse_module(
+            r#"
+define i32 @f(i32 %x) {
+entry:
+  %z = add i32 %y, 1
+  br label %later
+later:
+  %y = add i32 %x, 1
+  ret i32 %z
+}
+"#,
+        )
+        .unwrap();
+        let err = analyze_module(&m, "f").unwrap_err();
+        assert!(err.contains("verification failed"), "{err}");
+        let ok = vir::parser::parse_module("define void @g() {\nentry:\n  ret void\n}\n").unwrap();
+        let err = analyze_module(&ok, "missing").unwrap_err();
+        assert!(err.contains("missing"), "{err}");
+    }
+
+    #[test]
+    fn report_roundtrips_as_json() {
+        let r = analyze(
+            r#"
+define i8 @f(i32 %x) {
+entry:
+  %w = add i32 %x, 1
+  %t = trunc i32 %w to i8
+  ret i8 %t
+}
+"#,
+            "f",
+        );
+        let text = serde_json::to_string(&r).unwrap();
+        let back: VulnReport = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn unreachable_sites_are_fully_benign() {
+        let r = analyze(
+            r#"
+define void @f(ptr %p, i32 %x) {
+entry:
+  ret void
+orphan:
+  %v = add i32 %x, 7
+  store i32 %v, ptr %p
+  ret void
+}
+"#,
+            "f",
+        );
+        for s in &r.sites {
+            assert_eq!(s.benign_bits(), s.total_bits(), "site {}", s.value);
+            assert_eq!(
+                s.class_of(0, 0),
+                BitClass::ProvablyBenign(BenignReason::MaskedLane)
+            );
+        }
+    }
+}

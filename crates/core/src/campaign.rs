@@ -20,6 +20,7 @@ use vexec::{Interp, Trap};
 use vir::analysis::SiteCategory;
 use vir::Module;
 
+use crate::analyze::{analyze_module, PrunePlan};
 use crate::fault::FaultModel;
 use crate::faultlog::{panic_message, record_engine_fault, strict, EngineFault};
 use crate::instrument::{instrument_module, InstrumentOptions, Instrumented};
@@ -597,6 +598,127 @@ pub fn run_experiment_range(
         .collect()
 }
 
+/// Per-input golden census used by the campaign pruner: the ordered
+/// `(site_id, lane)` sequence of dynamic fault sites, exactly as the
+/// runtime counts them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InputCensus {
+    pub golden_dyn_insts: u64,
+    pub trace: Vec<(u32, u32)>,
+}
+
+/// Everything [`run_experiment_range_pruned`] needs to predict an
+/// experiment's injection coordinate without running it: the static
+/// benign-coordinate plan plus one golden census per workload input.
+#[derive(Debug, Clone)]
+pub struct PruneContext {
+    pub plan: PrunePlan,
+    pub census: Vec<InputCensus>,
+}
+
+/// Build the prune context: analyze the uninstrumented module, then run
+/// one logging golden run per input on the instrumented program.
+///
+/// Only the paper's single-bit-flip model is supported: the prediction
+/// replays the model's `bit = entropy % width` choice, and multi-bit or
+/// stuck-at corruptions would need their own replay logic.
+pub fn build_prune_context(
+    prog: &Prepared,
+    workload: &dyn Workload,
+) -> Result<PruneContext, CampaignError> {
+    if prog.model != FaultModel::SingleBitFlip {
+        return Err(CampaignError(format!(
+            "pruning supports only the single-bit-flip model, not {}",
+            prog.model
+        )));
+    }
+    let report = analyze_module(workload.module(), workload.entry()).map_err(CampaignError)?;
+    let plan = PrunePlan::from_report(&report);
+    let mut census = Vec::new();
+    for input in 0..workload.num_inputs().max(1) {
+        let mut interp = Interp::new(&prog.module);
+        let setup = workload
+            .setup(&mut interp.mem, input)
+            .map_err(|t| CampaignError(format!("setup failed: {t}")))?;
+        let mut host = VulfiHost::profile_logging();
+        let golden = interp
+            .run(&prog.entry, &setup.args, &mut host)
+            .map_err(|t| {
+                CampaignError(format!("golden run of {} trapped: {t}", workload.name()))
+            })?;
+        census.push(InputCensus {
+            golden_dyn_insts: golden.dyn_insts,
+            trace: host.site_log.take().unwrap_or_default(),
+        });
+    }
+    Ok(PruneContext { plan, census })
+}
+
+/// [`run_experiment_range`] with static pruning: each experiment's RNG
+/// draws are replayed against the golden census to find the coordinate
+/// the injector would corrupt; if the plan proves it benign, a synthetic
+/// [`Outcome::Benign`] record is emitted without executing the faulty
+/// run. Every other experiment re-runs exactly as the unpruned driver
+/// would — a fresh RNG reproduces the identical draw sequence, so the
+/// executed subset is bit-identical to a full run. Pruned records carry
+/// `injection: None` (nothing was executed, so there is no corruption to
+/// record); outcome, detection, input, and site counts match what the
+/// full run would have produced.
+pub fn run_experiment_range_pruned(
+    prog: &Prepared,
+    workload: &dyn Workload,
+    ctx: &PruneContext,
+    campaign_seed: u64,
+    range: std::ops::Range<usize>,
+) -> Result<Vec<Experiment>, CampaignError> {
+    if prog.model != FaultModel::SingleBitFlip {
+        return Err(CampaignError(format!(
+            "pruning supports only the single-bit-flip model, not {}",
+            prog.model
+        )));
+    }
+    range
+        .map(|i| {
+            // Replay the draws on a throwaway RNG; the real run (if any)
+            // recreates its own from scratch so sequences stay identical.
+            let mut probe = experiment_rng(campaign_seed, i);
+            let input = probe.gen_range(0..workload.num_inputs().max(1));
+            let census = ctx
+                .census
+                .get(input as usize)
+                .ok_or_else(|| CampaignError(format!("prune census missing input {input}")))?;
+            let n_sites = census.trace.len() as u64;
+            if n_sites == 0 {
+                return Ok(Experiment {
+                    outcome: Outcome::Benign,
+                    detected: false,
+                    injection: None,
+                    input,
+                    dynamic_sites: 0,
+                    golden_dyn_insts: census.golden_dyn_insts,
+                });
+            }
+            let target = probe.gen_range(1..=n_sites);
+            let bit_entropy: u64 = probe.gen();
+            let (site, lane) = census.trace[(target - 1) as usize];
+            let width = ctx.plan.width(site).unwrap_or(64).max(1);
+            let bit = (bit_entropy % width as u64) as u32;
+            if ctx.plan.is_benign(site, lane, bit) {
+                return Ok(Experiment {
+                    outcome: Outcome::Benign,
+                    detected: false,
+                    injection: None,
+                    input,
+                    dynamic_sites: n_sites,
+                    golden_dyn_insts: census.golden_dyn_insts,
+                });
+            }
+            let mut rng = experiment_rng(campaign_seed, i);
+            run_experiment_tagged(prog, workload, &mut rng, Some((campaign_seed, i)), None)
+        })
+        .collect()
+}
+
 /// Run one campaign of `n` experiments in parallel. `seed` makes the
 /// campaign reproducible.
 pub fn run_campaign(
@@ -638,6 +760,11 @@ pub struct StudyConfig {
     pub seed: u64,
     /// Fault model every experiment applies.
     pub model: FaultModel,
+    /// Skip injections the static analyzer proves benign, accounting
+    /// them as [`Outcome::Benign`] without execution (single-bit-flip
+    /// model only). Changes the study identity: pruned records carry no
+    /// injection payload for discharged experiments.
+    pub prune: bool,
 }
 
 impl Default for StudyConfig {
@@ -649,6 +776,7 @@ impl Default for StudyConfig {
             max_campaigns: 20,
             seed: 0xDEAD_BEEF,
             model: FaultModel::default(),
+            prune: false,
         }
     }
 }
@@ -656,7 +784,8 @@ impl Default for StudyConfig {
 // Manual serde mirroring the derive, except `model` is omitted when it is
 // the default single-bit flip (and defaulted when absent), so manifests
 // written before the fault-model library existed keep parsing and
-// default-model manifests stay byte-identical.
+// default-model manifests stay byte-identical. `prune` follows the same
+// pattern: omitted when false.
 impl serde::Serialize for StudyConfig {
     fn to_value(&self) -> serde::Value {
         let mut fields = vec![
@@ -671,6 +800,9 @@ impl serde::Serialize for StudyConfig {
         ];
         if self.model != FaultModel::default() {
             fields.push(("model".to_string(), self.model.to_value()));
+        }
+        if self.prune {
+            fields.push(("prune".to_string(), self.prune.to_value()));
         }
         serde::Value::Object(fields)
     }
@@ -687,6 +819,10 @@ impl serde::Deserialize for StudyConfig {
             model: match v.get("model") {
                 Some(m) => FaultModel::from_value(m)?,
                 None => FaultModel::default(),
+            },
+            prune: match v.get("prune") {
+                Some(p) => bool::from_value(p)?,
+                None => false,
             },
         })
     }
@@ -894,6 +1030,7 @@ exit:
             max_campaigns: 10,
             seed: 5,
             model: FaultModel::default(),
+            prune: false,
         };
         let s = run_study(&prog, &w, &cfg).unwrap();
         assert!(s.samples.len() >= 4);
@@ -995,6 +1132,162 @@ exit:
         prog.model = FaultModel::MemoryCell;
         let c = run_campaign(&prog, &w, 30, 5).unwrap();
         assert!(c.counts.sdc > 0, "{:?}", c.counts);
+    }
+
+    // --- Static pruning ---------------------------------------------------
+
+    /// A workload with provably-dead bits: %w's high 24 bits die in the
+    /// truncation, so the analyzer discharges a solid fraction of the
+    /// pure-data fault space.
+    struct NarrowWorkload {
+        module: Module,
+    }
+
+    impl NarrowWorkload {
+        fn new() -> NarrowWorkload {
+            let src = r#"
+define void @narrow(ptr %a, i32 %n) {
+entry:
+  br label %header
+header:
+  %i = phi i32 [ 0, %entry ], [ %i2, %body ]
+  %cond = icmp slt i32 %i, %n
+  br i1 %cond, label %body, label %exit
+body:
+  %p = getelementptr i32, ptr %a, i32 %i
+  %v = load i32, ptr %p
+  %w = add i32 %v, 5
+  %t = trunc i32 %w to i8
+  %z = zext i8 %t to i32
+  store i32 %z, ptr %p
+  %i2 = add i32 %i, 1
+  br label %header
+exit:
+  ret void
+}
+"#;
+            NarrowWorkload {
+                module: vir::parser::parse_module(src).unwrap(),
+            }
+        }
+    }
+
+    impl Workload for NarrowWorkload {
+        fn name(&self) -> &str {
+            "narrow"
+        }
+        fn entry(&self) -> &str {
+            "narrow"
+        }
+        fn module(&self) -> &Module {
+            &self.module
+        }
+        fn num_inputs(&self) -> u64 {
+            2
+        }
+        fn setup(&self, mem: &mut Memory, input: u64) -> Result<SetupResult, vexec::Trap> {
+            let n = 6 + input * 2;
+            let vals: Vec<f32> = (0..n).map(|i| f32::from_bits(i as u32 * 37 + 1)).collect();
+            let a = mem.alloc_f32_slice(&vals)?;
+            Ok(SetupResult {
+                args: vec![
+                    RtVal::Scalar(Scalar::ptr(a)),
+                    RtVal::Scalar(Scalar::i32(n as i32)),
+                ],
+                outputs: vec![OutputRegion {
+                    addr: a,
+                    bytes: n * 4,
+                }],
+            })
+        }
+    }
+
+    #[test]
+    fn pruned_range_matches_full_run_on_executed_subset() {
+        let w = NarrowWorkload::new();
+        let prog = prepare(&w, SiteCategory::PureData).unwrap();
+        let ctx = build_prune_context(&prog, &w).unwrap();
+        assert!(
+            ctx.plan.benign_coordinates() > 0,
+            "the truncation must discharge coordinates"
+        );
+        let seed = campaign_seed(0xBEE5, 0);
+        let full = run_experiment_range(&prog, &w, seed, 0..60).unwrap();
+        let pruned = run_experiment_range_pruned(&prog, &w, &ctx, seed, 0..60).unwrap();
+        assert_eq!(full.len(), pruned.len());
+        let mut discharged = 0;
+        let mut executed = 0;
+        for (f, p) in full.iter().zip(&pruned) {
+            if p.injection.is_some() || f.injection.is_none() {
+                // Executed (or empty-census) experiments must be
+                // bit-identical to the full run.
+                assert_eq!(f, p);
+                executed += 1;
+            } else {
+                // Discharged: the full run must agree the flip was benign.
+                discharged += 1;
+                assert_eq!(f.outcome, Outcome::Benign, "unsound prune: {f:?}");
+                assert!(!f.detected);
+                assert_eq!(p.outcome, Outcome::Benign);
+                assert!(!p.detected);
+                assert_eq!(p.input, f.input);
+                assert_eq!(p.dynamic_sites, f.dynamic_sites);
+                assert_eq!(p.golden_dyn_insts, f.golden_dyn_insts);
+            }
+        }
+        assert!(discharged > 0, "pruning must discharge something here");
+        assert!(executed > 0, "pruning must not discharge everything");
+        // Sharding still composes: any partition reproduces the whole.
+        let mut pieced = Vec::new();
+        for range in [0..13, 13..14, 14..45, 45..60] {
+            pieced.extend(run_experiment_range_pruned(&prog, &w, &ctx, seed, range).unwrap());
+        }
+        assert_eq!(pruned, pieced);
+    }
+
+    #[test]
+    fn executed_predictions_cross_validate_as_sound() {
+        let w = NarrowWorkload::new();
+        let prog = prepare(&w, SiteCategory::PureData).unwrap();
+        let ctx = build_prune_context(&prog, &w).unwrap();
+        let seed = campaign_seed(0xBEE5, 1);
+        let full = run_experiment_range(&prog, &w, seed, 0..80).unwrap();
+        let report = crate::analyze::check_soundness(&ctx.plan, &full);
+        assert!(report.checked > 0);
+        assert!(report.predicted_benign > 0, "{report:?}");
+        assert!(
+            report.is_sound(),
+            "predicted-benign flips produced non-benign outcomes: {:?}",
+            report.violations
+        );
+        assert_eq!(report.misprediction_pct(), 0.0);
+    }
+
+    #[test]
+    fn prune_rejects_non_bit_flip_models() {
+        let w = NarrowWorkload::new();
+        let mut prog = prepare(&w, SiteCategory::PureData).unwrap();
+        prog.model = FaultModel::MultiBitBurst { width: 3 };
+        let err = build_prune_context(&prog, &w).unwrap_err();
+        assert!(err.0.contains("single-bit-flip"), "{err}");
+    }
+
+    #[test]
+    fn study_config_serde_keeps_prune_backward_compatible() {
+        let cfg = StudyConfig::default();
+        let text = serde_json::to_string(&cfg).unwrap();
+        assert!(!text.contains("prune"), "default must omit prune: {text}");
+        let back: StudyConfig = serde_json::from_str(&text).unwrap();
+        assert!(!back.prune);
+
+        let pruned = StudyConfig {
+            prune: true,
+            ..StudyConfig::default()
+        };
+        let text = serde_json::to_string(&pruned).unwrap();
+        assert!(text.contains("prune"), "{text}");
+        let back: StudyConfig = serde_json::from_str(&text).unwrap();
+        assert!(back.prune);
     }
 
     // --- Fault containment -----------------------------------------------

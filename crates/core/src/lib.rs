@@ -47,6 +47,7 @@
 //! assert_eq!(result.counts.total(), 20);
 //! ```
 
+pub mod analyze;
 pub mod campaign;
 pub mod fault;
 pub mod faultlog;
@@ -59,10 +60,15 @@ pub mod stats;
 pub mod trace;
 pub mod workload;
 
+pub use analyze::{
+    analyze_function, analyze_module, check_soundness, BenignReason, BitClass, PrunePlan,
+    SiteReport, SoundnessReport, SoundnessViolation, VulnReport,
+};
 pub use campaign::{
-    campaign_seed, experiment_rng, prepare, prepare_with, run_campaign, run_experiment,
-    run_experiment_range, run_study, CampaignError, CampaignResult, Experiment, Outcome,
-    OutcomeCounts, Prepared, ResourceLimits, StudyConfig, StudyResult,
+    build_prune_context, campaign_seed, experiment_rng, prepare, prepare_with, run_campaign,
+    run_experiment, run_experiment_range, run_experiment_range_pruned, run_study, CampaignError,
+    CampaignResult, Experiment, InputCensus, Outcome, OutcomeCounts, Prepared, PruneContext,
+    ResourceLimits, StudyConfig, StudyResult,
 };
 pub use fault::{FaultModel, MODEL_KINDS};
 pub use faultlog::{

@@ -106,6 +106,10 @@ pub struct VulfiHost {
     /// Host-clock deadline for the second flip of a temporal pair.
     second_due: Option<u64>,
     pub detectors: DetectorStats,
+    /// When present, every counted dynamic site is appended as
+    /// `(site_id, lane)` — the census the campaign pruner replays to
+    /// predict which coordinate a given target index would hit.
+    pub site_log: Option<Vec<(u32, u32)>>,
 }
 
 impl VulfiHost {
@@ -119,6 +123,16 @@ impl VulfiHost {
             injection_at: None,
             second_due: None,
             detectors: DetectorStats::default(),
+            site_log: None,
+        }
+    }
+
+    /// Golden-run host that also records the ordered `(site_id, lane)`
+    /// census of every counted dynamic site.
+    pub fn profile_logging() -> VulfiHost {
+        VulfiHost {
+            site_log: Some(Vec::new()),
+            ..VulfiHost::profile()
         }
     }
 
@@ -142,6 +156,7 @@ impl VulfiHost {
             injection_at: None,
             second_due: None,
             detectors: DetectorStats::default(),
+            site_log: None,
         }
     }
 
@@ -168,6 +183,12 @@ impl VulfiHost {
             return Ok(Some(RtVal::Scalar(val)));
         }
         self.dynamic_sites += 1;
+        if let Some(log) = &mut self.site_log {
+            log.push((
+                args[2].lane(0).as_u64() as u32,
+                args[3].lane(0).as_u64() as u32,
+            ));
+        }
         if let RunMode::Inject {
             target,
             bit_entropy,
@@ -286,6 +307,16 @@ mod tests {
         call(&mut h, "vulfi.inject.f32", inject_args(3.0, true)).unwrap();
         assert_eq!(h.dynamic_sites, 2);
         assert!(h.injection.is_none());
+    }
+
+    #[test]
+    fn profile_logging_records_active_lane_census() {
+        let mut h = VulfiHost::profile_logging();
+        call(&mut h, "vulfi.inject.f32", inject_args(1.0, true)).unwrap();
+        call(&mut h, "vulfi.inject.f32", inject_args(2.0, false)).unwrap();
+        call(&mut h, "vulfi.inject.f32", inject_args(3.0, true)).unwrap();
+        assert_eq!(h.dynamic_sites, 2);
+        assert_eq!(h.site_log.as_deref(), Some(&[(7, 3), (7, 3)][..]));
     }
 
     #[test]

@@ -49,6 +49,9 @@ pub struct StudySpec {
     /// Fault model, e.g. `"single-bit-flip"` or `"multi-bit-burst:2"`
     /// (see [`crate::MODEL_KINDS`]).
     pub model: String,
+    /// Statically discharge provably-benign injections without running
+    /// them (single-bit-flip model only).
+    pub prune: bool,
 }
 
 impl Default for StudySpec {
@@ -64,6 +67,7 @@ impl Default for StudySpec {
             shard_size: 25,
             detectors: false,
             model: FaultModel::default().name(),
+            prune: false,
         }
     }
 }
@@ -95,7 +99,13 @@ impl StudySpec {
         if self.shard_size == 0 {
             return Err("spec.shard_size must be positive".to_string());
         }
-        self.fault_model()?;
+        let model = self.fault_model()?;
+        if self.prune && model != FaultModel::SingleBitFlip {
+            return Err(format!(
+                "spec.prune requires the single-bit-flip model, not '{}'",
+                self.model
+            ));
+        }
         Ok(())
     }
 
@@ -125,6 +135,7 @@ impl StudySpec {
             max_campaigns: self.campaigns,
             seed: self.seed,
             model: self.fault_model().unwrap_or_default(),
+            prune: self.prune,
             ..StudyConfig::default()
         }
     }
@@ -170,6 +181,13 @@ mod tests {
         let mut s = spec();
         s.scale = "huge".to_string();
         assert!(s.validate().is_err());
+
+        let mut s = spec();
+        s.prune = true;
+        s.validate().unwrap();
+        s.model = "multi-bit-burst:2".to_string();
+        let e = s.validate().unwrap_err();
+        assert!(e.contains("prune"), "{e}");
 
         let mut s = spec();
         s.model = "cosmic-ray".to_string();

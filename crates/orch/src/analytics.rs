@@ -592,6 +592,79 @@ pub struct MetricRow {
     pub value: f64,
 }
 
+/// One site of a workload's static vulnerability report, joined with
+/// the observed injection outcomes for the same site id from the trace
+/// heatmaps (zeros when tracing never hit the site).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AnalysisSiteRow {
+    pub site_id: u32,
+    pub value: String,
+    pub opcode: String,
+    /// Feeding class the analyzer assigned (`store-feeding`, ...).
+    pub class: String,
+    /// Share of the site's (lane, bit) coordinates proven benign.
+    pub predicted_benign_pct: f64,
+    pub injections: u64,
+    pub sdc: u64,
+    /// Observed SDC share of the site's traced injections, percent.
+    pub observed_sdc_pct: f64,
+}
+
+/// One workload's predicted-vs-observed join for the HTML report.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AnalysisCell {
+    pub workload: String,
+    pub function: String,
+    pub total_bits: u64,
+    pub benign_bits: u64,
+    pub sites: Vec<AnalysisSiteRow>,
+}
+
+/// Join static vulnerability reports (keyed by workload name) with the
+/// observed per-site outcomes of the matching trace heatmap. Sites the
+/// tracer never injected keep zero counts — a predicted-benign site
+/// *should* accumulate injections with no SDCs, which is exactly what
+/// the section lets a reader eyeball.
+pub fn analysis_cells(
+    reports: &[(String, vulfi::VulnReport)],
+    heatmaps: &[WorkloadHeatmap],
+) -> Vec<AnalysisCell> {
+    reports
+        .iter()
+        .map(|(workload, rep)| {
+            let observed: std::collections::HashMap<u32, &SiteRow> = heatmaps
+                .iter()
+                .filter(|m| &m.workload == workload)
+                .flat_map(|m| &m.sites)
+                .map(|s| (s.site_id, s))
+                .collect();
+            AnalysisCell {
+                workload: workload.clone(),
+                function: rep.function.clone(),
+                total_bits: rep.total_bits(),
+                benign_bits: rep.benign_bits(),
+                sites: rep
+                    .sites
+                    .iter()
+                    .map(|s| {
+                        let o = observed.get(&s.id);
+                        AnalysisSiteRow {
+                            site_id: s.id,
+                            value: s.value.clone(),
+                            opcode: s.opcode.clone(),
+                            class: s.class.clone(),
+                            predicted_benign_pct: 100.0 * s.benign_fraction(),
+                            injections: o.map(|r| r.injections).unwrap_or(0),
+                            sdc: o.map(|r| r.sdc).unwrap_or(0),
+                            observed_sdc_pct: o.map(|r| r.sdc_rate).unwrap_or(0.0),
+                        }
+                    })
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
 /// Everything [`render_html`] can include. Empty slices and `None`
 /// render as explicit "no data" sections rather than disappearing.
 pub struct ReportInputs<'a> {
@@ -603,6 +676,8 @@ pub struct ReportInputs<'a> {
     pub occupancy: &'a [OccupancyProfile],
     pub traces: Option<&'a TraceSummary>,
     pub metrics: &'a [MetricRow],
+    /// Static-analysis joins (`vulfi report html` over traced studies).
+    pub analysis: &'a [AnalysisCell],
     /// Gauntlet verdicts (`vulfi gauntlet report`).
     pub gauntlet: Option<&'a crate::scenario::GauntletReport>,
 }
@@ -889,6 +964,60 @@ pub fn render_html(inp: &ReportInputs) -> String {
     }
     h.push_str("</section>\n");
 
+    // Static analysis: predicted-benign fraction vs observed SDC.
+    h.push_str("<section id=\"analysis\"><h2>Static analysis</h2>\n");
+    if inp.analysis.is_empty() {
+        h.push_str(
+            "<p class=\"muted\">no static analysis (render with \
+             <code>vulfi report html --trace DIR</code> over traced studies)</p>\n",
+        );
+    }
+    for a in inp.analysis {
+        let benign_pct = if a.total_bits == 0 {
+            0.0
+        } else {
+            100.0 * a.benign_bits as f64 / a.total_bits as f64
+        };
+        h.push_str(&format!(
+            "<h3>{} — predicted vs observed</h3>\
+             <p>@{}: {} of {} scalar bits provably benign ({:.1}%)</p>\n",
+            esc(&a.workload),
+            esc(&a.function),
+            a.benign_bits,
+            a.total_bits,
+            benign_pct,
+        ));
+        h.push_str(
+            "<table><tr><th>site</th><th>value</th><th>opcode</th><th>class</th>\
+             <th>predicted benign %</th><th>injections</th><th>SDC</th>\
+             <th>observed SDC %</th></tr>\n",
+        );
+        for s in &a.sites {
+            // A site the analyzer called mostly benign that still shows
+            // SDCs in traces is flagged loudly — that pairing is the
+            // whole point of the join.
+            let suspicious = s.predicted_benign_pct >= 99.999 && s.sdc > 0;
+            h.push_str(&format!(
+                "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{:.1}</td>\
+                 <td>{}</td><td>{}</td><td>{}</td></tr>\n",
+                s.site_id,
+                esc(&s.value),
+                esc(&s.opcode),
+                esc(&s.class),
+                s.predicted_benign_pct,
+                s.injections,
+                s.sdc,
+                if suspicious {
+                    format!("<span class=\"sig\">{:.1}</span>", s.observed_sdc_pct)
+                } else {
+                    format!("{:.1}", s.observed_sdc_pct)
+                },
+            ));
+        }
+        h.push_str("</table>\n");
+    }
+    h.push_str("</section>\n");
+
     // Lane occupancy (Fig. 10-shaped dynamic composition + masking).
     h.push_str("<section id=\"occupancy\"><h2>Lane occupancy</h2>\n");
     if inp.occupancy.is_empty() {
@@ -993,6 +1122,7 @@ pub fn html_from_stores(
     diff_against: Option<&Store>,
     occupancy: &[OccupancyProfile],
     metrics: &[MetricRow],
+    analysis: &[AnalysisCell],
     gauntlet: Option<&crate::scenario::GauntletReport>,
     top_sites: usize,
 ) -> Result<String, OrchError> {
@@ -1017,6 +1147,7 @@ pub fn html_from_stores(
         occupancy,
         traces: traces.as_ref(),
         metrics,
+        analysis,
         gauntlet,
     }))
 }
@@ -1195,6 +1326,22 @@ mod tests {
                 name: "vulfi_experiments_total".to_string(),
                 value: 200.0,
             }],
+            analysis: &[AnalysisCell {
+                workload: "W".to_string(),
+                function: "kernel".to_string(),
+                total_bits: 1024,
+                benign_bits: 256,
+                sites: vec![AnalysisSiteRow {
+                    site_id: 1,
+                    value: "%acc".to_string(),
+                    opcode: "fmul".to_string(),
+                    class: "pure-data".to_string(),
+                    predicted_benign_pct: 100.0,
+                    injections: 5,
+                    sdc: 3,
+                    observed_sdc_pct: 60.0,
+                }],
+            }],
             gauntlet: Some(&gauntlet),
         });
         for id in [
@@ -1202,6 +1349,7 @@ mod tests {
             "gauntlet",
             "diff",
             "heatmap",
+            "analysis",
             "occupancy",
             "propagation",
             "metrics",
@@ -1221,6 +1369,9 @@ mod tests {
         // The gauntlet section names the breached invariant and model.
         assert!(html.contains("FAIL (sdc_rate_max)"), "{html}");
         assert!(html.contains("multi-bit-burst:2"));
+        // A 100%-predicted-benign site with observed SDC is flagged.
+        assert!(html.contains("256 of 1024 scalar bits provably benign"));
+        assert!(html.contains("<span class=\"sig\">60.0"), "{html}");
     }
 
     #[test]
@@ -1341,7 +1492,8 @@ mod tests {
         let d = diff_stores(&a, &b).unwrap();
         assert!(d.cells.is_empty());
         assert_eq!((d.significant, d.drift), (0, 0));
-        let html = html_from_stores("empty", Some(&a), None, None, &[], &[], None, 10).unwrap();
+        let html =
+            html_from_stores("empty", Some(&a), None, None, &[], &[], &[], None, 10).unwrap();
         assert!(html.contains("no complete studies"));
         assert!(html.contains("id=\"heatmap\"") && html.contains("id=\"diff\""));
         std::fs::remove_dir_all(&da).unwrap();

@@ -72,6 +72,14 @@ pub fn study_key(prog: &Prepared, workload_name: &str, isa: &str, cfg: &StudyCon
         canon.push_str(&format!("fault-model:{}", cfg.model.name()));
         canon.push('\0');
     }
+    // Same pattern for pruning: a pruned study stores synthetic records
+    // for discharged experiments, so it must never share a directory
+    // with a full run — but unpruned keys stay byte-identical to every
+    // key minted before pruning existed.
+    if cfg.prune {
+        canon.push_str("prune:on");
+        canon.push('\0');
+    }
     // Two independent FNV-1a streams (distinct offset bases) give 128
     // bits — ample for a results cache keyed by experiment content.
     let lo = fnv1a(0xcbf2_9ce4_8422_2325, canon.as_bytes());
@@ -140,5 +148,27 @@ mod tests {
             &explicit,
         );
         assert_eq!(base, explicit_key);
+    }
+
+    #[test]
+    fn prune_changes_key_but_off_is_legacy_stable() {
+        let cfg = StudyConfig::default();
+        let base = study_key(&prep(SiteCategory::PureData), "vector sum", "avx", &cfg);
+
+        let mut pruned = cfg;
+        pruned.prune = true;
+        let pruned_key = study_key(&prep(SiteCategory::PureData), "vector sum", "avx", &pruned);
+        assert_ne!(base, pruned_key, "pruning must change the key");
+
+        // prune=false appends nothing: pre-pruning keys still resolve.
+        let mut explicit = cfg;
+        explicit.prune = false;
+        let off_key = study_key(
+            &prep(SiteCategory::PureData),
+            "vector sum",
+            "avx",
+            &explicit,
+        );
+        assert_eq!(base, off_key);
     }
 }

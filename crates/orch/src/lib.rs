@@ -50,9 +50,10 @@ pub mod store;
 pub mod tracestore;
 
 pub use analytics::{
-    diff_stores, heatmaps, heatmaps_filtered, html_from_stores, load_cells, render_diff_text,
-    render_heatmap_text, render_html, DiffCell, DiffReport, LaneBitCell, MetricRow,
-    OccupancyBucket, OccupancyProfile, ReportInputs, SiteRow, StudyCell, WorkloadHeatmap,
+    analysis_cells, diff_stores, heatmaps, heatmaps_filtered, html_from_stores, load_cells,
+    render_diff_text, render_heatmap_text, render_html, AnalysisCell, AnalysisSiteRow, DiffCell,
+    DiffReport, LaneBitCell, MetricRow, OccupancyBucket, OccupancyProfile, ReportInputs, SiteRow,
+    StudyCell, WorkloadHeatmap,
 };
 pub use crc::crc32;
 pub use key::{study_key, StudyKey};
@@ -63,7 +64,9 @@ pub use metrics::{
 pub use observe::{humanize, Progress, ProgressSnapshot};
 pub use plan::{covered_experiments, merge, merged_dyn_insts, missing_jobs, plan_shards, ShardJob};
 pub use queue::{JobQueue, JobRecord, JobState};
-pub use run::{run_shard, run_study_persistent, set_jobs, ProgressFn, RunOptions, RunOutcome};
+pub use run::{
+    run_shard, run_study_persistent, set_jobs, verify_soundness, ProgressFn, RunOptions, RunOutcome,
+};
 pub use scenario::{
     cell_verdict, check_invariant, parse_scenario, render_verdicts, render_verdicts_json,
     CellVerdict, GauntletReport, Invariant, InvariantVerdict, Scenario,

@@ -7,8 +7,9 @@ use std::time::Instant;
 
 use rayon::prelude::*;
 use vulfi::{
-    campaign_seed, run_experiment_range, run_experiment_range_traced, Prepared, StudyConfig,
-    StudyResult, Workload,
+    build_prune_context, campaign_seed, run_experiment_range, run_experiment_range_pruned,
+    run_experiment_range_traced, Prepared, PruneContext, SoundnessReport, StudyConfig, StudyResult,
+    Workload,
 };
 
 use crate::key::{study_key, StudyKey};
@@ -89,6 +90,7 @@ pub fn run_shard(
     cfg: &StudyConfig,
     job: ShardJob,
     traced: bool,
+    prune: Option<&PruneContext>,
 ) -> Result<(ShardRecord, Vec<vulfi::ExperimentTrace>), OrchError> {
     if prog.model != cfg.model {
         return Err(OrchError(format!(
@@ -98,7 +100,17 @@ pub fn run_shard(
     }
     let shard_start = Instant::now();
     let seed = campaign_seed(cfg.seed, job.campaign);
-    let (experiments, spans) = if traced {
+    let (experiments, spans) = if let Some(ctx) = prune {
+        if traced {
+            return Err(OrchError(
+                "tracing and pruning are mutually exclusive (a discharged experiment \
+                 has no execution to trace)"
+                    .to_string(),
+            ));
+        }
+        run_experiment_range_pruned(prog, workload, ctx, seed, job.start..job.end)
+            .map(|e| (e, Vec::new()))
+    } else if traced {
         run_experiment_range_traced(prog, workload, seed, job.start..job.end)
     } else {
         run_experiment_range(prog, workload, seed, job.start..job.end).map(|e| (e, Vec::new()))
@@ -153,6 +165,13 @@ pub fn run_study_persistent(
             prog.model, cfg.model
         )));
     }
+    if cfg.prune && opts.trace.is_some() {
+        return Err(OrchError(
+            "--trace and --prune are mutually exclusive: a statically discharged \
+             experiment has no execution to trace"
+                .to_string(),
+        ));
+    }
     let key = study_key(prog, workload_name, isa, cfg);
     let study = store.study(&key);
     let plan = plan_shards(cfg, opts.shard_size);
@@ -194,6 +213,15 @@ pub fn run_study_persistent(
         missing.truncate(cap);
     }
 
+    // The prune context (static analysis + per-input active-lane census)
+    // is shared by every shard, and only needed when something will
+    // actually execute — a fully cached study resumes without it.
+    let prune_ctx = if cfg.prune && !missing.is_empty() {
+        Some(build_prune_context(prog, workload).map_err(|e| OrchError(e.to_string()))?)
+    } else {
+        None
+    };
+
     let mut progress = Progress::start((cfg.max_campaigns * cfg.experiments_per_campaign) as u64);
     progress.resumed = covered_experiments(&done, cfg) as u64;
     for rec in &done {
@@ -213,7 +241,14 @@ pub fn run_study_persistent(
     let results: Result<Vec<()>, OrchError> = missing
         .into_par_iter()
         .map(|job| {
-            let (rec, spans) = run_shard(prog, workload, cfg, job, trace_log.is_some())?;
+            let (rec, spans) = run_shard(
+                prog,
+                workload,
+                cfg,
+                job,
+                trace_log.is_some(),
+                prune_ctx.as_ref(),
+            )?;
             // Recover the guard on poison: a panic in another worker (or
             // in a user callback) must not cascade into losing this
             // shard's append — the counters it protects stay coherent
@@ -294,6 +329,25 @@ pub fn run_study_persistent(
         dyn_insts,
         progress: final_snapshot,
     })
+}
+
+/// Cross-validate the static analyzer against a fully-executed study
+/// (`--prune=verify`): re-run the analysis on the workload, then check
+/// every stored single-bit-flip injection record against the benign
+/// predictions. The executed study shares its key with an unpruned run,
+/// so verification is free on a warm store; any violation means the
+/// analyzer predicted "provably benign" for a flip that misbehaved —
+/// an analyzer bug, never sampling noise.
+pub fn verify_soundness(
+    workload: &dyn Workload,
+    done: &[ShardRecord],
+) -> Result<SoundnessReport, OrchError> {
+    let report = vulfi::analyze_module(workload.module(), workload.entry()).map_err(OrchError)?;
+    let plan = vulfi::PrunePlan::from_report(&report);
+    Ok(vulfi::check_soundness(
+        &plan,
+        done.iter().flat_map(|s| &s.experiments),
+    ))
 }
 
 /// Set the global worker count (`--jobs N`; 0 = all cores).

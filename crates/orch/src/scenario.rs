@@ -34,7 +34,7 @@
 //! Both parsers reject unknown fields: a typo'd `expermients` must not
 //! silently run a default-sized gauntlet.
 
-use vulfi::{wilson_interval_95, FaultModel, StudyResult, StudySpec};
+use vulfi::{wilson_interval_95, FaultModel, SoundnessReport, StudyResult, StudySpec};
 
 use crate::OrchError;
 
@@ -51,6 +51,13 @@ pub enum Invariant {
     DetectorCoverageMin(f64),
     /// Benign rate must reach at least this (95% upper bound decides).
     BenignFloor(f64),
+    /// Of the injections the static analyzer predicted benign, at most
+    /// this share may actually misbehave (non-benign outcome or detector
+    /// fire). Checked **exactly**, not via a Wilson interval: the
+    /// analyzer claims a proof, so a single counterexample at threshold
+    /// 0.0 is a breach. Requires a `prune = "verify"` cell; vacuous when
+    /// no soundness data exists or nothing was predicted benign.
+    PredictionSoundness(f64),
 }
 
 impl Invariant {
@@ -60,6 +67,7 @@ impl Invariant {
             Invariant::CrashRateMax(_) => "crash_rate_max",
             Invariant::DetectorCoverageMin(_) => "detector_coverage_min",
             Invariant::BenignFloor(_) => "benign_floor",
+            Invariant::PredictionSoundness(_) => "prediction_soundness",
         }
     }
 
@@ -68,7 +76,8 @@ impl Invariant {
             Invariant::SdcRateMax(t)
             | Invariant::CrashRateMax(t)
             | Invariant::DetectorCoverageMin(t)
-            | Invariant::BenignFloor(t) => *t,
+            | Invariant::BenignFloor(t)
+            | Invariant::PredictionSoundness(t) => *t,
         }
     }
 }
@@ -88,6 +97,11 @@ pub struct Scenario {
     pub seed: u64,
     pub shard_size: usize,
     pub detectors: bool,
+    /// Static-pruning mode: `"off"` (default), `"on"` (discharge
+    /// provably-benign injections without executing them), or `"verify"`
+    /// (execute everything, cross-validate predictions post-hoc — feeds
+    /// the `prediction_soundness` invariant).
+    pub prune: String,
     pub invariants: Vec<Invariant>,
 }
 
@@ -112,6 +126,7 @@ impl Scenario {
                             shard_size: self.shard_size,
                             detectors: self.detectors,
                             model: model.clone(),
+                            prune: self.prune == "on",
                         });
                     }
                 }
@@ -136,6 +151,19 @@ impl Scenario {
             if values.is_empty() {
                 return Err(format!("scenario.{axis} must list at least one value"));
             }
+        }
+        if !["off", "on", "verify"].contains(&self.prune.as_str()) {
+            return Err(format!(
+                "scenario.prune '{}' not in [\"off\", \"on\", \"verify\"]",
+                self.prune
+            ));
+        }
+        if self.prune != "off" && self.models.iter().any(|m| m != "single-bit-flip") {
+            return Err(format!(
+                "scenario.prune = \"{}\" requires models = [\"single-bit-flip\"]: static \
+                 discharge proofs only cover the single-bit-flip model",
+                self.prune
+            ));
         }
         for spec in self.expand() {
             spec.validate()?;
@@ -175,6 +203,7 @@ fn scenario_from_value(doc: &serde::Value) -> Result<Scenario, String> {
         seed: 42,
         shard_size: 25,
         detectors: false,
+        prune: "off".to_string(),
         invariants: Vec::new(),
     };
     for (k, v) in obj {
@@ -215,6 +244,7 @@ fn scenario_from_value(doc: &serde::Value) -> Result<Scenario, String> {
                     .as_bool()
                     .ok_or_else(|| format!("scenario.{k} must be a boolean"))?
             }
+            "prune" => s.prune = str_field()?,
             "invariants" => s.invariants = invariants_from_value(v)?,
             other => return Err(format!("unknown scenario field '{other}'")),
         }
@@ -239,10 +269,11 @@ fn invariants_from_value(v: &serde::Value) -> Result<Vec<Invariant>, String> {
             "crash_rate_max" => Invariant::CrashRateMax(pct),
             "detector_coverage_min" => Invariant::DetectorCoverageMin(pct),
             "benign_floor" => Invariant::BenignFloor(pct),
+            "prediction_soundness" => Invariant::PredictionSoundness(pct),
             other => {
                 return Err(format!(
                     "unknown invariant '{other}' (expected sdc_rate_max, crash_rate_max, \
-                     detector_coverage_min, or benign_floor)"
+                     detector_coverage_min, benign_floor, or prediction_soundness)"
                 ))
             }
         });
@@ -440,8 +471,34 @@ pub struct InvariantVerdict {
     pub vacuous: bool,
 }
 
-/// Evaluate one invariant against a cell's outcome counts.
-pub fn check_invariant(inv: Invariant, r: &StudyResult) -> InvariantVerdict {
+/// Evaluate one invariant against a cell's outcome counts (and, for
+/// [`Invariant::PredictionSoundness`], its cross-validation report).
+pub fn check_invariant(
+    inv: Invariant,
+    r: &StudyResult,
+    soundness: Option<&SoundnessReport>,
+) -> InvariantVerdict {
+    // Prediction soundness judges a claimed *proof*, not a sampled
+    // rate: the misprediction percentage is exact over the verified
+    // population, so the interval collapses to the point estimate and
+    // a single counterexample breaches a 0.0 threshold. Vacuous when
+    // the cell ran without `prune = "verify"` or nothing was predicted
+    // benign.
+    if let Invariant::PredictionSoundness(t) = inv {
+        let (observed, vacuous) = match soundness {
+            Some(s) if s.predicted_benign > 0 => (s.misprediction_pct(), false),
+            _ => (0.0, true),
+        };
+        return InvariantVerdict {
+            name: inv.name().to_string(),
+            threshold: t,
+            observed,
+            lo: observed,
+            hi: observed,
+            breached: !vacuous && observed > t,
+            vacuous,
+        };
+    }
     let c = &r.counts;
     let n = c.total();
     let pct = |successes: u64, n: u64| {
@@ -456,6 +513,7 @@ pub fn check_invariant(inv: Invariant, r: &StudyResult) -> InvariantVerdict {
         Invariant::CrashRateMax(_) => (c.crash, n, false),
         Invariant::BenignFloor(_) => (c.benign, n, false),
         Invariant::DetectorCoverageMin(_) => (c.sdc_detected, c.sdc, c.sdc == 0),
+        Invariant::PredictionSoundness(_) => unreachable!("handled above"),
     };
     let (lo, hi) = wilson_interval_95(successes, denom);
     let (lo, hi) = (100.0 * lo, 100.0 * hi);
@@ -469,6 +527,7 @@ pub fn check_invariant(inv: Invariant, r: &StudyResult) -> InvariantVerdict {
         match inv {
             Invariant::SdcRateMax(t) | Invariant::CrashRateMax(t) => lo > t,
             Invariant::DetectorCoverageMin(t) | Invariant::BenignFloor(t) => hi < t,
+            Invariant::PredictionSoundness(_) => unreachable!("handled above"),
         }
     };
     InvariantVerdict {
@@ -510,12 +569,15 @@ impl CellVerdict {
     }
 }
 
-/// Judge one finished cell against the scenario's invariants.
+/// Judge one finished cell against the scenario's invariants. Pass the
+/// cell's [`SoundnessReport`] when the scenario ran with
+/// `prune = "verify"`; without one, `prediction_soundness` is vacuous.
 pub fn cell_verdict(
     spec: &StudySpec,
     key: &str,
     result: &StudyResult,
     invariants: &[Invariant],
+    soundness: Option<&SoundnessReport>,
 ) -> CellVerdict {
     let c = &result.counts;
     let n = c.total();
@@ -538,7 +600,7 @@ pub fn cell_verdict(
         converged: result.converged,
         invariants: invariants
             .iter()
-            .map(|inv| check_invariant(*inv, result))
+            .map(|inv| check_invariant(*inv, result, soundness))
             .collect(),
     }
 }
@@ -749,36 +811,124 @@ benign_floor = 1.0
     }
 
     #[test]
+    fn prune_field_parses_validates_and_expands() {
+        let s = parse_scenario(
+            "name = \"p\"\nbenches = [\"vector sum\"]\nprune = \"on\"\n\
+             [invariants]\nsdc_rate_max = 99.0\n",
+        )
+        .unwrap();
+        assert_eq!(s.prune, "on");
+        assert!(
+            s.expand().iter().all(|c| c.prune),
+            "prune=on marks every cell"
+        );
+
+        let s = parse_scenario("name = \"p\"\nbenches = [\"vector sum\"]\nprune = \"verify\"\n")
+            .unwrap();
+        // verify runs full studies: the expanded specs are unpruned (and
+        // keep the unpruned study key); cross-validation is post-hoc.
+        assert!(s.expand().iter().all(|c| !c.prune));
+
+        // Default stays off, so pre-existing scenarios parse unchanged.
+        let s = parse_scenario(SMOKE).unwrap();
+        assert_eq!(s.prune, "off");
+
+        let e = parse_scenario("name = \"p\"\nbenches = [\"vector sum\"]\nprune = \"maybe\"\n")
+            .unwrap_err();
+        assert!(e.contains("maybe") && e.contains("verify"), "{e}");
+
+        let e = parse_scenario(
+            "name = \"p\"\nbenches = [\"vector sum\"]\nprune = \"on\"\n\
+             models = [\"multi-bit-burst:2\"]\n",
+        )
+        .unwrap_err();
+        assert!(e.contains("single-bit-flip"), "{e}");
+
+        let e = parse_scenario(
+            "name = \"p\"\nbenches = [\"vector sum\"]\n[invariants]\nprediction_soundnes = 1.0\n",
+        )
+        .unwrap_err();
+        assert!(e.contains("prediction_soundness"), "{e}");
+    }
+
+    #[test]
+    fn prediction_soundness_is_exact_not_wilson() {
+        let r = result(0, 100, 0, 0);
+        let sound = vulfi::SoundnessReport {
+            checked: 80,
+            predicted_benign: 20,
+            violations: vec![],
+        };
+        let v = check_invariant(Invariant::PredictionSoundness(0.0), &r, Some(&sound));
+        assert!(!v.breached && !v.vacuous, "{v:?}");
+        assert_eq!(v.observed, 0.0);
+
+        // One violation out of 20 predictions = 5% — with a Wilson
+        // interval a single counterexample could hide inside the CI;
+        // exactness means it breaches a 0.0 threshold outright.
+        let unsound = vulfi::SoundnessReport {
+            checked: 80,
+            predicted_benign: 20,
+            violations: vec![vulfi::SoundnessViolation {
+                site_id: 3,
+                lane: 1,
+                flip_mask: 0x80,
+                outcome: vulfi::Outcome::Sdc,
+                detected: false,
+            }],
+        };
+        let v = check_invariant(Invariant::PredictionSoundness(0.0), &r, Some(&unsound));
+        assert!(v.breached, "{v:?}");
+        assert_eq!(v.observed, 5.0);
+        assert_eq!((v.lo, v.hi), (5.0, 5.0), "no interval widening");
+        // A generous threshold tolerates it.
+        let v = check_invariant(Invariant::PredictionSoundness(10.0), &r, Some(&unsound));
+        assert!(!v.breached, "{v:?}");
+
+        // No soundness data (cell did not run with prune=verify) or an
+        // empty predicted-benign population → vacuous pass.
+        let v = check_invariant(Invariant::PredictionSoundness(0.0), &r, None);
+        assert!(v.vacuous && !v.breached, "{v:?}");
+        let empty = vulfi::SoundnessReport {
+            checked: 10,
+            predicted_benign: 0,
+            violations: vec![],
+        };
+        let v = check_invariant(Invariant::PredictionSoundness(0.0), &r, Some(&empty));
+        assert!(v.vacuous && !v.breached, "{v:?}");
+    }
+
+    #[test]
     fn invariants_are_wilson_aware() {
         // 50/100 SDCs: the 95% interval is roughly [40.4, 59.6].
         let r = result(50, 40, 10, 0);
-        let v = check_invariant(Invariant::SdcRateMax(45.0), &r);
+        let v = check_invariant(Invariant::SdcRateMax(45.0), &r, None);
         assert!(
             !v.breached,
             "point estimate above the threshold is not a breach while the \
              interval still straddles it: {v:?}"
         );
-        let v = check_invariant(Invariant::SdcRateMax(40.0), &r);
+        let v = check_invariant(Invariant::SdcRateMax(40.0), &r, None);
         assert!(v.breached, "{v:?}");
         assert!(v.lo > 40.0 && v.lo < 41.0, "{v:?}");
         assert_eq!(v.observed, 50.0);
 
         // 0/100 benign: upper bound ≈ 3.7%.
         let r = result(90, 0, 10, 0);
-        assert!(check_invariant(Invariant::BenignFloor(5.0), &r).breached);
-        assert!(!check_invariant(Invariant::BenignFloor(2.0), &r).breached);
+        assert!(check_invariant(Invariant::BenignFloor(5.0), &r, None).breached);
+        assert!(!check_invariant(Invariant::BenignFloor(2.0), &r, None).breached);
 
         // Crash bound works off the crash count.
         let r = result(10, 40, 50, 0);
-        assert!(check_invariant(Invariant::CrashRateMax(40.0), &r).breached);
+        assert!(check_invariant(Invariant::CrashRateMax(40.0), &r, None).breached);
 
         // Detector coverage: 9 of 10 SDCs flagged → CI ≈ [59.6, 98.2].
         let r = result(10, 80, 10, 9);
-        assert!(check_invariant(Invariant::DetectorCoverageMin(99.0), &r).breached);
-        assert!(!check_invariant(Invariant::DetectorCoverageMin(95.0), &r).breached);
+        assert!(check_invariant(Invariant::DetectorCoverageMin(99.0), &r, None).breached);
+        assert!(!check_invariant(Invariant::DetectorCoverageMin(95.0), &r, None).breached);
         // Zero SDCs → vacuous pass no matter the threshold.
         let r = result(0, 100, 0, 0);
-        let v = check_invariant(Invariant::DetectorCoverageMin(100.0), &r);
+        let v = check_invariant(Invariant::DetectorCoverageMin(100.0), &r, None);
         assert!(v.vacuous && !v.breached, "{v:?}");
     }
 
@@ -793,12 +943,14 @@ benign_floor = 1.0
             "k1",
             &result(5, 90, 5, 0),
             &[Invariant::SdcRateMax(50.0)],
+            None,
         );
         let bad = cell_verdict(
             &spec,
             "k2",
             &result(95, 0, 5, 0),
             &[Invariant::SdcRateMax(50.0)],
+            None,
         );
         assert!(good.passed());
         assert!(!bad.passed());

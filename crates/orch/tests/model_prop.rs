@@ -60,6 +60,7 @@ proptest! {
             max_campaigns: 3,
             seed: 0x4A0D_0000 + seed,
             model,
+            prune: false,
         };
         // `Prepared` carries the model, so build it fresh per case.
         let mut prog = prepare(workload(), SiteCategory::PureData).unwrap();

@@ -227,6 +227,11 @@ pub fn spec_from_value(doc: &Value) -> Result<StudySpec, String> {
                     .as_bool()
                     .ok_or_else(|| format!("spec.{k} must be a boolean"))?
             }
+            "prune" => {
+                spec.prune = v
+                    .as_bool()
+                    .ok_or_else(|| format!("spec.{k} must be a boolean"))?
+            }
             other => return Err(format!("unknown spec field '{other}'")),
         }
     }
@@ -450,6 +455,13 @@ fn work_on(shared: &Arc<Shared>, active: &Arc<ActiveStudy>, worker: &str) -> Res
             ));
         }
         let study = shared.store.study(&active.key);
+        // Each worker derives its own prune context (analysis + census),
+        // same shared-nothing stance as the workload compile above.
+        let prune_ctx = if cfg.prune {
+            Some(vulfi::build_prune_context(&prog, w).map_err(|e| e.to_string())?)
+        } else {
+            None
+        };
         loop {
             if shared.shutdown.load(Ordering::SeqCst) {
                 // Leave the job Running; the next daemon re-queues it
@@ -462,8 +474,8 @@ fn work_on(shared: &Arc<Shared>, active: &Arc<ActiveStudy>, worker: &str) -> Res
             let leased = relock(&active.board).lease(worker);
             match leased {
                 Some(job) => {
-                    let (rec, _spans) =
-                        run_shard(&prog, w, &cfg, job, false).map_err(|e| e.to_string())?;
+                    let (rec, _spans) = run_shard(&prog, w, &cfg, job, false, prune_ctx.as_ref())
+                        .map_err(|e| e.to_string())?;
                     {
                         let mut p = relock(&active.progress);
                         study.append_shard(&rec).map_err(|e| e.to_string())?;

@@ -317,6 +317,50 @@ fn interrupted_daemon_resumes_to_an_identical_result() {
 }
 
 #[test]
+fn pruned_submission_discharges_without_execution() {
+    let store = temp_store("pruned");
+    let (client, daemon) = start_daemon(&store, 2);
+
+    let (status, doc) = client
+        .post(
+            "/studies",
+            &serde_json::json!({
+                "bench": "vector sum",
+                "experiments": 20u64,
+                "campaigns": 5u64,
+                "shard_size": 10u64,
+                "prune": true,
+            }),
+            &[],
+        )
+        .unwrap();
+    assert_eq!(status, 202, "{doc:?}");
+    let key = doc.get("key").and_then(|v| v.as_str()).unwrap().to_string();
+    wait_complete(&client, &key, Duration::from_secs(60));
+    client
+        .post("/shutdown", &serde_json::json!({}), &[])
+        .unwrap();
+    daemon.join().unwrap();
+
+    // The workers built per-worker prune contexts and left synthetic
+    // Benign records (injection None, dynamic sites seen) in the store.
+    let st = vulfi_orch::Store::open(&store).unwrap();
+    let done = st
+        .study(&vulfi_orch::StudyKey(key))
+        .shards()
+        .expect("stored shards");
+    let discharged = done
+        .iter()
+        .flat_map(|s| &s.experiments)
+        .filter(|e| e.injection.is_none() && e.dynamic_sites > 0)
+        .count();
+    assert!(
+        discharged > 0,
+        "a pruned serve study must discharge some injections"
+    );
+}
+
+#[test]
 fn bad_submissions_are_rejected_with_reasons() {
     let store = temp_store("badsubmit");
     let (client, daemon) = start_daemon(&store, 1);
@@ -338,6 +382,14 @@ fn bad_submissions_are_rejected_with_reasons() {
         (
             serde_json::json!({"bench": "vector sum", "experiments": 0u64}),
             "positive",
+        ),
+        (
+            serde_json::json!({"bench": "vector sum", "prune": "yes"}),
+            "boolean",
+        ),
+        (
+            serde_json::json!({"bench": "vector sum", "prune": true, "model": "memory-cell"}),
+            "single-bit-flip",
         ),
     ];
     for (body, needle) in cases {

@@ -1,0 +1,743 @@
+//! Per-lane demanded-bits dataflow.
+//!
+//! A backward may-analysis over SSA values: for every value it computes,
+//! per vector lane, the set of bits that can influence an *observable
+//! effect* — a store, a return value, an address computation, a branch
+//! direction, or a call leaving the function. A bit outside the demanded
+//! set can be flipped without changing program behaviour, which is
+//! exactly the proof obligation the campaign pruner needs to discharge an
+//! injection as benign without executing it.
+//!
+//! The transfer functions mirror `vexec`'s interpreter semantics bit for
+//! bit; where the interpreter can trap, the analysis is deliberately
+//! over-demanding:
+//!
+//! - `sdiv`/`udiv`/`srem`/`urem` trap on a zero divisor, so their
+//!   operands are fully demanded even when the quotient is dead — a flip
+//!   could *create* the trap.
+//! - Pointers, addresses, branch conditions, `alloca` counts and every
+//!   argument of an unrecognized call are fully demanded.
+//! - Masked-memop *mask* arguments demand only the sign bit of each lane
+//!   (the interpreter's `mask_active` test), but demand it regardless of
+//!   whether the loaded value is used: enabling a disabled lane can fault
+//!   on the skipped address.
+//! - Shifts never trap (out-of-range amounts are defined), so a dead
+//!   shift demands nothing.
+//!
+//! The fixed point is reached by iterating the blocks in reverse until no
+//! demand set grows; all transfer functions are monotone and the lattice
+//! (bit sets under union) has finite height, so termination is immediate.
+//! Values in unreachable blocks keep an empty demand set: they can never
+//! execute, hence never be observed.
+
+use crate::analysis::cfg::Cfg;
+use crate::constant::Constant;
+use crate::function::Function;
+use crate::inst::{BinOp, CastOp, Inst, InstKind, Operand, Terminator, ValueId};
+use crate::intrinsics::{self, Intrinsic};
+
+/// Result of the analysis: one demanded-bits mask per lane per value.
+pub struct DemandedBits {
+    lanes: Vec<Vec<u64>>,
+}
+
+/// Mask of the low `bits` bits.
+fn width_mask(bits: u32) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+/// Bits `0..=highest demanded bit` — the cone carries/borrows propagate
+/// through for `add`/`sub`/`mul` and left shifts.
+fn low_cone(d: u64, mask: u64) -> u64 {
+    if d == 0 {
+        return 0;
+    }
+    let hb = 63 - d.leading_zeros();
+    let cone = if hb >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << (hb + 1)) - 1
+    };
+    cone & mask
+}
+
+/// Bits `lowest demanded bit..width` — the cone right shifts pull from.
+fn high_cone(d: u64, mask: u64) -> u64 {
+    if d == 0 {
+        return 0;
+    }
+    mask & !((1u64 << d.trailing_zeros()) - 1)
+}
+
+/// Per-lane bit patterns of a constant operand, if it is one.
+fn const_lanes(op: &Operand) -> Option<Vec<u64>> {
+    op.constant().map(Constant::lane_bits)
+}
+
+impl DemandedBits {
+    /// Run the analysis to fixpoint over `f`.
+    pub fn compute(f: &Function) -> DemandedBits {
+        let mut d = DemandedBits {
+            lanes: f
+                .values
+                .iter()
+                .map(|vi| vec![0u64; vi.ty.lanes().max(1) as usize])
+                .collect(),
+        };
+        if f.blocks.is_empty() {
+            return d;
+        }
+        let cfg = Cfg::build(f);
+        let reachable = cfg.reachable(f.entry());
+        loop {
+            let mut changed = false;
+            for (bi, block) in f.blocks.iter().enumerate().rev() {
+                if !reachable[bi] {
+                    continue;
+                }
+                match &block.term {
+                    Terminator::CondBr { cond, .. } => {
+                        // The interpreter branches on bit 0 (`is_true`).
+                        changed |= d.demand_each_lane(f, cond, |_| 1);
+                    }
+                    Terminator::Ret(Some(op)) => changed |= d.demand_full(f, op),
+                    _ => {}
+                }
+                for &ii in block.insts.iter().rev() {
+                    changed |= d.apply(f, f.inst(ii));
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        d
+    }
+
+    /// Demanded bits of every lane of `v` (length 1 for scalars).
+    pub fn of(&self, v: ValueId) -> &[u64] {
+        &self.lanes[v.index()]
+    }
+
+    /// Demanded bits of one lane (0 for out-of-range lanes).
+    pub fn lane(&self, v: ValueId, lane: u32) -> u64 {
+        self.lanes[v.index()]
+            .get(lane as usize)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Can flipping `bit` of `lane` of `v` reach an observable effect?
+    pub fn live_bit(&self, v: ValueId, lane: u32, bit: u32) -> bool {
+        bit < 64 && self.lane(v, lane) & (1u64 << bit) != 0
+    }
+
+    /// True when no bit of the lane is demanded.
+    pub fn dead_lane(&self, v: ValueId, lane: u32) -> bool {
+        self.lane(v, lane) == 0
+    }
+
+    /// Highest demanded bit of the lane, if any bit is demanded at all.
+    /// Bits above it are dead by truncation.
+    pub fn highest_live_bit(&self, v: ValueId, lane: u32) -> Option<u32> {
+        match self.lane(v, lane) {
+            0 => None,
+            d => Some(63 - d.leading_zeros()),
+        }
+    }
+
+    fn or_in(&mut self, v: ValueId, lane: usize, bits: u64) -> bool {
+        match self.lanes[v.index()].get_mut(lane) {
+            Some(slot) => {
+                let grown = *slot | bits;
+                let changed = grown != *slot;
+                *slot = grown;
+                changed
+            }
+            None => false,
+        }
+    }
+
+    /// OR `per_lane[i]` into lane `i` of a value operand; constants absorb
+    /// any demand.
+    fn demand(&mut self, op: &Operand, per_lane: &[u64]) -> bool {
+        let Some(v) = op.value() else { return false };
+        let mut changed = false;
+        for (lane, &bits) in per_lane.iter().enumerate() {
+            if bits != 0 {
+                changed |= self.or_in(v, lane, bits);
+            }
+        }
+        changed
+    }
+
+    /// Demand the same computed mask on every lane of the operand.
+    fn demand_each_lane(&mut self, f: &Function, op: &Operand, bits: impl Fn(u32) -> u64) -> bool {
+        let ty = f.operand_type(op);
+        let Some(elem) = ty.elem() else { return false };
+        let per: Vec<u64> = (0..ty.lanes().max(1)).map(|_| bits(elem.bits())).collect();
+        self.demand(op, &per)
+    }
+
+    /// Every bit of every lane.
+    fn demand_full(&mut self, f: &Function, op: &Operand) -> bool {
+        self.demand_each_lane(f, op, width_mask)
+    }
+
+    /// Transfer one instruction's result demand onto its operands, plus
+    /// its result-independent root demands. Returns whether anything grew.
+    fn apply(&mut self, f: &Function, inst: &Inst) -> bool {
+        let res: Vec<u64> = match inst.result {
+            Some(r) => self.lanes[r.index()].clone(),
+            None => Vec::new(),
+        };
+        let any_res = res.iter().any(|&b| b != 0);
+        let elem_bits = inst.ty.elem().map(|e| e.bits()).unwrap_or(0);
+        let mask = width_mask(elem_bits.max(1));
+        match &inst.kind {
+            InstKind::Bin { op, lhs, rhs } => {
+                if op.can_trap() {
+                    // A flipped divisor can introduce a division trap even
+                    // when the quotient is never read.
+                    return self.demand_full(f, lhs) | self.demand_full(f, rhs);
+                }
+                if op.is_float() {
+                    // No bit-level reasoning through float arithmetic; a
+                    // dead result still demands nothing (floats don't trap).
+                    let per: Vec<u64> =
+                        res.iter().map(|&d| if d != 0 { mask } else { 0 }).collect();
+                    return self.demand(lhs, &per) | self.demand(rhs, &per);
+                }
+                let lc = const_lanes(lhs);
+                let rc = const_lanes(rhs);
+                let side = |d: &[u64], other: &Option<Vec<u64>>, op: BinOp| -> Vec<u64> {
+                    d.iter()
+                        .enumerate()
+                        .map(|(l, &dl)| {
+                            let known = other.as_ref().and_then(|c| c.get(l).copied());
+                            match op {
+                                BinOp::And => match known {
+                                    Some(c) => dl & c,
+                                    None => dl,
+                                },
+                                BinOp::Or => match known {
+                                    Some(c) => dl & !c,
+                                    None => dl,
+                                },
+                                BinOp::Xor => dl,
+                                BinOp::Add | BinOp::Sub | BinOp::Mul => low_cone(dl, mask),
+                                _ => dl,
+                            }
+                        })
+                        .collect()
+                };
+                match op {
+                    BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Add | BinOp::Sub | BinOp::Mul => {
+                        let ld = side(&res, &rc, *op);
+                        let rd = side(&res, &lc, *op);
+                        self.demand(lhs, &ld) | self.demand(rhs, &rd)
+                    }
+                    BinOp::Shl | BinOp::LShr | BinOp::AShr => {
+                        let w = elem_bits;
+                        let ld: Vec<u64> = res
+                            .iter()
+                            .enumerate()
+                            .map(|(l, &dl)| {
+                                if dl == 0 {
+                                    return 0;
+                                }
+                                match rc.as_ref().and_then(|c| c.get(l).copied()) {
+                                    Some(k) if k < w as u64 => {
+                                        let k = k as u32;
+                                        match op {
+                                            BinOp::Shl => dl >> k,
+                                            BinOp::LShr => (dl << k) & mask,
+                                            _ => {
+                                                // ashr: bits shifted past the
+                                                // top replicate the sign bit.
+                                                let mut m = (dl << k) & mask;
+                                                if k > 0 && dl >> (w - k) != 0 {
+                                                    m |= 1u64 << (w - 1);
+                                                }
+                                                m
+                                            }
+                                        }
+                                    }
+                                    // Over-wide constant shifts have defined
+                                    // results independent of the lhs (0 or
+                                    // pure sign-fill).
+                                    Some(_) => match op {
+                                        BinOp::AShr => 1u64 << (w - 1),
+                                        _ => 0,
+                                    },
+                                    None => match op {
+                                        BinOp::Shl => low_cone(dl, mask),
+                                        _ => high_cone(dl, mask),
+                                    },
+                                }
+                            })
+                            .collect();
+                        let rd: Vec<u64> =
+                            res.iter().map(|&d| if d != 0 { mask } else { 0 }).collect();
+                        self.demand(lhs, &ld) | self.demand(rhs, &rd)
+                    }
+                    _ => {
+                        let per: Vec<u64> =
+                            res.iter().map(|&d| if d != 0 { mask } else { 0 }).collect();
+                        self.demand(lhs, &per) | self.demand(rhs, &per)
+                    }
+                }
+            }
+            InstKind::ICmp { lhs, rhs, .. } | InstKind::FCmp { lhs, rhs, .. } => {
+                // A comparison reads every bit of both operands in each
+                // lane whose (1-bit) result is demanded.
+                let op_bits = f.operand_type(lhs).elem().map(|e| e.bits()).unwrap_or(64);
+                let per: Vec<u64> = res
+                    .iter()
+                    .map(|&d| if d != 0 { width_mask(op_bits) } else { 0 })
+                    .collect();
+                self.demand(lhs, &per) | self.demand(rhs, &per)
+            }
+            InstKind::Select {
+                cond,
+                on_true,
+                on_false,
+            } => {
+                let mut changed = self.demand(on_true, &res) | self.demand(on_false, &res);
+                if f.operand_type(cond).is_vector() {
+                    // Per-lane blend tests bit 0 of the condition lane.
+                    let per: Vec<u64> = res.iter().map(|&d| if d != 0 { 1 } else { 0 }).collect();
+                    changed |= self.demand(cond, &per);
+                } else if any_res {
+                    changed |= self.demand(cond, &[1]);
+                }
+                changed
+            }
+            InstKind::Cast { op, val } => {
+                let src_ty = f.operand_type(val);
+                let src_bits = src_ty.elem().map(|e| e.bits()).unwrap_or(64);
+                let src_mask = width_mask(src_bits);
+                match op {
+                    CastOp::Trunc => self.demand(val, &res),
+                    CastOp::ZExt => {
+                        let per: Vec<u64> = res.iter().map(|&d| d & src_mask).collect();
+                        self.demand(val, &per)
+                    }
+                    CastOp::SExt => {
+                        let per: Vec<u64> = res
+                            .iter()
+                            .map(|&d| {
+                                let mut m = d & src_mask;
+                                if d & !src_mask != 0 {
+                                    m |= 1u64 << (src_bits - 1);
+                                }
+                                m
+                            })
+                            .collect();
+                        self.demand(val, &per)
+                    }
+                    CastOp::Bitcast | CastOp::PtrToInt | CastOp::IntToPtr => {
+                        if src_ty.lanes() == inst.ty.lanes() && src_bits == elem_bits {
+                            // Lane-geometry-preserving reinterpretation
+                            // moves bits verbatim.
+                            self.demand(val, &res)
+                        } else if any_res {
+                            self.demand_full(f, val)
+                        } else {
+                            false
+                        }
+                    }
+                    _ => {
+                        // Float<->int conversions: value-level, demand all
+                        // source bits of each demanded lane.
+                        let per: Vec<u64> = res
+                            .iter()
+                            .map(|&d| if d != 0 { src_mask } else { 0 })
+                            .collect();
+                        self.demand(val, &per)
+                    }
+                }
+            }
+            // A flipped element count can make the allocation trap or
+            // change the frame layout: always fully demanded.
+            InstKind::Alloca { count, .. } => self.demand_full(f, count),
+            InstKind::Load { ptr } => self.demand_full(f, ptr),
+            InstKind::Store { val, ptr } => self.demand_full(f, val) | self.demand_full(f, ptr),
+            InstKind::Gep { base, index, .. } => {
+                self.demand_full(f, base) | self.demand_full(f, index)
+            }
+            InstKind::ExtractElement { vec, idx } => {
+                let d = res.first().copied().unwrap_or(0);
+                if d == 0 {
+                    return false;
+                }
+                let n = f.operand_type(vec).lanes().max(1) as u64;
+                match idx.constant().and_then(Constant::scalar_bits) {
+                    Some(c) => {
+                        let mut per = vec![0u64; n as usize];
+                        per[(c % n) as usize] = d;
+                        self.demand(vec, &per)
+                    }
+                    None => {
+                        let per = vec![d; n as usize];
+                        self.demand(vec, &per) | self.demand_full(f, idx)
+                    }
+                }
+            }
+            InstKind::InsertElement { vec, elt, idx } => {
+                if !any_res {
+                    return false;
+                }
+                let n = res.len() as u64;
+                match idx.constant().and_then(Constant::scalar_bits) {
+                    Some(c) => {
+                        let c = (c % n.max(1)) as usize;
+                        let mut vec_d = res.clone();
+                        vec_d[c] = 0; // overwritten lane
+                        self.demand(vec, &vec_d) | self.demand(elt, &[res[c]])
+                    }
+                    None => {
+                        let elt_d = res.iter().fold(0u64, |a, &b| a | b);
+                        self.demand(vec, &res)
+                            | self.demand(elt, &[elt_d])
+                            | self.demand_full(f, idx)
+                    }
+                }
+            }
+            InstKind::ShuffleVector { a, b, mask: m } => {
+                let a_lanes = f.operand_type(a).lanes().max(1) as usize;
+                let b_lanes = f.operand_type(b).lanes().max(1) as usize;
+                let mut ad = vec![0u64; a_lanes];
+                let mut bd = vec![0u64; b_lanes];
+                for (i, &sel) in m.iter().enumerate() {
+                    let d = res.get(i).copied().unwrap_or(0);
+                    if d == 0 || sel < 0 {
+                        continue; // undef lanes demand nothing
+                    }
+                    let sel = sel as usize;
+                    if sel < a_lanes {
+                        ad[sel] |= d;
+                    } else if sel - a_lanes < b_lanes {
+                        bd[sel - a_lanes] |= d;
+                    }
+                }
+                self.demand(a, &ad) | self.demand(b, &bd)
+            }
+            InstKind::Phi { incomings } => {
+                let mut changed = false;
+                for (_, op) in incomings {
+                    changed |= self.demand(op, &res);
+                }
+                changed
+            }
+            InstKind::Call { callee, args } => self.apply_call(f, callee, args, &res, any_res),
+        }
+    }
+
+    fn apply_call(
+        &mut self,
+        f: &Function,
+        callee: &str,
+        args: &[Operand],
+        res: &[u64],
+        any_res: bool,
+    ) -> bool {
+        match intrinsics::parse(callee) {
+            Some(intr @ (Intrinsic::MaskLoad { .. } | Intrinsic::MaskStore { .. })) => {
+                let mut changed = false;
+                // Pointer: fully demanded (address).
+                if let Some(ptr) = args.first() {
+                    changed |= self.demand_full(f, ptr);
+                }
+                // Mask: the interpreter tests the sign bit of each lane,
+                // and a flip can enable a faulting access — demanded
+                // regardless of whether the loaded value is used.
+                if let Some(m) = intr.mask_arg().and_then(|i| args.get(i)) {
+                    changed |= self.demand_each_lane(f, m, |w| 1u64 << (w - 1));
+                }
+                // Stored value: reaches memory on active lanes.
+                if let Some(v) = intr.store_value_arg().and_then(|i| args.get(i)) {
+                    changed |= self.demand_full(f, v);
+                }
+                changed
+            }
+            Some(Intrinsic::Math { .. }) => {
+                // Elementwise, non-trapping: demand all bits of each lane
+                // whose result lane is demanded.
+                let mut changed = false;
+                for a in args {
+                    let w = f.operand_type(a).elem().map(|e| e.bits()).unwrap_or(64);
+                    let per: Vec<u64> = res
+                        .iter()
+                        .map(|&d| if d != 0 { width_mask(w) } else { 0 })
+                        .collect();
+                    changed |= self.demand(a, &per);
+                }
+                changed
+            }
+            Some(Intrinsic::Movmsk { lanes }) => {
+                // Result bit i is the sign bit of lane i.
+                let d = res.first().copied().unwrap_or(0);
+                let Some(a) = args.first() else { return false };
+                let w = f.operand_type(a).elem().map(|e| e.bits()).unwrap_or(32);
+                let per: Vec<u64> = (0..lanes)
+                    .map(|i| {
+                        if d & (1u64 << i) != 0 {
+                            1u64 << (w - 1)
+                        } else {
+                            0
+                        }
+                    })
+                    .collect();
+                self.demand(a, &per)
+            }
+            Some(Intrinsic::MaskAny { .. }) | Some(Intrinsic::MaskAll { .. }) => {
+                // Reduction over bit 0 of each (i1) lane.
+                let d = res.first().copied().unwrap_or(0);
+                match args.first() {
+                    Some(a) if d & 1 != 0 => self.demand_each_lane(f, a, |_| 1),
+                    _ => false,
+                }
+            }
+            None => {
+                // Unknown callee: runtime hosts, detectors, defined
+                // functions, and unrecognized llvm.* (which trap). Every
+                // argument escapes the analysis: fully demanded.
+                let _ = any_res;
+                let mut changed = false;
+                for a in args {
+                    changed |= self.demand_full(f, a);
+                }
+                changed
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::constant::Constant;
+    use crate::inst::ICmpPred;
+    use crate::types::ScalarTy;
+    use crate::types::Type;
+
+    fn vid(op: &Operand) -> ValueId {
+        op.value().unwrap()
+    }
+
+    #[test]
+    fn trunc_kills_high_bits() {
+        let mut b = FuncBuilder::new(
+            "t",
+            vec![("x".into(), Type::I64), ("p".into(), Type::PTR)],
+            Type::Void,
+        );
+        let entry = b.add_block("entry");
+        b.position_at(entry);
+        let t = b.cast(CastOp::Trunc, b.param(0), Type::I8, "t");
+        b.store(t, b.param(1));
+        b.ret(None);
+        let f = b.finish();
+        let d = DemandedBits::compute(&f);
+        assert_eq!(d.lane(f.param_value(0), 0), 0xff);
+        assert_eq!(d.highest_live_bit(f.param_value(0), 0), Some(7));
+        assert!(d.live_bit(f.param_value(0), 0, 3));
+        assert!(!d.live_bit(f.param_value(0), 0, 8));
+    }
+
+    #[test]
+    fn and_with_constant_masks_demand() {
+        let mut b = FuncBuilder::new("a", vec![("x".into(), Type::I32)], Type::I32);
+        let entry = b.add_block("entry");
+        b.position_at(entry);
+        let m = b.bin(BinOp::And, b.param(0), Constant::i32(0xFF00).into(), "m");
+        b.ret(Some(m));
+        let f = b.finish();
+        let d = DemandedBits::compute(&f);
+        assert_eq!(d.lane(f.param_value(0), 0), 0xFF00);
+    }
+
+    #[test]
+    fn maskload_mask_demands_only_sign_bits() {
+        let mut b = FuncBuilder::new(
+            "m",
+            vec![
+                ("p".into(), Type::PTR),
+                ("mask".into(), Type::vec(ScalarTy::I32, 8)),
+            ],
+            Type::vec(ScalarTy::F32, 8),
+        );
+        let entry = b.add_block("entry");
+        b.position_at(entry);
+        let mf = b.cast(
+            CastOp::Bitcast,
+            b.param(1),
+            Type::vec(ScalarTy::F32, 8),
+            "mf",
+        );
+        let v = b.call(
+            "llvm.x86.avx.maskload.ps.256",
+            vec![b.param(0), mf],
+            Type::vec(ScalarTy::F32, 8),
+            "v",
+        );
+        b.ret(Some(v));
+        let f = b.finish();
+        let d = DemandedBits::compute(&f);
+        // Only the sign bit of each mask lane can change behaviour; the
+        // bitcast is geometry-preserving so the demand flows through it.
+        for lane in 0..8 {
+            assert_eq!(d.lane(f.param_value(1), lane), 1u64 << 31, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn dead_value_demands_nothing_but_div_still_traps() {
+        let mut b = FuncBuilder::new(
+            "d",
+            vec![("x".into(), Type::I32), ("y".into(), Type::I32)],
+            Type::Void,
+        );
+        let entry = b.add_block("entry");
+        b.position_at(entry);
+        let dead = b.bin(BinOp::Add, b.param(0), Constant::i32(1).into(), "dead");
+        let _q = b.bin(BinOp::SDiv, b.param(1), b.param(0), "q");
+        b.ret(None);
+        let f = b.finish();
+        let d = DemandedBits::compute(&f);
+        assert_eq!(d.lane(vid(&dead), 0), 0, "unused add result is dead");
+        // x feeds the (dead) add and the divisor: fully demanded anyway.
+        assert_eq!(d.lane(f.param_value(0), 0), 0xffff_ffff);
+        assert_eq!(d.lane(f.param_value(1), 0), 0xffff_ffff);
+    }
+
+    #[test]
+    fn broadcast_shuffle_demands_only_lane_zero() {
+        let mut b = FuncBuilder::new(
+            "s",
+            vec![
+                ("v".into(), Type::vec(ScalarTy::F32, 8)),
+                ("p".into(), Type::PTR),
+            ],
+            Type::Void,
+        );
+        let entry = b.add_block("entry");
+        b.position_at(entry);
+        let splat = b.shuffle(
+            b.param(0),
+            Constant::undef(Type::vec(ScalarTy::F32, 8)).into(),
+            vec![0; 8],
+            "splat",
+        );
+        b.store(splat, b.param(1));
+        b.ret(None);
+        let f = b.finish();
+        let d = DemandedBits::compute(&f);
+        assert_eq!(d.lane(f.param_value(0), 0), 0xffff_ffff);
+        for lane in 1..8 {
+            assert!(d.dead_lane(f.param_value(0), lane), "lane {lane} is dead");
+        }
+    }
+
+    #[test]
+    fn branch_condition_demands_bit_zero_and_compares_demand_all() {
+        let mut b = FuncBuilder::new("c", vec![("n".into(), Type::I32)], Type::I32);
+        let entry = b.add_block("entry");
+        let yes = b.add_block("yes");
+        let no = b.add_block("no");
+        b.position_at(entry);
+        let c = b.icmp(ICmpPred::Slt, b.param(0), Constant::i32(10).into(), "c");
+        b.cond_br(c.clone(), yes, no);
+        b.position_at(yes);
+        b.ret(Some(Constant::i32(1).into()));
+        b.position_at(no);
+        b.ret(Some(Constant::i32(0).into()));
+        let f = b.finish();
+        let d = DemandedBits::compute(&f);
+        assert_eq!(d.lane(vid(&c), 0), 1);
+        assert_eq!(d.lane(f.param_value(0), 0), 0xffff_ffff);
+    }
+
+    #[test]
+    fn movmsk_low_result_bit_demands_one_lane() {
+        let mut b = FuncBuilder::new(
+            "mm",
+            vec![("v".into(), Type::vec(ScalarTy::F32, 8))],
+            Type::I32,
+        );
+        let entry = b.add_block("entry");
+        b.position_at(entry);
+        let m = b.call(
+            "llvm.x86.avx.movmsk.ps.256",
+            vec![b.param(0)],
+            Type::I32,
+            "m",
+        );
+        let low = b.bin(BinOp::And, m, Constant::i32(1).into(), "low");
+        b.ret(Some(low));
+        let f = b.finish();
+        let d = DemandedBits::compute(&f);
+        assert_eq!(d.lane(f.param_value(0), 0), 1u64 << 31);
+        for lane in 1..8 {
+            assert!(d.dead_lane(f.param_value(0), lane), "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn unreachable_block_values_stay_undemanded() {
+        let mut b = FuncBuilder::new(
+            "u",
+            vec![("x".into(), Type::I32), ("p".into(), Type::PTR)],
+            Type::Void,
+        );
+        let entry = b.add_block("entry");
+        let orphan = b.add_block("orphan");
+        b.position_at(entry);
+        b.ret(None);
+        b.position_at(orphan);
+        let g = b.bin(BinOp::Add, b.param(0), Constant::i32(1).into(), "g");
+        b.store(g.clone(), b.param(1));
+        b.br(orphan);
+        let f = b.finish();
+        let d = DemandedBits::compute(&f);
+        // The store can never execute: nothing in the orphan block (which
+        // is also a self-loop) contributes demand.
+        assert_eq!(d.lane(f.param_value(0), 0), 0);
+        assert_eq!(d.lane(vid(&g), 0), 0);
+    }
+
+    #[test]
+    fn sext_demands_sign_bit_for_high_result_bits() {
+        let mut b = FuncBuilder::new("sx", vec![("x".into(), Type::I8)], Type::I32);
+        let entry = b.add_block("entry");
+        b.position_at(entry);
+        let w = b.cast(CastOp::SExt, b.param(0), Type::I32, "w");
+        let hi = b.bin(BinOp::And, w, Constant::i32(0x0100_0000).into(), "hi");
+        b.ret(Some(hi));
+        let f = b.finish();
+        let d = DemandedBits::compute(&f);
+        // Only bit 24 of the sext is demanded, which maps to the source's
+        // sign bit (bit 7) alone.
+        assert_eq!(d.lane(f.param_value(0), 0), 0x80);
+    }
+
+    #[test]
+    fn shifts_by_constants_relocate_demand() {
+        let mut b = FuncBuilder::new("sh", vec![("x".into(), Type::I32)], Type::I32);
+        let entry = b.add_block("entry");
+        b.position_at(entry);
+        let s = b.bin(BinOp::LShr, b.param(0), Constant::i32(4).into(), "s");
+        let low = b.bin(BinOp::And, s, Constant::i32(0xF).into(), "low");
+        b.ret(Some(low));
+        let f = b.finish();
+        let d = DemandedBits::compute(&f);
+        // Result bits 0..4 pull from source bits 4..8.
+        assert_eq!(d.lane(f.param_value(0), 0), 0xF0);
+    }
+}

@@ -152,4 +152,66 @@ mod tests {
         assert!(!dom.is_reachable(dead));
         assert!(!dom.dominates(BlockId(0), dead));
     }
+
+    #[test]
+    fn single_block_function() {
+        let mut b = FuncBuilder::new("one", vec![], Type::I32);
+        let entry = b.add_block("entry");
+        b.position_at(entry);
+        b.ret(Some(Constant::i32(0).into()));
+        let f = b.finish();
+        let cfg = Cfg::build(&f);
+        let dom = DomTree::build(&cfg, f.entry());
+        assert!(dom.is_reachable(entry));
+        assert_eq!(dom.idom(entry), None, "entry has no strict idom");
+        assert!(dom.dominates(entry, entry), "dominance is reflexive");
+    }
+
+    #[test]
+    fn self_loop_header_dominates_itself_only_via_entry() {
+        // entry -> spin; spin -> (spin | exit): the header's only idom is
+        // the entry even though it is its own predecessor.
+        let mut b = FuncBuilder::new("s", vec![("n".into(), Type::I32)], Type::Void);
+        let entry = b.add_block("entry");
+        let spin = b.add_block("spin");
+        let exit = b.add_block("exit");
+        b.position_at(entry);
+        b.br(spin);
+        b.position_at(spin);
+        let i = b.phi(Type::I32, "i");
+        let i2 = b.bin(
+            crate::inst::BinOp::Add,
+            i.clone(),
+            Constant::i32(1).into(),
+            "i2",
+        );
+        let c = b.icmp(ICmpPred::Slt, i2.clone(), b.param(0), "c");
+        b.add_incoming(&i, entry, Constant::i32(0).into());
+        b.add_incoming(&i, spin, i2);
+        b.cond_br(c, spin, exit);
+        b.position_at(exit);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::build(&f);
+        let dom = DomTree::build(&cfg, f.entry());
+        assert_eq!(dom.idom(spin), Some(entry));
+        assert_eq!(dom.idom(exit), Some(spin));
+        assert!(dom.dominates(spin, spin));
+        assert!(dom.dominates(entry, exit));
+        assert!(!dom.dominates(exit, spin));
+    }
+
+    #[test]
+    fn unreachable_self_loop_does_not_confuse_reachable_tree() {
+        // An orphan block that branches to itself: the CHK iteration must
+        // leave it out of the tree without disturbing reachable idoms.
+        let mut f = loop_fn();
+        let orphan = f.add_block("orphan");
+        f.blocks[orphan.index()].term = crate::inst::Terminator::Br(orphan);
+        let cfg = Cfg::build(&f);
+        let dom = DomTree::build(&cfg, f.entry());
+        assert!(!dom.is_reachable(orphan));
+        assert!(!dom.dominates(orphan, orphan));
+        assert_eq!(dom.idom(BlockId(1)), Some(BlockId(0)));
+    }
 }

@@ -1,0 +1,590 @@
+//! Named static diagnostics over VIR (`vulfi lint`).
+//!
+//! Each lint has a stable ID (`VL001`..) so baselines, `--deny` lists
+//! and CI gates can reference findings across versions. The catalog:
+//!
+//! | id    | name                      | fires on |
+//! |-------|---------------------------|----------|
+//! | VL001 | uninitialized-read        | a `load` from a non-escaping `alloca` that is never stored to |
+//! | VL002 | dead-store                | a non-escaping `alloca` that is stored to but never read |
+//! | VL003 | always-false-mask         | a masked memop whose mask is provably inactive on every lane |
+//! | VL004 | uniform-op-in-vector-loop | vector arithmetic inside a loop whose operands are all lane-uniform |
+//! | VL005 | unused-mask-producer      | a vector `i1` (mask) value with no users |
+//!
+//! All five are resiliency-relevant: uninitialized reads and dead stores
+//! are classic silent-corruption amplifiers, an always-false mask means
+//! a masked op contributes nothing but fault surface, uniform vector
+//! work multiplies a scalar fault site across lanes for no throughput,
+//! and an unused mask producer is pure injectable state.
+//!
+//! Definitions are deliberately conservative (prove, don't guess): the
+//! committed baseline expects all nine suite benchmarks to be clean.
+
+use crate::analysis::loops::find_loops;
+use crate::analysis::maskreach::MaskReach;
+use crate::analysis::uses::UseGraph;
+
+use crate::function::{Function, Module, ValueDef};
+use crate::inst::{InstId, InstKind, Operand, ValueId};
+use crate::intrinsics::{self, Intrinsic};
+
+/// Catalog entry: stable ID plus human name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LintInfo {
+    pub id: &'static str,
+    pub name: &'static str,
+    pub summary: &'static str,
+}
+
+/// The full lint catalog, in ID order.
+pub const LINTS: [LintInfo; 5] = [
+    LintInfo {
+        id: "VL001",
+        name: "uninitialized-read",
+        summary: "load from a stack slot no path ever stores to",
+    },
+    LintInfo {
+        id: "VL002",
+        name: "dead-store",
+        summary: "stack slot written but never read",
+    },
+    LintInfo {
+        id: "VL003",
+        name: "always-false-mask",
+        summary: "masked op whose mask is inactive on every lane",
+    },
+    LintInfo {
+        id: "VL004",
+        name: "uniform-op-in-vector-loop",
+        summary: "vector op on lane-uniform operands inside a loop",
+    },
+    LintInfo {
+        id: "VL005",
+        name: "unused-mask-producer",
+        summary: "mask value computed but never used",
+    },
+];
+
+/// Look a lint up by ID or name.
+pub fn lint_by_id(key: &str) -> Option<&'static LintInfo> {
+    LINTS.iter().find(|l| l.id == key || l.name == key)
+}
+
+/// One diagnostic instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LintFinding {
+    pub id: &'static str,
+    pub name: &'static str,
+    pub function: String,
+    /// Block containing the offending instruction (empty for
+    /// function-level findings).
+    pub block: String,
+    /// Display name of the offending value, when it has one.
+    pub value: String,
+    pub message: String,
+}
+
+impl std::fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} [{}] {}: {}",
+            self.id, self.name, self.function, self.message
+        )?;
+        if !self.block.is_empty() {
+            write!(f, " (in block '{}')", self.block)?;
+        }
+        Ok(())
+    }
+}
+
+/// Run every lint over every function of the module.
+pub fn lint_module(m: &Module) -> Vec<LintFinding> {
+    let mut out = Vec::new();
+    for f in &m.functions {
+        out.extend(lint_function(f));
+    }
+    out
+}
+
+/// Run every lint over one function. Findings come out in catalog order,
+/// each lint scanning the layout order — deterministic for baselines.
+pub fn lint_function(f: &Function) -> Vec<LintFinding> {
+    let uses = UseGraph::build(f);
+    let stacks = StackSlots::collect(f, &uses);
+    let mut out = Vec::new();
+    uninitialized_reads(f, &stacks, &mut out);
+    dead_stores(f, &stacks, &mut out);
+    always_false_masks(f, &mut out);
+    uniform_ops_in_vector_loops(f, &mut out);
+    unused_mask_producers(f, &uses, &mut out);
+    out
+}
+
+fn finding(
+    f: &Function,
+    info: &LintInfo,
+    block: Option<crate::inst::BlockId>,
+    value: Option<ValueId>,
+    message: String,
+) -> LintFinding {
+    LintFinding {
+        id: info.id,
+        name: info.name,
+        function: f.name.clone(),
+        block: block.map(|b| f.block(b).name.clone()).unwrap_or_default(),
+        value: value.map(|v| f.value_display_name(v)).unwrap_or_default(),
+        message,
+    }
+}
+
+/// Per-alloca use summary for the memory lints. A slot only participates
+/// when its address provably never escapes the gep/load/store idiom —
+/// once a pointer is passed to a call, stored as data, returned, or mixed
+/// into arithmetic, nothing can be concluded about the memory.
+struct StackSlots {
+    /// (alloca value, escaped, loaded, stored, load insts)
+    slots: Vec<SlotUse>,
+}
+
+struct SlotUse {
+    alloca: ValueId,
+    escaped: bool,
+    loaded: bool,
+    stored: bool,
+    loads: Vec<InstId>,
+}
+
+impl StackSlots {
+    fn collect(f: &Function, uses: &UseGraph) -> StackSlots {
+        let mut slots = Vec::new();
+        for (_, ii) in f.placed_insts() {
+            let inst = f.inst(ii);
+            if !matches!(inst.kind, InstKind::Alloca { .. }) {
+                continue;
+            }
+            let Some(root) = inst.result else { continue };
+            // Grow the set of pointers derived from this alloca through
+            // gep chains, then classify every use of every derived value.
+            let mut derived = vec![root];
+            let mut i = 0;
+            let mut slot = SlotUse {
+                alloca: root,
+                escaped: false,
+                loaded: false,
+                stored: false,
+                loads: Vec::new(),
+            };
+            while i < derived.len() {
+                let p = derived[i];
+                i += 1;
+                if !uses.term_uses(p).is_empty() {
+                    slot.escaped = true; // returned or branched on
+                }
+                for &user in uses.users(p) {
+                    let u = f.inst(user);
+                    match &u.kind {
+                        InstKind::Gep { base, .. } if base.value() == Some(p) => {
+                            if let Some(r) = u.result {
+                                if !derived.contains(&r) {
+                                    derived.push(r);
+                                }
+                            }
+                        }
+                        InstKind::Load { ptr } if ptr.value() == Some(p) => {
+                            slot.loaded = true;
+                            slot.loads.push(user);
+                        }
+                        InstKind::Store { val, ptr } => {
+                            if ptr.value() == Some(p) {
+                                slot.stored = true;
+                            }
+                            if val.value() == Some(p) {
+                                slot.escaped = true; // address stored as data
+                            }
+                        }
+                        InstKind::Call { callee, args } => {
+                            match intrinsics::parse(callee) {
+                                Some(
+                                    intr @ (Intrinsic::MaskLoad { .. }
+                                    | Intrinsic::MaskStore { .. }),
+                                ) => {
+                                    // Arg 0 is the pointer; classify like
+                                    // load/store. Any other position (the
+                                    // mask or stored value) escapes.
+                                    let is_ptr = args.first().is_some_and(|a| a.value() == Some(p));
+                                    if is_ptr {
+                                        match intr {
+                                            Intrinsic::MaskLoad { .. } => slot.loaded = true,
+                                            _ => slot.stored = true,
+                                        }
+                                    }
+                                    if args.iter().skip(1).any(|a| a.value() == Some(p)) {
+                                        slot.escaped = true;
+                                    }
+                                }
+                                _ => slot.escaped = true, // pointer leaves the function
+                            }
+                        }
+                        _ => slot.escaped = true, // arithmetic, phi, select, ...
+                    }
+                }
+            }
+            slots.push(slot);
+        }
+        StackSlots { slots }
+    }
+}
+
+/// VL001: loads from a slot that nothing stores to read garbage.
+fn uninitialized_reads(f: &Function, stacks: &StackSlots, out: &mut Vec<LintFinding>) {
+    for slot in &stacks.slots {
+        if slot.escaped || slot.stored || !slot.loaded {
+            continue;
+        }
+        for &load in &slot.loads {
+            let value = f.inst(load).result;
+            out.push(finding(
+                f,
+                &LINTS[0],
+                f.block_of(load),
+                value,
+                format!(
+                    "load of '{}' reads stack memory that is never stored to",
+                    f.value_display_name(slot.alloca)
+                ),
+            ));
+        }
+    }
+}
+
+/// VL002: a slot that is only ever written is dead weight (and dead
+/// fault surface).
+fn dead_stores(f: &Function, stacks: &StackSlots, out: &mut Vec<LintFinding>) {
+    for slot in &stacks.slots {
+        if slot.escaped || slot.loaded || !slot.stored {
+            continue;
+        }
+        out.push(finding(
+            f,
+            &LINTS[1],
+            None,
+            Some(slot.alloca),
+            format!(
+                "stores to '{}' are never read back",
+                f.value_display_name(slot.alloca)
+            ),
+        ));
+    }
+}
+
+/// VL003: a masked memop whose mask is inactive on every lane on every
+/// path executes as a no-op.
+fn always_false_masks(f: &Function, out: &mut Vec<LintFinding>) {
+    let mr = MaskReach::new(f);
+    for (bi, ii) in f.placed_insts() {
+        if !mr.block_reachable(bi) {
+            continue;
+        }
+        let Some(lanes) = mr.masked_op_lanes(ii) else {
+            continue;
+        };
+        if !lanes.is_empty() && lanes.iter().all(|a| *a == Some(false)) {
+            let InstKind::Call { callee, .. } = &f.inst(ii).kind else {
+                continue;
+            };
+            out.push(finding(
+                f,
+                &LINTS[2],
+                Some(bi),
+                f.inst(ii).result,
+                format!(
+                    "mask of '{callee}' is provably inactive on all {} lanes",
+                    lanes.len()
+                ),
+            ));
+        }
+    }
+}
+
+/// Is every lane of this operand provably the same value?
+fn is_uniform(f: &Function, op: &Operand, depth: u32) -> bool {
+    if depth > 8 {
+        return false;
+    }
+    match op {
+        Operand::Const(c) => {
+            if !c.ty.is_vector() {
+                return true;
+            }
+            let lanes = c.lane_bits();
+            lanes.windows(2).all(|w| w[0] == w[1])
+        }
+        Operand::Value(v) => {
+            let ValueDef::Inst(ii) = f.value(*v).def else {
+                return false;
+            };
+            match &f.inst(ii).kind {
+                InstKind::ShuffleVector { mask, .. } => {
+                    // A splat: every lane selects the same source lane.
+                    !mask.is_empty() && mask.iter().all(|&m| m >= 0 && m == mask[0])
+                }
+                InstKind::Cast { val, .. } => is_uniform(f, val, depth + 1),
+                InstKind::Bin { lhs, rhs, .. } => {
+                    is_uniform(f, lhs, depth + 1) && is_uniform(f, rhs, depth + 1)
+                }
+                _ => false,
+            }
+        }
+    }
+}
+
+/// VL004: vector arithmetic on all-uniform operands inside a loop does
+/// scalar work Vl times over (and multiplies the fault surface by Vl).
+fn uniform_ops_in_vector_loops(f: &Function, out: &mut Vec<LintFinding>) {
+    let loops = find_loops(f);
+    if loops.is_empty() {
+        return;
+    }
+    let in_loop: Vec<bool> = (0..f.blocks.len())
+        .map(|b| {
+            loops
+                .iter()
+                .any(|l| l.contains(crate::inst::BlockId(b as u32)))
+        })
+        .collect();
+    for (bi, ii) in f.placed_insts() {
+        if !in_loop[bi.index()] {
+            continue;
+        }
+        let inst = f.inst(ii);
+        let computes = matches!(
+            inst.kind,
+            InstKind::Bin { .. } | InstKind::ICmp { .. } | InstKind::FCmp { .. }
+        );
+        if !computes || !inst.ty.is_vector() {
+            continue;
+        }
+        if inst.operands().iter().all(|op| is_uniform(f, op, 0)) {
+            out.push(finding(
+                f,
+                &LINTS[3],
+                Some(bi),
+                inst.result,
+                format!(
+                    "vector '{}' in a loop computes the same value in every lane",
+                    inst.opcode()
+                ),
+            ));
+        }
+    }
+}
+
+/// VL005: a computed mask nobody consumes.
+fn unused_mask_producers(f: &Function, uses: &UseGraph, out: &mut Vec<LintFinding>) {
+    for (bi, ii) in f.placed_insts() {
+        let inst = f.inst(ii);
+        let Some(r) = inst.result else { continue };
+        let is_mask = matches!(
+            inst.ty,
+            crate::types::Type::Vector(crate::types::ScalarTy::I1, _)
+        );
+        if is_mask && uses.is_dead(r) {
+            out.push(finding(
+                f,
+                &LINTS[4],
+                Some(bi),
+                Some(r),
+                format!(
+                    "mask '{}' is computed but never used",
+                    f.value_display_name(r)
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::constant::Constant;
+    use crate::inst::{BinOp, ICmpPred};
+    use crate::types::{ScalarTy, Type};
+
+    fn ids(findings: &[LintFinding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.id).collect()
+    }
+
+    #[test]
+    fn catalog_ids_are_stable() {
+        assert_eq!(
+            LINTS.iter().map(|l| l.id).collect::<Vec<_>>(),
+            ["VL001", "VL002", "VL003", "VL004", "VL005"]
+        );
+        assert_eq!(lint_by_id("VL003").unwrap().name, "always-false-mask");
+        assert_eq!(lint_by_id("dead-store").unwrap().id, "VL002");
+        assert!(lint_by_id("VL999").is_none());
+    }
+
+    #[test]
+    fn uninitialized_read_fires_and_store_silences_it() {
+        let mut b = FuncBuilder::new("r", vec![], Type::I32);
+        let entry = b.add_block("entry");
+        b.position_at(entry);
+        let p = b.alloca(Type::I32, Constant::i64(1).into(), "p");
+        let v = b.load(Type::I32, p, "v");
+        b.ret(Some(v));
+        let f = b.finish();
+        assert_eq!(ids(&lint_function(&f)), ["VL001"]);
+
+        let mut b = FuncBuilder::new("w", vec![("x".into(), Type::I32)], Type::I32);
+        let entry = b.add_block("entry");
+        b.position_at(entry);
+        let p = b.alloca(Type::I32, Constant::i64(1).into(), "p");
+        b.store(b.param(0), p.clone());
+        let v = b.load(Type::I32, p, "v");
+        b.ret(Some(v));
+        let f = b.finish();
+        assert!(lint_function(&f).is_empty());
+    }
+
+    #[test]
+    fn dead_store_fires_only_without_loads() {
+        let mut b = FuncBuilder::new("ds", vec![("x".into(), Type::I32)], Type::Void);
+        let entry = b.add_block("entry");
+        b.position_at(entry);
+        let p = b.alloca(Type::I32, Constant::i64(1).into(), "p");
+        b.store(b.param(0), p);
+        b.ret(None);
+        let f = b.finish();
+        assert_eq!(ids(&lint_function(&f)), ["VL002"]);
+    }
+
+    #[test]
+    fn escaping_alloca_is_exempt() {
+        // Passing the pointer to an unknown callee hides both reads and
+        // writes: neither VL001 nor VL002 may fire.
+        let mut b = FuncBuilder::new("esc", vec![], Type::I32);
+        let entry = b.add_block("entry");
+        b.position_at(entry);
+        let p = b.alloca(Type::I32, Constant::i64(1).into(), "p");
+        b.call("extern.init", vec![p.clone()], Type::Void, "");
+        let v = b.load(Type::I32, p, "v");
+        b.ret(Some(v));
+        let f = b.finish();
+        assert!(lint_function(&f).is_empty());
+    }
+
+    #[test]
+    fn always_false_mask_fires_on_zero_mask() {
+        let mut b = FuncBuilder::new("afm", vec![("p".into(), Type::PTR)], Type::Void);
+        let entry = b.add_block("entry");
+        b.position_at(entry);
+        let zero: Operand = Constant::zero(Type::vec(ScalarTy::F32, 8)).into();
+        let v = b.call(
+            "llvm.x86.avx.maskload.ps.256",
+            vec![b.param(0), zero],
+            Type::vec(ScalarTy::F32, 8),
+            "v",
+        );
+        b.ret(None);
+        let _ = v;
+        let f = b.finish();
+        assert_eq!(ids(&lint_function(&f)), ["VL003"]);
+    }
+
+    #[test]
+    fn uniform_vector_op_in_loop_fires() {
+        let mut b = FuncBuilder::new(
+            "u",
+            vec![("x".into(), Type::F32), ("p".into(), Type::PTR)],
+            Type::Void,
+        );
+        let entry = b.add_block("entry");
+        let body = b.add_block("body");
+        let exit = b.add_block("exit");
+        b.position_at(entry);
+        let splat = b.broadcast(b.param(0), 8, "splat");
+        b.br(body);
+        b.position_at(body);
+        let i = b.phi(Type::I32, "i");
+        // Uniform vector multiply inside the loop: every lane computes
+        // x*x.
+        let sq = b.bin(BinOp::FMul, splat.clone(), splat.clone(), "sq");
+        b.store(sq, b.param(1));
+        let i2 = b.bin(BinOp::Add, i.clone(), Constant::i32(1).into(), "i2");
+        let c = b.icmp(ICmpPred::Slt, i2.clone(), Constant::i32(8).into(), "c");
+        b.add_incoming(&i, entry, Constant::i32(0).into());
+        b.add_incoming(&i, body, i2);
+        b.cond_br(c, body, exit);
+        b.position_at(exit);
+        b.ret(None);
+        let f = b.finish();
+        assert_eq!(ids(&lint_function(&f)), ["VL004"]);
+    }
+
+    #[test]
+    fn varying_vector_op_in_loop_is_clean() {
+        let mut b = FuncBuilder::new(
+            "v",
+            vec![
+                ("v".into(), Type::vec(ScalarTy::F32, 8)),
+                ("p".into(), Type::PTR),
+            ],
+            Type::Void,
+        );
+        let entry = b.add_block("entry");
+        let body = b.add_block("body");
+        let exit = b.add_block("exit");
+        b.position_at(entry);
+        b.br(body);
+        b.position_at(body);
+        let i = b.phi(Type::I32, "i");
+        let sq = b.bin(BinOp::FMul, b.param(0), b.param(0), "sq");
+        b.store(sq, b.param(1));
+        let i2 = b.bin(BinOp::Add, i.clone(), Constant::i32(1).into(), "i2");
+        let c = b.icmp(ICmpPred::Slt, i2.clone(), Constant::i32(8).into(), "c");
+        b.add_incoming(&i, entry, Constant::i32(0).into());
+        b.add_incoming(&i, body, i2);
+        b.cond_br(c, body, exit);
+        b.position_at(exit);
+        b.ret(None);
+        let f = b.finish();
+        assert!(lint_function(&f).is_empty());
+    }
+
+    #[test]
+    fn unused_mask_producer_fires() {
+        let mut b = FuncBuilder::new(
+            "um",
+            vec![("a".into(), Type::vec(ScalarTy::I32, 8))],
+            Type::Void,
+        );
+        let entry = b.add_block("entry");
+        b.position_at(entry);
+        let _m = b.icmp(
+            ICmpPred::Slt,
+            b.param(0),
+            Constant::splat_i32(8, 0).into(),
+            "m",
+        );
+        b.ret(None);
+        let f = b.finish();
+        assert_eq!(ids(&lint_function(&f)), ["VL005"]);
+    }
+
+    #[test]
+    fn display_includes_id_and_function() {
+        let mut b = FuncBuilder::new("ds", vec![("x".into(), Type::I32)], Type::Void);
+        let entry = b.add_block("entry");
+        b.position_at(entry);
+        let p = b.alloca(Type::I32, Constant::i64(1).into(), "p");
+        b.store(b.param(0), p);
+        b.ret(None);
+        let f = b.finish();
+        let out = lint_function(&f);
+        let s = out[0].to_string();
+        assert!(s.starts_with("VL002 [dead-store] ds:"), "{s}");
+    }
+}

@@ -1,0 +1,424 @@
+//! Mask reachability: which lanes of a masked op are provably inactive.
+//!
+//! The interpreter gates each lane of a masked load/store on the *sign
+//! bit* of the corresponding mask lane (`mask_active`). This analysis
+//! evaluates that predicate symbolically: for a given mask operand and
+//! lane it answers `Some(true)` (active on every path), `Some(false)`
+//! (inactive on every path — the lane is dead, no fault injected into it
+//! can ever be observed), or `None` (depends on runtime data).
+//!
+//! The evaluator follows the value chains SPMD code generation produces
+//! for masks — constants, `sext`/`zext`, geometry-preserving bitcasts,
+//! bitwise and/or/xor, shuffles, inserts/extracts, and phis (joining over
+//! reachable predecessors only, with a cycle guard). Everything else is
+//! `None`: soundness over precision, since `Some(false)` feeds benign
+//! proofs and the always-false-mask lint.
+
+use crate::analysis::cfg::Cfg;
+use crate::function::Function;
+use crate::function::ValueDef;
+use crate::inst::{BinOp, CastOp, InstId, InstKind, Operand};
+use crate::intrinsics::{self, Intrinsic};
+
+pub use crate::inst::ValueId;
+
+/// Per-function mask-lane constancy oracle.
+pub struct MaskReach<'f> {
+    f: &'f Function,
+    reachable: Vec<bool>,
+}
+
+impl<'f> MaskReach<'f> {
+    pub fn new(f: &'f Function) -> MaskReach<'f> {
+        let reachable = if f.blocks.is_empty() {
+            Vec::new()
+        } else {
+            Cfg::build(f).reachable(f.entry())
+        };
+        MaskReach { f, reachable }
+    }
+
+    /// Is the given block reachable from the entry?
+    pub fn block_reachable(&self, b: crate::inst::BlockId) -> bool {
+        self.reachable.get(b.index()).copied().unwrap_or(false)
+    }
+
+    /// Would `mask_active` (the sign-bit test) on `lane` of `op` return a
+    /// known constant on every path?
+    pub fn lane_activity(&self, op: &Operand, lane: u32) -> Option<bool> {
+        self.activity(op, lane, &mut Vec::new())
+    }
+
+    /// Per-lane activity of the mask argument of a masked memop call, or
+    /// `None` if `inst` is not one.
+    pub fn masked_op_lanes(&self, inst: InstId) -> Option<Vec<Option<bool>>> {
+        let InstKind::Call { callee, args } = &self.f.inst(inst).kind else {
+            return None;
+        };
+        let intr = intrinsics::parse(callee)?;
+        let (lanes, mask_arg) = match intr {
+            Intrinsic::MaskLoad { lanes, .. } | Intrinsic::MaskStore { lanes, .. } => {
+                (lanes, intr.mask_arg()?)
+            }
+            _ => return None,
+        };
+        let mask = args.get(mask_arg)?;
+        Some((0..lanes).map(|l| self.lane_activity(mask, l)).collect())
+    }
+
+    /// Lanes of a masked memop that are dead on all paths: provably
+    /// inactive masks, or every lane when the op can never execute.
+    pub fn dead_lanes(&self, inst: InstId) -> Vec<u32> {
+        if let Some(b) = self.f.block_of(inst) {
+            if !self.block_reachable(b) {
+                if let Some(lanes) = self.masked_op_lanes(inst) {
+                    return (0..lanes.len() as u32).collect();
+                }
+            }
+        }
+        match self.masked_op_lanes(inst) {
+            Some(lanes) => lanes
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| **a == Some(false))
+                .map(|(i, _)| i as u32)
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    fn activity(&self, op: &Operand, lane: u32, visiting: &mut Vec<ValueId>) -> Option<bool> {
+        match op {
+            Operand::Const(c) => {
+                let elem = c.ty.elem()?;
+                let bits = c.lane_bits();
+                let b = bits.get(lane as usize).copied().unwrap_or(0);
+                Some((b >> (elem.bits() - 1)) & 1 == 1)
+            }
+            Operand::Value(v) => {
+                if visiting.contains(v) {
+                    return None; // phi cycle: runtime-dependent
+                }
+                let inst = match self.f.value(*v).def {
+                    ValueDef::Param(_) => return None,
+                    ValueDef::Inst(i) => self.f.inst(i),
+                };
+                visiting.push(*v);
+                let r = self.inst_activity(inst, lane, visiting);
+                visiting.pop();
+                r
+            }
+        }
+    }
+
+    fn inst_activity(
+        &self,
+        inst: &crate::inst::Inst,
+        lane: u32,
+        visiting: &mut Vec<ValueId>,
+    ) -> Option<bool> {
+        match &inst.kind {
+            InstKind::Cast { op, val } => {
+                let src_ty = self.f.operand_type(val);
+                let src_bits = src_ty.elem().map(|e| e.bits()).unwrap_or(0);
+                let dst_bits = inst.ty.elem().map(|e| e.bits()).unwrap_or(0);
+                match op {
+                    // Sign extension replicates the source sign bit.
+                    CastOp::SExt => self.activity(val, lane, visiting),
+                    // Zero extension forces the new sign bit to 0: a
+                    // zext'd mask is never active.
+                    CastOp::ZExt if dst_bits > src_bits => Some(false),
+                    CastOp::ZExt => self.activity(val, lane, visiting),
+                    CastOp::Bitcast
+                        if src_ty.lanes() == inst.ty.lanes() && src_bits == dst_bits =>
+                    {
+                        self.activity(val, lane, visiting)
+                    }
+                    _ => None,
+                }
+            }
+            InstKind::Bin { op, lhs, rhs } => {
+                let a = self.activity(lhs, lane, visiting);
+                let b = self.activity(rhs, lane, visiting);
+                match op {
+                    BinOp::And => match (a, b) {
+                        (Some(false), _) | (_, Some(false)) => Some(false),
+                        (Some(true), Some(true)) => Some(true),
+                        _ => None,
+                    },
+                    BinOp::Or => match (a, b) {
+                        (Some(true), _) | (_, Some(true)) => Some(true),
+                        (Some(false), Some(false)) => Some(false),
+                        _ => None,
+                    },
+                    BinOp::Xor => Some(a? ^ b?),
+                    _ => None,
+                }
+            }
+            InstKind::Select {
+                on_true, on_false, ..
+            } => {
+                // Without evaluating the condition: known only when both
+                // arms agree.
+                let t = self.activity(on_true, lane, visiting)?;
+                let e = self.activity(on_false, lane, visiting)?;
+                if t == e {
+                    Some(t)
+                } else {
+                    None
+                }
+            }
+            InstKind::ShuffleVector { a, b, mask } => {
+                let sel = *mask.get(lane as usize)?;
+                if sel < 0 {
+                    // Undef lanes evaluate to zero bits: inactive.
+                    return Some(false);
+                }
+                let a_lanes = self.f.operand_type(a).lanes();
+                let sel = sel as u32;
+                if sel < a_lanes {
+                    self.activity(a, sel, visiting)
+                } else {
+                    self.activity(b, sel - a_lanes, visiting)
+                }
+            }
+            InstKind::InsertElement { vec, elt, idx } => {
+                let n = inst.ty.lanes().max(1) as u64;
+                let c = idx.constant().and_then(|c| c.scalar_bits())?;
+                if (c % n) as u32 == lane {
+                    self.activity(elt, 0, visiting)
+                } else {
+                    self.activity(vec, lane, visiting)
+                }
+            }
+            InstKind::ExtractElement { vec, idx } => {
+                let n = self.f.operand_type(vec).lanes().max(1) as u64;
+                let c = idx.constant().and_then(|c| c.scalar_bits())?;
+                self.activity(vec, (c % n) as u32, visiting)
+            }
+            InstKind::Phi { incomings } => {
+                let mut agreed: Option<bool> = None;
+                let mut any = false;
+                for (pred, op) in incomings {
+                    if !self.block_reachable(*pred) {
+                        continue; // dead edge: cannot contribute a value
+                    }
+                    let a = self.activity(op, lane, visiting)?;
+                    match agreed {
+                        Some(prev) if prev != a => return None,
+                        _ => agreed = Some(a),
+                    }
+                    any = true;
+                }
+                if any {
+                    agreed
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::constant::Constant;
+    use crate::inst::ICmpPred;
+    use crate::types::{ScalarTy, Type};
+
+    fn maskload(b: &mut FuncBuilder, ptr: Operand, mask: Operand) -> (Operand, InstId) {
+        let v = b.call(
+            "llvm.x86.avx.maskload.ps.256",
+            vec![ptr, mask],
+            Type::vec(ScalarTy::F32, 8),
+            "v",
+        );
+        let id = match b.func().value(v.value().unwrap()).def {
+            ValueDef::Inst(i) => i,
+            _ => unreachable!(),
+        };
+        (v, id)
+    }
+
+    #[test]
+    fn constant_mask_lanes_are_known() {
+        let mut b = FuncBuilder::new("c", vec![("p".into(), Type::PTR)], Type::Void);
+        let entry = b.add_block("entry");
+        b.position_at(entry);
+        // Lanes 0..4 active (sign bit set), 4..8 inactive.
+        let lanes: Vec<i32> = (0..8).map(|i| if i < 4 { -1 } else { 0 }).collect();
+        let mask: Operand = Constant::vec_i32(&lanes).into();
+        let ptr = b.param(0);
+        let (_, call) = maskload(&mut b, ptr, mask);
+        b.ret(None);
+        let f = b.finish();
+        let mr = MaskReach::new(&f);
+        let lanes = mr.masked_op_lanes(call).unwrap();
+        assert_eq!(&lanes[..4], &[Some(true); 4]);
+        assert_eq!(&lanes[4..], &[Some(false); 4]);
+        assert_eq!(mr.dead_lanes(call), vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn sext_of_icmp_is_runtime_dependent() {
+        let mut b = FuncBuilder::new(
+            "s",
+            vec![
+                ("p".into(), Type::PTR),
+                ("n".into(), Type::vec(ScalarTy::I32, 8)),
+            ],
+            Type::Void,
+        );
+        let entry = b.add_block("entry");
+        b.position_at(entry);
+        let cmp = b.icmp(
+            ICmpPred::Slt,
+            Constant::lane_ids(8).into(),
+            b.param(1),
+            "cmp",
+        );
+        let m = b.cast(CastOp::SExt, cmp, Type::vec(ScalarTy::I32, 8), "m");
+        let ptr = b.param(0);
+        let (_, call) = maskload(&mut b, ptr, m);
+        b.ret(None);
+        let f = b.finish();
+        let mr = MaskReach::new(&f);
+        assert!(mr
+            .masked_op_lanes(call)
+            .unwrap()
+            .iter()
+            .all(Option::is_none));
+        assert!(mr.dead_lanes(call).is_empty());
+    }
+
+    #[test]
+    fn zext_mask_is_never_active() {
+        let mut b = FuncBuilder::new(
+            "z",
+            vec![
+                ("p".into(), Type::PTR),
+                ("c".into(), Type::vec(ScalarTy::I1, 8)),
+            ],
+            Type::Void,
+        );
+        let entry = b.add_block("entry");
+        b.position_at(entry);
+        let m = b.cast(CastOp::ZExt, b.param(1), Type::vec(ScalarTy::I32, 8), "m");
+        let ptr = b.param(0);
+        let (_, call) = maskload(&mut b, ptr, m);
+        b.ret(None);
+        let f = b.finish();
+        let mr = MaskReach::new(&f);
+        assert_eq!(mr.dead_lanes(call), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn and_with_known_false_kills_lane() {
+        let mut b = FuncBuilder::new(
+            "a",
+            vec![
+                ("p".into(), Type::PTR),
+                ("m".into(), Type::vec(ScalarTy::I32, 8)),
+            ],
+            Type::Void,
+        );
+        let entry = b.add_block("entry");
+        b.position_at(entry);
+        // Constant mask: high half inactive; AND with a runtime mask
+        // keeps that proof.
+        let lanes: Vec<i32> = (0..8).map(|i| if i < 4 { -1 } else { 0 }).collect();
+        let anded = b.bin(
+            BinOp::And,
+            b.param(1),
+            Constant::vec_i32(&lanes).into(),
+            "k",
+        );
+        let ptr = b.param(0);
+        let (_, call) = maskload(&mut b, ptr, anded);
+        b.ret(None);
+        let f = b.finish();
+        let mr = MaskReach::new(&f);
+        let lanes = mr.masked_op_lanes(call).unwrap();
+        assert!(lanes[..4].iter().all(Option::is_none));
+        assert_eq!(&lanes[4..], &[Some(false); 4]);
+    }
+
+    #[test]
+    fn shuffle_undef_lanes_are_inactive() {
+        let mut b = FuncBuilder::new(
+            "u",
+            vec![
+                ("p".into(), Type::PTR),
+                ("m".into(), Type::vec(ScalarTy::I32, 8)),
+            ],
+            Type::Void,
+        );
+        let entry = b.add_block("entry");
+        b.position_at(entry);
+        let mixed = b.shuffle(
+            b.param(1),
+            Constant::undef(Type::vec(ScalarTy::I32, 8)).into(),
+            vec![0, 1, 2, 3, -1, -1, -1, -1],
+            "mixed",
+        );
+        let ptr = b.param(0);
+        let (_, call) = maskload(&mut b, ptr, mixed);
+        b.ret(None);
+        let f = b.finish();
+        let mr = MaskReach::new(&f);
+        assert_eq!(mr.dead_lanes(call), vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn phi_agreement_and_cycles() {
+        let mut b = FuncBuilder::new("ph", vec![("p".into(), Type::PTR)], Type::Void);
+        let entry = b.add_block("entry");
+        let left = b.add_block("left");
+        let right = b.add_block("right");
+        let join = b.add_block("join");
+        b.position_at(entry);
+        b.cond_br(Constant::bool(true).into(), left, right);
+        b.position_at(left);
+        b.br(join);
+        b.position_at(right);
+        b.br(join);
+        b.position_at(join);
+        let m = b.phi(Type::vec(ScalarTy::I32, 8), "m");
+        b.add_incoming(&m, left, Constant::splat_i32(8, -1).into());
+        b.add_incoming(&m, right, Constant::splat_i32(8, -1).into());
+        let ptr = b.param(0);
+        let (_, call) = maskload(&mut b, ptr, m);
+        b.ret(None);
+        let f = b.finish();
+        let mr = MaskReach::new(&f);
+        let lanes = mr.masked_op_lanes(call).unwrap();
+        assert!(lanes.iter().all(|a| *a == Some(true)));
+    }
+
+    #[test]
+    fn masked_op_in_unreachable_block_is_fully_dead() {
+        let mut b = FuncBuilder::new(
+            "dead",
+            vec![
+                ("p".into(), Type::PTR),
+                ("m".into(), Type::vec(ScalarTy::I32, 8)),
+            ],
+            Type::Void,
+        );
+        let entry = b.add_block("entry");
+        let orphan = b.add_block("orphan");
+        b.position_at(entry);
+        b.ret(None);
+        b.position_at(orphan);
+        let ptr = b.param(0);
+        let msk = b.param(1);
+        let (_, call) = maskload(&mut b, ptr, msk);
+        b.ret(None);
+        let f = b.finish();
+        let mr = MaskReach::new(&f);
+        assert_eq!(mr.dead_lanes(call), (0..8).collect::<Vec<_>>());
+    }
+}

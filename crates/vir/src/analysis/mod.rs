@@ -1,14 +1,21 @@
 //! Program analyses over VIR functions: CFG, dominators, use-def chains,
-//! and the forward-slice fault-site classifier.
+//! the forward-slice fault-site classifier, and the static-resiliency
+//! tier (demanded bits, mask reachability, lints).
 
 pub mod cfg;
+pub mod demand;
 pub mod dom;
+pub mod lint;
 pub mod loops;
+pub mod maskreach;
 pub mod slice;
 pub mod uses;
 
 pub use cfg::Cfg;
+pub use demand::DemandedBits;
 pub use dom::DomTree;
+pub use lint::{lint_by_id, lint_function, lint_module, LintFinding, LintInfo, LINTS};
 pub use loops::{find_loops, loop_depths, NaturalLoop};
+pub use maskreach::MaskReach;
 pub use slice::{SiteCategory, SiteFlags, SliceAnalysis};
 pub use uses::{TermUse, UseGraph};

@@ -123,4 +123,66 @@ mod tests {
         let ug = UseGraph::build(&f);
         assert!(ug.is_dead(dead.value().unwrap()));
     }
+
+    #[test]
+    fn counts_uses_in_unreachable_blocks() {
+        // Placed instructions are scanned regardless of reachability: a
+        // use inside an orphan block still makes the value "not dead" at
+        // the use-graph level (liveness under reachability is the
+        // demanded-bits pass's job, not this map's).
+        let mut b = FuncBuilder::new("f", vec![("x".into(), Type::I32)], Type::Void);
+        let entry = b.add_block("entry");
+        let orphan = b.add_block("orphan");
+        b.position_at(entry);
+        let v = b.bin(BinOp::Add, b.param(0), Constant::i32(1).into(), "v");
+        b.ret(None);
+        b.position_at(orphan);
+        let w = b.bin(BinOp::Mul, v.clone(), Constant::i32(2).into(), "w");
+        b.ret(Some(w.clone()));
+        let f = b.finish();
+        let ug = UseGraph::build(&f);
+        assert_eq!(ug.users(v.value().unwrap()).len(), 1);
+        assert_eq!(ug.term_uses(w.value().unwrap()), &[TermUse::RetVal]);
+    }
+
+    #[test]
+    fn self_loop_phi_is_its_own_user() {
+        // spin: %i = phi [entry: 0], [spin: %i2]; %i2 = add %i, 1 — the
+        // phi and the add use each other across the back edge.
+        let mut b = FuncBuilder::new("s", vec![("n".into(), Type::I32)], Type::Void);
+        let entry = b.add_block("entry");
+        let spin = b.add_block("spin");
+        let exit = b.add_block("exit");
+        b.position_at(entry);
+        b.br(spin);
+        b.position_at(spin);
+        let i = b.phi(Type::I32, "i");
+        let i2 = b.bin(BinOp::Add, i.clone(), Constant::i32(1).into(), "i2");
+        let c = b.icmp(ICmpPred::Slt, i2.clone(), b.param(0), "c");
+        b.add_incoming(&i, entry, Constant::i32(0).into());
+        b.add_incoming(&i, spin, i2.clone());
+        b.cond_br(c, spin, exit);
+        b.position_at(exit);
+        b.ret(None);
+        let f = b.finish();
+        let ug = UseGraph::build(&f);
+        let iv = i.value().unwrap();
+        let i2v = i2.value().unwrap();
+        assert_eq!(ug.users(iv).len(), 1, "the add reads the phi");
+        assert!(ug.users(i2v).len() >= 2, "the phi and the icmp read i2");
+        assert!(!ug.is_dead(iv));
+    }
+
+    #[test]
+    fn single_block_function_uses() {
+        let mut b = FuncBuilder::new("one", vec![("x".into(), Type::I32)], Type::I32);
+        let entry = b.add_block("entry");
+        b.position_at(entry);
+        let y = b.bin(BinOp::Add, b.param(0), Constant::i32(1).into(), "y");
+        b.ret(Some(y.clone()));
+        let f = b.finish();
+        let ug = UseGraph::build(&f);
+        assert_eq!(ug.term_uses(y.value().unwrap()), &[TermUse::RetVal]);
+        assert!(!ug.is_dead(f.param_value(0)));
+    }
 }
