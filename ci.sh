@@ -75,11 +75,23 @@ sed 's/^sdc_rate_max.*/sdc_rate_max = 0.0/' scenarios/smoke.toml > "$SMOKE/breac
     > "$SMOKE/breach.out"
 grep -q 'FAIL (sdc_rate_max)' "$SMOKE/breach.out"
 
+# Profiler smoke test: the hot-path profiler must rank opcodes for a
+# golden run without perturbing it (bit-identity is proven by the vexec
+# proptest; here we just gate the CLI surface).
+./target/release/vulfi profile --bench "vector sum" --hotspots --top 5 \
+    -o "$SMOKE/folded.txt" > "$SMOKE/profile.out"
+grep -q 'hotspots' "$SMOKE/profile.out"
+grep -q 'hottest sites' "$SMOKE/profile.out"
+test -s "$SMOKE/folded.txt"
+
 # Throughput record: bench --record must emit parseable JSON with a
-# nonzero experiments-per-second figure.
+# nonzero experiments-per-second figure, and the cumulative history
+# sidecar must gain a line carrying the opcode mix.
 ./target/release/vulfi bench --bench "vector sum" --experiments 10 --record \
     -o "$SMOKE/BENCH_report.json" > /dev/null
 grep -q 'exp_per_sec' "$SMOKE/BENCH_report.json"
+grep -q 'opcode_mix' "$SMOKE/BENCH_report.json"
+grep -q 'golden_dyn_insts' "$SMOKE/BENCH_history.jsonl"
 
 # Throughput gate: re-run the micro-benchmarks (full and pruned pairs)
 # against the committed baseline; any >30% exp/s regression fails the
@@ -106,9 +118,18 @@ grep -q '"mean_sdc"' "$SMOKE/submit.json"
 KEY=$(grep -o '"key": "[a-f0-9]*"' "$SMOKE/status.json" | head -1 | cut -d'"' -f4)
 ./target/release/vulfi status --addr "$ADDR" "$KEY" --report > "$SMOKE/status_report.json"
 grep -q '"cell"' "$SMOKE/status_report.json"
+# Live dashboard: zero-JS self-contained HTML with the jobs table.
+curl -s "http://$ADDR/dashboard" > "$SMOKE/dashboard.html"
+grep -q 'id="jobs"' "$SMOKE/dashboard.html"
+! grep -q '<script' "$SMOKE/dashboard.html"
 ./target/release/vulfi shutdown --addr "$ADDR" > /dev/null
 wait "$SERVE_PID"
 test ! -e "$SMOKE/serve/serve.addr"
 ./target/release/vulfi store fsck --store "$SMOKE/serve"
+# The ops log alone must reconstruct the job's lifecycle offline.
+./target/release/vulfi events summarize --store "$SMOKE/serve" > "$SMOKE/ops.out"
+grep -q 'completed' "$SMOKE/ops.out"
+grep -q 'merged' "$SMOKE/ops.out"
+./target/release/vulfi events fsck --store "$SMOKE/serve"
 
 echo "ci: all checks passed"

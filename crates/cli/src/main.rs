@@ -50,21 +50,25 @@ fn usage() -> String {
      vulfi store fsck [--store DIR] [--repair] [--json]\n  \
      vulfi trace summarize [--trace DIR] [--top N] [--json]\n  \
      vulfi trace fsck [--trace DIR] [--repair] [--json]\n  \
+     vulfi events tail [--store DIR] [--top N] [--json]\n  \
+     vulfi events summarize [--store DIR] [--json]\n  \
+     vulfi events fsck [--store DIR] [--repair] [--json]\n  \
      vulfi report diff <STORE_A> <STORE_B> [--json]\n  \
      vulfi report heatmap [--trace DIR] [--top N] [--model M] [--json]\n  \
      vulfi report html [--store DIR] [--trace DIR] [--diff-store DIR] [--metrics-in PATH]\n         \
      [--top N] [-o out.html]\n  \
-     vulfi gauntlet run <SCENARIO.toml|.json> [--store DIR] [--jobs N] [--resume] [--json]\n  \
+     vulfi gauntlet run <SCENARIO.toml|.json> [--store DIR] [--jobs N] [--resume] [--json]\n         \
+     [--strict] [--trace DIR] [--metrics-out PATH] [--wall-limit-ms N] [--mem-limit-mb N]\n  \
      vulfi gauntlet report <SCENARIO.toml|.json> [--store DIR] [-o out.html]\n  \
-     vulfi bench [--bench NAME] [--isa avx|sse] [--experiments N] [--seed N] [--record] [-o PATH]\n         \
-     [--check BASELINE]\n  \
+     vulfi bench [--bench NAME] [--isa avx|sse] [--category CAT] [--experiments N] [--seed N]\n         \
+     [--record] [-o PATH] [--check BASELINE] [--prune]\n  \
      vulfi serve [--addr HOST:PORT] [--store DIR] [--workers N] [--lease-ttl-ms N]\n  \
      vulfi submit --bench NAME [--addr HOST:PORT] [--isa avx|sse] [--category CAT] [--scale test|paper]\n         \
      [--experiments N] [--campaigns N] [--seed N] [--shard-size N] [--detectors] [--model M]\n         \
      [--tenant NAME] [--wait] [--json] [--prune]\n  \
      vulfi status [KEY] [--addr HOST:PORT] [--report] [--json]\n  \
      vulfi shutdown [--addr HOST:PORT]\n  \
-     vulfi profile --bench NAME [--isa avx|sse]\n  \
+     vulfi profile --bench NAME [--isa avx|sse] [--hotspots] [--top N] [-o FOLDED.txt]\n  \
      vulfi list"
         .to_string()
 }
@@ -138,6 +142,8 @@ struct Flags {
     deny: bool,
     /// `lint`: lint every built-in study benchmark instead of a file.
     suite: bool,
+    /// `profile`: per-site hotspot table with attributed wall time.
+    hotspots: bool,
     positional: Vec<String>,
 }
 
@@ -180,6 +186,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         prune: None,
         deny: false,
         suite: false,
+        hotspots: false,
         positional: Vec::new(),
     };
     let mut it = args.iter().peekable();
@@ -306,6 +313,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             },
             "--deny" => f.deny = true,
             "--suite" => f.suite = true,
+            "--hotspots" => f.hotspots = true,
             "--strict" => f.strict = true,
             "--repair" => f.repair = true,
             "--resume" => f.resume = true,
@@ -545,6 +553,15 @@ fn run(args: &[String]) -> Result<(), String> {
                 usage()
             )),
         },
+        "events" => match flags.positional.first().map(String::as_str) {
+            Some("tail") => events_tail(&flags),
+            Some("summarize") => events_summarize(&flags),
+            Some("fsck") => events_fsck(&flags),
+            _ => Err(format!(
+                "events needs a subcommand (tail, summarize, fsck)\n{}",
+                usage()
+            )),
+        },
         "report" => match flags.positional.first().map(String::as_str) {
             Some("diff") => report_diff(&flags),
             Some("heatmap") => report_heatmap(&flags),
@@ -575,6 +592,9 @@ fn run(args: &[String]) -> Result<(), String> {
                 .ok_or_else(|| format!("unknown benchmark '{name}' (see `vulfi list`)"))?;
             let mut interp = vexec::Interp::new(w.module());
             interp.enable_profiling();
+            if flags.hotspots {
+                interp.enable_hotspots();
+            }
             let setup = w
                 .setup(&mut interp.mem, 0)
                 .map_err(|t| format!("setup failed: {t}"))?;
@@ -608,6 +628,10 @@ fn run(args: &[String]) -> Result<(), String> {
                 for (active, n) in mix.occupancy_histogram() {
                     println!("  {active:>2} active lane(s): {n:>10} inst(s)");
                 }
+            }
+            if flags.hotspots {
+                let hot = interp.take_hotspots().expect("hotspots enabled");
+                print_hotspots(&hot, &flags)?;
             }
             Ok(())
         }
@@ -649,6 +673,7 @@ const COMMANDS: &[&str] = &[
     "results",
     "store",
     "trace",
+    "events",
     "report",
     "gauntlet",
     "bench",
@@ -1403,6 +1428,124 @@ fn trace_fsck(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// `vulfi profile --hotspots`: the self-profiler's site table — opcodes
+/// ranked by dynamic count with batched wall time attributed per static
+/// site. `-o` additionally writes the folded-stack (flamegraph) text.
+fn print_hotspots(hot: &vexec::HotProfile, flags: &Flags) -> Result<(), String> {
+    let total = hot.total().max(1);
+    let wall = hot.wall_ns().max(1);
+    println!("hotspots (dynamic count × attributed wall time):");
+    println!(
+        "  {:16} {:>12} {:>7} {:>10} {:>7} {:>6}",
+        "opcode", "count", "%count", "time(ms)", "%time", "sites"
+    );
+    for h in hot.hotspots().into_iter().take(flags.top) {
+        println!(
+            "  {:16} {:>12} {:>6.1}% {:>10.3} {:>6.1}% {:>6}",
+            h.opcode,
+            h.count,
+            100.0 * h.count as f64 / total as f64,
+            h.wall_ns as f64 / 1e6,
+            100.0 * h.wall_ns as f64 / wall as f64,
+            h.sites
+        );
+    }
+    println!("hottest sites:");
+    for s in hot.sites().into_iter().take(flags.top) {
+        println!(
+            "  {:>24} {:12} {:>12} {:>9.3}ms",
+            format!("{}/{}", s.func, s.loc),
+            s.opcode,
+            s.count,
+            s.wall_ns as f64 / 1e6
+        );
+    }
+    if let Some(out) = &flags.out {
+        fs::write(out, hot.folded()).map_err(|e| format!("{out}: {e}"))?;
+        eprintln!("wrote folded stacks to {out}");
+    }
+    Ok(())
+}
+
+/// `vulfi events tail`: the most recent operational events (`--top N`,
+/// default 10), one line each, oldest of them first.
+fn events_tail(flags: &Flags) -> Result<(), String> {
+    let ops = vulfi_orch::OpsLog::open(&flags.store).map_err(|e| e.to_string())?;
+    let events = ops.tail(flags.top).map_err(|e| e.to_string())?;
+    if flags.json {
+        let docs: Vec<serde_json::Value> = events
+            .iter()
+            .map(|ev| serde_json::to_value(ev).unwrap_or(serde_json::Value::Null))
+            .collect();
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&serde_json::Value::Array(docs)).unwrap()
+        );
+        return Ok(());
+    }
+    if events.is_empty() {
+        println!("no operational events under {}", flags.store);
+        return Ok(());
+    }
+    for ev in &events {
+        println!("{}", ev.render_line());
+    }
+    Ok(())
+}
+
+/// `vulfi events summarize`: fold the ops log into per-job lifecycles
+/// (submit → lease → shards → merge), reconstructed from the log alone.
+fn events_summarize(flags: &Flags) -> Result<(), String> {
+    let ops = vulfi_orch::OpsLog::open(&flags.store).map_err(|e| e.to_string())?;
+    let s = ops.summarize().map_err(|e| e.to_string())?;
+    if flags.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&serde_json::to_value(&s).map_err(|e| e.to_string())?)
+                .unwrap()
+        );
+        return Ok(());
+    }
+    if s.events == 0 {
+        println!("no operational events under {}", flags.store);
+        return Ok(());
+    }
+    println!(
+        "{} event(s), {} job(s), {} fsck action(s), worker(s): {}",
+        s.events,
+        s.jobs.len(),
+        s.fsck_actions,
+        if s.workers().is_empty() {
+            "none".to_string()
+        } else {
+            s.workers().join(", ")
+        }
+    );
+    for j in &s.jobs {
+        println!("{}", j.render());
+    }
+    Ok(())
+}
+
+/// `vulfi events fsck`: integrity-check the ops log; with `--repair`,
+/// quarantine a corrupt log and salvage the intact events.
+fn events_fsck(flags: &Flags) -> Result<(), String> {
+    let ops = vulfi_orch::OpsLog::open(&flags.store).map_err(|e| e.to_string())?;
+    let study = ops.fsck(flags.repair).map_err(|e| e.to_string())?;
+    let report = vulfi_orch::FsckReport {
+        studies: vec![study],
+    };
+    print_fsck_report(&report, flags, &flags.store)?;
+    if report.needs_repair() && !flags.repair {
+        return Err(format!(
+            "corrupt ops log under {}; re-run with --repair to quarantine it \
+             and salvage intact events",
+            flags.store
+        ));
+    }
+    Ok(())
+}
+
 /// Shared fsck report renderer for the result store and the trace store.
 fn print_fsck_report(
     report: &vulfi_orch::FsckReport,
@@ -1473,6 +1616,27 @@ fn store_fsck(flags: &Flags) -> Result<(), String> {
     let store = vulfi_orch::Store::open(&flags.store).map_err(|e| e.to_string())?;
     let report = store.fsck(flags.repair).map_err(|e| e.to_string())?;
     print_fsck_report(&report, flags, &flags.store)?;
+    // Repairs are operational actions: record them in the ops event
+    // stream so `vulfi events summarize` accounts for them.
+    if flags.repair {
+        let quarantined: Vec<String> = report
+            .studies
+            .iter()
+            .filter(|s| s.quarantined.is_some())
+            .map(|s| s.key.0.clone())
+            .collect();
+        if !quarantined.is_empty() {
+            if let Ok(ops) = vulfi_orch::OpsLog::open(&flags.store) {
+                let _ = ops.append(vulfi_orch::OpsEvent::new(vulfi_orch::OpsKind::Fsck).detail(
+                    format!(
+                        "store fsck quarantined {} shard log(s): {}",
+                        quarantined.len(),
+                        quarantined.join(", ")
+                    ),
+                ));
+            }
+        }
+    }
     if report.needs_repair() && !flags.repair {
         return Err(format!(
             "corrupt shard log(s) found under {}; re-run with --repair to \
@@ -1790,6 +1954,10 @@ fn gauntlet_run(flags: &Flags) -> Result<(), String> {
         print!("{}", vulfi_orch::render_verdicts(&report));
     }
     report_engine_faults();
+    if let Some(path) = &flags.metrics_out {
+        write_metrics(path)?;
+        eprintln!("wrote metrics snapshot to {path}");
+    }
     if !report.passed() {
         return Err(format!(
             "gauntlet '{}': {} invariant breach(es)",
@@ -1904,6 +2072,31 @@ fn bench_cmd(flags: &Flags) -> Result<(), String> {
             dyn_insts as f64 / wall_s / 1e6,
             c.counts.sdc_rate()
         );
+        // One profiled golden run per bench: the opcode-mix summary in
+        // the recording is what lets the history tell *why* throughput
+        // moved (instruction mix shift vs engine speed).
+        let mix_doc = {
+            let mut interp = vexec::Interp::new(w.module());
+            interp.enable_profiling();
+            let setup = w
+                .setup(&mut interp.mem, 0)
+                .map_err(|t| format!("setup failed: {t}"))?;
+            interp
+                .run(w.entry(), &setup.args, &mut vexec::NoHost)
+                .map_err(|t| format!("golden run trapped: {t}"))?;
+            let mix = interp.take_mix().expect("profiling enabled");
+            let ops: Vec<serde_json::Value> = mix
+                .hottest()
+                .into_iter()
+                .take(5)
+                .map(|(op, n)| serde_json::json!({ "opcode": op, "count": n }))
+                .collect();
+            serde_json::json!({
+                "golden_dyn_insts": mix.total,
+                "vector_pct": mix.vector_pct(),
+                "top_opcodes": serde_json::Value::Array(ops),
+            })
+        };
         docs.push(serde_json::json!({
             "name": name.clone(),
             "isa": isa_name(flags.isa),
@@ -1913,6 +2106,7 @@ fn bench_cmd(flags: &Flags) -> Result<(), String> {
             "dyn_insts": dyn_insts,
             "dyn_insts_per_sec": dyn_insts as f64 / wall_s,
             "sdc_rate": c.counts.sdc_rate(),
+            "opcode_mix": mix_doc,
         }));
         // `--prune`: time the same experiment range with statically
         // discharged injections skipped, recorded as a separate bench
@@ -1979,6 +2173,30 @@ fn bench_cmd(flags: &Flags) -> Result<(), String> {
         fs::write(&out, serde_json::to_string_pretty(&doc).unwrap())
             .map_err(|e| format!("{out}: {e}"))?;
         eprintln!("wrote {out}");
+        // The snapshot report is overwritten every recording; the
+        // history is cumulative — one JSONL line per recording, so the
+        // perf trajectory is a trajectory.
+        let hist = std::path::Path::new(&out).with_file_name("BENCH_history.jsonl");
+        let unix_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        let line = serde_json::json!({
+            "unix_ms": unix_ms,
+            "isa": isa_name(flags.isa),
+            "experiments": experiments as u64,
+            "seed": flags.seed,
+            "benches": serde_json::Value::Array(docs.clone()),
+        });
+        use std::io::Write;
+        let mut fh = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&hist)
+            .map_err(|e| format!("{}: {e}", hist.display()))?;
+        writeln!(fh, "{}", serde_json::to_string(&line).unwrap())
+            .map_err(|e| format!("{}: {e}", hist.display()))?;
+        eprintln!("appended recording to {}", hist.display());
     }
     if let Some(baseline) = &flags.check {
         check_bench_regression(baseline, &docs)?;
@@ -2444,6 +2662,32 @@ export void scale(uniform float a[], uniform int n, uniform float s) {
         assert_eq!(edit_distance("", "abc"), 3);
         assert_eq!(suggest_command("xyzzy"), None);
         assert_eq!(suggest_command("submti"), Some("submit"));
+    }
+
+    #[test]
+    fn events_command_is_suggested_and_usage_documents_it() {
+        assert_eq!(suggest_command("event"), Some("events"));
+        let e = run(&s(&["evnets"])).unwrap_err();
+        assert!(e.contains("did you mean 'events'?"), "{e}");
+        // A bare `events` needs a subcommand and must say which exist.
+        let e = run(&s(&["events"])).unwrap_err();
+        assert!(e.contains("tail"), "{e}");
+        assert!(e.contains("summarize"), "{e}");
+        assert!(e.contains("fsck"), "{e}");
+        // Usage drift guard: every events subcommand is documented.
+        let u = usage();
+        assert!(u.contains("vulfi events tail"), "{u}");
+        assert!(u.contains("vulfi events summarize"), "{u}");
+        assert!(u.contains("vulfi events fsck"), "{u}");
+        assert!(u.contains("--hotspots"), "{u}");
+    }
+
+    #[test]
+    fn hotspots_flag_parses() {
+        let f = parse_flags(&s(&["--bench", "Blackscholes", "--hotspots", "--top", "3"])).unwrap();
+        assert!(f.hotspots);
+        assert_eq!(f.top, 3);
+        assert!(!parse_flags(&s(&["--bench", "x"])).unwrap().hotspots);
     }
 
     #[test]

@@ -88,6 +88,128 @@ fn serv_typo_exits_nonzero_with_suggestion_and_usage() {
     assert!(!stderr.contains("did you mean"), "{stderr}");
 }
 
+/// The dashboard must render zero-JS HTML before, during, and after a
+/// study, and the ops event stream must reconstruct the job's full
+/// lifecycle (submit → lease → shards → merge) from the log alone —
+/// both over HTTP and through `vulfi events summarize` offline.
+#[test]
+fn dashboard_and_ops_events_reconstruct_the_lifecycle() {
+    let store = temp_dir("dashboard");
+    let (mut daemon, addr) = spawn_daemon(&store, "2");
+    let client = Client::new(addr.clone());
+
+    // Idle dashboard: self-contained, auto-refreshing, no scripts.
+    let (status, html) = client.get_text("/dashboard").expect("idle dashboard");
+    assert_eq!(status, 200, "{html}");
+    assert!(html.contains("id=\"jobs\""), "{html}");
+    assert!(html.contains("id=\"active\""), "{html}");
+    assert!(html.contains("id=\"metrics\""), "{html}");
+    assert!(html.contains("http-equiv=\"refresh\""), "{html}");
+    assert!(!html.contains("<script"), "dashboard must be zero-JS");
+    assert!(
+        !html.contains("http://"),
+        "dashboard must be self-contained"
+    );
+
+    // Run a small study to completion.
+    let (status, doc) = client
+        .post(
+            "/studies",
+            &serde_json::json!({
+                "bench": "Blackscholes",
+                "experiments": 10u64,
+                "campaigns": 2u64,
+                "shard_size": 5u64,
+            }),
+            &[("X-Vulfi-Tenant", "dash")],
+        )
+        .expect("submit");
+    assert_eq!(status, 202, "{doc:?}");
+    let key = doc
+        .get("key")
+        .and_then(|v| v.as_str())
+        .expect("submit returns key")
+        .to_string();
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        assert!(Instant::now() < deadline, "study never completed");
+        let (_, s) = client.get(&format!("/studies/{key}")).expect("status");
+        if s.get("result").is_some() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Dashboard now shows the job row.
+    let (status, html) = client.get_text("/dashboard").expect("dashboard");
+    assert_eq!(status, 200);
+    assert!(html.contains("Blackscholes"), "{html}");
+    assert!(html.contains(&key[..12]), "{html}");
+    assert!(html.contains("dash"), "tenant must be shown: {html}");
+
+    // Machine-readable slice of the ops log for this study.
+    let (status, doc) = client
+        .get(&format!("/studies/{key}/events"))
+        .expect("events endpoint");
+    assert_eq!(status, 200, "{doc:?}");
+    let text = serde_json::to_string(&doc).unwrap();
+    for kind in [
+        "Submitted",
+        "Started",
+        "LeaseGranted",
+        "ShardDone",
+        "Merged",
+        "Completed",
+    ] {
+        assert!(text.contains(kind), "missing {kind} in {text}");
+    }
+
+    let out = vulfi(&["shutdown", "--addr", &addr]);
+    assert_ok(&out, "vulfi shutdown");
+    daemon.wait().expect("daemon exit");
+
+    // Offline reconstruction from the log alone.
+    let out = vulfi(&["events", "summarize", "--store", store.to_str().unwrap()]);
+    assert_ok(&out, "events summarize");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("completed"), "{stdout}");
+    assert!(stdout.contains("merged"), "{stdout}");
+    assert!(stdout.contains("worker"), "{stdout}");
+
+    let out = vulfi(&[
+        "events",
+        "summarize",
+        "--store",
+        store.to_str().unwrap(),
+        "--json",
+    ]);
+    assert_ok(&out, "events summarize --json");
+    let s: serde_json::Value =
+        serde_json::from_str(&String::from_utf8_lossy(&out.stdout)).expect("summary JSON");
+    let jobs = s
+        .get("jobs")
+        .and_then(|v| v.as_array())
+        .expect("jobs array");
+    let job = jobs
+        .iter()
+        .find(|j| j.get("key").and_then(|k| k.as_str()) == Some(key.as_str()))
+        .expect("summarized job for the study key");
+    assert_eq!(
+        job.get("outcome").and_then(|v| v.as_str()),
+        Some("completed")
+    );
+    assert_eq!(job.get("tenant").and_then(|v| v.as_str()), Some("dash"));
+    assert_eq!(job.get("experiments").and_then(|v| v.as_u64()), Some(20));
+    assert!(job.get("shards").and_then(|v| v.as_u64()).unwrap_or(0) >= 4);
+
+    // Tail renders one line per event; fsck reports a healthy log.
+    let out = vulfi(&["events", "tail", "--store", store.to_str().unwrap()]);
+    assert_ok(&out, "events tail");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("completed"));
+    let out = vulfi(&["events", "fsck", "--store", store.to_str().unwrap()]);
+    assert_ok(&out, "events fsck");
+}
+
 /// The acceptance test for the service: kill -9 the daemon while workers
 /// hold leased shards mid-campaign, restart over the same store, and the
 /// completed study must merge bit-identically to `vulfi study`.

@@ -38,6 +38,7 @@
 
 pub mod analytics;
 pub mod crc;
+pub mod events;
 pub mod key;
 pub mod lease;
 pub mod metrics;
@@ -56,6 +57,7 @@ pub use analytics::{
     StudyCell, WorkloadHeatmap,
 };
 pub use crc::crc32;
+pub use events::{summarize_events, JobLifecycle, OpsEvent, OpsKind, OpsLog, OpsSummary};
 pub use key::{study_key, StudyKey};
 pub use lease::{Lease, LeaseBoard, LeaseStats};
 pub use metrics::{

@@ -39,6 +39,29 @@ const LATENCY_BOUNDS_NS: [u64; 6] = [
 /// instructions: 1, 10, 100, 1k, 10k, 100k, 1M; +Inf implicit.
 const PROPAGATION_BOUNDS: [u64; 7] = [1, 10, 100, 1_000, 10_000, 100_000, 1_000_000];
 
+/// Upper bounds (inclusive) for shard execution time, in nanoseconds:
+/// 1ms, 10ms, 100ms, 1s, 10s, 30s; +Inf implicit. Shards are whole
+/// experiment batches, so the scale sits well above append latency.
+const SHARD_DURATION_BOUNDS_NS: [u64; 6] = [
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+    10_000_000_000,
+    30_000_000_000,
+];
+
+/// Upper bounds (inclusive) for job queue wait, in nanoseconds:
+/// 10ms, 100ms, 1s, 10s, 60s, 600s; +Inf implicit.
+const QUEUE_WAIT_BOUNDS_NS: [u64; 6] = [
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+    10_000_000_000,
+    60_000_000_000,
+    600_000_000_000,
+];
+
 const OUTCOMES: [Outcome; 3] = [Outcome::Sdc, Outcome::Benign, Outcome::Crash];
 
 fn category_index(c: SiteCategory) -> usize {
@@ -115,6 +138,10 @@ pub struct Metrics {
     append_latency: Histogram,
     /// Per-category propagation-distance histograms.
     propagation: [Histogram; 3],
+    /// Whole-shard execution time (lease → durable append).
+    shard_duration: Histogram,
+    /// Submit → start wait of served jobs.
+    queue_wait: Histogram,
 }
 
 impl Default for Metrics {
@@ -137,6 +164,8 @@ impl Metrics {
                 Histogram::new(&PROPAGATION_BOUNDS),
                 Histogram::new(&PROPAGATION_BOUNDS),
             ],
+            shard_duration: Histogram::new(&SHARD_DURATION_BOUNDS_NS),
+            queue_wait: Histogram::new(&QUEUE_WAIT_BOUNDS_NS),
         }
     }
 
@@ -172,6 +201,16 @@ impl Metrics {
         self.propagation[category_index(category)].observe(distance);
     }
 
+    /// Record one whole shard's execution time.
+    pub fn observe_shard_duration(&self, duration_ns: u64) {
+        self.shard_duration.observe(duration_ns);
+    }
+
+    /// Record one served job's submit → start queue wait.
+    pub fn observe_queue_wait(&self, wait_ns: u64) {
+        self.queue_wait.observe(wait_ns);
+    }
+
     /// A consistent-enough copy of every series (individual loads are
     /// relaxed; exactness across concurrent writers is not required for
     /// monitoring output).
@@ -203,6 +242,8 @@ impl Metrics {
             engine_faults: self.engine_faults.load(Ordering::Relaxed),
             store_retries: self.store_retries.load(Ordering::Relaxed),
             append_latency_seconds: self.append_latency.snapshot(1e-9),
+            shard_duration_seconds: self.shard_duration.snapshot(1e-9),
+            queue_wait_seconds: self.queue_wait.snapshot(1e-9),
             propagation_insts: SiteCategory::ALL
                 .iter()
                 .enumerate()
@@ -269,6 +310,8 @@ pub struct MetricsSnapshot {
     pub engine_faults: u64,
     pub store_retries: u64,
     pub append_latency_seconds: HistogramSnapshot,
+    pub shard_duration_seconds: HistogramSnapshot,
+    pub queue_wait_seconds: HistogramSnapshot,
     pub propagation_insts: Vec<CategoryHistogram>,
 }
 
@@ -337,6 +380,20 @@ pub fn render_prometheus(s: &MetricsSnapshot) -> String {
         "vulfi_shard_append_latency_seconds",
         "",
         &s.append_latency_seconds,
+    );
+    out.push_str("# TYPE vulfi_shard_duration_seconds histogram\n");
+    push_histogram(
+        &mut out,
+        "vulfi_shard_duration_seconds",
+        "",
+        &s.shard_duration_seconds,
+    );
+    out.push_str("# TYPE vulfi_queue_wait_seconds histogram\n");
+    push_histogram(
+        &mut out,
+        "vulfi_queue_wait_seconds",
+        "",
+        &s.queue_wait_seconds,
     );
     out.push_str("# TYPE vulfi_propagation_distance_insts histogram\n");
     for ch in &s.propagation_insts {
@@ -519,6 +576,8 @@ mod tests {
         m.observe_shard_append(3_000_000_000); // 3 s
         m.inc_store_retries();
         m.observe_propagation(SiteCategory::Control, 123);
+        m.observe_shard_duration(5_000_000_000); // 5 s shard
+        m.observe_queue_wait(50_000_000); // 50 ms wait
 
         let snap = m.snapshot();
         let text = render_prometheus(&snap);
@@ -553,6 +612,29 @@ mod tests {
             &[("le", "1")],
         );
         assert_eq!(b1s.value, 1.0);
+
+        // The 5 s shard exceeds the 1 s bound but not 10 s; the 50 ms
+        // wait lands under 100 ms.
+        let d = find(
+            &samples,
+            "vulfi_shard_duration_seconds_bucket",
+            &[("le", "10")],
+        );
+        assert_eq!(d.value, 1.0);
+        let d = find(
+            &samples,
+            "vulfi_shard_duration_seconds_bucket",
+            &[("le", "1")],
+        );
+        assert_eq!(d.value, 0.0);
+        let w = find(
+            &samples,
+            "vulfi_queue_wait_seconds_bucket",
+            &[("le", "0.1")],
+        );
+        assert_eq!(w.value, 1.0);
+        let w = find(&samples, "vulfi_queue_wait_seconds_count", &[]);
+        assert_eq!(w.value, 1.0);
 
         // Per-category propagation histogram carries its label through.
         let p = find(

@@ -310,6 +310,86 @@ fn kill_corrupt_fsck_resume_loop_always_converges_bit_identically() {
     assert!(repairs > 0, "chaos schedule never hit the fsck path");
 }
 
+/// The operational event log under the same adversary as the shard
+/// store: a writer killed mid-append (torn tail), random byte flips,
+/// and fsck-driven recovery — every reopen must keep accepting events,
+/// every readable state must summarize to internally-consistent
+/// lifecycles, and corruption must either vanish (torn tail) or fail
+/// loudly and be healed by `fsck`.
+#[test]
+fn ops_log_survives_kill_corrupt_fsck_resume_loop() {
+    use vulfi_orch::{OpsEvent, OpsKind, OpsLog};
+
+    let root = temp_store("opslog");
+    let mut chaos = Chaos(0x0B5E_7A11);
+    let mut repairs = 0usize;
+
+    for round in 0..12u64 {
+        // Reopen (a "new daemon"): heals torn tails, never refuses to
+        // start over mid-file corruption.
+        let log = OpsLog::open(&root).unwrap();
+        if log.events().is_err() {
+            // Last round's flip landed mid-file: loud, then healed.
+            let report = log.fsck(true).unwrap();
+            assert!(report.quarantined.is_some(), "repair must quarantine");
+            repairs += 1;
+        }
+
+        // One full job lifecycle lands durably.
+        let key = format!("study{round}");
+        log.append(OpsEvent::new(OpsKind::Submitted).job(round).key(&key))
+            .unwrap();
+        log.append(OpsEvent::new(OpsKind::Started).job(round).key(&key))
+            .unwrap();
+        log.append(
+            OpsEvent::new(OpsKind::ShardDone)
+                .job(round)
+                .key(&key)
+                .worker("w0")
+                .shard(0, 0, 5)
+                .wall_ns(1_000_000),
+        )
+        .unwrap();
+        log.append(OpsEvent::new(OpsKind::Merged).job(round).key(&key))
+            .unwrap();
+        log.append(OpsEvent::new(OpsKind::Completed).job(round).key(&key))
+            .unwrap();
+
+        // The fold must see this round's lifecycle and never produce an
+        // inconsistent one from whatever survived earlier rounds.
+        let s = log.summarize().unwrap();
+        let j = s
+            .jobs
+            .iter()
+            .find(|j| j.job == round)
+            .expect("freshly appended lifecycle must fold");
+        assert_eq!(j.outcome, "completed");
+        assert!(j.merged);
+        for j in &s.jobs {
+            assert!(
+                j.shards >= u64::from(!j.workers.is_empty()),
+                "workers imply shards: {j:?}"
+            );
+        }
+
+        // Chaos: torn trailing append (killed writer), a flipped byte,
+        // or nothing.
+        let path = log.path();
+        let mut bytes = std::fs::read(&path).unwrap();
+        match chaos.below(3) {
+            0 => bytes.extend_from_slice(b"\n{\"unix_ms\":1,\"kind\":\"Subm"),
+            1 => {
+                let pos = chaos.below(bytes.len() as u64) as usize;
+                bytes[pos] ^= 1 << chaos.below(8);
+            }
+            _ => {}
+        }
+        std::fs::write(&path, &bytes).unwrap();
+    }
+    // The deterministic schedule must exercise the quarantine path.
+    assert!(repairs > 0, "chaos schedule never hit the fsck path");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 

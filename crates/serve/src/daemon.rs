@@ -33,14 +33,15 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use serde::Value;
 use spmdc::VectorIsa;
 use vulfi::{OutcomeCounts, StudySpec, Workload};
 use vulfi_orch::{
     covered_experiments, load_cells, merge, missing_jobs, plan_shards, run_shard, JobQueue,
-    JobRecord, LeaseBoard, Manifest, Progress, Store, StudyKey, StudyStore,
+    JobRecord, LeaseBoard, Manifest, OpsEvent, OpsKind, OpsLog, Progress, Store, StudyKey,
+    StudyStore,
 };
 
 use crate::http::{read_request, respond, respond_error, respond_json, Request};
@@ -114,6 +115,9 @@ struct Shared {
     active: Mutex<Option<Arc<ActiveStudy>>>,
     shutdown: AtomicBool,
     lease_ttl: Duration,
+    /// Operational event stream. Appends are serialized here so
+    /// concurrent workers never interleave half-lines.
+    ops: Mutex<OpsLog>,
 }
 
 /// Ignore mutex poisoning: a panicking worker already failed its job via
@@ -124,6 +128,14 @@ fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 }
 
 impl Shared {
+    /// Append one operational event. The ops log is narrative, not
+    /// state, so a failing append is reported but never fails the job.
+    fn ops_emit(&self, ev: OpsEvent) {
+        if let Err(e) = relock(&self.ops).append(ev) {
+            eprintln!("vulfi-serve: ops log: {e}");
+        }
+    }
+
     /// The in-flight study, promoting the oldest queued job when nothing
     /// is active. Returns `None` when the queue is empty.
     fn current_or_next(&self) -> Result<Option<Arc<ActiveStudy>>, String> {
@@ -161,6 +173,11 @@ impl Shared {
             }
         }
         queue.started(job.id, &key.0).map_err(|e| e.to_string())?;
+        drop(queue);
+        let started = OpsEvent::new(OpsKind::Started).job(job.id).key(&key.0);
+        let wait_ms = started.unix_ms.saturating_sub(job.submitted_unix_ms);
+        vulfi_orch::metrics::global().observe_queue_wait(wait_ms.saturating_mul(1_000_000));
+        self.ops_emit(started.wall_ns(wait_ms.saturating_mul(1_000_000)));
         let a = Arc::new(ActiveStudy {
             job: job.id,
             key,
@@ -182,6 +199,12 @@ impl Shared {
         if let Err(e) = relock(&self.queue).failed(active.job, error) {
             eprintln!("vulfi-serve: recording failure of job {}: {e}", active.job);
         }
+        self.ops_emit(
+            OpsEvent::new(OpsKind::Failed)
+                .job(active.job)
+                .key(&active.key.0)
+                .detail(error),
+        );
         self.clear_active(active.job);
     }
 
@@ -326,6 +349,7 @@ impl Daemon {
     pub fn bind(cfg: &ServeConfig) -> Result<Daemon, String> {
         let store = Store::open(&cfg.store).map_err(|e| e.to_string())?;
         let queue = JobQueue::open(&cfg.store).map_err(|e| e.to_string())?;
+        let ops = OpsLog::open(&cfg.store).map_err(|e| e.to_string())?;
         let orphans = queue.recover().map_err(|e| e.to_string())?;
         if !orphans.is_empty() {
             eprintln!(
@@ -333,6 +357,15 @@ impl Daemon {
                 orphans.len(),
                 orphans
             );
+            for id in &orphans {
+                if let Err(e) = ops.append(
+                    OpsEvent::new(OpsKind::Requeued)
+                        .job(*id)
+                        .detail("orphaned by a dead daemon"),
+                ) {
+                    eprintln!("vulfi-serve: ops log: {e}");
+                }
+            }
         }
         let listener =
             TcpListener::bind(&cfg.addr).map_err(|e| format!("bind {}: {e}", cfg.addr))?;
@@ -349,6 +382,7 @@ impl Daemon {
                 active: Mutex::new(None),
                 shutdown: AtomicBool::new(false),
                 lease_ttl: cfg.lease_ttl,
+                ops: Mutex::new(ops),
             }),
             workers: cfg.workers.max(1),
             addr_file,
@@ -474,6 +508,15 @@ fn work_on(shared: &Arc<Shared>, active: &Arc<ActiveStudy>, worker: &str) -> Res
             let leased = relock(&active.board).lease(worker);
             match leased {
                 Some(job) => {
+                    shared.ops_emit(
+                        OpsEvent::new(OpsKind::LeaseGranted)
+                            .job(active.job)
+                            .key(&active.key.0)
+                            .worker(worker)
+                            .shard(job.campaign as u64, job.start as u64, job.end as u64),
+                    );
+                    let shard_start = Instant::now();
+                    let faults_before = vulfi::engine_faults().len();
                     let (rec, _spans) = run_shard(&prog, w, &cfg, job, false, prune_ctx.as_ref())
                         .map_err(|e| e.to_string())?;
                     {
@@ -486,6 +529,26 @@ fn work_on(shared: &Arc<Shared>, active: &Arc<ActiveStudy>, worker: &str) -> Res
                         }
                     }
                     relock(&active.board).complete(worker, job);
+                    let shard_ns = shard_start.elapsed().as_nanos() as u64;
+                    vulfi_orch::metrics::global().observe_shard_duration(shard_ns);
+                    shared.ops_emit(
+                        OpsEvent::new(OpsKind::ShardDone)
+                            .job(active.job)
+                            .key(&active.key.0)
+                            .worker(worker)
+                            .shard(job.campaign as u64, job.start as u64, job.end as u64)
+                            .wall_ns(shard_ns),
+                    );
+                    let faults = vulfi::engine_faults().len().saturating_sub(faults_before);
+                    if faults > 0 {
+                        shared.ops_emit(
+                            OpsEvent::new(OpsKind::EngineFault)
+                                .job(active.job)
+                                .key(&active.key.0)
+                                .worker(worker)
+                                .detail(format!("{faults} engine fault(s) absorbed")),
+                        );
+                    }
                 }
                 None => {
                     if relock(&active.board).drained() {
@@ -522,11 +585,29 @@ fn finish_study(
                 m.complete = true;
                 study.write_manifest(&m).map_err(|e| e.to_string())?;
             }
+            shared.ops_emit(
+                OpsEvent::new(OpsKind::Merged)
+                    .job(active.job)
+                    .key(&active.key.0),
+            );
+            shared.ops_emit(
+                OpsEvent::new(OpsKind::Completed)
+                    .job(active.job)
+                    .key(&active.key.0),
+            );
             relock(&shared.queue).completed(active.job)
         }
         // Drained board but incomplete merge: the store lost records
         // between planning and now (external interference). Surface it.
-        None => relock(&shared.queue).failed(active.job, "board drained but merge incomplete"),
+        None => {
+            shared.ops_emit(
+                OpsEvent::new(OpsKind::Failed)
+                    .job(active.job)
+                    .key(&active.key.0)
+                    .detail("board drained but merge incomplete"),
+            );
+            relock(&shared.queue).failed(active.job, "board drained but merge incomplete")
+        }
     };
     outcome.map_err(|e| e.to_string())?;
     shared.clear_active(active.job);
@@ -583,9 +664,11 @@ fn handle_connection(shared: &Arc<Shared>, stream: &mut TcpStream) {
             }
             Err(e) => respond_error(stream, 500, &e.to_string()),
         },
+        ("GET", ["dashboard"]) => handle_dashboard(shared, stream),
         ("POST", ["studies"]) => handle_submit(shared, &req, stream),
         ("GET", ["studies", key]) => handle_status(shared, key, stream),
         ("GET", ["studies", key, "report"]) => handle_report(shared, key, stream),
+        ("GET", ["studies", key, "events"]) => handle_events(shared, key, stream),
         ("POST", ["shutdown"]) => {
             shared.shutdown.store(true, Ordering::SeqCst);
             respond_json(stream, 200, &serde_json::json!({ "ok": true }));
@@ -594,6 +677,7 @@ fn handle_connection(shared: &Arc<Shared>, stream: &mut TcpStream) {
         | (_, ["studies", ..])
         | (_, ["jobs"])
         | (_, ["metrics"])
+        | (_, ["dashboard"])
         | (_, ["shutdown"])
         | (_, ["healthz"]) => respond_error(
             stream,
@@ -624,11 +708,18 @@ fn handle_submit(shared: &Arc<Shared>, req: &Request, stream: &mut TcpStream) {
     };
     let tenant = req.header("x-vulfi-tenant").map(str::to_string);
     match relock(&shared.queue).submit(&spec, &key.0, tenant.as_deref()) {
-        Ok(job) => respond_json(
-            stream,
-            202,
-            &serde_json::json!({ "job": job, "key": key.0.clone(), "state": "queued" }),
-        ),
+        Ok(job) => {
+            let mut ev = OpsEvent::new(OpsKind::Submitted).job(job).key(&key.0);
+            if let Some(t) = &tenant {
+                ev = ev.detail(t.clone());
+            }
+            shared.ops_emit(ev);
+            respond_json(
+                stream,
+                202,
+                &serde_json::json!({ "job": job, "key": key.0.clone(), "state": "queued" }),
+            )
+        }
         Err(e) => respond_error(stream, 500, &e.to_string()),
     }
 }
@@ -733,6 +824,173 @@ fn study_status_fields(
         ));
     }
     Ok(fields)
+}
+
+/// `GET /studies/:key/events`: this study's slice of the operational
+/// event log, oldest first, for machine consumption.
+fn handle_events(shared: &Arc<Shared>, key_str: &str, stream: &mut TcpStream) {
+    let events = match relock(&shared.ops).events() {
+        Ok(evs) => evs,
+        Err(e) => return respond_error(stream, 500, &e.to_string()),
+    };
+    let slice: Vec<Value> = events
+        .iter()
+        .filter(|ev| ev.key.as_deref() == Some(key_str))
+        .map(|ev| serde_json::to_value(ev).unwrap_or(Value::Null))
+        .collect();
+    respond_json(
+        stream,
+        200,
+        &serde_json::json!({ "key": key_str, "events": Value::Array(slice) }),
+    );
+}
+
+/// Minimal HTML escaping for dashboard cells (same contract as the
+/// analytics report renderer).
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+fn dash_row(out: &mut String, cells: &[String]) {
+    out.push_str("<tr>");
+    for c in cells {
+        out.push_str(&format!("<td>{c}</td>"));
+    }
+    out.push_str("</tr>\n");
+}
+
+/// `GET /dashboard`: a self-contained, auto-refreshing HTML view of the
+/// daemon — job table, active-study progress, lease board, and headline
+/// metrics. Zero JavaScript, zero external assets: the page is the
+/// markup, and `<meta http-equiv="refresh">` is the update loop.
+fn handle_dashboard(shared: &Arc<Shared>, stream: &mut TcpStream) {
+    let jobs = match relock(&shared.queue).jobs() {
+        Ok(j) => j,
+        Err(e) => return respond_error(stream, 500, &e.to_string()),
+    };
+    let mut out = String::new();
+    out.push_str("<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">");
+    out.push_str("<meta http-equiv=\"refresh\" content=\"2\">");
+    out.push_str("<title>vulfi serve</title>\n<style>\n");
+    out.push_str(
+        "body{font:14px/1.45 system-ui,sans-serif;margin:2em auto;max-width:1080px;color:#222}\n\
+         table{border-collapse:collapse;width:100%;margin:0.5em 0 1.5em}\n\
+         th,td{border:1px solid #ddd;padding:4px 8px;text-align:left;font-variant-numeric:tabular-nums}\n\
+         th{background:#f5f5f5}\n\
+         .muted{color:#888}\n\
+         .bar{background:#eee;height:10px;width:160px;display:inline-block}\n\
+         .bar span{background:#4a90d9;height:10px;display:block}\n",
+    );
+    out.push_str("</style></head><body>\n<h1>vulfi serve</h1>\n");
+
+    out.push_str("<section id=\"jobs\">\n<h2>Jobs</h2>\n");
+    if jobs.is_empty() {
+        out.push_str("<p class=\"muted\">no jobs submitted yet</p>\n");
+    } else {
+        out.push_str(
+            "<table><tr><th>id</th><th>state</th><th>bench</th><th>isa</th><th>experiments</th>\
+             <th>key</th><th>tenant</th><th>error</th></tr>\n",
+        );
+        for j in &jobs {
+            let key = j.key.as_deref().unwrap_or("?");
+            dash_row(
+                &mut out,
+                &[
+                    j.id.to_string(),
+                    esc(j.state.name()),
+                    esc(&j.spec.bench),
+                    esc(&j.spec.isa),
+                    format!("{}", (j.spec.experiments * j.spec.campaigns) as u64),
+                    esc(&key[..12.min(key.len())]),
+                    esc(j.tenant.as_deref().unwrap_or("-")),
+                    esc(j.error.as_deref().unwrap_or("-")),
+                ],
+            );
+        }
+        out.push_str("</table>\n");
+    }
+    out.push_str("</section>\n");
+
+    out.push_str("<section id=\"active\">\n<h2>Active study</h2>\n");
+    let active = relock(&shared.active).clone();
+    match active.filter(|a| !a.finished.load(Ordering::SeqCst)) {
+        Some(a) => {
+            let snap = relock(&a.progress).snapshot();
+            let stats = relock(&a.board).stats();
+            let pct = if snap.total > 0 {
+                (snap.done as f64 / snap.total as f64 * 100.0).min(100.0)
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "<p>job {} · <code>{}</code> · {}/{} experiments \
+                 <span class=\"bar\"><span style=\"width:{:.0}%\"></span></span> {:.1}%</p>\n",
+                a.job,
+                esc(&a.key.0[..12.min(a.key.0.len())]),
+                snap.done,
+                snap.total,
+                pct,
+                pct
+            ));
+            let eta = if snap.eta_secs.is_finite() {
+                format!("{:.0}s", snap.eta_secs)
+            } else {
+                "?".to_string()
+            };
+            out.push_str(&format!(
+                "<p>{:.0} exp/s · ETA {eta} · SDC {} / Benign {} / Crash {}</p>\n",
+                snap.experiments_per_sec, snap.counts.sdc, snap.counts.benign, snap.counts.crash
+            ));
+            out.push_str(&format!(
+                "<p class=\"muted\">leases: {} granted, {} completed, {} abandoned, {} expired</p>\n",
+                stats.granted, stats.completed, stats.abandoned, stats.expired
+            ));
+        }
+        None => out.push_str("<p class=\"muted\">idle — no active study</p>\n"),
+    }
+    out.push_str("</section>\n");
+
+    out.push_str("<section id=\"metrics\">\n<h2>Metrics</h2>\n");
+    let m = vulfi_orch::metrics::global().snapshot();
+    out.push_str("<table><tr><th>series</th><th>value</th></tr>\n");
+    dash_row(
+        &mut out,
+        &[
+            "experiments".to_string(),
+            vulfi_orch::humanize(m.experiments_total()),
+        ],
+    );
+    dash_row(
+        &mut out,
+        &["shard appends".to_string(), m.shard_appends.to_string()],
+    );
+    dash_row(
+        &mut out,
+        &[
+            "shard duration (sum s)".to_string(),
+            format!("{:.2}", m.shard_duration_seconds.sum),
+        ],
+    );
+    dash_row(
+        &mut out,
+        &[
+            "queue wait (sum s)".to_string(),
+            format!("{:.2}", m.queue_wait_seconds.sum),
+        ],
+    );
+    dash_row(
+        &mut out,
+        &["engine faults".to_string(), m.engine_faults.to_string()],
+    );
+    dash_row(
+        &mut out,
+        &["store retries".to_string(), m.store_retries.to_string()],
+    );
+    out.push_str("</table>\n</section>\n</body></html>\n");
+    respond(stream, 200, "text/html; charset=utf-8", out.as_bytes());
 }
 
 /// `GET /studies/:key/report`: the analytics cell for a completed study

@@ -175,10 +175,36 @@ fn submitted_study_completes_and_matches_in_process_run() {
         "{cell:?}"
     );
 
-    // Metrics speak Prometheus.
+    // Metrics speak Prometheus, including the new operational
+    // histograms fed by the worker loop.
     let (status, text) = client.get_text("/metrics").unwrap();
     assert_eq!(status, 200);
     assert!(text.contains("vulfi_experiments_total"), "{text}");
+    assert!(text.contains("vulfi_shard_duration_seconds"), "{text}");
+    assert!(text.contains("vulfi_queue_wait_seconds"), "{text}");
+
+    // The ops event slice for this study covers its whole lifecycle.
+    let (status, events) = client.get(&format!("/studies/{key}/events")).unwrap();
+    assert_eq!(status, 200, "{events:?}");
+    let text = serde_json::to_string(&events).unwrap();
+    for kind in [
+        "Submitted",
+        "Started",
+        "LeaseGranted",
+        "ShardDone",
+        "Merged",
+        "Completed",
+    ] {
+        assert!(text.contains(kind), "missing {kind} in {text}");
+    }
+
+    // The dashboard renders the finished job without any scripts.
+    let (status, html) = client.get_text("/dashboard").unwrap();
+    assert_eq!(status, 200);
+    assert!(html.contains("id=\"jobs\""), "{html}");
+    assert!(html.contains("vector sum"), "{html}");
+    assert!(html.contains("alice"), "{html}");
+    assert!(!html.contains("<script"), "{html}");
 
     // Graceful shutdown drains the daemon and removes the address file.
     let (status, _) = client

@@ -20,7 +20,7 @@ use vir::{
 
 use crate::fault::EngineInjector;
 use crate::mem::{Memory, Trap};
-use crate::profile::InstMix;
+use crate::profile::{HotLoc, HotProfile, InstMix};
 use crate::trace::{fold_bits, TraceEvent, TraceSink};
 use crate::value::{RtVal, Scalar};
 
@@ -66,6 +66,7 @@ pub struct Interp<'m> {
     executed: u64,
     deadline: Option<Instant>,
     mix: Option<InstMix>,
+    hot: Option<HotProfile>,
     trace: Option<&'m mut dyn TraceSink>,
     fault: Option<&'m mut EngineInjector>,
 }
@@ -79,6 +80,7 @@ impl<'m> Interp<'m> {
             executed: 0,
             deadline: None,
             mix: None,
+            hot: None,
             trace: None,
             fault: None,
         }
@@ -138,11 +140,39 @@ impl<'m> Interp<'m> {
         self.mix.take()
     }
 
+    /// Enable hot-path profiling: per-site dynamic counts with batched
+    /// wall-time attribution (see [`HotProfile`]). Independent of
+    /// [`Interp::enable_profiling`]; both may be on at once. Like the
+    /// mix and the trace sink, the hooks are purely observational —
+    /// execution stays bit-identical (property-tested below).
+    pub fn enable_hotspots(&mut self) {
+        self.hot = Some(HotProfile::default());
+    }
+
+    /// Take the collected hotspot profile (trailing partial wall-time
+    /// batch flushed), if hotspot profiling was enabled.
+    pub fn take_hotspots(&mut self) -> Option<HotProfile> {
+        let mut h = self.hot.take()?;
+        h.finish();
+        Some(h)
+    }
+
     fn note_inst(&mut self, f: &Function, frame: &[Option<RtVal>], iid: vir::InstId) {
-        if self.mix.is_none() {
+        if self.mix.is_none() && self.hot.is_none() {
             return;
         }
         let inst = f.inst(iid);
+        if let Some(hot) = &mut self.hot {
+            hot.record(
+                f as *const Function as usize,
+                &f.name,
+                HotLoc::Inst(iid.0),
+                inst.opcode(),
+            );
+        }
+        if self.mix.is_none() {
+            return;
+        }
         let width = inst
             .operands()
             .iter()
@@ -199,7 +229,15 @@ impl<'m> Interp<'m> {
         }
     }
 
-    fn note_term(&mut self, opcode: &'static str) {
+    fn note_term(&mut self, f: &Function, block: BlockId, opcode: &'static str) {
+        if let Some(hot) = &mut self.hot {
+            hot.record(
+                f as *const Function as usize,
+                &f.name,
+                HotLoc::Term(block.0),
+                opcode,
+            );
+        }
         if let Some(mix) = &mut self.mix {
             mix.record(opcode, false);
         }
@@ -360,7 +398,7 @@ impl<'m> Interp<'m> {
             self.tick()?;
             match &block.term {
                 Terminator::Br(b) => {
-                    self.note_term("br");
+                    self.note_term(f, cur, "br");
                     prev = Some(cur);
                     cur = *b;
                 }
@@ -369,18 +407,18 @@ impl<'m> Interp<'m> {
                     on_true,
                     on_false,
                 } => {
-                    self.note_term("condbr");
+                    self.note_term(f, cur, "condbr");
                     let c = self.eval_operand(f, &frame, cond)?.scalar();
                     prev = Some(cur);
                     cur = if c.is_true() { *on_true } else { *on_false };
                     self.note_event(TraceEvent::Branch { block: cur.0 });
                 }
                 Terminator::Ret(Some(op)) => {
-                    self.note_term("ret");
+                    self.note_term(f, cur, "ret");
                     return Ok(Some(self.eval_operand(f, &frame, op)?));
                 }
                 Terminator::Ret(None) => {
-                    self.note_term("ret");
+                    self.note_term(f, cur, "ret");
                     return Ok(None);
                 }
                 Terminator::Unreachable => return Err(Trap::Unreachable),
@@ -1478,6 +1516,111 @@ entry:
         let (profiled, mem_profiled) = run(true);
         assert_eq!(plain, profiled, "profiling must not perturb execution");
         assert_eq!(mem_plain, mem_profiled);
+    }
+
+    /// The hotspot profile attributes every executed instruction to a
+    /// static site: counts must reconcile exactly with the dynamic
+    /// instruction count, and opcodes rank by dynamic frequency.
+    #[test]
+    fn hotspots_attribute_counts_to_sites() {
+        let src = r#"
+define i32 @loop(i32 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i32 [ 0, %entry ], [ %i2, %head ]
+  %acc = phi i32 [ 0, %entry ], [ %acc2, %head ]
+  %acc2 = add i32 %acc, %i
+  %i2 = add i32 %i, 1
+  %c = icmp slt i32 %i2, %n
+  br i1 %c, label %head, label %exit
+exit:
+  ret i32 %acc2
+}
+"#;
+        let m = parse_module(src).unwrap();
+        vir::verify::verify_module(&m).unwrap();
+        let mut interp = Interp::new(&m);
+        interp.enable_hotspots();
+        let r = interp
+            .run("loop", &[RtVal::Scalar(Scalar::i32(10))], &mut NoHost)
+            .unwrap();
+        let hot = interp.take_hotspots().unwrap();
+        assert_eq!(
+            hot.total(),
+            r.dyn_insts,
+            "every dynamic instruction must land at exactly one site"
+        );
+        let table = hot.hotspots();
+        // 10 iterations × (2 phis + 2 adds + 1 icmp) dominate the mix:
+        // add leads with 20 dynamic executions over 2 static sites.
+        assert_eq!(
+            (table[0].opcode, table[0].count, table[0].sites),
+            ("add", 20, 2)
+        );
+        let folded = hot.folded();
+        assert!(folded.contains("loop;add 20"), "{folded}");
+        assert!(folded.contains("loop;condbr"), "{folded}");
+        // Terminators and body instructions are distinct sites.
+        assert!(hot
+            .sites()
+            .iter()
+            .any(|s| matches!(s.loc, crate::profile::HotLoc::Term(_))));
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(16))]
+
+        /// Hotspot profiling must be purely observational over arbitrary
+        /// inputs: results, memory, and dynamic instruction counts stay
+        /// bit-identical with it on or off — the same contract the mix
+        /// profiler and the trace sink hold to.
+        #[test]
+        fn hotspot_profiling_is_observational_bit_for_bit(
+            lanes in proptest::prop::collection::vec(proptest::prelude::any::<u32>(), 8),
+            mask_bits in proptest::prelude::any::<u8>(),
+        ) {
+            let m = parse_module(MASKED).unwrap();
+            let run = |hotspots: bool| {
+                let mut interp = Interp::new(&m);
+                if hotspots {
+                    interp.enable_hotspots();
+                }
+                let base = interp.mem.alloc_f32_slice(&[0.0; 8]).unwrap();
+                let on = f32::from_bits(0xffff_ffff);
+                let mask = RtVal::from_lanes(
+                    ScalarTy::F32,
+                    (0..8).map(|i| {
+                        if mask_bits & (1 << i) != 0 {
+                            Scalar::f32(on)
+                        } else {
+                            Scalar::f32(0.0)
+                        }
+                    }),
+                );
+                let val = RtVal::from_lanes(
+                    ScalarTy::F32,
+                    lanes.iter().map(|&b| Scalar::f32(f32::from_bits(b))),
+                );
+                let args = vec![RtVal::Scalar(Scalar::ptr(base)), mask, val];
+                let r = interp.run("k", &args, &mut NoHost).unwrap();
+                let snapshot: Vec<u32> = interp
+                    .mem
+                    .read_f32_slice(base, 8)
+                    .unwrap()
+                    .into_iter()
+                    .map(f32::to_bits)
+                    .collect();
+                (r, snapshot, interp.take_hotspots())
+            };
+            let (plain, mem_plain, _) = run(false);
+            let (hot, mem_hot, profile) = run(true);
+            proptest::prop_assert_eq!(plain.dyn_insts, hot.dyn_insts);
+            proptest::prop_assert_eq!(plain, hot);
+            proptest::prop_assert_eq!(mem_plain, mem_hot);
+            let profile = profile.expect("hotspots enabled");
+            proptest::prop_assert_eq!(profile.total(), 3, "fmul + maskstore call + ret");
+        }
     }
 }
 

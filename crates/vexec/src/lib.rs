@@ -48,6 +48,6 @@ pub mod value;
 pub use fault::{EngineInjection, EngineInjector, EngineModel};
 pub use interp::{ExecResult, HostEnv, Interp, NoHost};
 pub use mem::{Memory, Trap};
-pub use profile::InstMix;
+pub use profile::{HotLoc, HotProfile, HotSite, Hotspot, InstMix};
 pub use trace::{Divergence, DivergenceTracer, TraceEvent, TraceSink};
 pub use value::{RtVal, Scalar};

@@ -15,7 +15,8 @@
 //! use the occupancy histogram to *explain* vector SDC rates, not just
 //! state them.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::time::Instant;
 
 /// Aggregated dynamic instruction mix of one execution.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -127,6 +128,215 @@ impl InstMix {
     }
 }
 
+/// Recorded instructions per wall-clock sample. One `Instant::now()`
+/// amortized over this many dispatches keeps the per-instruction cost of
+/// hotspot profiling at a map increment; the batch's elapsed time is
+/// attributed to sites proportionally to how many of the batch's
+/// instructions each one executed.
+const HOT_BATCH: u64 = 4096;
+
+/// Where a hotspot site lives inside its function: a numbered
+/// instruction, or a block terminator (`br`/`condbr`/`ret`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HotLoc {
+    /// `InstId.0` of a body or phi instruction.
+    Inst(u32),
+    /// `BlockId.0` of the block whose terminator executed.
+    Term(u32),
+}
+
+impl std::fmt::Display for HotLoc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HotLoc::Inst(i) => write!(f, "inst{i}"),
+            HotLoc::Term(b) => write!(f, "term.bb{b}"),
+        }
+    }
+}
+
+/// One static site's accumulated hotspot stats.
+#[derive(Debug, Clone)]
+pub struct HotSite {
+    pub func: String,
+    pub loc: HotLoc,
+    pub opcode: &'static str,
+    /// Dynamic executions of this site.
+    pub count: u64,
+    /// Wall time attributed to this site by batch sampling.
+    pub wall_ns: u64,
+}
+
+/// Per-opcode rollup of the hotspot table.
+#[derive(Debug, Clone)]
+pub struct Hotspot {
+    pub opcode: &'static str,
+    pub count: u64,
+    pub wall_ns: u64,
+    /// Static sites contributing to this opcode.
+    pub sites: u64,
+}
+
+#[derive(Debug, Clone)]
+struct SiteStat {
+    func: String,
+    loc: HotLoc,
+    opcode: &'static str,
+    count: u64,
+    wall_ns: u64,
+    /// `count` at the last wall-time flush: the delta is this site's
+    /// share of the current batch.
+    flushed: u64,
+}
+
+/// Hot-path profile: dynamic counts and batched wall-time attribution
+/// per static site. Purely observational — recording never touches
+/// execution state, so profiled runs stay bit-identical to bare runs
+/// (property-tested in the interpreter).
+#[derive(Debug)]
+pub struct HotProfile {
+    /// `(function identity, site slot)` → index into `sites`. The
+    /// pointer half is only ever a map key; exported views sort by
+    /// `(func, loc)` so output is deterministic across runs.
+    index: HashMap<(usize, u64), usize>,
+    sites: Vec<SiteStat>,
+    /// Instructions recorded since the last wall flush.
+    batch: u64,
+    batch_start: Instant,
+}
+
+impl Default for HotProfile {
+    fn default() -> HotProfile {
+        HotProfile {
+            index: HashMap::new(),
+            sites: Vec::new(),
+            batch: 0,
+            batch_start: Instant::now(),
+        }
+    }
+}
+
+impl HotProfile {
+    /// Record one dynamic execution of `(func_id, loc)`. `func_id` is
+    /// any value stable for the function's lifetime (the interpreter
+    /// passes the `&Function` address); `func` is cloned once, on the
+    /// site's first execution.
+    pub fn record(&mut self, func_id: usize, func: &str, loc: HotLoc, opcode: &'static str) {
+        let slot = match loc {
+            HotLoc::Inst(i) => i as u64,
+            HotLoc::Term(b) => (1u64 << 32) | b as u64,
+        };
+        let idx = match self.index.get(&(func_id, slot)) {
+            Some(&i) => i,
+            None => {
+                let i = self.sites.len();
+                self.index.insert((func_id, slot), i);
+                self.sites.push(SiteStat {
+                    func: func.to_string(),
+                    loc,
+                    opcode,
+                    count: 0,
+                    wall_ns: 0,
+                    flushed: 0,
+                });
+                i
+            }
+        };
+        self.sites[idx].count += 1;
+        self.batch += 1;
+        if self.batch >= HOT_BATCH {
+            self.flush();
+        }
+    }
+
+    /// Distribute the elapsed batch wall time across the sites that
+    /// executed during it, proportional to their count deltas.
+    fn flush(&mut self) {
+        let elapsed = self.batch_start.elapsed().as_nanos() as u64;
+        for s in &mut self.sites {
+            let delta = s.count - s.flushed;
+            if delta > 0 {
+                if let Some(share) = (elapsed * delta).checked_div(self.batch) {
+                    s.wall_ns += share;
+                }
+                s.flushed = s.count;
+            }
+        }
+        self.batch = 0;
+        self.batch_start = Instant::now();
+    }
+
+    /// Finish sampling: attribute the trailing partial batch.
+    pub fn finish(&mut self) {
+        self.flush();
+    }
+
+    /// Total recorded dynamic instructions.
+    pub fn total(&self) -> u64 {
+        self.sites.iter().map(|s| s.count).sum()
+    }
+
+    /// Total attributed wall time.
+    pub fn wall_ns(&self) -> u64 {
+        self.sites.iter().map(|s| s.wall_ns).sum()
+    }
+
+    /// Every site, sorted by descending dynamic count (ties broken by
+    /// `(func, loc)` so the order is deterministic).
+    pub fn sites(&self) -> Vec<HotSite> {
+        let mut v: Vec<HotSite> = self
+            .sites
+            .iter()
+            .map(|s| HotSite {
+                func: s.func.clone(),
+                loc: s.loc,
+                opcode: s.opcode,
+                count: s.count,
+                wall_ns: s.wall_ns,
+            })
+            .collect();
+        v.sort_by(|a, b| {
+            b.count
+                .cmp(&a.count)
+                .then_with(|| a.func.cmp(&b.func))
+                .then(a.loc.cmp(&b.loc))
+        });
+        v
+    }
+
+    /// Per-opcode hotspot table, descending by dynamic count.
+    pub fn hotspots(&self) -> Vec<Hotspot> {
+        let mut by_op: BTreeMap<&'static str, Hotspot> = BTreeMap::new();
+        for s in &self.sites {
+            let h = by_op.entry(s.opcode).or_insert(Hotspot {
+                opcode: s.opcode,
+                count: 0,
+                wall_ns: 0,
+                sites: 0,
+            });
+            h.count += s.count;
+            h.wall_ns += s.wall_ns;
+            h.sites += 1;
+        }
+        let mut v: Vec<Hotspot> = by_op.into_values().collect();
+        v.sort_by(|a, b| b.count.cmp(&a.count).then(a.opcode.cmp(b.opcode)));
+        v
+    }
+
+    /// Folded-stack text (`func;opcode count` per line, sorted), the
+    /// format flamegraph tooling consumes directly.
+    pub fn folded(&self) -> String {
+        let mut rolled: BTreeMap<(String, &'static str), u64> = BTreeMap::new();
+        for s in &self.sites {
+            *rolled.entry((s.func.clone(), s.opcode)).or_insert(0) += s.count;
+        }
+        let mut out = String::new();
+        for ((func, opcode), count) in rolled {
+            out.push_str(&format!("{func};{opcode} {count}\n"));
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,5 +407,62 @@ mod tests {
         assert_eq!(a.lanes_active, 14);
         assert_eq!(a.lanes_total, 20);
         assert_eq!(a.occupancy_histogram(), vec![(2, 1), (4, 1), (8, 1)]);
+    }
+
+    #[test]
+    fn hot_profile_counts_sites_and_rolls_up_opcodes() {
+        let mut h = HotProfile::default();
+        for _ in 0..3 {
+            h.record(0x1000, "kernel", HotLoc::Inst(4), "fmul");
+        }
+        h.record(0x1000, "kernel", HotLoc::Inst(7), "fmul");
+        h.record(0x1000, "kernel", HotLoc::Term(0), "br");
+        h.record(0x2000, "helper", HotLoc::Inst(4), "add");
+        h.finish();
+        assert_eq!(h.total(), 6);
+
+        let sites = h.sites();
+        assert_eq!(sites.len(), 4);
+        assert_eq!((sites[0].func.as_str(), sites[0].count), ("kernel", 3));
+        assert_eq!(sites[0].loc, HotLoc::Inst(4));
+
+        let hot = h.hotspots();
+        assert_eq!(hot[0].opcode, "fmul");
+        assert_eq!(hot[0].count, 4);
+        assert_eq!(hot[0].sites, 2);
+        assert!(hot.iter().any(|x| x.opcode == "br" && x.count == 1));
+    }
+
+    #[test]
+    fn hot_profile_attributes_wall_time_to_executed_sites() {
+        let mut h = HotProfile::default();
+        // More than one batch, heavily skewed to one site: attributed
+        // time must land there and sum to (close to) the total.
+        for i in 0..(2 * HOT_BATCH + 17) {
+            if i % 8 == 0 {
+                h.record(0x1, "f", HotLoc::Inst(1), "add");
+            } else {
+                h.record(0x1, "f", HotLoc::Inst(0), "fmul");
+            }
+        }
+        h.finish();
+        let sites = h.sites();
+        assert_eq!(sites[0].opcode, "fmul");
+        assert!(
+            sites[0].wall_ns >= sites[1].wall_ns,
+            "the hot site must carry at least as much attributed time: {sites:?}"
+        );
+        assert_eq!(h.wall_ns(), sites.iter().map(|s| s.wall_ns).sum::<u64>());
+    }
+
+    #[test]
+    fn hot_profile_folded_output_is_deterministic() {
+        let mut h = HotProfile::default();
+        h.record(7, "kernel", HotLoc::Inst(0), "fmul");
+        h.record(7, "kernel", HotLoc::Inst(3), "fmul");
+        h.record(7, "kernel", HotLoc::Term(1), "condbr");
+        h.record(9, "aux", HotLoc::Inst(0), "load");
+        h.finish();
+        assert_eq!(h.folded(), "aux;load 1\nkernel;condbr 1\nkernel;fmul 2\n");
     }
 }
