@@ -23,6 +23,16 @@ trap 'rm -rf "$SMOKE"' EXIT
 ./target/release/vulfi trace summarize --trace "$SMOKE/trace" > /dev/null
 grep -q '^vulfi_experiments_total' "$SMOKE/metrics.prom"
 
+# Span export smoke: the Chrome trace-event export must self-validate
+# (nesting re-proven from the emitted JSON) and report at least one
+# complete span on every layer of request -> job -> shard -> experiment.
+./target/release/vulfi trace export --chrome --store "$SMOKE/store" \
+    --trace "$SMOKE/trace" -o "$SMOKE/spans.json" 2> "$SMOKE/export.err"
+grep -q '"traceEvents"' "$SMOKE/spans.json"
+grep -q '"displayTimeUnit"' "$SMOKE/spans.json"
+grep -Eq 'chrome export: [1-9][0-9]* request, [1-9][0-9]* job, [1-9][0-9]* shard, [1-9][0-9]* experiment span\(s\)' \
+    "$SMOKE/export.err"
+
 # Analytics smoke tests: diffing a store against itself must flag
 # nothing, and the HTML report must render self-contained with its
 # heatmap section.
@@ -92,6 +102,11 @@ test -s "$SMOKE/folded.txt"
 grep -q 'exp_per_sec' "$SMOKE/BENCH_report.json"
 grep -q 'opcode_mix' "$SMOKE/BENCH_report.json"
 grep -q 'golden_dyn_insts' "$SMOKE/BENCH_history.jsonl"
+# The trend reader must fold that history into a per-bench trajectory.
+./target/release/vulfi bench trend -o "$SMOKE/BENCH_report.json" > "$SMOKE/trend.out"
+grep -q 'vector sum' "$SMOKE/trend.out"
+./target/release/vulfi bench trend -o "$SMOKE/BENCH_report.json" --json \
+    | grep -q '"monotone_regression"'
 
 # Throughput gate: re-run the micro-benchmarks (full and pruned pairs)
 # against the committed baseline; any >30% exp/s regression fails the
@@ -99,10 +114,15 @@ grep -q 'golden_dyn_insts' "$SMOKE/BENCH_history.jsonl"
 # when a slowdown is intended.
 ./target/release/vulfi bench --experiments 400 --prune --check BENCH_report.json
 
-# Service smoke test: daemon on an ephemeral port, submit over HTTP,
-# wait for the merged result, pull the analytics report, drain
-# gracefully, and leave a store that passes fsck.
-./target/release/vulfi serve --addr 127.0.0.1:0 --store "$SMOKE/serve" --workers 2 &
+# Service smoke test: daemon on an ephemeral port with telemetry and
+# alert rules on, submit over HTTP, wait for the merged result, pull
+# the analytics report, drain gracefully, and leave a store that
+# passes fsck. `exp_s_below 1e9` is impossible to satisfy (it always
+# fires once a sample exists); `sdc_rate_above 1e9` can never fire.
+printf '[throughput-floor]\nkind = "exp_s_below"\nthreshold = 1e9\n\n[never]\nkind = "sdc_rate_above"\nthreshold = 1e9\n' \
+    > "$SMOKE/alerts.toml"
+./target/release/vulfi serve --addr 127.0.0.1:0 --store "$SMOKE/serve" --workers 2 \
+    --rules "$SMOKE/alerts.toml" --telemetry-interval-ms 100 &
 SERVE_PID=$!
 for _ in $(seq 1 100); do
     [ -s "$SMOKE/serve/serve.addr" ] && break
@@ -118,18 +138,37 @@ grep -q '"mean_sdc"' "$SMOKE/submit.json"
 KEY=$(grep -o '"key": "[a-f0-9]*"' "$SMOKE/status.json" | head -1 | cut -d'"' -f4)
 ./target/release/vulfi status --addr "$ADDR" "$KEY" --report > "$SMOKE/status_report.json"
 grep -q '"cell"' "$SMOKE/status_report.json"
-# Live dashboard: zero-JS self-contained HTML with the jobs table.
+# Live dashboard: zero-JS self-contained HTML with the jobs table,
+# alert panel, and inline-SVG telemetry sparklines.
 curl -s "http://$ADDR/dashboard" > "$SMOKE/dashboard.html"
 grep -q 'id="jobs"' "$SMOKE/dashboard.html"
+grep -q 'id="alerts"' "$SMOKE/dashboard.html"
+grep -q 'id="telemetry"' "$SMOKE/dashboard.html"
+grep -q 'FIRING' "$SMOKE/dashboard.html"
 ! grep -q '<script' "$SMOKE/dashboard.html"
+# The alert endpoint serves the same states as JSON.
+curl -s "http://$ADDR/alerts" > "$SMOKE/alerts.json"
+grep -q '"throughput-floor"' "$SMOKE/alerts.json"
 ./target/release/vulfi shutdown --addr "$ADDR" > /dev/null
 wait "$SERVE_PID"
 test ! -e "$SMOKE/serve/serve.addr"
 ./target/release/vulfi store fsck --store "$SMOKE/serve"
-# The ops log alone must reconstruct the job's lifecycle offline.
+# The ops log alone must reconstruct the job's lifecycle offline, and
+# it must carry the alert transition the daemon logged.
 ./target/release/vulfi events summarize --store "$SMOKE/serve" > "$SMOKE/ops.out"
 grep -q 'completed' "$SMOKE/ops.out"
 grep -q 'merged' "$SMOKE/ops.out"
 ./target/release/vulfi events fsck --store "$SMOKE/serve"
+./target/release/vulfi events tail --store "$SMOKE/serve" --top 200 > "$SMOKE/tail.out"
+grep -q 'alert-firing' "$SMOKE/tail.out"
+# Alerts offline: the impossible-to-satisfy rule must flip the exit
+# code over the persisted series; a rules file with only the
+# can-never-fire rule must pass; the telemetry log itself fscks clean.
+! ./target/release/vulfi alerts check --rules "$SMOKE/alerts.toml" \
+    --store "$SMOKE/serve" > "$SMOKE/alerts.out"
+grep -q 'FIRING' "$SMOKE/alerts.out"
+printf '[never]\nkind = "sdc_rate_above"\nthreshold = 1e9\n' > "$SMOKE/quiet.toml"
+./target/release/vulfi alerts check --rules "$SMOKE/quiet.toml" --store "$SMOKE/serve" > /dev/null
+./target/release/vulfi alerts fsck --store "$SMOKE/serve"
 
 echo "ci: all checks passed"

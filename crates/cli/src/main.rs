@@ -6,10 +6,17 @@
 //! vulfi instrument <file> --category pure-data|control|address [--isa ...] [--func NAME]
 //! vulfi detect <file> [--isa ...] [--func NAME] [--uniform]
 //! vulfi campaign --bench NAME [--isa ...] [--category ...] [--experiments N] [--seed N] [--detectors]
-//! vulfi profile --bench NAME [--isa ...]
+//! vulfi study --bench NAME [--store DIR] [--resume] [--trace DIR] ...
+//! vulfi trace summarize|fsck|export [--trace DIR] [--chrome] [-o PATH]
+//! vulfi events tail|summarize|fsck [--store DIR]
+//! vulfi alerts check|watch|fsck --rules FILE [--store DIR]
+//! vulfi bench [trend] [--bench NAME] [--record] [--check BASELINE]
+//! vulfi serve [--addr HOST:PORT] [--rules FILE] [--telemetry-interval-ms N]
+//! vulfi profile --bench NAME [--isa ...] [--hotspots]
 //! vulfi list
 //! ```
 //!
+//! The full per-command flag reference is `vulfi help` (see [`usage`]).
 //! `.vir` inputs are parsed as textual IR; anything else is compiled as
 //! SPMD-C.
 
@@ -50,9 +57,13 @@ fn usage() -> String {
      vulfi store fsck [--store DIR] [--repair] [--json]\n  \
      vulfi trace summarize [--trace DIR] [--top N] [--json]\n  \
      vulfi trace fsck [--trace DIR] [--repair] [--json]\n  \
+     vulfi trace export --chrome [--store DIR] [--trace DIR] [-o out.json]\n  \
      vulfi events tail [--store DIR] [--top N] [--json]\n  \
      vulfi events summarize [--store DIR] [--json]\n  \
      vulfi events fsck [--store DIR] [--repair] [--json]\n  \
+     vulfi alerts check --rules FILE [--store DIR] [--json]\n  \
+     vulfi alerts watch --rules FILE [--store DIR] [--telemetry-interval-ms N]\n  \
+     vulfi alerts fsck [--store DIR] [--repair] [--json]\n  \
      vulfi report diff <STORE_A> <STORE_B> [--json]\n  \
      vulfi report heatmap [--trace DIR] [--top N] [--model M] [--json]\n  \
      vulfi report html [--store DIR] [--trace DIR] [--diff-store DIR] [--metrics-in PATH]\n         \
@@ -62,7 +73,9 @@ fn usage() -> String {
      vulfi gauntlet report <SCENARIO.toml|.json> [--store DIR] [-o out.html]\n  \
      vulfi bench [--bench NAME] [--isa avx|sse] [--category CAT] [--experiments N] [--seed N]\n         \
      [--record] [-o PATH] [--check BASELINE] [--prune]\n  \
-     vulfi serve [--addr HOST:PORT] [--store DIR] [--workers N] [--lease-ttl-ms N]\n  \
+     vulfi bench trend [-o REPORT.json] [--bench NAME] [--json]\n  \
+     vulfi serve [--addr HOST:PORT] [--store DIR] [--workers N] [--lease-ttl-ms N]\n         \
+     [--rules FILE] [--telemetry-interval-ms N]\n  \
      vulfi submit --bench NAME [--addr HOST:PORT] [--isa avx|sse] [--category CAT] [--scale test|paper]\n         \
      [--experiments N] [--campaigns N] [--seed N] [--shard-size N] [--detectors] [--model M]\n         \
      [--tenant NAME] [--wait] [--json] [--prune]\n  \
@@ -144,6 +157,13 @@ struct Flags {
     suite: bool,
     /// `profile`: per-site hotspot table with attributed wall time.
     hotspots: bool,
+    /// `alerts`/`serve`: declarative alert rules file (TOML or JSON).
+    rules: Option<String>,
+    /// `serve`/`alerts watch`: telemetry sampling interval; 0 disables
+    /// the daemon's sampler entirely.
+    telemetry_interval_ms: u64,
+    /// `trace export`: emit Chrome trace-event JSON (Perfetto-loadable).
+    chrome: bool,
     positional: Vec<String>,
 }
 
@@ -187,6 +207,9 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         deny: false,
         suite: false,
         hotspots: false,
+        rules: None,
+        telemetry_interval_ms: 1_000,
+        chrome: false,
         positional: Vec::new(),
     };
     let mut it = args.iter().peekable();
@@ -311,6 +334,13 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     ))
                 }
             },
+            "--rules" => f.rules = Some(val(a)?),
+            "--telemetry-interval-ms" => {
+                f.telemetry_interval_ms = val(a)?
+                    .parse()
+                    .map_err(|_| "--telemetry-interval-ms needs a number".to_string())?
+            }
+            "--chrome" => f.chrome = true,
             "--deny" => f.deny = true,
             "--suite" => f.suite = true,
             "--hotspots" => f.hotspots = true,
@@ -548,8 +578,9 @@ fn run(args: &[String]) -> Result<(), String> {
         "trace" => match flags.positional.first().map(String::as_str) {
             Some("summarize") => trace_summarize(&flags),
             Some("fsck") => trace_fsck(&flags),
+            Some("export") => trace_export(&flags),
             _ => Err(format!(
-                "trace needs a subcommand (summarize, fsck)\n{}",
+                "trace needs a subcommand (summarize, fsck, export)\n{}",
                 usage()
             )),
         },
@@ -559,6 +590,15 @@ fn run(args: &[String]) -> Result<(), String> {
             Some("fsck") => events_fsck(&flags),
             _ => Err(format!(
                 "events needs a subcommand (tail, summarize, fsck)\n{}",
+                usage()
+            )),
+        },
+        "alerts" => match flags.positional.first().map(String::as_str) {
+            Some("check") => alerts_check(&flags),
+            Some("watch") => alerts_watch(&flags),
+            Some("fsck") => alerts_fsck(&flags),
+            _ => Err(format!(
+                "alerts needs a subcommand (check, watch, fsck)\n{}",
                 usage()
             )),
         },
@@ -579,7 +619,10 @@ fn run(args: &[String]) -> Result<(), String> {
                 usage()
             )),
         },
-        "bench" => bench_cmd(&flags),
+        "bench" => match flags.positional.first().map(String::as_str) {
+            Some("trend") => bench_trend(&flags),
+            _ => bench_cmd(&flags),
+        },
         "serve" => serve_cmd(&flags),
         "submit" => submit_cmd(&flags),
         "status" => status_cmd(&flags),
@@ -674,6 +717,7 @@ const COMMANDS: &[&str] = &[
     "store",
     "trace",
     "events",
+    "alerts",
     "report",
     "gauntlet",
     "bench",
@@ -1428,6 +1472,53 @@ fn trace_fsck(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// `vulfi trace export --chrome`: stitch the ops log and trace store
+/// into the causal span tree (request → job → shard → experiment) and
+/// emit Chrome trace-event JSON loadable in Perfetto or chrome://tracing.
+fn trace_export(flags: &Flags) -> Result<(), String> {
+    if !flags.chrome {
+        return Err(
+            "trace export currently supports only --chrome (Chrome trace-event JSON)".to_string(),
+        );
+    }
+    let root = trace_root(flags);
+    let traces = vulfi_orch::TraceStore::open(&root).map_err(|e| e.to_string())?;
+    // Prefer the ops log: it carries real wall-clock causality. A store
+    // written by local `vulfi study --trace` has no ops log, so fall
+    // back to a synthetic timeline laid out from the trace shards alone.
+    let ops_events = vulfi_orch::OpsLog::open(&flags.store)
+        .and_then(|ops| ops.events())
+        .unwrap_or_default();
+    let spans = if ops_events.is_empty() {
+        vulfi_orch::spans_from_traces(&traces).map_err(|e| e.to_string())?
+    } else {
+        vulfi_orch::spans_from_ops(&ops_events, Some(&traces)).map_err(|e| e.to_string())?
+    };
+    if spans.is_empty() {
+        return Err(format!(
+            "nothing to export: no ops events under {} and no trace spans under {root}",
+            flags.store
+        ));
+    }
+    let text = vulfi_orch::render_chrome(&spans).map_err(|e| e.to_string())?;
+    // Self-check: parse our own output and prove the layer nesting
+    // before anyone loads it into a viewer.
+    let counts = vulfi_orch::validate_chrome(&text)
+        .map_err(|e| format!("internal error: export failed self-validation: {e}"))?;
+    match &flags.out {
+        Some(out) => {
+            fs::write(out, &text).map_err(|e| format!("{out}: {e}"))?;
+            eprintln!("wrote {out}");
+        }
+        None => println!("{text}"),
+    }
+    eprintln!(
+        "chrome export: {} request, {} job, {} shard, {} experiment span(s)",
+        counts.request, counts.job, counts.shard, counts.experiment
+    );
+    Ok(())
+}
+
 /// `vulfi profile --hotspots`: the self-profiler's site table — opcodes
 /// ranked by dynamic count with batched wall time attributed per static
 /// site. `-o` additionally writes the folded-stack (flamegraph) text.
@@ -1540,6 +1631,106 @@ fn events_fsck(flags: &Flags) -> Result<(), String> {
         return Err(format!(
             "corrupt ops log under {}; re-run with --repair to quarantine it \
              and salvage intact events",
+            flags.store
+        ));
+    }
+    Ok(())
+}
+
+/// Load and parse the `--rules` file shared by the alerts subcommands
+/// and `vulfi serve`.
+fn load_alert_rules(flags: &Flags) -> Result<Vec<vulfi_orch::AlertRule>, String> {
+    let path = flags
+        .rules
+        .as_deref()
+        .ok_or("alerts requires --rules FILE (TOML or JSON)")?;
+    let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    vulfi_orch::parse_alert_rules(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// `vulfi alerts check`: evaluate the rules once against the persisted
+/// telemetry series and exit non-zero when any rule fires, so the
+/// command slots straight into CI and cron.
+fn alerts_check(flags: &Flags) -> Result<(), String> {
+    let rules = load_alert_rules(flags)?;
+    let log = vulfi_orch::TelemetryLog::open(&flags.store).map_err(|e| e.to_string())?;
+    let window = log
+        .tail(vulfi_orch::DEFAULT_RING_CAPACITY)
+        .map_err(|e| e.to_string())?;
+    let states: Vec<vulfi_orch::AlertState> = rules
+        .iter()
+        .map(|r| vulfi_orch::evaluate_rule(r, &window))
+        .collect();
+    if flags.json {
+        println!(
+            "{}",
+            vulfi_orch::render_alerts_json(&states).map_err(|e| e.to_string())?
+        );
+    } else {
+        if window.is_empty() {
+            eprintln!(
+                "note: no telemetry samples under {}/telemetry (run `vulfi serve` \
+                 with sampling on to collect them)",
+                flags.store
+            );
+        }
+        print!("{}", vulfi_orch::render_alerts_text(&states));
+    }
+    let firing = states.iter().filter(|s| s.firing).count();
+    if firing > 0 {
+        return Err(format!(
+            "{firing} alert(s) firing over {} sample(s) under {}/telemetry",
+            window.len(),
+            flags.store
+        ));
+    }
+    Ok(())
+}
+
+/// `vulfi alerts watch`: poll the telemetry log and print every
+/// firing/resolved transition until interrupted. This is the offline
+/// twin of the daemon's sampler thread: same rules, same sustain
+/// semantics, but driven from the persisted series.
+fn alerts_watch(flags: &Flags) -> Result<(), String> {
+    let mut engine = vulfi_orch::AlertEngine::new(load_alert_rules(flags)?);
+    let log = vulfi_orch::TelemetryLog::open(&flags.store).map_err(|e| e.to_string())?;
+    let interval = std::time::Duration::from_millis(flags.telemetry_interval_ms.max(100));
+    eprintln!(
+        "watching {} rule(s) over {}/telemetry every {}ms (ctrl-c to stop)",
+        engine.rules().len(),
+        flags.store,
+        interval.as_millis()
+    );
+    loop {
+        let window = log
+            .tail(vulfi_orch::DEFAULT_RING_CAPACITY)
+            .map_err(|e| e.to_string())?;
+        let (_, transitions) = engine.evaluate(&window);
+        for tr in &transitions {
+            println!(
+                "{} alert '{}' value {:.4}",
+                if tr.firing { "FIRING  " } else { "resolved" },
+                tr.rule,
+                tr.value
+            );
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+/// `vulfi alerts fsck`: integrity-check the telemetry log; with
+/// `--repair`, quarantine a corrupt log and salvage the intact samples.
+fn alerts_fsck(flags: &Flags) -> Result<(), String> {
+    let log = vulfi_orch::TelemetryLog::open(&flags.store).map_err(|e| e.to_string())?;
+    let study = log.fsck(flags.repair).map_err(|e| e.to_string())?;
+    let report = vulfi_orch::FsckReport {
+        studies: vec![study],
+    };
+    print_fsck_report(&report, flags, &flags.store)?;
+    if report.needs_repair() && !flags.repair {
+        return Err(format!(
+            "corrupt telemetry log under {}; re-run with --repair to quarantine \
+             it and salvage intact samples",
             flags.store
         ));
     }
@@ -2266,6 +2457,139 @@ fn check_bench_regression(path: &str, docs: &[serde_json::Value]) -> Result<(), 
     }
 }
 
+/// `vulfi bench trend`: read the cumulative `BENCH_history.jsonl` next
+/// to the report path (`-o`, default `BENCH_report.json`) and print each
+/// bench's exp/s trajectory — first → latest with deltas — flagging any
+/// bench whose throughput declined monotonically over the last three
+/// recordings. Unlike `bench --check` this runs nothing; it only reads
+/// history, so it is cheap enough for every CI run.
+/// True when exp/s fell across each of the last three recordings — a
+/// sustained decline, not one noisy run.
+fn monotone_regression(points: &[f64]) -> bool {
+    points.len() >= 3 && points[points.len() - 3..].windows(2).all(|w| w[1] < w[0])
+}
+
+fn bench_trend(flags: &Flags) -> Result<(), String> {
+    let out = flags
+        .out
+        .clone()
+        .unwrap_or_else(|| "BENCH_report.json".to_string());
+    let hist = std::path::Path::new(&out).with_file_name("BENCH_history.jsonl");
+    let text = fs::read_to_string(&hist).map_err(|e| {
+        format!(
+            "{}: {e} (run `vulfi bench --record` to start a history)",
+            hist.display()
+        )
+    })?;
+    // (name, isa) → oldest-first exp/s trajectory, in file order — the
+    // history is append-only so file order is recording order.
+    let mut series: Vec<((String, String), Vec<f64>)> = Vec::new();
+    let mut recordings = 0u64;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let doc: serde_json::Value = serde_json::from_str(line)
+            .map_err(|e| format!("{} line {}: {e}", hist.display(), lineno + 1))?;
+        recordings += 1;
+        let benches = doc
+            .get("benches")
+            .and_then(|v| v.as_array())
+            .unwrap_or_default();
+        for b in benches {
+            let (Some(name), Some(isa)) = (
+                b.get("name").and_then(|v| v.as_str()),
+                b.get("isa").and_then(|v| v.as_str()),
+            ) else {
+                continue;
+            };
+            if flags.bench.as_deref().is_some_and(|want| want != name) {
+                continue;
+            }
+            let Some(eps) = b.get("exp_per_sec").and_then(|v| v.as_f64()) else {
+                continue;
+            };
+            let key = (name.to_string(), isa.to_string());
+            match series.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, v)) => v.push(eps),
+                None => series.push((key, vec![eps])),
+            }
+        }
+    }
+    if series.is_empty() {
+        return Err(format!(
+            "{}: no bench entries{} in {recordings} recording(s)",
+            hist.display(),
+            flags
+                .bench
+                .as_deref()
+                .map(|b| format!(" matching --bench {b}"))
+                .unwrap_or_default()
+        ));
+    }
+    let pct = |now: f64, was: f64| 100.0 * (now - was) / was.max(1e-9);
+    let mut regressing: Vec<String> = Vec::new();
+    let mut docs: Vec<serde_json::Value> = Vec::new();
+    for ((name, isa), points) in &series {
+        let n = points.len();
+        let (first, latest) = (points[0], points[n - 1]);
+        let prev = if n >= 2 { Some(points[n - 2]) } else { None };
+        let monotone_down = monotone_regression(points);
+        if monotone_down {
+            regressing.push(format!("{name} [{isa}]"));
+        }
+        if flags.json {
+            let opt = |v: Option<f64>| {
+                v.map(serde_json::Value::from)
+                    .unwrap_or(serde_json::Value::Null)
+            };
+            docs.push(serde_json::json!({
+                "name": name.clone(),
+                "isa": isa.clone(),
+                "recordings": n as u64,
+                "first_exp_per_sec": first,
+                "prev_exp_per_sec": opt(prev),
+                "latest_exp_per_sec": latest,
+                "delta_pct_vs_prev": opt(prev.map(|p| pct(latest, p))),
+                "delta_pct_overall": pct(latest, first),
+                "monotone_regression": monotone_down,
+            }));
+        } else {
+            let vs_prev = match prev {
+                Some(p) => format!("{:+.1}% vs prev", pct(latest, p)),
+                None => "only one recording".to_string(),
+            };
+            println!(
+                "  {:22} [{}] {:>2} rec  {:>7.0} → {:>7.0} exp/s ({}, {:+.1}% overall){}",
+                name,
+                isa,
+                n,
+                first,
+                latest,
+                vs_prev,
+                pct(latest, first),
+                if monotone_down { "  REGRESSING" } else { "" }
+            );
+        }
+    }
+    if flags.json {
+        let doc = serde_json::json!({
+            "history": hist.display().to_string(),
+            "recordings": recordings,
+            "benches": serde_json::Value::Array(docs),
+        });
+        println!("{}", serde_json::to_string_pretty(&doc).unwrap());
+    } else if regressing.is_empty() {
+        println!("no monotone regressions over the last 3 recordings");
+    } else {
+        println!(
+            "REGRESSING (exp/s fell across each of the last 3 recordings): {}",
+            regressing.join(", ")
+        );
+    }
+    Ok(())
+}
+
 /// `vulfi serve`: run the injection daemon until a signal or
 /// `POST /shutdown` drains it.
 fn serve_cmd(flags: &Flags) -> Result<(), String> {
@@ -2274,6 +2598,8 @@ fn serve_cmd(flags: &Flags) -> Result<(), String> {
         store: std::path::PathBuf::from(&flags.store),
         workers: flags.workers,
         lease_ttl: std::time::Duration::from_millis(flags.lease_ttl_ms.max(1)),
+        telemetry_interval: std::time::Duration::from_millis(flags.telemetry_interval_ms),
+        alert_rules: flags.rules.clone().map(std::path::PathBuf::from),
     };
     vulfi_serve::install_shutdown_signals();
     let daemon = vulfi_serve::Daemon::bind(&cfg)?;
@@ -2680,6 +3006,119 @@ export void scale(uniform float a[], uniform int n, uniform float s) {
         assert!(u.contains("vulfi events summarize"), "{u}");
         assert!(u.contains("vulfi events fsck"), "{u}");
         assert!(u.contains("--hotspots"), "{u}");
+    }
+
+    #[test]
+    fn alerts_command_is_suggested_and_usage_documents_it() {
+        assert_eq!(suggest_command("alert"), Some("alerts"));
+        let e = run(&s(&["alrets"])).unwrap_err();
+        assert!(e.contains("did you mean 'alerts'?"), "{e}");
+        // A bare `alerts` needs a subcommand and must say which exist.
+        let e = run(&s(&["alerts"])).unwrap_err();
+        assert!(e.contains("check"), "{e}");
+        assert!(e.contains("watch"), "{e}");
+        assert!(e.contains("fsck"), "{e}");
+        // `check` without --rules points at the missing flag.
+        let e = run(&s(&["alerts", "check"])).unwrap_err();
+        assert!(e.contains("--rules"), "{e}");
+        // `trace` without a subcommand now advertises export too.
+        let e = run(&s(&["trace"])).unwrap_err();
+        assert!(e.contains("export"), "{e}");
+        // `trace export` without --chrome explains the only format.
+        let e = run(&s(&["trace", "export"])).unwrap_err();
+        assert!(e.contains("--chrome"), "{e}");
+        // Usage drift guard: the new subcommands and flags are documented.
+        let u = usage();
+        assert!(u.contains("vulfi alerts check"), "{u}");
+        assert!(u.contains("vulfi alerts watch"), "{u}");
+        assert!(u.contains("vulfi alerts fsck"), "{u}");
+        assert!(u.contains("vulfi trace export --chrome"), "{u}");
+        assert!(u.contains("vulfi bench trend"), "{u}");
+        assert!(u.contains("--rules FILE"), "{u}");
+        assert!(u.contains("--telemetry-interval-ms"), "{u}");
+    }
+
+    #[test]
+    fn telemetry_flags_parse() {
+        let f = parse_flags(&s(&[
+            "--rules",
+            "alerts.toml",
+            "--telemetry-interval-ms",
+            "250",
+            "--chrome",
+        ]))
+        .unwrap();
+        assert_eq!(f.rules.as_deref(), Some("alerts.toml"));
+        assert_eq!(f.telemetry_interval_ms, 250);
+        assert!(f.chrome);
+        let d = parse_flags(&[]).unwrap();
+        assert_eq!(d.telemetry_interval_ms, 1_000);
+        assert!(d.rules.is_none() && !d.chrome);
+        assert!(parse_flags(&s(&["--telemetry-interval-ms", "fast"])).is_err());
+    }
+
+    #[test]
+    fn monotone_regression_needs_three_strict_declines() {
+        assert!(monotone_regression(&[300.0, 200.0, 100.0]));
+        assert!(monotone_regression(&[999.0, 300.0, 200.0, 100.0]));
+        // Recovery on the latest recording clears the flag.
+        assert!(!monotone_regression(&[300.0, 200.0, 250.0]));
+        // A flat pair is not a decline.
+        assert!(!monotone_regression(&[300.0, 200.0, 200.0]));
+        // Too little history to call it a trend.
+        assert!(!monotone_regression(&[200.0, 100.0]));
+        assert!(!monotone_regression(&[]));
+    }
+
+    #[test]
+    fn bench_trend_reads_history_and_flags_monotone_regressions() {
+        let dir = std::env::temp_dir().join(format!("vulfi_cli_trend_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let report = dir.join("BENCH_report.json");
+        let hist = dir.join("BENCH_history.jsonl");
+        let line = |eps: f64, other: f64| {
+            format!(
+                "{{\"unix_ms\":1,\"benches\":[\
+                 {{\"name\":\"dot product\",\"isa\":\"avx\",\"exp_per_sec\":{eps}}},\
+                 {{\"name\":\"vector sum\",\"isa\":\"avx\",\"exp_per_sec\":{other}}}]}}\n"
+            )
+        };
+        // dot product decays monotonically; vector sum recovers.
+        fs::write(
+            &hist,
+            format!(
+                "{}{}{}",
+                line(300.0, 100.0),
+                line(200.0, 90.0),
+                line(100.0, 120.0)
+            ),
+        )
+        .unwrap();
+        let f = parse_flags(&s(&["trend", "-o", report.to_str().unwrap()])).unwrap();
+        bench_trend(&f).unwrap();
+        let f = parse_flags(&s(&[
+            "trend",
+            "-o",
+            report.to_str().unwrap(),
+            "--bench",
+            "no such bench",
+        ]))
+        .unwrap();
+        assert!(bench_trend(&f).unwrap_err().contains("no bench entries"));
+        // Missing history names the file and the bootstrap command.
+        let empty = dir.join("empty");
+        fs::create_dir_all(&empty).unwrap();
+        let f = parse_flags(&s(&[
+            "trend",
+            "-o",
+            empty.join("nope.json").to_str().unwrap(),
+        ]))
+        .unwrap();
+        let e = bench_trend(&f).unwrap_err();
+        assert!(e.contains("BENCH_history.jsonl"), "{e}");
+        assert!(e.contains("bench --record"), "{e}");
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

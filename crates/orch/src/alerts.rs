@@ -1,0 +1,513 @@
+//! Declarative alert rules over the telemetry series.
+//!
+//! A rule names one telemetry series, a threshold, and a sustain
+//! window. Rules live in a TOML or JSON file with the same parser
+//! discipline as the scenario DSL: unknown fields and unknown kinds are
+//! hard errors, never silently ignored — a typo'd rule that evaluates
+//! to "never fires" is worse than no rule at all.
+//!
+//! ```toml
+//! [high-sdc]
+//! kind = "sdc_rate_above"
+//! threshold = 5.0        # percent
+//! sustain_secs = 30.0    # must hold this long before firing
+//! ```
+//!
+//! Sustain semantics: a rule fires when the *latest* sample violates
+//! its threshold and the contiguous run of violating samples ending at
+//! the latest one spans at least `sustain_secs`. Any single
+//! non-violating sample resets the streak, so a flapping series never
+//! fires; `sustain_secs = 0` fires on the first violating sample.
+//!
+//! Evaluation is a pure function of the sample window — the same rules
+//! file gives the same verdicts offline (`vulfi alerts check` over
+//! `<store>/telemetry/`) and live (the daemon's sampler thread, which
+//! also turns firing/resolved transitions into ops events).
+
+use crate::telemetry::TelemetrySample;
+
+/// The telemetry series an alert rule can watch, each paired with the
+/// direction that counts as a violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum AlertKind {
+    /// Cumulative SDC share of all experiments, percent.
+    SdcRateAbove,
+    /// Experiments/second over the last sampling interval.
+    ExpSBelow,
+    /// Queue-wait p99, seconds.
+    QueueWaitP99Above,
+    /// Engine faults/second over the last sampling interval.
+    EngineFaultRateAbove,
+    /// Lease expirations/second over the last sampling interval.
+    LeaseExpiryChurnAbove,
+}
+
+/// Every kind, in rule-grammar order (error messages list these).
+pub const ALERT_KINDS: [AlertKind; 5] = [
+    AlertKind::SdcRateAbove,
+    AlertKind::ExpSBelow,
+    AlertKind::QueueWaitP99Above,
+    AlertKind::EngineFaultRateAbove,
+    AlertKind::LeaseExpiryChurnAbove,
+];
+
+impl AlertKind {
+    /// The grammar-level name used in rule files.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AlertKind::SdcRateAbove => "sdc_rate_above",
+            AlertKind::ExpSBelow => "exp_s_below",
+            AlertKind::QueueWaitP99Above => "queue_wait_p99_above",
+            AlertKind::EngineFaultRateAbove => "engine_fault_rate_above",
+            AlertKind::LeaseExpiryChurnAbove => "lease_expiry_churn_above",
+        }
+    }
+
+    pub fn parse(s: &str) -> Result<AlertKind, String> {
+        ALERT_KINDS
+            .iter()
+            .copied()
+            .find(|k| k.name() == s)
+            .ok_or_else(|| {
+                let valid: Vec<&str> = ALERT_KINDS.iter().map(|k| k.name()).collect();
+                format!("unknown alert kind '{s}' (valid: {})", valid.join(", "))
+            })
+    }
+
+    /// The watched series' value in one sample.
+    pub fn value(&self, s: &TelemetrySample) -> f64 {
+        match self {
+            AlertKind::SdcRateAbove => s.sdc_rate,
+            AlertKind::ExpSBelow => s.exp_per_sec,
+            AlertKind::QueueWaitP99Above => s.queue_wait_p99_s,
+            AlertKind::EngineFaultRateAbove => s.engine_fault_rate,
+            AlertKind::LeaseExpiryChurnAbove => s.lease_expiry_churn,
+        }
+    }
+
+    /// Does `value` violate `threshold` for this kind's direction?
+    pub fn violated(&self, value: f64, threshold: f64) -> bool {
+        match self {
+            AlertKind::ExpSBelow => value < threshold,
+            _ => value > threshold,
+        }
+    }
+}
+
+/// One named rule: watch a series, compare against a threshold, demand
+/// the violation hold for a sustain window before firing.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AlertRule {
+    pub name: String,
+    pub kind: AlertKind,
+    pub threshold: f64,
+    /// Seconds the violation must hold contiguously before the rule
+    /// fires. Zero fires on the first violating sample.
+    pub sustain_secs: f64,
+}
+
+fn rule_from_table(name: &str, table: &serde::Value) -> Result<AlertRule, String> {
+    let obj = table
+        .as_object()
+        .ok_or_else(|| format!("alert rule '{name}' must be a table of key = value pairs"))?;
+    let mut kind: Option<AlertKind> = None;
+    let mut threshold: Option<f64> = None;
+    let mut sustain_secs = 0.0f64;
+    for (key, value) in obj {
+        match key.as_str() {
+            "kind" => {
+                let s = value
+                    .as_str()
+                    .ok_or_else(|| format!("alert rule '{name}': kind must be a string"))?;
+                kind = Some(AlertKind::parse(s).map_err(|e| format!("alert rule '{name}': {e}"))?);
+            }
+            "threshold" => {
+                threshold =
+                    Some(value.as_f64().ok_or_else(|| {
+                        format!("alert rule '{name}': threshold must be a number")
+                    })?);
+            }
+            "sustain_secs" => {
+                sustain_secs = value
+                    .as_f64()
+                    .ok_or_else(|| format!("alert rule '{name}': sustain_secs must be a number"))?;
+                if sustain_secs < 0.0 {
+                    return Err(format!("alert rule '{name}': sustain_secs must be >= 0"));
+                }
+            }
+            other => {
+                return Err(format!(
+                    "alert rule '{name}': unknown field '{other}' \
+                     (valid: kind, threshold, sustain_secs)"
+                ))
+            }
+        }
+    }
+    Ok(AlertRule {
+        name: name.to_string(),
+        kind: kind.ok_or_else(|| format!("alert rule '{name}': missing required field 'kind'"))?,
+        threshold: threshold
+            .ok_or_else(|| format!("alert rule '{name}': missing required field 'threshold'"))?,
+        sustain_secs,
+    })
+}
+
+/// Parse a rules file. TOML: one flat `[rule-name]` table per rule.
+/// JSON: one object keyed by rule name. Auto-detected like the
+/// scenario DSL; unknown fields rejected either way.
+pub fn parse_alert_rules(text: &str) -> Result<Vec<AlertRule>, String> {
+    let doc = if text.trim_start().starts_with('{') {
+        serde_json::from_str::<serde::Value>(text).map_err(|e| format!("alert rules JSON: {e}"))?
+    } else {
+        crate::scenario::parse_toml(text)?
+    };
+    let obj = doc
+        .as_object()
+        .ok_or_else(|| "alert rules must be a table of named rules".to_string())?;
+    let mut rules = Vec::new();
+    for (name, table) in obj {
+        if !matches!(table, serde::Value::Object(_)) {
+            return Err(format!(
+                "top-level key '{name}' must be a [table] defining a rule, not a bare value"
+            ));
+        }
+        rules.push(rule_from_table(name, table)?);
+    }
+    if rules.is_empty() {
+        return Err("alert rules file defines no rules".to_string());
+    }
+    Ok(rules)
+}
+
+/// One rule's verdict over a sample window.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AlertState {
+    pub rule: AlertRule,
+    pub firing: bool,
+    /// The watched series' latest value (0 when the window is empty).
+    pub value: f64,
+    /// When firing: unix_ms of the first sample in the violating
+    /// streak.
+    pub since_unix_ms: Option<u64>,
+}
+
+/// Evaluate one rule over an oldest-first sample window.
+pub fn evaluate_rule(rule: &AlertRule, samples: &[TelemetrySample]) -> AlertState {
+    let latest = match samples.last() {
+        Some(s) => s,
+        None => {
+            return AlertState {
+                rule: rule.clone(),
+                firing: false,
+                value: 0.0,
+                since_unix_ms: None,
+            }
+        }
+    };
+    let value = rule.kind.value(latest);
+    // Walk backward through the contiguous violating streak ending at
+    // the latest sample; the first non-violating sample breaks it.
+    let mut streak_start: Option<u64> = None;
+    for s in samples.iter().rev() {
+        if rule.kind.violated(rule.kind.value(s), rule.threshold) {
+            streak_start = Some(s.unix_ms);
+        } else {
+            break;
+        }
+    }
+    let firing = match streak_start {
+        Some(start) => {
+            let held_ms = latest.unix_ms.saturating_sub(start);
+            held_ms as f64 >= rule.sustain_secs * 1000.0
+        }
+        None => false,
+    };
+    AlertState {
+        rule: rule.clone(),
+        firing,
+        value,
+        since_unix_ms: if firing { streak_start } else { None },
+    }
+}
+
+/// A firing-state transition, for logging as an ops event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertTransition {
+    pub rule: String,
+    pub firing: bool,
+    pub value: f64,
+}
+
+/// Stateful evaluator: remembers each rule's previous firing state so
+/// the daemon can log only the *transitions* (firing → resolved and
+/// back), not every sample tick.
+#[derive(Debug, Default)]
+pub struct AlertEngine {
+    rules: Vec<AlertRule>,
+    prev_firing: Vec<bool>,
+}
+
+impl AlertEngine {
+    pub fn new(rules: Vec<AlertRule>) -> AlertEngine {
+        let prev_firing = vec![false; rules.len()];
+        AlertEngine { rules, prev_firing }
+    }
+
+    pub fn rules(&self) -> &[AlertRule] {
+        &self.rules
+    }
+
+    /// Evaluate every rule over the window; the second return lists
+    /// rules whose firing state changed since the previous call.
+    pub fn evaluate(
+        &mut self,
+        samples: &[TelemetrySample],
+    ) -> (Vec<AlertState>, Vec<AlertTransition>) {
+        let mut states = Vec::with_capacity(self.rules.len());
+        let mut transitions = Vec::new();
+        for (i, rule) in self.rules.iter().enumerate() {
+            let state = evaluate_rule(rule, samples);
+            if state.firing != self.prev_firing[i] {
+                transitions.push(AlertTransition {
+                    rule: rule.name.clone(),
+                    firing: state.firing,
+                    value: state.value,
+                });
+                self.prev_firing[i] = state.firing;
+            }
+            states.push(state);
+        }
+        (states, transitions)
+    }
+}
+
+/// Render verdicts as the `vulfi alerts check` text report.
+pub fn render_alerts_text(states: &[AlertState]) -> String {
+    let mut out = String::new();
+    for s in states {
+        let status = if s.firing { "FIRING  " } else { "ok      " };
+        let since = match s.since_unix_ms {
+            Some(ms) => format!("  since unix_ms {ms}"),
+            None => String::new(),
+        };
+        out.push_str(&format!(
+            "{status}{:<24} {} threshold {}  sustain {}s  value {:.4}{since}\n",
+            s.rule.name,
+            s.rule.kind.name(),
+            s.rule.threshold,
+            s.rule.sustain_secs,
+            s.value
+        ));
+    }
+    out
+}
+
+/// Render verdicts as JSON (the `GET /alerts` body and `--json` form).
+pub fn render_alerts_json(states: &[AlertState]) -> Result<String, crate::OrchError> {
+    use serde::Serialize as _;
+    let items: Vec<serde_json::Value> = states
+        .iter()
+        .map(|s| {
+            serde_json::json!({
+                "rule": s.rule.name.clone(),
+                "kind": s.rule.kind.name(),
+                "threshold": s.rule.threshold,
+                "sustain_secs": s.rule.sustain_secs,
+                "firing": s.firing,
+                "value": s.value,
+                "since_unix_ms": s.since_unix_ms.to_value(),
+            })
+        })
+        .collect();
+    let firing = states.iter().filter(|s| s.firing).count() as u64;
+    serde_json::to_string_pretty(&serde_json::json!({
+        "firing": firing,
+        "alerts": items,
+    }))
+    .map_err(|e| crate::OrchError(format!("encode alerts: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(unix_ms: u64, sdc_rate: f64, exp_per_sec: f64) -> TelemetrySample {
+        TelemetrySample {
+            unix_ms,
+            experiments_total: 100,
+            sdc: 10,
+            benign: 90,
+            crash: 0,
+            exp_per_sec,
+            sdc_rate,
+            queue_depth: 0,
+            active_leases: 0,
+            lease_expired: 0,
+            lease_expiry_churn: 0.0,
+            engine_faults: 0,
+            engine_fault_rate: 0.0,
+            store_retries: 0,
+            shard_p50_s: 0.0,
+            shard_p99_s: 0.0,
+            queue_wait_p50_s: 0.0,
+            queue_wait_p99_s: 0.0,
+        }
+    }
+
+    fn rule(kind: AlertKind, threshold: f64, sustain_secs: f64) -> AlertRule {
+        AlertRule {
+            name: "r".to_string(),
+            kind,
+            threshold,
+            sustain_secs,
+        }
+    }
+
+    #[test]
+    fn toml_rules_parse_with_defaults_and_reject_unknowns() {
+        let rules = parse_alert_rules(
+            "# production tripwires\n\
+             [high-sdc]\n\
+             kind = \"sdc_rate_above\"\n\
+             threshold = 5.0\n\
+             sustain_secs = 30.0\n\
+             \n\
+             [stalled]\n\
+             kind = \"exp_s_below\"\n\
+             threshold = 100\n",
+        )
+        .unwrap();
+        assert_eq!(rules.len(), 2);
+        assert_eq!(rules[0].name, "high-sdc");
+        assert_eq!(rules[0].kind, AlertKind::SdcRateAbove);
+        assert_eq!(rules[0].sustain_secs, 30.0);
+        assert_eq!(rules[1].kind, AlertKind::ExpSBelow);
+        assert_eq!(rules[1].threshold, 100.0);
+        assert_eq!(rules[1].sustain_secs, 0.0, "sustain defaults to 0");
+
+        let err = parse_alert_rules("[r]\nkind = \"sdc_rate_above\"\nthreshold = 1\nfoo = 2\n")
+            .unwrap_err();
+        assert!(err.contains("unknown field 'foo'"), "{err}");
+        let err =
+            parse_alert_rules("[r]\nkind = \"sdc_rate_way_above\"\nthreshold = 1\n").unwrap_err();
+        assert!(err.contains("unknown alert kind"), "{err}");
+        assert!(err.contains("lease_expiry_churn_above"), "{err}");
+        let err = parse_alert_rules("[r]\nkind = \"sdc_rate_above\"\n").unwrap_err();
+        assert!(err.contains("missing required field 'threshold'"), "{err}");
+        let err = parse_alert_rules("loose = 1\n").unwrap_err();
+        assert!(err.contains("must be a [table]"), "{err}");
+        assert!(parse_alert_rules("").is_err(), "empty file is an error");
+    }
+
+    #[test]
+    fn json_rules_parse_like_toml() {
+        let rules = parse_alert_rules(
+            "{\"high-sdc\": {\"kind\": \"sdc_rate_above\", \"threshold\": 5.0, \
+             \"sustain_secs\": 30.0}}",
+        )
+        .unwrap();
+        assert_eq!(rules.len(), 1);
+        assert_eq!(rules[0].kind, AlertKind::SdcRateAbove);
+        let err = parse_alert_rules(
+            "{\"r\": {\"kind\": \"sdc_rate_above\", \"threshold\": 1, \
+             \"nope\": true}}",
+        )
+        .unwrap_err();
+        assert!(err.contains("unknown field 'nope'"), "{err}");
+    }
+
+    #[test]
+    fn sustain_zero_fires_on_first_violation() {
+        let r = rule(AlertKind::SdcRateAbove, 5.0, 0.0);
+        let window = [sample(1000, 2.0, 10.0), sample(2000, 9.0, 10.0)];
+        let state = evaluate_rule(&r, &window);
+        assert!(state.firing);
+        assert_eq!(state.since_unix_ms, Some(2000));
+        assert_eq!(state.value, 9.0);
+    }
+
+    #[test]
+    fn sustain_window_requires_contiguous_violation() {
+        let r = rule(AlertKind::SdcRateAbove, 5.0, 2.0);
+        // Violating for only 1 s of a 2 s sustain: not firing.
+        let short = [sample(1000, 9.0, 10.0), sample(2000, 9.0, 10.0)];
+        assert!(!evaluate_rule(&r, &short).firing);
+        // Violating for the full window: fires, anchored at streak
+        // start.
+        let held = [
+            sample(1000, 2.0, 10.0),
+            sample(2000, 9.0, 10.0),
+            sample(3000, 9.0, 10.0),
+            sample(4000, 9.0, 10.0),
+        ];
+        let state = evaluate_rule(&r, &held);
+        assert!(state.firing);
+        assert_eq!(state.since_unix_ms, Some(2000));
+    }
+
+    #[test]
+    fn flapping_series_never_fires() {
+        let r = rule(AlertKind::SdcRateAbove, 5.0, 2.0);
+        // Alternating violate/recover for 10 s: every recovery resets
+        // the streak, so a 2 s sustain is never met.
+        let window: Vec<TelemetrySample> = (0..10)
+            .map(|i| {
+                let v = if i % 2 == 0 { 9.0 } else { 2.0 };
+                sample(1000 * (i + 1), v, 10.0)
+            })
+            .collect();
+        assert!(!evaluate_rule(&r, &window).firing);
+        // And when the latest sample itself is healthy, never firing
+        // regardless of history.
+        let mut recovered = window;
+        recovered.push(sample(60_000, 2.0, 10.0));
+        assert!(!evaluate_rule(&r, &recovered).firing);
+    }
+
+    #[test]
+    fn below_kind_inverts_direction_and_empty_window_is_quiet() {
+        let r = rule(AlertKind::ExpSBelow, 100.0, 0.0);
+        assert!(evaluate_rule(&r, &[sample(1000, 0.0, 50.0)]).firing);
+        assert!(!evaluate_rule(&r, &[sample(1000, 0.0, 200.0)]).firing);
+        assert!(!evaluate_rule(&r, &[]).firing, "no samples, no alert");
+    }
+
+    #[test]
+    fn engine_reports_only_transitions() {
+        let rules = vec![rule(AlertKind::SdcRateAbove, 5.0, 0.0)];
+        let mut engine = AlertEngine::new(rules);
+        let quiet = [sample(1000, 2.0, 10.0)];
+        let loud = [sample(1000, 2.0, 10.0), sample(2000, 9.0, 10.0)];
+
+        let (_, t) = engine.evaluate(&quiet);
+        assert!(t.is_empty(), "no transition while quiet");
+        let (states, t) = engine.evaluate(&loud);
+        assert!(states[0].firing);
+        assert_eq!(t.len(), 1);
+        assert!(t[0].firing);
+        let (_, t) = engine.evaluate(&loud);
+        assert!(t.is_empty(), "still firing is not a transition");
+        let (_, t) = engine.evaluate(&quiet);
+        assert_eq!(t.len(), 1);
+        assert!(!t[0].firing, "resolution is a transition");
+    }
+
+    #[test]
+    fn renderers_cover_firing_and_quiet() {
+        let r = rule(AlertKind::SdcRateAbove, 5.0, 0.0);
+        let states = vec![
+            evaluate_rule(&r, &[sample(1000, 9.0, 10.0)]),
+            evaluate_rule(&r, &[sample(1000, 2.0, 10.0)]),
+        ];
+        let text = render_alerts_text(&states);
+        assert!(text.contains("FIRING"), "{text}");
+        assert!(text.contains("ok"), "{text}");
+        let json = render_alerts_json(&states).unwrap();
+        let doc: serde::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(doc.get("firing").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(
+            doc.get("alerts").and_then(|v| v.as_array()).unwrap().len(),
+            2
+        );
+    }
+}

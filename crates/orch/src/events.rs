@@ -48,6 +48,11 @@ pub enum OpsKind {
     Fsck,
     /// An engine panic was absorbed during this study.
     EngineFault,
+    /// An alert rule's sustained violation crossed into firing
+    /// (`detail` names the rule and the offending value).
+    AlertFiring,
+    /// A firing alert rule's series recovered.
+    AlertResolved,
 }
 
 impl OpsKind {
@@ -63,6 +68,8 @@ impl OpsKind {
             OpsKind::Failed => "failed",
             OpsKind::Fsck => "fsck",
             OpsKind::EngineFault => "engine-fault",
+            OpsKind::AlertFiring => "alert-firing",
+            OpsKind::AlertResolved => "alert-resolved",
         }
     }
 }
@@ -267,15 +274,22 @@ pub struct OpsSummary {
     pub jobs: Vec<JobLifecycle>,
     /// Fsck events are store-wide, not per-job.
     pub fsck_actions: u64,
+    /// Alert firing/resolved transitions (store-wide, like fsck).
+    pub alert_transitions: u64,
 }
 
 /// Pure fold: the summary is a function of the event list, nothing else.
 pub fn summarize_events(events: &[OpsEvent]) -> OpsSummary {
     let mut jobs: Vec<JobLifecycle> = Vec::new();
     let mut fsck_actions = 0u64;
+    let mut alert_transitions = 0u64;
     for ev in events {
         if ev.kind == OpsKind::Fsck {
             fsck_actions += 1;
+            continue;
+        }
+        if matches!(ev.kind, OpsKind::AlertFiring | OpsKind::AlertResolved) {
+            alert_transitions += 1;
             continue;
         }
         let Some(id) = ev.job else { continue };
@@ -339,13 +353,16 @@ pub fn summarize_events(events: &[OpsEvent]) -> OpsSummary {
                 job.finished_unix_ms = Some(ev.unix_ms);
             }
             OpsKind::EngineFault => job.engine_faults += 1,
-            OpsKind::Fsck => unreachable!("handled above"),
+            OpsKind::Fsck | OpsKind::AlertFiring | OpsKind::AlertResolved => {
+                unreachable!("handled above")
+            }
         }
     }
     OpsSummary {
         events: events.len() as u64,
         jobs,
         fsck_actions,
+        alert_transitions,
     }
 }
 
@@ -501,8 +518,13 @@ mod tests {
             .unwrap();
         log.append(OpsEvent::new(OpsKind::EngineFault).job(7).detail("panic"))
             .unwrap();
+        log.append(OpsEvent::new(OpsKind::AlertFiring).detail("high-sdc value 9.1"))
+            .unwrap();
+        log.append(OpsEvent::new(OpsKind::AlertResolved).detail("high-sdc value 1.2"))
+            .unwrap();
         let s = log.summarize().unwrap();
         assert_eq!(s.fsck_actions, 1);
+        assert_eq!(s.alert_transitions, 2, "alert events are store-wide");
         let j = &s.jobs[0];
         assert_eq!(j.outcome, "failed");
         assert_eq!(j.error.as_deref(), Some("boom"));
